@@ -1,0 +1,125 @@
+//! The common error type shared across the workspace.
+
+use std::fmt;
+
+use crate::{DomainId, ServerId};
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the middleware crates.
+///
+/// A single error enum is shared by all crates in the workspace so that the
+/// top-level API surfaces one coherent type; variants are grouped by the
+/// subsystem that produces them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A referenced server does not exist in the configuration.
+    UnknownServer(ServerId),
+    /// A referenced domain does not exist in the configuration.
+    UnknownDomain(DomainId),
+    /// The server is not a member of the given domain.
+    NotInDomain {
+        /// The server that was expected to be a member.
+        server: ServerId,
+        /// The domain it is not a member of.
+        domain: DomainId,
+    },
+    /// The domain interconnection graph contains a cycle, violating the
+    /// precondition (P2) of the paper's main theorem.
+    CyclicDomainGraph {
+        /// A witness cycle, as a sequence of domain identifiers.
+        cycle: Vec<DomainId>,
+    },
+    /// The server interconnection graph is not connected: no route exists
+    /// between the two servers.
+    NoRoute {
+        /// Route source.
+        from: ServerId,
+        /// Route destination.
+        to: ServerId,
+    },
+    /// A topology was structurally invalid (empty domain, duplicate member,
+    /// out-of-range identifier, ...). The string describes the defect.
+    InvalidTopology(String),
+    /// Decoding a wire frame failed. The string describes the defect.
+    Codec(String),
+    /// An operation was attempted on a closed or crashed component.
+    Closed(&'static str),
+    /// Stable storage failed. The string describes the failure.
+    Storage(String),
+    /// A configuration value was invalid. The string describes the defect.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownServer(s) => write!(f, "unknown server {s}"),
+            Error::UnknownDomain(d) => write!(f, "unknown domain {d}"),
+            Error::NotInDomain { server, domain } => {
+                write!(f, "server {server} is not a member of domain {domain}")
+            }
+            Error::CyclicDomainGraph { cycle } => {
+                write!(f, "domain interconnection graph has a cycle: ")?;
+                for (i, d) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
+            Error::NoRoute { from, to } => {
+                write!(f, "no route from {from} to {to}")
+            }
+            Error::InvalidTopology(why) => write!(f, "invalid topology: {why}"),
+            Error::Codec(why) => write!(f, "codec error: {why}"),
+            Error::Closed(what) => write!(f, "{what} is closed"),
+            Error::Storage(why) => write!(f, "storage error: {why}"),
+            Error::Config(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::UnknownServer(ServerId::new(9));
+        assert_eq!(e.to_string(), "unknown server S9");
+        let e = Error::NoRoute {
+            from: ServerId::new(1),
+            to: ServerId::new(2),
+        };
+        assert_eq!(e.to_string(), "no route from S1 to S2");
+    }
+
+    #[test]
+    fn cycle_display_lists_domains() {
+        let e = Error::CyclicDomainGraph {
+            cycle: vec![DomainId::new(0), DomainId::new(1), DomainId::new(0)],
+        };
+        assert_eq!(
+            e.to_string(),
+            "domain interconnection graph has a cycle: D0 -> D1 -> D0"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::Closed("channel"));
+        assert_eq!(e.to_string(), "channel is closed");
+    }
+}

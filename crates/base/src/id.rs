@@ -1,0 +1,218 @@
+//! Strongly-typed identifiers.
+//!
+//! The paper distinguishes two namespaces for servers (§5): the *global*
+//! identifier used by application agents (here [`ServerId`]) and the
+//! *per-domain* identifier used by the causal-ordering machinery (here
+//! [`DomainServerId`]). Keeping them as distinct newtypes makes it impossible
+//! to index a domain matrix clock with a global identifier by accident.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! u16_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(u16);
+
+        impl $name {
+            /// Creates an identifier from its raw numeric value.
+            pub const fn new(raw: u16) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw numeric value.
+            pub const fn as_u16(self) -> u16 {
+                self.0
+            }
+
+            /// Returns the raw value widened to `usize`, convenient for
+            /// indexing vectors and matrices.
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u16> for $name {
+            fn from(raw: u16) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u16 {
+            fn from(id: $name) -> u16 {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+u16_id!(
+    /// Global identifier of an agent server, unique across the whole MOM.
+    ///
+    /// This is the identifier application-level agents see; they are unaware
+    /// of the domain decomposition (§5 of the paper).
+    ServerId,
+    "S"
+);
+
+u16_id!(
+    /// Identifier of a domain of causality.
+    DomainId,
+    "D"
+);
+
+u16_id!(
+    /// Identifier of a server *within one domain*.
+    ///
+    /// Matrix clocks are indexed by `DomainServerId`, never by [`ServerId`];
+    /// the per-domain `id_table` translates between the two.
+    DomainServerId,
+    "d"
+);
+
+/// Identifier of an agent: the server hosting it plus a server-local index.
+///
+/// Agents are the persistent reactive objects of the AAA programming model
+/// (§3). Their names are global and stable across the life of the system.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AgentId {
+    server: ServerId,
+    local: u32,
+}
+
+impl AgentId {
+    /// Creates an agent identifier hosted on `server` with server-local
+    /// index `local`.
+    pub const fn new(server: ServerId, local: u32) -> Self {
+        Self { server, local }
+    }
+
+    /// The server hosting the agent.
+    pub const fn server(self) -> ServerId {
+        self.server
+    }
+
+    /// The server-local index of the agent.
+    pub const fn local(self) -> u32 {
+        self.local
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.server, self.local)
+    }
+}
+
+/// Globally unique message identifier: originating server plus a
+/// per-originator sequence number.
+///
+/// Used for duplicate suppression in the reliable link layer and for
+/// correlating entries in recorded traces.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MessageId {
+    origin: ServerId,
+    seq: u64,
+}
+
+impl MessageId {
+    /// Creates a message identifier.
+    pub const fn new(origin: ServerId, seq: u64) -> Self {
+        Self { origin, seq }
+    }
+
+    /// The server that created the message.
+    pub const fn origin(self) -> ServerId {
+        self.origin
+    }
+
+    /// The per-origin sequence number.
+    pub const fn seq(self) -> u64 {
+        self.seq
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}:{}", self.origin.as_u16(), self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_id_roundtrip() {
+        let s = ServerId::new(42);
+        assert_eq!(s.as_u16(), 42);
+        assert_eq!(s.as_usize(), 42);
+        assert_eq!(u16::from(s), 42);
+        assert_eq!(ServerId::from(42u16), s);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ServerId::new(7).to_string(), "S7");
+        assert_eq!(DomainId::new(2).to_string(), "D2");
+        assert_eq!(DomainServerId::new(0).to_string(), "d0");
+        assert_eq!(AgentId::new(ServerId::new(1), 4).to_string(), "S1#4");
+        assert_eq!(MessageId::new(ServerId::new(3), 9).to_string(), "m3:9");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ServerId::new(1) < ServerId::new(2));
+        let a = MessageId::new(ServerId::new(0), 1);
+        let b = MessageId::new(ServerId::new(0), 2);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn distinct_newtypes_do_not_compare() {
+        // Compile-time property: this test documents that ServerId and
+        // DomainServerId are distinct types; equality across them does not
+        // type-check, which is the point of the newtypes.
+        let s = ServerId::new(1);
+        let d = DomainServerId::new(1);
+        assert_eq!(s.as_u16(), d.as_u16());
+    }
+
+    #[test]
+    fn agent_id_accessors() {
+        let a = AgentId::new(ServerId::new(5), 17);
+        assert_eq!(a.server(), ServerId::new(5));
+        assert_eq!(a.local(), 17);
+    }
+
+    #[test]
+    fn message_id_accessors() {
+        let m = MessageId::new(ServerId::new(8), 123);
+        assert_eq!(m.origin(), ServerId::new(8));
+        assert_eq!(m.seq(), 123);
+    }
+
+    #[test]
+    fn hash_and_default_work() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ServerId::default());
+        set.insert(ServerId::new(0));
+        assert_eq!(set.len(), 1);
+    }
+}

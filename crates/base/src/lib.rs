@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Shared primitive types for the AAA causal middleware.
+//!
+//! This crate holds the small vocabulary used by every other crate in the
+//! workspace: strongly-typed identifiers ([`ServerId`], [`DomainId`],
+//! [`DomainServerId`], [`AgentId`], [`MessageId`]), the common error type
+//! ([`Error`]), and the virtual-time representation ([`VTime`]) used by the
+//! discrete-event simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use aaa_base::{ServerId, DomainId};
+//!
+//! let s = ServerId::new(3);
+//! let d = DomainId::new(0);
+//! assert_eq!(s.as_u16(), 3);
+//! assert_eq!(format!("{d}"), "D0");
+//! ```
+
+mod error;
+mod id;
+mod vtime;
+
+pub use error::{Error, Result};
+pub use id::{AgentId, DomainId, DomainServerId, MessageId, ServerId};
+pub use vtime::{Duration as VDuration, VTime};

@@ -1,0 +1,183 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! The performance figures of the paper measure wall-clock milliseconds on a
+//! physical testbed. Our reproduction replays the same protocol inside a
+//! discrete-event simulator; [`VTime`] is the simulator's clock. The unit is
+//! the *microsecond*, which gives enough resolution for the cost model while
+//! keeping arithmetic in plain `u64`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, in microseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+    Serialize, Deserialize,
+)]
+pub struct VTime(u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+    Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl VTime {
+    /// The origin of virtual time.
+    pub const ZERO: VTime = VTime(0);
+
+    /// Creates a time point from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        VTime(us)
+    }
+
+    /// Returns the raw number of microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time as fractional milliseconds (used when printing
+    /// experiment tables in the paper's unit).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: VTime) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`earlier` must not be later than `self`"),
+        )
+    }
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000)
+    }
+
+    /// Returns the raw number of microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating duration addition.
+    pub fn saturating_add(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_add(other.0))
+    }
+
+    /// Scales the duration by an integer factor.
+    pub fn scale(self, factor: u64) -> Duration {
+        Duration(self.0 * factor)
+    }
+}
+
+impl Add<Duration> for VTime {
+    type Output = VTime;
+
+    fn add(self, d: Duration) -> VTime {
+        VTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Duration> for VTime {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.0;
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+
+    fn add(self, other: Duration) -> Duration {
+        Duration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, other: Duration) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for VTime {
+    type Output = Duration;
+
+    fn sub(self, other: VTime) -> Duration {
+        self.since(other)
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = VTime::ZERO + Duration::from_millis(2);
+        assert_eq!(t.as_micros(), 2_000);
+        let t2 = t + Duration::from_micros(500);
+        assert_eq!((t2 - t).as_micros(), 500);
+        assert_eq!(t2.since(VTime::ZERO).as_micros(), 2_500);
+    }
+
+    #[test]
+    fn display_in_millis() {
+        assert_eq!(VTime::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(Duration::from_micros(250).to_string(), "0.250ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "`earlier` must not be later")]
+    fn since_panics_on_inverted_order() {
+        let _ = VTime::ZERO.since(VTime::from_micros(1));
+    }
+
+    #[test]
+    fn scale_and_saturating_add() {
+        let d = Duration::from_micros(3).scale(4);
+        assert_eq!(d.as_micros(), 12);
+        let big = Duration::from_micros(u64::MAX);
+        assert_eq!(big.saturating_add(d).as_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(VTime::from_micros(1) < VTime::from_micros(2));
+        assert!(Duration::from_millis(1) > Duration::from_micros(999));
+    }
+}

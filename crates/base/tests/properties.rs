@@ -1,0 +1,63 @@
+//! Property tests for the base types.
+
+use aaa_base::{AgentId, MessageId, ServerId, VDuration, VTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// VTime arithmetic is consistent: (t + d) - t == d.
+    #[test]
+    fn vtime_add_then_since(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let start = VTime::from_micros(t);
+        let dur = VDuration::from_micros(d);
+        let end = start + dur;
+        prop_assert_eq!(end - start, dur);
+        prop_assert_eq!(end.since(start), dur);
+        prop_assert!(end >= start);
+    }
+
+    /// Duration addition is commutative and associative.
+    #[test]
+    fn duration_laws(a in 0u64..u64::MAX / 8, b in 0u64..u64::MAX / 8, c in 0u64..u64::MAX / 8) {
+        let (a, b, c) = (
+            VDuration::from_micros(a),
+            VDuration::from_micros(b),
+            VDuration::from_micros(c),
+        );
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a.saturating_add(b), a + b);
+    }
+
+    /// Milliseconds conversion is consistent with microseconds.
+    #[test]
+    fn millis_micros_consistency(ms in 0u64..(1u64 << 40)) {
+        let d = VDuration::from_millis(ms);
+        prop_assert_eq!(d.as_micros(), ms * 1_000);
+        // f64 has 52 mantissa bits; below 2^40 ms the conversion is exact.
+        prop_assert!((d.as_millis_f64() - ms as f64).abs() < 1e-6);
+    }
+
+    /// Identifier ordering matches the raw numeric ordering.
+    #[test]
+    fn id_order_matches_raw(a in 0u16..u16::MAX, b in 0u16..u16::MAX) {
+        prop_assert_eq!(ServerId::new(a) < ServerId::new(b), a < b);
+        prop_assert_eq!(ServerId::new(a) == ServerId::new(b), a == b);
+    }
+
+    /// Message ids order by (origin, seq) lexicographically.
+    #[test]
+    fn message_id_order(o1 in 0u16..100, s1 in 0u64..1000, o2 in 0u16..100, s2 in 0u64..1000) {
+        let a = MessageId::new(ServerId::new(o1), s1);
+        let b = MessageId::new(ServerId::new(o2), s2);
+        prop_assert_eq!(a < b, (o1, s1) < (o2, s2));
+    }
+
+    /// Agent ids expose their parts faithfully.
+    #[test]
+    fn agent_id_parts(s in 0u16..u16::MAX, l in 0u32..u32::MAX) {
+        let a = AgentId::new(ServerId::new(s), l);
+        prop_assert_eq!(a.server().as_u16(), s);
+        prop_assert_eq!(a.local(), l);
+        prop_assert_eq!(a, AgentId::new(ServerId::new(s), l));
+    }
+}

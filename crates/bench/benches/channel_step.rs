@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the channel state machine: end-to-end submit →
+//! stamp → receive → deliver steps on flat and decomposed topologies.
+
+use aaa_base::{AgentId, ServerId};
+use aaa_clocks::StampMode;
+use aaa_mom::channel::ChannelCore;
+use aaa_mom::Notification;
+use aaa_topology::TopologySpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn aid(s: u16, l: u32) -> AgentId {
+    AgentId::new(ServerId::new(s), l)
+}
+
+fn bench_flat_hop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_hop_flat");
+    for &n in &[8u16, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("updates", n), &n, |b, &n| {
+            let topo = TopologySpec::single_domain(n).validate().unwrap();
+            let mut tx = ChannelCore::new(&topo, ServerId::new(0), StampMode::Updates).unwrap();
+            let mut rx = ChannelCore::new(&topo, ServerId::new(1), StampMode::Updates).unwrap();
+            b.iter(|| {
+                tx.submit(aid(0, 1), aid(1, 1), Notification::signal("x")).unwrap();
+                let out = tx.take_transmissions().unwrap();
+                for (_, msg) in out {
+                    black_box(rx.on_message(ServerId::new(0), msg).unwrap());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_router_forward(c: &mut Criterion) {
+    // The router's work: deliver in one domain, re-stamp into the next.
+    let mut group = c.benchmark_group("channel_router_forward");
+    for &s in &[4u16, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("bus_leaf_size", s), &s, |b, &s| {
+            let topo = TopologySpec::bus(2, s).validate().unwrap();
+            // Server 0 is the router of leaf 1 (and on the backbone).
+            let src = ServerId::new(1);
+            let router = ServerId::new(0);
+            let dest_server = ServerId::new(s); // router of leaf 2
+            let mut src_ch = ChannelCore::new(&topo, src, StampMode::Updates).unwrap();
+            let mut router_ch = ChannelCore::new(&topo, router, StampMode::Updates).unwrap();
+            b.iter(|| {
+                src_ch
+                    .submit(aid(1, 1), AgentId::new(dest_server, 1), Notification::signal("x"))
+                    .unwrap();
+                let out = src_ch.take_transmissions().unwrap();
+                for (_, msg) in out {
+                    router_ch.on_message(src, msg).unwrap();
+                }
+                black_box(router_ch.take_transmissions().unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flat_hop, bench_router_forward);
+criterion_main!(benches);

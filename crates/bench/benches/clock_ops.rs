@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the matrix-clock protocol operations.
+//!
+//! These measure the real (wall-clock) cost of the operations the paper's
+//! cost model charges for: stamping, deliverability checking and delivery
+//! merging, across domain sizes, in both stamp modes.
+
+use aaa_base::DomainServerId;
+use aaa_clocks::{CausalState, StampMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn d(i: u16) -> DomainServerId {
+    DomainServerId::new(i)
+}
+
+fn bench_stamp_send(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stamp_send");
+    for &n in &[8usize, 32, 64, 128] {
+        for (name, mode) in [("full", StampMode::Full), ("updates", StampMode::Updates)] {
+            group.throughput(Throughput::Elements(1));
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                let mut state = CausalState::new(d(0), n, mode);
+                b.iter(|| black_box(state.stamp_send(d(1))));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_check_and_deliver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_deliver");
+    for &n in &[8usize, 32, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let mut tx = CausalState::new(d(0), n, StampMode::Full);
+                    let mut rx = CausalState::new(d(1), n, StampMode::Full);
+                    let stamp = tx.stamp_send(d(1));
+                    let pending = rx.on_frame(d(0), stamp);
+                    (rx, pending)
+                },
+                |(mut rx, pending)| {
+                    assert!(rx.can_deliver(d(0), &pending));
+                    rx.deliver(d(0), &pending);
+                    black_box(rx);
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    // A full protocol round (stamp + frame + check + deliver both ways),
+    // the unit the paper's Figure 7 measures per hop.
+    let mut group = c.benchmark_group("protocol_round_trip");
+    for &n in &[8usize, 32, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("updates", n), &n, |b, &n| {
+            let mut a = CausalState::new(d(0), n, StampMode::Updates);
+            let mut z = CausalState::new(d(1), n, StampMode::Updates);
+            b.iter(|| {
+                let s = a.stamp_send(d(1));
+                let p = z.on_frame(d(0), s);
+                z.deliver(d(0), &p);
+                let s = z.stamp_send(d(0));
+                let p = a.on_frame(d(1), s);
+                a.deliver(d(1), &p);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stamp_send, bench_check_and_deliver, bench_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the engine: reaction dispatch and pub/sub fan-out.
+
+use aaa_base::{AgentId, MessageId, ServerId};
+use aaa_mom::engine::EngineCore;
+use aaa_mom::pubsub::{publication, subscription, TopicAgent};
+use aaa_mom::{AgentMessage, EchoAgent, Notification};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn aid(s: u16, l: u32) -> AgentId {
+    AgentId::new(ServerId::new(s), l)
+}
+
+fn msg_from(from: AgentId, to: AgentId, note: Notification) -> AgentMessage {
+    AgentMessage {
+        id: MessageId::new(ServerId::new(9), 1),
+        from,
+        to,
+        note,
+    }
+}
+
+fn msg(to: AgentId, note: Notification) -> AgentMessage {
+    msg_from(aid(9, 9), to, note)
+}
+
+fn bench_reaction_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_reaction");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("echo_agent", |b| {
+        let mut eng = EngineCore::new();
+        eng.register(aid(0, 1), Box::new(EchoAgent));
+        b.iter(|| {
+            eng.enqueue(msg(aid(0, 1), Notification::signal("ping")));
+            black_box(eng.step())
+        });
+    });
+    group.bench_function("dead_letter", |b| {
+        let mut eng = EngineCore::new();
+        b.iter(|| {
+            eng.enqueue(msg(aid(0, 42), Notification::signal("void")));
+            black_box(eng.step())
+        });
+    });
+    group.finish();
+}
+
+fn bench_topic_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topic_fanout");
+    for &subs in &[4usize, 32, 256] {
+        group.throughput(Throughput::Elements(subs as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(subs), &subs, |b, &subs| {
+            let mut eng = EngineCore::new();
+            let topic = aid(0, 1);
+            eng.register(topic, Box::new(TopicAgent::new()));
+            for i in 0..subs {
+                eng.enqueue(msg_from(aid(1, i as u32), topic, subscription()));
+            }
+            while eng.step().is_some() {}
+            let publish = publication("tick", b"x".to_vec());
+            b.iter(|| {
+                eng.enqueue(msg(topic, publish.clone()));
+                black_box(eng.step())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reaction_dispatch, bench_topic_fanout);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-benchmarks of topology validation and routing-table
+//! construction — the boot-time work of §5.
+
+use aaa_base::ServerId;
+use aaa_topology::{RoutingTable, TopologySpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_validate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_validate");
+    for &n in &[36usize, 144, 400] {
+        let k = (n as f64).sqrt() as u16;
+        group.bench_with_input(BenchmarkId::new("bus", n), &k, |b, &k| {
+            b.iter(|| black_box(TopologySpec::bus(k, k).validate().unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_tables");
+    for &k in &[6u16, 12, 20] {
+        let topo = TopologySpec::bus(k, k).validate().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("all_servers_bus", k as usize * k as usize),
+            &topo,
+            |b, topo| {
+                b.iter(|| black_box(RoutingTable::build_all(topo).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let topo = TopologySpec::bus(12, 12).validate().unwrap();
+    let table = RoutingTable::build(&topo, ServerId::new(1)).unwrap();
+    c.bench_function("routing_lookup", |b| {
+        b.iter(|| black_box(table.next_hop(ServerId::new(143)).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_validate, bench_build_tables, bench_lookup);
+criterion_main!(benches);

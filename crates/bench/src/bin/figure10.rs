@@ -1,0 +1,48 @@
+//! Figure 10 — remote unicast **with** domains of causality (bus).
+//!
+//! The MOM is split into ≈ √n leaf domains of ≈ √n servers joined by a
+//! backbone domain (the paper's bus organization). The paper reports
+//! 159…218 ms for n = 10…150, with a gentle linear fit — routing through
+//! two routers raises the constant, while the per-domain matrix clocks
+//! shrink the causal-ordering term from O(n²) to O(n).
+
+use aaa_bench::{bus_for, paper, print_table, report_fit, Row};
+use aaa_clocks::StampMode;
+use aaa_sim::{experiments, CostModel};
+
+fn main() {
+    let rounds = 100;
+    let mut rows = Vec::new();
+    for (i, &n) in paper::FIG10_N.iter().enumerate() {
+        let rtt = experiments::remote_unicast_avg_rtt(
+            bus_for(n),
+            StampMode::Updates,
+            CostModel::paper_calibrated(),
+            rounds,
+        )
+        .expect("simulation runs");
+        rows.push(Row {
+            n,
+            paper_ms: Some(paper::FIG10_MS[i]),
+            ours_ms: rtt.as_millis_f64(),
+        });
+    }
+    print_table(
+        "Figure 10: remote unicast with domains of causality (bus, avg RTT)",
+        "ms",
+        &rows,
+    );
+    println!();
+    let fit = report_fit(&rows);
+    fit.print();
+    assert!(
+        !fit.prefers_quadratic(),
+        "figure 10 must reproduce the linear shape"
+    );
+    // The whole sweep must stay within the same order of magnitude —
+    // the paper grows only 1.37x from n=10 to n=150.
+    let growth = rows.last().unwrap().ours_ms / rows[0].ours_ms;
+    println!("growth 10 -> 150 servers: ours {growth:.2}x, paper {:.2}x",
+        paper::FIG10_MS[8] / paper::FIG10_MS[0]);
+    assert!(growth < 3.0, "domain decomposition must flatten the curve");
+}

@@ -1,0 +1,70 @@
+//! Figure 11 — remote unicast with vs without domains of causality.
+//!
+//! Overlays Figures 7 and 10 on a common sweep and locates the crossover:
+//! below it the flat MOM's smaller routing constant wins; beyond it the
+//! quadratic matrix-clock cost overwhelms, and the domain decomposition
+//! wins by a widening margin.
+
+use aaa_bench::bus_for;
+use aaa_clocks::StampMode;
+use aaa_sim::{experiments, CostModel};
+use aaa_topology::TopologySpec;
+
+fn main() {
+    let rounds = 50;
+    let ns = [10usize, 20, 30, 40, 50, 60, 90, 120, 150];
+    println!("\n## Figure 11: with vs without domains of causality (avg RTT)");
+    println!();
+    println!("| n | without domains (ms) | with domains (ms) | winner |");
+    println!("|---:|---:|---:|:---|");
+    let mut crossover = None;
+    let mut prev_winner = None;
+    for &n in &ns {
+        let flat = experiments::remote_unicast_avg_rtt(
+            TopologySpec::single_domain(n as u16),
+            StampMode::Updates,
+            CostModel::paper_calibrated(),
+            rounds,
+        )
+        .expect("simulation runs")
+        .as_millis_f64();
+        let bus = experiments::remote_unicast_avg_rtt(
+            bus_for(n),
+            StampMode::Updates,
+            CostModel::paper_calibrated(),
+            rounds,
+        )
+        .expect("simulation runs")
+        .as_millis_f64();
+        let winner = if flat <= bus { "flat" } else { "domains" };
+        if prev_winner == Some("flat") && winner == "domains" {
+            crossover = Some(n);
+        }
+        prev_winner = Some(winner);
+        println!("| {n} | {flat:.1} | {bus:.1} | {winner} |");
+    }
+    println!();
+    match crossover {
+        Some(n) => println!("crossover: domains start winning at n ≈ {n}"),
+        None => println!("crossover outside the sweep"),
+    }
+    // The paper's Figure 11 shows the domain version losing at n = 10-30
+    // (larger constant) and winning clearly by n = 90+.
+    let flat90 = experiments::remote_unicast_avg_rtt(
+        TopologySpec::single_domain(90),
+        StampMode::Updates,
+        CostModel::paper_calibrated(),
+        rounds,
+    )
+    .unwrap()
+    .as_millis_f64();
+    let bus90 = experiments::remote_unicast_avg_rtt(
+        bus_for(90),
+        StampMode::Updates,
+        CostModel::paper_calibrated(),
+        rounds,
+    )
+    .unwrap()
+    .as_millis_f64();
+    assert!(bus90 < flat90, "domains must win at n=90: {bus90} vs {flat90}");
+}

@@ -1,0 +1,40 @@
+//! Figure 7 — remote unicast **without** domains of causality.
+//!
+//! One domain of `n` servers; ping-pong between server 0 and a remote
+//! server, 100 rounds. The paper reports 61…201 ms for n = 10…50 with a
+//! quadratic fit.
+
+use aaa_bench::{paper, print_table, report_fit, Row};
+use aaa_clocks::StampMode;
+use aaa_sim::{experiments, CostModel};
+use aaa_topology::TopologySpec;
+
+fn main() {
+    let rounds = 100;
+    let mut rows = Vec::new();
+    for (i, &n) in paper::FIG7_N.iter().enumerate() {
+        let rtt = experiments::remote_unicast_avg_rtt(
+            TopologySpec::single_domain(n as u16),
+            StampMode::Updates,
+            CostModel::paper_calibrated(),
+            rounds,
+        )
+        .expect("simulation runs");
+        rows.push(Row {
+            n,
+            paper_ms: Some(paper::FIG7_MS[i]),
+            ours_ms: rtt.as_millis_f64(),
+        });
+    }
+    print_table(
+        "Figure 7: remote unicast without domains (avg RTT, 100 sends)",
+        "ms",
+        &rows,
+    );
+    println!();
+    report_fit(&rows).print();
+    assert!(
+        report_fit(&rows).prefers_quadratic(),
+        "figure 7 must reproduce the quadratic shape"
+    );
+}

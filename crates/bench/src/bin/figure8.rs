@@ -1,0 +1,46 @@
+//! Figure 8 — broadcast **without** domains of causality.
+//!
+//! One domain of `n` servers; the main agent on server 0 sends to every
+//! other server and waits for all echoes. The paper reports 636 ms at
+//! n = 10 growing to 25.3 s at n = 90 — strongly superlinear.
+
+use aaa_bench::{paper, print_table, report_fit, Row};
+use aaa_clocks::StampMode;
+use aaa_sim::{experiments, CostModel};
+use aaa_topology::TopologySpec;
+
+fn main() {
+    let rounds = 10;
+    let mut rows = Vec::new();
+    for (i, &n) in paper::FIG8_N.iter().enumerate() {
+        let t = experiments::broadcast(
+            TopologySpec::single_domain(n as u16),
+            StampMode::Updates,
+            CostModel::paper_calibrated(),
+            rounds,
+        )
+        .expect("simulation runs");
+        rows.push(Row {
+            n,
+            paper_ms: Some(paper::FIG8_MS[i]),
+            ours_ms: t.avg.as_millis_f64(),
+        });
+    }
+    print_table(
+        "Figure 8: broadcast without domains (avg completion time)",
+        "ms",
+        &rows,
+    );
+    println!();
+    let fit = report_fit(&rows);
+    fit.print();
+    assert!(
+        fit.prefers_quadratic(),
+        "figure 8 must reproduce the superlinear shape"
+    );
+    // Growth factor 10 -> 90 servers: the paper sees ~40x.
+    let growth = rows.last().unwrap().ours_ms / rows[0].ours_ms;
+    println!("growth 10 -> 90 servers: ours {growth:.1}x, paper {:.1}x",
+        paper::FIG8_MS[6] / paper::FIG8_MS[0]);
+    assert!(growth > 10.0, "broadcast must grow superlinearly, got {growth:.1}x");
+}

@@ -1,0 +1,41 @@
+//! Experiment X3 — local unicast baseline (§6.1's first test).
+//!
+//! Ping-pong between two agents on the *same* server: the local bus
+//! bypasses the causal machinery entirely, so the time is flat in the
+//! number of servers — the baseline against which remote costs are read.
+
+use aaa_bench::{print_table, Row};
+use aaa_clocks::StampMode;
+use aaa_sim::{experiments, CostModel};
+use aaa_topology::TopologySpec;
+
+fn main() {
+    let rounds = 100;
+    let mut rows = Vec::new();
+    for n in [10usize, 20, 30, 40, 50] {
+        let m = experiments::local_unicast(
+            TopologySpec::single_domain(n as u16),
+            StampMode::Updates,
+            CostModel::paper_calibrated(),
+            rounds,
+        )
+        .expect("simulation runs");
+        rows.push(Row {
+            n,
+            paper_ms: None,
+            ours_ms: m.avg.as_millis_f64(),
+        });
+    }
+    print_table(
+        "X3: local unicast (same-server ping-pong, avg RTT)",
+        "ms",
+        &rows,
+    );
+    println!();
+    let first = rows[0].ours_ms;
+    assert!(
+        rows.iter().all(|r| (r.ours_ms - first).abs() < 1e-6),
+        "local unicast must be independent of the number of servers"
+    );
+    println!("flat across n, as expected: local bus bypasses causal ordering");
+}

@@ -1,0 +1,80 @@
+//! Experiment X6 — causal delivery under packet loss.
+//!
+//! The AAA bus guarantees *reliable* causal delivery over an unreliable
+//! network (§3). This experiment injects seeded packet loss into the
+//! simulator and sweeps the drop probability: round trips degrade
+//! gracefully (retransmission latency), while end-to-end delivery stays
+//! exactly-once and causally ordered — verified on the recorded trace.
+
+use aaa_base::{AgentId, ServerId, VDuration};
+use aaa_mom::{EchoAgent, Notification, ServerConfig, StampMode};
+use aaa_sim::{CostModel, FaultConfig, Simulation};
+use aaa_topology::TopologySpec;
+use aaa_trace::TraceRecorder;
+
+fn run(drop: f64) -> (f64, u64, usize, bool) {
+    let topo = TopologySpec::bus(3, 3).validate().expect("valid bus");
+    let config = ServerConfig {
+        stamp_mode: StampMode::Updates,
+        rto: VDuration::from_millis(80),
+        ..ServerConfig::default()
+    };
+    let mut sim = Simulation::with_faults(
+        topo,
+        config,
+        CostModel::paper_calibrated(),
+        FaultConfig { drop_probability: drop, seed: 42 },
+    )
+    .expect("sim builds");
+    let recorder = TraceRecorder::new();
+    sim.record_into(&recorder);
+    for s in 0..9u16 {
+        sim.register_agent(ServerId::new(s), 1, Box::new(EchoAgent));
+    }
+
+    let rounds = 30u32;
+    let main = AgentId::new(ServerId::new(0), 100);
+    let echo = AgentId::new(ServerId::new(8), 1); // other end of the bus
+    let mut total = VDuration::ZERO;
+    for _ in 0..rounds {
+        let t0 = sim.now();
+        sim.client_send(main, echo, Notification::signal("ping"));
+        sim.run_until_quiet().expect("sim runs");
+        total += sim.last_delivery() - t0;
+    }
+    let avg_ms = total.as_millis_f64() / f64::from(rounds);
+    let trace = recorder.snapshot().expect("trace ok");
+    (
+        avg_ms,
+        sim.dropped_datagrams(),
+        trace.message_count(),
+        trace.check_causality().is_ok(),
+    )
+}
+
+fn main() {
+    println!("\n## X6: round-trip under packet loss (bus 3x3, RTO 80 ms)");
+    println!();
+    println!("| drop prob. | avg RTT (ms) | datagrams lost | messages delivered | causal |");
+    println!("|---:|---:|---:|---:|:---|");
+    let mut baseline = None;
+    for drop in [0.0, 0.05, 0.10, 0.20, 0.30] {
+        let (avg, lost, msgs, causal) = run(drop);
+        println!(
+            "| {:.0}% | {avg:.1} | {lost} | {msgs} | {} |",
+            drop * 100.0,
+            if causal { "yes" } else { "NO" }
+        );
+        assert_eq!(msgs, 60, "every ping and pong must eventually deliver");
+        assert!(causal, "loss must never reorder causal delivery");
+        let base = *baseline.get_or_insert(avg);
+        assert!(avg >= base * 0.99, "loss should not make things faster");
+    }
+    println!();
+    println!(
+        "Loss slows rounds down by retransmission delays but never costs a \
+         message or a causal inversion: the link layer's sequence numbers \
+         and cumulative acks feed the causal channel an exactly-once FIFO \
+         stream, whatever the network does."
+    );
+}

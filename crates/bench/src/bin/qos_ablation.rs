@@ -1,0 +1,80 @@
+//! Experiment X7 — what causal ordering *costs*: causal vs unordered QoS.
+//!
+//! The paper's intro cites the CORBA Messaging specification, which makes
+//! ordering a quality-of-service knob. Our bus exposes the same knob; this
+//! experiment prices it: the same flat-MOM ping-pong with causal stamps
+//! and with the unordered policy. The difference *is* the causal-ordering
+//! term of §6.1 — and it is exactly the term the domain decomposition
+//! makes affordable.
+
+use aaa_base::{AgentId, ServerId};
+use aaa_mom::{EchoAgent, FnAgent, Notification, ServerConfig, StampMode};
+use aaa_sim::{CostModel, Simulation};
+use aaa_topology::TopologySpec;
+
+fn rtt(n: u16, unordered: bool, rounds: u32) -> f64 {
+    let topo = TopologySpec::single_domain(n).validate().expect("valid");
+    let mut sim = Simulation::new(
+        topo,
+        ServerConfig { stamp_mode: StampMode::Updates, ..ServerConfig::default() },
+        CostModel::paper_calibrated(),
+    )
+    .expect("sim builds");
+    for s in 0..n {
+        if unordered {
+            // Echo back with the same (unordered) policy so the whole
+            // round trip bypasses the causal machinery.
+            sim.register_agent(
+                ServerId::new(s),
+                1,
+                Box::new(FnAgent::new(|ctx, from, note: &Notification| {
+                    ctx.send_unordered(from, note.clone());
+                })),
+            );
+        } else {
+            sim.register_agent(ServerId::new(s), 1, Box::new(EchoAgent));
+        }
+    }
+    let main = AgentId::new(ServerId::new(0), 100);
+    let echo = AgentId::new(ServerId::new(n - 1), 1);
+    let mut total = 0.0;
+    for _ in 0..rounds {
+        let t0 = sim.now();
+        if unordered {
+            sim.client_send_unordered(main, echo, Notification::signal("p"));
+        } else {
+            sim.client_send(main, echo, Notification::signal("p"));
+        }
+        sim.run_until_quiet().expect("sim runs");
+        total += (sim.last_delivery() - t0).as_millis_f64();
+    }
+    total / f64::from(rounds)
+}
+
+fn main() {
+    println!("\n## X7: the price of causal order (flat MOM, avg RTT, ms)");
+    println!();
+    println!("| n | causal | unordered | causal-ordering term |");
+    println!("|---:|---:|---:|---:|");
+    for n in [10u16, 30, 50, 90] {
+        let causal = rtt(n, false, 30);
+        let fast = rtt(n, true, 30);
+        println!("| {n} | {causal:.1} | {fast:.1} | {:.1} |", causal - fast);
+        assert!(fast < causal, "unordered must be cheaper at n={n}");
+    }
+    // The unordered baseline is flat in n; the causal surcharge grows
+    // quadratically — the exact decomposition §6 motivates.
+    let flat10 = rtt(10, true, 10);
+    let flat90 = rtt(90, true, 10);
+    assert!(
+        (flat90 - flat10).abs() < 5.0,
+        "unordered RTT must not grow with n: {flat10} vs {flat90}"
+    );
+    println!();
+    println!(
+        "The unordered baseline is flat (≈2 transfer hops regardless of n); \
+         the causal surcharge is the quadratic matrix-clock term of §6.1 — \
+         the very cost the domain decomposition reduces to linear without \
+         giving up the ordering guarantee."
+    );
+}

@@ -1,0 +1,92 @@
+//! Related-work baseline (§2): vector-clock causal *broadcast* vs
+//! matrix-clock point-to-point.
+//!
+//! The paper dismisses vector-clock schemes because they "require causal
+//! broadcast and therefore do not scale well": a vector timestamp is only
+//! O(n) bytes, but to keep it sound every message — even a unicast — must
+//! reach every process. This experiment quantifies that trade-off for a
+//! unicast workload: k messages between fixed pairs in a group of n.
+//!
+//! - **BSS (Birman–Schiper–Stephenson)**: each unicast becomes n−1
+//!   transmissions carrying an n-entry vector.
+//! - **Matrix clock (this paper, Updates mode)**: each unicast is one
+//!   transmission carrying only the modified matrix entries.
+
+use aaa_base::DomainServerId;
+use aaa_clocks::vector::BssState;
+use aaa_clocks::{CausalState, StampMode};
+
+fn d(i: usize) -> DomainServerId {
+    DomainServerId::new(i as u16)
+}
+
+/// Simulates `rounds` unicasts 0 -> 1 under BSS causal broadcast and
+/// returns (messages on the wire, stamp bytes on the wire).
+fn bss_unicast_cost(n: usize, rounds: usize) -> (u64, u64) {
+    let mut procs: Vec<BssState> = (0..n).map(|i| BssState::new(d(i), n)).collect();
+    let mut msgs = 0u64;
+    let mut bytes = 0u64;
+    for _ in 0..rounds {
+        let stamp = procs[0].stamp_broadcast();
+        // The broadcast reaches every other process, carrying the vector.
+        for i in 1..n {
+            msgs += 1;
+            bytes += stamp.encoded_len() as u64;
+            assert!(procs[i].can_deliver(d(0), &stamp));
+            procs[i].deliver(d(0), &stamp);
+        }
+    }
+    (msgs, bytes)
+}
+
+/// Simulates `rounds` unicasts 0 -> 1 under the matrix-clock protocol and
+/// returns (messages on the wire, stamp bytes on the wire).
+fn matrix_unicast_cost(n: usize, rounds: usize, mode: StampMode) -> (u64, u64) {
+    let mut a = CausalState::new(d(0), n, mode);
+    let mut b = CausalState::new(d(1), n, mode);
+    let mut bytes = 0u64;
+    for _ in 0..rounds {
+        let stamp = a.stamp_send(d(1));
+        bytes += stamp.encoded_len() as u64;
+        let p = b.on_frame(d(0), stamp);
+        b.deliver(d(0), &p);
+    }
+    (rounds as u64, bytes)
+}
+
+fn main() {
+    let rounds = 100;
+    println!("\n## Related work (§2): unicast workload, {rounds} messages 0 -> 1");
+    println!();
+    println!(
+        "| n | BSS msgs | BSS stamp bytes | matrix msgs | updates stamp bytes \
+         | full-matrix stamp bytes |"
+    );
+    println!("|---:|---:|---:|---:|---:|---:|");
+    for n in [10usize, 30, 50, 90, 150] {
+        let (bss_msgs, bss_bytes) = bss_unicast_cost(n, rounds);
+        let (mat_msgs, upd_bytes) = matrix_unicast_cost(n, rounds, StampMode::Updates);
+        let (_, full_bytes) = matrix_unicast_cost(n, rounds, StampMode::Full);
+        println!(
+            "| {n} | {bss_msgs} | {bss_bytes} | {mat_msgs} | {upd_bytes} | {full_bytes} |"
+        );
+        // The paper's point, checked: BSS floods the network with
+        // messages (n−1 per unicast)...
+        assert_eq!(bss_msgs, (n as u64 - 1) * rounds as u64);
+        assert_eq!(mat_msgs, rounds as u64);
+        // ...and with Updates the matrix protocol even wins on bytes.
+        assert!(
+            upd_bytes < bss_bytes,
+            "updates bytes {upd_bytes} should undercut BSS {bss_bytes} at n={n}"
+        );
+    }
+    println!();
+    println!(
+        "BSS ships O(n) bytes per message but O(n) messages per unicast; the \
+         matrix protocol ships one message, and with Appendix A's Updates \
+         encoding its stamps are smaller than BSS's vectors too. Only for \
+         genuine broadcast workloads does the vector approach break even — \
+         which is why the paper scales the matrix approach with domains \
+         instead."
+    );
+}

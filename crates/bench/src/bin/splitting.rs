@@ -1,0 +1,114 @@
+//! Experiment X4 — automatic domain splitting (the paper's §7 future
+//! work, implemented in `aaa_topology::split`).
+//!
+//! A clustered application (communities with heavy internal and light
+//! external traffic) is deployed three ways: one flat domain, a naive
+//! uniform bus, and the traffic-aware split. The table compares the §6.2
+//! analytic expected cost and the simulated average delivery time of a
+//! traffic-shaped workload.
+
+use aaa_clocks::StampMode;
+use aaa_sim::{experiments, CostModel};
+use aaa_topology::split::{expected_cost, split_by_traffic, HopCost, SplitConfig, TrafficMatrix};
+use aaa_topology::TopologySpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `communities` groups of `size` servers; intra-community pair rate
+/// `intra`, inter-community pair rate `inter`.
+fn clustered_traffic(communities: usize, size: usize, intra: f64, inter: f64) -> TrafficMatrix {
+    let n = communities * size;
+    let mut t = TrafficMatrix::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let rate = if i / size == j / size { intra } else { inter };
+            t.set(i, j, rate);
+        }
+    }
+    t
+}
+
+/// Samples `count` (from, to) pairs with probability proportional to the
+/// traffic rates.
+fn sample_workload(traffic: &TrafficMatrix, count: usize, seed: u64) -> Vec<(u16, u16)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = traffic.len();
+    let total = traffic.total();
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let mut pick = rng.gen_range(0.0..total);
+        'scan: for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                pick -= traffic.get(i, j);
+                if pick <= 0.0 {
+                    out.push((i as u16, j as u16));
+                    break 'scan;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let communities = 4;
+    let size = 6;
+    let n = communities * size;
+    let traffic = clustered_traffic(communities, size, 10.0, 0.2);
+    let workload = sample_workload(&traffic, 120, 7);
+
+    let flat = TopologySpec::single_domain(n as u16);
+    let bus = aaa_bench::bus_for(n);
+    let aware = split_by_traffic(&traffic, &SplitConfig { max_domain_size: size + 1 })
+        .expect("splitter succeeds");
+
+    println!("\n## X4: automatic domain splitting (4 communities x 6 servers)");
+    println!();
+    println!("| deployment | domains | analytic cost (rel.) | simulated avg delivery (ms) |");
+    println!("|:---|---:|---:|---:|");
+
+    let hop = HopCost::default();
+    let mut base_cost = None;
+    let mut results = Vec::new();
+    for (name, spec) in [("flat (1 domain)", flat), ("uniform bus", bus), ("traffic-aware split", aware)] {
+        let topo = spec.clone().validate().expect("valid");
+        let cost = expected_cost(&topo, &traffic, &hop).expect("cost computes");
+        let base = *base_cost.get_or_insert(cost);
+        let t = experiments::pair_workload_avg_time(
+            spec,
+            StampMode::Updates,
+            CostModel::paper_calibrated(),
+            &workload,
+        )
+        .expect("simulation runs")
+        .as_millis_f64();
+        println!(
+            "| {name} | {} | {:.2} | {t:.1} |",
+            topo.domain_count(),
+            cost / base,
+        );
+        results.push((name, cost, t));
+    }
+
+    println!();
+    let aware_t = results[2].2;
+    let bus_t = results[1].2;
+    println!(
+        "traffic-aware split vs uniform bus: {:.1}% of the simulated latency",
+        100.0 * aware_t / bus_t
+    );
+    assert!(
+        aware_t < bus_t,
+        "the traffic-aware split must beat the traffic-blind bus: {aware_t} vs {bus_t}"
+    );
+    assert!(
+        results[2].1 < results[1].1,
+        "and its analytic cost must be lower too"
+    );
+}

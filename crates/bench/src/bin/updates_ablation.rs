@@ -1,0 +1,80 @@
+//! Appendix A — the Updates optimized algorithm, measured.
+//!
+//! Compares the wire size of causal stamps in Full mode (ship the whole
+//! matrix: `O(n²)` bytes) against Updates mode (ship modified entries
+//! only), for the paper's ping-pong workload, and shows the end-to-end
+//! effect on a bandwidth-limited (WAN) link where bytes dominate.
+
+use aaa_bench::bus_for;
+use aaa_clocks::StampMode;
+use aaa_sim::{experiments, CostModel};
+use aaa_topology::TopologySpec;
+
+fn main() {
+    println!("\n## Appendix A: Updates stamp-size ablation (avg stamp bytes/message)");
+    println!();
+    println!("| n | full matrix (B) | updates (B) | reduction |");
+    println!("|---:|---:|---:|---:|");
+    for n in [10u16, 20, 30, 50, 90] {
+        let full = experiments::stamp_bytes_per_message(
+            TopologySpec::single_domain(n),
+            StampMode::Full,
+            50,
+        )
+        .expect("simulation runs");
+        let upd = experiments::stamp_bytes_per_message(
+            TopologySpec::single_domain(n),
+            StampMode::Updates,
+            50,
+        )
+        .expect("simulation runs");
+        println!("| {n} | {full:.0} | {upd:.0} | {:.0}x |", full / upd.max(1.0));
+        assert!(
+            upd * 4.0 < full,
+            "updates must cut stamp bytes at n={n}: {upd} vs {full}"
+        );
+    }
+
+    println!();
+    println!("### Updates × domains: combined effect");
+    println!();
+    println!("| configuration | stamp bytes/message |");
+    println!("|:---|---:|");
+    let flat_full = experiments::stamp_bytes_per_message(
+        TopologySpec::single_domain(100),
+        StampMode::Full,
+        50,
+    )
+    .unwrap();
+    let flat_upd = experiments::stamp_bytes_per_message(
+        TopologySpec::single_domain(100),
+        StampMode::Updates,
+        50,
+    )
+    .unwrap();
+    let bus_full =
+        experiments::stamp_bytes_per_message(bus_for(100), StampMode::Full, 50).unwrap();
+    let bus_upd =
+        experiments::stamp_bytes_per_message(bus_for(100), StampMode::Updates, 50).unwrap();
+    println!("| flat, full matrix (n=100) | {flat_full:.0} |");
+    println!("| flat, updates | {flat_upd:.0} |");
+    println!("| bus domains, full matrix | {bus_full:.0} |");
+    println!("| bus domains, updates | {bus_upd:.0} |");
+    assert!(bus_upd < flat_full / 100.0, "combined reduction should exceed 100x");
+
+    println!();
+    println!("### End-to-end round trip on a 100 B/ms WAN link (n=20)");
+    println!();
+    println!("| mode | avg RTT (ms) |");
+    println!("|:---|---:|");
+    for (name, mode) in [("full matrix", StampMode::Full), ("updates", StampMode::Updates)] {
+        let rtt = experiments::remote_unicast_avg_rtt(
+            TopologySpec::single_domain(20),
+            mode,
+            CostModel::wan(100.0),
+            50,
+        )
+        .expect("simulation runs");
+        println!("| {name} | {:.1} |", rtt.as_millis_f64());
+    }
+}

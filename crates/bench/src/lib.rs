@@ -1,0 +1,169 @@
+#![warn(missing_docs)]
+
+//! Shared plumbing for the experiment harness.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md`'s experiment index). This library holds what
+//! they share: the paper's published series, topology helpers, series
+//! formatting, and shape checks (linear/quadratic fits).
+
+use aaa_topology::TopologySpec;
+
+/// The paper's published measurements, transcribed from the figures.
+pub mod paper {
+    /// Figure 7 — remote unicast without domains: server counts.
+    pub const FIG7_N: [usize; 5] = [10, 20, 30, 40, 50];
+    /// Figure 7 — remote unicast without domains: milliseconds.
+    pub const FIG7_MS: [f64; 5] = [61.0, 69.0, 88.0, 136.0, 201.0];
+
+    /// Figure 8 — broadcast without domains: server counts.
+    pub const FIG8_N: [usize; 7] = [10, 20, 30, 40, 50, 60, 90];
+    /// Figure 8 — broadcast without domains: milliseconds.
+    pub const FIG8_MS: [f64; 7] =
+        [636.0, 1382.0, 2771.0, 4187.0, 6613.0, 8933.0, 25323.0];
+
+    /// Figure 10 — remote unicast with domains (bus): server counts.
+    pub const FIG10_N: [usize; 9] = [10, 20, 30, 40, 50, 60, 90, 120, 150];
+    /// Figure 10 — remote unicast with domains (bus): milliseconds.
+    pub const FIG10_MS: [f64; 9] =
+        [159.0, 175.0, 185.0, 192.0, 189.0, 205.0, 212.0, 217.0, 218.0];
+}
+
+/// Builds the near-square bus decomposition the paper used for Figure 10:
+/// `k ≈ √n` leaf domains whose sizes partition exactly `n` servers, with a
+/// backbone domain joining the first server of each leaf.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn bus_for(n: usize) -> TopologySpec {
+    assert!(n > 0, "need at least one server");
+    let k = (n as f64).sqrt().round().max(1.0) as usize;
+    // Partition n into k groups of size base or base+1.
+    let base = n / k;
+    let extra = n % k;
+    let mut domains: Vec<Vec<u16>> = Vec::with_capacity(k + 1);
+    let mut backbone = Vec::with_capacity(k);
+    let mut next = 0u16;
+    for i in 0..k {
+        let size = base + usize::from(i < extra);
+        let members: Vec<u16> = (next..next + size as u16).collect();
+        // The router is the *last* server of the leaf, so that server 0 —
+        // the paper's measuring server — is an ordinary leaf member and
+        // remote routes cross the full src → router → router → dest path.
+        backbone.push(next + size as u16 - 1);
+        next += size as u16;
+        domains.push(members);
+    }
+    domains.insert(0, backbone);
+    TopologySpec::from_domains(domains)
+}
+
+/// One row of an experiment table: the swept parameter, the paper's value
+/// (if published) and ours.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// The swept parameter (number of servers).
+    pub n: usize,
+    /// The paper's measurement in ms, if published for this point.
+    pub paper_ms: Option<f64>,
+    /// Our measurement in ms.
+    pub ours_ms: f64,
+}
+
+/// Prints an experiment table in a fixed format shared by all binaries.
+pub fn print_table(title: &str, unit: &str, rows: &[Row]) {
+    println!("\n## {title}");
+    println!();
+    println!("| n | paper ({unit}) | ours ({unit}) |");
+    println!("|---:|---:|---:|");
+    for r in rows {
+        match r.paper_ms {
+            Some(p) => println!("| {} | {:.0} | {:.1} |", r.n, p, r.ours_ms),
+            None => println!("| {} | — | {:.1} |", r.n, r.ours_ms),
+        }
+    }
+}
+
+/// Reports which of a linear or quadratic least-squares fit explains a
+/// series better, echoing the paper's "quadratic fit"/"linear fit" lines.
+pub fn report_fit(rows: &[Row]) -> FitReport {
+    let xs: Vec<f64> = rows.iter().map(|r| r.n as f64).collect();
+    let ys: Vec<f64> = rows.iter().map(|r| r.ours_ms).collect();
+    let (a_l, b_l, rmse_l) = aaa_topology::cost::fit::linear(&xs, &ys);
+    let (a_q, b_q, rmse_q) = aaa_topology::cost::fit::quadratic(&xs, &ys);
+    FitReport {
+        linear: (a_l, b_l, rmse_l),
+        quadratic: (a_q, b_q, rmse_q),
+    }
+}
+
+/// Fit coefficients and errors for both candidate shapes.
+#[derive(Debug, Clone, Copy)]
+pub struct FitReport {
+    /// `(intercept, slope, rmse)` of `y = a + b·n`.
+    pub linear: (f64, f64, f64),
+    /// `(intercept, coefficient, rmse)` of `y = a + b·n²`.
+    pub quadratic: (f64, f64, f64),
+}
+
+impl FitReport {
+    /// `true` if the quadratic fit is strictly better.
+    pub fn prefers_quadratic(&self) -> bool {
+        self.quadratic.2 < self.linear.2
+    }
+
+    /// Prints both fits.
+    pub fn print(&self) {
+        let (a, b, e) = self.linear;
+        println!("linear fit   : {a:9.2} + {b:8.4}·n    (rmse {e:8.2})");
+        let (a, b, e) = self.quadratic;
+        println!("quadratic fit: {a:9.2} + {b:8.4}·n²   (rmse {e:8.2})");
+        println!(
+            "better shape : {}",
+            if self.prefers_quadratic() { "quadratic" } else { "linear" }
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_for_partitions_exactly() {
+        for n in [4usize, 10, 30, 50, 100, 150] {
+            let spec = bus_for(n);
+            assert_eq!(spec.server_count(), n, "n={n}");
+            let topo = spec.validate().expect("valid bus");
+            assert_eq!(topo.server_count(), n);
+            // k leaves + 1 backbone
+            let k = (n as f64).sqrt().round().max(1.0) as usize;
+            assert_eq!(topo.domain_count(), k + 1);
+        }
+    }
+
+    #[test]
+    fn bus_for_singleton() {
+        let topo = bus_for(1).validate().unwrap();
+        assert_eq!(topo.server_count(), 1);
+    }
+
+    #[test]
+    fn paper_series_shapes() {
+        // Sanity: the paper's own series prefer the expected fits.
+        let rows7: Vec<Row> = paper::FIG7_N
+            .iter()
+            .zip(paper::FIG7_MS)
+            .map(|(&n, ms)| Row { n, paper_ms: None, ours_ms: ms })
+            .collect();
+        assert!(report_fit(&rows7).prefers_quadratic());
+
+        let rows10: Vec<Row> = paper::FIG10_N
+            .iter()
+            .zip(paper::FIG10_MS)
+            .map(|(&n, ms)| Row { n, paper_ms: None, ours_ms: ms })
+            .collect();
+        assert!(!report_fit(&rows10).prefers_quadratic());
+    }
+}

@@ -1,0 +1,104 @@
+//! Scalar logical clocks (Lamport 1978).
+//!
+//! The paper's introduction cites Lamport's logical time as the classical
+//! device for ordering events; it induces a total order *compatible with*
+//! causality but does not characterize it. We include it both for
+//! completeness and because the Updates optimization (Appendix A) reuses the
+//! same "logical instant" idea for its per-entry state tags.
+
+use serde::{Deserialize, Serialize};
+
+/// A Lamport scalar clock.
+///
+/// The clock ticks on every local event; on message receipt it jumps past
+/// the timestamp carried by the message. Two causally related events always
+/// have increasing timestamps; the converse does not hold.
+///
+/// # Examples
+///
+/// ```
+/// use aaa_clocks::LamportClock;
+///
+/// let mut a = LamportClock::new();
+/// let mut b = LamportClock::new();
+/// let t = a.tick();          // a sends a message stamped `t`
+/// let t_recv = b.observe(t); // b receives it
+/// assert!(t_recv > t);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+         Serialize, Deserialize)]
+pub struct LamportClock {
+    now: u64,
+}
+
+impl LamportClock {
+    /// Creates a clock at time zero.
+    pub const fn new() -> Self {
+        LamportClock { now: 0 }
+    }
+
+    /// Current value of the clock (timestamp of the latest local event).
+    pub const fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the clock for a local or send event, returning the new
+    /// timestamp.
+    pub fn tick(&mut self) -> u64 {
+        self.now += 1;
+        self.now
+    }
+
+    /// Incorporates a remote timestamp (receive event), returning the new
+    /// local timestamp, which is strictly greater than both the previous
+    /// local time and the remote stamp.
+    pub fn observe(&mut self, remote: u64) -> u64 {
+        self.now = self.now.max(remote) + 1;
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(LamportClock::new().now(), 0);
+        assert_eq!(LamportClock::default().now(), 0);
+    }
+
+    #[test]
+    fn tick_is_monotone() {
+        let mut c = LamportClock::new();
+        let a = c.tick();
+        let b = c.tick();
+        assert!(b > a);
+        assert_eq!(c.now(), b);
+    }
+
+    #[test]
+    fn observe_jumps_past_remote() {
+        let mut c = LamportClock::new();
+        c.tick();
+        let t = c.observe(10);
+        assert_eq!(t, 11);
+        // An older remote stamp still advances local time.
+        let t2 = c.observe(3);
+        assert_eq!(t2, 12);
+    }
+
+    #[test]
+    fn send_receive_preserves_happens_before() {
+        let mut a = LamportClock::new();
+        let mut b = LamportClock::new();
+        for _ in 0..100 {
+            let sent = a.tick();
+            let recv = b.observe(sent);
+            assert!(recv > sent);
+            let reply = b.tick();
+            let back = a.observe(reply);
+            assert!(back > reply);
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! The matrix-clock causal delivery protocol used by every AAA channel.
+//!
+//! This is the per-domain protocol of the paper (§3, §5, Appendix A), in the
+//! style of Raynal–Schiper–Toueg (the paper's reference 12):
+//!
+//! - each server `i` keeps `SENT` (an `n × n` [`MatrixClock`]: messages sent
+//!   `k → l` that `i` knows of) and `DELIV` (a vector: messages from `k`
+//!   delivered at `i`);
+//! - **send `i → j`**: increment `SENT[i][j]`, piggyback the matrix (whole
+//!   or as Update deltas);
+//! - **deliverable at `j`** (message from `i` with reconstructed stamp
+//!   `ST`): `ST[i][j] == DELIV[i] + 1` and `ST[k][j] <= DELIV[k]` for all
+//!   `k != i` — `j` must already have delivered every message *destined to
+//!   `j`* that the sender knew about;
+//! - **deliver at `j`**: `DELIV[i] += 1` and `SENT := max(SENT, ST)`.
+//!
+//! Messages that fail the check wait in the channel's postponed queue and
+//! are re-examined after each delivery (the queue lives in `aaa-mom`; this
+//! crate only provides the predicates and state).
+//!
+//! In [`StampMode::Updates`] the wire carries only modified entries; the
+//! receiver keeps a per-sender *image* of the sender's matrix, rebuilt
+//! incrementally (sound because AAA links are reliable FIFO), and the exact
+//! per-message stamp is materialized when the frame arrives. The two modes
+//! are observationally equivalent — a property test in this crate's test
+//! suite drives random schedules through both and compares every decision.
+
+use aaa_base::DomainServerId;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::MatrixClock;
+use crate::stamp::{Stamp, StampMode, UpdateEntry};
+
+/// A message's causal stamp, reconstructed on the receiving side.
+///
+/// In [`StampMode::Full`] this is the matrix shipped with the message; in
+/// [`StampMode::Updates`] it is the receiver's image of the sender's matrix
+/// at the instant the frame arrived. Either way it is exactly the sender's
+/// `SENT` matrix when the message was sent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingStamp {
+    matrix: MatrixClock,
+}
+
+impl PendingStamp {
+    /// The reconstructed sender matrix.
+    pub fn matrix(&self) -> &MatrixClock {
+        &self.matrix
+    }
+
+    /// Rebuilds a pending stamp from a persisted matrix image (recovery).
+    pub fn from_matrix(matrix: MatrixClock) -> Self {
+        PendingStamp { matrix }
+    }
+}
+
+/// Per-domain causal delivery state of one server.
+///
+/// See the [module documentation](self) for the protocol. One `CausalState`
+/// exists per `DomainItem` on every server; causal router-servers therefore
+/// hold several, one per domain they belong to (§5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CausalState {
+    me: DomainServerId,
+    n: usize,
+    mode: StampMode,
+    /// `SENT[k][l]`: messages sent from `k` to `l` that this server knows of.
+    sent: MatrixClock,
+    /// `DELIV[k]`: messages from `k` delivered here.
+    deliv: Vec<u64>,
+    /// Logical instant counter for the Updates algorithm (`State` in
+    /// Appendix A).
+    state: u64,
+    /// Per-cell tag: value of `state` when the cell last changed
+    /// (`Mat[k,l].state`).
+    entry_state: Vec<u64>,
+    /// Per-peer: value of `state` at the last send to that peer
+    /// (`Node[j].state`).
+    node_state: Vec<u64>,
+    /// Per-peer image of that peer's matrix, rebuilt from received deltas.
+    images: Vec<Option<MatrixClock>>,
+}
+
+impl CausalState {
+    /// Creates the causal state of server `me` in a domain of `n` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `me` is out of range.
+    pub fn new(me: DomainServerId, n: usize, mode: StampMode) -> Self {
+        assert!(n > 0, "a domain needs at least one server");
+        assert!(me.as_usize() < n, "server id {me} out of range for domain of {n}");
+        CausalState {
+            me,
+            n,
+            mode,
+            sent: MatrixClock::new(n),
+            deliv: vec![0; n],
+            state: 0,
+            entry_state: vec![0; n * n],
+            node_state: vec![0; n],
+            images: vec![None; n],
+        }
+    }
+
+    /// This server's identifier within the domain.
+    pub fn me(&self) -> DomainServerId {
+        self.me
+    }
+
+    /// Number of servers in the domain.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The stamp encoding mode.
+    pub fn mode(&self) -> StampMode {
+        self.mode
+    }
+
+    /// The local `SENT` matrix.
+    pub fn sent(&self) -> &MatrixClock {
+        &self.sent
+    }
+
+    /// Messages from `from` delivered here so far.
+    pub fn delivered_from(&self, from: DomainServerId) -> u64 {
+        self.deliv[from.as_usize()]
+    }
+
+    /// Total messages delivered here so far.
+    pub fn delivered_total(&self) -> u64 {
+        self.deliv.iter().sum()
+    }
+
+    /// Stamps a message about to be sent to `to` and updates the local
+    /// state. Must be called exactly once per message, in send order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is this server or out of range.
+    pub fn stamp_send(&mut self, to: DomainServerId) -> Stamp {
+        assert!(to != self.me, "local deliveries bypass the causal protocol");
+        assert!(to.as_usize() < self.n, "destination {to} out of range");
+        self.state += 1;
+        self.sent.increment(self.me.as_usize(), to.as_usize());
+        let tag = self.state;
+        self.set_entry_state(self.me.as_usize(), to.as_usize(), tag);
+        match self.mode {
+            StampMode::Full => Stamp::Full(self.sent.clone()),
+            StampMode::Updates => {
+                let since = self.node_state[to.as_usize()];
+                let entries = self.collect_updates(since);
+                self.node_state[to.as_usize()] = self.state;
+                Stamp::Delta(entries)
+            }
+        }
+    }
+
+    /// Ingests a frame arriving from `from` (in link order) and returns the
+    /// message's reconstructed stamp. Must be called exactly once per frame,
+    /// in arrival order — the reliable link layer guarantees FIFO, which the
+    /// Updates reconstruction relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range, or if the stamp kind does not match
+    /// the configured [`StampMode`].
+    pub fn on_frame(&mut self, from: DomainServerId, stamp: Stamp) -> PendingStamp {
+        assert!(from.as_usize() < self.n, "sender {from} out of range");
+        let matrix = match (self.mode, stamp) {
+            (StampMode::Full, Stamp::Full(m)) => {
+                assert_eq!(m.width(), self.n, "stamp width mismatch");
+                m
+            }
+            (StampMode::Updates, Stamp::Delta(entries)) => {
+                let image = self.images[from.as_usize()]
+                    .get_or_insert_with(|| MatrixClock::new(self.n));
+                for e in &entries {
+                    image.raise(e.row as usize, e.col as usize, e.value);
+                }
+                image.clone()
+            }
+            (mode, other) => panic!(
+                "stamp kind {:?} does not match configured mode {:?}",
+                other.is_delta(),
+                mode
+            ),
+        };
+        PendingStamp { matrix }
+    }
+
+    /// Returns `true` if a message from `from` with stamp `pending` may be
+    /// delivered now without violating causal order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn can_deliver(&self, from: DomainServerId, pending: &PendingStamp) -> bool {
+        let f = from.as_usize();
+        let me = self.me.as_usize();
+        assert!(f < self.n, "sender {from} out of range");
+        if pending.matrix.get(f, me) != self.deliv[f] + 1 {
+            return false;
+        }
+        (0..self.n).all(|k| k == f || pending.matrix.get(k, me) <= self.deliv[k])
+    }
+
+    /// Records delivery of a message from `from` with stamp `pending`,
+    /// merging the sender's knowledge into the local matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message is not currently deliverable; call
+    /// [`CausalState::can_deliver`] first.
+    pub fn deliver(&mut self, from: DomainServerId, pending: &PendingStamp) {
+        assert!(
+            self.can_deliver(from, pending),
+            "delivering a message out of causal order"
+        );
+        self.deliv[from.as_usize()] += 1;
+        self.state += 1;
+        let tag = self.state;
+        let n = self.n;
+        let entry_state = &mut self.entry_state;
+        self.sent.merge_max(&pending.matrix, |row, col, _| {
+            entry_state[row * n + col] = tag;
+        });
+    }
+
+    #[inline]
+    fn set_entry_state(&mut self, row: usize, col: usize, tag: u64) {
+        self.entry_state[row * self.n + col] = tag;
+    }
+
+    /// Appends a self-describing binary image of the whole causal state to
+    /// `out`, suitable for crash-recovery journaling.
+    ///
+    /// The image includes the Updates bookkeeping (entry states, per-peer
+    /// send states and per-peer sender images), so a recovered server
+    /// resumes the delta protocol exactly where it crashed.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.me.as_u16().to_le_bytes());
+        out.extend_from_slice(&(self.n as u32).to_le_bytes());
+        out.push(match self.mode {
+            StampMode::Full => 0,
+            StampMode::Updates => 1,
+        });
+        self.sent.write_bytes(out);
+        for v in &self.deliv {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.state.to_le_bytes());
+        for v in &self.entry_state {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.node_state {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for image in &self.images {
+            match image {
+                None => out.push(0),
+                Some(m) => {
+                    out.push(1);
+                    m.write_bytes(out);
+                }
+            }
+        }
+    }
+
+    /// Reads an image written by [`CausalState::write_bytes`] from the
+    /// front of `input`, returning the state and the bytes consumed.
+    ///
+    /// Returns `None` on truncated or invalid input.
+    pub fn read_bytes(input: &[u8]) -> Option<(CausalState, usize)> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = input.get(*at..*at + n)?;
+            *at += n;
+            Some(s)
+        };
+        let me = DomainServerId::new(u16::from_le_bytes(take(&mut at, 2)?.try_into().ok()?));
+        let n = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+        if n == 0 || me.as_usize() >= n {
+            return None;
+        }
+        let mode = match take(&mut at, 1)?[0] {
+            0 => StampMode::Full,
+            1 => StampMode::Updates,
+            _ => return None,
+        };
+        let (sent, used) = MatrixClock::read_bytes(&input[at..])?;
+        if sent.width() != n {
+            return None;
+        }
+        at += used;
+        let read_u64s = |at: &mut usize, count: usize| -> Option<Vec<u64>> {
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                out.push(u64::from_le_bytes(take(at, 8)?.try_into().ok()?));
+            }
+            Some(out)
+        };
+        let deliv = read_u64s(&mut at, n)?;
+        let state = read_u64s(&mut at, 1)?[0];
+        let entry_state = read_u64s(&mut at, n * n)?;
+        let node_state = read_u64s(&mut at, n)?;
+        let mut images = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = *input.get(at)?;
+            at += 1;
+            match tag {
+                0 => images.push(None),
+                1 => {
+                    let (m, used) = MatrixClock::read_bytes(&input[at..])?;
+                    if m.width() != n {
+                        return None;
+                    }
+                    at += used;
+                    images.push(Some(m));
+                }
+                _ => return None,
+            }
+        }
+        Some((
+            CausalState {
+                me,
+                n,
+                mode,
+                sent,
+                deliv,
+                state,
+                entry_state,
+                node_state,
+                images,
+            },
+            at,
+        ))
+    }
+
+    fn collect_updates(&self, since: u64) -> Vec<UpdateEntry> {
+        let mut out = Vec::new();
+        for row in 0..self.n {
+            for col in 0..self.n {
+                if self.entry_state[row * self.n + col] > since {
+                    out.push(UpdateEntry {
+                        row: row as u16,
+                        col: col as u16,
+                        value: self.sent.get(row, col),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u16) -> DomainServerId {
+        DomainServerId::new(i)
+    }
+
+    fn pair(mode: StampMode) -> (CausalState, CausalState) {
+        (CausalState::new(d(0), 2, mode), CausalState::new(d(1), 2, mode))
+    }
+
+    #[test]
+    fn simple_send_deliver_full() {
+        let (mut a, mut b) = pair(StampMode::Full);
+        let s = a.stamp_send(d(1));
+        let p = b.on_frame(d(0), s);
+        assert!(b.can_deliver(d(0), &p));
+        b.deliver(d(0), &p);
+        assert_eq!(b.delivered_from(d(0)), 1);
+        assert_eq!(b.sent().get(0, 1), 1);
+    }
+
+    #[test]
+    fn simple_send_deliver_updates() {
+        let (mut a, mut b) = pair(StampMode::Updates);
+        let s = a.stamp_send(d(1));
+        assert!(s.is_delta());
+        let p = b.on_frame(d(0), s);
+        assert!(b.can_deliver(d(0), &p));
+        b.deliver(d(0), &p);
+        assert_eq!(b.delivered_from(d(0)), 1);
+    }
+
+    #[test]
+    fn fifo_gap_is_postponed() {
+        // a sends m1 then m2 to b; if m2's stamp is examined first it must
+        // not be deliverable (its SENT[a][b] is 2, b expects 1).
+        let (mut a, mut b) = pair(StampMode::Full);
+        let s1 = a.stamp_send(d(1));
+        let s2 = a.stamp_send(d(1));
+        // Frames still arrive in FIFO order (on_frame), but the channel may
+        // test deliverability in any order.
+        let p1 = b.on_frame(d(0), s1);
+        let p2 = b.on_frame(d(0), s2);
+        assert!(!b.can_deliver(d(0), &p2));
+        assert!(b.can_deliver(d(0), &p1));
+        b.deliver(d(0), &p1);
+        assert!(b.can_deliver(d(0), &p2));
+        b.deliver(d(0), &p2);
+    }
+
+    #[test]
+    fn transitive_three_servers() {
+        // s0 -> s1 (m1); s1 -> s2 (m2 after delivering m1); s0 -> s2 (m0,
+        // sent before m1? no: sent first, concurrent-ish). Classic triangle:
+        // m_a: s0->s2 sent first, m_b: s0->s1, then s1->s2. s2 must deliver
+        // m_a before m2 because m_a precedes m_b (same sender order) and
+        // m_b precedes m2 (receive-then-send).
+        let mut s0 = CausalState::new(d(0), 3, StampMode::Full);
+        let mut s1 = CausalState::new(d(1), 3, StampMode::Full);
+        let mut s2 = CausalState::new(d(2), 3, StampMode::Full);
+
+        let st_a = s0.stamp_send(d(2)); // m_a
+        let st_b = s0.stamp_send(d(1)); // m_b
+        let p_b = s1.on_frame(d(0), st_b);
+        assert!(s1.can_deliver(d(0), &p_b));
+        s1.deliver(d(0), &p_b);
+        let st_2 = s1.stamp_send(d(2)); // m2, causally after m_a
+
+        // m2 arrives at s2 before m_a: must wait.
+        let p_2 = s2.on_frame(d(1), st_2);
+        assert!(!s2.can_deliver(d(1), &p_2));
+        let p_a = s2.on_frame(d(0), st_a);
+        assert!(s2.can_deliver(d(0), &p_a));
+        s2.deliver(d(0), &p_a);
+        assert!(s2.can_deliver(d(1), &p_2));
+        s2.deliver(d(1), &p_2);
+        assert_eq!(s2.delivered_total(), 2);
+    }
+
+    #[test]
+    fn transitive_three_servers_updates_mode() {
+        let mut s0 = CausalState::new(d(0), 3, StampMode::Updates);
+        let mut s1 = CausalState::new(d(1), 3, StampMode::Updates);
+        let mut s2 = CausalState::new(d(2), 3, StampMode::Updates);
+
+        let st_a = s0.stamp_send(d(2));
+        let st_b = s0.stamp_send(d(1));
+        let p_b = s1.on_frame(d(0), st_b);
+        s1.deliver(d(0), &p_b);
+        let st_2 = s1.stamp_send(d(2));
+
+        let p_2 = s2.on_frame(d(1), st_2);
+        assert!(!s2.can_deliver(d(1), &p_2));
+        let p_a = s2.on_frame(d(0), st_a);
+        s2.deliver(d(0), &p_a);
+        assert!(s2.can_deliver(d(1), &p_2));
+        s2.deliver(d(1), &p_2);
+    }
+
+    #[test]
+    fn first_delta_carries_everything_later_deltas_shrink() {
+        let mut a = CausalState::new(d(0), 4, StampMode::Updates);
+        let s1 = a.stamp_send(d(1));
+        // First message to d1: one entry modified so far.
+        assert_eq!(s1.entry_count(), 1);
+        let s2 = a.stamp_send(d(1));
+        // Second message: only the (0,1) cell changed again.
+        assert_eq!(s2.entry_count(), 1);
+        // Send to a different peer: both prior modifications are news to d2.
+        let s3 = a.stamp_send(d(2));
+        assert_eq!(s3.entry_count(), 2);
+        // Now d1 already knows everything except the newest cells.
+        let s4 = a.stamp_send(d(1));
+        // Changed since last send to d1: (0,2) from s3 and (0,1) from s4.
+        assert_eq!(s4.entry_count(), 2);
+    }
+
+    #[test]
+    fn delta_smaller_than_full_matrix() {
+        let n = 20;
+        let mut a = CausalState::new(d(0), n, StampMode::Updates);
+        let mut b = CausalState::new(d(1), n, StampMode::Updates);
+        let mut total_delta = 0usize;
+        for _ in 0..50 {
+            let s = a.stamp_send(d(1));
+            total_delta += s.encoded_len();
+            let p = b.on_frame(d(0), s);
+            b.deliver(d(0), &p);
+        }
+        let full = Stamp::Full(MatrixClock::new(n)).encoded_len() * 50;
+        assert!(
+            total_delta < full / 10,
+            "deltas ({total_delta}B) should be far below full stamps ({full}B)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bypass the causal protocol")]
+    fn self_send_rejected() {
+        let mut a = CausalState::new(d(0), 2, StampMode::Full);
+        let _ = a.stamp_send(d(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of causal order")]
+    fn deliver_out_of_order_panics() {
+        let (mut a, mut b) = pair(StampMode::Full);
+        let _s1 = a.stamp_send(d(1));
+        let s2 = a.stamp_send(d(1));
+        let p2 = b.on_frame(d(0), s2);
+        b.deliver(d(0), &p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match configured mode")]
+    fn mode_mismatch_panics() {
+        let (mut a, mut b) = pair(StampMode::Full);
+        let _ = a.stamp_send(d(1));
+        let bogus = Stamp::Delta(Vec::new());
+        let _ = b.on_frame(d(0), bogus);
+    }
+
+    #[test]
+    fn causal_state_bytes_roundtrip() {
+        // Build a state with non-trivial Updates bookkeeping, persist it,
+        // and check the recovered state behaves identically.
+        let mut a = CausalState::new(d(0), 3, StampMode::Updates);
+        let mut b = CausalState::new(d(1), 3, StampMode::Updates);
+        for _ in 0..3 {
+            let s = a.stamp_send(d(1));
+            let p = b.on_frame(d(0), s);
+            b.deliver(d(0), &p);
+        }
+        let _ = a.stamp_send(d(2)); // leaves an in-flight delta
+
+        let mut buf = Vec::new();
+        b.write_bytes(&mut buf);
+        let (b2, used) = CausalState::read_bytes(&buf).expect("roundtrip");
+        assert_eq!(used, buf.len());
+        assert_eq!(b2.sent(), b.sent());
+        assert_eq!(b2.delivered_total(), b.delivered_total());
+        assert_eq!(b2.mode(), b.mode());
+        assert_eq!(b2.me(), b.me());
+
+        // The recovered state keeps working: a's next delta must still
+        // reconstruct correctly against b2's persisted image of a.
+        let mut b2 = b2;
+        let s = a.stamp_send(d(1));
+        let p = b2.on_frame(d(0), s);
+        assert!(b2.can_deliver(d(0), &p));
+        b2.deliver(d(0), &p);
+        assert_eq!(b2.delivered_from(d(0)), 4);
+    }
+
+    #[test]
+    fn causal_state_read_rejects_garbage() {
+        assert!(CausalState::read_bytes(&[]).is_none());
+        assert!(CausalState::read_bytes(&[1, 2, 3]).is_none());
+        let mut buf = Vec::new();
+        CausalState::new(d(0), 2, StampMode::Full).write_bytes(&mut buf);
+        buf.truncate(buf.len() - 1);
+        assert!(CausalState::read_bytes(&buf).is_none());
+    }
+
+    #[test]
+    fn singleton_domain_is_valid_but_inert() {
+        let s = CausalState::new(d(0), 1, StampMode::Full);
+        assert_eq!(s.n(), 1);
+        assert_eq!(s.delivered_total(), 0);
+    }
+}

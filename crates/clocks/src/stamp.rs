@@ -1,0 +1,114 @@
+//! Message timestamps: full matrices or Update deltas (Appendix A).
+//!
+//! Every causally ordered message carries a [`Stamp`]. In
+//! [`StampMode::Full`] the stamp is the sender's whole matrix — `O(n²)`
+//! bytes. In [`StampMode::Updates`] it is only the set of matrix entries
+//! modified since the last message sent to the same peer — the *Updates
+//! optimized algorithm* of the paper's Appendix A, `O(n)` bytes in the
+//! common case (and the paper notes `O(n²)` worst case).
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::MatrixClock;
+
+/// How channel stamps are encoded on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum StampMode {
+    /// Ship the sender's entire matrix with every message.
+    Full,
+    /// Ship only the entries modified since the last send to the same peer
+    /// (Appendix A). Requires FIFO links, which the AAA channel guarantees.
+    #[default]
+    Updates,
+}
+
+/// One modified matrix entry `(row, col) = value`, as shipped by the
+/// Updates algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UpdateEntry {
+    /// Sender index of the counted messages.
+    pub row: u16,
+    /// Receiver index of the counted messages.
+    pub col: u16,
+    /// New value of the cell.
+    pub value: u64,
+}
+
+impl UpdateEntry {
+    /// Bytes one entry occupies on the wire: two `u16` coordinates plus a
+    /// `u64` value.
+    pub const WIRE_LEN: usize = 2 + 2 + 8;
+}
+
+/// The causal timestamp piggybacked on a message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stamp {
+    /// The sender's full matrix.
+    Full(MatrixClock),
+    /// The entries modified since the last send to this peer.
+    Delta(Vec<UpdateEntry>),
+}
+
+impl Stamp {
+    /// Size of the stamp on the wire, in bytes.
+    ///
+    /// Full stamps cost `n² × 8` bytes; delta stamps cost a 4-byte count
+    /// plus [`UpdateEntry::WIRE_LEN`] per entry. This is the quantity
+    /// plotted by the Appendix-A ablation experiment.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Stamp::Full(m) => 4 + m.encoded_len(),
+            Stamp::Delta(entries) => 4 + entries.len() * UpdateEntry::WIRE_LEN,
+        }
+    }
+
+    /// Number of matrix entries conveyed.
+    pub fn entry_count(&self) -> usize {
+        match self {
+            Stamp::Full(m) => m.width() * m.width(),
+            Stamp::Delta(entries) => entries.len(),
+        }
+    }
+
+    /// Returns `true` if this is a delta stamp.
+    pub fn is_delta(&self) -> bool {
+        matches!(self, Stamp::Delta(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_stamp_size_is_quadratic() {
+        let s = Stamp::Full(MatrixClock::new(10));
+        assert_eq!(s.encoded_len(), 4 + 100 * 8);
+        assert_eq!(s.entry_count(), 100);
+        assert!(!s.is_delta());
+    }
+
+    #[test]
+    fn delta_stamp_size_is_linear_in_entries() {
+        let entries = vec![
+            UpdateEntry { row: 0, col: 1, value: 3 },
+            UpdateEntry { row: 2, col: 1, value: 9 },
+        ];
+        let s = Stamp::Delta(entries);
+        assert_eq!(s.encoded_len(), 4 + 2 * UpdateEntry::WIRE_LEN);
+        assert_eq!(s.entry_count(), 2);
+        assert!(s.is_delta());
+    }
+
+    #[test]
+    fn default_mode_is_updates() {
+        assert_eq!(StampMode::default(), StampMode::Updates);
+    }
+
+    #[test]
+    fn empty_delta_is_cheap() {
+        let s = Stamp::Delta(Vec::new());
+        assert_eq!(s.encoded_len(), 4);
+        assert_eq!(s.entry_count(), 0);
+    }
+}

@@ -1,0 +1,374 @@
+//! Vector clocks and the Birman–Schiper–Stephenson causal broadcast.
+//!
+//! Vector clocks characterize causal precedence exactly (the paper's
+//! references 14 and 21). The paper surveys vector-clock solutions as related work that
+//! *requires causal broadcast* and therefore scales poorly; we implement the
+//! BSS broadcast protocol ([`BssState`]) so the benchmark harness can compare
+//! it against the matrix-clock point-to-point protocol.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use aaa_base::DomainServerId;
+use serde::{Deserialize, Serialize};
+
+/// Result of comparing two vector clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CausalOrdering {
+    /// The clocks are identical.
+    Equal,
+    /// The left clock causally precedes the right one.
+    Before,
+    /// The left clock causally follows the right one.
+    After,
+    /// Neither precedes the other: the events are concurrent.
+    Concurrent,
+}
+
+/// A fixed-width vector clock over `n` processes.
+///
+/// # Examples
+///
+/// ```
+/// use aaa_clocks::VectorClock;
+/// use aaa_clocks::vector::CausalOrdering;
+///
+/// let mut a = VectorClock::new(2);
+/// let mut b = VectorClock::new(2);
+/// a.tick(0);
+/// b.merge(&a);
+/// b.tick(1);
+/// assert_eq!(a.compare(&b), CausalOrdering::Before);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    counts: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Creates an all-zero clock over `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a vector clock needs at least one process");
+        VectorClock {
+            counts: vec![0; n],
+        }
+    }
+
+    /// Number of processes the clock covers.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns `true` if the clock covers zero processes (never, by
+    /// construction; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The component for process `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Increments the component of process `i`, returning the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn tick(&mut self, i: usize) -> u64 {
+        self.counts[i] += 1;
+        self.counts[i]
+    }
+
+    /// Component-wise maximum with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different widths.
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge vector clocks of different widths"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Compares two clocks under the causal partial order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different widths.
+    pub fn compare(&self, other: &VectorClock) -> CausalOrdering {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot compare vector clocks of different widths"
+        );
+        let mut less = false;
+        let mut greater = false;
+        for (a, b) in self.counts.iter().zip(&other.counts) {
+            match a.cmp(b) {
+                Ordering::Less => less = true,
+                Ordering::Greater => greater = true,
+                Ordering::Equal => {}
+            }
+        }
+        match (less, greater) {
+            (false, false) => CausalOrdering::Equal,
+            (true, false) => CausalOrdering::Before,
+            (false, true) => CausalOrdering::After,
+            (true, true) => CausalOrdering::Concurrent,
+        }
+    }
+
+    /// Iterates over the components.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.counts.iter().copied()
+    }
+
+    /// Encoded size in bytes on the wire (one `u64` per component).
+    pub fn encoded_len(&self) -> usize {
+        8 * self.counts.len()
+    }
+}
+
+impl PartialOrd for VectorClock {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match self.compare(other) {
+            CausalOrdering::Equal => Some(Ordering::Equal),
+            CausalOrdering::Before => Some(Ordering::Less),
+            CausalOrdering::After => Some(Ordering::Greater),
+            CausalOrdering::Concurrent => None,
+        }
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Per-process state of the Birman–Schiper–Stephenson causal broadcast.
+///
+/// Every process broadcasts to all `n` processes; a broadcast from `p` is
+/// deliverable at `q` once `q` has delivered every broadcast that causally
+/// precedes it. This is the classical vector-clock protocol the paper's
+/// related-work section contrasts with matrix clocks: it needs only `O(n)`
+/// timestamps but forces *broadcast* communication.
+#[derive(Debug, Clone)]
+pub struct BssState {
+    me: DomainServerId,
+    delivered: VectorClock,
+}
+
+impl BssState {
+    /// Creates the BSS state for process `me` in a group of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `me` is out of range.
+    pub fn new(me: DomainServerId, n: usize) -> Self {
+        assert!(me.as_usize() < n, "process id out of range");
+        BssState {
+            me,
+            delivered: VectorClock::new(n),
+        }
+    }
+
+    /// The local process identifier.
+    pub fn me(&self) -> DomainServerId {
+        self.me
+    }
+
+    /// Vector of broadcasts delivered so far, indexed by originator.
+    pub fn delivered(&self) -> &VectorClock {
+        &self.delivered
+    }
+
+    /// Stamps a new broadcast: returns the vector timestamp to attach.
+    ///
+    /// The returned stamp counts this broadcast itself in the sender's own
+    /// component.
+    pub fn stamp_broadcast(&mut self) -> VectorClock {
+        self.delivered.tick(self.me.as_usize());
+        self.delivered.clone()
+    }
+
+    /// Returns `true` if a broadcast from `from` stamped `stamp` is
+    /// deliverable now.
+    ///
+    /// Deliverable iff `stamp[from] == delivered[from] + 1` and
+    /// `stamp[k] <= delivered[k]` for every `k != from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stamp` has a different width than the local state.
+    pub fn can_deliver(&self, from: DomainServerId, stamp: &VectorClock) -> bool {
+        assert_eq!(stamp.len(), self.delivered.len());
+        let f = from.as_usize();
+        if stamp.get(f) != self.delivered.get(f) + 1 {
+            return false;
+        }
+        (0..stamp.len()).all(|k| k == f || stamp.get(k) <= self.delivered.get(k))
+    }
+
+    /// Records delivery of a broadcast from `from` stamped `stamp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the broadcast is not currently deliverable; call
+    /// [`BssState::can_deliver`] first.
+    pub fn deliver(&mut self, from: DomainServerId, stamp: &VectorClock) {
+        assert!(
+            self.can_deliver(from, stamp),
+            "delivering a broadcast out of causal order"
+        );
+        self.delivered.merge(stamp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u16) -> DomainServerId {
+        DomainServerId::new(i)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_width_rejected() {
+        let _ = VectorClock::new(0);
+    }
+
+    #[test]
+    fn fresh_clocks_are_equal() {
+        let a = VectorClock::new(3);
+        let b = VectorClock::new(3);
+        assert_eq!(a.compare(&b), CausalOrdering::Equal);
+        assert_eq!(a.partial_cmp(&b), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn tick_makes_after() {
+        let a = VectorClock::new(3);
+        let mut b = a.clone();
+        b.tick(1);
+        assert_eq!(b.compare(&a), CausalOrdering::After);
+        assert_eq!(a.compare(&b), CausalOrdering::Before);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn concurrent_ticks_are_concurrent() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.tick(0);
+        b.tick(1);
+        assert_eq!(a.compare(&b), CausalOrdering::Concurrent);
+        assert_eq!(a.partial_cmp(&b), None);
+    }
+
+    #[test]
+    fn merge_is_lub() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        b.tick(2);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.get(0), 2);
+        assert_eq!(m.get(1), 0);
+        assert_eq!(m.get(2), 1);
+        // merged clock dominates both inputs
+        assert_ne!(m.compare(&a), CausalOrdering::Before);
+        assert_ne!(m.compare(&b), CausalOrdering::Before);
+    }
+
+    #[test]
+    fn display_and_len() {
+        let mut a = VectorClock::new(3);
+        a.tick(1);
+        assert_eq!(a.to_string(), "[0,1,0]");
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert_eq!(a.encoded_len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn merge_width_mismatch_panics() {
+        let mut a = VectorClock::new(2);
+        let b = VectorClock::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn bss_simple_delivery() {
+        let mut p0 = BssState::new(d(0), 2);
+        let mut p1 = BssState::new(d(1), 2);
+        let s = p0.stamp_broadcast();
+        assert!(p1.can_deliver(d(0), &s));
+        p1.deliver(d(0), &s);
+        assert_eq!(p1.delivered().get(0), 1);
+    }
+
+    #[test]
+    fn bss_postpones_out_of_order() {
+        // p0 broadcasts m1 then m2; p1 sees m2 first and must wait.
+        let mut p0 = BssState::new(d(0), 2);
+        let mut p1 = BssState::new(d(1), 2);
+        let m1 = p0.stamp_broadcast();
+        let m2 = p0.stamp_broadcast();
+        assert!(!p1.can_deliver(d(0), &m2));
+        p1.deliver(d(0), &m1);
+        assert!(p1.can_deliver(d(0), &m2));
+        p1.deliver(d(0), &m2);
+    }
+
+    #[test]
+    fn bss_transitive_dependency() {
+        // p0 broadcasts m1; p1 delivers it then broadcasts m2.
+        // p2 must not deliver m2 before m1.
+        let mut p0 = BssState::new(d(0), 3);
+        let mut p1 = BssState::new(d(1), 3);
+        let p2 = BssState::new(d(2), 3);
+        let m1 = p0.stamp_broadcast();
+        p1.deliver(d(0), &m1);
+        let m2 = p1.stamp_broadcast();
+        assert!(!p2.can_deliver(d(1), &m2));
+        let mut p2 = p2;
+        p2.deliver(d(0), &m1);
+        assert!(p2.can_deliver(d(1), &m2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of causal order")]
+    fn bss_deliver_out_of_order_panics() {
+        let mut p0 = BssState::new(d(0), 2);
+        let mut p1 = BssState::new(d(1), 2);
+        let _m1 = p0.stamp_broadcast();
+        let m2 = p0.stamp_broadcast();
+        p1.deliver(d(0), &m2);
+    }
+}

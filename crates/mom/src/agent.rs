@@ -1,0 +1,213 @@
+//! The agent programming model: persistent reactive objects (§3).
+//!
+//! Agents are "autonomous reactive objects executing concurrently, and
+//! communicating through an event/reaction pattern". A reaction is atomic:
+//! the notifications an agent emits while reacting are buffered by the
+//! [`ReactionContext`] and only enter the bus when the engine commits the
+//! reaction — which is also when the agent's state image is persisted.
+
+use aaa_base::AgentId;
+
+use crate::message::{DeliveryPolicy, Notification};
+
+/// A reactive, persistent agent.
+///
+/// Implementations react to notifications by mutating their state and
+/// emitting further notifications through the [`ReactionContext`]. The
+/// engine guarantees reactions are atomic and serialized per server.
+///
+/// # Examples
+///
+/// ```
+/// use aaa_base::AgentId;
+/// use aaa_mom::{Agent, Notification, ReactionContext};
+///
+/// /// Echoes every "ping" back to its sender as "pong".
+/// struct Ponger;
+///
+/// impl Agent for Ponger {
+///     fn react(&mut self, ctx: &mut ReactionContext<'_>, from: AgentId, note: &Notification) {
+///         if note.kind() == "ping" {
+///             ctx.send(from, Notification::signal("pong"));
+///         }
+///     }
+/// }
+/// ```
+pub trait Agent: Send {
+    /// Handles one notification from `from`. All sends performed through
+    /// `ctx` belong to this reaction's atomic transaction.
+    fn react(&mut self, ctx: &mut ReactionContext<'_>, from: AgentId, note: &Notification);
+
+    /// Serializes the agent's state for persistence.
+    ///
+    /// The default image is empty, suitable for stateless agents.
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores the agent's state from a [`Agent::snapshot`] image after a
+    /// server recovery.
+    ///
+    /// The default does nothing, matching the default snapshot.
+    fn restore(&mut self, _image: &[u8]) {}
+}
+
+/// The capabilities an agent may use while reacting.
+///
+/// Sends are buffered and released only when the engine commits the
+/// reaction, making reactions atomic (all-or-nothing with the state image).
+#[derive(Debug)]
+pub struct ReactionContext<'a> {
+    me: AgentId,
+    outgoing: &'a mut Vec<(AgentId, Notification, DeliveryPolicy)>,
+}
+
+impl<'a> ReactionContext<'a> {
+    pub(crate) fn new(
+        me: AgentId,
+        outgoing: &'a mut Vec<(AgentId, Notification, DeliveryPolicy)>,
+    ) -> Self {
+        ReactionContext { me, outgoing }
+    }
+
+    /// The identity of the reacting agent.
+    pub fn me(&self) -> AgentId {
+        self.me
+    }
+
+    /// Emits a causally ordered notification to `to` as part of the
+    /// current reaction.
+    pub fn send(&mut self, to: AgentId, note: Notification) {
+        self.outgoing.push((to, note, DeliveryPolicy::Causal));
+    }
+
+    /// Emits an *unordered* notification: no causal stamp, no ordering
+    /// guarantee — it may overtake earlier traffic (telemetry, gossip).
+    pub fn send_unordered(&mut self, to: AgentId, note: Notification) {
+        self.outgoing.push((to, note, DeliveryPolicy::Unordered));
+    }
+
+    /// Number of notifications emitted so far in this reaction.
+    pub fn sent_count(&self) -> usize {
+        self.outgoing.len()
+    }
+}
+
+/// An agent built from a closure — convenient in tests and examples.
+///
+/// # Examples
+///
+/// ```
+/// use aaa_mom::{FnAgent, Notification};
+///
+/// let mut counter = 0u32;
+/// let _agent = FnAgent::new(move |ctx, from, note| {
+///     counter += 1;
+///     if note.kind() == "ping" {
+///         ctx.send(from, Notification::signal("pong"));
+///     }
+/// });
+/// ```
+pub struct FnAgent<F> {
+    f: F,
+}
+
+impl<F> FnAgent<F>
+where
+    F: FnMut(&mut ReactionContext<'_>, AgentId, &Notification) + Send,
+{
+    /// Wraps a reaction closure into an agent.
+    pub fn new(f: F) -> Self {
+        FnAgent { f }
+    }
+}
+
+impl<F> Agent for FnAgent<F>
+where
+    F: FnMut(&mut ReactionContext<'_>, AgentId, &Notification) + Send,
+{
+    fn react(&mut self, ctx: &mut ReactionContext<'_>, from: AgentId, note: &Notification) {
+        (self.f)(ctx, from, note);
+    }
+}
+
+impl<F> std::fmt::Debug for FnAgent<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnAgent")
+    }
+}
+
+/// The ping-pong echo agent of the paper's measurement protocol (§6.1):
+/// sends every received notification straight back to its sender.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EchoAgent;
+
+impl Agent for EchoAgent {
+    fn react(&mut self, ctx: &mut ReactionContext<'_>, from: AgentId, note: &Notification) {
+        ctx.send(from, note.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaa_base::ServerId;
+
+    fn aid(s: u16, l: u32) -> AgentId {
+        AgentId::new(ServerId::new(s), l)
+    }
+
+    #[test]
+    fn context_buffers_sends() {
+        let mut out = Vec::new();
+        let mut ctx = ReactionContext::new(aid(0, 1), &mut out);
+        assert_eq!(ctx.me(), aid(0, 1));
+        ctx.send(aid(1, 1), Notification::signal("a"));
+        ctx.send_unordered(aid(2, 1), Notification::signal("b"));
+        assert_eq!(ctx.sent_count(), 2);
+        drop(ctx);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, aid(1, 1));
+        assert_eq!(out[0].2, DeliveryPolicy::Causal);
+        assert_eq!(out[1].2, DeliveryPolicy::Unordered);
+    }
+
+    #[test]
+    fn echo_agent_replies_to_sender() {
+        let mut agent = EchoAgent;
+        let mut out = Vec::new();
+        let mut ctx = ReactionContext::new(aid(1, 0), &mut out);
+        agent.react(&mut ctx, aid(0, 0), &Notification::new("ping", b"7".to_vec()));
+        assert_eq!(
+            out,
+            vec![(
+                aid(0, 0),
+                Notification::new("ping", b"7".to_vec()),
+                DeliveryPolicy::Causal
+            )]
+        );
+    }
+
+    #[test]
+    fn fn_agent_captures_state() {
+        let mut agent = FnAgent::new(|ctx, from, note| {
+            if note.kind() == "double" {
+                ctx.send(from, Notification::signal("x"));
+                ctx.send(from, Notification::signal("x"));
+            }
+        });
+        let mut out = Vec::new();
+        let mut ctx = ReactionContext::new(aid(1, 0), &mut out);
+        agent.react(&mut ctx, aid(0, 0), &Notification::signal("double"));
+        agent.react(&mut ctx, aid(0, 0), &Notification::signal("ignored"));
+        assert_eq!(out.len(), 2);
+        assert_eq!(format!("{agent:?}"), "FnAgent");
+    }
+
+    #[test]
+    fn default_snapshot_is_empty_and_restore_is_noop() {
+        let mut agent = EchoAgent;
+        assert!(agent.snapshot().is_empty());
+        agent.restore(b"whatever");
+    }
+}

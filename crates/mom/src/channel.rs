@@ -1,0 +1,768 @@
+//! The AAA Channel: causal stamping, checking and routing (§5).
+//!
+//! The channel is the half of an agent server that "ensures reliable
+//! message delivery and causal order". This implementation is sans-IO: it
+//! consumes already-FIFO streams of [`WireMessage`]s per neighbour (the
+//! link layer in `aaa-net` provides that) and produces messages to transmit
+//! plus local deliveries for the engine.
+//!
+//! Per the paper's pseudo-code:
+//!
+//! - **send**: look the destination up in the routing table, pick the
+//!   domain shared with the next hop, stamp the message with that domain's
+//!   matrix clock, transmit;
+//! - **receive**: translate the sender into the stamping domain's
+//!   namespace, `Check(mclock)`, then push the event to `QueueIN` (it is
+//!   for a local agent) or `QueueOUT` (it must travel further) — crucially,
+//!   in *delivery order*, which is how a causal router-server carries
+//!   causality from one domain into the next.
+
+use std::collections::VecDeque;
+
+use aaa_base::{AgentId, DomainId, DomainServerId, Error, MessageId, Result, ServerId};
+use aaa_clocks::{PendingStamp, StampMode};
+use aaa_net::WireMessage;
+use aaa_topology::{RoutingTable, Topology};
+
+use crate::domain_item::DomainItem;
+use crate::message::{AgentMessage, DeliveryPolicy, Notification};
+
+/// A message travelling through the bus, between stampings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Globally unique id assigned at the origin server.
+    pub id: MessageId,
+    /// Sending agent.
+    pub from: AgentId,
+    /// Destination agent.
+    pub to: AgentId,
+    /// Server where the message entered the bus.
+    pub src: ServerId,
+    /// Server hosting the destination agent.
+    pub dest: ServerId,
+    /// The notification carried.
+    pub note: Notification,
+    /// Delivery quality of service.
+    pub policy: DeliveryPolicy,
+}
+
+/// A received message waiting for its causal delivery condition.
+#[derive(Debug, Clone)]
+pub(crate) struct Postponed {
+    pub(crate) item_idx: usize,
+    pub(crate) from: DomainServerId,
+    pub(crate) pending: PendingStamp,
+    pub(crate) env: Envelope,
+}
+
+/// Counters accumulated by the channel, drained by the simulator's cost
+/// model and by experiments.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Matrix-cell operations performed (stamping ≈ n², checking ≈ n,
+    /// delivery merge ≈ n²) — the paper's unit of causal-ordering cost.
+    pub cell_ops: u64,
+    /// Bytes of causal stamps emitted.
+    pub stamp_bytes: u64,
+    /// Messages transmitted to a neighbour (including forwards).
+    pub transmitted: u64,
+    /// Messages delivered to the local engine.
+    pub delivered: u64,
+    /// Messages forwarded to another domain (router work).
+    pub forwarded: u64,
+}
+
+impl ChannelStats {
+    /// Adds `other` into `self`.
+    pub fn absorb(&mut self, other: ChannelStats) {
+        self.cell_ops += other.cell_ops;
+        self.stamp_bytes += other.stamp_bytes;
+        self.transmitted += other.transmitted;
+        self.delivered += other.delivered;
+        self.forwarded += other.forwarded;
+    }
+}
+
+/// The outcome of submitting a notification at its origin server.
+#[derive(Debug)]
+pub enum Submit {
+    /// The destination agent lives on this server: deliver through the
+    /// local bus without touching the causal machinery.
+    Local(AgentMessage),
+    /// The message was queued for transmission.
+    Queued(MessageId),
+}
+
+/// The causal channel of one agent server (sans-IO).
+#[derive(Debug)]
+pub struct ChannelCore {
+    me: ServerId,
+    mode: StampMode,
+    routing: RoutingTable,
+    items: Vec<DomainItem>,
+    queue_out: VecDeque<Envelope>,
+    postponed: Vec<Postponed>,
+    next_seq: u64,
+    stats: ChannelStats,
+}
+
+impl ChannelCore {
+    /// Builds the channel of server `me` for a validated topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] if `me` is not in the topology.
+    pub fn new(topology: &Topology, me: ServerId, mode: StampMode) -> Result<Self> {
+        topology.check_server(me)?;
+        let routing = RoutingTable::build(topology, me)?;
+        let items = topology
+            .memberships(me)
+            .iter()
+            .map(|&d| DomainItem::new(topology, d, me, mode))
+            .collect();
+        Ok(ChannelCore {
+            me,
+            mode,
+            routing,
+            items,
+            queue_out: VecDeque::new(),
+            postponed: Vec::new(),
+            next_seq: 0,
+            stats: ChannelStats::default(),
+        })
+    }
+
+    /// This channel's server id.
+    pub fn me(&self) -> ServerId {
+        self.me
+    }
+
+    /// The stamp encoding mode.
+    pub fn mode(&self) -> StampMode {
+        self.mode
+    }
+
+    /// The domain items (one per domain this server belongs to).
+    pub fn items(&self) -> &[DomainItem] {
+        &self.items
+    }
+
+    /// The routing table.
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// Messages queued for transmission (`QueueOUT`).
+    pub fn queued_out(&self) -> usize {
+        self.queue_out.len()
+    }
+
+    /// Messages received but not yet causally deliverable.
+    pub fn postponed_count(&self) -> usize {
+        self.postponed.len()
+    }
+
+    /// Drains and returns the accumulated statistics.
+    pub fn take_stats(&mut self) -> ChannelStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Assigns the next globally unique message id.
+    fn next_message_id(&mut self) -> MessageId {
+        self.next_seq += 1;
+        MessageId::new(self.me, self.next_seq)
+    }
+
+    /// Accepts a notification from a local agent (or client).
+    ///
+    /// Local destinations are returned immediately for the engine
+    /// ([`Submit::Local`]); remote ones enter `QueueOUT` and will be
+    /// stamped by [`ChannelCore::take_transmissions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] if the destination server does not
+    /// exist, or [`Error::InvalidTopology`] if `from` does not live on this
+    /// server.
+    pub fn submit(
+        &mut self,
+        from: AgentId,
+        to: AgentId,
+        note: Notification,
+    ) -> Result<Submit> {
+        self.submit_with(from, to, note, DeliveryPolicy::Causal)
+    }
+
+    /// Like [`ChannelCore::submit`], with an explicit delivery policy.
+    /// Unordered messages are routed but never stamped or checked; they
+    /// may overtake causal traffic.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ChannelCore::submit`].
+    pub fn submit_with(
+        &mut self,
+        from: AgentId,
+        to: AgentId,
+        note: Notification,
+        policy: DeliveryPolicy,
+    ) -> Result<Submit> {
+        if from.server() != self.me {
+            return Err(Error::InvalidTopology(format!(
+                "agent {from} does not live on server {}",
+                self.me
+            )));
+        }
+        self.routing.next_hop(to.server())?; // validates the destination
+        let id = self.next_message_id();
+        let env = Envelope {
+            id,
+            from,
+            to,
+            src: self.me,
+            dest: to.server(),
+            note,
+            policy,
+        };
+        if env.dest == self.me {
+            self.stats.delivered += 1;
+            Ok(Submit::Local(AgentMessage {
+                id: env.id,
+                from: env.from,
+                to: env.to,
+                note: env.note,
+            }))
+        } else {
+            self.queue_out.push_back(env);
+            Ok(Submit::Queued(id))
+        }
+    }
+
+    /// Stamps and drains `QueueOUT`, returning `(next_hop, message)` pairs
+    /// in transmission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoRoute`] /[`Error::UnknownServer`] if routing
+    /// fails (impossible on a validated topology), or
+    /// [`Error::NotInDomain`] if the next hop shares no domain with this
+    /// server (likewise impossible).
+    pub fn take_transmissions(&mut self) -> Result<Vec<(ServerId, WireMessage)>> {
+        let mut out = Vec::with_capacity(self.queue_out.len());
+        while let Some(env) = self.queue_out.pop_front() {
+            let next_hop = self.routing.next_hop(env.dest)?;
+            debug_assert_ne!(next_hop, self.me, "queued message routed to self");
+            let (item_idx, hop_dsid) = self.item_for_peer(next_hop)?;
+            let item = &mut self.items[item_idx];
+            let stamp = match env.policy {
+                DeliveryPolicy::Causal => {
+                    let n = item.clock().n() as u64;
+                    let stamp = item.clock_mut().stamp_send(hop_dsid);
+                    self.stats.cell_ops += n * n;
+                    self.stats.stamp_bytes += stamp.encoded_len() as u64;
+                    Some(stamp)
+                }
+                DeliveryPolicy::Unordered => None,
+            };
+            self.stats.transmitted += 1;
+            let msg = WireMessage {
+                id: env.id,
+                from_agent: env.from,
+                to_agent: env.to,
+                src_server: env.src,
+                dest_server: env.dest,
+                domain: item.domain_id(),
+                stamp,
+                kind: env.note.kind().to_owned(),
+                body: env.note.body().clone(),
+            };
+            out.push((next_hop, msg));
+        }
+        Ok(out)
+    }
+
+    /// Finds the item of the smallest-id domain shared with `peer` and the
+    /// peer's id within it.
+    fn item_for_peer(&self, peer: ServerId) -> Result<(usize, DomainServerId)> {
+        self.items
+            .iter()
+            .enumerate()
+            .find_map(|(i, item)| item.domain_server_id(peer).map(|d| (i, d)))
+            .ok_or(Error::NotInDomain {
+                server: peer,
+                domain: DomainId::new(u16::MAX),
+            })
+    }
+
+    /// Ingests one message from neighbour `from` (messages from one
+    /// neighbour must arrive in link FIFO order), then delivers everything
+    /// that has become causally deliverable.
+    ///
+    /// Returned messages are for *local* agents, in delivery order;
+    /// messages for other servers have been re-queued on `QueueOUT` in that
+    /// same order (ready for [`ChannelCore::take_transmissions`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownDomain`] if the message names a domain this
+    /// server is not in, or [`Error::NotInDomain`] if the link sender is
+    /// not a member of that domain — both indicate a corrupt or misrouted
+    /// frame.
+    pub fn on_message(
+        &mut self,
+        from: ServerId,
+        msg: WireMessage,
+    ) -> Result<Vec<AgentMessage>> {
+        let item_idx = self
+            .items
+            .iter()
+            .position(|it| it.domain_id() == msg.domain)
+            .ok_or(Error::UnknownDomain(msg.domain))?;
+        let item = &mut self.items[item_idx];
+        let from_dsid = item.domain_server_id(from).ok_or(Error::NotInDomain {
+            server: from,
+            domain: msg.domain,
+        })?;
+        let Some(stamp) = msg.stamp else {
+            // Unordered QoS: deliver or forward immediately, no clock.
+            let env = Envelope {
+                id: msg.id,
+                from: msg.from_agent,
+                to: msg.to_agent,
+                src: msg.src_server,
+                dest: msg.dest_server,
+                note: Notification::new(msg.kind, msg.body),
+                policy: DeliveryPolicy::Unordered,
+            };
+            if env.dest == self.me {
+                self.stats.delivered += 1;
+                return Ok(vec![AgentMessage {
+                    id: env.id,
+                    from: env.from,
+                    to: env.to,
+                    note: env.note,
+                }]);
+            }
+            self.stats.forwarded += 1;
+            self.queue_out.push_back(env);
+            return Ok(Vec::new());
+        };
+        let pending = item.clock_mut().on_frame(from_dsid, stamp);
+        self.stats.cell_ops += item.clock().n() as u64;
+        self.postponed.push(Postponed {
+            item_idx,
+            from: from_dsid,
+            pending,
+            env: Envelope {
+                id: msg.id,
+                from: msg.from_agent,
+                to: msg.to_agent,
+                src: msg.src_server,
+                dest: msg.dest_server,
+                note: Notification::new(msg.kind, msg.body),
+                policy: DeliveryPolicy::Causal,
+            },
+        });
+        Ok(self.pump())
+    }
+
+    /// Delivers every postponed message whose causal condition now holds.
+    fn pump(&mut self) -> Vec<AgentMessage> {
+        let mut local = Vec::new();
+        loop {
+            let hit = self.postponed.iter().position(|p| {
+                let item = &self.items[p.item_idx];
+                item.clock().can_deliver(p.from, &p.pending)
+            });
+            let Some(i) = hit else { break };
+            let p = self.postponed.remove(i);
+            let item = &mut self.items[p.item_idx];
+            let n = item.clock().n() as u64;
+            item.clock_mut().deliver(p.from, &p.pending);
+            self.stats.cell_ops += n * n + n;
+            if p.env.dest == self.me {
+                self.stats.delivered += 1;
+                local.push(AgentMessage {
+                    id: p.env.id,
+                    from: p.env.from,
+                    to: p.env.to,
+                    note: p.env.note,
+                });
+            } else {
+                self.stats.forwarded += 1;
+                self.queue_out.push_back(p.env);
+            }
+        }
+        local
+    }
+
+    // --- persistence plumbing (crate-internal) ---
+
+    pub(crate) fn persist_parts(
+        &self,
+    ) -> (
+        u64,
+        &VecDeque<Envelope>,
+        &[Postponed],
+        &[DomainItem],
+        ChannelStats,
+    ) {
+        (
+            self.next_seq,
+            &self.queue_out,
+            &self.postponed,
+            &self.items,
+            self.stats,
+        )
+    }
+
+    pub(crate) fn restore_parts(
+        topology: &Topology,
+        me: ServerId,
+        mode: StampMode,
+        next_seq: u64,
+        queue_out: VecDeque<Envelope>,
+        postponed: Vec<Postponed>,
+        items: Vec<DomainItem>,
+    ) -> Result<Self> {
+        topology.check_server(me)?;
+        let routing = RoutingTable::build(topology, me)?;
+        Ok(ChannelCore {
+            me,
+            mode,
+            routing,
+            items,
+            queue_out,
+            postponed,
+            next_seq,
+            stats: ChannelStats::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaa_topology::TopologySpec;
+
+    fn aid(s: u16, l: u32) -> AgentId {
+        AgentId::new(ServerId::new(s), l)
+    }
+
+    fn s(i: u16) -> ServerId {
+        ServerId::new(i)
+    }
+
+    fn single_domain(n: u16) -> Topology {
+        TopologySpec::single_domain(n).validate().unwrap()
+    }
+
+    fn channels(topo: &Topology, mode: StampMode) -> Vec<ChannelCore> {
+        topo.servers()
+            .map(|sv| ChannelCore::new(topo, sv, mode).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn local_submit_bypasses_network() {
+        let topo = single_domain(2);
+        let mut ch = ChannelCore::new(&topo, s(0), StampMode::Full).unwrap();
+        match ch.submit(aid(0, 1), aid(0, 2), Notification::signal("hi")).unwrap() {
+            Submit::Local(m) => {
+                assert_eq!(m.to, aid(0, 2));
+                assert_eq!(m.note.kind(), "hi");
+            }
+            other => panic!("expected local delivery, got {other:?}"),
+        }
+        assert_eq!(ch.queued_out(), 0);
+        assert!(ch.take_transmissions().unwrap().is_empty());
+    }
+
+    #[test]
+    fn remote_submit_is_stamped_and_transmitted() {
+        let topo = single_domain(2);
+        let mut ch = ChannelCore::new(&topo, s(0), StampMode::Full).unwrap();
+        let sub = ch
+            .submit(aid(0, 1), aid(1, 1), Notification::new("ping", b"1".to_vec()))
+            .unwrap();
+        assert!(matches!(sub, Submit::Queued(_)));
+        let tx = ch.take_transmissions().unwrap();
+        assert_eq!(tx.len(), 1);
+        let (hop, msg) = &tx[0];
+        assert_eq!(*hop, s(1));
+        assert_eq!(msg.dest_server, s(1));
+        assert_eq!(msg.domain, DomainId::new(0));
+        let stats = ch.take_stats();
+        assert_eq!(stats.transmitted, 1);
+        assert!(stats.cell_ops >= 4);
+        assert!(stats.stamp_bytes > 0);
+    }
+
+    #[test]
+    fn end_to_end_one_domain() {
+        let topo = single_domain(2);
+        let mut chs = channels(&topo, StampMode::Updates);
+        let _ = chs[0]
+            .submit(aid(0, 1), aid(1, 1), Notification::signal("ping"))
+            .unwrap();
+        let tx = chs[0].take_transmissions().unwrap();
+        let (hop, msg) = tx.into_iter().next().unwrap();
+        let delivered = chs[hop.as_usize()].on_message(s(0), msg).unwrap();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].to, aid(1, 1));
+    }
+
+    #[test]
+    fn fifo_over_one_link_respected_even_if_probed() {
+        let topo = single_domain(2);
+        let mut chs = channels(&topo, StampMode::Full);
+        for i in 0..3 {
+            chs[0]
+                .submit(aid(0, 1), aid(1, 1), Notification::new("n", vec![i as u8]))
+                .unwrap();
+        }
+        let tx = chs[0].take_transmissions().unwrap();
+        assert_eq!(tx.len(), 3);
+        // Frames arrive in FIFO order (the link layer guarantees this).
+        let mut all = Vec::new();
+        for (_, msg) in tx {
+            all.extend(chs[1].on_message(s(0), msg).unwrap());
+        }
+        let bodies: Vec<u8> = all.iter().map(|m| m.note.body()[0]).collect();
+        assert_eq!(bodies, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn routed_forwarding_across_domains() {
+        // Figure 2 (0-based): 0 -> 7 must route 0 -> 2 -> 6 -> 7.
+        let topo = TopologySpec::from_domains(vec![
+            vec![0, 1, 2],
+            vec![3, 4],
+            vec![6, 7],
+            vec![2, 4, 5, 6],
+        ])
+        .validate()
+        .unwrap();
+        let mut chs = channels(&topo, StampMode::Updates);
+        chs[0]
+            .submit(aid(0, 1), aid(7, 1), Notification::new("x", b"payload".to_vec()))
+            .unwrap();
+
+        // Hop 1: 0 -> 2, stamped in domain 0.
+        let tx = chs[0].take_transmissions().unwrap();
+        assert_eq!(tx.len(), 1);
+        let (hop1, msg1) = tx.into_iter().next().unwrap();
+        assert_eq!(hop1, s(2));
+        assert_eq!(msg1.domain, DomainId::new(0));
+
+        // Router 2 delivers in domain 0 and forwards into domain 3.
+        let local = chs[2].on_message(s(0), msg1).unwrap();
+        assert!(local.is_empty(), "router must not deliver locally");
+        let tx = chs[2].take_transmissions().unwrap();
+        assert_eq!(tx.len(), 1);
+        let (hop2, msg2) = tx.into_iter().next().unwrap();
+        assert_eq!(hop2, s(6));
+        assert_eq!(msg2.domain, DomainId::new(3));
+        assert_eq!(chs[2].take_stats().forwarded, 1);
+
+        // Router 6 forwards into domain 2.
+        let local = chs[6].on_message(s(2), msg2).unwrap();
+        assert!(local.is_empty());
+        let tx = chs[6].take_transmissions().unwrap();
+        let (hop3, msg3) = tx.into_iter().next().unwrap();
+        assert_eq!(hop3, s(7));
+        assert_eq!(msg3.domain, DomainId::new(2));
+
+        // Final delivery at 7.
+        let local = chs[7].on_message(s(6), msg3).unwrap();
+        assert_eq!(local.len(), 1);
+        assert_eq!(local[0].note.body_str(), Some("payload"));
+        assert_eq!(local[0].from, aid(0, 1));
+    }
+
+    #[test]
+    fn causal_postponement_in_triangle() {
+        // Servers 0, 1, 2 in one domain. 0 sends m_a to 2, then m_b to 1;
+        // 1 forwards m_c to 2. If m_c reaches 2 first it must wait for m_a.
+        let topo = single_domain(3);
+        let mut chs = channels(&topo, StampMode::Full);
+
+        chs[0].submit(aid(0, 1), aid(2, 1), Notification::signal("a")).unwrap();
+        chs[0].submit(aid(0, 1), aid(1, 1), Notification::signal("b")).unwrap();
+        let tx = chs[0].take_transmissions().unwrap();
+        let (m_a, m_b) = {
+            let mut it = tx.into_iter();
+            let a = it.next().unwrap();
+            let b = it.next().unwrap();
+            (a, b)
+        };
+        assert_eq!(m_a.0, s(2));
+        assert_eq!(m_b.0, s(1));
+
+        // 1 receives m_b and reacts by sending m_c to 2.
+        let delivered = chs[1].on_message(s(0), m_b.1).unwrap();
+        assert_eq!(delivered.len(), 1);
+        chs[1].submit(aid(1, 1), aid(2, 1), Notification::signal("c")).unwrap();
+        let tx = chs[1].take_transmissions().unwrap();
+        let (_, m_c) = tx.into_iter().next().unwrap();
+
+        // 2 receives m_c first: must be postponed.
+        let delivered = chs[2].on_message(s(1), m_c).unwrap();
+        assert!(delivered.is_empty());
+        assert_eq!(chs[2].postponed_count(), 1);
+
+        // m_a arrives: both become deliverable, in causal order a, c.
+        let delivered = chs[2].on_message(s(0), m_a.1).unwrap();
+        let kinds: Vec<&str> = delivered.iter().map(|m| m.note.kind()).collect();
+        assert_eq!(kinds, vec!["a", "c"]);
+        assert_eq!(chs[2].postponed_count(), 0);
+    }
+
+    #[test]
+    fn unordered_overtakes_postponed_causal_traffic() {
+        // Same triangle as `causal_postponement_in_triangle`, but while
+        // m_c waits for m_a, an *unordered* message from 1 sails through.
+        let topo = single_domain(3);
+        let mut chs = channels(&topo, StampMode::Full);
+
+        chs[0].submit(aid(0, 1), aid(2, 1), Notification::signal("a")).unwrap();
+        chs[0].submit(aid(0, 1), aid(1, 1), Notification::signal("b")).unwrap();
+        let tx = chs[0].take_transmissions().unwrap();
+        let mut it = tx.into_iter();
+        let m_a = it.next().unwrap();
+        let m_b = it.next().unwrap();
+
+        chs[1].on_message(s(0), m_b.1).unwrap();
+        chs[1].submit(aid(1, 1), aid(2, 1), Notification::signal("c")).unwrap();
+        chs[1]
+            .submit_with(
+                aid(1, 1),
+                aid(2, 1),
+                Notification::signal("express"),
+                DeliveryPolicy::Unordered,
+            )
+            .unwrap();
+        let tx = chs[1].take_transmissions().unwrap();
+        let mut it = tx.into_iter();
+        let m_c = it.next().unwrap();
+        let m_x = it.next().unwrap();
+        assert!(m_x.1.stamp.is_none(), "unordered messages carry no stamp");
+
+        // m_c arrives first and is postponed; the unordered message is
+        // delivered immediately despite arriving later.
+        assert!(chs[2].on_message(s(1), m_c.1).unwrap().is_empty());
+        let got = chs[2].on_message(s(1), m_x.1).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].note.kind(), "express");
+        assert_eq!(chs[2].postponed_count(), 1, "causal message still waits");
+
+        // Causal order among causal messages is untouched.
+        let got = chs[2].on_message(s(0), m_a.1).unwrap();
+        let kinds: Vec<&str> = got.iter().map(|m| m.note.kind()).collect();
+        assert_eq!(kinds, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn unordered_messages_are_routed_across_domains() {
+        let topo = TopologySpec::from_domains(vec![vec![0, 1], vec![1, 2]])
+            .validate()
+            .unwrap();
+        let mut chs = channels(&topo, StampMode::Updates);
+        chs[0]
+            .submit_with(
+                aid(0, 1),
+                aid(2, 1),
+                Notification::signal("x"),
+                DeliveryPolicy::Unordered,
+            )
+            .unwrap();
+        let tx = chs[0].take_transmissions().unwrap();
+        let (hop, msg) = tx.into_iter().next().unwrap();
+        assert_eq!(hop, s(1));
+        assert!(msg.stamp.is_none());
+        // Router forwards without touching any clock.
+        assert!(chs[1].on_message(s(0), msg).unwrap().is_empty());
+        assert_eq!(chs[1].take_stats().cell_ops, 0, "no matrix work for unordered");
+        let tx = chs[1].take_transmissions().unwrap();
+        let (hop, msg) = tx.into_iter().next().unwrap();
+        assert_eq!(hop, s(2));
+        let got = chs[2].on_message(s(1), msg).unwrap();
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn submit_from_foreign_agent_rejected() {
+        let topo = single_domain(2);
+        let mut ch = ChannelCore::new(&topo, s(0), StampMode::Full).unwrap();
+        assert!(ch
+            .submit(aid(1, 1), aid(0, 1), Notification::signal("x"))
+            .is_err());
+    }
+
+    #[test]
+    fn submit_to_unknown_server_rejected() {
+        let topo = single_domain(2);
+        let mut ch = ChannelCore::new(&topo, s(0), StampMode::Full).unwrap();
+        assert!(matches!(
+            ch.submit(aid(0, 1), aid(9, 1), Notification::signal("x")),
+            Err(Error::UnknownServer(_))
+        ));
+    }
+
+    #[test]
+    fn misrouted_frames_rejected() {
+        let topo = TopologySpec::from_domains(vec![vec![0, 1], vec![1, 2]])
+            .validate()
+            .unwrap();
+        let mut chs = channels(&topo, StampMode::Full);
+        chs[0].submit(aid(0, 1), aid(1, 1), Notification::signal("x")).unwrap();
+        let tx = chs[0].take_transmissions().unwrap();
+        let (_, msg) = tx.into_iter().next().unwrap();
+        // Server 2 is not in domain 0: decoding the frame must fail.
+        assert!(matches!(
+            chs[2].on_message(s(0), msg.clone()),
+            Err(Error::UnknownDomain(_))
+        ));
+        // Server 1 is in domain 0, but the claimed sender 2 is not.
+        let mut bad = msg;
+        assert!(matches!(
+            chs[1].on_message(s(2), {
+                bad.domain = DomainId::new(0);
+                bad
+            }),
+            Err(Error::NotInDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn updates_mode_interoperates_end_to_end() {
+        let topo = single_domain(4);
+        let mut chs = channels(&topo, StampMode::Updates);
+        // Everyone messages everyone, twice.
+        for round in 0..2 {
+            for from in 0..4u16 {
+                for to in 0..4u16 {
+                    if from == to {
+                        continue;
+                    }
+                    chs[from as usize]
+                        .submit(
+                            aid(from, 1),
+                            aid(to, 1),
+                            Notification::new("r", vec![round as u8]),
+                        )
+                        .unwrap();
+                }
+                let tx = chs[from as usize].take_transmissions().unwrap();
+                for (hop, msg) in tx {
+                    chs[hop.as_usize()].on_message(s(from), msg).unwrap();
+                }
+            }
+        }
+        for (i, ch) in chs.iter_mut().enumerate() {
+            assert_eq!(ch.postponed_count(), 0, "server {i} stuck");
+            let stats = ch.take_stats();
+            assert_eq!(stats.delivered, 6, "server {i}");
+        }
+    }
+}

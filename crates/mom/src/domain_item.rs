@@ -1,0 +1,146 @@
+//! Per-domain state held by a server: the paper's `DomainItem` (§5).
+
+use aaa_base::{DomainId, DomainServerId, ServerId};
+use aaa_clocks::{CausalState, StampMode};
+use aaa_topology::Topology;
+
+/// One domain's description and causal state on one server.
+///
+/// Mirrors the paper's `DomainItem` class: the domain identifier, this
+/// server's identifier *within* the domain, the `idTable` translating
+/// between global and per-domain server ids, and the domain's matrix clock.
+/// A causal router-server simply holds several `DomainItem`s.
+#[derive(Debug, Clone)]
+pub struct DomainItem {
+    domain_id: DomainId,
+    me: DomainServerId,
+    /// `id_table[domain_server_id] = global server id`, ascending.
+    id_table: Vec<ServerId>,
+    clock: CausalState,
+}
+
+impl DomainItem {
+    /// Builds the item for `server`'s membership in `domain` of `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is not a member of `domain` (the builder only
+    /// calls this for actual memberships).
+    pub fn new(
+        topology: &Topology,
+        domain: DomainId,
+        server: ServerId,
+        mode: StampMode,
+    ) -> Self {
+        let info = topology.domain(domain).expect("domain exists");
+        let me = info
+            .domain_server_id(server)
+            .expect("server is a member of the domain");
+        DomainItem {
+            domain_id: domain,
+            me,
+            id_table: info.members().to_vec(),
+            clock: CausalState::new(me, info.size(), mode),
+        }
+    }
+
+    /// Rebuilds an item from persisted parts (recovery path).
+    pub fn from_parts(
+        domain_id: DomainId,
+        me: DomainServerId,
+        id_table: Vec<ServerId>,
+        clock: CausalState,
+    ) -> Self {
+        DomainItem {
+            domain_id,
+            me,
+            id_table,
+            clock,
+        }
+    }
+
+    /// The domain this item describes.
+    pub fn domain_id(&self) -> DomainId {
+        self.domain_id
+    }
+
+    /// This server's identifier within the domain.
+    pub fn me(&self) -> DomainServerId {
+        self.me
+    }
+
+    /// The domain's member servers, indexed by [`DomainServerId`].
+    pub fn id_table(&self) -> &[ServerId] {
+        &self.id_table
+    }
+
+    /// Translates a global id to this domain's id, if the server is a
+    /// member.
+    pub fn domain_server_id(&self, server: ServerId) -> Option<DomainServerId> {
+        self.id_table
+            .binary_search(&server)
+            .ok()
+            .map(|i| DomainServerId::new(i as u16))
+    }
+
+    /// Translates a per-domain id back to the global id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn server_at(&self, id: DomainServerId) -> ServerId {
+        self.id_table[id.as_usize()]
+    }
+
+    /// The domain's causal state (matrix clock and delivery vector).
+    pub fn clock(&self) -> &CausalState {
+        &self.clock
+    }
+
+    /// Mutable access to the causal state, for the channel protocol.
+    pub fn clock_mut(&mut self) -> &mut CausalState {
+        &mut self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaa_topology::TopologySpec;
+
+    #[test]
+    fn item_for_router_in_figure2() {
+        let topo = TopologySpec::from_domains(vec![
+            vec![0, 1, 2],
+            vec![3, 4],
+            vec![6, 7],
+            vec![2, 4, 5, 6],
+        ])
+        .validate()
+        .unwrap();
+        // Server 2 is a router in domains 0 and 3.
+        let item0 = DomainItem::new(&topo, DomainId::new(0), ServerId::new(2), StampMode::Full);
+        assert_eq!(item0.domain_id(), DomainId::new(0));
+        assert_eq!(item0.me(), DomainServerId::new(2));
+        assert_eq!(item0.id_table().len(), 3);
+
+        let item3 = DomainItem::new(&topo, DomainId::new(3), ServerId::new(2), StampMode::Full);
+        assert_eq!(item3.me(), DomainServerId::new(0));
+        assert_eq!(item3.clock().n(), 4);
+        assert_eq!(
+            item3.domain_server_id(ServerId::new(6)),
+            Some(DomainServerId::new(3))
+        );
+        assert_eq!(item3.domain_server_id(ServerId::new(0)), None);
+        assert_eq!(item3.server_at(DomainServerId::new(1)), ServerId::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "member of the domain")]
+    fn non_member_panics() {
+        let topo = TopologySpec::from_domains(vec![vec![0, 1], vec![1, 2]])
+            .validate()
+            .unwrap();
+        let _ = DomainItem::new(&topo, DomainId::new(1), ServerId::new(0), StampMode::Full);
+    }
+}

@@ -1,0 +1,248 @@
+//! The AAA Engine: atomic agent reactions (§3).
+//!
+//! The engine "guarantees the Agents' properties": it serializes reactions,
+//! makes each reaction atomic (the notifications an agent emits while
+//! reacting are buffered and released on commit) and snapshots agent state
+//! for recovery.
+
+use std::collections::{HashMap, VecDeque};
+
+use aaa_base::AgentId;
+
+use crate::agent::{Agent, ReactionContext};
+use crate::message::{AgentMessage, DeliveryPolicy, Notification};
+
+/// The result of one committed reaction.
+#[derive(Debug)]
+pub struct Reaction {
+    /// The message that triggered the reaction.
+    pub msg: AgentMessage,
+    /// Notifications the agent emitted, in emission order, with their
+    /// delivery policy.
+    pub outgoing: Vec<(AgentId, Notification, DeliveryPolicy)>,
+    /// `false` if no agent with the destination id exists (the message
+    /// became a dead letter).
+    pub reacted: bool,
+}
+
+/// The engine of one agent server (sans-IO).
+pub struct EngineCore {
+    agents: HashMap<AgentId, Box<dyn Agent>>,
+    queue_in: VecDeque<AgentMessage>,
+    reactions: u64,
+    dead_letters: u64,
+}
+
+impl std::fmt::Debug for EngineCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCore")
+            .field("agents", &self.agents.len())
+            .field("queue_in", &self.queue_in.len())
+            .field("reactions", &self.reactions)
+            .field("dead_letters", &self.dead_letters)
+            .finish()
+    }
+}
+
+impl Default for EngineCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineCore {
+    /// Creates an engine with no agents.
+    pub fn new() -> Self {
+        EngineCore {
+            agents: HashMap::new(),
+            queue_in: VecDeque::new(),
+            reactions: 0,
+            dead_letters: 0,
+        }
+    }
+
+    /// Registers (or replaces) the agent with identity `id`.
+    pub fn register(&mut self, id: AgentId, agent: Box<dyn Agent>) {
+        self.agents.insert(id, agent);
+    }
+
+    /// Returns `true` if an agent with identity `id` is registered.
+    pub fn has_agent(&self, id: AgentId) -> bool {
+        self.agents.contains_key(&id)
+    }
+
+    /// The registered agent identities, in unspecified order.
+    pub fn agent_ids(&self) -> Vec<AgentId> {
+        self.agents.keys().copied().collect()
+    }
+
+    /// Snapshot of one agent's state, if it exists.
+    pub fn snapshot_agent(&self, id: AgentId) -> Option<Vec<u8>> {
+        self.agents.get(&id).map(|a| a.snapshot())
+    }
+
+    /// Restores one agent's state from a persisted image.
+    ///
+    /// Returns `false` if no such agent is registered.
+    pub fn restore_agent(&mut self, id: AgentId, image: &[u8]) -> bool {
+        match self.agents.get_mut(&id) {
+            Some(a) => {
+                a.restore(image);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Enqueues a delivered message on `QueueIN`.
+    pub fn enqueue(&mut self, msg: AgentMessage) {
+        self.queue_in.push_back(msg);
+    }
+
+    /// Messages waiting on `QueueIN`.
+    pub fn pending(&self) -> usize {
+        self.queue_in.len()
+    }
+
+    /// Reads the persisted engine queue back (recovery path).
+    pub(crate) fn queue_snapshot(&self) -> impl Iterator<Item = &AgentMessage> + '_ {
+        self.queue_in.iter()
+    }
+
+    /// Committed reactions so far.
+    pub fn reactions(&self) -> u64 {
+        self.reactions
+    }
+
+    /// Messages dropped because no agent matched their destination.
+    pub fn dead_letters(&self) -> u64 {
+        self.dead_letters
+    }
+
+    /// Executes one atomic reaction from `QueueIN`, if any message waits.
+    pub fn step(&mut self) -> Option<Reaction> {
+        let msg = self.queue_in.pop_front()?;
+        let mut outgoing = Vec::new();
+        let reacted = match self.agents.get_mut(&msg.to) {
+            Some(agent) => {
+                let mut ctx = ReactionContext::new(msg.to, &mut outgoing);
+                agent.react(&mut ctx, msg.from, &msg.note);
+                self.reactions += 1;
+                true
+            }
+            None => {
+                self.dead_letters += 1;
+                false
+            }
+        };
+        Some(Reaction {
+            msg,
+            outgoing,
+            reacted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{EchoAgent, FnAgent};
+    use aaa_base::{MessageId, ServerId};
+
+    fn aid(s: u16, l: u32) -> AgentId {
+        AgentId::new(ServerId::new(s), l)
+    }
+
+    fn msg(from: AgentId, to: AgentId, kind: &str) -> AgentMessage {
+        AgentMessage {
+            id: MessageId::new(from.server(), 1),
+            from,
+            to,
+            note: Notification::signal(kind),
+        }
+    }
+
+    #[test]
+    fn reaction_produces_buffered_sends() {
+        let mut eng = EngineCore::new();
+        eng.register(aid(0, 1), Box::new(EchoAgent));
+        assert!(eng.has_agent(aid(0, 1)));
+        eng.enqueue(msg(aid(1, 1), aid(0, 1), "ping"));
+        let r = eng.step().expect("one message queued");
+        assert!(r.reacted);
+        assert_eq!(r.outgoing.len(), 1);
+        assert_eq!(r.outgoing[0].0, aid(1, 1));
+        assert_eq!(r.outgoing[0].2, DeliveryPolicy::Causal);
+        assert_eq!(eng.reactions(), 1);
+        assert!(eng.step().is_none());
+    }
+
+    #[test]
+    fn missing_agent_is_dead_letter() {
+        let mut eng = EngineCore::new();
+        eng.enqueue(msg(aid(1, 1), aid(0, 9), "lost"));
+        let r = eng.step().unwrap();
+        assert!(!r.reacted);
+        assert!(r.outgoing.is_empty());
+        assert_eq!(eng.dead_letters(), 1);
+        assert_eq!(eng.reactions(), 0);
+    }
+
+    #[test]
+    fn reactions_are_serialized_in_queue_order() {
+        let mut eng = EngineCore::new();
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let log2 = log.clone();
+        eng.register(
+            aid(0, 1),
+            Box::new(FnAgent::new(move |_ctx, _from, note| {
+                log2.lock().unwrap().push(note.kind().to_owned());
+            })),
+        );
+        for k in ["a", "b", "c"] {
+            eng.enqueue(msg(aid(1, 1), aid(0, 1), k));
+        }
+        assert_eq!(eng.pending(), 3);
+        while eng.step().is_some() {}
+        assert_eq!(*log.lock().unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn snapshot_and_restore_roundtrip() {
+        struct Counter(u32);
+        impl Agent for Counter {
+            fn react(&mut self, _: &mut ReactionContext<'_>, _: AgentId, _: &Notification) {
+                self.0 += 1;
+            }
+            fn snapshot(&self) -> Vec<u8> {
+                self.0.to_le_bytes().to_vec()
+            }
+            fn restore(&mut self, image: &[u8]) {
+                self.0 = u32::from_le_bytes(image.try_into().expect("4 bytes"));
+            }
+        }
+        let mut eng = EngineCore::new();
+        eng.register(aid(0, 1), Box::new(Counter(0)));
+        eng.enqueue(msg(aid(1, 1), aid(0, 1), "x"));
+        eng.step();
+        let image = eng.snapshot_agent(aid(0, 1)).unwrap();
+        assert_eq!(image, 1u32.to_le_bytes().to_vec());
+
+        let mut eng2 = EngineCore::new();
+        eng2.register(aid(0, 1), Box::new(Counter(0)));
+        assert!(eng2.restore_agent(aid(0, 1), &image));
+        assert_eq!(eng2.snapshot_agent(aid(0, 1)).unwrap(), image);
+        assert!(!eng2.restore_agent(aid(0, 9), &image));
+    }
+
+    #[test]
+    fn agent_ids_lists_registered() {
+        let mut eng = EngineCore::new();
+        eng.register(aid(0, 1), Box::new(EchoAgent));
+        eng.register(aid(0, 2), Box::new(EchoAgent));
+        let mut ids = eng.agent_ids();
+        ids.sort();
+        assert_eq!(ids, vec![aid(0, 1), aid(0, 2)]);
+        assert_eq!(format!("{eng:?}").contains("EngineCore"), true);
+    }
+}

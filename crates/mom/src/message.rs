@@ -1,0 +1,122 @@
+//! Application-level notifications and middleware messages.
+
+use aaa_base::{AgentId, MessageId};
+use bytes::Bytes;
+
+/// An application-level event, the unit of the agents' event/reaction
+/// pattern (§3).
+///
+/// A notification has a `kind` (the event name agents dispatch on) and an
+/// opaque `body`. The middleware never interprets the body.
+///
+/// # Examples
+///
+/// ```
+/// use aaa_mom::Notification;
+///
+/// let note = Notification::new("quote", b"ACME:42.5".to_vec());
+/// assert_eq!(note.kind(), "quote");
+/// assert_eq!(&note.body()[..], b"ACME:42.5");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    kind: String,
+    body: Bytes,
+}
+
+impl Notification {
+    /// Creates a notification of the given kind with an owned body.
+    pub fn new(kind: impl Into<String>, body: impl Into<Bytes>) -> Self {
+        Notification {
+            kind: kind.into(),
+            body: body.into(),
+        }
+    }
+
+    /// Creates a body-less notification (a pure signal).
+    pub fn signal(kind: impl Into<String>) -> Self {
+        Notification {
+            kind: kind.into(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// The event name.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The opaque body.
+    pub fn body(&self) -> &Bytes {
+        &self.body
+    }
+
+    /// The body parsed as UTF-8, if it is valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Per-message delivery quality of service.
+///
+/// The paper's introduction notes that "the CORBA Messaging reference
+/// specification defines the ordering policy as part of the messaging
+/// Quality of Service"; the AAA bus offers the same knob: causal ordering
+/// (the default, and the subject of the paper) or no ordering at all —
+/// unordered messages skip the matrix-clock machinery entirely and may
+/// overtake causal traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeliveryPolicy {
+    /// Deliver in causal order (matrix-clock checked).
+    #[default]
+    Causal,
+    /// Deliver on arrival; no ordering guarantee, no stamp overhead.
+    Unordered,
+}
+
+/// A notification in flight between two agents, as seen by engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentMessage {
+    /// Globally unique id, assigned when the message enters the bus.
+    pub id: MessageId,
+    /// The sending agent.
+    pub from: AgentId,
+    /// The destination agent.
+    pub to: AgentId,
+    /// The notification carried.
+    pub note: Notification,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaa_base::ServerId;
+
+    #[test]
+    fn notification_accessors() {
+        let n = Notification::new("ping", b"x".to_vec());
+        assert_eq!(n.kind(), "ping");
+        assert_eq!(n.body_str(), Some("x"));
+        let s = Notification::signal("go");
+        assert!(s.body().is_empty());
+        assert_eq!(s.body_str(), Some(""));
+    }
+
+    #[test]
+    fn invalid_utf8_body_str_is_none() {
+        let n = Notification::new("bin", vec![0xFF, 0xFE]);
+        assert_eq!(n.body_str(), None);
+    }
+
+    #[test]
+    fn agent_message_is_plain_data() {
+        let m = AgentMessage {
+            id: MessageId::new(ServerId::new(0), 1),
+            from: AgentId::new(ServerId::new(0), 0),
+            to: AgentId::new(ServerId::new(1), 0),
+            note: Notification::signal("hello"),
+        };
+        let m2 = m.clone();
+        assert_eq!(m, m2);
+    }
+}

@@ -1,0 +1,382 @@
+//! Crash-recovery images of an agent server.
+//!
+//! The paper's servers keep "a persistent image of the matrix on each
+//! server in order to recover communication in case of failure" (§3), plus
+//! persistent agents and transactional queues. We persist, per committed
+//! channel/engine transaction:
+//!
+//! - every `DomainItem` (matrix clock state, including the Updates
+//!   bookkeeping so the delta protocol resumes seamlessly);
+//! - `QueueOUT`, the postponed queue and the engine's `QueueIN`;
+//! - the link-layer state (next sequence numbers, unacknowledged frames,
+//!   cumulative receive counters) so retransmission and duplicate
+//!   suppression survive the crash;
+//! - the message-id counter;
+//! - each agent's state snapshot, inside the same blob so a single atomic
+//!   `put` commits the whole transaction.
+
+use std::collections::VecDeque;
+
+use aaa_base::{Error, Result, ServerId};
+use aaa_clocks::{CausalState, MatrixClock, PendingStamp};
+use aaa_net::wire::{Decoder, Encoder};
+use aaa_net::LinkFrame;
+use bytes::Bytes;
+
+use crate::channel::{Envelope, Postponed};
+use crate::domain_item::DomainItem;
+use crate::message::{AgentMessage, DeliveryPolicy, Notification};
+
+/// Persisted link-sender state toward one peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct LinkTxImage {
+    pub peer: ServerId,
+    pub next_seq: u64,
+    pub unacked: Vec<LinkFrame>,
+}
+
+/// Persisted link-receiver state from one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LinkRxImage {
+    pub peer: ServerId,
+    pub cum_seq: u64,
+}
+
+/// The complete crash-recovery image of one server core.
+#[derive(Debug)]
+pub(crate) struct ServerImage {
+    pub next_msg_seq: u64,
+    pub items: Vec<DomainItem>,
+    pub queue_out: VecDeque<Envelope>,
+    pub postponed: Vec<Postponed>,
+    pub engine_queue: Vec<AgentMessage>,
+    pub links_tx: Vec<LinkTxImage>,
+    pub links_rx: Vec<LinkRxImage>,
+    /// Agent state snapshots `(local id, image)` — stored inside the same
+    /// blob so one `put` commits the whole transaction atomically.
+    pub agents: Vec<(u32, Vec<u8>)>,
+}
+
+fn encode_envelope(e: &mut Encoder, env: &Envelope) {
+    e.message_id(env.id);
+    e.agent_id(env.from);
+    e.agent_id(env.to);
+    e.server_id(env.src);
+    e.server_id(env.dest);
+    e.u8(match env.policy {
+        DeliveryPolicy::Causal => 0,
+        DeliveryPolicy::Unordered => 1,
+    });
+    e.string(env.note.kind());
+    e.bytes(env.note.body());
+}
+
+fn decode_envelope(d: &mut Decoder) -> Result<Envelope> {
+    Ok(Envelope {
+        id: d.message_id()?,
+        from: d.agent_id()?,
+        to: d.agent_id()?,
+        src: d.server_id()?,
+        dest: d.server_id()?,
+        policy: match d.u8()? {
+            0 => DeliveryPolicy::Causal,
+            1 => DeliveryPolicy::Unordered,
+            p => return Err(Error::Codec(format!("unknown delivery policy {p}"))),
+        },
+        note: {
+            let kind = d.string()?;
+            let body = d.bytes()?;
+            Notification::new(kind, body)
+        },
+    })
+}
+
+fn encode_agent_message(e: &mut Encoder, m: &AgentMessage) {
+    e.message_id(m.id);
+    e.agent_id(m.from);
+    e.agent_id(m.to);
+    e.string(m.note.kind());
+    e.bytes(m.note.body());
+}
+
+fn decode_agent_message(d: &mut Decoder) -> Result<AgentMessage> {
+    Ok(AgentMessage {
+        id: d.message_id()?,
+        from: d.agent_id()?,
+        to: d.agent_id()?,
+        note: {
+            let kind = d.string()?;
+            let body = d.bytes()?;
+            Notification::new(kind, body)
+        },
+    })
+}
+
+impl ServerImage {
+    /// Encodes the image to bytes.
+    pub(crate) fn encode(&self) -> Bytes {
+        let mut e = Encoder::new();
+        e.u64(self.next_msg_seq);
+
+        e.u32(self.items.len() as u32);
+        for item in &self.items {
+            e.domain_id(item.domain_id());
+            e.u16(item.me().as_u16());
+            e.u32(item.id_table().len() as u32);
+            for s in item.id_table() {
+                e.server_id(*s);
+            }
+            let mut clock_bytes = Vec::new();
+            item.clock().write_bytes(&mut clock_bytes);
+            e.bytes(&clock_bytes);
+        }
+
+        e.u32(self.queue_out.len() as u32);
+        for env in &self.queue_out {
+            encode_envelope(&mut e, env);
+        }
+
+        e.u32(self.postponed.len() as u32);
+        for p in &self.postponed {
+            e.u32(p.item_idx as u32);
+            e.u16(p.from.as_u16());
+            let mut m = Vec::new();
+            p.pending.matrix().write_bytes(&mut m);
+            e.bytes(&m);
+            encode_envelope(&mut e, &p.env);
+        }
+
+        e.u32(self.engine_queue.len() as u32);
+        for m in &self.engine_queue {
+            encode_agent_message(&mut e, m);
+        }
+
+        e.u32(self.links_tx.len() as u32);
+        for link in &self.links_tx {
+            e.server_id(link.peer);
+            e.u64(link.next_seq);
+            e.u32(link.unacked.len() as u32);
+            for f in &link.unacked {
+                e.u64(f.seq);
+                e.bytes(&f.payload);
+            }
+        }
+
+        e.u32(self.links_rx.len() as u32);
+        for link in &self.links_rx {
+            e.server_id(link.peer);
+            e.u64(link.cum_seq);
+        }
+
+        e.u32(self.agents.len() as u32);
+        for (local, image) in &self.agents {
+            e.u32(*local);
+            e.bytes(image);
+        }
+
+        e.finish()
+    }
+
+    /// Decodes an image written by [`ServerImage::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Codec`] on truncation or structural corruption.
+    pub(crate) fn decode(bytes: Bytes) -> Result<ServerImage> {
+        let mut d = Decoder::new(bytes);
+        let next_msg_seq = d.u64()?;
+
+        let n_items = d.u32()? as usize;
+        let mut items = Vec::with_capacity(n_items);
+        for _ in 0..n_items {
+            let domain = d.domain_id()?;
+            let me = aaa_base::DomainServerId::new(d.u16()?);
+            let n_members = d.u32()? as usize;
+            let mut id_table = Vec::with_capacity(n_members);
+            for _ in 0..n_members {
+                id_table.push(d.server_id()?);
+            }
+            let clock_bytes = d.bytes()?;
+            let (clock, used) = CausalState::read_bytes(&clock_bytes)
+                .ok_or_else(|| Error::Codec("corrupt causal state image".into()))?;
+            if used != clock_bytes.len() {
+                return Err(Error::Codec("trailing bytes in causal state".into()));
+            }
+            items.push(DomainItem::from_parts(domain, me, id_table, clock));
+        }
+
+        let n_out = d.u32()? as usize;
+        let mut queue_out = VecDeque::with_capacity(n_out);
+        for _ in 0..n_out {
+            queue_out.push_back(decode_envelope(&mut d)?);
+        }
+
+        let n_post = d.u32()? as usize;
+        let mut postponed = Vec::with_capacity(n_post);
+        for _ in 0..n_post {
+            let item_idx = d.u32()? as usize;
+            if item_idx >= items.len() {
+                return Err(Error::Codec("postponed item index out of range".into()));
+            }
+            let from = d.domain_server_id()?;
+            let m_bytes = d.bytes()?;
+            let (matrix, _) = MatrixClock::read_bytes(&m_bytes)
+                .ok_or_else(|| Error::Codec("corrupt pending stamp".into()))?;
+            let env = decode_envelope(&mut d)?;
+            postponed.push(Postponed {
+                item_idx,
+                from,
+                pending: PendingStamp::from_matrix(matrix),
+                env,
+            });
+        }
+
+        let n_in = d.u32()? as usize;
+        let mut engine_queue = Vec::with_capacity(n_in);
+        for _ in 0..n_in {
+            engine_queue.push(decode_agent_message(&mut d)?);
+        }
+
+        let n_tx = d.u32()? as usize;
+        let mut links_tx = Vec::with_capacity(n_tx);
+        for _ in 0..n_tx {
+            let peer = d.server_id()?;
+            let next_seq = d.u64()?;
+            let n_frames = d.u32()? as usize;
+            let mut unacked = Vec::with_capacity(n_frames);
+            for _ in 0..n_frames {
+                let seq = d.u64()?;
+                let payload = d.bytes()?;
+                unacked.push(LinkFrame { seq, payload });
+            }
+            links_tx.push(LinkTxImage {
+                peer,
+                next_seq,
+                unacked,
+            });
+        }
+
+        let n_rx = d.u32()? as usize;
+        let mut links_rx = Vec::with_capacity(n_rx);
+        for _ in 0..n_rx {
+            let peer = d.server_id()?;
+            let cum_seq = d.u64()?;
+            links_rx.push(LinkRxImage { peer, cum_seq });
+        }
+
+        let n_agents = d.u32()? as usize;
+        let mut agents = Vec::with_capacity(n_agents);
+        for _ in 0..n_agents {
+            let local = d.u32()?;
+            let image = d.bytes()?;
+            agents.push((local, image.to_vec()));
+        }
+
+        Ok(ServerImage {
+            next_msg_seq,
+            items,
+            queue_out,
+            postponed,
+            engine_queue,
+            links_tx,
+            links_rx,
+            agents,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaa_base::{AgentId, DomainId, DomainServerId, MessageId};
+    use aaa_clocks::StampMode;
+
+    fn sample_image() -> ServerImage {
+        let clock = CausalState::new(DomainServerId::new(0), 3, StampMode::Updates);
+        let item = DomainItem::from_parts(
+            DomainId::new(1),
+            DomainServerId::new(0),
+            vec![ServerId::new(0), ServerId::new(2), ServerId::new(4)],
+            clock,
+        );
+        let env = Envelope {
+            id: MessageId::new(ServerId::new(0), 9),
+            from: AgentId::new(ServerId::new(0), 1),
+            to: AgentId::new(ServerId::new(4), 2),
+            src: ServerId::new(0),
+            dest: ServerId::new(4),
+            note: Notification::new("k", b"body".to_vec()),
+            policy: DeliveryPolicy::Causal,
+        };
+        let post = Postponed {
+            item_idx: 0,
+            from: DomainServerId::new(1),
+            pending: PendingStamp::from_matrix(MatrixClock::new(3)),
+            env: env.clone(),
+        };
+        let am = AgentMessage {
+            id: env.id,
+            from: env.from,
+            to: env.to,
+            note: env.note.clone(),
+        };
+        ServerImage {
+            next_msg_seq: 17,
+            items: vec![item],
+            queue_out: VecDeque::from([env]),
+            postponed: vec![post],
+            engine_queue: vec![am],
+            links_tx: vec![LinkTxImage {
+                peer: ServerId::new(2),
+                next_seq: 5,
+                unacked: vec![LinkFrame {
+                    seq: 4,
+                    payload: Bytes::from_static(b"frame"),
+                }],
+            }],
+            links_rx: vec![LinkRxImage {
+                peer: ServerId::new(2),
+                cum_seq: 7,
+            }],
+            agents: vec![(1, b"agent-state".to_vec())],
+        }
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let img = sample_image();
+        let decoded = ServerImage::decode(img.encode()).unwrap();
+        assert_eq!(decoded.next_msg_seq, 17);
+        assert_eq!(decoded.items.len(), 1);
+        assert_eq!(decoded.items[0].domain_id(), DomainId::new(1));
+        assert_eq!(decoded.items[0].id_table().len(), 3);
+        assert_eq!(decoded.queue_out.len(), 1);
+        assert_eq!(decoded.queue_out[0].note.kind(), "k");
+        assert_eq!(decoded.postponed.len(), 1);
+        assert_eq!(decoded.postponed[0].from, DomainServerId::new(1));
+        assert_eq!(decoded.engine_queue.len(), 1);
+        assert_eq!(decoded.links_tx[0].unacked[0].seq, 4);
+        assert_eq!(decoded.links_rx[0].cum_seq, 7);
+        assert_eq!(decoded.agents, vec![(1, b"agent-state".to_vec())]);
+    }
+
+    #[test]
+    fn truncated_image_rejected() {
+        let img = sample_image();
+        let bytes = img.encode();
+        for cut in [0, 4, 12, bytes.len() / 2, bytes.len() - 1] {
+            let cutbytes = bytes.slice(0..cut);
+            assert!(
+                ServerImage::decode(cutbytes).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_postponed_index_rejected() {
+        let mut img = sample_image();
+        img.postponed[0].item_idx = 99;
+        assert!(ServerImage::decode(img.encode()).is_err());
+    }
+}

@@ -1,0 +1,715 @@
+//! The threaded runtime: one OS thread per agent server.
+//!
+//! [`MomBuilder`] assembles a complete bus — validated topology, in-memory
+//! network, one [`ServerCore`] per server, each driven by its own thread —
+//! and returns a [`Mom`] handle for clients: register agents, send
+//! notifications, crash and recover servers, snapshot the causality trace,
+//! and collect statistics.
+//!
+//! This is the moral equivalent of the paper's deployment of one JVM per
+//! agent server on a LAN, shrunk into a single process.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aaa_base::{AgentId, Error, MessageId, Result, ServerId, VDuration, VTime};
+use aaa_clocks::StampMode;
+use aaa_net::memory::Incoming;
+use aaa_net::{MemoryEndpoint, MemoryNetwork, TcpEndpoint, TcpNetwork};
+use aaa_storage::{MemoryStore, StableStore};
+use aaa_topology::{Topology, TopologySpec};
+use aaa_trace::TraceRecorder;
+use crossbeam::channel::{bounded, unbounded, Sender};
+
+use crate::agent::Agent;
+use crate::message::{DeliveryPolicy, Notification};
+use crate::server::{ServerConfig, ServerCore, StepStats, Transmission};
+
+impl StepStats {
+    /// Adds `other` into `self`.
+    pub fn absorb(&mut self, other: StepStats) {
+        self.cell_ops += other.cell_ops;
+        self.stamp_bytes += other.stamp_bytes;
+        self.disk_bytes += other.disk_bytes;
+        self.delivered += other.delivered;
+        self.transmitted += other.transmitted;
+        self.forwarded += other.forwarded;
+        self.reactions += other.reactions;
+    }
+}
+
+/// A byte transport the threaded runtime can drive: the in-memory mesh
+/// ([`MemoryEndpoint`]) or localhost TCP ([`TcpEndpoint`]), selected with
+/// [`MomBuilder::tcp`].
+pub trait Transport: Send + 'static {
+    /// This endpoint's server id.
+    fn me(&self) -> ServerId;
+    /// Sends `bytes` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific failures; the caller treats them as packet loss
+    /// (the link layer retransmits).
+    fn send(&self, to: ServerId, bytes: bytes::Bytes) -> Result<()>;
+    /// The inbox receiver for `select!`.
+    fn inbox_receiver(&self) -> &crossbeam::channel::Receiver<Incoming>;
+}
+
+impl Transport for MemoryEndpoint {
+    fn me(&self) -> ServerId {
+        MemoryEndpoint::me(self)
+    }
+    fn send(&self, to: ServerId, bytes: bytes::Bytes) -> Result<()> {
+        MemoryEndpoint::send(self, to, bytes)
+    }
+    fn inbox_receiver(&self) -> &crossbeam::channel::Receiver<Incoming> {
+        MemoryEndpoint::inbox_receiver(self)
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn me(&self) -> ServerId {
+        TcpEndpoint::me(self)
+    }
+    fn send(&self, to: ServerId, bytes: bytes::Bytes) -> Result<()> {
+        TcpEndpoint::send(self, to, bytes)
+    }
+    fn inbox_receiver(&self) -> &crossbeam::channel::Receiver<Incoming> {
+        TcpEndpoint::inbox_receiver(self)
+    }
+}
+
+enum Command {
+    Register {
+        local: u32,
+        agent: Box<dyn Agent>,
+        reply: Sender<()>,
+    },
+    Send {
+        from: AgentId,
+        to: AgentId,
+        note: Notification,
+        policy: DeliveryPolicy,
+        reply: Sender<Result<MessageId>>,
+    },
+    Crash,
+    Recover {
+        agents: Vec<(u32, Box<dyn Agent>)>,
+        reply: Sender<Result<()>>,
+    },
+    Probe {
+        reply: Sender<bool>,
+    },
+    Stats {
+        reply: Sender<StepStats>,
+    },
+    Shutdown,
+}
+
+/// Builder for a threaded MOM.
+///
+/// # Examples
+///
+/// ```
+/// use aaa_mom::{MomBuilder, StampMode};
+/// use aaa_topology::TopologySpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mom = MomBuilder::new(TopologySpec::bus(2, 3))
+///     .stamp_mode(StampMode::Updates)
+///     .build()?;
+/// mom.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct MomBuilder {
+    spec: TopologySpec,
+    config: ServerConfig,
+    record_trace: bool,
+    allow_cycles: bool,
+    tcp: bool,
+    stores: Option<Vec<Arc<dyn StableStore>>>,
+}
+
+impl MomBuilder {
+    /// Starts a builder for the given topology.
+    pub fn new(spec: TopologySpec) -> Self {
+        MomBuilder {
+            spec,
+            config: ServerConfig::default(),
+            record_trace: true,
+            allow_cycles: false,
+            tcp: false,
+            stores: None,
+        }
+    }
+
+    /// Sets the stamp encoding mode (default: [`StampMode::Updates`]).
+    pub fn stamp_mode(mut self, mode: StampMode) -> Self {
+        self.config.stamp_mode = mode;
+        self
+    }
+
+    /// Sets the link retransmission timeout (default: 200 ms).
+    pub fn rto(mut self, rto: VDuration) -> Self {
+        self.config.rto = rto;
+        self
+    }
+
+    /// Enables transactional persistence of every server (default: off).
+    /// Required for [`Mom::crash`]/[`Mom::recover`] to be meaningful.
+    pub fn persistence(mut self, on: bool) -> Self {
+        self.config.persist = on;
+        self
+    }
+
+    /// Enables or disables causality-trace recording (default: on).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Accepts a cyclic domain graph (for counterexample experiments). The
+    /// theorem's guarantee is void on such topologies.
+    pub fn allow_cycles(mut self, on: bool) -> Self {
+        self.allow_cycles = on;
+        self
+    }
+
+    /// Runs the bus over localhost TCP instead of the in-memory mesh —
+    /// the shape of the paper's deployment (one JVM per server, meshed
+    /// over TCP). Default: in-memory.
+    pub fn tcp(mut self, on: bool) -> Self {
+        self.tcp = on;
+        self
+    }
+
+    /// Supplies per-server stable stores (defaults to fresh
+    /// [`MemoryStore`]s). Must be one per server, indexed by id.
+    pub fn stores(mut self, stores: Vec<Arc<dyn StableStore>>) -> Self {
+        self.stores = Some(stores);
+        self
+    }
+
+    /// Validates the topology, boots every server thread and returns the
+    /// bus handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology validation errors ([`Error::InvalidTopology`],
+    /// [`Error::CyclicDomainGraph`]) and [`Error::Config`] if the supplied
+    /// store list has the wrong length.
+    pub fn build(self) -> Result<Mom> {
+        let topology = Arc::new(if self.allow_cycles {
+            self.spec.validate_allow_cycles()?
+        } else {
+            self.spec.validate()?
+        });
+        let n = topology.server_count();
+        let stores = match self.stores {
+            Some(stores) => {
+                if stores.len() != n {
+                    return Err(Error::Config(format!(
+                        "expected {n} stores, got {}",
+                        stores.len()
+                    )));
+                }
+                stores
+            }
+            None => (0..n)
+                .map(|_| Arc::new(MemoryStore::new()) as Arc<dyn StableStore>)
+                .collect(),
+        };
+
+        let recorder = TraceRecorder::new();
+        let in_flight = Arc::new(AtomicI64::new(0));
+        let start = Instant::now();
+
+        let mut cmd_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        let mut spawn_all = |endpoints: Vec<Box<dyn Transport>>| {
+            for (i, endpoint) in endpoints.into_iter().enumerate() {
+                let me = ServerId::new(i as u16);
+                let (tx, rx) = unbounded::<Command>();
+                cmd_txs.push(tx);
+                let topology = topology.clone();
+                let store = stores[i].clone();
+                let recorder = self.record_trace.then(|| recorder.clone());
+                let in_flight = in_flight.clone();
+                let config = self.config;
+                handles.push(std::thread::spawn(move || {
+                    server_thread(
+                        topology, me, config, store, recorder, in_flight, endpoint, rx, start,
+                    );
+                }));
+            }
+        };
+        if self.tcp {
+            let endpoints = TcpNetwork::create(n)?;
+            spawn_all(
+                endpoints
+                    .into_iter()
+                    .map(|e| Box::new(e) as Box<dyn Transport>)
+                    .collect(),
+            );
+        } else {
+            let endpoints = MemoryNetwork::create(n);
+            spawn_all(
+                endpoints
+                    .into_iter()
+                    .map(|e| Box::new(e) as Box<dyn Transport>)
+                    .collect(),
+            );
+        }
+
+        Ok(Mom {
+            topology,
+            cmd_txs,
+            handles,
+            recorder,
+            in_flight,
+            stores,
+        })
+    }
+}
+
+/// A running, threaded MOM.
+pub struct Mom {
+    topology: Arc<Topology>,
+    cmd_txs: Vec<Sender<Command>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    recorder: TraceRecorder,
+    in_flight: Arc<AtomicI64>,
+    stores: Vec<Arc<dyn StableStore>>,
+}
+
+impl std::fmt::Debug for Mom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mom")
+            .field("servers", &self.cmd_txs.len())
+            .field("in_flight", &self.in_flight.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Mom {
+    /// The validated topology this bus runs.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn cmd(&self, server: ServerId) -> Result<&Sender<Command>> {
+        self.cmd_txs
+            .get(server.as_usize())
+            .ok_or(Error::UnknownServer(server))
+    }
+
+    /// Registers an agent on `server` under server-local id `local`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] for an unknown server or
+    /// [`Error::Closed`] if the bus is shutting down.
+    pub fn register_agent(
+        &self,
+        server: ServerId,
+        local: u32,
+        agent: Box<dyn Agent>,
+    ) -> Result<AgentId> {
+        let (reply, rx) = bounded(1);
+        self.cmd(server)?
+            .send(Command::Register { local, agent, reply })
+            .map_err(|_| Error::Closed("server thread"))?;
+        rx.recv().map_err(|_| Error::Closed("server thread"))?;
+        Ok(AgentId::new(server, local))
+    }
+
+    /// Sends a notification from `from` (an agent identity on its server)
+    /// to `to`, waiting until the origin server has accepted it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] for unknown endpoints,
+    /// [`Error::Closed`] if the origin server is crashed or shut down, and
+    /// propagates channel validation errors.
+    pub fn send(&self, from: AgentId, to: AgentId, note: Notification) -> Result<MessageId> {
+        self.send_with(from, to, note, DeliveryPolicy::Causal)
+    }
+
+    /// Sends a notification with no ordering guarantee (and no stamp
+    /// overhead): the unordered quality of service. Excluded from the
+    /// causality trace.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mom::send`].
+    pub fn send_unordered(
+        &self,
+        from: AgentId,
+        to: AgentId,
+        note: Notification,
+    ) -> Result<MessageId> {
+        self.send_with(from, to, note, DeliveryPolicy::Unordered)
+    }
+
+    fn send_with(
+        &self,
+        from: AgentId,
+        to: AgentId,
+        note: Notification,
+        policy: DeliveryPolicy,
+    ) -> Result<MessageId> {
+        let (reply, rx) = bounded(1);
+        self.cmd(from.server())?
+            .send(Command::Send {
+                from,
+                to,
+                note,
+                policy,
+                reply,
+            })
+            .map_err(|_| Error::Closed("server thread"))?;
+        rx.recv().map_err(|_| Error::Closed("server thread"))?
+    }
+
+    /// Crashes `server`: its in-memory state is discarded and incoming
+    /// frames are dropped until [`Mom::recover`]. The stable store
+    /// survives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] / [`Error::Closed`].
+    pub fn crash(&self, server: ServerId) -> Result<()> {
+        self.cmd(server)?
+            .send(Command::Crash)
+            .map_err(|_| Error::Closed("server thread"))
+    }
+
+    /// Recovers `server` from its stable store, registering fresh agent
+    /// instances (state is restored from their snapshots).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] / [`Error::Closed`], or the
+    /// recovery error encountered by the server.
+    pub fn recover(
+        &self,
+        server: ServerId,
+        agents: Vec<(u32, Box<dyn Agent>)>,
+    ) -> Result<()> {
+        let (reply, rx) = bounded(1);
+        self.cmd(server)?
+            .send(Command::Recover { agents, reply })
+            .map_err(|_| Error::Closed("server thread"))?;
+        rx.recv().map_err(|_| Error::Closed("server thread"))?
+    }
+
+    /// Cumulative statistics of one server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] / [`Error::Closed`].
+    pub fn stats(&self, server: ServerId) -> Result<StepStats> {
+        let (reply, rx) = bounded(1);
+        self.cmd(server)?
+            .send(Command::Stats { reply })
+            .map_err(|_| Error::Closed("server thread"))?;
+        rx.recv().map_err(|_| Error::Closed("server thread"))
+    }
+
+    /// Number of end-to-end messages currently in flight (accepted but not
+    /// yet delivered to their destination engine).
+    pub fn in_flight(&self) -> i64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Waits until every server reports itself idle twice in a row, or the
+    /// timeout expires. Returns `true` on quiescence.
+    ///
+    /// Crashed servers report idle; combine with [`Mom::recover`] before
+    /// quiescing if deliveries must complete.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut consecutive = 0;
+        while Instant::now() < deadline {
+            let all_idle = self.cmd_txs.iter().all(|tx| {
+                let (reply, rx) = bounded(1);
+                if tx.send(Command::Probe { reply }).is_err() {
+                    return true; // shut down counts as idle
+                }
+                rx.recv().unwrap_or(true)
+            });
+            if all_idle {
+                consecutive += 1;
+                if consecutive >= 2 {
+                    return true;
+                }
+            } else {
+                consecutive = 0;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    /// Snapshot of the recorded causality trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace validation errors (which would indicate a recorder
+    /// misuse bug).
+    pub fn trace(&self) -> Result<aaa_trace::Trace> {
+        self.recorder.snapshot()
+    }
+
+    /// The stable store of one server (to inspect persistence traffic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] if the server does not exist.
+    pub fn store(&self, server: ServerId) -> Result<Arc<dyn StableStore>> {
+        self.stores
+            .get(server.as_usize())
+            .cloned()
+            .ok_or(Error::UnknownServer(server))
+    }
+
+    /// Stops every server thread and waits for them to exit.
+    pub fn shutdown(self) {
+        for tx in &self.cmd_txs {
+            let _ = tx.send(Command::Shutdown);
+        }
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::EchoAgent;
+    use std::time::Duration;
+
+    fn sid(i: u16) -> ServerId {
+        ServerId::new(i)
+    }
+
+    #[test]
+    fn builder_rejects_invalid_topologies() {
+        let sparse = TopologySpec::from_domains(vec![vec![0, 2]]);
+        assert!(MomBuilder::new(sparse).build().is_err());
+        let cyclic = TopologySpec::from_domains(vec![vec![0, 1], vec![1, 2], vec![2, 0]]);
+        assert!(matches!(
+            MomBuilder::new(cyclic).build(),
+            Err(Error::CyclicDomainGraph { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_store_count() {
+        let stores: Vec<Arc<dyn StableStore>> = vec![Arc::new(MemoryStore::new())];
+        let err = MomBuilder::new(TopologySpec::single_domain(3))
+            .stores(stores)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn unknown_server_operations_error() {
+        let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+        assert!(matches!(
+            mom.register_agent(sid(9), 1, Box::new(EchoAgent)),
+            Err(Error::UnknownServer(_))
+        ));
+        assert!(matches!(mom.crash(sid(9)), Err(Error::UnknownServer(_))));
+        assert!(matches!(mom.stats(sid(9)), Err(Error::UnknownServer(_))));
+        assert!(matches!(mom.store(sid(9)), Err(Error::UnknownServer(_))));
+        mom.shutdown();
+    }
+
+    #[test]
+    fn stats_and_in_flight_settle_to_zero() {
+        let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+        mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
+        mom.send(
+            AgentId::new(sid(0), 9),
+            AgentId::new(sid(1), 1),
+            Notification::signal("x"),
+        )
+        .unwrap();
+        assert!(mom.quiesce(Duration::from_secs(5)));
+        assert_eq!(mom.in_flight(), 0);
+        let s0 = mom.stats(sid(0)).unwrap();
+        let s1 = mom.stats(sid(1)).unwrap();
+        assert_eq!(s0.transmitted, 1);
+        assert_eq!(s1.transmitted, 1); // the echo
+        assert_eq!(s1.reactions, 1);
+        assert!(format!("{mom:?}").contains("Mom"));
+        mom.shutdown();
+    }
+
+    #[test]
+    fn quiesce_on_idle_bus_is_immediate() {
+        let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+        assert!(mom.quiesce(Duration::from_secs(1)));
+        assert_eq!(mom.topology().server_count(), 2);
+        mom.shutdown();
+    }
+
+    #[test]
+    fn trace_can_be_disabled() {
+        let mom = MomBuilder::new(TopologySpec::single_domain(2))
+            .record_trace(false)
+            .build()
+            .unwrap();
+        mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
+        mom.send(
+            AgentId::new(sid(0), 9),
+            AgentId::new(sid(1), 1),
+            Notification::signal("x"),
+        )
+        .unwrap();
+        assert!(mom.quiesce(Duration::from_secs(5)));
+        assert_eq!(mom.trace().unwrap().message_count(), 0);
+        mom.shutdown();
+    }
+
+    #[test]
+    fn recover_running_server_is_allowed_and_harmless() {
+        // Recovering a server that never crashed resets its volatile state
+        // from the (empty) store; without persistence this is a fresh core.
+        let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+        mom.recover(sid(1), vec![(1, Box::new(EchoAgent) as Box<dyn Agent>)])
+            .unwrap();
+        mom.send(
+            AgentId::new(sid(0), 9),
+            AgentId::new(sid(1), 1),
+            Notification::signal("x"),
+        )
+        .unwrap();
+        assert!(mom.quiesce(Duration::from_secs(5)));
+        assert_eq!(mom.stats(sid(1)).unwrap().reactions, 1);
+        mom.shutdown();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn server_thread(
+    topology: Arc<Topology>,
+    me: ServerId,
+    config: ServerConfig,
+    store: Arc<dyn StableStore>,
+    recorder: Option<TraceRecorder>,
+    in_flight: Arc<AtomicI64>,
+    endpoint: Box<dyn Transport>,
+    commands: crossbeam::channel::Receiver<Command>,
+    start: Instant,
+) {
+    let now = || VTime::from_micros(start.elapsed().as_micros() as u64);
+    let fresh = |agents: Vec<(u32, Box<dyn Agent>)>| -> Result<ServerCore> {
+        let mut core = ServerCore::new(&topology, me, config, store.clone())?;
+        for (local, agent) in agents {
+            core.register_agent(local, agent);
+        }
+        if let Some(rec) = &recorder {
+            core.set_recorder(rec.clone());
+        }
+        core.set_in_flight(in_flight.clone());
+        Ok(core)
+    };
+
+    let mut core: Option<ServerCore> = Some(fresh(Vec::new()).expect("valid topology"));
+    let mut cumulative = StepStats::default();
+
+    let transmit = |endpoint: &dyn Transport, ts: Vec<Transmission>| {
+        for t in ts {
+            // Failures count as packet loss: the link layer retransmits.
+            let _ = endpoint.send(t.to, t.bytes);
+        }
+    };
+
+    loop {
+        crossbeam::channel::select! {
+            recv(commands) -> cmd => {
+                let Ok(cmd) = cmd else { return };
+                match cmd {
+                    Command::Register { local, agent, reply } => {
+                        if let Some(core) = core.as_mut() {
+                            core.register_agent(local, agent);
+                        }
+                        let _ = reply.send(());
+                    }
+                    Command::Send { from, to, note, policy, reply } => {
+                        let result = match core.as_mut() {
+                            Some(core) => core
+                                .client_send_with(from, to, note, policy, now())
+                                .map(|(id, ts)| {
+                                    transmit(endpoint.as_ref(), ts);
+                                    id
+                                }),
+                            None => Err(Error::Closed("crashed server")),
+                        };
+                        if let Some(core) = core.as_mut() {
+                            cumulative.absorb(core.take_step_stats());
+                        }
+                        let _ = reply.send(result);
+                    }
+                    Command::Crash => {
+                        core = None;
+                    }
+                    Command::Recover { agents, reply } => {
+                        let result = ServerCore::recover(
+                            &topology,
+                            me,
+                            config,
+                            store.clone(),
+                            agents,
+                            now(),
+                        )
+                        .map(|mut c| {
+                            if let Some(rec) = &recorder {
+                                c.set_recorder(rec.clone());
+                            }
+                            c.set_in_flight(in_flight.clone());
+                            core = Some(c);
+                        });
+                        let _ = reply.send(result);
+                    }
+                    Command::Probe { reply } => {
+                        let idle = core.as_ref().map(|c| c.is_idle()).unwrap_or(true);
+                        let _ = reply.send(idle);
+                    }
+                    Command::Stats { reply } => {
+                        if let Some(core) = core.as_mut() {
+                            cumulative.absorb(core.take_step_stats());
+                        }
+                        let _ = reply.send(cumulative);
+                    }
+                    Command::Shutdown => return,
+                }
+            }
+            recv(endpoint.inbox_receiver()) -> inc => {
+                let Ok(inc) = inc else { return };
+                if let Some(core) = core.as_mut() {
+                    match core.on_datagram(inc.from, inc.bytes, now()) {
+                        Ok(ts) => transmit(endpoint.as_ref(), ts),
+                        Err(e) => {
+                            debug_assert!(false, "datagram processing failed: {e}");
+                        }
+                    }
+                    cumulative.absorb(core.take_step_stats());
+                }
+                // Crashed servers silently drop frames: the sender's
+                // retransmission redelivers them after recovery.
+            }
+            default(Duration::from_millis(5)) => {}
+        }
+        if let Some(core) = core.as_mut() {
+            let ts = core.on_tick(now());
+            transmit(endpoint.as_ref(), ts);
+        }
+    }
+}

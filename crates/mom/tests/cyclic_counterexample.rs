@@ -1,0 +1,176 @@
+//! The Figure 4 counterexample, executed on the real implementation.
+//!
+//! The theorem's part 1 (¬P2 ⇒ ¬P1) says: with a cycle in the domain
+//! graph, a trace exists that respects causality in every domain yet
+//! violates it globally. We drive the sans-IO server cores with a scripted
+//! (adversarial) delivery schedule and reproduce exactly that trace — then
+//! run the same schedule on an acyclic decomposition and observe that the
+//! causal machinery forces the correct order.
+
+use std::sync::Arc;
+
+use aaa_base::{AgentId, ServerId, VTime};
+use aaa_mom::{Notification, ServerConfig, ServerCore, Transmission};
+use aaa_storage::MemoryStore;
+use aaa_topology::TopologySpec;
+use aaa_trace::TraceRecorder;
+
+fn aid(s: u16, l: u32) -> AgentId {
+    AgentId::new(ServerId::new(s), l)
+}
+
+fn sid(i: u16) -> ServerId {
+    ServerId::new(i)
+}
+
+fn core(topo: &aaa_topology::Topology, me: u16, rec: &TraceRecorder) -> ServerCore {
+    let mut c = ServerCore::new(
+        topo,
+        sid(me),
+        ServerConfig::default(),
+        Arc::new(MemoryStore::new()),
+    )
+    .unwrap();
+    c.set_recorder(rec.clone());
+    c
+}
+
+/// Applies `t` at its destination, returning follow-up transmissions.
+fn apply(cores: &mut [ServerCore], from: ServerId, t: Transmission) -> Vec<(ServerId, Transmission)> {
+    let me = t.to;
+    cores[me.as_usize()]
+        .on_datagram(from, t.bytes, VTime::ZERO)
+        .unwrap()
+        .into_iter()
+        .map(|t| (me, t))
+        .collect()
+}
+
+/// Applies transmissions breadth-first until quiet, except those matching
+/// `withhold`, which are returned instead.
+fn settle_except(
+    cores: &mut [ServerCore],
+    start: Vec<(ServerId, Transmission)>,
+    withhold: impl Fn(&Transmission) -> bool,
+) -> Vec<(ServerId, Transmission)> {
+    let mut held = Vec::new();
+    let mut queue = start;
+    let mut guard = 0;
+    while let Some((from, t)) = queue.pop() {
+        guard += 1;
+        assert!(guard < 10_000);
+        if withhold(&t) {
+            held.push((from, t));
+        } else {
+            queue.extend(apply(cores, from, t));
+        }
+    }
+    held
+}
+
+/// On the *cyclic* decomposition {p,r}, {r,q}, {q,p}, server p = 0,
+/// r = 1, q = 2: p sends the direct message `n` to q (domain {q,p}) and a
+/// chain message to r (domain {p,r}); r forwards to q (domain {r,q}).
+/// Withholding `n` lets the chain overtake it — the MOM cannot know,
+/// because the three messages are stamped by three independent clocks.
+#[test]
+fn cycle_allows_global_violation_while_domains_stay_causal() {
+    let topo = TopologySpec::from_domains(vec![vec![0, 1], vec![1, 2], vec![2, 0]])
+        .validate_allow_cycles()
+        .unwrap();
+    let rec = TraceRecorder::new();
+    let mut cores: Vec<ServerCore> = (0..3).map(|i| core(&topo, i, &rec)).collect();
+
+    // r's agent relays everything it receives to q's agent.
+    cores[1].register_agent(
+        1,
+        Box::new(aaa_mom::FnAgent::new(move |ctx, _from, note| {
+            ctx.send(aid(2, 1), note.clone());
+        })),
+    );
+    // q's agent just receives.
+    cores[2].register_agent(1, Box::new(aaa_mom::FnAgent::new(|_, _, _| {})));
+
+    // p sends n to q first...
+    let (_, tx_n) = cores[0]
+        .client_send(aid(0, 9), aid(2, 1), Notification::signal("n"), VTime::ZERO)
+        .unwrap();
+    // ...then the chain head m1 to r.
+    let (_, tx_m1) = cores[0]
+        .client_send(aid(0, 9), aid(1, 1), Notification::signal("m1"), VTime::ZERO)
+        .unwrap();
+
+    // Deliver the chain fully while withholding every datagram to q that
+    // comes directly from p (the direct message n and its acks are
+    // unaffected by the withhold predicate's from-side, so hold tx_n
+    // explicitly).
+    let start: Vec<(ServerId, Transmission)> =
+        tx_m1.into_iter().map(|t| (sid(0), t)).collect();
+    let held = settle_except(&mut cores, start, |_| false);
+    assert!(held.is_empty());
+
+    // Now release n: q receives it last.
+    let follow: Vec<(ServerId, Transmission)> =
+        tx_n.into_iter().map(|t| (sid(0), t)).collect();
+    let held = settle_except(&mut cores, follow, |_| false);
+    assert!(held.is_empty());
+
+    let trace = rec.snapshot().unwrap();
+    // Global causality is broken: n ≺ m1 ≺ m2 but q delivered m2 first.
+    let violation = trace.check_causality().unwrap_err();
+    assert_eq!(violation.at, sid(2));
+    // Yet every domain restriction is causal — exactly Figure 4.
+    for domain in topo.domains() {
+        assert!(
+            trace.check_causality_in(domain.members()).is_ok(),
+            "domain {:?} should be locally causal",
+            domain.id()
+        );
+    }
+}
+
+/// The same scenario on an *acyclic* decomposition: p and q share no
+/// domain, so the "direct" message routes through r and cannot overtake
+/// the chain — global causality holds under the same adversarial schedule.
+#[test]
+fn acyclic_decomposition_forces_causal_order_under_same_schedule() {
+    let topo = TopologySpec::from_domains(vec![vec![0, 1], vec![1, 2]])
+        .validate()
+        .unwrap();
+    let rec = TraceRecorder::new();
+    let mut cores: Vec<ServerCore> = (0..3).map(|i| core(&topo, i, &rec)).collect();
+
+    cores[1].register_agent(
+        1,
+        Box::new(aaa_mom::FnAgent::new(move |ctx, _from, note| {
+            if note.kind() == "m1" {
+                ctx.send(aid(2, 1), Notification::signal("m2"));
+            }
+        })),
+    );
+    cores[2].register_agent(1, Box::new(aaa_mom::FnAgent::new(|_, _, _| {})));
+
+    let (_, tx_n) = cores[0]
+        .client_send(aid(0, 9), aid(2, 1), Notification::signal("n"), VTime::ZERO)
+        .unwrap();
+    let (_, tx_m1) = cores[0]
+        .client_send(aid(0, 9), aid(1, 1), Notification::signal("m1"), VTime::ZERO)
+        .unwrap();
+
+    // Adversarial order: push the chain first, then n's datagrams.
+    let mut start: Vec<(ServerId, Transmission)> =
+        tx_m1.into_iter().map(|t| (sid(0), t)).collect();
+    start.extend(tx_n.into_iter().map(|t| (sid(0), t)));
+    let held = settle_except(&mut cores, start, |_| false);
+    assert!(held.is_empty());
+
+    let trace = rec.snapshot().unwrap();
+    assert!(
+        trace.check_causality().is_ok(),
+        "acyclic decomposition must preserve global causality"
+    );
+    // q received n before m2 (n ≺ m2 via the chain through r... n and the
+    // chain share the p -> r link, so FIFO + causal order pin them).
+    let deliveries = trace.deliveries_at(sid(2));
+    assert_eq!(deliveries.len(), 2);
+}

@@ -1,0 +1,318 @@
+//! End-to-end tests of the threaded runtime.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aaa_base::{AgentId, ServerId};
+use aaa_mom::{EchoAgent, FnAgent, MomBuilder, Notification, StampMode};
+use aaa_topology::TopologySpec;
+use parking_lot::Mutex;
+
+fn aid(s: u16, l: u32) -> AgentId {
+    AgentId::new(ServerId::new(s), l)
+}
+
+fn sid(i: u16) -> ServerId {
+    ServerId::new(i)
+}
+
+#[test]
+fn single_domain_random_traffic_is_causal() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let n = 5u16;
+    let mom = MomBuilder::new(TopologySpec::single_domain(n))
+        .stamp_mode(StampMode::Updates)
+        .build()
+        .unwrap();
+    for s in 0..n {
+        mom.register_agent(sid(s), 1, Box::new(EchoAgent)).unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..100 {
+        let from = rng.gen_range(0..n);
+        let mut to = rng.gen_range(0..n);
+        if to == from {
+            to = (to + 1) % n;
+        }
+        mom.send(aid(from, 99), aid(to, 1), Notification::signal("m"))
+            .unwrap();
+    }
+    assert!(mom.quiesce(Duration::from_secs(20)), "did not quiesce");
+    let trace = mom.trace().unwrap();
+    // 100 sends + 100 echoes.
+    assert_eq!(trace.message_count(), 200);
+    assert!(trace.check_causality().is_ok());
+    mom.shutdown();
+}
+
+#[test]
+fn figure2_topology_cross_domain_traffic_is_globally_causal() {
+    // The paper's 8-server example (0-based), full random mesh traffic.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let spec = TopologySpec::from_domains(vec![
+        vec![0, 1, 2],
+        vec![3, 4],
+        vec![6, 7],
+        vec![2, 4, 5, 6],
+    ]);
+    let mom = MomBuilder::new(spec).build().unwrap();
+    for s in 0..8 {
+        mom.register_agent(sid(s), 1, Box::new(EchoAgent)).unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..120 {
+        let from = rng.gen_range(0..8u16);
+        let mut to = rng.gen_range(0..8u16);
+        if to == from {
+            to = (to + 1) % 8;
+        }
+        mom.send(aid(from, 50), aid(to, 1), Notification::signal("x"))
+            .unwrap();
+    }
+    assert!(mom.quiesce(Duration::from_secs(30)), "did not quiesce");
+    let trace = mom.trace().unwrap();
+    assert_eq!(trace.message_count(), 240);
+    assert!(
+        trace.check_causality().is_ok(),
+        "theorem violated on acyclic topology"
+    );
+    // Each domain restriction is causal too.
+    for domain in mom.topology().domains() {
+        assert!(trace.check_causality_in(domain.members()).is_ok());
+    }
+    // Routers actually forwarded traffic.
+    let forwarded: u64 = (0..8)
+        .map(|i| mom.stats(sid(i)).unwrap().forwarded)
+        .sum();
+    assert!(forwarded > 0, "cross-domain traffic must be routed");
+    mom.shutdown();
+}
+
+#[test]
+fn bus_topology_end_to_end() {
+    let mom = MomBuilder::new(TopologySpec::bus(3, 3)).build().unwrap();
+    let received: Arc<Mutex<Vec<String>>> = Default::default();
+    let sink = received.clone();
+    mom.register_agent(
+        sid(8),
+        1,
+        Box::new(FnAgent::new(move |_ctx, _from, note| {
+            sink.lock().push(note.body_str().unwrap_or("").to_owned());
+        })),
+    )
+    .unwrap();
+    // Client on server 1 (leaf domain 1) sends three ordered messages to
+    // server 8 (leaf domain 3) — they cross two routers.
+    for i in 0..3 {
+        mom.send(
+            aid(1, 9),
+            aid(8, 1),
+            Notification::new("seq", format!("{i}")),
+        )
+        .unwrap();
+    }
+    assert!(mom.quiesce(Duration::from_secs(10)));
+    assert_eq!(*received.lock(), vec!["0", "1", "2"]);
+    // The two routers on the path (0 and 6) forwarded every message.
+    let f0 = mom.stats(sid(0)).unwrap().forwarded;
+    let f6 = mom.stats(sid(6)).unwrap().forwarded;
+    assert_eq!(f0, 3);
+    assert_eq!(f6, 3);
+    mom.shutdown();
+}
+
+#[test]
+fn crash_and_recover_under_traffic() {
+    struct Counter(Arc<Mutex<u32>>, u32);
+    impl aaa_mom::Agent for Counter {
+        fn react(
+            &mut self,
+            _: &mut aaa_mom::ReactionContext<'_>,
+            _: AgentId,
+            _: &Notification,
+        ) {
+            self.1 += 1;
+            *self.0.lock() = self.1;
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            self.1.to_le_bytes().to_vec()
+        }
+        fn restore(&mut self, image: &[u8]) {
+            self.1 = u32::from_le_bytes(image.try_into().expect("4 bytes"));
+            *self.0.lock() = self.1;
+        }
+    }
+
+    let observed: Arc<Mutex<u32>> = Default::default();
+    let mom = MomBuilder::new(TopologySpec::single_domain(2))
+        .persistence(true)
+        .record_trace(false) // trace has no recovery semantics for re-registered recorders
+        .build()
+        .unwrap();
+    mom.register_agent(sid(1), 1, Box::new(Counter(observed.clone(), 0)))
+        .unwrap();
+
+    // Two messages delivered normally.
+    for _ in 0..2 {
+        mom.send(aid(0, 9), aid(1, 1), Notification::signal("x")).unwrap();
+    }
+    assert!(mom.quiesce(Duration::from_secs(10)));
+    assert_eq!(*observed.lock(), 2);
+
+    // Crash server 1, send two more messages into the void (they sit in
+    // server 0's retransmission queue), then recover.
+    mom.crash(sid(1)).unwrap();
+    for _ in 0..2 {
+        mom.send(aid(0, 9), aid(1, 1), Notification::signal("x")).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    mom.recover(sid(1), vec![(1, Box::new(Counter(observed.clone(), 0)))])
+        .unwrap();
+    assert!(
+        mom.quiesce(Duration::from_secs(20)),
+        "retransmissions should complete after recovery"
+    );
+    assert_eq!(*observed.lock(), 4, "state restored and gap replayed");
+    mom.shutdown();
+}
+
+#[test]
+fn sends_to_crashed_server_fail_fast() {
+    let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+    mom.crash(sid(0)).unwrap();
+    // Give the command time to be processed.
+    std::thread::sleep(Duration::from_millis(20));
+    let err = mom
+        .send(aid(0, 1), aid(1, 1), Notification::signal("x"))
+        .unwrap_err();
+    assert!(matches!(err, aaa_base::Error::Closed(_)));
+    mom.shutdown();
+}
+
+#[test]
+fn stamp_sizes_updates_vs_full() {
+    // Same workload in both modes; Updates must ship far fewer stamp
+    // bytes (Appendix A).
+    let run = |mode: StampMode| -> u64 {
+        let n = 8u16;
+        let mom = MomBuilder::new(TopologySpec::single_domain(n))
+            .stamp_mode(mode)
+            .record_trace(false)
+            .build()
+            .unwrap();
+        for s in 0..n {
+            mom.register_agent(sid(s), 1, Box::new(EchoAgent)).unwrap();
+        }
+        // Stable communication pairs: the regime Appendix A optimizes.
+        for _round in 0..10 {
+            for s in 0..n {
+                let to = (s + 1) % n;
+                mom.send(aid(s, 9), aid(to, 1), Notification::signal("x"))
+                    .unwrap();
+            }
+        }
+        assert!(mom.quiesce(Duration::from_secs(20)));
+        let total = (0..n)
+            .map(|i| mom.stats(sid(i)).unwrap().stamp_bytes)
+            .sum();
+        mom.shutdown();
+        total
+    };
+    let full = run(StampMode::Full);
+    let updates = run(StampMode::Updates);
+    assert!(
+        updates * 2 < full,
+        "updates ({updates}B) should be well under full ({full}B)"
+    );
+}
+
+#[test]
+fn unknown_destination_is_rejected() {
+    let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+    let err = mom
+        .send(aid(0, 1), aid(9, 1), Notification::signal("x"))
+        .unwrap_err();
+    assert!(matches!(err, aaa_base::Error::UnknownServer(_)));
+    mom.shutdown();
+}
+
+#[test]
+fn cyclic_topology_is_rejected_unless_opted_in() {
+    let cyclic = TopologySpec::from_domains(vec![vec![0, 1], vec![1, 2], vec![2, 0]]);
+    assert!(MomBuilder::new(cyclic.clone()).build().is_err());
+    let mom = MomBuilder::new(cyclic).allow_cycles(true).build().unwrap();
+    assert!(!mom.topology().is_acyclic());
+    mom.shutdown();
+}
+
+#[test]
+fn persistence_accounting_is_visible() {
+    let mom = MomBuilder::new(TopologySpec::single_domain(2))
+        .persistence(true)
+        .build()
+        .unwrap();
+    mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
+    mom.send(aid(0, 9), aid(1, 1), Notification::signal("x")).unwrap();
+    assert!(mom.quiesce(Duration::from_secs(10)));
+    let store = mom.store(sid(1)).unwrap();
+    assert!(store.stats().writes() > 0, "commits must hit the store");
+    assert!(store.stats().bytes_written() > 0);
+    let disk: u64 = (0..2)
+        .map(|i| mom.stats(sid(i)).unwrap().disk_bytes)
+        .sum();
+    assert!(disk > 0);
+    mom.shutdown();
+}
+
+#[test]
+fn tcp_transport_end_to_end() {
+    // The same bus over localhost TCP: cross-domain traffic, causal trace.
+    let mom = MomBuilder::new(TopologySpec::bus(2, 3))
+        .tcp(true)
+        .build()
+        .unwrap();
+    for s in 0..6 {
+        mom.register_agent(sid(s), 1, Box::new(EchoAgent)).unwrap();
+    }
+    for i in 0..10u16 {
+        let from = i % 6;
+        let to = (i + 3) % 6;
+        mom.send(aid(from, 9), aid(to, 1), Notification::signal("tcp"))
+            .unwrap();
+    }
+    assert!(mom.quiesce(Duration::from_secs(30)), "tcp bus should quiesce");
+    let trace = mom.trace().unwrap();
+    assert_eq!(trace.message_count(), 20);
+    assert!(trace.check_causality().is_ok());
+    mom.shutdown();
+}
+
+#[test]
+fn unordered_qos_delivers_but_stays_out_of_the_trace() {
+    let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+    let seen: Arc<Mutex<Vec<String>>> = Default::default();
+    let sink = seen.clone();
+    mom.register_agent(
+        sid(1),
+        1,
+        Box::new(FnAgent::new(move |_ctx, _from, note| {
+            sink.lock().push(note.kind().to_owned());
+        })),
+    )
+    .unwrap();
+    mom.send(aid(0, 9), aid(1, 1), Notification::signal("causal")).unwrap();
+    mom.send_unordered(aid(0, 9), aid(1, 1), Notification::signal("fast")).unwrap();
+    assert!(mom.quiesce(Duration::from_secs(10)));
+    let seen = seen.lock().clone();
+    assert_eq!(seen.len(), 2, "both QoS levels deliver");
+    // Only the causal message is in the trace.
+    let trace = mom.trace().unwrap();
+    assert_eq!(trace.message_count(), 1);
+    assert!(trace.check_causality().is_ok());
+    assert_eq!(mom.in_flight(), 0, "unordered still settles the counter");
+    mom.shutdown();
+}

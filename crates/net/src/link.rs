@@ -1,0 +1,458 @@
+//! Reliable FIFO link endpoints (sans-IO).
+//!
+//! The AAA channel requires *reliable FIFO* transfer between neighbouring
+//! servers: the causal protocol's Updates reconstruction and the
+//! transactional hand-off both depend on it (§3, §5, Appendix A). These
+//! state machines provide that guarantee over an unreliable datagram
+//! substrate:
+//!
+//! - the sender assigns consecutive sequence numbers, keeps unacknowledged
+//!   frames with a retransmission deadline, and resends them when
+//!   [`LinkSender::due_retransmissions`] is polled past the deadline;
+//! - the receiver delivers payloads strictly in sequence order, buffering
+//!   out-of-order arrivals and dropping duplicates, and acknowledges
+//!   cumulatively.
+//!
+//! The structs are sans-IO: they never touch sockets or clocks themselves.
+//! The threaded runtime polls them with wall-clock time, the discrete-event
+//! simulator with virtual time — the same code is exercised either way.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use aaa_base::{VDuration, VTime};
+use bytes::Bytes;
+
+/// Default retransmission timeout.
+pub const DEFAULT_RTO: VDuration = VDuration::from_millis(200);
+
+/// A sequenced frame on a link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkFrame {
+    /// Link-local sequence number (starts at 1).
+    pub seq: u64,
+    /// Opaque payload (an encoded [`crate::WireMessage`] in the MOM).
+    pub payload: Bytes,
+}
+
+/// What actually travels on the wire between two servers: sequenced data
+/// or a cumulative acknowledgement (the `ACK` of the paper's §5 channel
+/// transaction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Datagram {
+    /// A sequenced payload frame.
+    Data(LinkFrame),
+    /// Cumulative acknowledgement of sequence numbers up to `cum_seq`.
+    Ack {
+        /// Highest contiguously received link sequence number.
+        cum_seq: u64,
+    },
+}
+
+impl Datagram {
+    /// Encodes the datagram to bytes.
+    pub fn encode(&self) -> Bytes {
+        match self {
+            Datagram::Data(f) => {
+                let mut out = Vec::with_capacity(9 + f.payload.len());
+                out.push(0);
+                out.extend_from_slice(&f.seq.to_le_bytes());
+                out.extend_from_slice(&f.payload);
+                Bytes::from(out)
+            }
+            Datagram::Ack { cum_seq } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(1);
+                out.extend_from_slice(&cum_seq.to_le_bytes());
+                Bytes::from(out)
+            }
+        }
+    }
+
+    /// Decodes a datagram produced by [`Datagram::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aaa_base::Error::Codec`] on truncation or an unknown tag.
+    pub fn decode(mut bytes: Bytes) -> aaa_base::Result<Datagram> {
+        use aaa_base::Error;
+        if bytes.is_empty() {
+            return Err(Error::Codec("empty datagram".into()));
+        }
+        let tag = bytes[0];
+        match tag {
+            0 => {
+                if bytes.len() < 9 {
+                    return Err(Error::Codec("truncated data frame".into()));
+                }
+                let seq = u64::from_le_bytes(bytes[1..9].try_into().expect("len checked"));
+                let payload = bytes.split_off(9);
+                Ok(Datagram::Data(LinkFrame { seq, payload }))
+            }
+            1 => {
+                if bytes.len() < 9 {
+                    return Err(Error::Codec("truncated ack".into()));
+                }
+                let cum_seq =
+                    u64::from_le_bytes(bytes[1..9].try_into().expect("len checked"));
+                Ok(Datagram::Ack { cum_seq })
+            }
+            t => Err(Error::Codec(format!("unknown datagram tag {t}"))),
+        }
+    }
+}
+
+/// Sending half of one directed link.
+#[derive(Debug)]
+pub struct LinkSender {
+    next_seq: u64,
+    rto: VDuration,
+    /// Unacknowledged frames with their next retransmission deadline.
+    unacked: VecDeque<(VTime, LinkFrame)>,
+}
+
+impl Default for LinkSender {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinkSender {
+    /// Creates a sender with the [default](DEFAULT_RTO) retransmission
+    /// timeout.
+    pub fn new() -> Self {
+        Self::with_rto(DEFAULT_RTO)
+    }
+
+    /// Creates a sender with a custom retransmission timeout.
+    pub fn with_rto(rto: VDuration) -> Self {
+        LinkSender {
+            next_seq: 1,
+            rto,
+            unacked: VecDeque::new(),
+        }
+    }
+
+    /// Wraps `payload` into the next sequenced frame; the frame must then
+    /// be handed to the transport. `now` sets the retransmission deadline.
+    pub fn send(&mut self, payload: Bytes, now: VTime) -> LinkFrame {
+        let frame = LinkFrame {
+            seq: self.next_seq,
+            payload,
+        };
+        self.next_seq += 1;
+        self.unacked.push_back((now + self.rto, frame.clone()));
+        frame
+    }
+
+    /// Processes a cumulative acknowledgement: frames with `seq <= cum_seq`
+    /// are settled and will not be retransmitted.
+    pub fn on_ack(&mut self, cum_seq: u64) {
+        while matches!(self.unacked.front(), Some((_, f)) if f.seq <= cum_seq) {
+            self.unacked.pop_front();
+        }
+    }
+
+    /// Returns the frames whose retransmission deadline has passed at
+    /// `now`, re-arming each with a fresh deadline.
+    pub fn due_retransmissions(&mut self, now: VTime) -> Vec<LinkFrame> {
+        let mut due = Vec::new();
+        for (deadline, frame) in self.unacked.iter_mut() {
+            if *deadline <= now {
+                *deadline = now + self.rto;
+                due.push(frame.clone());
+            }
+        }
+        due
+    }
+
+    /// The earliest pending retransmission deadline, if any — what a
+    /// runtime should arm its timer to.
+    pub fn next_deadline(&self) -> Option<VTime> {
+        self.unacked.iter().map(|(d, _)| *d).min()
+    }
+
+    /// Number of frames sent but not yet acknowledged.
+    pub fn in_flight(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// The next sequence number this sender will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The unacknowledged frames, oldest first (for crash-recovery
+    /// journaling).
+    pub fn unacked_frames(&self) -> impl Iterator<Item = &LinkFrame> + '_ {
+        self.unacked.iter().map(|(_, f)| f)
+    }
+
+    /// Rebuilds a sender from persisted state. Every restored frame is
+    /// armed for retransmission at `now + rto`.
+    pub fn restore(
+        rto: VDuration,
+        next_seq: u64,
+        unacked: Vec<LinkFrame>,
+        now: VTime,
+    ) -> Self {
+        LinkSender {
+            next_seq,
+            rto,
+            unacked: unacked.into_iter().map(|f| (now + rto, f)).collect(),
+        }
+    }
+}
+
+/// What a receiver did with one incoming frame.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LinkDelivery {
+    /// Payloads now deliverable, in FIFO order (possibly several, when a
+    /// retransmission fills a gap).
+    pub delivered: Vec<Bytes>,
+    /// The cumulative acknowledgement to send back, if any progress or a
+    /// duplicate was observed.
+    pub ack: Option<u64>,
+}
+
+/// Receiving half of one directed link.
+#[derive(Debug, Default)]
+pub struct LinkReceiver {
+    /// Highest contiguously delivered sequence number.
+    cum: u64,
+    /// Out-of-order frames waiting for the gap to fill.
+    buffered: BTreeMap<u64, Bytes>,
+}
+
+impl LinkReceiver {
+    /// Creates a receiver expecting sequence number 1 first.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes one arriving frame, returning deliverable payloads (in
+    /// order) and the cumulative ack to emit.
+    ///
+    /// Duplicates (already-delivered sequence numbers) produce no delivery
+    /// but *do* re-emit the ack, so a lost ack is eventually repaired by
+    /// the sender's retransmission.
+    pub fn on_frame(&mut self, frame: LinkFrame) -> LinkDelivery {
+        if frame.seq > self.cum {
+            self.buffered.entry(frame.seq).or_insert(frame.payload);
+        }
+        let mut delivered = Vec::new();
+        while let Some(payload) = self.buffered.remove(&(self.cum + 1)) {
+            self.cum += 1;
+            delivered.push(payload);
+        }
+        LinkDelivery {
+            delivered,
+            ack: Some(self.cum),
+        }
+    }
+
+    /// Highest contiguously delivered sequence number.
+    pub fn cum_seq(&self) -> u64 {
+        self.cum
+    }
+
+    /// Number of frames buffered out of order.
+    pub fn buffered(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Rebuilds a receiver from a persisted cumulative sequence number.
+    /// Out-of-order frames buffered at crash time are not restored: the
+    /// peer's retransmissions recover them.
+    pub fn restore(cum_seq: u64) -> Self {
+        LinkReceiver {
+            cum: cum_seq,
+            buffered: BTreeMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let mut tx = LinkSender::new();
+        let mut rx = LinkReceiver::new();
+        let f1 = tx.send(payload("a"), VTime::ZERO);
+        let f2 = tx.send(payload("b"), VTime::ZERO);
+        assert_eq!(tx.in_flight(), 2);
+
+        let out = rx.on_frame(f1);
+        assert_eq!(out.delivered, vec![payload("a")]);
+        assert_eq!(out.ack, Some(1));
+        let out = rx.on_frame(f2);
+        assert_eq!(out.delivered, vec![payload("b")]);
+        assert_eq!(out.ack, Some(2));
+
+        tx.on_ack(2);
+        assert_eq!(tx.in_flight(), 0);
+        assert_eq!(tx.next_deadline(), None);
+    }
+
+    #[test]
+    fn reordering_is_buffered() {
+        let mut tx = LinkSender::new();
+        let mut rx = LinkReceiver::new();
+        let f1 = tx.send(payload("a"), VTime::ZERO);
+        let f2 = tx.send(payload("b"), VTime::ZERO);
+        let f3 = tx.send(payload("c"), VTime::ZERO);
+
+        let out = rx.on_frame(f3);
+        assert!(out.delivered.is_empty());
+        assert_eq!(out.ack, Some(0));
+        assert_eq!(rx.buffered(), 1);
+        let out = rx.on_frame(f2);
+        assert!(out.delivered.is_empty());
+        let out = rx.on_frame(f1);
+        assert_eq!(
+            out.delivered,
+            vec![payload("a"), payload("b"), payload("c")]
+        );
+        assert_eq!(out.ack, Some(3));
+        assert_eq!(rx.buffered(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_but_acked() {
+        let mut tx = LinkSender::new();
+        let mut rx = LinkReceiver::new();
+        let f1 = tx.send(payload("a"), VTime::ZERO);
+        let _ = rx.on_frame(f1.clone());
+        let out = rx.on_frame(f1);
+        assert!(out.delivered.is_empty());
+        assert_eq!(out.ack, Some(1), "duplicate still re-acks");
+    }
+
+    #[test]
+    fn retransmission_after_timeout() {
+        let mut tx = LinkSender::with_rto(VDuration::from_millis(10));
+        let f1 = tx.send(payload("a"), VTime::ZERO);
+        assert!(tx.due_retransmissions(VTime::from_micros(5_000)).is_empty());
+        let due = tx.due_retransmissions(VTime::from_micros(10_000));
+        assert_eq!(due, vec![f1]);
+        // Deadline re-armed: not due again immediately.
+        assert!(tx.due_retransmissions(VTime::from_micros(10_001)).is_empty());
+        // Due again one RTO later.
+        assert_eq!(tx.due_retransmissions(VTime::from_micros(20_000)).len(), 1);
+    }
+
+    #[test]
+    fn ack_settles_prefix_only() {
+        let mut tx = LinkSender::new();
+        let _f1 = tx.send(payload("a"), VTime::ZERO);
+        let _f2 = tx.send(payload("b"), VTime::ZERO);
+        let _f3 = tx.send(payload("c"), VTime::ZERO);
+        tx.on_ack(2);
+        assert_eq!(tx.in_flight(), 1);
+        tx.on_ack(1); // stale ack is harmless
+        assert_eq!(tx.in_flight(), 1);
+        tx.on_ack(3);
+        assert_eq!(tx.in_flight(), 0);
+    }
+
+    #[test]
+    fn datagram_roundtrip() {
+        let d = Datagram::Data(LinkFrame {
+            seq: 42,
+            payload: payload("body"),
+        });
+        assert_eq!(Datagram::decode(d.encode()).unwrap(), d);
+        let a = Datagram::Ack { cum_seq: 7 };
+        assert_eq!(Datagram::decode(a.encode()).unwrap(), a);
+        assert_eq!(a.encode().len(), 9);
+    }
+
+    #[test]
+    fn datagram_garbage_rejected() {
+        assert!(Datagram::decode(Bytes::new()).is_err());
+        assert!(Datagram::decode(Bytes::from_static(&[7])).is_err());
+        assert!(Datagram::decode(Bytes::from_static(&[0, 1, 2])).is_err());
+        assert!(Datagram::decode(Bytes::from_static(&[1, 1, 2])).is_err());
+    }
+
+    #[test]
+    fn sender_state_dump_and_restore() {
+        let mut tx = LinkSender::with_rto(VDuration::from_millis(5));
+        let _ = tx.send(payload("a"), VTime::ZERO);
+        let _ = tx.send(payload("b"), VTime::ZERO);
+        tx.on_ack(1);
+        let frames: Vec<LinkFrame> = tx.unacked_frames().cloned().collect();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(tx.next_seq(), 3);
+
+        let mut tx2 = LinkSender::restore(
+            VDuration::from_millis(5),
+            tx.next_seq(),
+            frames,
+            VTime::ZERO,
+        );
+        assert_eq!(tx2.in_flight(), 1);
+        // Restored frames retransmit after one RTO.
+        let due = tx2.due_retransmissions(VTime::from_micros(5_000));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].seq, 2);
+        // And the next send continues the sequence space.
+        let f = tx2.send(payload("c"), VTime::ZERO);
+        assert_eq!(f.seq, 3);
+    }
+
+    #[test]
+    fn receiver_restore_suppresses_old_frames() {
+        let mut rx = LinkReceiver::restore(5);
+        assert_eq!(rx.cum_seq(), 5);
+        let out = rx.on_frame(LinkFrame { seq: 3, payload: payload("dup") });
+        assert!(out.delivered.is_empty());
+        assert_eq!(out.ack, Some(5));
+        let out = rx.on_frame(LinkFrame { seq: 6, payload: payload("next") });
+        assert_eq!(out.delivered.len(), 1);
+        assert_eq!(out.ack, Some(6));
+    }
+
+    #[test]
+    fn lossy_link_recovers_fifo() {
+        // Simulate 20 sends over a link that drops every 3rd frame on its
+        // first transmission; retransmissions restore exact FIFO delivery.
+        let mut tx = LinkSender::with_rto(VDuration::from_millis(1));
+        let mut rx = LinkReceiver::new();
+        let mut now = VTime::ZERO;
+        let mut delivered: Vec<Bytes> = Vec::new();
+        let mut first_try: Vec<LinkFrame> = Vec::new();
+        for i in 0..20u64 {
+            let body = Bytes::from(format!("m{i}"));
+            first_try.push(tx.send(body, now));
+        }
+        for (i, f) in first_try.into_iter().enumerate() {
+            if i % 3 != 2 {
+                let out = rx.on_frame(f);
+                delivered.extend(out.delivered);
+                if let Some(a) = out.ack {
+                    tx.on_ack(a);
+                }
+            }
+        }
+        // Drive retransmissions until everything arrives.
+        for _ in 0..10 {
+            now += VDuration::from_millis(2);
+            for f in tx.due_retransmissions(now) {
+                let out = rx.on_frame(f);
+                delivered.extend(out.delivered);
+                if let Some(a) = out.ack {
+                    tx.on_ack(a);
+                }
+            }
+        }
+        assert_eq!(tx.in_flight(), 0);
+        let expect: Vec<Bytes> = (0..20).map(|i| Bytes::from(format!("m{i}"))).collect();
+        assert_eq!(delivered, expect);
+    }
+}

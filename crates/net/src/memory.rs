@@ -1,0 +1,212 @@
+//! In-process transport connecting a set of agent servers.
+//!
+//! Replaces the paper's TCP mesh between JVMs with FIFO byte channels
+//! inside one process. Each server owns a [`MemoryEndpoint`]; bytes sent to
+//! a peer arrive on the peer's receive queue tagged with the sender's id.
+//! Per-(sender → receiver) FIFO ordering is guaranteed (crossbeam channels
+//! are FIFO and each endpoint pushes from a single server thread), which is
+//! exactly the property the AAA channel's causal protocol needs.
+
+use aaa_base::{Error, Result, ServerId};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+/// A datagram tagged with its sender.
+#[derive(Debug, Clone)]
+pub struct Incoming {
+    /// The server that sent the bytes.
+    pub from: ServerId,
+    /// The payload.
+    pub bytes: Bytes,
+}
+
+/// One server's handle on the in-memory network.
+#[derive(Debug, Clone)]
+pub struct MemoryEndpoint {
+    me: ServerId,
+    peers: Vec<Sender<Incoming>>,
+    inbox: Receiver<Incoming>,
+}
+
+impl MemoryEndpoint {
+    /// This endpoint's server id.
+    pub fn me(&self) -> ServerId {
+        self.me
+    }
+
+    /// Number of servers on the network.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Sends `bytes` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] if `to` is not on the network, or
+    /// [`Error::Closed`] if the peer's endpoint has been dropped.
+    pub fn send(&self, to: ServerId, bytes: Bytes) -> Result<()> {
+        let tx = self
+            .peers
+            .get(to.as_usize())
+            .ok_or(Error::UnknownServer(to))?;
+        tx.send(Incoming {
+            from: self.me,
+            bytes,
+        })
+        .map_err(|_| Error::Closed("peer endpoint"))
+    }
+
+    /// Receives the next datagram, blocking up to `timeout`.
+    ///
+    /// Returns `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Closed`] if every sender to this endpoint has been
+    /// dropped (the network is shutting down).
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Incoming>> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(msg) => Ok(Some(msg)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(Error::Closed("network")),
+        }
+    }
+
+    /// The raw inbox receiver, for use with `crossbeam::select!` in
+    /// runtimes multiplexing the network with command channels.
+    pub fn inbox_receiver(&self) -> &Receiver<Incoming> {
+        &self.inbox
+    }
+
+    /// Receives without blocking; `Ok(None)` if the inbox is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Closed`] if the network is shutting down.
+    pub fn try_recv(&self) -> Result<Option<Incoming>> {
+        match self.inbox.try_recv() {
+            Ok(msg) => Ok(Some(msg)),
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(Error::Closed("network"))
+            }
+        }
+    }
+}
+
+/// Factory for a fully connected in-memory network.
+#[derive(Debug)]
+pub struct MemoryNetwork;
+
+impl MemoryNetwork {
+    /// Creates endpoints for servers `0..n`, fully connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn create(n: usize) -> Vec<MemoryEndpoint> {
+        assert!(n > 0, "a network needs at least one endpoint");
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .enumerate()
+            .map(|(i, inbox)| MemoryEndpoint {
+                me: ServerId::new(i as u16),
+                peers: txs.clone(),
+                inbox,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn point_to_point() {
+        let eps = MemoryNetwork::create(3);
+        eps[0]
+            .send(ServerId::new(2), Bytes::from_static(b"hi"))
+            .unwrap();
+        let got = eps[2]
+            .recv_timeout(Duration::from_secs(1))
+            .unwrap()
+            .expect("message should arrive");
+        assert_eq!(got.from, ServerId::new(0));
+        assert_eq!(&got.bytes[..], b"hi");
+        assert_eq!(eps[0].me(), ServerId::new(0));
+        assert_eq!(eps[0].peer_count(), 3);
+    }
+
+    #[test]
+    fn per_link_fifo() {
+        let eps = MemoryNetwork::create(2);
+        for i in 0..100u32 {
+            eps[0]
+                .send(ServerId::new(1), Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap();
+        }
+        for i in 0..100u32 {
+            let got = eps[1].try_recv().unwrap().expect("queued");
+            assert_eq!(got.bytes[..], i.to_le_bytes());
+        }
+        assert!(eps[1].try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let eps = MemoryNetwork::create(1);
+        assert!(matches!(
+            eps[0].send(ServerId::new(9), Bytes::new()),
+            Err(Error::UnknownServer(_))
+        ));
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let eps = MemoryNetwork::create(2);
+        assert!(eps[1]
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn self_send_works() {
+        // The channel may loop a frame to itself (degenerate but legal).
+        let eps = MemoryNetwork::create(1);
+        eps[0].send(ServerId::new(0), Bytes::from_static(b"x")).unwrap();
+        assert!(eps[0].try_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let eps = MemoryNetwork::create(2);
+        let a = eps[0].clone();
+        let handle = std::thread::spawn(move || {
+            for i in 0..50u32 {
+                a.send(ServerId::new(1), Bytes::from(i.to_le_bytes().to_vec()))
+                    .unwrap();
+            }
+        });
+        let mut got = 0;
+        while got < 50 {
+            if eps[1]
+                .recv_timeout(Duration::from_secs(1))
+                .unwrap()
+                .is_some()
+            {
+                got += 1;
+            }
+        }
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,322 @@
+//! TCP transport over localhost — the paper's actual substrate.
+//!
+//! The authors ran one JVM per agent server, meshed over TCP on a LAN.
+//! [`TcpNetwork::create`] reproduces that shape inside one process: every
+//! endpoint binds a localhost listener; outbound connections are opened
+//! lazily and kept open; a reader thread per connection decodes
+//! length-prefixed frames into the endpoint's inbox.
+//!
+//! Wire format per frame: `u16` sender id (little-endian), `u32` payload
+//! length, payload bytes. Send failures (peer not yet listening,
+//! connection reset) surface as errors to the caller — the channel's
+//! link-layer retransmission absorbs them, exactly as it absorbs packet
+//! loss.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use aaa_base::{Error, Result, ServerId};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::memory::Incoming;
+
+fn io_err(context: &str, e: std::io::Error) -> Error {
+    Error::Storage(format!("tcp {context}: {e}"))
+}
+
+/// One server's handle on the TCP mesh.
+#[derive(Debug)]
+pub struct TcpEndpoint {
+    me: ServerId,
+    addrs: Arc<Vec<SocketAddr>>,
+    inbox: Receiver<Incoming>,
+    conns: Mutex<HashMap<ServerId, TcpStream>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl TcpEndpoint {
+    /// This endpoint's server id.
+    pub fn me(&self) -> ServerId {
+        self.me
+    }
+
+    /// Number of servers on the mesh.
+    pub fn peer_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The listening address of `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] if `peer` is not on the mesh.
+    pub fn addr_of(&self, peer: ServerId) -> Result<SocketAddr> {
+        self.addrs
+            .get(peer.as_usize())
+            .copied()
+            .ok_or(Error::UnknownServer(peer))
+    }
+
+    /// Sends `bytes` to `to`, connecting lazily.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] for an unknown peer, or a
+    /// transport error if the connection cannot be established or the
+    /// write fails (callers rely on link-layer retransmission to recover).
+    pub fn send(&self, to: ServerId, bytes: Bytes) -> Result<()> {
+        let addr = self.addr_of(to)?;
+        let mut conns = self.conns.lock();
+        if !conns.contains_key(&to) {
+            let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+                .map_err(|e| io_err("connect", e))?;
+            stream.set_nodelay(true).map_err(|e| io_err("nodelay", e))?;
+            conns.insert(to, stream);
+        }
+        let stream = conns.get_mut(&to).expect("just inserted");
+        let mut header = [0u8; 6];
+        header[0..2].copy_from_slice(&self.me.as_u16().to_le_bytes());
+        header[2..6].copy_from_slice(&(bytes.len() as u32).to_le_bytes());
+        let result = stream
+            .write_all(&header)
+            .and_then(|()| stream.write_all(&bytes));
+        if let Err(e) = result {
+            conns.remove(&to); // reconnect on the next attempt
+            return Err(io_err("write", e));
+        }
+        Ok(())
+    }
+
+    /// The raw inbox receiver, for `crossbeam::select!`.
+    pub fn inbox_receiver(&self) -> &Receiver<Incoming> {
+        &self.inbox
+    }
+
+    /// Receives the next frame, blocking up to `timeout`; `Ok(None)` on
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Closed`] once the endpoint has shut down.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Incoming>> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(msg) => Ok(Some(msg)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(Error::Closed("tcp endpoint"))
+            }
+        }
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Factory for a fully meshed localhost TCP network.
+#[derive(Debug)]
+pub struct TcpNetwork;
+
+impl TcpNetwork {
+    /// Binds `n` ephemeral-port listeners on `127.0.0.1` and returns the
+    /// endpoints. Reader threads run until the endpoint is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport error if a listener cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn create(n: usize) -> Result<Vec<TcpEndpoint>> {
+        assert!(n > 0, "a network needs at least one endpoint");
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener =
+                TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("bind", e))?;
+            addrs.push(listener.local_addr().map_err(|e| io_err("local_addr", e))?);
+            listeners.push(listener);
+        }
+        let addrs = Arc::new(addrs);
+
+        let mut endpoints = Vec::with_capacity(n);
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let (tx, rx) = unbounded();
+            let shutdown = Arc::new(AtomicBool::new(false));
+            spawn_acceptor(listener, tx, shutdown.clone())?;
+            endpoints.push(TcpEndpoint {
+                me: ServerId::new(i as u16),
+                addrs: addrs.clone(),
+                inbox: rx,
+                conns: Mutex::new(HashMap::new()),
+                shutdown,
+            });
+        }
+        Ok(endpoints)
+    }
+}
+
+fn spawn_acceptor(
+    listener: TcpListener,
+    tx: Sender<Incoming>,
+    shutdown: Arc<AtomicBool>,
+) -> Result<()> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| io_err("nonblocking", e))?;
+    std::thread::spawn(move || {
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let tx = tx.clone();
+                    let shutdown = shutdown.clone();
+                    std::thread::spawn(move || reader_loop(stream, tx, shutdown));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(())
+}
+
+fn reader_loop(stream: TcpStream, tx: Sender<Incoming>, shutdown: Arc<AtomicBool>) {
+    let mut stream = stream;
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return;
+    }
+    let mut header = [0u8; 6];
+    'conn: while !shutdown.load(Ordering::SeqCst) {
+        // Read a full header, tolerating timeouts between frames.
+        let mut got = 0usize;
+        while got < header.len() {
+            match stream.read(&mut header[got..]) {
+                Ok(0) => break 'conn, // peer closed
+                Ok(k) => got += k,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break 'conn;
+                    }
+                }
+                Err(_) => break 'conn,
+            }
+        }
+        let from = ServerId::new(u16::from_le_bytes([header[0], header[1]]));
+        let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+        if len > 64 << 20 {
+            break; // absurd frame: drop the connection
+        }
+        let mut payload = vec![0u8; len];
+        let mut got = 0usize;
+        while got < len {
+            match stream.read(&mut payload[got..]) {
+                Ok(0) => break 'conn,
+                Ok(k) => got += k,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break 'conn;
+                    }
+                }
+                Err(_) => break 'conn,
+            }
+        }
+        if tx
+            .send(Incoming {
+                from,
+                bytes: Bytes::from(payload),
+            })
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_over_tcp() {
+        let eps = TcpNetwork::create(2).unwrap();
+        eps[0].send(ServerId::new(1), Bytes::from_static(b"hello tcp")).unwrap();
+        let got = eps[1]
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("frame arrives");
+        assert_eq!(got.from, ServerId::new(0));
+        assert_eq!(&got.bytes[..], b"hello tcp");
+        assert_eq!(eps[0].peer_count(), 2);
+    }
+
+    #[test]
+    fn per_connection_fifo() {
+        let eps = TcpNetwork::create(2).unwrap();
+        for i in 0..50u32 {
+            eps[0]
+                .send(ServerId::new(1), Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap();
+        }
+        for i in 0..50u32 {
+            let got = eps[1]
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .expect("frame arrives in order");
+            assert_eq!(got.bytes[..], i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn bidirectional_and_multi_peer() {
+        let eps = TcpNetwork::create(3);
+        let eps = eps.unwrap();
+        eps[0].send(ServerId::new(2), Bytes::from_static(b"a")).unwrap();
+        eps[2].send(ServerId::new(0), Bytes::from_static(b"b")).unwrap();
+        eps[1].send(ServerId::new(2), Bytes::from_static(b"c")).unwrap();
+        let at2a = eps[2].recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        let at2b = eps[2].recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        let mut froms = vec![at2a.from, at2b.from];
+        froms.sort();
+        assert_eq!(froms, vec![ServerId::new(0), ServerId::new(1)]);
+        let at0 = eps[0].recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(at0.from, ServerId::new(2));
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let eps = TcpNetwork::create(1).unwrap();
+        assert!(matches!(
+            eps[0].send(ServerId::new(7), Bytes::new()),
+            Err(Error::UnknownServer(_))
+        ));
+        assert!(eps[0].addr_of(ServerId::new(0)).is_ok());
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let eps = TcpNetwork::create(2).unwrap();
+        eps[0].send(ServerId::new(1), Bytes::new()).unwrap();
+        let got = eps[1].recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert!(got.bytes.is_empty());
+    }
+}

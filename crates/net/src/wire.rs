@@ -1,0 +1,379 @@
+//! A small, explicit binary codec.
+//!
+//! All integers are little-endian. Variable-length data (payloads, strings,
+//! update lists) is length-prefixed with a `u32`. The codec exists instead
+//! of a serialization framework because the paper reasons about *bytes on
+//! the wire* — the experiments measure stamp sizes exactly.
+
+use aaa_base::{AgentId, DomainId, DomainServerId, Error, MessageId, Result, ServerId};
+use aaa_clocks::{MatrixClock, Stamp, UpdateEntry};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Incremental encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes encoding, returning the frozen buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.put_u16_le(v);
+        self
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Writes a server id.
+    pub fn server_id(&mut self, v: ServerId) -> &mut Self {
+        self.u16(v.as_u16())
+    }
+
+    /// Writes a domain id.
+    pub fn domain_id(&mut self, v: DomainId) -> &mut Self {
+        self.u16(v.as_u16())
+    }
+
+    /// Writes an agent id.
+    pub fn agent_id(&mut self, v: AgentId) -> &mut Self {
+        self.server_id(v.server());
+        self.u32(v.local())
+    }
+
+    /// Writes a message id.
+    pub fn message_id(&mut self, v: MessageId) -> &mut Self {
+        self.server_id(v.origin());
+        self.u64(v.seq())
+    }
+
+    /// Writes an optional stamp: tag 2 for "no stamp" (unordered QoS),
+    /// otherwise as [`Encoder::stamp`].
+    pub fn stamp_opt(&mut self, v: &Option<Stamp>) -> &mut Self {
+        match v {
+            Some(stamp) => self.stamp(stamp),
+            None => self.u8(2),
+        }
+    }
+
+    /// Writes a stamp: a 1-byte tag, then either the full matrix
+    /// (width + cells) or the update list (count + triples).
+    pub fn stamp(&mut self, v: &Stamp) -> &mut Self {
+        match v {
+            Stamp::Full(m) => {
+                self.u8(0);
+                self.u32(m.width() as u32);
+                for row in 0..m.width() {
+                    for col in 0..m.width() {
+                        self.u64(m.get(row, col));
+                    }
+                }
+            }
+            Stamp::Delta(entries) => {
+                self.u8(1);
+                self.u32(entries.len() as u32);
+                for e in entries {
+                    self.u16(e.row);
+                    self.u16(e.col);
+                    self.u64(e.value);
+                }
+            }
+        }
+        self
+    }
+}
+
+/// Incremental decoder over a byte buffer.
+#[derive(Debug)]
+pub struct Decoder {
+    buf: Bytes,
+}
+
+impl Decoder {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: Bytes) -> Self {
+        Decoder { buf }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    fn need(&self, n: usize, what: &str) -> Result<()> {
+        if self.buf.remaining() < n {
+            Err(Error::Codec(format!(
+                "truncated frame: need {n} bytes for {what}, have {}",
+                self.buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        self.need(1, "u8")?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        self.need(2, "u16")?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        self.need(4, "u32")?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        self.need(8, "u64")?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Bytes> {
+        let len = self.u32()? as usize;
+        self.need(len, "bytes body")?;
+        Ok(self.buf.split_to(len))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|e| Error::Codec(format!("invalid utf-8 string: {e}")))
+    }
+
+    /// Reads a server id.
+    pub fn server_id(&mut self) -> Result<ServerId> {
+        Ok(ServerId::new(self.u16()?))
+    }
+
+    /// Reads a domain id.
+    pub fn domain_id(&mut self) -> Result<DomainId> {
+        Ok(DomainId::new(self.u16()?))
+    }
+
+    /// Reads a domain-server id.
+    pub fn domain_server_id(&mut self) -> Result<DomainServerId> {
+        Ok(DomainServerId::new(self.u16()?))
+    }
+
+    /// Reads an agent id.
+    pub fn agent_id(&mut self) -> Result<AgentId> {
+        let server = self.server_id()?;
+        let local = self.u32()?;
+        Ok(AgentId::new(server, local))
+    }
+
+    /// Reads a message id.
+    pub fn message_id(&mut self) -> Result<MessageId> {
+        let origin = self.server_id()?;
+        let seq = self.u64()?;
+        Ok(MessageId::new(origin, seq))
+    }
+
+    /// Reads an optional stamp written by [`Encoder::stamp_opt`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Decoder::stamp`].
+    pub fn stamp_opt(&mut self) -> Result<Option<Stamp>> {
+        // Peek is awkward on Bytes; re-dispatch on the tag directly.
+        match self.u8()? {
+            2 => Ok(None),
+            tag => self.stamp_tagged(tag).map(Some),
+        }
+    }
+
+    /// Reads a stamp written by [`Encoder::stamp`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Codec`] on truncation, an unknown tag, an absurd
+    /// matrix width, or out-of-range delta coordinates.
+    pub fn stamp(&mut self) -> Result<Stamp> {
+        let tag = self.u8()?;
+        self.stamp_tagged(tag)
+    }
+
+    fn stamp_tagged(&mut self, tag: u8) -> Result<Stamp> {
+        match tag {
+            0 => {
+                let n = self.u32()? as usize;
+                if n == 0 || n > u16::MAX as usize {
+                    return Err(Error::Codec(format!("invalid matrix width {n}")));
+                }
+                self.need(n * n * 8, "matrix cells")?;
+                let mut m = MatrixClock::new(n);
+                for row in 0..n {
+                    for col in 0..n {
+                        m.set(row, col, self.buf.get_u64_le());
+                    }
+                }
+                Ok(Stamp::Full(m))
+            }
+            1 => {
+                let count = self.u32()? as usize;
+                self.need(count * UpdateEntry::WIRE_LEN, "update entries")?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    entries.push(UpdateEntry {
+                        row: self.buf.get_u16_le(),
+                        col: self.buf.get_u16_le(),
+                        value: self.buf.get_u64_le(),
+                    });
+                }
+                Ok(Stamp::Delta(entries))
+            }
+            tag => Err(Error::Codec(format!("unknown stamp tag {tag}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut e = Encoder::new();
+        e.u8(7)
+            .u16(0xBEEF)
+            .u32(0xDEAD_BEEF)
+            .u64(u64::MAX)
+            .bytes(b"abc")
+            .string("caf\u{e9}");
+        assert!(!e.is_empty());
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u16().unwrap(), 0xBEEF);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(&d.bytes().unwrap()[..], b"abc");
+        assert_eq!(d.string().unwrap(), "caf\u{e9}");
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        let mut e = Encoder::new();
+        let agent = AgentId::new(ServerId::new(3), 42);
+        let msg = MessageId::new(ServerId::new(9), 1234567);
+        e.server_id(ServerId::new(5))
+            .domain_id(DomainId::new(2))
+            .agent_id(agent)
+            .message_id(msg);
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.server_id().unwrap(), ServerId::new(5));
+        assert_eq!(d.domain_id().unwrap(), DomainId::new(2));
+        assert_eq!(d.agent_id().unwrap(), agent);
+        assert_eq!(d.message_id().unwrap(), msg);
+    }
+
+    #[test]
+    fn full_stamp_roundtrip_and_size() {
+        let mut m = MatrixClock::new(4);
+        m.set(1, 2, 99);
+        m.set(3, 3, 7);
+        let stamp = Stamp::Full(m);
+        let mut e = Encoder::new();
+        e.stamp(&stamp);
+        // 1 tag byte + declared encoded length.
+        assert_eq!(e.len(), stamp.encoded_len() + 1);
+        let decoded = Decoder::new(e.finish()).stamp().unwrap();
+        assert_eq!(decoded, stamp);
+    }
+
+    #[test]
+    fn delta_stamp_roundtrip_and_size() {
+        let stamp = Stamp::Delta(vec![
+            UpdateEntry { row: 0, col: 1, value: 5 },
+            UpdateEntry { row: 3, col: 2, value: 11 },
+        ]);
+        let mut e = Encoder::new();
+        e.stamp(&stamp);
+        assert_eq!(e.len(), stamp.encoded_len() + 1);
+        let decoded = Decoder::new(e.finish()).stamp().unwrap();
+        assert_eq!(decoded, stamp);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut e = Encoder::new();
+        e.u64(1);
+        let mut d = Decoder::new(e.finish());
+        let _ = d.u32().unwrap();
+        let _ = d.u32().unwrap();
+        assert!(matches!(d.u8(), Err(Error::Codec(_))));
+
+        let mut d = Decoder::new(Bytes::from_static(&[0, 255, 255, 255, 255]));
+        assert!(matches!(d.stamp(), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn unknown_stamp_tag_errors() {
+        let mut d = Decoder::new(Bytes::from_static(&[9]));
+        assert!(matches!(d.stamp(), Err(Error::Codec(_))));
+    }
+
+    #[test]
+    fn oversized_bytes_length_errors() {
+        let mut e = Encoder::new();
+        e.u32(1_000_000); // claims a megabyte that is not there
+        let mut d = Decoder::new(e.finish());
+        assert!(matches!(d.bytes(), Err(Error::Codec(_))));
+    }
+}

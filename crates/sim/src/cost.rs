@@ -1,0 +1,148 @@
+//! The calibrated cost model.
+//!
+//! §6.1 of the paper decomposes message turn-around time into a "nearly
+//! constant" transfer term (serialization, transfer, agent saving) and a
+//! causal-ordering term (checking, updating and saving the matrix clock).
+//! We charge the former per message hop and the latter per matrix-cell
+//! operation, with the constants fitted to the paper's Figure 7:
+//!
+//! - one remote round trip crosses 2 hops → `2 × hop ≈ 55 ms` intercept;
+//! - per hop the channel performs ≈ `2n²` cell operations (stamping `n²`,
+//!   delivery merge `n²`), so a round trip costs ≈ `4n²` cell ops; fitting
+//!   `0.0583 ms/n²` from the paper's series gives ≈ `14.6 µs` per cell
+//!   operation (a matrix entry serialized, compared, merged and saved to
+//!   disk in 2001-era Java).
+
+use aaa_base::VDuration;
+use aaa_mom::StepStats;
+
+/// Virtual-time prices of the simulated resources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of transmitting one message on a link (sender side).
+    pub tx_base_us: f64,
+    /// Cost of receiving and processing one message (receiver side,
+    /// excluding causal ordering).
+    pub rx_base_us: f64,
+    /// Cost per matrix-cell operation (check, update, persist).
+    pub cell_op_us: f64,
+    /// Cost per stamp byte on the wire (0 by default: under the paper's
+    /// LAN the per-cell maintenance dominates; the Updates ablation raises
+    /// it to model slower links).
+    pub stamp_byte_us: f64,
+    /// Cost per agent reaction (event dispatch).
+    pub reaction_us: f64,
+    /// One-way link propagation latency.
+    pub link_latency: VDuration,
+}
+
+impl CostModel {
+    /// Constants fitted to the paper's Figure 7 (see module docs).
+    pub fn paper_calibrated() -> Self {
+        CostModel {
+            tx_base_us: 13_750.0,
+            rx_base_us: 13_750.0,
+            cell_op_us: 14.6,
+            stamp_byte_us: 0.0,
+            reaction_us: 100.0,
+            link_latency: VDuration::from_micros(500),
+        }
+    }
+
+    /// A free model: every operation takes zero virtual time except link
+    /// latency. Useful to count operations rather than time.
+    pub fn zero() -> Self {
+        CostModel {
+            tx_base_us: 0.0,
+            rx_base_us: 0.0,
+            cell_op_us: 0.0,
+            stamp_byte_us: 0.0,
+            reaction_us: 0.0,
+            link_latency: VDuration::from_micros(1),
+        }
+    }
+
+    /// A model for a slow wide-area link, where bytes on the wire dominate
+    /// (used by the Appendix-A Updates ablation).
+    pub fn wan(bytes_per_ms: f64) -> Self {
+        CostModel {
+            tx_base_us: 2_000.0,
+            rx_base_us: 2_000.0,
+            cell_op_us: 1.0,
+            stamp_byte_us: 1_000.0 / bytes_per_ms,
+            reaction_us: 100.0,
+            link_latency: VDuration::from_millis(5),
+        }
+    }
+
+    /// Virtual processing time for one server step with the given
+    /// statistics.
+    pub fn step_cost(&self, stats: &StepStats) -> VDuration {
+        let us = stats.transmitted as f64 * self.tx_base_us
+            + (stats.delivered + stats.forwarded) as f64 * self.rx_base_us
+            + stats.cell_ops as f64 * self.cell_op_us
+            + stats.stamp_bytes as f64 * self.stamp_byte_us
+            + stats.reactions as f64 * self.reaction_us;
+        VDuration::from_micros(us.round() as u64)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_is_free() {
+        let stats = StepStats {
+            cell_ops: 100,
+            stamp_bytes: 100,
+            delivered: 5,
+            transmitted: 5,
+            forwarded: 2,
+            reactions: 3,
+            disk_bytes: 0,
+        };
+        assert_eq!(CostModel::zero().step_cost(&stats), VDuration::ZERO);
+    }
+
+    #[test]
+    fn calibrated_round_trip_intercept() {
+        // One hop out + one hop back with no cell ops ≈ 55 ms.
+        let m = CostModel::paper_calibrated();
+        let hop = StepStats {
+            transmitted: 1,
+            delivered: 1,
+            ..StepStats::default()
+        };
+        let two_hops = m.step_cost(&hop).as_millis_f64() * 2.0;
+        assert!((two_hops - 55.0).abs() < 1.0, "got {two_hops}");
+    }
+
+    #[test]
+    fn calibrated_quadratic_term() {
+        // 4n² cell ops at n = 50 ≈ 146 ms.
+        let m = CostModel::paper_calibrated();
+        let stats = StepStats {
+            cell_ops: 4 * 50 * 50,
+            ..StepStats::default()
+        };
+        let t = m.step_cost(&stats).as_millis_f64();
+        assert!((t - 146.0).abs() < 2.0, "got {t}");
+    }
+
+    #[test]
+    fn wan_charges_bytes() {
+        let m = CostModel::wan(100.0); // 100 bytes per ms
+        let stats = StepStats {
+            stamp_bytes: 1_000,
+            ..StepStats::default()
+        };
+        assert_eq!(m.step_cost(&stats), VDuration::from_millis(10));
+    }
+}

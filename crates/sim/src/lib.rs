@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Discrete-event simulation of the AAA MOM.
+//!
+//! The paper's evaluation (§6) ran on ten Bi-Pentium II PCs with up to 150
+//! JVMs; this crate replaces that testbed with a deterministic
+//! discrete-event simulator that drives the *real* protocol state machines
+//! (`aaa-mom`'s [`ServerCore`](aaa_mom::ServerCore)) under a calibrated
+//! [`CostModel`]. Only time is virtual: every stamp, matrix operation,
+//! routing decision and queue is the production code path.
+//!
+//! - [`CostModel`] — charges virtual time per matrix-cell operation, per
+//!   stamp byte, per message hop and per reaction. The defaults are
+//!   calibrated so the non-decomposed MOM reproduces the paper's Figure 7
+//!   series (61…201 ms for 10…50 servers) — everything else (Figures 8,
+//!   10, 11) then follows from the protocol itself;
+//! - [`Simulation`] — the event loop: per-server busy time, per-link
+//!   latency, deterministic FIFO delivery;
+//! - [`experiments`] — the §6.1 measurement protocol (ping-pong round
+//!   trips, broadcasts) packaged as reusable drivers for the benchmark
+//!   harness.
+//!
+//! # Example
+//!
+//! ```
+//! use aaa_sim::{experiments, CostModel};
+//! use aaa_topology::TopologySpec;
+//! use aaa_clocks::StampMode;
+//!
+//! // Average remote-unicast round-trip in a flat 10-server MOM.
+//! let rtt = experiments::remote_unicast_avg_rtt(
+//!     TopologySpec::single_domain(10),
+//!     StampMode::Updates,
+//!     CostModel::paper_calibrated(),
+//!     10,
+//! ).unwrap();
+//! assert!(rtt.as_millis_f64() > 30.0 && rtt.as_millis_f64() < 120.0);
+//! ```
+
+mod cost;
+pub mod experiments;
+mod simulation;
+
+pub use cost::CostModel;
+pub use simulation::{FaultConfig, Simulation};

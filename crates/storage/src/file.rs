@@ -1,0 +1,336 @@
+//! File-backed storage: one file per key, and an append-only journal file.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use aaa_base::{Error, Result};
+use parking_lot::Mutex;
+
+use crate::log::Log;
+use crate::stats::StorageStats;
+use crate::StableStore;
+
+fn storage_err(context: &str, e: std::io::Error) -> Error {
+    Error::Storage(format!("{context}: {e}"))
+}
+
+/// Escapes a key into a safe file name (alphanumerics, `-`, `_`, `.` pass
+/// through; everything else becomes `%XX`).
+fn escape_key(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for b in key.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn unescape_key(name: &str) -> Option<String> {
+    let bytes = name.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = name.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// A [`StableStore`] persisting each key as one file in a directory.
+///
+/// Writes are crash-atomic per key: the value is written to a temporary
+/// file and renamed over the target, so recovery sees either the old or the
+/// new value.
+#[derive(Debug)]
+pub struct DirStore {
+    dir: PathBuf,
+    stats: StorageStats,
+}
+
+impl DirStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Storage`] if the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| storage_err("create store dir", e))?;
+        Ok(DirStore {
+            dir,
+            stats: StorageStats::new(),
+        })
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(escape_key(key))
+    }
+}
+
+impl StableStore for DirStore {
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        self.stats.record_write(value.len() as u64);
+        let target = self.path_for(key);
+        let tmp = self.dir.join(format!(".tmp-{}", escape_key(key)));
+        fs::write(&tmp, value).map_err(|e| storage_err("write temp file", e))?;
+        fs::rename(&tmp, &target).map_err(|e| storage_err("rename into place", e))
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        match fs::read(self.path_for(key)) {
+            Ok(v) => {
+                self.stats.record_read(v.len() as u64);
+                Ok(Some(v))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(storage_err("read value", e)),
+        }
+    }
+
+    fn remove(&self, key: &str) -> Result<()> {
+        self.stats.record_write(0);
+        match fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(storage_err("remove value", e)),
+        }
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let entries =
+            fs::read_dir(&self.dir).map_err(|e| storage_err("list store dir", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| storage_err("read dir entry", e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(".tmp-") {
+                continue;
+            }
+            if let Some(key) = unescape_key(&name) {
+                out.push(key);
+            }
+        }
+        Ok(out)
+    }
+
+    fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+}
+
+/// A [`Log`] backed by a single append-only file of length-prefixed
+/// records.
+///
+/// Record framing: `u32` little-endian length, then the record bytes. A
+/// torn final record (crash mid-append) is detected and ignored on
+/// recovery.
+#[derive(Debug)]
+pub struct FileLog {
+    path: PathBuf,
+    file: Mutex<fs::File>,
+    count: Mutex<u64>,
+    stats: StorageStats,
+}
+
+impl FileLog {
+    /// Opens (creating if needed) the log file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Storage`] if the file cannot be opened.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|e| storage_err("create log dir", e))?;
+        }
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)
+            .map_err(|e| storage_err("open log file", e))?;
+        let log = FileLog {
+            path,
+            file: Mutex::new(file),
+            count: Mutex::new(0),
+            stats: StorageStats::new(),
+        };
+        // Count (and implicitly validate) existing records.
+        let existing = log.read_records()?;
+        *log.count.lock() = existing.len() as u64;
+        Ok(log)
+    }
+
+    fn read_records(&self) -> Result<Vec<Vec<u8>>> {
+        let mut buf = Vec::new();
+        {
+            let mut file =
+                fs::File::open(&self.path).map_err(|e| storage_err("open log", e))?;
+            file.read_to_end(&mut buf)
+                .map_err(|e| storage_err("read log", e))?;
+        }
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i + 4 <= buf.len() {
+            let len =
+                u32::from_le_bytes([buf[i], buf[i + 1], buf[i + 2], buf[i + 3]]) as usize;
+            if i + 4 + len > buf.len() {
+                break; // torn final record: ignore
+            }
+            out.push(buf[i + 4..i + 4 + len].to_vec());
+            i += 4 + len;
+        }
+        Ok(out)
+    }
+}
+
+impl Log for FileLog {
+    fn append(&self, record: &[u8]) -> Result<u64> {
+        self.stats.record_write(record.len() as u64 + 4);
+        let mut file = self.file.lock();
+        let len = (record.len() as u32).to_le_bytes();
+        file.write_all(&len)
+            .and_then(|()| file.write_all(record))
+            .and_then(|()| file.flush())
+            .map_err(|e| storage_err("append record", e))?;
+        let mut count = self.count.lock();
+        let idx = *count;
+        *count += 1;
+        Ok(idx)
+    }
+
+    fn read_all(&self) -> Result<Vec<Vec<u8>>> {
+        let records = self.read_records()?;
+        let total: u64 = records.iter().map(|r| r.len() as u64 + 4).sum();
+        self.stats.record_read(total);
+        Ok(records)
+    }
+
+    fn clear(&self) -> Result<()> {
+        self.stats.record_write(0);
+        let mut file = self.file.lock();
+        *file = fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .read(true)
+            .open(&self.path)
+            .map_err(|e| storage_err("truncate log", e))?;
+        *self.count.lock() = 0;
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(*self.count.lock())
+    }
+
+    fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "aaa-storage-test-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn dir_store_roundtrip() {
+        let dir = tmp_dir("kv");
+        let store = DirStore::open(&dir).unwrap();
+        store.put("matrix/d0", b"hello").unwrap();
+        store.put("agent#1", b"state").unwrap();
+        assert_eq!(store.get("matrix/d0").unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(store.get("nope").unwrap(), None);
+        let mut keys = store.keys().unwrap();
+        keys.sort();
+        assert_eq!(keys, vec!["agent#1", "matrix/d0"]);
+        store.remove("agent#1").unwrap();
+        assert_eq!(store.get("agent#1").unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dir_store_survives_reopen() {
+        let dir = tmp_dir("reopen");
+        {
+            let store = DirStore::open(&dir).unwrap();
+            store.put("k", b"persisted").unwrap();
+        }
+        let store = DirStore::open(&dir).unwrap();
+        assert_eq!(store.get("k").unwrap().as_deref(), Some(&b"persisted"[..]));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_escaping_roundtrips() {
+        for key in ["plain", "with/slash", "sp ace", "uni\u{e9}", "%weird%"] {
+            assert_eq!(unescape_key(&escape_key(key)).as_deref(), Some(key));
+        }
+    }
+
+    #[test]
+    fn file_log_roundtrip_and_recovery() {
+        let dir = tmp_dir("log");
+        let path = dir.join("server0.journal");
+        {
+            let log = FileLog::open(&path).unwrap();
+            log.append(b"rec1").unwrap();
+            log.append(b"record-two").unwrap();
+            assert_eq!(log.len().unwrap(), 2);
+        }
+        // Re-open: records survive.
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.len().unwrap(), 2);
+        assert_eq!(
+            log.read_all().unwrap(),
+            vec![b"rec1".to_vec(), b"record-two".to_vec()]
+        );
+        log.append(b"three").unwrap();
+        assert_eq!(log.len().unwrap(), 3);
+        log.clear().unwrap();
+        assert!(log.is_empty().unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_log_ignores_torn_tail() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("torn.journal");
+        {
+            let log = FileLog::open(&path).unwrap();
+            log.append(b"good").unwrap();
+        }
+        // Simulate a crash mid-append: a length prefix promising more bytes
+        // than exist.
+        {
+            let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&100u32.to_le_bytes()).unwrap();
+            f.write_all(b"onlyafew").unwrap();
+        }
+        let log = FileLog::open(&path).unwrap();
+        assert_eq!(log.read_all().unwrap(), vec![b"good".to_vec()]);
+        assert_eq!(log.len().unwrap(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,141 @@
+//! Append-only record logs for write-ahead journaling.
+
+use aaa_base::Result;
+use parking_lot::Mutex;
+
+use crate::stats::StorageStats;
+
+/// An append-only log of opaque records.
+///
+/// Records are byte strings; framing (length prefixes on disk) is the
+/// implementation's business. Recovery reads the whole log back in append
+/// order. Typed journaling (encoding channel/engine transactions) is
+/// layered on top by `aaa-mom`.
+pub trait Log: Send + Sync {
+    /// Appends one record, returning its zero-based index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aaa_base::Error::Storage`] if the backing medium fails.
+    fn append(&self, record: &[u8]) -> Result<u64>;
+
+    /// Reads every record, in append order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aaa_base::Error::Storage`] if the backing medium fails or
+    /// the log is corrupt.
+    fn read_all(&self) -> Result<Vec<Vec<u8>>>;
+
+    /// Discards every record (after a snapshot makes them redundant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aaa_base::Error::Storage`] if the backing medium fails.
+    fn clear(&self) -> Result<()>;
+
+    /// Number of records currently in the log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aaa_base::Error::Storage`] if the backing medium fails.
+    fn len(&self) -> Result<u64>;
+
+    /// Returns `true` if the log holds no records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aaa_base::Error::Storage`] if the backing medium fails.
+    fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// The write/read accounting for this log.
+    fn stats(&self) -> &StorageStats;
+}
+
+/// A [`Log`] kept in memory — the simulator's and tests' journal device.
+#[derive(Debug, Default)]
+pub struct MemoryLog {
+    records: Mutex<Vec<Vec<u8>>>,
+    stats: StorageStats,
+}
+
+impl MemoryLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Log for MemoryLog {
+    fn append(&self, record: &[u8]) -> Result<u64> {
+        self.stats.record_write(record.len() as u64);
+        let mut records = self.records.lock();
+        records.push(record.to_vec());
+        Ok(records.len() as u64 - 1)
+    }
+
+    fn read_all(&self) -> Result<Vec<Vec<u8>>> {
+        let records = self.records.lock();
+        let total: u64 = records.iter().map(|r| r.len() as u64).sum();
+        self.stats.record_read(total);
+        Ok(records.clone())
+    }
+
+    fn clear(&self) -> Result<()> {
+        self.stats.record_write(0);
+        self.records.lock().clear();
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.records.lock().len() as u64)
+    }
+
+    fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_back() {
+        let log = MemoryLog::new();
+        assert!(log.is_empty().unwrap());
+        assert_eq!(log.append(b"one").unwrap(), 0);
+        assert_eq!(log.append(b"two").unwrap(), 1);
+        assert_eq!(log.len().unwrap(), 2);
+        assert_eq!(log.read_all().unwrap(), vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let log = MemoryLog::new();
+        log.append(b"x").unwrap();
+        log.clear().unwrap();
+        assert!(log.is_empty().unwrap());
+        assert!(log.read_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn accounting_tracks_bytes() {
+        let log = MemoryLog::new();
+        log.append(b"12345").unwrap();
+        log.append(b"67").unwrap();
+        assert_eq!(log.stats().writes(), 2);
+        assert_eq!(log.stats().bytes_written(), 7);
+        let _ = log.read_all().unwrap();
+        assert_eq!(log.stats().bytes_read(), 7);
+    }
+
+    #[test]
+    fn empty_records_are_fine() {
+        let log = MemoryLog::new();
+        log.append(b"").unwrap();
+        assert_eq!(log.read_all().unwrap(), vec![Vec::<u8>::new()]);
+    }
+}

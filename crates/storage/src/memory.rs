@@ -1,0 +1,108 @@
+//! In-memory stable store (accounting-faithful stand-in for a disk).
+
+use std::collections::HashMap;
+
+use aaa_base::Result;
+use parking_lot::Mutex;
+
+use crate::stats::StorageStats;
+use crate::StableStore;
+
+/// A [`StableStore`] backed by a hash map.
+///
+/// Used in tests, the discrete-event simulator (where only the *accounting*
+/// of persistence matters, not actual durability) and anywhere a scratch
+/// store is handy. Crash-restart tests share one `MemoryStore` across the
+/// "crash": the store plays the role of the disk that survives.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    map: Mutex<HashMap<String, Vec<u8>>>,
+    stats: StorageStats,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Returns `true` if no key is stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+impl StableStore for MemoryStore {
+    fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        self.stats.record_write(value.len() as u64);
+        self.map.lock().insert(key.to_owned(), value.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        let map = self.map.lock();
+        let v = map.get(key).cloned();
+        if let Some(ref v) = v {
+            self.stats.record_read(v.len() as u64);
+        }
+        Ok(v)
+    }
+
+    fn remove(&self, key: &str) -> Result<()> {
+        self.stats.record_write(0);
+        self.map.lock().remove(key);
+        Ok(())
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        Ok(self.map.lock().keys().cloned().collect())
+    }
+
+    fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove() {
+        let s = MemoryStore::new();
+        assert!(s.is_empty());
+        s.put("a", b"1").unwrap();
+        s.put("b", b"22").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get("a").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(s.get("missing").unwrap(), None);
+        s.remove("a").unwrap();
+        assert_eq!(s.get("a").unwrap(), None);
+        s.remove("a").unwrap(); // idempotent
+        let mut keys = s.keys().unwrap();
+        keys.sort();
+        assert_eq!(keys, vec!["b"]);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let s = MemoryStore::new();
+        s.put("k", b"old").unwrap();
+        s.put("k", b"new!").unwrap();
+        assert_eq!(s.get("k").unwrap().as_deref(), Some(&b"new!"[..]));
+        assert_eq!(s.stats().writes(), 2);
+        assert_eq!(s.stats().bytes_written(), 7);
+    }
+
+    #[test]
+    fn usable_as_trait_object() {
+        let s: Box<dyn StableStore> = Box::new(MemoryStore::new());
+        s.put("x", b"y").unwrap();
+        assert_eq!(s.get("x").unwrap().as_deref(), Some(&b"y"[..]));
+    }
+}

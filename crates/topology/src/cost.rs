@@ -1,0 +1,220 @@
+//! The analytical cost model of §6.2.
+//!
+//! The paper explains the measured scaling with a simple model: sending one
+//! message inside a domain of `s` servers costs `s²` (matrix-clock
+//! maintenance), and a message crossing a tree of domains of depth `d`
+//! traverses at most `2d + 1` domains, so the worst-case cost of one
+//! end-to-end message is `C ≈ (2d + 1)·s²`.
+//!
+//! - **no decomposition**: one domain of `n` servers, `C ≈ n²` (quadratic —
+//!   Figures 7 and 8);
+//! - **bus** (depth `d = 1`, `√n` domains of `s = √n` servers):
+//!   `C ≈ 3·n` (linear — Figure 10);
+//! - **general tree** with fixed `s` and fanout `k`:
+//!   `C ≈ 2·s²·ln(n)/ln(k)` (logarithmic), but with a larger constant — the
+//!   paper notes a tree may lose to a bus once routing overhead
+//!   (proportional to `d`) is accounted for.
+
+/// Cost, in abstract "matrix cell operations", of one message delivery in a
+/// domain of `s` servers.
+///
+/// The paper takes the cost of sending a message in a domain of `s` servers
+/// to be `s²` (§6.2).
+pub fn domain_crossing_cost(s: usize) -> u64 {
+    (s as u64) * (s as u64)
+}
+
+/// Worst-case end-to-end message cost in a domain tree of depth `d` with
+/// `s` servers per domain: `(2d + 1)·s²` (§6.2).
+pub fn tree_message_cost(depth: usize, s: usize) -> u64 {
+    (2 * depth as u64 + 1) * domain_crossing_cost(s)
+}
+
+/// Total number of servers in a domain tree of depth `d`, fanout `k`, `s`
+/// servers per domain: `n = 1 + (s−1)(k^(d+1) − 1)/(k − 1)` (§6.2).
+///
+/// # Panics
+///
+/// Panics if `k < 2` (the paper's formula assumes a branching tree; use a
+/// bus or daisy for `k = 1`).
+pub fn tree_server_count(depth: usize, k: usize, s: usize) -> u64 {
+    assert!(k >= 2, "the tree formula requires fanout >= 2");
+    let k = k as u64;
+    let s = s as u64;
+    1 + (s - 1) * (k.pow(depth as u32 + 1) - 1) / (k - 1)
+}
+
+/// Cost of one message in the non-decomposed MOM of `n` servers: `n²`.
+pub fn flat_message_cost(n: usize) -> u64 {
+    domain_crossing_cost(n)
+}
+
+/// Cost of one remote message in the bus organization used for Figure 10:
+/// `√n` leaf domains of `√n` servers on a backbone, depth 1, so
+/// `C ≈ 3·(√n)² = 3·n` — linear in the application size.
+pub fn bus_message_cost(n: usize) -> u64 {
+    let s = (n as f64).sqrt().ceil() as usize;
+    tree_message_cost(1, s)
+}
+
+/// Per-message control-information *storage* on one server (cells held in
+/// matrix clocks): `n²` without decomposition, `Σ s_d²` over the server's
+/// domains with it.
+pub fn server_state_cells(domain_sizes: &[usize]) -> u64 {
+    domain_sizes.iter().map(|&s| (s as u64) * (s as u64)).sum()
+}
+
+/// Simple least-squares fit helpers used by the experiment harness to
+/// check the *shape* of measured series (quadratic for Figure 7/8, linear
+/// for Figure 10).
+pub mod fit {
+    /// Least-squares fit of `y = a + b·x`, returning `(a, b, rmse)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or have fewer than 2 points.
+    pub fn linear(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+        fit_with(xs, ys, |x| x)
+    }
+
+    /// Least-squares fit of `y = a + b·x²`, returning `(a, b, rmse)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or have fewer than 2 points.
+    pub fn quadratic(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+        fit_with(xs, ys, |x| x * x)
+    }
+
+    fn fit_with(xs: &[f64], ys: &[f64], basis: impl Fn(f64) -> f64) -> (f64, f64, f64) {
+        assert_eq!(xs.len(), ys.len(), "mismatched series lengths");
+        assert!(xs.len() >= 2, "need at least two points to fit");
+        let n = xs.len() as f64;
+        let ts: Vec<f64> = xs.iter().map(|&x| basis(x)).collect();
+        let st: f64 = ts.iter().sum();
+        let sy: f64 = ys.iter().sum();
+        let stt: f64 = ts.iter().map(|t| t * t).sum();
+        let sty: f64 = ts.iter().zip(ys).map(|(t, y)| t * y).sum();
+        let denom = n * stt - st * st;
+        let b = if denom.abs() < f64::EPSILON {
+            0.0
+        } else {
+            (n * sty - st * sy) / denom
+        };
+        let a = (sy - b * st) / n;
+        let mse: f64 = ts
+            .iter()
+            .zip(ys)
+            .map(|(t, y)| {
+                let e = y - (a + b * t);
+                e * e
+            })
+            .sum::<f64>()
+            / n;
+        (a, b, mse.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_cost_is_quadratic() {
+        assert_eq!(flat_message_cost(10), 100);
+        assert_eq!(flat_message_cost(50), 2500);
+        // 5x servers -> 25x cost
+        assert_eq!(flat_message_cost(50) / flat_message_cost(10), 25);
+    }
+
+    #[test]
+    fn bus_cost_is_linear() {
+        // C(n) ≈ 3n for perfect squares.
+        assert_eq!(bus_message_cost(100), 300);
+        assert_eq!(bus_message_cost(400), 1200);
+        assert_eq!(bus_message_cost(400) / bus_message_cost(100), 4);
+    }
+
+    #[test]
+    fn tree_cost_formula() {
+        assert_eq!(tree_message_cost(0, 7), 49);
+        assert_eq!(tree_message_cost(2, 4), 5 * 16);
+    }
+
+    #[test]
+    fn tree_count_matches_builder() {
+        use crate::TopologySpec;
+        for (d, k, s) in [(1usize, 2usize, 3usize), (2, 2, 3), (1, 3, 4)] {
+            let spec = TopologySpec::tree(d as u16, k as u16, s as u16);
+            assert_eq!(spec.server_count() as u64, tree_server_count(d, k, s));
+        }
+    }
+
+    #[test]
+    fn decomposition_beats_flat_beyond_small_n() {
+        // The crossover the paper's Figure 11 shows: for small n the flat
+        // MOM is cheaper; for large n the bus wins by a widening margin.
+        assert!(flat_message_cost(2) <= bus_message_cost(2));
+        assert!(flat_message_cost(100) > bus_message_cost(100));
+        assert!(flat_message_cost(10_000) / bus_message_cost(10_000) > 300);
+    }
+
+    #[test]
+    fn state_cells_sum_over_domains() {
+        // A router in two domains of 5 stores 50 cells instead of n² = 100
+        // for a flat 10-server MOM.
+        assert_eq!(server_state_cells(&[5, 5]), 50);
+        assert_eq!(server_state_cells(&[10]), 100);
+        assert_eq!(server_state_cells(&[]), 0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_coefficients() {
+        let xs: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let (a, b, rmse) = fit::linear(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!(rmse < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_fit_recovers_coefficients() {
+        let xs: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 + 0.5 * x * x).collect();
+        let (a, b, rmse) = fit::quadratic(&xs, &ys);
+        assert!((a - 5.0).abs() < 1e-9);
+        assert!((b - 0.5).abs() < 1e-9);
+        assert!(rmse < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_fits_paper_figure7_better_than_linear() {
+        // The paper's Figure 7 series.
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let ys = [61.0, 69.0, 88.0, 136.0, 201.0];
+        let (_, _, rmse_lin) = fit::linear(&xs, &ys);
+        let (_, _, rmse_quad) = fit::quadratic(&xs, &ys);
+        assert!(
+            rmse_quad < rmse_lin,
+            "paper's own data should prefer the quadratic fit"
+        );
+    }
+
+    #[test]
+    fn linear_fits_paper_figure10_better_than_quadratic() {
+        // The paper's Figure 10 series.
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 90.0, 120.0, 150.0];
+        let ys = [159.0, 175.0, 185.0, 192.0, 189.0, 205.0, 212.0, 217.0, 218.0];
+        let (_, b_lin, rmse_lin) = fit::linear(&xs, &ys);
+        let (_, _, rmse_quad) = fit::quadratic(&xs, &ys);
+        assert!(rmse_lin < rmse_quad);
+        assert!(b_lin > 0.0 && b_lin < 1.0, "gentle linear slope, got {b_lin}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout >= 2")]
+    fn tree_count_rejects_k1() {
+        let _ = tree_server_count(1, 1, 3);
+    }
+}

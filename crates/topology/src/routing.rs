@@ -1,0 +1,260 @@
+//! Static routing tables, built at boot by shortest-path search (§5).
+//!
+//! The paper follows "the classical network protocol approach, using a
+//! routing table": for each destination server, the table holds the
+//! identifier of the server the message should be sent to next — the
+//! destination itself when it shares a domain, a causal router-server
+//! otherwise. Tables are built statically at boot time from the topology.
+
+use serde::{Deserialize, Serialize};
+
+use aaa_base::{Error, Result, ServerId};
+
+use crate::topology::Topology;
+
+/// One server's routing table: next hop and hop count per destination.
+///
+/// Built by breadth-first search over the server graph (an edge joins two
+/// servers sharing a domain), with neighbors examined in ascending id order
+/// so every boot produces identical tables.
+///
+/// # Examples
+///
+/// ```
+/// use aaa_base::ServerId;
+/// use aaa_topology::{RoutingTable, TopologySpec};
+///
+/// let topo = TopologySpec::from_domains(vec![
+///     vec![0, 1, 2],
+///     vec![2, 3, 4, 5],
+///     vec![5, 6, 7],
+/// ])
+/// .validate()?;
+/// let table = RoutingTable::build(&topo, ServerId::new(0))?;
+/// // S0 -> S7 must go through the routers S2 then S5 (cf. Figure 2's
+/// // S1 -> S3 -> S7 -> S8 route).
+/// assert_eq!(table.next_hop(ServerId::new(7))?, ServerId::new(2));
+/// assert_eq!(table.hops(ServerId::new(7))?, 3);
+/// # Ok::<(), aaa_base::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    me: ServerId,
+    next: Vec<ServerId>,
+    hops: Vec<u32>,
+}
+
+impl RoutingTable {
+    /// Builds the routing table of server `me` for `topology`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] if `me` is not in the topology.
+    /// (Unreachable destinations cannot occur: validation guarantees a
+    /// connected server graph.)
+    pub fn build(topology: &Topology, me: ServerId) -> Result<RoutingTable> {
+        topology.check_server(me)?;
+        let n = topology.server_count();
+        let mut next = vec![me; n];
+        let mut hops = vec![u32::MAX; n];
+        hops[me.as_usize()] = 0;
+
+        // BFS recording, for every destination, the *first hop* taken out
+        // of `me` on a shortest path.
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(me);
+        while let Some(v) = queue.pop_front() {
+            for &w in topology.neighbors(v) {
+                if hops[w.as_usize()] == u32::MAX {
+                    hops[w.as_usize()] = hops[v.as_usize()] + 1;
+                    next[w.as_usize()] = if v == me { w } else { next[v.as_usize()] };
+                    queue.push_back(w);
+                }
+            }
+        }
+        debug_assert!(
+            hops.iter().all(|&h| h != u32::MAX),
+            "validated topologies are connected"
+        );
+        Ok(RoutingTable { me, next, hops })
+    }
+
+    /// Builds the routing tables of every server, indexed by server id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from [`RoutingTable::build`] (none occur for a
+    /// validated topology).
+    pub fn build_all(topology: &Topology) -> Result<Vec<RoutingTable>> {
+        topology.servers().map(|s| Self::build(topology, s)).collect()
+    }
+
+    /// The server this table belongs to.
+    pub fn me(&self) -> ServerId {
+        self.me
+    }
+
+    /// The server to forward to next on the way to `dest`.
+    ///
+    /// Returns `me` itself when `dest == me` (local delivery).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] if `dest` is out of range.
+    pub fn next_hop(&self, dest: ServerId) -> Result<ServerId> {
+        self.next
+            .get(dest.as_usize())
+            .copied()
+            .ok_or(Error::UnknownServer(dest))
+    }
+
+    /// Number of hops to `dest` (0 for `me` itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] if `dest` is out of range.
+    pub fn hops(&self, dest: ServerId) -> Result<u32> {
+        self.hops
+            .get(dest.as_usize())
+            .copied()
+            .ok_or(Error::UnknownServer(dest))
+    }
+
+    /// The largest hop count in the table (the server's eccentricity).
+    pub fn max_hops(&self) -> u32 {
+        self.hops.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Follows the per-server tables from `from` to `to`, returning the full
+/// server path, endpoints included — like a `traceroute` over the MOM.
+///
+/// # Errors
+///
+/// Returns [`Error::UnknownServer`] if either endpoint is out of range for
+/// `tables`, or [`Error::NoRoute`] if the tables do not converge within
+/// `tables.len()` hops (impossible for tables produced by
+/// [`RoutingTable::build_all`]).
+pub fn trace_route(
+    tables: &[RoutingTable],
+    from: ServerId,
+    to: ServerId,
+) -> Result<Vec<ServerId>> {
+    if from.as_usize() >= tables.len() {
+        return Err(Error::UnknownServer(from));
+    }
+    let mut path = vec![from];
+    let mut cur = from;
+    while cur != to {
+        if path.len() > tables.len() {
+            return Err(Error::NoRoute { from, to });
+        }
+        cur = tables[cur.as_usize()].next_hop(to)?;
+        path.push(cur);
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TopologySpec;
+
+    fn figure2() -> Topology {
+        TopologySpec::from_domains(vec![
+            vec![0, 1, 2],
+            vec![3, 4],
+            vec![6, 7],
+            vec![2, 4, 5, 6],
+        ])
+        .validate()
+        .unwrap()
+    }
+
+    fn s(i: u16) -> ServerId {
+        ServerId::new(i)
+    }
+
+    #[test]
+    fn intra_domain_is_direct() {
+        let t = figure2();
+        let rt = RoutingTable::build(&t, s(0)).unwrap();
+        assert_eq!(rt.next_hop(s(1)).unwrap(), s(1));
+        assert_eq!(rt.next_hop(s(2)).unwrap(), s(2));
+        assert_eq!(rt.hops(s(1)).unwrap(), 1);
+        assert_eq!(rt.next_hop(s(0)).unwrap(), s(0));
+        assert_eq!(rt.hops(s(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn paper_route_s1_to_s8() {
+        // Paper: S1→S3, S3→S7, S7→S8 — in 0-based ids: 0→2→6→7.
+        let t = figure2();
+        let tables = RoutingTable::build_all(&t).unwrap();
+        let path = trace_route(&tables, s(0), s(7)).unwrap();
+        assert_eq!(path, vec![s(0), s(2), s(6), s(7)]);
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_length() {
+        let t = figure2();
+        let tables = RoutingTable::build_all(&t).unwrap();
+        for a in t.servers() {
+            for b in t.servers() {
+                assert_eq!(
+                    tables[a.as_usize()].hops(b).unwrap(),
+                    tables[b.as_usize()].hops(a).unwrap(),
+                    "asymmetric hop count {a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_hop_shares_a_domain() {
+        let t = figure2();
+        let tables = RoutingTable::build_all(&t).unwrap();
+        for a in t.servers() {
+            for b in t.servers() {
+                let path = trace_route(&tables, a, b).unwrap();
+                for w in path.windows(2) {
+                    assert!(
+                        t.shared_domain(w[0], w[1]).is_some(),
+                        "hop {}->{} crosses no domain",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_hops_of_bus() {
+        let t = TopologySpec::bus(4, 5).validate().unwrap();
+        let tables = RoutingTable::build_all(&t).unwrap();
+        // Leaf server -> router -> other router -> leaf server = 3 hops.
+        let worst = tables.iter().map(|t| t.max_hops()).max().unwrap();
+        assert_eq!(worst, 3);
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let t = figure2();
+        let rt = RoutingTable::build(&t, s(0)).unwrap();
+        assert!(matches!(rt.next_hop(s(99)), Err(Error::UnknownServer(_))));
+        assert!(matches!(rt.hops(s(99)), Err(Error::UnknownServer(_))));
+        assert!(matches!(
+            RoutingTable::build(&t, s(99)),
+            Err(Error::UnknownServer(_))
+        ));
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let t = TopologySpec::tree(2, 2, 3).validate().unwrap();
+        let a = RoutingTable::build_all(&t).unwrap();
+        let b = RoutingTable::build_all(&t).unwrap();
+        assert_eq!(a, b);
+    }
+}

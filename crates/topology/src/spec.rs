@@ -1,0 +1,454 @@
+//! Declarative topology specifications and the Figure 9 builders.
+
+use serde::{Deserialize, Serialize};
+
+use aaa_base::{Error, Result, ServerId};
+
+use crate::topology::Topology;
+
+/// A declarative description of a domain decomposition: which servers exist
+/// and how they are grouped into domains of causality.
+///
+/// A spec is cheap to construct and may be invalid; [`TopologySpec::validate`]
+/// turns it into a checked [`Topology`]. Builders are provided for the
+/// paper's organizations (Figure 9): [`bus`](TopologySpec::bus),
+/// [`daisy`](TopologySpec::daisy) and [`tree`](TopologySpec::tree), plus the
+/// no-decomposition baseline [`single_domain`](TopologySpec::single_domain).
+///
+/// # Examples
+///
+/// ```
+/// use aaa_topology::TopologySpec;
+///
+/// let spec = TopologySpec::bus(4, 5); // 4 leaf domains of 5 servers + backbone
+/// let topo = spec.validate().unwrap();
+/// assert_eq!(topo.server_count(), 20);
+/// assert_eq!(topo.domain_count(), 5); // 4 leaves + the backbone
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    domains: Vec<Vec<ServerId>>,
+}
+
+impl TopologySpec {
+    /// Builds a spec from explicit domain member lists (raw `u16` server
+    /// ids for convenience).
+    ///
+    /// Server ids must form a dense range `0..n`; this is checked by
+    /// [`TopologySpec::validate`].
+    pub fn from_domains(domains: Vec<Vec<u16>>) -> Self {
+        TopologySpec {
+            domains: domains
+                .into_iter()
+                .map(|d| d.into_iter().map(ServerId::new).collect())
+                .collect(),
+        }
+    }
+
+    /// Builds a spec from explicit domain member lists of [`ServerId`].
+    pub fn from_server_domains(domains: Vec<Vec<ServerId>>) -> Self {
+        TopologySpec { domains }
+    }
+
+    /// The classical, non-decomposed MOM: all `n` servers in one domain.
+    ///
+    /// This is the baseline of Figures 7 and 8, with `O(n²)` causal-ordering
+    /// cost.
+    pub fn single_domain(n: u16) -> Self {
+        TopologySpec {
+            domains: vec![(0..n).map(ServerId::new).collect()],
+        }
+    }
+
+    /// The **bus** organization of Figure 9 and the Figure 10 experiment:
+    /// `k` leaf domains of `s` servers each, whose first servers are linked
+    /// by a backbone domain `D0`.
+    ///
+    /// Total servers: `k × s`. Domain 0 is the backbone; domains `1..=k` are
+    /// the leaves. The first server of each leaf is its causal
+    /// router-server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `s` is zero.
+    pub fn bus(k: u16, s: u16) -> Self {
+        assert!(k > 0 && s > 0, "bus needs at least one domain and one server");
+        let mut domains = Vec::with_capacity(k as usize + 1);
+        // Backbone first so it gets DomainId 0, matching Figure 9's D0.
+        domains.push((0..k).map(|i| ServerId::new(i * s)).collect());
+        for i in 0..k {
+            domains.push((0..s).map(|j| ServerId::new(i * s + j)).collect());
+        }
+        TopologySpec { domains }
+    }
+
+    /// The **daisy** organization of Figure 9: a chain of `k` domains of `s`
+    /// servers, adjacent domains sharing one router-server.
+    ///
+    /// Total servers: `k × s − (k − 1)` (each shared router is counted
+    /// once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero, or `s < 2` while `k > 1` (a chain link needs a
+    /// server on each side of the shared router).
+    pub fn daisy(k: u16, s: u16) -> Self {
+        assert!(k > 0, "daisy needs at least one domain");
+        assert!(k == 1 || s >= 2, "daisy links need domains of at least 2 servers");
+        let mut domains = Vec::with_capacity(k as usize);
+        let mut next = 0u16;
+        for i in 0..k {
+            let start = if i == 0 { 0 } else { next - 1 }; // share last server
+            let members: Vec<ServerId> =
+                (start..start + s).map(ServerId::new).collect();
+            next = start + s;
+            domains.push(members);
+        }
+        TopologySpec { domains }
+    }
+
+    /// The **hierarchical (tree)** organization of Figure 9: a root domain
+    /// of `s` servers; every domain at depth `< depth` has `fanout` child
+    /// domains, each sharing its first server with one server of the parent
+    /// generation.
+    ///
+    /// Each child domain contributes `s − 1` new servers (its router is a
+    /// parent member... precisely: the child's router *is* a fresh server
+    /// that also joins the parent domain would change parent size, so
+    /// instead the child's first member is one of the parent's existing
+    /// servers). With `s` servers per domain and `k = fanout`, depth `d`,
+    /// the server count matches the paper's
+    /// `n = 1 + (s−1)(k^(d+1) − 1)/(k − 1)` for `k > 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s < 2` and `depth > 0`, or `fanout` is zero while
+    /// `depth > 0`, or the tree would have more domains than parent slots
+    /// (`fanout > s` with each parent server hosting at most one child per
+    /// level... concretely `fanout ≤ s − 1` is required for depth ≥ 1 so
+    /// each child hangs off a distinct non-router parent server, plus the
+    /// root may also use its first server).
+    pub fn tree(depth: u16, fanout: u16, s: u16) -> Self {
+        if depth == 0 {
+            return TopologySpec::single_domain(s);
+        }
+        assert!(s >= 2, "tree domains need at least 2 servers");
+        assert!(fanout >= 1, "tree needs a fanout of at least 1");
+        assert!(
+            fanout <= s,
+            "fanout {fanout} exceeds the {s} attachment points per domain"
+        );
+        let mut domains: Vec<Vec<ServerId>> = Vec::new();
+        let mut next = 0u16;
+        // Root domain.
+        let root: Vec<ServerId> = (0..s).map(ServerId::new).collect();
+        next += s;
+        domains.push(root);
+        // Grow level by level; `frontier` holds indices of domains whose
+        // children are still to be created.
+        let mut frontier = vec![0usize];
+        for _ in 0..depth {
+            let mut next_frontier = Vec::new();
+            for &parent_idx in &frontier {
+                for c in 0..fanout {
+                    // Child root = the (c+1 mod s)-th member of the parent,
+                    // skipping index 0 when possible so leaf routers differ
+                    // from the parent's own router.
+                    let attach = domains[parent_idx][((c + 1) % s) as usize];
+                    let mut child = Vec::with_capacity(s as usize);
+                    child.push(attach);
+                    for _ in 1..s {
+                        child.push(ServerId::new(next));
+                        next += 1;
+                    }
+                    domains.push(child);
+                    next_frontier.push(domains.len() - 1);
+                }
+            }
+            frontier = next_frontier;
+        }
+        TopologySpec { domains }
+    }
+
+    /// Parses the plain-text topology format: one domain per line, member
+    /// server ids separated by whitespace; `#` starts a comment; blank
+    /// lines are ignored.
+    ///
+    /// ```text
+    /// # Figure 2 of the paper (0-based)
+    /// 0 1 2      # domain A
+    /// 3 4        # domain B
+    /// 6 7        # domain C
+    /// 2 4 5 6    # domain D
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] on unparsable ids; structural problems
+    /// (duplicates, sparse ids, cycles) surface later from
+    /// [`TopologySpec::validate`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aaa_topology::TopologySpec;
+    ///
+    /// let spec = TopologySpec::parse("0 1 2\n2 3 4 # second domain\n")?;
+    /// assert_eq!(spec.domain_count(), 2);
+    /// # Ok::<(), aaa_base::Error>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<TopologySpec> {
+        let mut domains = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut members = Vec::new();
+            for token in line.split_whitespace() {
+                let id: u16 = token.parse().map_err(|_| {
+                    Error::Config(format!(
+                        "line {}: invalid server id {token:?}",
+                        lineno + 1
+                    ))
+                })?;
+                members.push(ServerId::new(id));
+            }
+            domains.push(members);
+        }
+        if domains.is_empty() {
+            return Err(Error::Config("no domains in topology text".into()));
+        }
+        Ok(TopologySpec { domains })
+    }
+
+    /// Renders the spec in the format accepted by [`TopologySpec::parse`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for members in &self.domains {
+            let ids: Vec<String> =
+                members.iter().map(|s| s.as_u16().to_string()).collect();
+            out.push_str(&ids.join(" "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The domain member lists.
+    pub fn domains(&self) -> &[Vec<ServerId>] {
+        &self.domains
+    }
+
+    /// Number of domains in the spec.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Number of distinct servers mentioned in the spec.
+    pub fn server_count(&self) -> usize {
+        let mut ids: Vec<u16> = self
+            .domains
+            .iter()
+            .flatten()
+            .map(|s| s.as_u16())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Validates the spec into a [`Topology`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTopology`] if a domain is empty or contains a
+    /// duplicate member, if server ids are not dense `0..n`, or if the
+    /// server graph is disconnected; returns [`Error::CyclicDomainGraph`]
+    /// if the domain interconnection structure has a cycle (precondition P2
+    /// of the paper's theorem).
+    pub fn validate(self) -> Result<Topology> {
+        Topology::build(self)
+    }
+
+    /// Validates the spec like [`TopologySpec::validate`] but *allows* a
+    /// cyclic domain graph.
+    ///
+    /// Cyclic decompositions violate the theorem's precondition and can
+    /// break global causality — this constructor exists so that tests and
+    /// experiments can demonstrate exactly that (Figure 4).
+    pub fn validate_allow_cycles(self) -> Result<Topology> {
+        Topology::build_allow_cycles(self)
+    }
+}
+
+impl FromIterator<Vec<ServerId>> for TopologySpec {
+    fn from_iter<T: IntoIterator<Item = Vec<ServerId>>>(iter: T) -> Self {
+        TopologySpec {
+            domains: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Validation helpers shared with `Topology::build`.
+pub(crate) fn check_structure(spec: &TopologySpec) -> Result<usize> {
+    if spec.domains.is_empty() {
+        return Err(Error::InvalidTopology("no domains".into()));
+    }
+    let mut seen: Vec<u16> = Vec::new();
+    for (i, members) in spec.domains.iter().enumerate() {
+        if members.is_empty() {
+            return Err(Error::InvalidTopology(format!("domain D{i} is empty")));
+        }
+        let mut sorted: Vec<u16> = members.iter().map(|s| s.as_u16()).collect();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(Error::InvalidTopology(format!(
+                "domain D{i} contains a duplicate member"
+            )));
+        }
+        seen.extend(sorted);
+    }
+    seen.sort_unstable();
+    seen.dedup();
+    let n = seen.len();
+    if seen[0] != 0 || seen[n - 1] as usize != n - 1 {
+        return Err(Error::InvalidTopology(format!(
+            "server ids must be dense 0..{n}, got range {}..={}",
+            seen[0],
+            seen[n - 1]
+        )));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_domain_shape() {
+        let spec = TopologySpec::single_domain(5);
+        assert_eq!(spec.domain_count(), 1);
+        assert_eq!(spec.server_count(), 5);
+    }
+
+    #[test]
+    fn bus_shape() {
+        let spec = TopologySpec::bus(3, 4);
+        assert_eq!(spec.domain_count(), 4);
+        assert_eq!(spec.server_count(), 12);
+        // Backbone = the first server of each leaf.
+        assert_eq!(
+            spec.domains()[0],
+            vec![ServerId::new(0), ServerId::new(4), ServerId::new(8)]
+        );
+    }
+
+    #[test]
+    fn daisy_shape() {
+        let spec = TopologySpec::daisy(3, 4);
+        assert_eq!(spec.domain_count(), 3);
+        // 3*4 - 2 shared = 10 servers
+        assert_eq!(spec.server_count(), 10);
+        // adjacent domains share exactly one server
+        let d0: Vec<u16> = spec.domains()[0].iter().map(|s| s.as_u16()).collect();
+        let d1: Vec<u16> = spec.domains()[1].iter().map(|s| s.as_u16()).collect();
+        let shared: Vec<u16> = d0.iter().filter(|x| d1.contains(x)).copied().collect();
+        assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn tree_matches_paper_count_formula() {
+        // Paper §6.2: n = 1 + (s-1)(k^(d+1) - 1)/(k-1).
+        for (d, k, s) in [(1u16, 2u16, 3u16), (2, 2, 3), (1, 3, 4), (2, 2, 4)] {
+            let spec = TopologySpec::tree(d, k, s);
+            let expected = 1
+                + (s as usize - 1) * ((k as usize).pow(d as u32 + 1) - 1)
+                    / (k as usize - 1);
+            assert_eq!(
+                spec.server_count(),
+                expected,
+                "tree(depth={d}, fanout={k}, s={s})"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_depth_zero_is_single_domain() {
+        let spec = TopologySpec::tree(0, 2, 7);
+        assert_eq!(spec, TopologySpec::single_domain(7));
+    }
+
+    #[test]
+    fn structure_rejects_empty_domain() {
+        let spec = TopologySpec::from_domains(vec![vec![0], vec![]]);
+        assert!(matches!(
+            check_structure(&spec),
+            Err(Error::InvalidTopology(_))
+        ));
+    }
+
+    #[test]
+    fn structure_rejects_duplicate_member() {
+        let spec = TopologySpec::from_domains(vec![vec![0, 0]]);
+        assert!(matches!(
+            check_structure(&spec),
+            Err(Error::InvalidTopology(_))
+        ));
+    }
+
+    #[test]
+    fn structure_rejects_sparse_ids() {
+        let spec = TopologySpec::from_domains(vec![vec![0, 2]]);
+        assert!(matches!(
+            check_structure(&spec),
+            Err(Error::InvalidTopology(_))
+        ));
+        let spec = TopologySpec::from_domains(vec![vec![1, 2]]);
+        assert!(matches!(
+            check_structure(&spec),
+            Err(Error::InvalidTopology(_))
+        ));
+    }
+
+    #[test]
+    fn parse_and_render_roundtrip() {
+        let text = "# header comment\n0 1 2\n\n2 3 4 # trailing comment\n";
+        let spec = TopologySpec::parse(text).unwrap();
+        assert_eq!(spec.domain_count(), 2);
+        assert_eq!(spec.server_count(), 5);
+        let rendered = spec.to_text();
+        assert_eq!(rendered, "0 1 2\n2 3 4\n");
+        assert_eq!(TopologySpec::parse(&rendered).unwrap(), spec);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TopologySpec::parse("0 1 banana").is_err());
+        assert!(TopologySpec::parse("").is_err());
+        assert!(TopologySpec::parse("# only comments\n").is_err());
+        assert!(TopologySpec::parse("70000").is_err()); // > u16::MAX
+    }
+
+    #[test]
+    fn parsed_spec_validates_like_any_other() {
+        let spec = TopologySpec::parse("0 1\n1 2\n2 0\n").unwrap();
+        assert!(spec.validate().is_err(), "cycle must still be caught");
+        let spec = TopologySpec::parse("0 1 2\n2 3\n").unwrap();
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let spec: TopologySpec = vec![vec![ServerId::new(0), ServerId::new(1)]]
+            .into_iter()
+            .collect();
+        assert_eq!(spec.domain_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 servers")]
+    fn daisy_rejects_short_domains() {
+        let _ = TopologySpec::daisy(3, 1);
+    }
+}

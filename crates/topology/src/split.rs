@@ -1,0 +1,488 @@
+//! Automatic domain splitting — the paper's future work (§7), implemented.
+//!
+//! "The division of the MOM in domains needs to be done carefully and the
+//! new problem is to find an optimal splitting. […] it can be made
+//! according to the application's topology. This latter solution exploits
+//! the description of applications […] to obtain the application graph
+//! connectivity and to determine an optimal split of the communication
+//! architecture."
+//!
+//! This module takes an application *traffic matrix* (message rates
+//! between servers) and produces an acyclic domain decomposition:
+//!
+//! 1. **Clustering** — greedy agglomerative merging of the
+//!    heaviest-communicating server groups into domains, bounded by a
+//!    maximum domain size (the `s` of the §6.2 cost model);
+//! 2. **Interconnection** — a *maximum* spanning tree over inter-cluster
+//!    traffic, so the heaviest inter-domain flows cross the fewest
+//!    routers; each tree edge is realized by adding one border server of
+//!    one domain (the one with the most traffic toward the other) into the
+//!    other domain, making it a causal router-server. The result is a tree
+//!    in the bipartite membership graph, hence acyclic by construction —
+//!    the theorem's precondition P2 holds for free;
+//! 3. **Evaluation** — [`expected_cost`] prices a decomposition against a
+//!    traffic matrix using the §6.2 model (per-hop constant plus `2s²`
+//!    matrix-cell work per domain crossed), so alternative splits can be
+//!    compared quantitatively.
+
+use aaa_base::{Error, Result, ServerId};
+
+use crate::routing::{trace_route, RoutingTable};
+use crate::spec::TopologySpec;
+use crate::topology::Topology;
+
+/// Message rates between servers: `rate(i, j)` messages per time unit
+/// from `i` to `j`.
+///
+/// # Examples
+///
+/// ```
+/// use aaa_topology::split::TrafficMatrix;
+///
+/// let mut t = TrafficMatrix::new(3);
+/// t.set(0, 1, 10.0);
+/// t.set(1, 0, 2.0);
+/// assert_eq!(t.weight(0, 1), 12.0); // symmetrized
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficMatrix {
+    n: usize,
+    rates: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    /// Creates an all-zero matrix over `n` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "traffic matrix needs at least one server");
+        TrafficMatrix {
+            n,
+            rates: vec![0.0; n * n],
+        }
+    }
+
+    /// Uniform all-to-all traffic at the given per-pair rate.
+    pub fn uniform(n: usize, rate: f64) -> Self {
+        let mut t = TrafficMatrix::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    t.set(i, j, rate);
+                }
+            }
+        }
+        t
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the matrix covers no servers (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets the rate from `i` to `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range, `i == j`, or the rate is
+    /// negative or non-finite.
+    pub fn set(&mut self, i: usize, j: usize, rate: f64) {
+        assert!(i < self.n && j < self.n, "server index out of range");
+        assert_ne!(i, j, "self-traffic never crosses the bus");
+        assert!(rate.is_finite() && rate >= 0.0, "rates must be non-negative");
+        self.rates[i * self.n + j] = rate;
+    }
+
+    /// The rate from `i` to `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "server index out of range");
+        self.rates[i * self.n + j]
+    }
+
+    /// Symmetrized weight: `rate(i, j) + rate(j, i)`.
+    pub fn weight(&self, i: usize, j: usize) -> f64 {
+        self.get(i, j) + self.get(j, i)
+    }
+
+    /// Sum of all rates.
+    pub fn total(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+}
+
+/// Tuning knobs for [`split_by_traffic`].
+#[derive(Debug, Clone, Copy)]
+pub struct SplitConfig {
+    /// Largest allowed domain (the `s` that bounds the quadratic term).
+    pub max_domain_size: usize,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig { max_domain_size: 8 }
+    }
+}
+
+/// Splits `n` servers into an acyclic domain decomposition guided by the
+/// traffic matrix (see the [module docs](self) for the algorithm).
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] if `max_domain_size < 2` (domains need room
+/// for a member and a router), or validation errors if the resulting spec
+/// is somehow degenerate (not expected).
+pub fn split_by_traffic(
+    traffic: &TrafficMatrix,
+    config: &SplitConfig,
+) -> Result<TopologySpec> {
+    if config.max_domain_size < 2 {
+        return Err(Error::Config(
+            "max_domain_size must be at least 2".into(),
+        ));
+    }
+    let n = traffic.len();
+    if n == 1 {
+        return Ok(TopologySpec::single_domain(1));
+    }
+
+    // --- 1. Greedy agglomerative clustering ------------------------------
+    // Start with singleton clusters; repeatedly merge the pair with the
+    // heaviest inter-cluster traffic that still fits the size bound.
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..clusters.len() {
+            for b in a + 1..clusters.len() {
+                if clusters[a].len() + clusters[b].len() > config.max_domain_size {
+                    continue;
+                }
+                let w: f64 = clusters[a]
+                    .iter()
+                    .flat_map(|&i| clusters[b].iter().map(move |&j| (i, j)))
+                    .map(|(i, j)| traffic.weight(i, j))
+                    .sum();
+                if w > 0.0 && best.map_or(true, |(_, _, bw)| w > bw) {
+                    best = Some((a, b, w));
+                }
+            }
+        }
+        let Some((a, b, _)) = best else { break };
+        let merged = clusters.remove(b);
+        clusters[a].extend(merged);
+    }
+
+    // Servers with no traffic at all still need a home: keep their
+    // singleton clusters (they become leaf domains attached arbitrarily).
+
+    // --- 2. Maximum spanning tree over inter-cluster traffic -------------
+    let k = clusters.len();
+    if k == 1 {
+        let members: Vec<u16> = clusters[0].iter().map(|&s| s as u16).collect();
+        return Ok(TopologySpec::from_domains(vec![members]));
+    }
+    let cluster_weight = |a: &[usize], b: &[usize]| -> f64 {
+        a.iter()
+            .flat_map(|&i| b.iter().map(move |&j| (i, j)))
+            .map(|(i, j)| traffic.weight(i, j))
+            .sum()
+    };
+    // Prim's algorithm, maximizing weight (zero-weight edges allowed so
+    // the tree always spans).
+    let mut in_tree = vec![false; k];
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(k - 1);
+    in_tree[0] = true;
+    for _ in 1..k {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..k {
+            if !in_tree[a] {
+                continue;
+            }
+            for b in 0..k {
+                if in_tree[b] {
+                    continue;
+                }
+                let w = cluster_weight(&clusters[a], &clusters[b]);
+                if best.map_or(true, |(_, _, bw)| w > bw) {
+                    best = Some((a, b, w));
+                }
+            }
+        }
+        let (a, b, _) = best.expect("graph is complete");
+        in_tree[b] = true;
+        edges.push((a, b));
+    }
+
+    // --- 3. Realize tree edges with border router-servers ----------------
+    // For edge (a, b): the server of b with the most traffic toward a
+    // joins domain a as its router into b.
+    let mut domains: Vec<Vec<usize>> = clusters.clone();
+    for (a, b) in edges {
+        let router = *clusters[b]
+            .iter()
+            .max_by(|&&x, &&y| {
+                let wx: f64 = clusters[a].iter().map(|&i| traffic.weight(i, x)).sum();
+                let wy: f64 = clusters[a].iter().map(|&i| traffic.weight(i, y)).sum();
+                wx.partial_cmp(&wy).expect("finite weights")
+            })
+            .expect("clusters are non-empty");
+        domains[a].push(router);
+    }
+
+    Ok(TopologySpec::from_domains(
+        domains
+            .into_iter()
+            .map(|d| d.into_iter().map(|s| s as u16).collect())
+            .collect(),
+    ))
+}
+
+/// Prices of one message hop for [`expected_cost`].
+#[derive(Debug, Clone, Copy)]
+pub struct HopCost {
+    /// Constant per hop (transfer, serialization, agent save).
+    pub base: f64,
+    /// Cost per matrix cell touched; a hop in a domain of `s` servers
+    /// touches about `2s²` cells.
+    pub per_cell: f64,
+}
+
+impl Default for HopCost {
+    fn default() -> Self {
+        // The simulator's calibrated constants, in microseconds.
+        HopCost {
+            base: 27_500.0,
+            per_cell: 14.6,
+        }
+    }
+}
+
+/// Expected per-time-unit cost of running `traffic` over `topology`:
+/// `Σ rate(i,j) × path_cost(i,j)` where a path's cost sums, per hop, the
+/// constant term plus `2s²` cell operations in the domain crossed.
+///
+/// # Errors
+///
+/// Returns [`Error::Config`] if the traffic matrix width does not match
+/// the topology, and propagates routing errors (none for validated
+/// topologies).
+pub fn expected_cost(
+    topology: &Topology,
+    traffic: &TrafficMatrix,
+    hop: &HopCost,
+) -> Result<f64> {
+    if traffic.len() != topology.server_count() {
+        return Err(Error::Config(format!(
+            "traffic matrix covers {} servers, topology has {}",
+            traffic.len(),
+            topology.server_count()
+        )));
+    }
+    let tables = RoutingTable::build_all(topology)?;
+    let mut total = 0.0;
+    for i in 0..traffic.len() {
+        for j in 0..traffic.len() {
+            let rate = traffic.get(i, j);
+            if rate == 0.0 || i == j {
+                continue;
+            }
+            let path = trace_route(&tables, ServerId::new(i as u16), ServerId::new(j as u16))?;
+            let mut cost = 0.0;
+            for w in path.windows(2) {
+                let d = topology
+                    .shared_domain(w[0], w[1])
+                    .expect("hops share a domain");
+                let s = topology.domain(d)?.size() as f64;
+                cost += hop.base + hop.per_cell * 2.0 * s * s;
+            }
+            total += rate * cost;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two communities of four servers with heavy internal traffic and a
+    /// single weak external flow.
+    fn two_communities() -> TrafficMatrix {
+        let mut t = TrafficMatrix::new(8);
+        for group in [[0usize, 1, 2, 3], [4, 5, 6, 7]] {
+            for &i in &group {
+                for &j in &group {
+                    if i != j {
+                        t.set(i, j, 10.0);
+                    }
+                }
+            }
+        }
+        t.set(3, 4, 0.5);
+        t
+    }
+
+    #[test]
+    fn traffic_matrix_basics() {
+        let mut t = TrafficMatrix::new(2);
+        assert!(!t.is_empty());
+        t.set(0, 1, 3.0);
+        assert_eq!(t.get(0, 1), 3.0);
+        assert_eq!(t.get(1, 0), 0.0);
+        assert_eq!(t.weight(0, 1), 3.0);
+        assert_eq!(t.total(), 3.0);
+        let u = TrafficMatrix::uniform(3, 1.0);
+        assert_eq!(u.total(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-traffic")]
+    fn self_traffic_rejected() {
+        TrafficMatrix::new(2).set(1, 1, 1.0);
+    }
+
+    #[test]
+    fn split_keeps_communities_together() {
+        let t = two_communities();
+        let spec =
+            split_by_traffic(&t, &SplitConfig { max_domain_size: 4 }).expect("splits");
+        let topo = spec.validate().expect("split result must be acyclic");
+        assert_eq!(topo.server_count(), 8);
+        // The two communities must land in two (leaf) domains; the router
+        // membership adds one cross-listing.
+        assert_eq!(topo.domain_count(), 2);
+        // Servers 0..3 share a domain; servers 4..7 share a domain. (The
+        // first element of each probe group is a non-router member, whose
+        // single membership is the community domain.)
+        for group in [[0u16, 1, 2, 3], [5, 6, 7, 4]] {
+            let d0 = topo.memberships(ServerId::new(group[0]))[0];
+            for &s in &group[1..] {
+                assert!(
+                    topo.memberships(ServerId::new(s)).contains(&d0),
+                    "server {s} should share domain {d0} with its community"
+                );
+            }
+        }
+        // Exactly one router bridges them.
+        assert_eq!(topo.routers().len(), 1);
+    }
+
+    #[test]
+    fn split_result_is_always_acyclic() {
+        // Random-ish dense traffic; whatever the clustering does, the
+        // interconnection must validate (P2 by construction).
+        for n in [3usize, 7, 12, 20] {
+            let mut t = TrafficMatrix::new(n);
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        t.set(i, j, ((i * 7 + j * 13) % 11) as f64);
+                    }
+                }
+            }
+            for max in [2usize, 3, 5, 8] {
+                let spec = split_by_traffic(&t, &SplitConfig { max_domain_size: max })
+                    .expect("split succeeds");
+                let topo = spec.validate().unwrap_or_else(|e| {
+                    panic!("n={n} max={max}: split produced invalid topology: {e}")
+                });
+                assert!(topo.is_acyclic());
+                assert_eq!(topo.server_count(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn split_respects_size_bound_before_routers() {
+        let t = TrafficMatrix::uniform(12, 1.0);
+        let spec = split_by_traffic(&t, &SplitConfig { max_domain_size: 4 }).unwrap();
+        // Leaf clusters have at most 4 servers; router cross-listings may
+        // push a domain to at most 4 + (degree) members.
+        let topo = spec.validate().unwrap();
+        for d in topo.domains() {
+            assert!(d.size() <= 4 + topo.domain_count(), "domain too large");
+        }
+    }
+
+    #[test]
+    fn expected_cost_prefers_traffic_aware_split() {
+        let t = two_communities();
+        let hop = HopCost::default();
+        let aware = split_by_traffic(&t, &SplitConfig { max_domain_size: 4 })
+            .unwrap()
+            .validate()
+            .unwrap();
+        // A deliberately bad split: communities interleaved.
+        let bad = TopologySpec::from_domains(vec![
+            vec![0, 4, 1, 5],
+            vec![1, 2, 6, 3],
+            vec![3, 7],
+        ])
+        .validate()
+        .unwrap();
+        let flat = TopologySpec::single_domain(8).validate().unwrap();
+        let c_aware = expected_cost(&aware, &t, &hop).unwrap();
+        let c_bad = expected_cost(&bad, &t, &hop).unwrap();
+        let c_flat = expected_cost(&flat, &t, &hop).unwrap();
+        assert!(
+            c_aware < c_bad,
+            "traffic-aware split ({c_aware}) must beat an interleaved one ({c_bad})"
+        );
+        // At n = 8 the flat domain is still competitive (small quadratic
+        // term) but the aware split must not be dramatically worse.
+        assert!(c_aware < c_flat * 1.5);
+    }
+
+    #[test]
+    fn expected_cost_grows_with_domain_size() {
+        let t = TrafficMatrix::uniform(16, 1.0);
+        let hop = HopCost { base: 0.0, per_cell: 1.0 };
+        let flat = TopologySpec::single_domain(16).validate().unwrap();
+        let bus = TopologySpec::bus(4, 4).validate().unwrap();
+        let c_flat = expected_cost(&flat, &t, &hop).unwrap();
+        let c_bus = expected_cost(&bus, &t, &hop).unwrap();
+        assert!(
+            c_bus < c_flat,
+            "pure cell cost must favour the decomposition: {c_bus} vs {c_flat}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let t = TrafficMatrix::new(1);
+        let spec = split_by_traffic(&t, &SplitConfig::default()).unwrap();
+        assert_eq!(spec.server_count(), 1);
+
+        assert!(matches!(
+            split_by_traffic(&TrafficMatrix::new(4), &SplitConfig { max_domain_size: 1 }),
+            Err(Error::Config(_))
+        ));
+
+        // Zero traffic: every server is its own cluster, joined by a tree.
+        let spec =
+            split_by_traffic(&TrafficMatrix::new(5), &SplitConfig { max_domain_size: 2 })
+                .unwrap();
+        let topo = spec.validate().expect("still a valid tree");
+        assert_eq!(topo.server_count(), 5);
+    }
+
+    #[test]
+    fn cost_rejects_mismatched_width() {
+        let flat = TopologySpec::single_domain(4).validate().unwrap();
+        let t = TrafficMatrix::new(5);
+        assert!(matches!(
+            expected_cost(&flat, &t, &HopCost::default()),
+            Err(Error::Config(_))
+        ));
+    }
+}

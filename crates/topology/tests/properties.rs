@@ -1,0 +1,137 @@
+//! Property-based tests for topology validation, routing and splitting.
+
+use aaa_base::{Error, ServerId};
+use aaa_topology::split::{split_by_traffic, SplitConfig, TrafficMatrix};
+use aaa_topology::{trace_route, RoutingTable, TopologySpec};
+use proptest::prelude::*;
+
+/// Strategy: a random tree-structured decomposition description.
+/// Returns (domain sizes, attach choices) from which we build a spec that
+/// is acyclic by construction.
+fn tree_spec_strategy() -> impl Strategy<Value = TopologySpec> {
+    (
+        prop::collection::vec(2usize..5, 1..6),
+        prop::collection::vec((0usize..100, 0usize..100), 0..6),
+    )
+        .prop_map(|(sizes, attach)| {
+            let mut domains: Vec<Vec<u16>> = Vec::new();
+            let mut next = 0u16;
+            for (i, &size) in sizes.iter().enumerate() {
+                let mut members = Vec::with_capacity(size);
+                if i > 0 {
+                    // Attach through a random server of a random earlier domain.
+                    let (d_pick, s_pick) = attach.get(i - 1).copied().unwrap_or((0, 0));
+                    let parent = &domains[d_pick % domains.len()];
+                    members.push(parent[s_pick % parent.len()]);
+                }
+                while members.len() < size {
+                    members.push(next);
+                    next += 1;
+                }
+                domains.push(members);
+            }
+            TopologySpec::from_domains(domains)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tree-structured decompositions always validate and are acyclic.
+    #[test]
+    fn tree_specs_validate(spec in tree_spec_strategy()) {
+        let topo = spec.validate().expect("tree-structured specs are valid");
+        prop_assert!(topo.is_acyclic());
+        prop_assert!(topo.server_count() >= 1);
+    }
+
+    /// Adding one extra membership that links two existing domains through
+    /// a fresh shared server closes a cycle and must be rejected —
+    /// *unless* one of the involved domains was the other's unique
+    /// neighbour through that same server already (we construct a genuine
+    /// chord: a server already present in domain A is inserted into
+    /// domain B where A and B are distinct and already connected).
+    #[test]
+    fn chords_are_rejected(spec in tree_spec_strategy(), pick in 0usize..1000) {
+        let domains = spec.domains().to_vec();
+        prop_assume!(domains.len() >= 2);
+        // Choose a victim server from domain 0 and insert it into another
+        // domain it is not already in.
+        let victim = domains[0][pick % domains[0].len()];
+        let target = 1 + pick % (domains.len() - 1);
+        prop_assume!(!domains[target].contains(&victim));
+        let mut chorded: Vec<Vec<u16>> = domains
+            .iter()
+            .map(|d| d.iter().map(|s| s.as_u16()).collect())
+            .collect();
+        chorded[target].push(victim.as_u16());
+        // The spec stays structurally fine but now has a bipartite cycle
+        // (victim connects domain 0 and `target`, which were already
+        // connected through the tree).
+        let result = TopologySpec::from_domains(chorded).validate();
+        prop_assert!(
+            matches!(result, Err(Error::CyclicDomainGraph { .. })),
+            "expected cycle rejection, got {result:?}"
+        );
+    }
+
+    /// On every valid topology: routes exist between all pairs, follow
+    /// shared domains hop by hop, and have symmetric lengths.
+    #[test]
+    fn routing_is_total_and_consistent(spec in tree_spec_strategy()) {
+        let topo = spec.validate().expect("valid");
+        let tables = RoutingTable::build_all(&topo).expect("tables build");
+        let n = topo.server_count() as u16;
+        for a in 0..n {
+            for b in 0..n {
+                let (a, b) = (ServerId::new(a), ServerId::new(b));
+                let path = trace_route(&tables, a, b).expect("route exists");
+                prop_assert_eq!(path.first().copied(), Some(a));
+                prop_assert_eq!(path.last().copied(), Some(b));
+                for w in path.windows(2) {
+                    prop_assert!(topo.shared_domain(w[0], w[1]).is_some());
+                }
+                prop_assert_eq!(
+                    tables[a.as_usize()].hops(b).unwrap(),
+                    tables[b.as_usize()].hops(a).unwrap()
+                );
+                prop_assert_eq!(path.len() as u32 - 1, tables[a.as_usize()].hops(b).unwrap());
+            }
+        }
+    }
+
+    /// The splitter always produces a valid acyclic decomposition covering
+    /// every server, whatever the traffic looks like.
+    #[test]
+    fn splitter_output_always_valid(
+        n in 2usize..14,
+        max_size in 2usize..7,
+        rates in prop::collection::vec(0u32..20, 0..60),
+    ) {
+        let mut traffic = TrafficMatrix::new(n);
+        for (k, rate) in rates.iter().enumerate() {
+            let i = k % n;
+            let j = (k / n + i + 1) % n;
+            if i != j {
+                traffic.set(i, j, f64::from(*rate));
+            }
+        }
+        let spec = split_by_traffic(&traffic, &SplitConfig { max_domain_size: max_size })
+            .expect("split succeeds");
+        let topo = spec.validate().expect("split output validates");
+        prop_assert!(topo.is_acyclic());
+        prop_assert_eq!(topo.server_count(), n);
+    }
+
+    /// Figure 9 builders are always valid for reasonable parameters.
+    #[test]
+    fn figure9_builders_always_valid(k in 1u16..8, s in 2u16..8, d in 0u16..3) {
+        let bus = TopologySpec::bus(k, s).validate().expect("bus valid");
+        prop_assert!(bus.is_acyclic());
+        let daisy = TopologySpec::daisy(k, s).validate().expect("daisy valid");
+        prop_assert!(daisy.is_acyclic());
+        let fanout = 2.min(s - 1).max(1);
+        let tree = TopologySpec::tree(d, fanout, s).validate().expect("tree valid");
+        prop_assert!(tree.is_acyclic());
+    }
+}

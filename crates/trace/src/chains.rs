@@ -1,0 +1,555 @@
+//! Chains, paths, cycles and virtual traces (§4.2).
+//!
+//! These are the combinatorial notions the paper's proof is built from:
+//!
+//! - a **(process) path** is a sequence of processes in which consecutive
+//!   processes share a domain; *direct* if all processes differ; *minimal*
+//!   if additionally it never "lingers" in a domain (no shortcut between
+//!   non-consecutive processes); a **cycle** is a direct path whose source
+//!   and destination share a domain while no single domain contains the
+//!   whole path;
+//! - a **(message) chain** is a sequence of messages where each message is
+//!   sent by the receiver of the previous one, after receiving it; its
+//!   *associated path* is the sequence of senders plus the final receiver;
+//! - a **virtual trace** treats selected non-crossing minimal chains as
+//!   single messages between domains.
+
+use aaa_base::{MessageId, ServerId};
+
+use crate::trace::Trace;
+
+/// Returns `true` if `procs` is a (process) path for the given domain
+/// member lists: non-empty, with every consecutive pair sharing a domain.
+pub fn is_path(domains: &[Vec<ServerId>], procs: &[ServerId]) -> bool {
+    if procs.is_empty() {
+        return false;
+    }
+    procs
+        .windows(2)
+        .all(|w| domains.iter().any(|d| d.contains(&w[0]) && d.contains(&w[1])))
+}
+
+/// Returns `true` if `procs` is a *direct* path: a path with all processes
+/// pairwise distinct.
+pub fn is_direct_path(domains: &[Vec<ServerId>], procs: &[ServerId]) -> bool {
+    if !is_path(domains, procs) {
+        return false;
+    }
+    let mut seen = procs.to_vec();
+    seen.sort_unstable();
+    seen.windows(2).all(|w| w[0] != w[1])
+}
+
+/// Returns `true` if `procs` is a *minimal* path: direct, and no domain
+/// contains two non-consecutive processes of the path
+/// (`i + 1 < j ⇒ ¬∃d: pᵢ ∈ d ∧ pⱼ ∈ d`).
+pub fn is_minimal_path(domains: &[Vec<ServerId>], procs: &[ServerId]) -> bool {
+    if !is_direct_path(domains, procs) {
+        return false;
+    }
+    for i in 0..procs.len() {
+        for j in i + 2..procs.len() {
+            if domains
+                .iter()
+                .any(|d| d.contains(&procs[i]) && d.contains(&procs[j]))
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Returns `true` if `procs` is a *cycle* (§4.2): a direct path such that
+/// some domain contains both its source and destination, while no single
+/// domain contains every process of the path.
+pub fn is_cycle(domains: &[Vec<ServerId>], procs: &[ServerId]) -> bool {
+    if procs.len() < 2 || !is_direct_path(domains, procs) {
+        return false;
+    }
+    let (src, dst) = (procs[0], procs[procs.len() - 1]);
+    let endpoints_share = domains
+        .iter()
+        .any(|d| d.contains(&src) && d.contains(&dst));
+    let some_domain_has_all = domains
+        .iter()
+        .any(|d| procs.iter().all(|p| d.contains(p)));
+    endpoints_share && !some_domain_has_all
+}
+
+/// Returns `true` if `msgs` forms a (message) chain in `trace`: each
+/// message after the first is sent by the receiver of the preceding
+/// message, after the receive.
+///
+/// The "after the receive" condition uses the exact event positions of
+/// the history: `receive(mᵢ)` must occur before `send(mᵢ₊₁)` in the local
+/// order of the shared process.
+pub fn is_chain(trace: &Trace, msgs: &[MessageId]) -> bool {
+    if msgs.is_empty() {
+        return false;
+    }
+    msgs.iter().all(|m| trace.message(*m).is_some())
+        && msgs
+            .windows(2)
+            .all(|w| trace.received_before_sent(w[0], w[1]))
+}
+
+/// The path associated with a chain: `(src(m₁), …, src(mₖ), dst(mₖ))`.
+///
+/// Returns `None` if `msgs` is not a chain of `trace`.
+pub fn chain_path(trace: &Trace, msgs: &[MessageId]) -> Option<Vec<ServerId>> {
+    if !is_chain(trace, msgs) {
+        return None;
+    }
+    let mut path: Vec<ServerId> = msgs
+        .iter()
+        .map(|m| trace.message(*m).expect("chain checked").src)
+        .collect();
+    path.push(trace.message(*msgs.last()?).expect("chain checked").dst);
+    Some(path)
+}
+
+/// Returns `true` if a chain is *direct* (its associated path is direct).
+pub fn is_direct_chain(
+    trace: &Trace,
+    domains: &[Vec<ServerId>],
+    msgs: &[MessageId],
+) -> bool {
+    chain_path(trace, msgs).is_some_and(|p| is_direct_path(domains, &p))
+}
+
+/// Returns `true` if a chain is *minimal* (its associated path is minimal).
+pub fn is_minimal_chain(
+    trace: &Trace,
+    domains: &[Vec<ServerId>],
+    msgs: &[MessageId],
+) -> bool {
+    chain_path(trace, msgs).is_some_and(|p| is_minimal_path(domains, &p))
+}
+
+/// Checks the virtual-trace *no-crossover* condition (§4.2, Figure 3) for a
+/// set of chains: if `mᵢ` and `mᵢ₊₁` are consecutive messages of one chain,
+/// no message of another chain may be sent by `dst(mᵢ)` after `mᵢ` is
+/// received and before `mᵢ₊₁` is sent.
+///
+/// Returns `true` if no crossover exists (the chains define a valid
+/// virtual trace).
+pub fn chains_do_not_cross(trace: &Trace, chains: &[Vec<MessageId>]) -> bool {
+    for (ci, chain) in chains.iter().enumerate() {
+        for w in chain.windows(2) {
+            let (mi, mi1) = (w[0], w[1]);
+            let hop = trace.message(mi).expect("chain message").dst;
+            for (cj, other) in chains.iter().enumerate() {
+                if ci == cj {
+                    continue;
+                }
+                for &x in other {
+                    let xm = trace.message(x).expect("chain message");
+                    // x sent by the relay process, causally after m_i and
+                    // before m_{i+1}: a crossover.
+                    if xm.src == hop && trace.precedes(mi, x) && trace.precedes(x, mi1)
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Implements the construction of the paper's **Lemma 1**: given any
+/// chain whose source and destination differ, produce a *direct* chain
+/// with the same source and destination by cutting out the loops
+/// (`pᵢ = pⱼ ⇒ splice (m₁..mᵢ₋₁, mⱼ..mₖ)`).
+///
+/// Returns `None` if `msgs` is not a chain, or its endpoints coincide.
+///
+/// The lemma also asserts `m₁ ≤ n₁` and `n_L ≤ m_k` in the local orders of
+/// the endpoints; the construction below only ever drops prefixes and
+/// suffixes *between* the first and last messages of a loop, so the first
+/// returned message is never sent later than `m₁` and the last never
+/// received earlier than `m_k` — the property test in this crate's test
+/// suite checks both.
+pub fn directify_chain(trace: &Trace, msgs: &[MessageId]) -> Option<Vec<MessageId>> {
+    if !is_chain(trace, msgs) {
+        return None;
+    }
+    let path = chain_path(trace, msgs)?;
+    if path.first() == path.last() {
+        return None;
+    }
+    let mut chain: Vec<MessageId> = msgs.to_vec();
+    loop {
+        let path = chain_path(trace, &chain).expect("invariant: still a chain");
+        // Find the first repeated process pair (i < j, p_i == p_j).
+        let mut cut: Option<(usize, usize)> = None;
+        'outer: for i in 0..path.len() {
+            for j in i + 1..path.len() {
+                if path[i] == path[j] {
+                    cut = Some((i, j));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((i, j)) = cut else {
+            return Some(chain);
+        };
+        // Path index p_i is the sender of message i (or the final receiver
+        // when i == len-1). Splice out messages i..j (keep m_0..m_{i-1}
+        // and m_j..): cases (a), (b), (c) of the paper's Appendix B.
+        let mut next = Vec::with_capacity(chain.len());
+        next.extend_from_slice(&chain[..i]);
+        next.extend_from_slice(&chain[j.min(chain.len())..]);
+        debug_assert!(!next.is_empty(), "endpoints differ, so a piece remains");
+        chain = next;
+    }
+}
+
+/// Derives the paper's **virtual trace**: every chain in `chains` is
+/// replaced by one virtual message from the chain's source to its
+/// destination (sent at the first send, received at the last receive);
+/// messages not covered by any chain are kept as-is.
+///
+/// Returns `None` if any chain is invalid, chains overlap, or they
+/// [cross over](chains_do_not_cross) — the conditions of §4.2.
+pub fn derive_virtual_trace(trace: &Trace, chains: &[Vec<MessageId>]) -> Option<Trace> {
+    use std::collections::HashSet;
+
+    // Validate: each is a minimal-ready chain and none overlap.
+    let mut covered: HashSet<MessageId> = HashSet::new();
+    for chain in chains {
+        if !is_chain(trace, chain) {
+            return None;
+        }
+        for m in chain {
+            if !covered.insert(*m) {
+                return None; // overlapping chains
+            }
+        }
+    }
+    if !chains_do_not_cross(trace, chains) {
+        return None;
+    }
+
+    // Rebuild the event history: the virtual message takes the place of
+    // the chain head's send and the chain tail's receive; interior events
+    // disappear.
+    let mut builder = crate::trace::TraceBuilder::new();
+    let head_of: std::collections::HashMap<MessageId, &Vec<MessageId>> = chains
+        .iter()
+        .filter_map(|c| c.first().map(|m| (*m, c)))
+        .collect();
+    let tail_of: std::collections::HashMap<MessageId, &Vec<MessageId>> = chains
+        .iter()
+        .filter_map(|c| c.last().map(|m| (*m, c)))
+        .collect();
+
+    for event in trace.raw_events() {
+        match event {
+            crate::trace::RawEvent::Send { process, msg } => {
+                if let Some(chain) = head_of.get(&msg) {
+                    // The virtual message: src of head, dst of tail.
+                    let tail = *chain.last().expect("chains are non-empty");
+                    let dst = trace.message(tail).expect("chain message").dst;
+                    builder.send(process, dst, msg);
+                } else if !covered.contains(&msg) {
+                    let info = trace.message(msg).expect("event message exists");
+                    builder.send(process, info.dst, msg);
+                }
+            }
+            crate::trace::RawEvent::Receive { process, msg } => {
+                if let Some(chain) = tail_of.get(&msg) {
+                    let head = *chain.first().expect("chains are non-empty");
+                    builder.receive(process, head);
+                } else if !covered.contains(&msg) {
+                    builder.receive(process, msg);
+                }
+            }
+        }
+    }
+    builder.build().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+    use aaa_base::MessageId;
+
+    fn s(i: u16) -> ServerId {
+        ServerId::new(i)
+    }
+
+    fn m(origin: u16, seq: u64) -> MessageId {
+        MessageId::new(s(origin), seq)
+    }
+
+    /// Figure-2-like domains (0-based).
+    fn domains() -> Vec<Vec<ServerId>> {
+        vec![
+            vec![s(0), s(1), s(2)],
+            vec![s(3), s(4)],
+            vec![s(6), s(7)],
+            vec![s(2), s(4), s(5), s(6)],
+        ]
+    }
+
+    #[test]
+    fn path_predicates() {
+        let d = domains();
+        assert!(is_path(&d, &[s(0), s(2), s(6), s(7)]));
+        assert!(!is_path(&d, &[s(0), s(7)]));
+        assert!(!is_path(&d, &[]));
+        assert!(is_direct_path(&d, &[s(0), s(2), s(6)]));
+        assert!(!is_direct_path(&d, &[s(0), s(2), s(0)]));
+    }
+
+    #[test]
+    fn minimal_path_rejects_lingering() {
+        let d = domains();
+        // 0 -> 1 -> 2 lingers in domain 0 (0 and 2 share a domain).
+        assert!(!is_minimal_path(&d, &[s(0), s(1), s(2)]));
+        assert!(is_minimal_path(&d, &[s(0), s(2), s(6)]));
+        // A minimal path of length > 2 has endpoints in different domains.
+        assert!(is_minimal_path(&d, &[s(1), s(2), s(4)]));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        // Triangle of domains: {0,1}, {1,2}, {2,0}.
+        let d = vec![vec![s(0), s(1)], vec![s(1), s(2)], vec![s(2), s(0)]];
+        assert!(is_cycle(&d, &[s(0), s(1), s(2)]));
+        // Within a single domain there is no cycle.
+        assert!(!is_cycle(&d, &[s(0), s(1)]));
+        // Acyclic decomposition: no cycle on any path.
+        let d2 = domains();
+        assert!(!is_cycle(&d2, &[s(0), s(2), s(6)]));
+        assert!(!is_cycle(&d2, &[s(0), s(2), s(6), s(7)]));
+    }
+
+    #[test]
+    fn chain_recognition_and_path() {
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(2), m(0, 1));
+        b.receive(s(2), m(0, 1));
+        b.send(s(2), s(6), m(2, 1));
+        b.receive(s(6), m(2, 1));
+        b.send(s(6), s(7), m(6, 1));
+        b.receive(s(7), m(6, 1));
+        let t = b.build().unwrap();
+        let chain = [m(0, 1), m(2, 1), m(6, 1)];
+        assert!(is_chain(&t, &chain));
+        assert_eq!(
+            chain_path(&t, &chain).unwrap(),
+            vec![s(0), s(2), s(6), s(7)]
+        );
+        let d = domains();
+        assert!(is_direct_chain(&t, &d, &chain));
+        assert!(is_minimal_chain(&t, &d, &chain));
+    }
+
+    #[test]
+    fn non_chain_rejected() {
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(2), m(0, 1));
+        b.send(s(2), s(6), m(2, 1)); // sent BEFORE receiving m(0,1)
+        b.receive(s(2), m(0, 1));
+        b.receive(s(6), m(2, 1));
+        let t = b.build().unwrap();
+        assert!(!is_chain(&t, &[m(0, 1), m(2, 1)]));
+        assert!(chain_path(&t, &[m(0, 1), m(2, 1)]).is_none());
+        assert!(!is_chain(&t, &[]));
+        // Unknown messages are not chains either.
+        assert!(!is_chain(&t, &[m(9, 9)]));
+    }
+
+    #[test]
+    fn crossover_detected() {
+        // Figure 3: two chains p -> r -> q; the second chain's relay
+        // message leaves r between the receive and the relay of the first.
+        let (p, q, r) = (s(0), s(1), s(2));
+        let mut b = TraceBuilder::new();
+        b.send(p, r, m(0, 1)); // chain A hop 1
+        b.receive(r, m(0, 1));
+        b.send(p, r, m(0, 2)); // chain B hop 1
+        b.receive(r, m(0, 2));
+        b.send(r, q, m(2, 1)); // chain B hop 2 — sent between A's receive and A's relay
+        b.send(r, q, m(2, 2)); // chain A hop 2
+        b.receive(q, m(2, 1));
+        b.receive(q, m(2, 2));
+        let t = b.build().unwrap();
+        let chain_a = vec![m(0, 1), m(2, 2)];
+        let chain_b = vec![m(0, 2), m(2, 1)];
+        assert!(is_chain(&t, &chain_a));
+        assert!(is_chain(&t, &chain_b));
+        assert!(!chains_do_not_cross(&t, &[chain_a, chain_b]));
+    }
+
+    #[test]
+    fn directify_removes_loops() {
+        // Chain 0 -> 1 -> 0 -> 2: process 0 repeats; Lemma 1 promises a
+        // direct chain 0 -> 2 (here: the final message alone).
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1));
+        b.receive(s(1), m(0, 1));
+        b.send(s(1), s(0), m(1, 1));
+        b.receive(s(0), m(1, 1));
+        b.send(s(0), s(2), m(0, 2));
+        b.receive(s(2), m(0, 2));
+        let t = b.build().unwrap();
+        let chain = [m(0, 1), m(1, 1), m(0, 2)];
+        assert!(is_chain(&t, &chain));
+        let direct = directify_chain(&t, &chain).expect("directifies");
+        assert_eq!(direct, vec![m(0, 2)]);
+        let path = chain_path(&t, &direct).unwrap();
+        assert_eq!(path, vec![s(0), s(2)]);
+    }
+
+    #[test]
+    fn directify_keeps_already_direct_chains() {
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1));
+        b.receive(s(1), m(0, 1));
+        b.send(s(1), s(2), m(1, 1));
+        b.receive(s(2), m(1, 1));
+        let t = b.build().unwrap();
+        let chain = vec![m(0, 1), m(1, 1)];
+        assert_eq!(directify_chain(&t, &chain), Some(chain));
+    }
+
+    #[test]
+    fn directify_rejects_closed_chains() {
+        // Endpoints coincide (0 -> 1 -> 0): Lemma 1 does not apply.
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1));
+        b.receive(s(1), m(0, 1));
+        b.send(s(1), s(0), m(1, 1));
+        b.receive(s(0), m(1, 1));
+        let t = b.build().unwrap();
+        assert_eq!(directify_chain(&t, &[m(0, 1), m(1, 1)]), None);
+        // And non-chains are rejected.
+        assert_eq!(directify_chain(&t, &[m(1, 1), m(0, 1)]), None);
+    }
+
+    #[test]
+    fn directify_longer_loop() {
+        // 0 -> 1 -> 2 -> 1 -> 3: process 1 repeats.
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1));
+        b.receive(s(1), m(0, 1));
+        b.send(s(1), s(2), m(1, 1));
+        b.receive(s(2), m(1, 1));
+        b.send(s(2), s(1), m(2, 1));
+        b.receive(s(1), m(2, 1));
+        b.send(s(1), s(3), m(1, 2));
+        b.receive(s(3), m(1, 2));
+        let t = b.build().unwrap();
+        let chain = [m(0, 1), m(1, 1), m(2, 1), m(1, 2)];
+        let direct = directify_chain(&t, &chain).expect("directifies");
+        let path = chain_path(&t, &direct).unwrap();
+        // All processes distinct, same endpoints.
+        assert_eq!(path.first(), Some(&s(0)));
+        assert_eq!(path.last(), Some(&s(3)));
+        let mut sorted = path.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), path.len(), "path must be direct: {path:?}");
+    }
+
+    #[test]
+    fn virtual_trace_collapses_chain() {
+        // A relayed message 0 -> 1 -> 2 becomes one virtual message 0 -> 2.
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1));
+        b.receive(s(1), m(0, 1));
+        b.send(s(1), s(2), m(1, 1));
+        b.receive(s(2), m(1, 1));
+        let t = b.build().unwrap();
+        let virt = derive_virtual_trace(&t, &[vec![m(0, 1), m(1, 1)]])
+            .expect("valid virtual trace");
+        assert_eq!(virt.message_count(), 1);
+        let info = virt.message(m(0, 1)).expect("virtual message keeps head id");
+        assert_eq!(info.src, s(0));
+        assert_eq!(info.dst, s(2));
+        assert!(virt.check_causality().is_ok());
+    }
+
+    #[test]
+    fn virtual_trace_preserves_other_messages() {
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1)); // chain head
+        b.receive(s(1), m(0, 1));
+        b.send(s(1), s(2), m(1, 1)); // chain tail
+        b.send(s(0), s(2), m(0, 2)); // ordinary message
+        b.receive(s(2), m(1, 1));
+        b.receive(s(2), m(0, 2));
+        let t = b.build().unwrap();
+        let virt = derive_virtual_trace(&t, &[vec![m(0, 1), m(1, 1)]]).expect("derives");
+        assert_eq!(virt.message_count(), 2);
+        assert!(virt.message(m(0, 2)).is_some());
+    }
+
+    #[test]
+    fn virtual_trace_rejects_crossovers_and_overlaps() {
+        let (p, q, r) = (s(0), s(1), s(2));
+        let mut b = TraceBuilder::new();
+        b.send(p, r, m(0, 1));
+        b.receive(r, m(0, 1));
+        b.send(p, r, m(0, 2));
+        b.receive(r, m(0, 2));
+        b.send(r, q, m(2, 1)); // crosses over chain A
+        b.send(r, q, m(2, 2));
+        b.receive(q, m(2, 1));
+        b.receive(q, m(2, 2));
+        let t = b.build().unwrap();
+        let chain_a = vec![m(0, 1), m(2, 2)];
+        let chain_b = vec![m(0, 2), m(2, 1)];
+        assert!(derive_virtual_trace(&t, &[chain_a.clone(), chain_b]).is_none());
+        // Overlapping chains rejected too.
+        assert!(derive_virtual_trace(&t, &[chain_a.clone(), chain_a]).is_none());
+        // Invalid chains rejected.
+        assert!(derive_virtual_trace(&t, &[vec![m(2, 2), m(0, 1)]]).is_none());
+    }
+
+    #[test]
+    fn real_trace_is_a_virtual_trace_of_itself() {
+        // The paper: "Several virtual traces may be derived from a (real)
+        // trace, including the real trace itself (by defining
+        // C = {(m1), ..., (mq)})".
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1));
+        b.receive(s(1), m(0, 1));
+        b.send(s(1), s(2), m(1, 1));
+        b.receive(s(2), m(1, 1));
+        let t = b.build().unwrap();
+        let singletons: Vec<Vec<MessageId>> =
+            t.messages().iter().map(|i| vec![i.id]).collect();
+        let virt = derive_virtual_trace(&t, &singletons).expect("identity derivation");
+        assert_eq!(virt.message_count(), t.message_count());
+        for info in t.messages() {
+            let v = virt.message(info.id).expect("message kept");
+            assert_eq!(v.src, info.src);
+            assert_eq!(v.dst, info.dst);
+        }
+    }
+
+    #[test]
+    fn non_crossing_chains_accepted() {
+        let (p, q, r) = (s(0), s(1), s(2));
+        let mut b = TraceBuilder::new();
+        // Chain A completes before chain B starts at the relay.
+        b.send(p, r, m(0, 1));
+        b.receive(r, m(0, 1));
+        b.send(r, q, m(2, 1));
+        b.send(p, r, m(0, 2));
+        b.receive(r, m(0, 2));
+        b.send(r, q, m(2, 2));
+        b.receive(q, m(2, 1));
+        b.receive(q, m(2, 2));
+        let t = b.build().unwrap();
+        let chain_a = vec![m(0, 1), m(2, 1)];
+        let chain_b = vec![m(0, 2), m(2, 2)];
+        assert!(chains_do_not_cross(&t, &[chain_a, chain_b]));
+    }
+}

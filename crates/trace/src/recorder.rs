@@ -1,0 +1,120 @@
+//! Thread-safe online trace recording.
+
+use std::sync::{Arc, Mutex};
+
+use aaa_base::{MessageId, Result, ServerId};
+
+use crate::trace::{Trace, TraceBuilder};
+
+/// A shared, thread-safe trace recorder.
+///
+/// The MOM runtime clones one `TraceRecorder` into every agent server;
+/// channels call [`TraceRecorder::record_send`] when an application message
+/// first enters the bus and [`TraceRecorder::record_delivery`] when it is
+/// delivered to its destination engine. Tests then
+/// [snapshot](TraceRecorder::snapshot) the trace and run the causality
+/// checkers on it.
+///
+/// Recording order defines the per-process local order, so callers must
+/// record an event *while holding whatever lock serializes that process's
+/// steps* — the sans-IO channel cores do this naturally, since each core is
+/// stepped by one thread at a time.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    inner: Arc<Mutex<TraceBuilder>>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `src` sent `msg` to `dst` (end-to-end, ignoring any
+    /// intermediate routing hops).
+    pub fn record_send(&self, src: ServerId, dst: ServerId, msg: MessageId) {
+        self.inner
+            .lock()
+            .expect("trace recorder poisoned")
+            .send(src, dst, msg);
+    }
+
+    /// Records that `process` delivered `msg` to its engine.
+    pub fn record_delivery(&self, process: ServerId, msg: MessageId) {
+        self.inner
+            .lock()
+            .expect("trace recorder poisoned")
+            .receive(process, msg);
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace recorder poisoned").len()
+    }
+
+    /// Returns `true` if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Builds a validated [`Trace`] from the events recorded so far.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TraceBuilder::build`] validation errors (which would
+    /// indicate a bug in the recording call sites).
+    pub fn snapshot(&self) -> Result<Trace> {
+        self.inner.lock().expect("trace recorder poisoned").build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u16) -> ServerId {
+        ServerId::new(i)
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let rec = TraceRecorder::new();
+        assert!(rec.is_empty());
+        let id = MessageId::new(s(0), 1);
+        rec.record_send(s(0), s(1), id);
+        rec.record_delivery(s(1), id);
+        assert_eq!(rec.len(), 2);
+        let t = rec.snapshot().unwrap();
+        assert_eq!(t.message_count(), 1);
+        assert!(t.check_causality().is_ok());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let rec = TraceRecorder::new();
+        let rec2 = rec.clone();
+        rec.record_send(s(0), s(1), MessageId::new(s(0), 1));
+        assert_eq!(rec2.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let rec = TraceRecorder::new();
+        let mut handles = Vec::new();
+        for i in 0..4u16 {
+            let rec = rec.clone();
+            handles.push(std::thread::spawn(move || {
+                for seq in 0..50u64 {
+                    let id = MessageId::new(s(i), seq);
+                    rec.record_send(s(i), s((i + 1) % 4), id);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.len(), 200);
+        let t = rec.snapshot().unwrap();
+        assert_eq!(t.message_count(), 200);
+    }
+}

@@ -1,0 +1,585 @@
+//! Traces, causal precedence and the causal-delivery checkers.
+
+use std::collections::HashMap;
+
+use aaa_base::{Error, MessageId, Result, ServerId};
+use aaa_clocks::vector::CausalOrdering;
+use aaa_clocks::VectorClock;
+use serde::{Deserialize, Serialize};
+
+/// One event of the global history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Event {
+    Send { process: ServerId, msg: MessageId },
+    Receive { process: ServerId, msg: MessageId },
+}
+
+/// One event of the global history, as exposed by [`Trace::raw_events`]
+/// (used by the virtual-trace derivation in [`crate::chains`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawEvent {
+    /// `process` sent `msg`.
+    Send {
+        /// The sending process.
+        process: ServerId,
+        /// The message sent.
+        msg: MessageId,
+    },
+    /// `process` received `msg`.
+    Receive {
+        /// The receiving process.
+        process: ServerId,
+        /// The message received.
+        msg: MessageId,
+    },
+}
+
+impl Event {
+    fn process(&self) -> ServerId {
+        match *self {
+            Event::Send { process, .. } | Event::Receive { process, .. } => process,
+        }
+    }
+}
+
+/// Static description of one message of a computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageInfo {
+    /// The message identifier.
+    pub id: MessageId,
+    /// The sending process (`src(m)` in the paper).
+    pub src: ServerId,
+    /// The receiving process (`dst(m)`).
+    pub dst: ServerId,
+}
+
+/// A causal-delivery violation: `second` causally precedes `first`, yet
+/// process `at` delivered `first` earlier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The process at which delivery order disagrees with causal order.
+    pub at: ServerId,
+    /// The message that was delivered earlier.
+    pub first: MessageId,
+    /// The causally *preceding* message that was delivered later.
+    pub second: MessageId,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "at {}: {} delivered before its causal predecessor {}",
+            self.at, self.first, self.second
+        )
+    }
+}
+
+/// Incrementally records a computation's global history.
+///
+/// Well-formedness (each message sent exactly once, received at most once,
+/// by its destination, after its send) is verified by
+/// [`TraceBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    events: Vec<Event>,
+    meta: HashMap<MessageId, MessageInfo>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `src` sends message `msg` to `dst`.
+    pub fn send(&mut self, src: ServerId, dst: ServerId, msg: MessageId) -> &mut Self {
+        self.meta.insert(msg, MessageInfo { id: msg, src, dst });
+        self.events.push(Event::Send { process: src, msg });
+        self
+    }
+
+    /// Records that `process` receives (delivers) message `msg`.
+    pub fn receive(&mut self, process: ServerId, msg: MessageId) -> &mut Self {
+        self.events.push(Event::Receive { process, msg });
+        self
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Validates the history and computes the causal structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTopology`] — reused here to mean "malformed
+    /// trace" — if a message is received before being sent, received by a
+    /// process other than its destination, received twice, sent twice, or
+    /// received without any send on record.
+    pub fn build(&self) -> Result<Trace> {
+        Trace::from_events(self.events.clone(), self.meta.clone())
+    }
+}
+
+/// A validated computation history with its causal structure.
+///
+/// Construction assigns every message a vector timestamp over the set of
+/// participating processes (the standard event-level happens-before
+/// oracle); the paper's message-level causal precedence `m ≺ m'` then
+/// coincides with strict vector-clock order of the send events.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<Event>,
+    meta: HashMap<MessageId, MessageInfo>,
+    /// Vector timestamp of each message's send event.
+    send_vc: HashMap<MessageId, VectorClock>,
+    /// Global position of each message's send event.
+    send_pos: HashMap<MessageId, usize>,
+    /// Global position of each message's receive event.
+    recv_pos: HashMap<MessageId, usize>,
+    /// Dense index of the processes appearing in the trace.
+    process_index: HashMap<ServerId, usize>,
+}
+
+impl Trace {
+    fn from_events(
+        events: Vec<Event>,
+        meta: HashMap<MessageId, MessageInfo>,
+    ) -> Result<Trace> {
+        let bad = |why: String| Err(Error::InvalidTopology(why));
+
+        // Dense process index.
+        let mut process_index = HashMap::new();
+        for e in &events {
+            let next = process_index.len();
+            process_index.entry(e.process()).or_insert(next);
+        }
+        for info in meta.values() {
+            for p in [info.src, info.dst] {
+                let next = process_index.len();
+                process_index.entry(p).or_insert(next);
+            }
+        }
+        let n = process_index.len().max(1);
+
+        // Well-formedness + vector-clock replay in one pass.
+        let mut sent: HashMap<MessageId, bool> = HashMap::new();
+        let mut received: HashMap<MessageId, bool> = HashMap::new();
+        let mut clocks: HashMap<ServerId, VectorClock> = HashMap::new();
+        let mut send_vc: HashMap<MessageId, VectorClock> = HashMap::new();
+        let mut send_pos: HashMap<MessageId, usize> = HashMap::new();
+        let mut recv_pos: HashMap<MessageId, usize> = HashMap::new();
+
+        for (pos, e) in events.iter().enumerate() {
+            match *e {
+                Event::Send { process, msg } => {
+                    let Some(info) = meta.get(&msg) else {
+                        return bad(format!("send of unknown message {msg}"));
+                    };
+                    if info.src != process {
+                        return bad(format!("{msg} sent by {process}, declared src {}", info.src));
+                    }
+                    if sent.insert(msg, true).is_some() {
+                        return bad(format!("{msg} sent twice"));
+                    }
+                    let idx = process_index[&process];
+                    let vc = clocks
+                        .entry(process)
+                        .or_insert_with(|| VectorClock::new(n));
+                    vc.tick(idx);
+                    send_vc.insert(msg, vc.clone());
+                    send_pos.insert(msg, pos);
+                }
+                Event::Receive { process, msg } => {
+                    let Some(info) = meta.get(&msg) else {
+                        return bad(format!("receive of unknown message {msg}"));
+                    };
+                    if info.dst != process {
+                        return bad(format!(
+                            "{msg} received by {process}, declared dst {}",
+                            info.dst
+                        ));
+                    }
+                    if !sent.contains_key(&msg) {
+                        return bad(format!("{msg} received before being sent"));
+                    }
+                    if received.insert(msg, true).is_some() {
+                        return bad(format!("{msg} received twice"));
+                    }
+                    let idx = process_index[&process];
+                    let m_vc = send_vc[&msg].clone();
+                    let vc = clocks
+                        .entry(process)
+                        .or_insert_with(|| VectorClock::new(n));
+                    vc.merge(&m_vc);
+                    vc.tick(idx);
+                    recv_pos.insert(msg, pos);
+                }
+            }
+        }
+
+        Ok(Trace {
+            events,
+            meta,
+            send_vc,
+            send_pos,
+            recv_pos,
+            process_index,
+        })
+    }
+
+    /// All messages of the computation, in send order.
+    pub fn messages(&self) -> Vec<MessageInfo> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Send { msg, .. } => Some(self.meta[msg]),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of messages sent.
+    pub fn message_count(&self) -> usize {
+        self.send_vc.len()
+    }
+
+    /// Metadata of one message, if it exists in the trace.
+    pub fn message(&self, id: MessageId) -> Option<MessageInfo> {
+        self.meta.get(&id).copied()
+    }
+
+    /// The processes participating in the trace, in first-appearance order.
+    pub fn processes(&self) -> Vec<ServerId> {
+        let mut ps: Vec<(usize, ServerId)> = self
+            .process_index
+            .iter()
+            .map(|(&p, &i)| (i, p))
+            .collect();
+        ps.sort_unstable();
+        ps.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// The paper's causal precedence on messages: `a ≺ b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either message is not part of the trace.
+    pub fn precedes(&self, a: MessageId, b: MessageId) -> bool {
+        let va = self.send_vc.get(&a).expect("message not in trace");
+        let vb = self.send_vc.get(&b).expect("message not in trace");
+        va.compare(vb) == CausalOrdering::Before
+    }
+
+    /// The raw event history, in global order.
+    pub fn raw_events(&self) -> impl Iterator<Item = RawEvent> + '_ {
+        self.events.iter().map(|e| match *e {
+            Event::Send { process, msg } => RawEvent::Send { process, msg },
+            Event::Receive { process, msg } => RawEvent::Receive { process, msg },
+        })
+    }
+
+    /// Returns `true` if `earlier` was *received* by some process strictly
+    /// before that same process *sent* `later` — the paper's
+    /// `mᵢ <p mᵢ₊₁` chain condition. Returns `false` when the processes
+    /// differ, `earlier` was never received, or `later` was never sent.
+    pub fn received_before_sent(&self, earlier: MessageId, later: MessageId) -> bool {
+        let (Some(info_e), Some(info_l)) = (self.message(earlier), self.message(later))
+        else {
+            return false;
+        };
+        if info_e.dst != info_l.src {
+            return false;
+        }
+        match (self.recv_pos.get(&earlier), self.send_pos.get(&later)) {
+            (Some(r), Some(s)) => r < s,
+            _ => false,
+        }
+    }
+
+    /// Global history position of `msg`'s send event, if it was sent.
+    pub fn send_position(&self, msg: MessageId) -> Option<usize> {
+        self.send_pos.get(&msg).copied()
+    }
+
+    /// Global history position of `msg`'s receive event, if it was
+    /// received.
+    pub fn receive_position(&self, msg: MessageId) -> Option<usize> {
+        self.recv_pos.get(&msg).copied()
+    }
+
+    /// Number of unordered (concurrent) message pairs — the trace-level
+    /// concurrency measure the paper's introduction attributes to logical
+    /// time (the paper's reference 11). Returns `(concurrent, total)` pairs.
+    pub fn concurrency(&self) -> (usize, usize) {
+        let ids: Vec<MessageId> = self.send_vc.keys().copied().collect();
+        let mut concurrent = 0;
+        let mut total = 0;
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                total += 1;
+                if !self.precedes(ids[i], ids[j]) && !self.precedes(ids[j], ids[i]) {
+                    concurrent += 1;
+                }
+            }
+        }
+        (concurrent, total)
+    }
+
+    /// Messages received by `process`, in delivery order.
+    pub fn deliveries_at(&self, process: ServerId) -> Vec<MessageId> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Receive { process: p, msg } if p == process => Some(msg),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checks that the whole trace respects causality: whenever `m ≺ m'`
+    /// and both are received by the same process, `m` is received first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] found, scanning processes in id
+    /// order and deliveries in trace order.
+    pub fn check_causality(&self) -> std::result::Result<(), Violation> {
+        let mut procs = self.processes();
+        procs.sort_unstable();
+        for p in procs {
+            let delivered = self.deliveries_at(p);
+            for i in 0..delivered.len() {
+                for j in i + 1..delivered.len() {
+                    if self.precedes(delivered[j], delivered[i]) {
+                        return Err(Violation {
+                            at: p,
+                            first: delivered[i],
+                            second: delivered[j],
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Restricts the trace to the messages whose source *and* destination
+    /// belong to `members` — the paper's "restriction to a domain".
+    pub fn restrict(&self, members: &[ServerId]) -> Trace {
+        let keep = |msg: &MessageId| {
+            let info = &self.meta[msg];
+            members.contains(&info.src) && members.contains(&info.dst)
+        };
+        let events: Vec<Event> = self
+            .events
+            .iter()
+            .filter(|e| match e {
+                Event::Send { msg, .. } | Event::Receive { msg, .. } => keep(msg),
+            })
+            .copied()
+            .collect();
+        let meta: HashMap<MessageId, MessageInfo> = self
+            .meta
+            .iter()
+            .filter(|(id, _)| keep(id))
+            .map(|(&id, &info)| (id, info))
+            .collect();
+        Trace::from_events(events, meta)
+            .expect("restriction of a well-formed trace is well-formed")
+    }
+
+    /// Checks causal delivery on the restriction of the trace to one
+    /// domain's members (§4.2: "a trace respects causality in domain `d`").
+    ///
+    /// Note that the restricted trace recomputes causal precedence from the
+    /// restricted history only — exactly as the paper's definition demands:
+    /// a chain passing *outside* the domain does not count as precedence
+    /// inside it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] found in the restriction.
+    pub fn check_causality_in(
+        &self,
+        members: &[ServerId],
+    ) -> std::result::Result<(), Violation> {
+        self.restrict(members).check_causality()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u16) -> ServerId {
+        ServerId::new(i)
+    }
+
+    fn m(origin: u16, seq: u64) -> MessageId {
+        MessageId::new(s(origin), seq)
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let t = TraceBuilder::new().build().unwrap();
+        assert_eq!(t.message_count(), 0);
+        assert!(t.check_causality().is_ok());
+    }
+
+    #[test]
+    fn fifo_pair_in_order_ok() {
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1));
+        b.send(s(0), s(1), m(0, 2));
+        b.receive(s(1), m(0, 1));
+        b.receive(s(1), m(0, 2));
+        let t = b.build().unwrap();
+        assert!(t.precedes(m(0, 1), m(0, 2)));
+        assert!(!t.precedes(m(0, 2), m(0, 1)));
+        assert!(t.check_causality().is_ok());
+    }
+
+    #[test]
+    fn fifo_pair_reversed_is_violation() {
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1));
+        b.send(s(0), s(1), m(0, 2));
+        b.receive(s(1), m(0, 2));
+        b.receive(s(1), m(0, 1));
+        let t = b.build().unwrap();
+        let v = t.check_causality().unwrap_err();
+        assert_eq!(v.at, s(1));
+        assert_eq!(v.first, m(0, 2));
+        assert_eq!(v.second, m(0, 1));
+        assert_eq!(
+            v.to_string(),
+            "at S1: m0:2 delivered before its causal predecessor m0:1"
+        );
+    }
+
+    #[test]
+    fn triangle_violation_detected() {
+        // p sends a to r, then b to q; q relays c to r; r gets c before a.
+        // a ≺ b ≺ c so delivering c before a is a violation at r.
+        let (p, q, r) = (s(0), s(1), s(2));
+        let mut b = TraceBuilder::new();
+        b.send(p, r, m(0, 1)); // a
+        b.send(p, q, m(0, 2)); // b
+        b.receive(q, m(0, 2));
+        b.send(q, r, m(1, 1)); // c, after receiving b
+        b.receive(r, m(1, 1));
+        b.receive(r, m(0, 1));
+        let t = b.build().unwrap();
+        assert!(t.precedes(m(0, 1), m(1, 1)));
+        let v = t.check_causality().unwrap_err();
+        assert_eq!(v.at, r);
+    }
+
+    #[test]
+    fn concurrent_messages_any_order_ok() {
+        let (p, q, r) = (s(0), s(1), s(2));
+        let mut b = TraceBuilder::new();
+        b.send(p, r, m(0, 1));
+        b.send(q, r, m(1, 1));
+        b.receive(r, m(1, 1));
+        b.receive(r, m(0, 1));
+        let t = b.build().unwrap();
+        assert!(!t.precedes(m(0, 1), m(1, 1)));
+        assert!(!t.precedes(m(1, 1), m(0, 1)));
+        assert!(t.check_causality().is_ok());
+    }
+
+    #[test]
+    fn in_flight_messages_are_tolerated() {
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1));
+        let t = b.build().unwrap();
+        assert_eq!(t.message_count(), 1);
+        assert!(t.check_causality().is_ok());
+    }
+
+    #[test]
+    fn malformed_traces_rejected() {
+        // Receive before send.
+        let mut b = TraceBuilder::new();
+        b.receive(s(1), m(0, 1));
+        assert!(b.build().is_err());
+
+        // Unknown message (receive only, never declared by a send).
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1));
+        b.receive(s(1), m(0, 1));
+        b.receive(s(1), m(0, 1)); // duplicate
+        assert!(b.build().is_err());
+
+        // Wrong destination.
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1));
+        b.receive(s(2), m(0, 1));
+        assert!(b.build().is_err());
+
+        // Sent twice.
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1));
+        b.send(s(0), s(1), m(0, 1));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn restriction_drops_cross_domain_messages() {
+        let (p, q, r) = (s(0), s(1), s(2));
+        let mut b = TraceBuilder::new();
+        b.send(p, q, m(0, 1));
+        b.receive(q, m(0, 1));
+        b.send(q, r, m(1, 1));
+        b.receive(r, m(1, 1));
+        let t = b.build().unwrap();
+        let restricted = t.restrict(&[p, q]);
+        assert_eq!(restricted.message_count(), 1);
+        assert!(restricted.message(m(1, 1)).is_none());
+        assert!(restricted.message(m(0, 1)).is_some());
+    }
+
+    #[test]
+    fn restriction_recomputes_precedence() {
+        // m1: p->q in domain {p,q}; chain via r outside; m2: p->q.
+        // In the full trace, m1 ≺ chain ≺ ... but restricted to {p,q} the
+        // two messages keep their same-sender order only.
+        let (p, q, r) = (s(0), s(1), s(2));
+        let mut b = TraceBuilder::new();
+        b.send(p, r, m(0, 1));
+        b.receive(r, m(0, 1));
+        b.send(r, q, m(2, 1));
+        b.receive(q, m(2, 1));
+        b.send(p, q, m(0, 2));
+        b.receive(q, m(0, 2));
+        let t = b.build().unwrap();
+        // Full trace: m(0,1) ≺ m(2,1).
+        assert!(t.precedes(m(0, 1), m(2, 1)));
+        let restricted = t.restrict(&[p, q]);
+        // Restricted trace contains only m(0,2).
+        assert_eq!(restricted.message_count(), 1);
+        assert!(restricted.check_causality().is_ok());
+    }
+
+    #[test]
+    fn deliveries_and_processes_accessors() {
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(1), m(0, 1));
+        b.receive(s(1), m(0, 1));
+        let t = b.build().unwrap();
+        assert_eq!(t.deliveries_at(s(1)), vec![m(0, 1)]);
+        assert!(t.deliveries_at(s(0)).is_empty());
+        assert_eq!(t.processes(), vec![s(0), s(1)]);
+        assert_eq!(t.messages().len(), 1);
+        assert_eq!(t.message(m(0, 1)).unwrap().dst, s(1));
+    }
+}

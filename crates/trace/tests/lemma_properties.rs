@@ -1,0 +1,122 @@
+//! Property-based tests of the proof machinery (Appendix B).
+//!
+//! Lemma 1's construction ([`chains::directify_chain`]) is executable; we
+//! check its three guarantees on randomly generated relay computations:
+//! the output is a *direct* chain, has the same source and destination,
+//! and satisfies the local-order inequalities `m₁ ≤p n₁` and `n_L ≤q m_k`.
+
+use aaa_base::{MessageId, ServerId};
+use aaa_trace::chains;
+use aaa_trace::TraceBuilder;
+use proptest::prelude::*;
+
+fn s(i: u16) -> ServerId {
+    ServerId::new(i)
+}
+
+/// Builds a trace containing one long relay chain whose hops are chosen by
+/// `hops` (each entry picks the next process among `n`), plus unrelated
+/// noise messages interleaved. Returns (trace, the chain).
+fn relay_trace(n: u16, hops: &[u16], noise: &[(u16, u16)]) -> (aaa_trace::Trace, Vec<MessageId>) {
+    let mut b = TraceBuilder::new();
+    let mut chain = Vec::new();
+    let mut at = 0u16; // chain currently at process `at`
+    let mut seq = 0u64;
+    let mut noise_iter = noise.iter();
+    for &h in hops {
+        let next = if h % n == at { (at + 1) % n } else { h % n };
+        seq += 1;
+        let id = MessageId::new(s(at), seq + 10_000);
+        b.send(s(at), s(next), id);
+        b.receive(s(next), id);
+        chain.push(id);
+        at = next;
+        // Interleave one noise message if available (different id space).
+        if let Some(&(nf, nt)) = noise_iter.next() {
+            let (nf, nt) = (nf % n, nt % n);
+            if nf != nt {
+                seq += 1;
+                let nid = MessageId::new(s(nf), seq + 20_000);
+                b.send(s(nf), s(nt), nid);
+                b.receive(s(nt), nid);
+            }
+        }
+    }
+    (b.build().expect("well-formed trace"), chain)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lemma1_construction_properties(
+        n in 2u16..6,
+        hops in prop::collection::vec(0u16..6, 1..12),
+        noise in prop::collection::vec((0u16..6, 0u16..6), 0..12),
+    ) {
+        let (trace, chain) = relay_trace(n, &hops, &noise);
+        prop_assert!(chains::is_chain(&trace, &chain));
+        let path = chains::chain_path(&trace, &chain).expect("chain has a path");
+        let (src, dst) = (path[0], *path.last().expect("non-empty"));
+        prop_assume!(src != dst); // Lemma 1 requires distinct endpoints
+
+        let direct = chains::directify_chain(&trace, &chain)
+            .expect("lemma 1 applies to open chains");
+        prop_assert!(chains::is_chain(&trace, &direct));
+        let dpath = chains::chain_path(&trace, &direct).expect("direct chain path");
+
+        // Same endpoints.
+        prop_assert_eq!(dpath[0], src);
+        prop_assert_eq!(*dpath.last().expect("non-empty"), dst);
+
+        // Direct: all processes distinct.
+        let mut sorted = dpath.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), dpath.len(), "path not direct: {:?}", dpath);
+
+        // m1 ≤p n1: the new head is not sent before the old head.
+        let old_head = trace.send_position(chain[0]).expect("sent");
+        let new_head = trace.send_position(direct[0]).expect("sent");
+        prop_assert!(new_head >= old_head);
+
+        // nL ≤q mk: the new tail is not received after the old tail.
+        let old_tail = trace
+            .receive_position(*chain.last().expect("non-empty"))
+            .expect("received");
+        let new_tail = trace
+            .receive_position(*direct.last().expect("non-empty"))
+            .expect("received");
+        prop_assert!(new_tail <= old_tail);
+    }
+
+    /// Collapsing the whole relay chain into one virtual message keeps the
+    /// virtual trace well-formed and causal.
+    #[test]
+    fn virtual_trace_of_relay_chain_is_causal(
+        n in 2u16..6,
+        hops in prop::collection::vec(0u16..6, 1..10),
+    ) {
+        let (trace, chain) = relay_trace(n, &hops, &[]);
+        let path = chains::chain_path(&trace, &chain).expect("path");
+        prop_assume!(path[0] != *path.last().expect("non-empty"));
+        let virt = chains::derive_virtual_trace(&trace, &[chain.clone()])
+            .expect("single chain never crosses itself");
+        prop_assert_eq!(virt.message_count(), 1);
+        prop_assert!(virt.check_causality().is_ok());
+    }
+
+    /// Synchronous traces have zero concurrency; their pair count matches
+    /// the combinatorial total.
+    #[test]
+    fn concurrency_of_relay_chain_is_zero(
+        n in 2u16..6,
+        hops in prop::collection::vec(0u16..6, 2..8),
+    ) {
+        let (trace, chain) = relay_trace(n, &hops, &[]);
+        let (concurrent, total) = trace.concurrency();
+        prop_assert_eq!(total, chain.len() * (chain.len() - 1) / 2);
+        // A chain is totally ordered: nothing is concurrent.
+        prop_assert_eq!(concurrent, 0);
+    }
+}

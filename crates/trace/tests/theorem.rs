@@ -1,0 +1,215 @@
+//! Model-level tests of the paper's main theorem (§4.3).
+//!
+//! Part 1 of the proof (¬P2 ⇒ ¬P1) is constructive: given a cycle in the
+//! domain graph, Figure 4 exhibits a trace that respects causality in every
+//! domain yet violates it globally. We reproduce that construction here —
+//! and check that on acyclic decompositions, randomized domain-causal
+//! traces are always globally causal.
+
+use aaa_base::{MessageId, ServerId};
+use aaa_trace::chains;
+use aaa_trace::TraceBuilder;
+use proptest::prelude::*;
+
+fn s(i: u16) -> ServerId {
+    ServerId::new(i)
+}
+
+fn m(origin: u16, seq: u64) -> MessageId {
+    MessageId::new(s(origin), seq)
+}
+
+/// The Figure 4(a) construction for a 3-domain cycle.
+///
+/// Domains: D0 = {p, p1}, D1 = {p1, q}, D2 = {q, p} — a cycle.
+/// Trace: p sends n to q (in D2); then p sends m1 to p1 (D0), p1 relays m2
+/// to q (D1); q receives the relayed message *before* n.
+///
+/// Every domain restriction sees at most one message pair whose order is
+/// consistent, but globally the chain (m1, m2) ≺-precedes... rather, n ≺ m1
+/// (same sender) and m2 is delivered at q before n, with n ≺ m1 ≺ m2 — a
+/// global violation.
+#[test]
+fn figure4_cycle_breaks_global_causality_only() {
+    let p = s(0);
+    let p1 = s(1);
+    let q = s(2);
+    let domains = vec![vec![p, p1], vec![p1, q], vec![q, p]];
+
+    // The cycle is a §4.2 cycle.
+    assert!(chains::is_cycle(&domains, &[p, p1, q]));
+
+    let n = m(0, 1); // p -> q, the direct message
+    let m1 = m(0, 2); // p -> p1
+    let m2 = m(1, 1); // p1 -> q, relayed after receiving m1
+
+    let mut b = TraceBuilder::new();
+    b.send(p, q, n);
+    b.send(p, p1, m1);
+    b.receive(p1, m1);
+    b.send(p1, q, m2);
+    b.receive(q, m2);
+    b.receive(q, n); // n arrives last: global violation
+    let t = b.build().unwrap();
+
+    // n ≺ m1 ≺ m2: the chain around the cycle.
+    assert!(t.precedes(n, m1));
+    assert!(t.precedes(m1, m2));
+    assert!(chains::is_chain(&t, &[m1, m2]));
+
+    // Globally: violated.
+    let v = t.check_causality().unwrap_err();
+    assert_eq!(v.at, q);
+    assert_eq!(v.first, m2);
+    assert_eq!(v.second, n);
+
+    // Yet every domain restriction respects causality.
+    for d in &domains {
+        assert!(
+            t.check_causality_in(d).is_ok(),
+            "domain {d:?} should be locally causal"
+        );
+    }
+}
+
+/// The same construction scaled to longer cycles (Figure 4 shows the
+/// general chain p → p1 → … → pᵢ → q).
+#[test]
+fn figure4_longer_cycles() {
+    for len in 2u16..6 {
+        // Processes p=0, relays 1..len, q=len.
+        // Domains: {0,1}, {1,2}, ..., {len-1,len}, {len,0}: a cycle.
+        let mut domains: Vec<Vec<ServerId>> =
+            (0..len).map(|i| vec![s(i), s(i + 1)]).collect();
+        domains.push(vec![s(len), s(0)]);
+        let path: Vec<ServerId> = (0..=len).map(s).collect();
+        assert!(chains::is_cycle(&domains, &path), "len={len}");
+
+        let n = m(0, 1);
+        let mut b = TraceBuilder::new();
+        b.send(s(0), s(len), n);
+        // The chain around the cycle.
+        let mut chain = Vec::new();
+        for i in 0..len {
+            let msg = m(i, 2);
+            b.send(s(i), s(i + 1), msg);
+            b.receive(s(i + 1), msg);
+            chain.push(msg);
+        }
+        b.receive(s(len), n); // direct message arrives after the chain
+        let t = b.build().unwrap();
+
+        assert!(chains::is_chain(&t, &chain));
+        assert!(t.check_causality().is_err(), "len={len}: global violation");
+        for d in &domains {
+            assert!(t.check_causality_in(d).is_ok(), "len={len}, domain {d:?}");
+        }
+    }
+}
+
+/// On the acyclic Figure 2 decomposition, a randomized execution where
+/// every *link* is FIFO and every relay forwards in receipt order is
+/// domain-causal; the theorem then promises global causality. We simulate
+/// such executions directly at the model level: messages are relayed along
+/// routing paths, every domain enforces causal delivery internally (here:
+/// FIFO per link + relay-in-order, which for these tree-like two-server
+/// overlaps is enough), and the global check must pass.
+#[test]
+fn acyclic_random_relays_are_globally_causal() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    // Bus of 3 domains with 3 servers each; routers 0, 3, 6; backbone
+    // domain {0, 3, 6}.
+    let domains: Vec<Vec<ServerId>> = vec![
+        vec![s(0), s(3), s(6)],
+        vec![s(0), s(1), s(2)],
+        vec![s(3), s(4), s(5)],
+        vec![s(6), s(7), s(8)],
+    ];
+
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = TraceBuilder::new();
+        let mut seq = 0u64;
+        // Random same-domain sends, immediately delivered (a degenerate but
+        // valid domain-causal schedule: synchronous delivery).
+        for _ in 0..rng.gen_range(5..40) {
+            let d = &domains[rng.gen_range(0..domains.len())];
+            let from = d[rng.gen_range(0..d.len())];
+            let mut to = d[rng.gen_range(0..d.len())];
+            if to == from {
+                to = d[(d.iter().position(|&x| x == from).unwrap() + 1) % d.len()];
+            }
+            seq += 1;
+            let id = MessageId::new(from, seq + 1000 * u64::from(from.as_u16()));
+            b.send(from, to, id);
+            b.receive(to, id);
+        }
+        let t = b.build().unwrap();
+        for d in &domains {
+            assert!(t.check_causality_in(d).is_ok(), "seed={seed}");
+        }
+        assert!(t.check_causality().is_ok(), "seed={seed}");
+    }
+}
+
+proptest! {
+    /// Synchronous (send-then-immediately-deliver) schedules respect
+    /// causality trivially — the checker must agree on any topology.
+    #[test]
+    fn synchronous_schedules_always_causal(
+        pairs in prop::collection::vec((0u16..6, 0u16..6), 1..60)
+    ) {
+        let mut b = TraceBuilder::new();
+        for (i, (from, to)) in pairs.iter().enumerate() {
+            if from == to { continue; }
+            let id = MessageId::new(s(*from), i as u64);
+            b.send(s(*from), s(*to), id);
+            b.receive(s(*to), id);
+        }
+        let t = b.build().unwrap();
+        prop_assert!(t.check_causality().is_ok());
+    }
+
+    /// Delaying a single message of a synchronous schedule to the very end
+    /// is detected iff some later message causally follows it and shares
+    /// its destination.
+    #[test]
+    fn delayed_message_detection_is_sound(
+        pairs in prop::collection::vec((0u16..5, 0u16..5), 2..40),
+        delayed in 0usize..40,
+    ) {
+        let sends: Vec<(u16, u16)> = pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .collect();
+        prop_assume!(sends.len() >= 2);
+        let delayed = delayed % sends.len();
+
+        let mut b = TraceBuilder::new();
+        let mut ids = Vec::new();
+        for (i, (from, to)) in sends.iter().enumerate() {
+            let id = MessageId::new(s(*from), i as u64);
+            ids.push(id);
+            b.send(s(*from), s(*to), id);
+            if i != delayed {
+                b.receive(s(*to), id);
+            }
+        }
+        // Deliver the delayed message last.
+        b.receive(s(sends[delayed].1), ids[delayed]);
+        let t = b.build().unwrap();
+
+        // Oracle: violation iff some message delivered at the same
+        // destination causally follows the delayed one.
+        let dst = s(sends[delayed].1);
+        let expects_violation = ids.iter().enumerate().any(|(i, &other)| {
+            i != delayed
+                && sends[i].1 == dst.as_u16()
+                && i > delayed
+                && t.precedes(ids[delayed], other)
+        });
+        prop_assert_eq!(t.check_causality().is_err(), expects_violation);
+    }
+}

@@ -1,0 +1,95 @@
+//! Crash and recovery of an agent server under traffic.
+//!
+//! The AAA MOM is fault-tolerant: agents are persistent and reactions are
+//! atomic (§3). This example crashes a server between two batches of
+//! messages, recovers it from its stable store, and shows that (a) the
+//! agent's state survived, (b) the messages sent while it was down are
+//! redelivered by the link layer's retransmission, exactly once, and (c)
+//! the causality trace of the whole run is consistent.
+//!
+//! Run with: `cargo run --example failure_recovery`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aaa_middleware::base::{AgentId, ServerId};
+use aaa_middleware::mom::{Agent, MomBuilder, Notification, ReactionContext};
+use aaa_middleware::topology::TopologySpec;
+use parking_lot::Mutex;
+
+/// A persistent counter agent: its whole state is one integer.
+struct Counter {
+    observed: Arc<Mutex<Vec<u32>>>,
+    count: u32,
+}
+
+impl Agent for Counter {
+    fn react(&mut self, _ctx: &mut ReactionContext<'_>, _from: AgentId, _note: &Notification) {
+        self.count += 1;
+        self.observed.lock().push(self.count);
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.count.to_le_bytes().to_vec()
+    }
+
+    fn restore(&mut self, image: &[u8]) {
+        self.count = u32::from_le_bytes(image.try_into().expect("4-byte image"));
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let observed: Arc<Mutex<Vec<u32>>> = Default::default();
+    let mom = MomBuilder::new(TopologySpec::single_domain(2))
+        .persistence(true) // enable the transactional image
+        .record_trace(true)
+        .build()?;
+
+    let counter_server = ServerId::new(1);
+    let counter = mom.register_agent(
+        counter_server,
+        1,
+        Box::new(Counter { observed: observed.clone(), count: 0 }),
+    )?;
+    let client = AgentId::new(ServerId::new(0), 9);
+
+    // Batch 1: delivered normally.
+    for _ in 0..3 {
+        mom.send(client, counter, Notification::signal("tick"))?;
+    }
+    assert!(mom.quiesce(Duration::from_secs(5)));
+    println!("after batch 1: counter = {:?}", observed.lock().last());
+
+    // Crash the counter's server. Its memory is gone; its store survives.
+    mom.crash(counter_server)?;
+    println!("server {counter_server} crashed");
+
+    // Batch 2: sent into the void — server 0 keeps retransmitting.
+    for _ in 0..3 {
+        mom.send(client, counter, Notification::signal("tick"))?;
+    }
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Recover from the persistent image (fresh agent instance, restored
+    // state).
+    mom.recover(
+        counter_server,
+        vec![(1, Box::new(Counter { observed: observed.clone(), count: 0 }) as Box<dyn Agent>)],
+    )?;
+    println!("server {counter_server} recovered from its journal");
+
+    assert!(
+        mom.quiesce(Duration::from_secs(10)),
+        "retransmitted messages should drain after recovery"
+    );
+
+    let seen = observed.lock().clone();
+    println!("counter history: {seen:?}");
+    // Exactly-once despite the crash: 6 ticks total, no gap, no repeat.
+    assert_eq!(seen.last(), Some(&6));
+    assert!(seen.windows(2).all(|w| w[1] == w[0] + 1), "no gaps or duplicates");
+    assert!(mom.trace()?.check_causality().is_ok());
+    println!("exactly-once delivery and causal order preserved across the crash");
+    mom.shutdown();
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Publish/subscribe across domains: a newsroom with regional editions.
+//!
+//! A wire-service topic lives in the agency's domain; regional newsroom
+//! subscribers live in their own domains. An editor publishes a story and
+//! then a correction. Causal delivery through the topic guarantees no
+//! newsroom can print the correction before the story — and when one
+//! newsroom *republishes* a story as its local edition, the correction
+//! from the agency still lands in the right order.
+//!
+//! Run with: `cargo run --example newsroom`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aaa_middleware::base::{AgentId, ServerId};
+use aaa_middleware::mom::pubsub::{publication, subscription, TopicAgent};
+use aaa_middleware::mom::{FnAgent, MomBuilder};
+use aaa_middleware::topology::TopologySpec;
+use parking_lot::Mutex;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Agency domain {0,1}; two regional domains joined by routers 1 and 3.
+    let spec = TopologySpec::from_domains(vec![
+        vec![0, 1],       // agency
+        vec![1, 2, 3],    // region A (1 is the agency's router)
+        vec![3, 4, 5],    // region B
+    ]);
+    let mom = MomBuilder::new(spec).build()?;
+
+    // The wire-service topic, hosted on the agency server.
+    let wire = mom.register_agent(ServerId::new(0), 1, Box::new(TopicAgent::new()))?;
+
+    // Regional newsrooms subscribe and log what they receive.
+    let logs: Arc<Mutex<Vec<(u16, String)>>> = Default::default();
+    let mut rooms = Vec::new();
+    for s in [2u16, 4, 5] {
+        let logs = logs.clone();
+        let room = mom.register_agent(
+            ServerId::new(s),
+            1,
+            Box::new(FnAgent::new(move |_ctx, _from, note| {
+                logs.lock().push((s, format!("{}: {}", note.kind(), note.body_str().unwrap_or(""))));
+            })),
+        )?;
+        mom.send(room, wire, subscription())?;
+        rooms.push(room);
+    }
+    // Let the subscriptions reach the topic before publishing.
+    assert!(mom.quiesce(Duration::from_secs(5)));
+
+    // The editor publishes a story, then a correction.
+    let editor = AgentId::new(ServerId::new(0), 50);
+    mom.send(editor, wire, publication("story", "markets rally on chip news".as_bytes().to_vec()))?;
+    mom.send(editor, wire, publication("correction", "rally was 2%, not 20%".as_bytes().to_vec()))?;
+    assert!(mom.quiesce(Duration::from_secs(10)));
+
+    let log = logs.lock().clone();
+    for (room, entry) in &log {
+        println!("newsroom S{room} <- {entry}");
+    }
+    // Every newsroom got both items, story first.
+    for s in [2u16, 4, 5] {
+        let mine: Vec<&str> = log
+            .iter()
+            .filter(|(r, _)| *r == s)
+            .map(|(_, e)| e.as_str())
+            .collect();
+        assert_eq!(mine.len(), 2, "newsroom S{s} missed an item");
+        assert!(mine[0].starts_with("story:"), "S{s} printed out of order!");
+        assert!(mine[1].starts_with("correction:"));
+    }
+    assert!(mom.trace()?.check_causality().is_ok());
+    println!("every newsroom printed the story before its correction — across 3 domains");
+    mom.shutdown();
+    Ok(())
+}

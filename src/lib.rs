@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # AAA middleware — scalable causal ordering through domains of causality
+//!
+//! A from-scratch Rust reproduction of *Preserving Causality in a Scalable
+//! Message-Oriented Middleware* (Laumay, Bruneton, Bellissard, Krakowiak —
+//! MIDDLEWARE 2001).
+//!
+//! The crate is an umbrella that re-exports the workspace members:
+//!
+//! - [`base`] — identifiers, errors, virtual time;
+//! - [`clocks`] — Lamport/vector/matrix clocks and the matrix-clock causal
+//!   delivery protocol with the Appendix-A Updates optimization;
+//! - [`topology`] — domains of causality, acyclicity checking, routing;
+//! - [`trace`] — the paper's formal trace model (§4.2) and causality
+//!   checkers;
+//! - [`net`] — wire codec and the in-memory reliable link substrate;
+//! - [`storage`] — stable storage and the recovery journal;
+//! - [`mom`] — the message-oriented middleware itself: agent servers,
+//!   engine, channel, causal router-servers;
+//! - [`sim`] — the discrete-event simulator and calibrated cost model used
+//!   to regenerate the paper's performance figures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aaa_middleware::mom::{MomBuilder, StampMode};
+//! use aaa_middleware::topology::TopologySpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Three servers in one domain of causality.
+//! let spec = TopologySpec::single_domain(3);
+//! let mut mom = MomBuilder::new(spec).stamp_mode(StampMode::Updates).build()?;
+//! # let _ = &mut mom;
+//! # Ok(())
+//! # }
+//! ```
+
+pub use aaa_base as base;
+pub use aaa_clocks as clocks;
+pub use aaa_mom as mom;
+pub use aaa_net as net;
+pub use aaa_sim as sim;
+pub use aaa_storage as storage;
+pub use aaa_topology as topology;
+pub use aaa_trace as trace;

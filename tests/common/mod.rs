@@ -1,0 +1,59 @@
+//! Shared helpers for the workspace-level integration tests.
+
+use aaa_middleware::topology::TopologySpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random *acyclic* domain decomposition: a random tree of
+/// `domains` domains, each with `min_size..=max_size` fresh servers, where
+/// each non-root domain shares exactly one router-server with a previously
+/// created domain.
+///
+/// By construction the bipartite incidence graph is a tree, so validation
+/// always succeeds and the theorem's precondition holds.
+pub fn random_acyclic_spec(
+    seed: u64,
+    domains: usize,
+    min_size: usize,
+    max_size: usize,
+) -> TopologySpec {
+    assert!(domains >= 1 && min_size >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut all: Vec<Vec<u16>> = Vec::with_capacity(domains);
+    let mut next_server = 0u16;
+
+    // Root domain: all fresh servers.
+    let size = rng.gen_range(min_size..=max_size);
+    all.push((0..size as u16).map(|i| next_server + i).collect());
+    next_server += size as u16;
+
+    for _ in 1..domains {
+        // Attach to a random existing domain through one of its servers.
+        let parent = rng.gen_range(0..all.len());
+        let router = all[parent][rng.gen_range(0..all[parent].len())];
+        let size = rng.gen_range(min_size..=max_size);
+        let mut members = vec![router];
+        for _ in 1..size {
+            members.push(next_server);
+            next_server += 1;
+        }
+        all.push(members);
+    }
+    TopologySpec::from_domains(all)
+}
+
+/// A deterministic pseudo-random workload: `count` (from, to) server
+/// pairs over `n` servers, never self-addressed.
+pub fn random_pairs(seed: u64, n: u16, count: usize) -> Vec<(u16, u16)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let from = rng.gen_range(0..n);
+            let mut to = rng.gen_range(0..n);
+            if to == from {
+                to = (to + 1) % n;
+            }
+            (from, to)
+        })
+        .collect()
+}

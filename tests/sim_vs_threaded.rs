@@ -1,0 +1,96 @@
+//! Cross-runtime consistency: the discrete-event simulator and the
+//! threaded runtime drive the *same* sans-IO cores; the same workload must
+//! produce the same end-to-end message set and causally consistent traces
+//! in both.
+
+mod common;
+
+use std::time::Duration;
+
+use aaa_middleware::base::{AgentId, ServerId};
+use aaa_middleware::mom::{EchoAgent, MomBuilder, Notification, ServerConfig, StampMode};
+use aaa_middleware::sim::{CostModel, Simulation};
+use aaa_middleware::trace::TraceRecorder;
+
+fn aid(s: u16, l: u32) -> AgentId {
+    AgentId::new(ServerId::new(s), l)
+}
+
+fn run_sim(seed: u64) -> (usize, bool) {
+    let spec = common::random_acyclic_spec(seed, 3, 2, 4);
+    let n = spec.server_count() as u16;
+    let topo = spec.validate().unwrap();
+    let mut sim = Simulation::new(
+        topo,
+        ServerConfig { stamp_mode: StampMode::Updates, ..ServerConfig::default() },
+        CostModel::paper_calibrated(),
+    )
+    .unwrap();
+    let recorder = TraceRecorder::new();
+    sim.record_into(&recorder);
+    for s in 0..n {
+        sim.register_agent(ServerId::new(s), 1, Box::new(EchoAgent));
+    }
+    for (from, to) in common::random_pairs(seed + 5, n, 40) {
+        sim.client_send(aid(from, 77), aid(to, 1), Notification::signal("m"));
+    }
+    sim.run_until_quiet().unwrap();
+    let trace = recorder.snapshot().unwrap();
+    (trace.message_count(), trace.check_causality().is_ok())
+}
+
+fn run_threaded(seed: u64) -> (usize, bool) {
+    let spec = common::random_acyclic_spec(seed, 3, 2, 4);
+    let n = spec.server_count() as u16;
+    let mom = MomBuilder::new(spec).build().unwrap();
+    for s in 0..n {
+        mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent)).unwrap();
+    }
+    for (from, to) in common::random_pairs(seed + 5, n, 40) {
+        mom.send(aid(from, 77), aid(to, 1), Notification::signal("m")).unwrap();
+    }
+    assert!(mom.quiesce(Duration::from_secs(30)));
+    let trace = mom.trace().unwrap();
+    let out = (trace.message_count(), trace.check_causality().is_ok());
+    mom.shutdown();
+    out
+}
+
+#[test]
+fn same_workload_same_outcome_in_both_runtimes() {
+    for seed in 0..5u64 {
+        let (sim_msgs, sim_ok) = run_sim(seed);
+        let (thr_msgs, thr_ok) = run_threaded(seed);
+        assert_eq!(sim_msgs, thr_msgs, "seed {seed}: message counts differ");
+        assert!(sim_ok, "seed {seed}: simulator trace not causal");
+        assert!(thr_ok, "seed {seed}: threaded trace not causal");
+        assert_eq!(sim_msgs, 80, "40 sends + 40 echoes");
+    }
+}
+
+#[test]
+fn simulator_is_fully_deterministic() {
+    let run = || {
+        let spec = common::random_acyclic_spec(9, 4, 2, 3);
+        let n = spec.server_count() as u16;
+        let topo = spec.validate().unwrap();
+        let mut sim = Simulation::new(
+            topo,
+            ServerConfig::default(),
+            CostModel::paper_calibrated(),
+        )
+        .unwrap();
+        for s in 0..n {
+            sim.register_agent(ServerId::new(s), 1, Box::new(EchoAgent));
+        }
+        for (from, to) in common::random_pairs(3, n, 30) {
+            sim.client_send(aid(from, 77), aid(to, 1), Notification::signal("m"));
+        }
+        sim.run_until_quiet().unwrap();
+        (sim.now(), sim.total_stats())
+    };
+    let (t1, s1) = run();
+    let (t2, s2) = run();
+    assert_eq!(t1, t2, "virtual end times must be identical");
+    assert_eq!(s1, s2, "statistics must be identical");
+}
