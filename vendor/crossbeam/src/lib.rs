@@ -1,0 +1,64 @@
+//! A minimal, dependency-free stand-in for the `crossbeam` crate.
+//!
+//! Implements the subset this workspace uses: multi-producer,
+//! multi-consumer FIFO channels ([`channel::unbounded`] /
+//! [`channel::bounded`]) and a polling [`select!`] macro over one or two
+//! receivers with a `default(timeout)` arm.
+
+pub mod channel;
+
+/// A polling replacement for `crossbeam::channel::select!`.
+///
+/// Supports the shapes used in this workspace:
+///
+/// ```ignore
+/// select! {
+///     recv(rx_a) -> msg => { ... }
+///     recv(rx_b) -> msg => { ... }
+///     default(Duration::from_millis(5)) => { ... }
+/// }
+/// ```
+///
+/// Each `recv` arm binds `Result<T, RecvError>` like the real macro. The
+/// implementation polls with a short sleep instead of parking on an event,
+/// which is indistinguishable for the millisecond-scale timeouts used here.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($r1:expr) -> $p1:pat => $b1:block
+        default($timeout:expr) => $bd:block
+    ) => {{
+        let __cb_deadline = ::std::time::Instant::now() + $timeout;
+        loop {
+            if let ::std::option::Option::Some(__cb_r) = ($r1).__select_poll() {
+                let $p1 = __cb_r;
+                break $b1;
+            }
+            if ::std::time::Instant::now() >= __cb_deadline {
+                break $bd;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(500));
+        }
+    }};
+    (
+        recv($r1:expr) -> $p1:pat => $b1:block
+        recv($r2:expr) -> $p2:pat => $b2:block
+        default($timeout:expr) => $bd:block
+    ) => {{
+        let __cb_deadline = ::std::time::Instant::now() + $timeout;
+        loop {
+            if let ::std::option::Option::Some(__cb_r) = ($r1).__select_poll() {
+                let $p1 = __cb_r;
+                break $b1;
+            }
+            if let ::std::option::Option::Some(__cb_r) = ($r2).__select_poll() {
+                let $p2 = __cb_r;
+                break $b2;
+            }
+            if ::std::time::Instant::now() >= __cb_deadline {
+                break $bd;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(500));
+        }
+    }};
+}

@@ -1,0 +1,133 @@
+//! A tiny regex-like string strategy.
+//!
+//! `&'static str` implements [`Strategy`] by interpreting the pattern as a
+//! sequence of atoms — literal characters or character classes `[a-z]` —
+//! each optionally followed by a repetition `{n}` or `{min,max}`. This
+//! covers the patterns used in this workspace (e.g. `"[a-z]{0,12}"`); any
+//! unparseable pattern falls back to generating the pattern text itself.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive char ranges, e.g. `[a-z0-9]` → [('a','z'), ('0','9')].
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Option<Vec<Piece>> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..].iter().position(|&c| c == ']')? + i + 1;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                if ranges.is_empty() {
+                    return None;
+                }
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            '{' | '}' | ']' => return None,
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i + 1..].iter().position(|&c| c == '}')? + i + 1;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                None => {
+                    let n = body.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if min > max {
+            return None;
+        }
+        pieces.push(Piece { atom, min, max });
+    }
+    Some(pieces)
+}
+
+fn sample_pieces(pieces: &[Piece], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for p in pieces {
+        let reps = rng.gen_range(p.min..=p.max);
+        for _ in 0..reps {
+            match &p.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                    let span = hi as u32 - lo as u32 + 1;
+                    let code = lo as u32 + rng.gen_range(0..span);
+                    out.push(char::from_u32(code).unwrap_or(lo));
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        match parse(self) {
+            Some(pieces) => sample_pieces(&pieces, rng),
+            None => (*self).to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn lowercase_class_with_bounds() {
+        let mut rng = new_rng(5);
+        for _ in 0..300 {
+            let s = "[a-z]{0,12}".sample(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_reps() {
+        let mut rng = new_rng(6);
+        assert_eq!("abc".sample(&mut rng), "abc");
+        let s = "[0-1]{4}".sample(&mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.chars().all(|c| c == '0' || c == '1'));
+    }
+}

@@ -1,0 +1,29 @@
+//! Test-runner configuration and the deterministic RNG used for sampling.
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Creates the deterministic RNG used to sample all strategies of one test.
+pub fn new_rng(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Returns a config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}

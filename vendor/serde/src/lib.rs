@@ -1,0 +1,33 @@
+//! A minimal, dependency-free stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for forward compatibility
+//! but never routes values through a serializer, so the traits here are pure
+//! markers with blanket implementations, and the derive macros (re-exported
+//! from the vendored `serde_derive` under the `derive` feature) expand to
+//! nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+impl<T: for<'de> Deserialize<'de> + ?Sized> DeserializeOwned for T {}
+
+/// Deserialization-side marker types.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Serialization-side marker types.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op stand-ins for `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! This workspace only *derives* the serde traits (the types never pass
+//! through an actual serializer), so emitting nothing is sufficient: the
+//! marker traits in the vendored `serde` crate have blanket implementations.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
