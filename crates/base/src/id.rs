@@ -85,9 +85,7 @@ u16_id!(
 ///
 /// Agents are the persistent reactive objects of the AAA programming model
 /// (§3). Their names are global and stable across the life of the system.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AgentId {
     server: ServerId,
     local: u32,
@@ -122,9 +120,7 @@ impl fmt::Display for AgentId {
 ///
 /// Used for duplicate suppression in the reliable link layer and for
 /// correlating entries in recorded traces.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MessageId {
     origin: ServerId,
     seq: u64,

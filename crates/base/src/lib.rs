@@ -21,8 +21,10 @@
 
 mod error;
 mod id;
+mod stats;
 mod vtime;
 
 pub use error::{Error, Result};
 pub use id::{AgentId, DomainId, DomainServerId, MessageId, ServerId};
+pub use stats::Absorb;
 pub use vtime::{Duration as VDuration, VTime};

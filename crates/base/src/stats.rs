@@ -1,0 +1,37 @@
+//! The [`Absorb`] trait: merging per-step statistics into accumulators.
+//!
+//! Both runtimes drain per-step counter structs out of the sans-IO cores
+//! and fold them into cumulative totals (`ChannelStats`, `StepStats`, …).
+//! `Absorb` is the common vocabulary for that fold, so generic experiment
+//! code can accumulate any of them uniformly.
+
+/// A statistics bundle that can merge another instance into itself.
+///
+/// Implementations add every counter of `other` onto `self`; absorbing a
+/// default-constructed value must be a no-op.
+///
+/// # Examples
+///
+/// ```
+/// use aaa_base::Absorb;
+///
+/// #[derive(Default)]
+/// struct Hits {
+///     n: u64,
+/// }
+///
+/// impl Absorb for Hits {
+///     fn absorb(&mut self, other: Hits) {
+///         self.n += other.n;
+///     }
+/// }
+///
+/// let mut total = Hits::default();
+/// total.absorb(Hits { n: 3 });
+/// total.absorb(Hits { n: 4 });
+/// assert_eq!(total.n, 7);
+/// ```
+pub trait Absorb {
+    /// Adds `other` into `self`.
+    fn absorb(&mut self, other: Self);
+}

@@ -21,7 +21,8 @@ fn bench_flat_hop(c: &mut Criterion) {
             let mut tx = ChannelCore::new(&topo, ServerId::new(0), StampMode::Updates).unwrap();
             let mut rx = ChannelCore::new(&topo, ServerId::new(1), StampMode::Updates).unwrap();
             b.iter(|| {
-                tx.submit(aid(0, 1), aid(1, 1), Notification::signal("x")).unwrap();
+                tx.submit(aid(0, 1), aid(1, 1), Notification::signal("x"))
+                    .unwrap();
                 let out = tx.take_transmissions().unwrap();
                 for (_, msg) in out {
                     black_box(rx.on_message(ServerId::new(0), msg).unwrap());
@@ -46,7 +47,11 @@ fn bench_router_forward(c: &mut Criterion) {
             let mut router_ch = ChannelCore::new(&topo, router, StampMode::Updates).unwrap();
             b.iter(|| {
                 src_ch
-                    .submit(aid(1, 1), AgentId::new(dest_server, 1), Notification::signal("x"))
+                    .submit(
+                        aid(1, 1),
+                        AgentId::new(dest_server, 1),
+                        Notification::signal("x"),
+                    )
                     .unwrap();
                 let out = src_ch.take_transmissions().unwrap();
                 for (_, msg) in out {

@@ -71,5 +71,10 @@ fn bench_round_trip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stamp_send, bench_check_and_deliver, bench_round_trip);
+criterion_group!(
+    benches,
+    bench_stamp_send,
+    bench_check_and_deliver,
+    bench_round_trip
+);
 criterion_main!(benches);

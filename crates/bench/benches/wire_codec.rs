@@ -33,7 +33,11 @@ fn bench_encode(c: &mut Criterion) {
     }
     let delta = message_with(Stamp::Delta(
         (0..4)
-            .map(|i| UpdateEntry { row: i, col: i + 1, value: u64::from(i) * 7 })
+            .map(|i| UpdateEntry {
+                row: i,
+                col: i + 1,
+                value: u64::from(i) * 7,
+            })
             .collect(),
     ));
     group.bench_function("delta_4_entries", |b| {

@@ -19,7 +19,10 @@ fn main() {
     for n in [16usize, 64, 144, 400, 1024, 10_000] {
         let flat = cost::flat_message_cost(n);
         let bus = cost::bus_message_cost(n);
-        println!("| {n} | {flat} | {bus} | {:.1}x |", flat as f64 / bus as f64);
+        println!(
+            "| {n} | {flat} | {bus} | {:.1}x |",
+            flat as f64 / bus as f64
+        );
     }
 
     println!();

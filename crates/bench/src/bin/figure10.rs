@@ -42,7 +42,9 @@ fn main() {
     // The whole sweep must stay within the same order of magnitude —
     // the paper grows only 1.37x from n=10 to n=150.
     let growth = rows.last().unwrap().ours_ms / rows[0].ours_ms;
-    println!("growth 10 -> 150 servers: ours {growth:.2}x, paper {:.2}x",
-        paper::FIG10_MS[8] / paper::FIG10_MS[0]);
+    println!(
+        "growth 10 -> 150 servers: ours {growth:.2}x, paper {:.2}x",
+        paper::FIG10_MS[8] / paper::FIG10_MS[0]
+    );
     assert!(growth < 3.0, "domain decomposition must flatten the curve");
 }

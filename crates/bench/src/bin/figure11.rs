@@ -66,5 +66,8 @@ fn main() {
     )
     .unwrap()
     .as_millis_f64();
-    assert!(bus90 < flat90, "domains must win at n=90: {bus90} vs {flat90}");
+    assert!(
+        bus90 < flat90,
+        "domains must win at n=90: {bus90} vs {flat90}"
+    );
 }

@@ -40,7 +40,12 @@ fn main() {
     );
     // Growth factor 10 -> 90 servers: the paper sees ~40x.
     let growth = rows.last().unwrap().ours_ms / rows[0].ours_ms;
-    println!("growth 10 -> 90 servers: ours {growth:.1}x, paper {:.1}x",
-        paper::FIG8_MS[6] / paper::FIG8_MS[0]);
-    assert!(growth > 10.0, "broadcast must grow superlinearly, got {growth:.1}x");
+    println!(
+        "growth 10 -> 90 servers: ours {growth:.1}x, paper {:.1}x",
+        paper::FIG8_MS[6] / paper::FIG8_MS[0]
+    );
+    assert!(
+        growth > 10.0,
+        "broadcast must grow superlinearly, got {growth:.1}x"
+    );
 }

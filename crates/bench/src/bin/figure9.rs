@@ -55,7 +55,9 @@ fn main() {
     let tree = TopologySpec::tree(2, 2, 6).validate().expect("tree valid");
     describe("tree d=2 k=2 s=6", &tree);
 
-    let flat = TopologySpec::single_domain(36).validate().expect("flat valid");
+    let flat = TopologySpec::single_domain(36)
+        .validate()
+        .expect("flat valid");
     describe("flat (no domains)", &flat);
 
     println!();

@@ -23,7 +23,10 @@ fn run(drop: f64) -> (f64, u64, usize, bool) {
         topo,
         config,
         CostModel::paper_calibrated(),
-        FaultConfig { drop_probability: drop, seed: 42 },
+        FaultConfig {
+            drop_probability: drop,
+            seed: 42,
+        },
     )
     .expect("sim builds");
     let recorder = TraceRecorder::new();

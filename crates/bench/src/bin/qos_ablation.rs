@@ -16,7 +16,10 @@ fn rtt(n: u16, unordered: bool, rounds: u32) -> f64 {
     let topo = TopologySpec::single_domain(n).validate().expect("valid");
     let mut sim = Simulation::new(
         topo,
-        ServerConfig { stamp_mode: StampMode::Updates, ..ServerConfig::default() },
+        ServerConfig {
+            stamp_mode: StampMode::Updates,
+            ..ServerConfig::default()
+        },
         CostModel::paper_calibrated(),
     )
     .expect("sim builds");

@@ -29,11 +29,11 @@ fn bss_unicast_cost(n: usize, rounds: usize) -> (u64, u64) {
     for _ in 0..rounds {
         let stamp = procs[0].stamp_broadcast();
         // The broadcast reaches every other process, carrying the vector.
-        for i in 1..n {
+        for proc in procs.iter_mut().skip(1) {
             msgs += 1;
             bytes += stamp.encoded_len() as u64;
-            assert!(procs[i].can_deliver(d(0), &stamp));
-            procs[i].deliver(d(0), &stamp);
+            assert!(proc.can_deliver(d(0), &stamp));
+            proc.deliver(d(0), &stamp);
         }
     }
     (msgs, bytes)
@@ -67,9 +67,7 @@ fn main() {
         let (bss_msgs, bss_bytes) = bss_unicast_cost(n, rounds);
         let (mat_msgs, upd_bytes) = matrix_unicast_cost(n, rounds, StampMode::Updates);
         let (_, full_bytes) = matrix_unicast_cost(n, rounds, StampMode::Full);
-        println!(
-            "| {n} | {bss_msgs} | {bss_bytes} | {mat_msgs} | {upd_bytes} | {full_bytes} |"
-        );
+        println!("| {n} | {bss_msgs} | {bss_bytes} | {mat_msgs} | {upd_bytes} | {full_bytes} |");
         // The paper's point, checked: BSS floods the network with
         // messages (n−1 per unicast)...
         assert_eq!(bss_msgs, (n as u64 - 1) * rounds as u64);

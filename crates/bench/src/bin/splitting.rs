@@ -65,8 +65,13 @@ fn main() {
 
     let flat = TopologySpec::single_domain(n as u16);
     let bus = aaa_bench::bus_for(n);
-    let aware = split_by_traffic(&traffic, &SplitConfig { max_domain_size: size + 1 })
-        .expect("splitter succeeds");
+    let aware = split_by_traffic(
+        &traffic,
+        &SplitConfig {
+            max_domain_size: size + 1,
+        },
+    )
+    .expect("splitter succeeds");
 
     println!("\n## X4: automatic domain splitting (4 communities x 6 servers)");
     println!();
@@ -76,7 +81,11 @@ fn main() {
     let hop = HopCost::default();
     let mut base_cost = None;
     let mut results = Vec::new();
-    for (name, spec) in [("flat (1 domain)", flat), ("uniform bus", bus), ("traffic-aware split", aware)] {
+    for (name, spec) in [
+        ("flat (1 domain)", flat),
+        ("uniform bus", bus),
+        ("traffic-aware split", aware),
+    ] {
         let topo = spec.clone().validate().expect("valid");
         let cost = expected_cost(&topo, &traffic, &hop).expect("cost computes");
         let base = *base_cost.get_or_insert(cost);

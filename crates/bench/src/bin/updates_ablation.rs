@@ -28,7 +28,10 @@ fn main() {
             50,
         )
         .expect("simulation runs");
-        println!("| {n} | {full:.0} | {upd:.0} | {:.0}x |", full / upd.max(1.0));
+        println!(
+            "| {n} | {full:.0} | {upd:.0} | {:.0}x |",
+            full / upd.max(1.0)
+        );
         assert!(
             upd * 4.0 < full,
             "updates must cut stamp bytes at n={n}: {upd} vs {full}"
@@ -40,34 +43,36 @@ fn main() {
     println!();
     println!("| configuration | stamp bytes/message |");
     println!("|:---|---:|");
-    let flat_full = experiments::stamp_bytes_per_message(
-        TopologySpec::single_domain(100),
-        StampMode::Full,
-        50,
-    )
-    .unwrap();
+    let flat_full =
+        experiments::stamp_bytes_per_message(TopologySpec::single_domain(100), StampMode::Full, 50)
+            .unwrap();
     let flat_upd = experiments::stamp_bytes_per_message(
         TopologySpec::single_domain(100),
         StampMode::Updates,
         50,
     )
     .unwrap();
-    let bus_full =
-        experiments::stamp_bytes_per_message(bus_for(100), StampMode::Full, 50).unwrap();
+    let bus_full = experiments::stamp_bytes_per_message(bus_for(100), StampMode::Full, 50).unwrap();
     let bus_upd =
         experiments::stamp_bytes_per_message(bus_for(100), StampMode::Updates, 50).unwrap();
     println!("| flat, full matrix (n=100) | {flat_full:.0} |");
     println!("| flat, updates | {flat_upd:.0} |");
     println!("| bus domains, full matrix | {bus_full:.0} |");
     println!("| bus domains, updates | {bus_upd:.0} |");
-    assert!(bus_upd < flat_full / 100.0, "combined reduction should exceed 100x");
+    assert!(
+        bus_upd < flat_full / 100.0,
+        "combined reduction should exceed 100x"
+    );
 
     println!();
     println!("### End-to-end round trip on a 100 B/ms WAN link (n=20)");
     println!();
     println!("| mode | avg RTT (ms) |");
     println!("|:---|---:|");
-    for (name, mode) in [("full matrix", StampMode::Full), ("updates", StampMode::Updates)] {
+    for (name, mode) in [
+        ("full matrix", StampMode::Full),
+        ("updates", StampMode::Updates),
+    ] {
         let rtt = experiments::remote_unicast_avg_rtt(
             TopologySpec::single_domain(20),
             mode,

@@ -19,14 +19,14 @@ pub mod paper {
     /// Figure 8 — broadcast without domains: server counts.
     pub const FIG8_N: [usize; 7] = [10, 20, 30, 40, 50, 60, 90];
     /// Figure 8 — broadcast without domains: milliseconds.
-    pub const FIG8_MS: [f64; 7] =
-        [636.0, 1382.0, 2771.0, 4187.0, 6613.0, 8933.0, 25323.0];
+    pub const FIG8_MS: [f64; 7] = [636.0, 1382.0, 2771.0, 4187.0, 6613.0, 8933.0, 25323.0];
 
     /// Figure 10 — remote unicast with domains (bus): server counts.
     pub const FIG10_N: [usize; 9] = [10, 20, 30, 40, 50, 60, 90, 120, 150];
     /// Figure 10 — remote unicast with domains (bus): milliseconds.
-    pub const FIG10_MS: [f64; 9] =
-        [159.0, 175.0, 185.0, 192.0, 189.0, 205.0, 212.0, 217.0, 218.0];
+    pub const FIG10_MS: [f64; 9] = [
+        159.0, 175.0, 185.0, 192.0, 189.0, 205.0, 212.0, 217.0, 218.0,
+    ];
 }
 
 /// Builds the near-square bus decomposition the paper used for Figure 10:
@@ -121,7 +121,11 @@ impl FitReport {
         println!("quadratic fit: {a:9.2} + {b:8.4}·n²   (rmse {e:8.2})");
         println!(
             "better shape : {}",
-            if self.prefers_quadratic() { "quadratic" } else { "linear" }
+            if self.prefers_quadratic() {
+                "quadratic"
+            } else {
+                "linear"
+            }
         );
     }
 }
@@ -155,14 +159,22 @@ mod tests {
         let rows7: Vec<Row> = paper::FIG7_N
             .iter()
             .zip(paper::FIG7_MS)
-            .map(|(&n, ms)| Row { n, paper_ms: None, ours_ms: ms })
+            .map(|(&n, ms)| Row {
+                n,
+                paper_ms: None,
+                ours_ms: ms,
+            })
             .collect();
         assert!(report_fit(&rows7).prefers_quadratic());
 
         let rows10: Vec<Row> = paper::FIG10_N
             .iter()
             .zip(paper::FIG10_MS)
-            .map(|(&n, ms)| Row { n, paper_ms: None, ours_ms: ms })
+            .map(|(&n, ms)| Row {
+                n,
+                paper_ms: None,
+                ours_ms: ms,
+            })
             .collect();
         assert!(!report_fit(&rows10).prefers_quadratic());
     }

@@ -25,8 +25,9 @@ use serde::{Deserialize, Serialize};
 /// let t_recv = b.observe(t); // b receives it
 /// assert!(t_recv > t);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-         Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LamportClock {
     now: u64,
 }

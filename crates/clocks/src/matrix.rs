@@ -116,11 +116,7 @@ impl MatrixClock {
     /// # Panics
     ///
     /// Panics if the widths differ.
-    pub fn merge_max(
-        &mut self,
-        other: &MatrixClock,
-        mut changed: impl FnMut(usize, usize, u64),
-    ) {
+    pub fn merge_max(&mut self, other: &MatrixClock, mut changed: impl FnMut(usize, usize, u64)) {
         assert_eq!(
             self.n, other.n,
             "cannot merge matrix clocks of different widths"
@@ -149,9 +145,10 @@ impl MatrixClock {
 
     /// Iterates over the non-zero cells as `(row, col, value)`.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
-        self.cells.iter().enumerate().filter_map(move |(i, &v)| {
-            (v != 0).then_some((i / self.n, i % self.n, v))
-        })
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &v)| (v != 0).then_some((i / self.n, i % self.n, v)))
     }
 
     /// Copies column `col` into a fresh vector (`result[row] = cell(row, col)`).

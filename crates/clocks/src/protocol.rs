@@ -89,7 +89,10 @@ impl CausalState {
     /// Panics if `n` is zero or `me` is out of range.
     pub fn new(me: DomainServerId, n: usize, mode: StampMode) -> Self {
         assert!(n > 0, "a domain needs at least one server");
-        assert!(me.as_usize() < n, "server id {me} out of range for domain of {n}");
+        assert!(
+            me.as_usize() < n,
+            "server id {me} out of range for domain of {n}"
+        );
         CausalState {
             me,
             n,
@@ -174,8 +177,8 @@ impl CausalState {
                 m
             }
             (StampMode::Updates, Stamp::Delta(entries)) => {
-                let image = self.images[from.as_usize()]
-                    .get_or_insert_with(|| MatrixClock::new(self.n));
+                let image =
+                    self.images[from.as_usize()].get_or_insert_with(|| MatrixClock::new(self.n));
                 for e in &entries {
                     image.raise(e.row as usize, e.col as usize, e.value);
                 }
@@ -364,7 +367,10 @@ mod tests {
     }
 
     fn pair(mode: StampMode) -> (CausalState, CausalState) {
-        (CausalState::new(d(0), 2, mode), CausalState::new(d(1), 2, mode))
+        (
+            CausalState::new(d(0), 2, mode),
+            CausalState::new(d(1), 2, mode),
+        )
     }
 
     #[test]

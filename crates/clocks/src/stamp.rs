@@ -91,8 +91,16 @@ mod tests {
     #[test]
     fn delta_stamp_size_is_linear_in_entries() {
         let entries = vec![
-            UpdateEntry { row: 0, col: 1, value: 3 },
-            UpdateEntry { row: 2, col: 1, value: 9 },
+            UpdateEntry {
+                row: 0,
+                col: 1,
+                value: 3,
+            },
+            UpdateEntry {
+                row: 2,
+                col: 1,
+                value: 9,
+            },
         ];
         let s = Stamp::Delta(entries);
         assert_eq!(s.encoded_len(), 4 + 2 * UpdateEntry::WIRE_LEN);

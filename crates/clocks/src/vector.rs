@@ -53,9 +53,7 @@ impl VectorClock {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a vector clock needs at least one process");
-        VectorClock {
-            counts: vec![0; n],
-        }
+        VectorClock { counts: vec![0; n] }
     }
 
     /// Number of processes the clock covers.

@@ -165,7 +165,8 @@ mod tests {
         ctx.send(aid(1, 1), Notification::signal("a"));
         ctx.send_unordered(aid(2, 1), Notification::signal("b"));
         assert_eq!(ctx.sent_count(), 2);
-        drop(ctx);
+        // End the context's borrow of `out` before inspecting it.
+        let _ = ctx;
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].0, aid(1, 1));
         assert_eq!(out[0].2, DeliveryPolicy::Causal);
@@ -177,7 +178,11 @@ mod tests {
         let mut agent = EchoAgent;
         let mut out = Vec::new();
         let mut ctx = ReactionContext::new(aid(1, 0), &mut out);
-        agent.react(&mut ctx, aid(0, 0), &Notification::new("ping", b"7".to_vec()));
+        agent.react(
+            &mut ctx,
+            aid(0, 0),
+            &Notification::new("ping", b"7".to_vec()),
+        );
         assert_eq!(
             out,
             vec![(

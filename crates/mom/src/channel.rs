@@ -19,13 +19,17 @@
 
 use std::collections::VecDeque;
 
-use aaa_base::{AgentId, DomainId, DomainServerId, Error, MessageId, Result, ServerId};
+use aaa_base::{
+    Absorb, AgentId, DomainId, DomainServerId, Error, MessageId, Result, ServerId, VTime,
+};
 use aaa_clocks::{PendingStamp, StampMode};
 use aaa_net::WireMessage;
+use aaa_obs::Meter;
 use aaa_topology::{RoutingTable, Topology};
 
 use crate::domain_item::DomainItem;
-use crate::message::{AgentMessage, DeliveryPolicy, Notification};
+use crate::message::{AgentMessage, DeliveryPolicy, Notification, SendOptions};
+use crate::metrics::ChannelMetrics;
 
 /// A message travelling through the bus, between stampings.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +57,11 @@ pub(crate) struct Postponed {
     pub(crate) from: DomainServerId,
     pub(crate) pending: PendingStamp,
     pub(crate) env: Envelope,
+    /// When the message arrived (caller's clock: wall micros in the
+    /// threaded runtime, virtual time in the simulator). Used for the
+    /// postponement-duration histogram; persisted so durations survive
+    /// crash recovery.
+    pub(crate) arrived_at: VTime,
 }
 
 /// Counters accumulated by the channel, drained by the simulator's cost
@@ -72,9 +81,8 @@ pub struct ChannelStats {
     pub forwarded: u64,
 }
 
-impl ChannelStats {
-    /// Adds `other` into `self`.
-    pub fn absorb(&mut self, other: ChannelStats) {
+impl Absorb for ChannelStats {
+    fn absorb(&mut self, other: ChannelStats) {
         self.cell_ops += other.cell_ops;
         self.stamp_bytes += other.stamp_bytes;
         self.transmitted += other.transmitted;
@@ -104,6 +112,7 @@ pub struct ChannelCore {
     postponed: Vec<Postponed>,
     next_seq: u64,
     stats: ChannelStats,
+    metrics: Option<ChannelMetrics>,
 }
 
 impl ChannelCore {
@@ -129,7 +138,20 @@ impl ChannelCore {
             postponed: Vec::new(),
             next_seq: 0,
             stats: ChannelStats::default(),
+            metrics: None,
         })
+    }
+
+    /// Attaches an `aaa-obs` meter: the channel mints its instruments
+    /// (per-domain cell-op/stamp-byte counters, delivery counters, the
+    /// postponed gauge and the postponement histogram) under the meter's
+    /// base labels and updates them alongside [`ChannelStats`]. Without a
+    /// meter every event pays one branch and no atomic traffic.
+    pub fn attach_meter(&mut self, meter: &Meter) {
+        let domains: Vec<DomainId> = self.items.iter().map(|it| it.domain_id()).collect();
+        let metrics = ChannelMetrics::new(meter, &domains);
+        metrics.postponed.set(self.postponed.len() as i64);
+        self.metrics = Some(metrics);
     }
 
     /// This channel's server id.
@@ -184,18 +206,13 @@ impl ChannelCore {
     /// Returns [`Error::UnknownServer`] if the destination server does not
     /// exist, or [`Error::InvalidTopology`] if `from` does not live on this
     /// server.
-    pub fn submit(
-        &mut self,
-        from: AgentId,
-        to: AgentId,
-        note: Notification,
-    ) -> Result<Submit> {
-        self.submit_with(from, to, note, DeliveryPolicy::Causal)
+    pub fn submit(&mut self, from: AgentId, to: AgentId, note: Notification) -> Result<Submit> {
+        self.submit_with(from, to, note, SendOptions::default())
     }
 
-    /// Like [`ChannelCore::submit`], with an explicit delivery policy.
-    /// Unordered messages are routed but never stamped or checked; they
-    /// may overtake causal traffic.
+    /// Like [`ChannelCore::submit`], with explicit [`SendOptions`] (a bare
+    /// [`DeliveryPolicy`] converts). Unordered messages are routed but
+    /// never stamped or checked; they may overtake causal traffic.
     ///
     /// # Errors
     ///
@@ -205,8 +222,9 @@ impl ChannelCore {
         from: AgentId,
         to: AgentId,
         note: Notification,
-        policy: DeliveryPolicy,
+        opts: impl Into<SendOptions>,
     ) -> Result<Submit> {
+        let policy = opts.into().policy;
         if from.server() != self.me {
             return Err(Error::InvalidTopology(format!(
                 "agent {from} does not live on server {}",
@@ -226,6 +244,9 @@ impl ChannelCore {
         };
         if env.dest == self.me {
             self.stats.delivered += 1;
+            if let Some(m) = &self.metrics {
+                m.delivered.inc();
+            }
             Ok(Submit::Local(AgentMessage {
                 id: env.id,
                 from: env.from,
@@ -260,11 +281,20 @@ impl ChannelCore {
                     let stamp = item.clock_mut().stamp_send(hop_dsid);
                     self.stats.cell_ops += n * n;
                     self.stats.stamp_bytes += stamp.encoded_len() as u64;
+                    if let Some(m) = &self.metrics {
+                        m.domains[item_idx].cell_ops.add(n * n);
+                        m.domains[item_idx]
+                            .stamp_bytes
+                            .add(stamp.encoded_len() as u64);
+                    }
                     Some(stamp)
                 }
                 DeliveryPolicy::Unordered => None,
             };
             self.stats.transmitted += 1;
+            if let Some(m) = &self.metrics {
+                m.transmitted.inc();
+            }
             let msg = WireMessage {
                 id: env.id,
                 from_agent: env.from,
@@ -308,10 +338,24 @@ impl ChannelCore {
     /// server is not in, or [`Error::NotInDomain`] if the link sender is
     /// not a member of that domain — both indicate a corrupt or misrouted
     /// frame.
-    pub fn on_message(
+    pub fn on_message(&mut self, from: ServerId, msg: WireMessage) -> Result<Vec<AgentMessage>> {
+        self.on_message_at(from, msg, VTime::ZERO)
+    }
+
+    /// Like [`ChannelCore::on_message`], with the caller's current time
+    /// (wall-clock microseconds since runtime start, or virtual time).
+    /// `now` timestamps postponed messages so the postponement-duration
+    /// histogram has something to measure; it never affects delivery
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ChannelCore::on_message`].
+    pub fn on_message_at(
         &mut self,
         from: ServerId,
         msg: WireMessage,
+        now: VTime,
     ) -> Result<Vec<AgentMessage>> {
         let item_idx = self
             .items
@@ -336,6 +380,9 @@ impl ChannelCore {
             };
             if env.dest == self.me {
                 self.stats.delivered += 1;
+                if let Some(m) = &self.metrics {
+                    m.delivered.inc();
+                }
                 return Ok(vec![AgentMessage {
                     id: env.id,
                     from: env.from,
@@ -344,11 +391,19 @@ impl ChannelCore {
                 }]);
             }
             self.stats.forwarded += 1;
+            if let Some(m) = &self.metrics {
+                m.forwarded.inc();
+            }
             self.queue_out.push_back(env);
             return Ok(Vec::new());
         };
         let pending = item.clock_mut().on_frame(from_dsid, stamp);
-        self.stats.cell_ops += item.clock().n() as u64;
+        let n_check = item.clock().n() as u64;
+        self.stats.cell_ops += n_check;
+        if let Some(m) = &self.metrics {
+            m.domains[item_idx].cell_ops.add(n_check);
+            m.postponed.inc();
+        }
         self.postponed.push(Postponed {
             item_idx,
             from: from_dsid,
@@ -362,12 +417,13 @@ impl ChannelCore {
                 note: Notification::new(msg.kind, msg.body),
                 policy: DeliveryPolicy::Causal,
             },
+            arrived_at: now,
         });
-        Ok(self.pump())
+        Ok(self.pump(now))
     }
 
     /// Delivers every postponed message whose causal condition now holds.
-    fn pump(&mut self) -> Vec<AgentMessage> {
+    fn pump(&mut self, now: VTime) -> Vec<AgentMessage> {
         let mut local = Vec::new();
         loop {
             let hit = self.postponed.iter().position(|p| {
@@ -380,8 +436,17 @@ impl ChannelCore {
             let n = item.clock().n() as u64;
             item.clock_mut().deliver(p.from, &p.pending);
             self.stats.cell_ops += n * n + n;
+            if let Some(m) = &self.metrics {
+                m.domains[p.item_idx].cell_ops.add(n * n + n);
+                m.postponed.dec();
+                m.postponement_us
+                    .observe(now.as_micros().saturating_sub(p.arrived_at.as_micros()));
+            }
             if p.env.dest == self.me {
                 self.stats.delivered += 1;
+                if let Some(m) = &self.metrics {
+                    m.delivered.inc();
+                }
                 local.push(AgentMessage {
                     id: p.env.id,
                     from: p.env.from,
@@ -390,6 +455,9 @@ impl ChannelCore {
                 });
             } else {
                 self.stats.forwarded += 1;
+                if let Some(m) = &self.metrics {
+                    m.forwarded.inc();
+                }
                 self.queue_out.push_back(p.env);
             }
         }
@@ -436,6 +504,7 @@ impl ChannelCore {
             postponed,
             next_seq,
             stats: ChannelStats::default(),
+            metrics: None,
         })
     }
 }
@@ -467,7 +536,10 @@ mod tests {
     fn local_submit_bypasses_network() {
         let topo = single_domain(2);
         let mut ch = ChannelCore::new(&topo, s(0), StampMode::Full).unwrap();
-        match ch.submit(aid(0, 1), aid(0, 2), Notification::signal("hi")).unwrap() {
+        match ch
+            .submit(aid(0, 1), aid(0, 2), Notification::signal("hi"))
+            .unwrap()
+        {
             Submit::Local(m) => {
                 assert_eq!(m.to, aid(0, 2));
                 assert_eq!(m.note.kind(), "hi");
@@ -483,7 +555,11 @@ mod tests {
         let topo = single_domain(2);
         let mut ch = ChannelCore::new(&topo, s(0), StampMode::Full).unwrap();
         let sub = ch
-            .submit(aid(0, 1), aid(1, 1), Notification::new("ping", b"1".to_vec()))
+            .submit(
+                aid(0, 1),
+                aid(1, 1),
+                Notification::new("ping", b"1".to_vec()),
+            )
             .unwrap();
         assert!(matches!(sub, Submit::Queued(_)));
         let tx = ch.take_transmissions().unwrap();
@@ -545,7 +621,11 @@ mod tests {
         .unwrap();
         let mut chs = channels(&topo, StampMode::Updates);
         chs[0]
-            .submit(aid(0, 1), aid(7, 1), Notification::new("x", b"payload".to_vec()))
+            .submit(
+                aid(0, 1),
+                aid(7, 1),
+                Notification::new("x", b"payload".to_vec()),
+            )
             .unwrap();
 
         // Hop 1: 0 -> 2, stamped in domain 0.
@@ -587,8 +667,12 @@ mod tests {
         let topo = single_domain(3);
         let mut chs = channels(&topo, StampMode::Full);
 
-        chs[0].submit(aid(0, 1), aid(2, 1), Notification::signal("a")).unwrap();
-        chs[0].submit(aid(0, 1), aid(1, 1), Notification::signal("b")).unwrap();
+        chs[0]
+            .submit(aid(0, 1), aid(2, 1), Notification::signal("a"))
+            .unwrap();
+        chs[0]
+            .submit(aid(0, 1), aid(1, 1), Notification::signal("b"))
+            .unwrap();
         let tx = chs[0].take_transmissions().unwrap();
         let (m_a, m_b) = {
             let mut it = tx.into_iter();
@@ -602,7 +686,9 @@ mod tests {
         // 1 receives m_b and reacts by sending m_c to 2.
         let delivered = chs[1].on_message(s(0), m_b.1).unwrap();
         assert_eq!(delivered.len(), 1);
-        chs[1].submit(aid(1, 1), aid(2, 1), Notification::signal("c")).unwrap();
+        chs[1]
+            .submit(aid(1, 1), aid(2, 1), Notification::signal("c"))
+            .unwrap();
         let tx = chs[1].take_transmissions().unwrap();
         let (_, m_c) = tx.into_iter().next().unwrap();
 
@@ -625,15 +711,21 @@ mod tests {
         let topo = single_domain(3);
         let mut chs = channels(&topo, StampMode::Full);
 
-        chs[0].submit(aid(0, 1), aid(2, 1), Notification::signal("a")).unwrap();
-        chs[0].submit(aid(0, 1), aid(1, 1), Notification::signal("b")).unwrap();
+        chs[0]
+            .submit(aid(0, 1), aid(2, 1), Notification::signal("a"))
+            .unwrap();
+        chs[0]
+            .submit(aid(0, 1), aid(1, 1), Notification::signal("b"))
+            .unwrap();
         let tx = chs[0].take_transmissions().unwrap();
         let mut it = tx.into_iter();
         let m_a = it.next().unwrap();
         let m_b = it.next().unwrap();
 
         chs[1].on_message(s(0), m_b.1).unwrap();
-        chs[1].submit(aid(1, 1), aid(2, 1), Notification::signal("c")).unwrap();
+        chs[1]
+            .submit(aid(1, 1), aid(2, 1), Notification::signal("c"))
+            .unwrap();
         chs[1]
             .submit_with(
                 aid(1, 1),
@@ -682,7 +774,11 @@ mod tests {
         assert!(msg.stamp.is_none());
         // Router forwards without touching any clock.
         assert!(chs[1].on_message(s(0), msg).unwrap().is_empty());
-        assert_eq!(chs[1].take_stats().cell_ops, 0, "no matrix work for unordered");
+        assert_eq!(
+            chs[1].take_stats().cell_ops,
+            0,
+            "no matrix work for unordered"
+        );
         let tx = chs[1].take_transmissions().unwrap();
         let (hop, msg) = tx.into_iter().next().unwrap();
         assert_eq!(hop, s(2));
@@ -715,7 +811,9 @@ mod tests {
             .validate()
             .unwrap();
         let mut chs = channels(&topo, StampMode::Full);
-        chs[0].submit(aid(0, 1), aid(1, 1), Notification::signal("x")).unwrap();
+        chs[0]
+            .submit(aid(0, 1), aid(1, 1), Notification::signal("x"))
+            .unwrap();
         let tx = chs[0].take_transmissions().unwrap();
         let (_, msg) = tx.into_iter().next().unwrap();
         // Server 2 is not in domain 0: decoding the frame must fail.

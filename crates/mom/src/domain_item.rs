@@ -26,12 +26,7 @@ impl DomainItem {
     ///
     /// Panics if `server` is not a member of `domain` (the builder only
     /// calls this for actual memberships).
-    pub fn new(
-        topology: &Topology,
-        domain: DomainId,
-        server: ServerId,
-        mode: StampMode,
-    ) -> Self {
+    pub fn new(topology: &Topology, domain: DomainId, server: ServerId, mode: StampMode) -> Self {
         let info = topology.domain(domain).expect("domain exists");
         let me = info
             .domain_server_id(server)

@@ -8,9 +8,11 @@
 use std::collections::{HashMap, VecDeque};
 
 use aaa_base::AgentId;
+use aaa_obs::Meter;
 
 use crate::agent::{Agent, ReactionContext};
 use crate::message::{AgentMessage, DeliveryPolicy, Notification};
+use crate::metrics::EngineMetrics;
 
 /// The result of one committed reaction.
 #[derive(Debug)]
@@ -31,6 +33,8 @@ pub struct EngineCore {
     queue_in: VecDeque<AgentMessage>,
     reactions: u64,
     dead_letters: u64,
+    /// Optional instruments; `None` (the default) costs one branch per event.
+    metrics: Option<EngineMetrics>,
 }
 
 impl std::fmt::Debug for EngineCore {
@@ -58,7 +62,17 @@ impl EngineCore {
             queue_in: VecDeque::new(),
             reactions: 0,
             dead_letters: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics meter; subsequent events update `aaa_engine_*`
+    /// instruments in the meter's registry. Without a meter (the default)
+    /// instrumentation compiles to one branch per event.
+    pub fn attach_meter(&mut self, meter: &Meter) {
+        let m = EngineMetrics::new(meter);
+        m.queue_depth.set(self.queue_in.len() as i64);
+        self.metrics = Some(m);
     }
 
     /// Registers (or replaces) the agent with identity `id`.
@@ -97,6 +111,9 @@ impl EngineCore {
     /// Enqueues a delivered message on `QueueIN`.
     pub fn enqueue(&mut self, msg: AgentMessage) {
         self.queue_in.push_back(msg);
+        if let Some(m) = &self.metrics {
+            m.queue_depth.inc();
+        }
     }
 
     /// Messages waiting on `QueueIN`.
@@ -122,16 +139,30 @@ impl EngineCore {
     /// Executes one atomic reaction from `QueueIN`, if any message waits.
     pub fn step(&mut self) -> Option<Reaction> {
         let msg = self.queue_in.pop_front()?;
+        if let Some(m) = &self.metrics {
+            m.queue_depth.dec();
+        }
         let mut outgoing = Vec::new();
         let reacted = match self.agents.get_mut(&msg.to) {
             Some(agent) => {
+                let started = self.metrics.is_some().then(std::time::Instant::now);
                 let mut ctx = ReactionContext::new(msg.to, &mut outgoing);
                 agent.react(&mut ctx, msg.from, &msg.note);
                 self.reactions += 1;
+                if let Some(m) = &self.metrics {
+                    m.reactions.inc();
+                    if let Some(t0) = started {
+                        m.reaction_latency_us
+                            .observe(t0.elapsed().as_micros() as u64);
+                    }
+                }
                 true
             }
             None => {
                 self.dead_letters += 1;
+                if let Some(m) = &self.metrics {
+                    m.dead_letters.inc();
+                }
                 false
             }
         };
@@ -243,6 +274,6 @@ mod tests {
         let mut ids = eng.agent_ids();
         ids.sort();
         assert_eq!(ids, vec![aid(0, 1), aid(0, 2)]);
-        assert_eq!(format!("{eng:?}").contains("EngineCore"), true);
+        assert!(format!("{eng:?}").contains("EngineCore"));
     }
 }

@@ -53,6 +53,7 @@ pub mod channel;
 pub mod domain_item;
 pub mod engine;
 pub mod message;
+mod metrics;
 mod persist;
 pub mod pubsub;
 pub mod runtime;
@@ -62,6 +63,6 @@ pub use aaa_clocks::StampMode;
 pub use agent::{Agent, EchoAgent, FnAgent, ReactionContext};
 pub use domain_item::DomainItem;
 pub use engine::EngineCore;
-pub use message::{AgentMessage, DeliveryPolicy, Notification};
+pub use message::{AgentMessage, DeliveryPolicy, Notification, SendOptions};
 pub use runtime::{Mom, MomBuilder};
 pub use server::{ServerConfig, ServerCore, StepStats, Transmission};

@@ -74,6 +74,71 @@ pub enum DeliveryPolicy {
     Unordered,
 }
 
+/// Per-send options: the delivery policy today, room for more knobs
+/// (TTL, priority, …) tomorrow.
+///
+/// `SendOptions` is the single policy argument of the unified send path
+/// ([`crate::Mom::send_with`], [`crate::channel::ChannelCore::submit_with`],
+/// [`crate::ServerCore::client_send_with`]). It is `#[non_exhaustive]`, so
+/// build it through the constructors/setters; a bare [`DeliveryPolicy`]
+/// converts implicitly wherever `impl Into<SendOptions>` is accepted.
+///
+/// # Examples
+///
+/// ```
+/// use aaa_mom::{DeliveryPolicy, SendOptions};
+///
+/// let defaults = SendOptions::new();
+/// assert_eq!(defaults.policy, DeliveryPolicy::Causal);
+///
+/// let fast = SendOptions::unordered();
+/// assert_eq!(fast.policy, DeliveryPolicy::Unordered);
+///
+/// // DeliveryPolicy converts into SendOptions.
+/// let from_policy: SendOptions = DeliveryPolicy::Unordered.into();
+/// assert_eq!(from_policy, fast);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub struct SendOptions {
+    /// Ordering quality of service (default: [`DeliveryPolicy::Causal`]).
+    pub policy: DeliveryPolicy,
+}
+
+impl SendOptions {
+    /// Default options: causal ordering.
+    pub fn new() -> Self {
+        SendOptions::default()
+    }
+
+    /// Options selecting causal ordering (the default).
+    pub fn causal() -> Self {
+        SendOptions {
+            policy: DeliveryPolicy::Causal,
+        }
+    }
+
+    /// Options selecting the unordered quality of service.
+    pub fn unordered() -> Self {
+        SendOptions {
+            policy: DeliveryPolicy::Unordered,
+        }
+    }
+
+    /// Returns the options with the given delivery policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: DeliveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+impl From<DeliveryPolicy> for SendOptions {
+    fn from(policy: DeliveryPolicy) -> Self {
+        SendOptions { policy }
+    }
+}
+
 /// A notification in flight between two agents, as seen by engines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AgentMessage {
@@ -106,6 +171,17 @@ mod tests {
     fn invalid_utf8_body_str_is_none() {
         let n = Notification::new("bin", vec![0xFF, 0xFE]);
         assert_eq!(n.body_str(), None);
+    }
+
+    #[test]
+    fn send_options_compose() {
+        assert_eq!(SendOptions::new(), SendOptions::causal());
+        assert_eq!(
+            SendOptions::causal().with_policy(DeliveryPolicy::Unordered),
+            SendOptions::unordered()
+        );
+        let via_into: SendOptions = DeliveryPolicy::Causal.into();
+        assert_eq!(via_into, SendOptions::default());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Optional metric bundles held by the sans-IO cores.
+//!
+//! Cores store `Option<…Metrics>` bundles of concrete `aaa-obs` handles:
+//! absent a meter (the default) every event pays exactly one branch and no
+//! atomic traffic; with a meter attached each event is one or two relaxed
+//! atomic adds. Registration (which takes the registry mutex) happens once,
+//! in `attach_meter`, never on the hot path.
+//!
+//! The metric vocabulary (all labelled `server="<id>"` via the meter's base
+//! labels; per-domain families add `domain="<id>"`):
+//!
+//! | name | kind | unit |
+//! |---|---|---|
+//! | `aaa_channel_cell_ops_total` | counter | matrix-cell operations |
+//! | `aaa_channel_stamp_bytes_total` | counter | bytes |
+//! | `aaa_channel_transmitted_total` | counter | messages |
+//! | `aaa_channel_delivered_total` | counter | messages |
+//! | `aaa_channel_forwarded_total` | counter | messages |
+//! | `aaa_channel_postponed` | gauge | messages waiting |
+//! | `aaa_channel_postponement_us` | histogram | µs (caller clock) |
+//! | `aaa_engine_reactions_total` | counter | reactions |
+//! | `aaa_engine_dead_letters_total` | counter | messages |
+//! | `aaa_engine_queue_depth` | gauge | messages in `QueueIN` |
+//! | `aaa_engine_reaction_latency_us` | histogram | µs (wall clock) |
+//! | `aaa_server_delivery_latency_us` | histogram | µs send→deliver |
+//! | `aaa_server_disk_bytes_total` | counter | bytes persisted |
+//! | `aaa_server_retransmissions_total` (+`peer`) | counter | frames |
+
+use std::collections::HashMap;
+
+use aaa_base::{DomainId, ServerId};
+use aaa_obs::{Counter, Gauge, Histogram, Meter, LATENCY_BUCKETS_US};
+
+/// Per-domain causal-cost counters (Figures 7/8 of the paper are plots of
+/// exactly these two series).
+#[derive(Debug, Clone)]
+pub(crate) struct DomainChannelMetrics {
+    pub cell_ops: Counter,
+    pub stamp_bytes: Counter,
+}
+
+/// Instruments of one [`crate::channel::ChannelCore`].
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelMetrics {
+    /// Parallel to `ChannelCore::items` (one entry per domain membership).
+    pub domains: Vec<DomainChannelMetrics>,
+    pub transmitted: Counter,
+    pub delivered: Counter,
+    pub forwarded: Counter,
+    pub postponed: Gauge,
+    pub postponement_us: Histogram,
+}
+
+impl ChannelMetrics {
+    pub fn new(meter: &Meter, domains: &[DomainId]) -> Self {
+        let per_domain = domains
+            .iter()
+            .map(|d| DomainChannelMetrics {
+                cell_ops: meter.counter_with(
+                    "aaa_channel_cell_ops_total",
+                    "Matrix-cell operations (stamp, check, delivery merge)",
+                    &[("domain", d.as_u16().to_string())],
+                ),
+                stamp_bytes: meter.counter_with(
+                    "aaa_channel_stamp_bytes_total",
+                    "Causal stamp bytes emitted",
+                    &[("domain", d.as_u16().to_string())],
+                ),
+            })
+            .collect();
+        ChannelMetrics {
+            domains: per_domain,
+            transmitted: meter.counter(
+                "aaa_channel_transmitted_total",
+                "Messages transmitted to a neighbour (including forwards)",
+            ),
+            delivered: meter.counter(
+                "aaa_channel_delivered_total",
+                "Messages delivered to the local engine",
+            ),
+            forwarded: meter.counter(
+                "aaa_channel_forwarded_total",
+                "Messages forwarded to another domain (router work)",
+            ),
+            postponed: meter.gauge(
+                "aaa_channel_postponed",
+                "Messages received but not yet causally deliverable",
+            ),
+            postponement_us: meter.histogram(
+                "aaa_channel_postponement_us",
+                "Time causal messages spent postponed, in microseconds",
+                LATENCY_BUCKETS_US,
+            ),
+        }
+    }
+}
+
+/// Instruments of one [`crate::engine::EngineCore`].
+#[derive(Debug, Clone)]
+pub(crate) struct EngineMetrics {
+    pub reactions: Counter,
+    pub dead_letters: Counter,
+    pub queue_depth: Gauge,
+    pub reaction_latency_us: Histogram,
+}
+
+impl EngineMetrics {
+    pub fn new(meter: &Meter) -> Self {
+        EngineMetrics {
+            reactions: meter.counter("aaa_engine_reactions_total", "Agent reactions committed"),
+            dead_letters: meter.counter(
+                "aaa_engine_dead_letters_total",
+                "Messages dropped because no agent matched their destination",
+            ),
+            queue_depth: meter.gauge(
+                "aaa_engine_queue_depth",
+                "Messages waiting on the engine's QueueIN",
+            ),
+            reaction_latency_us: meter.histogram(
+                "aaa_engine_reaction_latency_us",
+                "Wall-clock duration of one agent reaction, in microseconds",
+                LATENCY_BUCKETS_US,
+            ),
+        }
+    }
+}
+
+/// Instruments of one [`crate::ServerCore`] (beyond its channel/engine).
+#[derive(Debug, Clone)]
+pub(crate) struct ServerMetrics {
+    meter: Meter,
+    pub delivery_latency_us: Histogram,
+    pub disk_bytes: Counter,
+    /// Minted lazily per peer (retransmissions are rare).
+    retransmissions: HashMap<ServerId, Counter>,
+}
+
+impl ServerMetrics {
+    pub fn new(meter: &Meter) -> Self {
+        ServerMetrics {
+            meter: meter.clone(),
+            delivery_latency_us: meter.histogram(
+                "aaa_server_delivery_latency_us",
+                "End-to-end send-to-delivery latency of causal messages, in \
+                 microseconds on the runtime's clock",
+                LATENCY_BUCKETS_US,
+            ),
+            disk_bytes: meter.counter(
+                "aaa_server_disk_bytes_total",
+                "Bytes written to stable storage by transactional commits",
+            ),
+            retransmissions: HashMap::new(),
+        }
+    }
+
+    /// The retransmission counter toward `peer`, minted on first use.
+    pub fn retransmissions(&mut self, peer: ServerId) -> &Counter {
+        let meter = &self.meter;
+        self.retransmissions.entry(peer).or_insert_with(|| {
+            meter.counter_with(
+                "aaa_server_retransmissions_total",
+                "Link-layer frames retransmitted after an RTO expiry",
+                &[("peer", peer.as_u16().to_string())],
+            )
+        })
+    }
+}

@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 
-use aaa_base::{Error, Result, ServerId};
+use aaa_base::{Error, Result, ServerId, VTime};
 use aaa_clocks::{CausalState, MatrixClock, PendingStamp};
 use aaa_net::wire::{Decoder, Encoder};
 use aaa_net::LinkFrame;
@@ -140,6 +140,7 @@ impl ServerImage {
         for p in &self.postponed {
             e.u32(p.item_idx as u32);
             e.u16(p.from.as_u16());
+            e.u64(p.arrived_at.as_micros());
             let mut m = Vec::new();
             p.pending.matrix().write_bytes(&mut m);
             e.bytes(&m);
@@ -219,6 +220,7 @@ impl ServerImage {
                 return Err(Error::Codec("postponed item index out of range".into()));
             }
             let from = d.domain_server_id()?;
+            let arrived_at = VTime::from_micros(d.u64()?);
             let m_bytes = d.bytes()?;
             let (matrix, _) = MatrixClock::read_bytes(&m_bytes)
                 .ok_or_else(|| Error::Codec("corrupt pending stamp".into()))?;
@@ -228,6 +230,7 @@ impl ServerImage {
                 from,
                 pending: PendingStamp::from_matrix(matrix),
                 env,
+                arrived_at,
             });
         }
 
@@ -313,6 +316,7 @@ mod tests {
             from: DomainServerId::new(1),
             pending: PendingStamp::from_matrix(MatrixClock::new(3)),
             env: env.clone(),
+            arrived_at: VTime::from_micros(1_234),
         };
         let am = AgentMessage {
             id: env.id,
@@ -354,6 +358,7 @@ mod tests {
         assert_eq!(decoded.queue_out[0].note.kind(), "k");
         assert_eq!(decoded.postponed.len(), 1);
         assert_eq!(decoded.postponed[0].from, DomainServerId::new(1));
+        assert_eq!(decoded.postponed[0].arrived_at, VTime::from_micros(1_234));
         assert_eq!(decoded.engine_queue.len(), 1);
         assert_eq!(decoded.links_tx[0].unacked[0].seq, 4);
         assert_eq!(decoded.links_rx[0].cum_seq, 7);

@@ -100,11 +100,10 @@ impl TopicAgent {
 impl Agent for TopicAgent {
     fn react(&mut self, ctx: &mut ReactionContext<'_>, from: AgentId, note: &Notification) {
         match note.kind() {
-            SUBSCRIBE => {
-                if !self.subscribers.contains(&from) {
-                    self.subscribers.push(from);
-                }
+            SUBSCRIBE if !self.subscribers.contains(&from) => {
+                self.subscribers.push(from);
             }
+            SUBSCRIBE => {} // duplicate subscription: idempotent
             UNSUBSCRIBE => {
                 self.subscribers.retain(|s| *s != from);
             }
@@ -183,11 +182,10 @@ impl QueueAgent {
 impl Agent for QueueAgent {
     fn react(&mut self, ctx: &mut ReactionContext<'_>, from: AgentId, note: &Notification) {
         match note.kind() {
-            SUBSCRIBE => {
-                if !self.consumers.contains(&from) {
-                    self.consumers.push(from);
-                }
+            SUBSCRIBE if !self.consumers.contains(&from) => {
+                self.consumers.push(from);
             }
+            SUBSCRIBE => {} // duplicate subscription: idempotent
             UNSUBSCRIBE => {
                 self.consumers.retain(|c| *c != from);
                 if self.next >= self.consumers.len() {
@@ -265,7 +263,11 @@ mod tests {
         assert!(react(&mut topic, aid(2, 1), subscription()).is_empty());
         assert_eq!(topic.subscribers().len(), 2);
 
-        let out = react(&mut topic, aid(9, 9), publication("news", b"hello".to_vec()));
+        let out = react(
+            &mut topic,
+            aid(9, 9),
+            publication("news", b"hello".to_vec()),
+        );
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].0, aid(1, 1));
         assert_eq!(out[0].1.kind(), "news");
@@ -273,7 +275,11 @@ mod tests {
         assert_eq!(topic.published(), 1);
 
         react(&mut topic, aid(1, 1), unsubscription());
-        let out = react(&mut topic, aid(9, 9), publication("news", b"again".to_vec()));
+        let out = react(
+            &mut topic,
+            aid(9, 9),
+            publication("news", b"again".to_vec()),
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, aid(2, 1));
     }

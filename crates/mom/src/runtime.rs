@@ -13,31 +13,19 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aaa_base::{AgentId, Error, MessageId, Result, ServerId, VDuration, VTime};
+use aaa_base::{Absorb, AgentId, Error, MessageId, Result, ServerId, VDuration, VTime};
 use aaa_clocks::StampMode;
 use aaa_net::memory::Incoming;
 use aaa_net::{MemoryEndpoint, MemoryNetwork, TcpEndpoint, TcpNetwork};
+use aaa_obs::{LatencyTracker, Meter, MetricsServer, MetricsSnapshot, Registry};
 use aaa_storage::{MemoryStore, StableStore};
 use aaa_topology::{Topology, TopologySpec};
 use aaa_trace::TraceRecorder;
 use crossbeam::channel::{bounded, unbounded, Sender};
 
 use crate::agent::Agent;
-use crate::message::{DeliveryPolicy, Notification};
+use crate::message::{Notification, SendOptions};
 use crate::server::{ServerConfig, ServerCore, StepStats, Transmission};
-
-impl StepStats {
-    /// Adds `other` into `self`.
-    pub fn absorb(&mut self, other: StepStats) {
-        self.cell_ops += other.cell_ops;
-        self.stamp_bytes += other.stamp_bytes;
-        self.disk_bytes += other.disk_bytes;
-        self.delivered += other.delivered;
-        self.transmitted += other.transmitted;
-        self.forwarded += other.forwarded;
-        self.reactions += other.reactions;
-    }
-}
 
 /// A byte transport the threaded runtime can drive: the in-memory mesh
 /// ([`MemoryEndpoint`]) or localhost TCP ([`TcpEndpoint`]), selected with
@@ -54,6 +42,11 @@ pub trait Transport: Send + 'static {
     fn send(&self, to: ServerId, bytes: bytes::Bytes) -> Result<()>;
     /// The inbox receiver for `select!`.
     fn inbox_receiver(&self) -> &crossbeam::channel::Receiver<Incoming>;
+    /// Attaches a metrics meter (default: no instrumentation).
+    fn attach_meter(&mut self, _meter: &Meter) {}
+    /// Records one received frame (runtimes draining `inbox_receiver`
+    /// directly call this per frame; default: no-op).
+    fn record_rx(&self, _from: ServerId, _len: usize) {}
 }
 
 impl Transport for MemoryEndpoint {
@@ -65,6 +58,12 @@ impl Transport for MemoryEndpoint {
     }
     fn inbox_receiver(&self) -> &crossbeam::channel::Receiver<Incoming> {
         MemoryEndpoint::inbox_receiver(self)
+    }
+    fn attach_meter(&mut self, meter: &Meter) {
+        MemoryEndpoint::attach_meter(self, meter);
+    }
+    fn record_rx(&self, from: ServerId, len: usize) {
+        MemoryEndpoint::record_rx(self, from, len);
     }
 }
 
@@ -78,6 +77,12 @@ impl Transport for TcpEndpoint {
     fn inbox_receiver(&self) -> &crossbeam::channel::Receiver<Incoming> {
         TcpEndpoint::inbox_receiver(self)
     }
+    fn attach_meter(&mut self, meter: &Meter) {
+        TcpEndpoint::attach_meter(self, meter);
+    }
+    fn record_rx(&self, from: ServerId, len: usize) {
+        TcpEndpoint::record_rx(self, from, len);
+    }
 }
 
 enum Command {
@@ -90,7 +95,7 @@ enum Command {
         from: AgentId,
         to: AgentId,
         note: Notification,
-        policy: DeliveryPolicy,
+        opts: SendOptions,
         reply: Sender<Result<MessageId>>,
     },
     Crash,
@@ -130,6 +135,8 @@ pub struct MomBuilder {
     allow_cycles: bool,
     tcp: bool,
     stores: Option<Vec<Arc<dyn StableStore>>>,
+    metrics: bool,
+    registry: Option<Registry>,
 }
 
 impl MomBuilder {
@@ -142,6 +149,8 @@ impl MomBuilder {
             allow_cycles: false,
             tcp: false,
             stores: None,
+            metrics: true,
+            registry: None,
         }
     }
 
@@ -192,6 +201,22 @@ impl MomBuilder {
         self
     }
 
+    /// Enables or disables metrics collection (default: on). When off,
+    /// cores run without meters — instrumentation costs one branch per
+    /// event — and [`Mom::stats`] falls back to asking the server threads.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Supplies an external metrics [`Registry`] (for example one shared
+    /// with other buses or already served over HTTP). Defaults to a fresh
+    /// registry, accessible through [`Mom::metrics`].
+    pub fn registry(mut self, registry: Registry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
     /// Validates the topology, boots every server thread and returns the
     /// bus handle.
     ///
@@ -225,11 +250,13 @@ impl MomBuilder {
         let recorder = TraceRecorder::new();
         let in_flight = Arc::new(AtomicI64::new(0));
         let start = Instant::now();
+        let registry = self.metrics.then(|| self.registry.unwrap_or_default());
+        let latency = registry.as_ref().map(|_| LatencyTracker::new());
 
         let mut cmd_txs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         let mut spawn_all = |endpoints: Vec<Box<dyn Transport>>| {
-            for (i, endpoint) in endpoints.into_iter().enumerate() {
+            for (i, mut endpoint) in endpoints.into_iter().enumerate() {
                 let me = ServerId::new(i as u16);
                 let (tx, rx) = unbounded::<Command>();
                 cmd_txs.push(tx);
@@ -238,9 +265,18 @@ impl MomBuilder {
                 let recorder = self.record_trace.then(|| recorder.clone());
                 let in_flight = in_flight.clone();
                 let config = self.config;
+                let obs = registry.as_ref().map(|r| {
+                    (
+                        Meter::new(r).with_label("server", i.to_string()),
+                        latency.clone().expect("tracker exists with registry"),
+                    )
+                });
+                if let Some((meter, _)) = &obs {
+                    endpoint.attach_meter(meter);
+                }
                 handles.push(std::thread::spawn(move || {
                     server_thread(
-                        topology, me, config, store, recorder, in_flight, endpoint, rx, start,
+                        topology, me, config, store, recorder, in_flight, obs, endpoint, rx, start,
                     );
                 }));
             }
@@ -270,6 +306,7 @@ impl MomBuilder {
             recorder,
             in_flight,
             stores,
+            registry,
         })
     }
 }
@@ -282,6 +319,7 @@ pub struct Mom {
     recorder: TraceRecorder,
     in_flight: Arc<AtomicI64>,
     stores: Vec<Arc<dyn StableStore>>,
+    registry: Option<Registry>,
 }
 
 impl std::fmt::Debug for Mom {
@@ -319,7 +357,11 @@ impl Mom {
     ) -> Result<AgentId> {
         let (reply, rx) = bounded(1);
         self.cmd(server)?
-            .send(Command::Register { local, agent, reply })
+            .send(Command::Register {
+                local,
+                agent,
+                reply,
+            })
             .map_err(|_| Error::Closed("server thread"))?;
         rx.recv().map_err(|_| Error::Closed("server thread"))?;
         Ok(AgentId::new(server, local))
@@ -334,12 +376,13 @@ impl Mom {
     /// [`Error::Closed`] if the origin server is crashed or shut down, and
     /// propagates channel validation errors.
     pub fn send(&self, from: AgentId, to: AgentId, note: Notification) -> Result<MessageId> {
-        self.send_with(from, to, note, DeliveryPolicy::Causal)
+        self.send_with(from, to, note, SendOptions::causal())
     }
 
     /// Sends a notification with no ordering guarantee (and no stamp
     /// overhead): the unordered quality of service. Excluded from the
-    /// causality trace.
+    /// causality trace. Equivalent to
+    /// `send_with(from, to, note, SendOptions::unordered())`.
     ///
     /// # Errors
     ///
@@ -350,15 +393,23 @@ impl Mom {
         to: AgentId,
         note: Notification,
     ) -> Result<MessageId> {
-        self.send_with(from, to, note, DeliveryPolicy::Unordered)
+        self.send_with(from, to, note, SendOptions::unordered())
     }
 
-    fn send_with(
+    /// Sends a notification with explicit per-send options — the unified
+    /// send path ([`Mom::send`] and [`Mom::send_unordered`] are thin
+    /// wrappers over it). Anything convertible into [`SendOptions`] is
+    /// accepted, including a bare [`DeliveryPolicy`](crate::DeliveryPolicy).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mom::send`].
+    pub fn send_with(
         &self,
         from: AgentId,
         to: AgentId,
         note: Notification,
-        policy: DeliveryPolicy,
+        opts: impl Into<SendOptions>,
     ) -> Result<MessageId> {
         let (reply, rx) = bounded(1);
         self.cmd(from.server())?
@@ -366,7 +417,7 @@ impl Mom {
                 from,
                 to,
                 note,
-                policy,
+                opts: opts.into(),
                 reply,
             })
             .map_err(|_| Error::Closed("server thread"))?;
@@ -393,11 +444,7 @@ impl Mom {
     ///
     /// Returns [`Error::UnknownServer`] / [`Error::Closed`], or the
     /// recovery error encountered by the server.
-    pub fn recover(
-        &self,
-        server: ServerId,
-        agents: Vec<(u32, Box<dyn Agent>)>,
-    ) -> Result<()> {
+    pub fn recover(&self, server: ServerId, agents: Vec<(u32, Box<dyn Agent>)>) -> Result<()> {
         let (reply, rx) = bounded(1);
         self.cmd(server)?
             .send(Command::Recover { agents, reply })
@@ -407,15 +454,95 @@ impl Mom {
 
     /// Cumulative statistics of one server.
     ///
+    /// With metrics enabled (the default) this is a **view over the
+    /// metrics registry**: the same counters that power [`Mom::metrics`],
+    /// summed for the server's `server="<id>"` label. With metrics
+    /// disabled it falls back to asking the server thread for its drained
+    /// [`StepStats`] accumulator.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::UnknownServer`] / [`Error::Closed`].
     pub fn stats(&self, server: ServerId) -> Result<StepStats> {
+        let cmd = self.cmd(server)?;
+        if let Some(registry) = &self.registry {
+            let snap = registry.snapshot();
+            let id = server.as_u16().to_string();
+            let labels = [("server", id.as_str())];
+            return Ok(StepStats {
+                cell_ops: snap.sum_counter_labelled("aaa_channel_cell_ops_total", &labels),
+                stamp_bytes: snap.sum_counter_labelled("aaa_channel_stamp_bytes_total", &labels),
+                disk_bytes: snap.sum_counter_labelled("aaa_server_disk_bytes_total", &labels),
+                delivered: snap.sum_counter_labelled("aaa_channel_delivered_total", &labels),
+                transmitted: snap.sum_counter_labelled("aaa_channel_transmitted_total", &labels),
+                forwarded: snap.sum_counter_labelled("aaa_channel_forwarded_total", &labels),
+                reactions: snap.sum_counter_labelled("aaa_engine_reactions_total", &labels),
+            });
+        }
         let (reply, rx) = bounded(1);
-        self.cmd(server)?
-            .send(Command::Stats { reply })
+        cmd.send(Command::Stats { reply })
             .map_err(|_| Error::Closed("server thread"))?;
         rx.recv().map_err(|_| Error::Closed("server thread"))
+    }
+
+    /// Snapshot of every metric of the bus, in deterministic order.
+    ///
+    /// Returns an empty snapshot if metrics were disabled with
+    /// [`MomBuilder::metrics`]. The per-domain causal-cost counters
+    /// (`aaa_channel_cell_ops_total`, `aaa_channel_stamp_bytes_total`) are
+    /// the series plotted in Figures 7/8 of the paper.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aaa_base::{AgentId, ServerId};
+    /// use aaa_mom::{EchoAgent, MomBuilder, Notification};
+    /// use aaa_topology::TopologySpec;
+    /// use std::time::Duration;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mom = MomBuilder::new(TopologySpec::single_domain(2)).build()?;
+    /// let echo = mom.register_agent(ServerId::new(1), 1, Box::new(EchoAgent))?;
+    /// mom.send(AgentId::new(ServerId::new(0), 9), echo, Notification::signal("hi"))?;
+    /// assert!(mom.quiesce(Duration::from_secs(5)));
+    ///
+    /// let snap = mom.metrics();
+    /// // Every message delivered to an engine shows up exactly once.
+    /// assert_eq!(snap.sum_counter("aaa_channel_delivered_total"), 2);
+    /// // The snapshot renders as Prometheus text…
+    /// assert!(snap.render_prometheus().contains("aaa_channel_delivered_total"));
+    /// mom.shutdown();
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry
+            .as_ref()
+            .map(|r| r.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// The metrics registry, if metrics are enabled (to share with other
+    /// components or export through a custom pipeline).
+    pub fn registry(&self) -> Option<&Registry> {
+        self.registry.as_ref()
+    }
+
+    /// Serves the metrics registry over HTTP at `addr` (for example
+    /// `"127.0.0.1:9464"`, or port `0` to pick a free port): `GET /metrics`
+    /// returns Prometheus text, `GET /metrics.json` JSON. The exporter
+    /// stops when the returned handle is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if metrics are disabled or the address
+    /// cannot be bound.
+    pub fn serve_metrics(&self, addr: &str) -> Result<MetricsServer> {
+        let registry = self
+            .registry
+            .clone()
+            .ok_or_else(|| Error::Config("metrics are disabled on this bus".into()))?;
+        aaa_obs::serve(registry, addr).map_err(|e| Error::Config(format!("metrics exporter: {e}")))
     }
 
     /// Number of end-to-end messages currently in flight (accepted but not
@@ -486,6 +613,134 @@ impl Mom {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
+fn server_thread(
+    topology: Arc<Topology>,
+    me: ServerId,
+    config: ServerConfig,
+    store: Arc<dyn StableStore>,
+    recorder: Option<TraceRecorder>,
+    in_flight: Arc<AtomicI64>,
+    obs: Option<(Meter, LatencyTracker)>,
+    endpoint: Box<dyn Transport>,
+    commands: crossbeam::channel::Receiver<Command>,
+    start: Instant,
+) {
+    let now = || VTime::from_micros(start.elapsed().as_micros() as u64);
+    let attach_obs = |core: &mut ServerCore| {
+        if let Some((meter, tracker)) = &obs {
+            core.attach_meter(meter);
+            core.set_latency_tracker(tracker.clone());
+        }
+    };
+    let fresh = |agents: Vec<(u32, Box<dyn Agent>)>| -> Result<ServerCore> {
+        let mut core = ServerCore::new(&topology, me, config, store.clone())?;
+        for (local, agent) in agents {
+            core.register_agent(local, agent);
+        }
+        if let Some(rec) = &recorder {
+            core.set_recorder(rec.clone());
+        }
+        core.set_in_flight(in_flight.clone());
+        attach_obs(&mut core);
+        Ok(core)
+    };
+
+    let mut core: Option<ServerCore> = Some(fresh(Vec::new()).expect("valid topology"));
+    let mut cumulative = StepStats::default();
+
+    let transmit = |endpoint: &dyn Transport, ts: Vec<Transmission>| {
+        for t in ts {
+            // Failures count as packet loss: the link layer retransmits.
+            let _ = endpoint.send(t.to, t.bytes);
+        }
+    };
+
+    loop {
+        crossbeam::channel::select! {
+            recv(commands) -> cmd => {
+                let Ok(cmd) = cmd else { return };
+                match cmd {
+                    Command::Register { local, agent, reply } => {
+                        if let Some(core) = core.as_mut() {
+                            core.register_agent(local, agent);
+                        }
+                        let _ = reply.send(());
+                    }
+                    Command::Send { from, to, note, opts, reply } => {
+                        let result = match core.as_mut() {
+                            Some(core) => core
+                                .client_send_with(from, to, note, opts, now())
+                                .map(|(id, ts)| {
+                                    transmit(endpoint.as_ref(), ts);
+                                    id
+                                }),
+                            None => Err(Error::Closed("crashed server")),
+                        };
+                        if let Some(core) = core.as_mut() {
+                            cumulative.absorb(core.take_step_stats());
+                        }
+                        let _ = reply.send(result);
+                    }
+                    Command::Crash => {
+                        core = None;
+                    }
+                    Command::Recover { agents, reply } => {
+                        let result = ServerCore::recover(
+                            &topology,
+                            me,
+                            config,
+                            store.clone(),
+                            agents,
+                            now(),
+                        )
+                        .map(|mut c| {
+                            if let Some(rec) = &recorder {
+                                c.set_recorder(rec.clone());
+                            }
+                            c.set_in_flight(in_flight.clone());
+                            attach_obs(&mut c);
+                            core = Some(c);
+                        });
+                        let _ = reply.send(result);
+                    }
+                    Command::Probe { reply } => {
+                        let idle = core.as_ref().map(|c| c.is_idle()).unwrap_or(true);
+                        let _ = reply.send(idle);
+                    }
+                    Command::Stats { reply } => {
+                        if let Some(core) = core.as_mut() {
+                            cumulative.absorb(core.take_step_stats());
+                        }
+                        let _ = reply.send(cumulative);
+                    }
+                    Command::Shutdown => return,
+                }
+            }
+            recv(endpoint.inbox_receiver()) -> inc => {
+                let Ok(inc) = inc else { return };
+                endpoint.record_rx(inc.from, inc.bytes.len());
+                if let Some(core) = core.as_mut() {
+                    match core.on_datagram(inc.from, inc.bytes, now()) {
+                        Ok(ts) => transmit(endpoint.as_ref(), ts),
+                        Err(e) => {
+                            debug_assert!(false, "datagram processing failed: {e}");
+                        }
+                    }
+                    cumulative.absorb(core.take_step_stats());
+                }
+                // Crashed servers silently drop frames: the sender's
+                // retransmission redelivers them after recovery.
+            }
+            default(Duration::from_millis(5)) => {}
+        }
+        if let Some(core) = core.as_mut() {
+            let ts = core.on_tick(now());
+            transmit(endpoint.as_ref(), ts);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,7 +774,9 @@ mod tests {
 
     #[test]
     fn unknown_server_operations_error() {
-        let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+        let mom = MomBuilder::new(TopologySpec::single_domain(2))
+            .build()
+            .unwrap();
         assert!(matches!(
             mom.register_agent(sid(9), 1, Box::new(EchoAgent)),
             Err(Error::UnknownServer(_))
@@ -532,7 +789,9 @@ mod tests {
 
     #[test]
     fn stats_and_in_flight_settle_to_zero() {
-        let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+        let mom = MomBuilder::new(TopologySpec::single_domain(2))
+            .build()
+            .unwrap();
         mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
         mom.send(
             AgentId::new(sid(0), 9),
@@ -553,7 +812,9 @@ mod tests {
 
     #[test]
     fn quiesce_on_idle_bus_is_immediate() {
-        let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+        let mom = MomBuilder::new(TopologySpec::single_domain(2))
+            .build()
+            .unwrap();
         assert!(mom.quiesce(Duration::from_secs(1)));
         assert_eq!(mom.topology().server_count(), 2);
         mom.shutdown();
@@ -581,7 +842,9 @@ mod tests {
     fn recover_running_server_is_allowed_and_harmless() {
         // Recovering a server that never crashed resets its volatile state
         // from the (empty) store; without persistence this is a fresh core.
-        let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+        let mom = MomBuilder::new(TopologySpec::single_domain(2))
+            .build()
+            .unwrap();
         mom.recover(sid(1), vec![(1, Box::new(EchoAgent) as Box<dyn Agent>)])
             .unwrap();
         mom.send(
@@ -593,123 +856,5 @@ mod tests {
         assert!(mom.quiesce(Duration::from_secs(5)));
         assert_eq!(mom.stats(sid(1)).unwrap().reactions, 1);
         mom.shutdown();
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn server_thread(
-    topology: Arc<Topology>,
-    me: ServerId,
-    config: ServerConfig,
-    store: Arc<dyn StableStore>,
-    recorder: Option<TraceRecorder>,
-    in_flight: Arc<AtomicI64>,
-    endpoint: Box<dyn Transport>,
-    commands: crossbeam::channel::Receiver<Command>,
-    start: Instant,
-) {
-    let now = || VTime::from_micros(start.elapsed().as_micros() as u64);
-    let fresh = |agents: Vec<(u32, Box<dyn Agent>)>| -> Result<ServerCore> {
-        let mut core = ServerCore::new(&topology, me, config, store.clone())?;
-        for (local, agent) in agents {
-            core.register_agent(local, agent);
-        }
-        if let Some(rec) = &recorder {
-            core.set_recorder(rec.clone());
-        }
-        core.set_in_flight(in_flight.clone());
-        Ok(core)
-    };
-
-    let mut core: Option<ServerCore> = Some(fresh(Vec::new()).expect("valid topology"));
-    let mut cumulative = StepStats::default();
-
-    let transmit = |endpoint: &dyn Transport, ts: Vec<Transmission>| {
-        for t in ts {
-            // Failures count as packet loss: the link layer retransmits.
-            let _ = endpoint.send(t.to, t.bytes);
-        }
-    };
-
-    loop {
-        crossbeam::channel::select! {
-            recv(commands) -> cmd => {
-                let Ok(cmd) = cmd else { return };
-                match cmd {
-                    Command::Register { local, agent, reply } => {
-                        if let Some(core) = core.as_mut() {
-                            core.register_agent(local, agent);
-                        }
-                        let _ = reply.send(());
-                    }
-                    Command::Send { from, to, note, policy, reply } => {
-                        let result = match core.as_mut() {
-                            Some(core) => core
-                                .client_send_with(from, to, note, policy, now())
-                                .map(|(id, ts)| {
-                                    transmit(endpoint.as_ref(), ts);
-                                    id
-                                }),
-                            None => Err(Error::Closed("crashed server")),
-                        };
-                        if let Some(core) = core.as_mut() {
-                            cumulative.absorb(core.take_step_stats());
-                        }
-                        let _ = reply.send(result);
-                    }
-                    Command::Crash => {
-                        core = None;
-                    }
-                    Command::Recover { agents, reply } => {
-                        let result = ServerCore::recover(
-                            &topology,
-                            me,
-                            config,
-                            store.clone(),
-                            agents,
-                            now(),
-                        )
-                        .map(|mut c| {
-                            if let Some(rec) = &recorder {
-                                c.set_recorder(rec.clone());
-                            }
-                            c.set_in_flight(in_flight.clone());
-                            core = Some(c);
-                        });
-                        let _ = reply.send(result);
-                    }
-                    Command::Probe { reply } => {
-                        let idle = core.as_ref().map(|c| c.is_idle()).unwrap_or(true);
-                        let _ = reply.send(idle);
-                    }
-                    Command::Stats { reply } => {
-                        if let Some(core) = core.as_mut() {
-                            cumulative.absorb(core.take_step_stats());
-                        }
-                        let _ = reply.send(cumulative);
-                    }
-                    Command::Shutdown => return,
-                }
-            }
-            recv(endpoint.inbox_receiver()) -> inc => {
-                let Ok(inc) = inc else { return };
-                if let Some(core) = core.as_mut() {
-                    match core.on_datagram(inc.from, inc.bytes, now()) {
-                        Ok(ts) => transmit(endpoint.as_ref(), ts),
-                        Err(e) => {
-                            debug_assert!(false, "datagram processing failed: {e}");
-                        }
-                    }
-                    cumulative.absorb(core.take_step_stats());
-                }
-                // Crashed servers silently drop frames: the sender's
-                // retransmission redelivers them after recovery.
-            }
-            default(Duration::from_millis(5)) => {}
-        }
-        if let Some(core) = core.as_mut() {
-            let ts = core.on_tick(now());
-            transmit(endpoint.as_ref(), ts);
-        }
     }
 }

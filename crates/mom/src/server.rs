@@ -15,10 +15,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use aaa_base::{AgentId, Error, MessageId, Result, ServerId, VDuration, VTime};
+use aaa_base::{Absorb, AgentId, Error, MessageId, Result, ServerId, VDuration, VTime};
 use aaa_clocks::StampMode;
 use aaa_net::link::Datagram;
 use aaa_net::{LinkReceiver, LinkSender, WireMessage};
+use aaa_obs::{LatencyTracker, Meter};
 use aaa_storage::StableStore;
 use aaa_topology::Topology;
 use aaa_trace::TraceRecorder;
@@ -27,7 +28,8 @@ use bytes::Bytes;
 use crate::agent::Agent;
 use crate::channel::{ChannelCore, Submit};
 use crate::engine::EngineCore;
-use crate::message::{DeliveryPolicy, Notification};
+use crate::message::{DeliveryPolicy, Notification, SendOptions};
+use crate::metrics::ServerMetrics;
 use crate::persist::{LinkRxImage, LinkTxImage, ServerImage};
 
 /// Storage key of the transactional server image.
@@ -83,6 +85,18 @@ pub struct StepStats {
     pub reactions: u64,
 }
 
+impl Absorb for StepStats {
+    fn absorb(&mut self, other: StepStats) {
+        self.cell_ops += other.cell_ops;
+        self.stamp_bytes += other.stamp_bytes;
+        self.disk_bytes += other.disk_bytes;
+        self.delivered += other.delivered;
+        self.transmitted += other.transmitted;
+        self.forwarded += other.forwarded;
+        self.reactions += other.reactions;
+    }
+}
+
 /// One complete agent server (sans-IO).
 pub struct ServerCore {
     me: ServerId,
@@ -96,6 +110,8 @@ pub struct ServerCore {
     in_flight: Option<Arc<AtomicI64>>,
     disk_bytes: u64,
     reactions_snapshot: u64,
+    metrics: Option<ServerMetrics>,
+    latency: Option<LatencyTracker>,
 }
 
 impl std::fmt::Debug for ServerCore {
@@ -132,7 +148,27 @@ impl ServerCore {
             in_flight: None,
             disk_bytes: 0,
             reactions_snapshot: 0,
+            metrics: None,
+            latency: None,
         })
+    }
+
+    /// Attaches a metrics meter to the server and both its cores. Every
+    /// subsequent event updates the `aaa_channel_*`, `aaa_engine_*` and
+    /// `aaa_server_*` instruments in the meter's registry; without a meter
+    /// (the default) instrumentation costs one branch per event.
+    pub fn attach_meter(&mut self, meter: &Meter) {
+        self.channel.attach_meter(meter);
+        self.engine.attach_meter(meter);
+        self.metrics = Some(ServerMetrics::new(meter));
+    }
+
+    /// Attaches a shared send→deliver latency tracker feeding the
+    /// `aaa_server_delivery_latency_us` histogram. One tracker is shared by
+    /// all servers of a bus; it is clock-agnostic (the threaded runtime
+    /// passes wall-clock µs, the simulator virtual-time µs).
+    pub fn set_latency_tracker(&mut self, tracker: LatencyTracker) {
+        self.latency = Some(tracker);
     }
 
     /// Attaches a trace recorder; every end-to-end send and delivery on
@@ -192,7 +228,7 @@ impl ServerCore {
         }
     }
 
-    fn record_send(&self, dest: ServerId, id: MessageId) {
+    fn record_send(&self, dest: ServerId, id: MessageId, now: VTime) {
         if let Some(rec) = &self.recorder {
             rec.record_send(self.me, dest, id);
         }
@@ -200,16 +236,27 @@ impl ServerCore {
             if let Some(c) = &self.in_flight {
                 c.fetch_add(1, Ordering::SeqCst);
             }
+            if self.metrics.is_some() {
+                if let Some(t) = &self.latency {
+                    t.record_send(id, now.as_micros());
+                }
+            }
         }
     }
 
-    fn record_delivery(&self, id: MessageId, remote: bool) {
+    fn record_delivery(&self, id: MessageId, remote: bool, now: VTime) {
         if let Some(rec) = &self.recorder {
             rec.record_delivery(self.me, id);
         }
         if remote {
             if let Some(c) = &self.in_flight {
                 c.fetch_sub(1, Ordering::SeqCst);
+            }
+            if let (Some(m), Some(t)) = (&self.metrics, &self.latency) {
+                if let Some(sent) = t.take_send(id) {
+                    m.delivery_latency_us
+                        .observe(now.as_micros().saturating_sub(sent));
+                }
             }
         }
     }
@@ -229,10 +276,12 @@ impl ServerCore {
         note: Notification,
         now: VTime,
     ) -> Result<(MessageId, Vec<Transmission>)> {
-        self.client_send_with(from, to, note, DeliveryPolicy::Causal, now)
+        self.client_send_with(from, to, note, SendOptions::default(), now)
     }
 
-    /// Like [`ServerCore::client_send`], with an explicit delivery policy.
+    /// Like [`ServerCore::client_send`], with explicit per-send options
+    /// (anything convertible into [`SendOptions`], including a bare
+    /// [`DeliveryPolicy`]).
     ///
     /// Unordered messages are excluded from the causality trace (they are
     /// free to violate causal order by design); they still count toward
@@ -246,30 +295,31 @@ impl ServerCore {
         from: AgentId,
         to: AgentId,
         note: Notification,
-        policy: DeliveryPolicy,
+        opts: impl Into<SendOptions>,
         now: VTime,
     ) -> Result<(MessageId, Vec<Transmission>)> {
-        let causal = policy == DeliveryPolicy::Causal;
-        let id = match self.channel.submit_with(from, to, note, policy)? {
+        let opts = opts.into();
+        let causal = opts.policy == DeliveryPolicy::Causal;
+        let id = match self.channel.submit_with(from, to, note, opts)? {
             Submit::Local(msg) => {
                 let id = msg.id;
                 if causal {
-                    self.record_send(self.me, id);
-                    self.record_delivery(id, false);
+                    self.record_send(self.me, id, now);
+                    self.record_delivery(id, false, now);
                 }
                 self.engine.enqueue(msg);
                 id
             }
             Submit::Queued(id) => {
                 if causal {
-                    self.record_send(to.server(), id);
+                    self.record_send(to.server(), id, now);
                 } else if let Some(c) = &self.in_flight {
                     c.fetch_add(1, Ordering::SeqCst);
                 }
                 id
             }
         };
-        self.run_reactions()?;
+        self.run_reactions(now)?;
         let out = self.flush(now)?;
         self.commit()?;
         Ok((id, out))
@@ -297,15 +347,11 @@ impl ServerCore {
                 Ok(Vec::new())
             }
             Datagram::Data(frame) => {
-                let delivery = self
-                    .links_rx
-                    .entry(from)
-                    .or_insert_with(LinkReceiver::new)
-                    .on_frame(frame);
+                let delivery = self.links_rx.entry(from).or_default().on_frame(frame);
                 for payload in delivery.delivered {
                     let msg = WireMessage::decode(payload)?;
                     let unordered = msg.stamp.is_none() && msg.dest_server == self.me;
-                    let local = self.channel.on_message(from, msg)?;
+                    let local = self.channel.on_message_at(from, msg, now)?;
                     for m in local {
                         if unordered {
                             // Unordered deliveries stay out of the causal
@@ -314,12 +360,12 @@ impl ServerCore {
                                 c.fetch_sub(1, Ordering::SeqCst);
                             }
                         } else {
-                            self.record_delivery(m.id, m.from.server() != self.me);
+                            self.record_delivery(m.id, m.from.server() != self.me, now);
                         }
                         self.engine.enqueue(m);
                     }
                 }
-                self.run_reactions()?;
+                self.run_reactions(now)?;
                 let mut out = self.flush(now)?;
                 self.commit()?;
                 if let Some(cum_seq) = delivery.ack {
@@ -338,6 +384,9 @@ impl ServerCore {
         let mut out = Vec::new();
         for (&peer, tx) in self.links_tx.iter_mut() {
             for frame in tx.due_retransmissions(now) {
+                if let Some(m) = &mut self.metrics {
+                    m.retransmissions(peer).inc();
+                }
                 out.push(Transmission {
                     to: peer,
                     bytes: Datagram::Data(frame).encode(),
@@ -349,7 +398,10 @@ impl ServerCore {
 
     /// The earliest retransmission deadline across all links, if any.
     pub fn next_deadline(&self) -> Option<VTime> {
-        self.links_tx.values().filter_map(|tx| tx.next_deadline()).min()
+        self.links_tx
+            .values()
+            .filter_map(|tx| tx.next_deadline())
+            .min()
     }
 
     /// Returns `true` if the server holds no queued, postponed or unacked
@@ -363,22 +415,25 @@ impl ServerCore {
 
     /// Runs engine reactions until `QueueIN` is empty, submitting every
     /// emitted notification.
-    fn run_reactions(&mut self) -> Result<()> {
+    fn run_reactions(&mut self, now: VTime) -> Result<()> {
         while let Some(reaction) = self.engine.step() {
             for (to, note, policy) in reaction.outgoing {
                 let causal = policy == DeliveryPolicy::Causal;
-                match self.channel.submit_with(reaction.msg.to, to, note, policy)? {
+                match self
+                    .channel
+                    .submit_with(reaction.msg.to, to, note, policy)?
+                {
                     Submit::Local(msg) => {
                         let id = msg.id;
                         if causal {
-                            self.record_send(self.me, id);
-                            self.record_delivery(id, false);
+                            self.record_send(self.me, id, now);
+                            self.record_delivery(id, false, now);
                         }
                         self.engine.enqueue(msg);
                     }
                     Submit::Queued(id) => {
                         if causal {
-                            self.record_send(to.server(), id);
+                            self.record_send(to.server(), id, now);
                         } else if let Some(c) = &self.in_flight {
                             c.fetch_add(1, Ordering::SeqCst);
                         }
@@ -418,6 +473,9 @@ impl ServerCore {
         let image = self.build_image();
         let bytes = image.encode();
         self.disk_bytes += bytes.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.disk_bytes.add(bytes.len() as u64);
+        }
         self.store
             .put(IMAGE_KEY, &bytes)
             .map_err(|e| Error::Storage(format!("commit failed: {e}")))
@@ -515,7 +573,8 @@ impl ServerCore {
                 .insert(link.peer, LinkReceiver::restore(link.cum_seq));
         }
         for (local, snapshot) in image.agents {
-            core.engine.restore_agent(AgentId::new(me, local), &snapshot);
+            core.engine
+                .restore_agent(AgentId::new(me, local), &snapshot);
         }
         Ok(core)
     }
@@ -537,13 +596,7 @@ mod tests {
     }
 
     fn make(topo: &Topology, me: u16, config: ServerConfig) -> ServerCore {
-        let mut core = ServerCore::new(
-            topo,
-            s(me),
-            config,
-            Arc::new(MemoryStore::new()),
-        )
-        .unwrap();
+        let mut core = ServerCore::new(topo, s(me), config, Arc::new(MemoryStore::new())).unwrap();
         core.register_agent(1, Box::new(EchoAgent));
         core
     }
@@ -568,8 +621,9 @@ mod tests {
     #[test]
     fn ping_pong_two_servers() {
         let topo = TopologySpec::single_domain(2).validate().unwrap();
-        let mut cores: Vec<ServerCore> =
-            (0..2).map(|i| make(&topo, i, ServerConfig::default())).collect();
+        let mut cores: Vec<ServerCore> = (0..2)
+            .map(|i| make(&topo, i, ServerConfig::default()))
+            .collect();
 
         let got: Arc<parking_lot::Mutex<Vec<String>>> = Default::default();
         let got2 = got.clone();
@@ -582,7 +636,12 @@ mod tests {
 
         // Client on server 0 pings the echo agent on server 1.
         let (_, tx) = cores[0]
-            .client_send(aid(0, 9), aid(1, 1), Notification::signal("ping"), VTime::ZERO)
+            .client_send(
+                aid(0, 9),
+                aid(1, 1),
+                Notification::signal("ping"),
+                VTime::ZERO,
+            )
             .unwrap();
         settle(&mut cores, tx, s(0));
         assert_eq!(*got.lock(), vec!["ping".to_owned()]);
@@ -626,7 +685,12 @@ mod tests {
             })
             .collect();
         let (_, tx) = cores[0]
-            .client_send(aid(0, 9), aid(2, 1), Notification::signal("hi"), VTime::ZERO)
+            .client_send(
+                aid(0, 9),
+                aid(2, 1),
+                Notification::signal("hi"),
+                VTime::ZERO,
+            )
             .unwrap();
         settle(&mut cores, tx, s(0));
         // hi (0->2) + echo (2->0): 2 sends, 2 deliveries recorded.
@@ -723,7 +787,9 @@ mod tests {
             .unwrap();
         let frame = tx.into_iter().next().unwrap();
         // Delivered once; ack lost; server crashes after committing.
-        let _ = c1.on_datagram(s(0), frame.bytes.clone(), VTime::ZERO).unwrap();
+        let _ = c1
+            .on_datagram(s(0), frame.bytes.clone(), VTime::ZERO)
+            .unwrap();
         drop(c1);
         let mut c1 = ServerCore::recover(
             &topo,
@@ -738,9 +804,10 @@ mod tests {
         let out = c1.on_datagram(s(0), frame.bytes, VTime::ZERO).unwrap();
         assert_eq!(c1.engine.reactions(), 0, "duplicate must not re-react");
         // But the ack is re-emitted.
-        assert!(out
-            .iter()
-            .any(|t| matches!(Datagram::decode(t.bytes.clone()), Ok(Datagram::Ack { cum_seq: 1 }))));
+        assert!(out.iter().any(|t| matches!(
+            Datagram::decode(t.bytes.clone()),
+            Ok(Datagram::Ack { cum_seq: 1 })
+        )));
     }
 
     #[test]

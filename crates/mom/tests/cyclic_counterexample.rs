@@ -36,7 +36,11 @@ fn core(topo: &aaa_topology::Topology, me: u16, rec: &TraceRecorder) -> ServerCo
 }
 
 /// Applies `t` at its destination, returning follow-up transmissions.
-fn apply(cores: &mut [ServerCore], from: ServerId, t: Transmission) -> Vec<(ServerId, Transmission)> {
+fn apply(
+    cores: &mut [ServerCore],
+    from: ServerId,
+    t: Transmission,
+) -> Vec<(ServerId, Transmission)> {
     let me = t.to;
     cores[me.as_usize()]
         .on_datagram(from, t.bytes, VTime::ZERO)
@@ -97,21 +101,24 @@ fn cycle_allows_global_violation_while_domains_stay_causal() {
         .unwrap();
     // ...then the chain head m1 to r.
     let (_, tx_m1) = cores[0]
-        .client_send(aid(0, 9), aid(1, 1), Notification::signal("m1"), VTime::ZERO)
+        .client_send(
+            aid(0, 9),
+            aid(1, 1),
+            Notification::signal("m1"),
+            VTime::ZERO,
+        )
         .unwrap();
 
     // Deliver the chain fully while withholding every datagram to q that
     // comes directly from p (the direct message n and its acks are
     // unaffected by the withhold predicate's from-side, so hold tx_n
     // explicitly).
-    let start: Vec<(ServerId, Transmission)> =
-        tx_m1.into_iter().map(|t| (sid(0), t)).collect();
+    let start: Vec<(ServerId, Transmission)> = tx_m1.into_iter().map(|t| (sid(0), t)).collect();
     let held = settle_except(&mut cores, start, |_| false);
     assert!(held.is_empty());
 
     // Now release n: q receives it last.
-    let follow: Vec<(ServerId, Transmission)> =
-        tx_n.into_iter().map(|t| (sid(0), t)).collect();
+    let follow: Vec<(ServerId, Transmission)> = tx_n.into_iter().map(|t| (sid(0), t)).collect();
     let held = settle_except(&mut cores, follow, |_| false);
     assert!(held.is_empty());
 
@@ -154,12 +161,16 @@ fn acyclic_decomposition_forces_causal_order_under_same_schedule() {
         .client_send(aid(0, 9), aid(2, 1), Notification::signal("n"), VTime::ZERO)
         .unwrap();
     let (_, tx_m1) = cores[0]
-        .client_send(aid(0, 9), aid(1, 1), Notification::signal("m1"), VTime::ZERO)
+        .client_send(
+            aid(0, 9),
+            aid(1, 1),
+            Notification::signal("m1"),
+            VTime::ZERO,
+        )
         .unwrap();
 
     // Adversarial order: push the chain first, then n's datagrams.
-    let mut start: Vec<(ServerId, Transmission)> =
-        tx_m1.into_iter().map(|t| (sid(0), t)).collect();
+    let mut start: Vec<(ServerId, Transmission)> = tx_m1.into_iter().map(|t| (sid(0), t)).collect();
     start.extend(tx_n.into_iter().map(|t| (sid(0), t)));
     let held = settle_except(&mut cores, start, |_| false);
     assert!(held.is_empty());

@@ -57,7 +57,10 @@ fn run_adversarial(
             let mut c = ServerCore::new(
                 &topo,
                 ServerId::new(i),
-                ServerConfig { stamp_mode: mode, ..ServerConfig::default() },
+                ServerConfig {
+                    stamp_mode: mode,
+                    ..ServerConfig::default()
+                },
                 Arc::new(MemoryStore::new()),
             )
             .expect("core builds");
@@ -74,7 +77,12 @@ fn run_adversarial(
             continue;
         }
         let (_, ts) = cores[from as usize]
-            .client_send(aid(from, 9), aid(to, 1), Notification::signal("m"), VTime::ZERO)
+            .client_send(
+                aid(from, 9),
+                aid(to, 1),
+                Notification::signal("m"),
+                VTime::ZERO,
+            )
             .expect("send accepted");
         let me = ServerId::new(from);
         queue.extend(ts.into_iter().map(|t| (me, t)));

@@ -23,7 +23,9 @@ fn fanout_across_domains_preserves_publication_order() {
     // (domains 1 and 2), reached through routers.
     let spec = TopologySpec::from_domains(vec![vec![0, 1], vec![1, 2, 3], vec![3, 4]]);
     let mom = MomBuilder::new(spec).build().unwrap();
-    let topic = mom.register_agent(sid(0), 1, Box::new(TopicAgent::new())).unwrap();
+    let topic = mom
+        .register_agent(sid(0), 1, Box::new(TopicAgent::new()))
+        .unwrap();
 
     let received: Arc<Mutex<Vec<(u16, String)>>> = Default::default();
     let mut subs = Vec::new();
@@ -47,7 +49,8 @@ fn fanout_across_domains_preserves_publication_order() {
 
     let publisher = aid(1, 50);
     for i in 0..5 {
-        mom.send(publisher, topic, publication("tick", format!("{i}"))).unwrap();
+        mom.send(publisher, topic, publication("tick", format!("{i}")))
+            .unwrap();
     }
     assert!(mom.quiesce(Duration::from_secs(10)));
 
@@ -72,8 +75,12 @@ fn republication_chain_stays_causal() {
     // never sees the republication before the original.
     let spec = TopologySpec::from_domains(vec![vec![0, 1, 2, 3]]);
     let mom = MomBuilder::new(spec).build().unwrap();
-    let topic_a = mom.register_agent(sid(0), 1, Box::new(TopicAgent::new())).unwrap();
-    let topic_b = mom.register_agent(sid(1), 1, Box::new(TopicAgent::new())).unwrap();
+    let topic_a = mom
+        .register_agent(sid(0), 1, Box::new(TopicAgent::new()))
+        .unwrap();
+    let topic_b = mom
+        .register_agent(sid(1), 1, Box::new(TopicAgent::new()))
+        .unwrap();
 
     // Final subscriber: records stream tags.
     let seen: Arc<Mutex<Vec<String>>> = Default::default();
@@ -115,7 +122,8 @@ fn republication_chain_stays_causal() {
 
     let publisher = aid(0, 50);
     for i in 0..3 {
-        mom.send(publisher, topic_a, publication("original", format!("{i}"))).unwrap();
+        mom.send(publisher, topic_a, publication("original", format!("{i}")))
+            .unwrap();
     }
     assert!(mom.quiesce(Duration::from_secs(10)));
 
@@ -128,8 +136,12 @@ fn republication_chain_stays_causal() {
 
 #[test]
 fn unsubscription_stops_delivery() {
-    let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
-    let topic = mom.register_agent(sid(0), 1, Box::new(TopicAgent::new())).unwrap();
+    let mom = MomBuilder::new(TopologySpec::single_domain(2))
+        .build()
+        .unwrap();
+    let topic = mom
+        .register_agent(sid(0), 1, Box::new(TopicAgent::new()))
+        .unwrap();
     let count: Arc<Mutex<u32>> = Default::default();
     let c = count.clone();
     let sub = mom
@@ -145,13 +157,15 @@ fn unsubscription_stops_delivery() {
 
     mom.send(sub, topic, subscription()).unwrap();
     assert!(mom.quiesce(Duration::from_secs(5)));
-    mom.send(publisher, topic, publication("e", b"1".to_vec())).unwrap();
+    mom.send(publisher, topic, publication("e", b"1".to_vec()))
+        .unwrap();
     assert!(mom.quiesce(Duration::from_secs(5)));
     assert_eq!(*count.lock(), 1);
 
     mom.send(sub, topic, unsubscription()).unwrap();
     assert!(mom.quiesce(Duration::from_secs(5)));
-    mom.send(publisher, topic, publication("e", b"2".to_vec())).unwrap();
+    mom.send(publisher, topic, publication("e", b"2".to_vec()))
+        .unwrap();
     assert!(mom.quiesce(Duration::from_secs(5)));
     assert_eq!(*count.lock(), 1, "no delivery after unsubscription");
     mom.shutdown();
@@ -164,7 +178,9 @@ fn topic_state_survives_crash() {
         .record_trace(false)
         .build()
         .unwrap();
-    let topic = mom.register_agent(sid(0), 1, Box::new(TopicAgent::new())).unwrap();
+    let topic = mom
+        .register_agent(sid(0), 1, Box::new(TopicAgent::new()))
+        .unwrap();
     let count: Arc<Mutex<u32>> = Default::default();
     let c = count.clone();
     let sub = mom
@@ -182,11 +198,13 @@ fn topic_state_survives_crash() {
     // Crash the topic's server; recover with a fresh TopicAgent instance.
     mom.crash(sid(0)).unwrap();
     std::thread::sleep(Duration::from_millis(30));
-    mom.recover(sid(0), vec![(1, Box::new(TopicAgent::new()))]).unwrap();
+    mom.recover(sid(0), vec![(1, Box::new(TopicAgent::new()))])
+        .unwrap();
     assert!(mom.quiesce(Duration::from_secs(10)));
 
     // The durable subscriber list survived: publications still fan out.
-    mom.send(aid(2, 50), topic, publication("e", b"post-crash".to_vec())).unwrap();
+    mom.send(aid(2, 50), topic, publication("e", b"post-crash".to_vec()))
+        .unwrap();
     assert!(mom.quiesce(Duration::from_secs(10)));
     assert_eq!(*count.lock(), 1, "subscription must survive the crash");
     mom.shutdown();

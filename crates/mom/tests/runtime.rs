@@ -85,9 +85,7 @@ fn figure2_topology_cross_domain_traffic_is_globally_causal() {
         assert!(trace.check_causality_in(domain.members()).is_ok());
     }
     // Routers actually forwarded traffic.
-    let forwarded: u64 = (0..8)
-        .map(|i| mom.stats(sid(i)).unwrap().forwarded)
-        .sum();
+    let forwarded: u64 = (0..8).map(|i| mom.stats(sid(i)).unwrap().forwarded).sum();
     assert!(forwarded > 0, "cross-domain traffic must be routed");
     mom.shutdown();
 }
@@ -129,12 +127,7 @@ fn bus_topology_end_to_end() {
 fn crash_and_recover_under_traffic() {
     struct Counter(Arc<Mutex<u32>>, u32);
     impl aaa_mom::Agent for Counter {
-        fn react(
-            &mut self,
-            _: &mut aaa_mom::ReactionContext<'_>,
-            _: AgentId,
-            _: &Notification,
-        ) {
+        fn react(&mut self, _: &mut aaa_mom::ReactionContext<'_>, _: AgentId, _: &Notification) {
             self.1 += 1;
             *self.0.lock() = self.1;
         }
@@ -158,7 +151,8 @@ fn crash_and_recover_under_traffic() {
 
     // Two messages delivered normally.
     for _ in 0..2 {
-        mom.send(aid(0, 9), aid(1, 1), Notification::signal("x")).unwrap();
+        mom.send(aid(0, 9), aid(1, 1), Notification::signal("x"))
+            .unwrap();
     }
     assert!(mom.quiesce(Duration::from_secs(10)));
     assert_eq!(*observed.lock(), 2);
@@ -167,7 +161,8 @@ fn crash_and_recover_under_traffic() {
     // server 0's retransmission queue), then recover.
     mom.crash(sid(1)).unwrap();
     for _ in 0..2 {
-        mom.send(aid(0, 9), aid(1, 1), Notification::signal("x")).unwrap();
+        mom.send(aid(0, 9), aid(1, 1), Notification::signal("x"))
+            .unwrap();
     }
     std::thread::sleep(Duration::from_millis(50));
     mom.recover(sid(1), vec![(1, Box::new(Counter(observed.clone(), 0)))])
@@ -182,7 +177,9 @@ fn crash_and_recover_under_traffic() {
 
 #[test]
 fn sends_to_crashed_server_fail_fast() {
-    let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+    let mom = MomBuilder::new(TopologySpec::single_domain(2))
+        .build()
+        .unwrap();
     mom.crash(sid(0)).unwrap();
     // Give the command time to be processed.
     std::thread::sleep(Duration::from_millis(20));
@@ -216,9 +213,7 @@ fn stamp_sizes_updates_vs_full() {
             }
         }
         assert!(mom.quiesce(Duration::from_secs(20)));
-        let total = (0..n)
-            .map(|i| mom.stats(sid(i)).unwrap().stamp_bytes)
-            .sum();
+        let total = (0..n).map(|i| mom.stats(sid(i)).unwrap().stamp_bytes).sum();
         mom.shutdown();
         total
     };
@@ -232,7 +227,9 @@ fn stamp_sizes_updates_vs_full() {
 
 #[test]
 fn unknown_destination_is_rejected() {
-    let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+    let mom = MomBuilder::new(TopologySpec::single_domain(2))
+        .build()
+        .unwrap();
     let err = mom
         .send(aid(0, 1), aid(9, 1), Notification::signal("x"))
         .unwrap_err();
@@ -256,14 +253,13 @@ fn persistence_accounting_is_visible() {
         .build()
         .unwrap();
     mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
-    mom.send(aid(0, 9), aid(1, 1), Notification::signal("x")).unwrap();
+    mom.send(aid(0, 9), aid(1, 1), Notification::signal("x"))
+        .unwrap();
     assert!(mom.quiesce(Duration::from_secs(10)));
     let store = mom.store(sid(1)).unwrap();
     assert!(store.stats().writes() > 0, "commits must hit the store");
     assert!(store.stats().bytes_written() > 0);
-    let disk: u64 = (0..2)
-        .map(|i| mom.stats(sid(i)).unwrap().disk_bytes)
-        .sum();
+    let disk: u64 = (0..2).map(|i| mom.stats(sid(i)).unwrap().disk_bytes).sum();
     assert!(disk > 0);
     mom.shutdown();
 }
@@ -284,7 +280,10 @@ fn tcp_transport_end_to_end() {
         mom.send(aid(from, 9), aid(to, 1), Notification::signal("tcp"))
             .unwrap();
     }
-    assert!(mom.quiesce(Duration::from_secs(30)), "tcp bus should quiesce");
+    assert!(
+        mom.quiesce(Duration::from_secs(30)),
+        "tcp bus should quiesce"
+    );
     let trace = mom.trace().unwrap();
     assert_eq!(trace.message_count(), 20);
     assert!(trace.check_causality().is_ok());
@@ -293,7 +292,9 @@ fn tcp_transport_end_to_end() {
 
 #[test]
 fn unordered_qos_delivers_but_stays_out_of_the_trace() {
-    let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+    let mom = MomBuilder::new(TopologySpec::single_domain(2))
+        .build()
+        .unwrap();
     let seen: Arc<Mutex<Vec<String>>> = Default::default();
     let sink = seen.clone();
     mom.register_agent(
@@ -304,8 +305,10 @@ fn unordered_qos_delivers_but_stays_out_of_the_trace() {
         })),
     )
     .unwrap();
-    mom.send(aid(0, 9), aid(1, 1), Notification::signal("causal")).unwrap();
-    mom.send_unordered(aid(0, 9), aid(1, 1), Notification::signal("fast")).unwrap();
+    mom.send(aid(0, 9), aid(1, 1), Notification::signal("causal"))
+        .unwrap();
+    mom.send_unordered(aid(0, 9), aid(1, 1), Notification::signal("fast"))
+        .unwrap();
     assert!(mom.quiesce(Duration::from_secs(10)));
     let seen = seen.lock().clone();
     assert_eq!(seen.len(), 2, "both QoS levels deliver");

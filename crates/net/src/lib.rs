@@ -43,10 +43,12 @@
 pub mod frame;
 pub mod link;
 pub mod memory;
+pub mod metrics;
 pub mod tcp;
 pub mod wire;
 
 pub use frame::WireMessage;
 pub use link::{Datagram, LinkFrame, LinkReceiver, LinkSender};
 pub use memory::{Incoming, MemoryEndpoint, MemoryNetwork};
+pub use metrics::NetMetrics;
 pub use tcp::{TcpEndpoint, TcpNetwork};

@@ -92,8 +92,7 @@ impl Datagram {
                 if bytes.len() < 9 {
                     return Err(Error::Codec("truncated ack".into()));
                 }
-                let cum_seq =
-                    u64::from_le_bytes(bytes[1..9].try_into().expect("len checked"));
+                let cum_seq = u64::from_le_bytes(bytes[1..9].try_into().expect("len checked"));
                 Ok(Datagram::Ack { cum_seq })
             }
             t => Err(Error::Codec(format!("unknown datagram tag {t}"))),
@@ -189,12 +188,7 @@ impl LinkSender {
 
     /// Rebuilds a sender from persisted state. Every restored frame is
     /// armed for retransmission at `now + rto`.
-    pub fn restore(
-        rto: VDuration,
-        next_seq: u64,
-        unacked: Vec<LinkFrame>,
-        now: VTime,
-    ) -> Self {
+    pub fn restore(rto: VDuration, next_seq: u64, unacked: Vec<LinkFrame>, now: VTime) -> Self {
         LinkSender {
             next_seq,
             rto,
@@ -341,7 +335,9 @@ mod tests {
         let due = tx.due_retransmissions(VTime::from_micros(10_000));
         assert_eq!(due, vec![f1]);
         // Deadline re-armed: not due again immediately.
-        assert!(tx.due_retransmissions(VTime::from_micros(10_001)).is_empty());
+        assert!(tx
+            .due_retransmissions(VTime::from_micros(10_001))
+            .is_empty());
         // Due again one RTO later.
         assert_eq!(tx.due_retransmissions(VTime::from_micros(20_000)).len(), 1);
     }
@@ -410,10 +406,16 @@ mod tests {
     fn receiver_restore_suppresses_old_frames() {
         let mut rx = LinkReceiver::restore(5);
         assert_eq!(rx.cum_seq(), 5);
-        let out = rx.on_frame(LinkFrame { seq: 3, payload: payload("dup") });
+        let out = rx.on_frame(LinkFrame {
+            seq: 3,
+            payload: payload("dup"),
+        });
         assert!(out.delivered.is_empty());
         assert_eq!(out.ack, Some(5));
-        let out = rx.on_frame(LinkFrame { seq: 6, payload: payload("next") });
+        let out = rx.on_frame(LinkFrame {
+            seq: 6,
+            payload: payload("next"),
+        });
         assert_eq!(out.delivered.len(), 1);
         assert_eq!(out.ack, Some(6));
     }

@@ -8,8 +8,11 @@
 //! exactly the property the AAA channel's causal protocol needs.
 
 use aaa_base::{Error, Result, ServerId};
+use aaa_obs::Meter;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::metrics::NetMetrics;
 
 /// A datagram tagged with its sender.
 #[derive(Debug, Clone)]
@@ -26,12 +29,35 @@ pub struct MemoryEndpoint {
     me: ServerId,
     peers: Vec<Sender<Incoming>>,
     inbox: Receiver<Incoming>,
+    metrics: Option<NetMetrics>,
 }
 
 impl MemoryEndpoint {
     /// This endpoint's server id.
     pub fn me(&self) -> ServerId {
         self.me
+    }
+
+    /// Attaches a metrics meter; subsequent traffic updates the
+    /// `aaa_net_tx_*`/`aaa_net_rx_*` per-peer counters in the meter's
+    /// registry. Without a meter (the default) traffic is uncounted and
+    /// costs one branch per frame.
+    pub fn attach_meter(&mut self, meter: &Meter) {
+        self.metrics = Some(NetMetrics::new(meter, self.peers.len()));
+    }
+
+    /// Records one received frame of `len` payload bytes from `from`.
+    ///
+    /// [`MemoryEndpoint::recv_timeout`] and [`MemoryEndpoint::try_recv`]
+    /// call this internally; runtimes draining [`inbox_receiver`]
+    /// directly (for example through `crossbeam::select!`) should call it
+    /// per drained frame so receive counters stay accurate.
+    ///
+    /// [`inbox_receiver`]: MemoryEndpoint::inbox_receiver
+    pub fn record_rx(&self, from: ServerId, len: usize) {
+        if let Some(m) = &self.metrics {
+            m.on_rx(from, len);
+        }
     }
 
     /// Number of servers on the network.
@@ -50,11 +76,16 @@ impl MemoryEndpoint {
             .peers
             .get(to.as_usize())
             .ok_or(Error::UnknownServer(to))?;
+        let len = bytes.len();
         tx.send(Incoming {
             from: self.me,
             bytes,
         })
-        .map_err(|_| Error::Closed("peer endpoint"))
+        .map_err(|_| Error::Closed("peer endpoint"))?;
+        if let Some(m) = &self.metrics {
+            m.on_tx(to, len);
+        }
+        Ok(())
     }
 
     /// Receives the next datagram, blocking up to `timeout`.
@@ -67,7 +98,10 @@ impl MemoryEndpoint {
     /// dropped (the network is shutting down).
     pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<Incoming>> {
         match self.inbox.recv_timeout(timeout) {
-            Ok(msg) => Ok(Some(msg)),
+            Ok(msg) => {
+                self.record_rx(msg.from, msg.bytes.len());
+                Ok(Some(msg))
+            }
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(Error::Closed("network")),
         }
@@ -86,11 +120,12 @@ impl MemoryEndpoint {
     /// Returns [`Error::Closed`] if the network is shutting down.
     pub fn try_recv(&self) -> Result<Option<Incoming>> {
         match self.inbox.try_recv() {
-            Ok(msg) => Ok(Some(msg)),
-            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
-            Err(crossbeam::channel::TryRecvError::Disconnected) => {
-                Err(Error::Closed("network"))
+            Ok(msg) => {
+                self.record_rx(msg.from, msg.bytes.len());
+                Ok(Some(msg))
             }
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(Error::Closed("network")),
         }
     }
 }
@@ -120,6 +155,7 @@ impl MemoryNetwork {
                 me: ServerId::new(i as u16),
                 peers: txs.clone(),
                 inbox,
+                metrics: None,
             })
             .collect()
     }
@@ -183,7 +219,9 @@ mod tests {
     fn self_send_works() {
         // The channel may loop a frame to itself (degenerate but legal).
         let eps = MemoryNetwork::create(1);
-        eps[0].send(ServerId::new(0), Bytes::from_static(b"x")).unwrap();
+        eps[0]
+            .send(ServerId::new(0), Bytes::from_static(b"x"))
+            .unwrap();
         assert!(eps[0].try_recv().unwrap().is_some());
     }
 

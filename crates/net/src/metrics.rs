@@ -1,0 +1,152 @@
+//! Per-link traffic instruments shared by both transports.
+//!
+//! [`NetMetrics`] is the optional metric bundle of a transport endpoint
+//! ([`crate::MemoryEndpoint`], [`crate::TcpEndpoint`]): frames and payload
+//! bytes per direction and peer, plus TCP reconnects. Counters are minted
+//! eagerly for every peer when a meter is attached — the hot path indexes a
+//! `Vec` and performs one relaxed atomic add, no lock, no map lookup.
+//!
+//! Metric vocabulary (families carry the meter's base labels, for example
+//! `server="<id>"`; each sample adds `peer="<id>"`):
+//!
+//! | name | kind | unit |
+//! |---|---|---|
+//! | `aaa_net_tx_frames_total` | counter | transport frames |
+//! | `aaa_net_tx_bytes_total` | counter | payload bytes |
+//! | `aaa_net_rx_frames_total` | counter | transport frames |
+//! | `aaa_net_rx_bytes_total` | counter | payload bytes |
+//! | `aaa_net_reconnects_total` | counter | re-established connections |
+
+use aaa_base::ServerId;
+use aaa_obs::{Counter, Meter};
+
+/// Per-peer traffic counters of one transport endpoint.
+#[derive(Debug, Clone)]
+pub struct NetMetrics {
+    tx_frames: Vec<Counter>,
+    tx_bytes: Vec<Counter>,
+    rx_frames: Vec<Counter>,
+    rx_bytes: Vec<Counter>,
+    /// Only minted for connection-oriented transports (TCP).
+    reconnects: Option<Vec<Counter>>,
+}
+
+fn per_peer(meter: &Meter, peers: usize, name: &'static str, help: &'static str) -> Vec<Counter> {
+    (0..peers)
+        .map(|p| meter.counter_with(name, help, &[("peer", p.to_string())]))
+        .collect()
+}
+
+impl NetMetrics {
+    /// Mints tx/rx counters toward `peers` servers.
+    pub fn new(meter: &Meter, peers: usize) -> Self {
+        NetMetrics {
+            tx_frames: per_peer(
+                meter,
+                peers,
+                "aaa_net_tx_frames_total",
+                "Transport frames sent to a peer",
+            ),
+            tx_bytes: per_peer(
+                meter,
+                peers,
+                "aaa_net_tx_bytes_total",
+                "Transport payload bytes sent to a peer",
+            ),
+            rx_frames: per_peer(
+                meter,
+                peers,
+                "aaa_net_rx_frames_total",
+                "Transport frames received from a peer",
+            ),
+            rx_bytes: per_peer(
+                meter,
+                peers,
+                "aaa_net_rx_bytes_total",
+                "Transport payload bytes received from a peer",
+            ),
+            reconnects: None,
+        }
+    }
+
+    /// Like [`NetMetrics::new`], additionally minting reconnect counters
+    /// (for connection-oriented transports).
+    pub fn with_reconnects(meter: &Meter, peers: usize) -> Self {
+        let mut m = NetMetrics::new(meter, peers);
+        m.reconnects = Some(per_peer(
+            meter,
+            peers,
+            "aaa_net_reconnects_total",
+            "TCP connections re-established to a peer after a failure",
+        ));
+        m
+    }
+
+    /// Records one frame of `len` payload bytes sent to `peer`.
+    pub fn on_tx(&self, peer: ServerId, len: usize) {
+        if let Some(c) = self.tx_frames.get(peer.as_usize()) {
+            c.inc();
+            self.tx_bytes[peer.as_usize()].add(len as u64);
+        }
+    }
+
+    /// Records one frame of `len` payload bytes received from `peer`.
+    pub fn on_rx(&self, peer: ServerId, len: usize) {
+        if let Some(c) = self.rx_frames.get(peer.as_usize()) {
+            c.inc();
+            self.rx_bytes[peer.as_usize()].add(len as u64);
+        }
+    }
+
+    /// Records one re-established connection to `peer`.
+    pub fn on_reconnect(&self, peer: ServerId) {
+        if let Some(rc) = &self.reconnects {
+            if let Some(c) = rc.get(peer.as_usize()) {
+                c.inc();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaa_obs::Registry;
+
+    #[test]
+    fn counters_index_by_peer() {
+        let registry = Registry::new();
+        let meter = Meter::new(&registry).with_label("server", "0");
+        let m = NetMetrics::with_reconnects(&meter, 2);
+        m.on_tx(ServerId::new(1), 10);
+        m.on_tx(ServerId::new(1), 5);
+        m.on_rx(ServerId::new(0), 7);
+        m.on_reconnect(ServerId::new(1));
+        // Out-of-range peers are ignored, not panicked on.
+        m.on_tx(ServerId::new(9), 1);
+        m.on_reconnect(ServerId::new(9));
+
+        let snap = registry.snapshot();
+        let labels = [("server", "0"), ("peer", "1")];
+        assert_eq!(snap.counter("aaa_net_tx_frames_total", &labels), Some(2));
+        assert_eq!(snap.counter("aaa_net_tx_bytes_total", &labels), Some(15));
+        assert_eq!(snap.counter("aaa_net_reconnects_total", &labels), Some(1));
+        assert_eq!(
+            snap.counter("aaa_net_rx_bytes_total", &[("server", "0"), ("peer", "0")]),
+            Some(7)
+        );
+        assert_eq!(snap.sum_counter("aaa_net_tx_frames_total"), 2);
+    }
+
+    #[test]
+    fn reconnects_absent_without_flag() {
+        let registry = Registry::new();
+        let meter = Meter::new(&registry);
+        let m = NetMetrics::new(&meter, 2);
+        m.on_reconnect(ServerId::new(0));
+        assert!(registry
+            .snapshot()
+            .family("aaa_net_reconnects_total")
+            .is_none());
+    }
+}

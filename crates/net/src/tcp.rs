@@ -20,14 +20,24 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aaa_base::{Error, Result, ServerId};
+use aaa_obs::Meter;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::memory::Incoming;
+use crate::metrics::NetMetrics;
 
 fn io_err(context: &str, e: std::io::Error) -> Error {
     Error::Storage(format!("tcp {context}: {e}"))
+}
+
+/// Connection table: open streams plus the set of peers ever connected
+/// to (so re-establishments can be told apart from first connections).
+#[derive(Debug, Default)]
+struct ConnTable {
+    open: HashMap<ServerId, TcpStream>,
+    ever: std::collections::HashSet<ServerId>,
 }
 
 /// One server's handle on the TCP mesh.
@@ -36,14 +46,33 @@ pub struct TcpEndpoint {
     me: ServerId,
     addrs: Arc<Vec<SocketAddr>>,
     inbox: Receiver<Incoming>,
-    conns: Mutex<HashMap<ServerId, TcpStream>>,
+    conns: Mutex<ConnTable>,
     shutdown: Arc<AtomicBool>,
+    metrics: Option<NetMetrics>,
 }
 
 impl TcpEndpoint {
     /// This endpoint's server id.
     pub fn me(&self) -> ServerId {
         self.me
+    }
+
+    /// Attaches a metrics meter; subsequent traffic updates the
+    /// `aaa_net_tx_*`/`aaa_net_rx_*` per-peer counters and
+    /// `aaa_net_reconnects_total` in the meter's registry.
+    pub fn attach_meter(&mut self, meter: &Meter) {
+        self.metrics = Some(NetMetrics::with_reconnects(meter, self.addrs.len()));
+    }
+
+    /// Records one received frame of `len` payload bytes from `from`.
+    ///
+    /// [`TcpEndpoint::recv_timeout`] calls this internally; runtimes
+    /// draining [`TcpEndpoint::inbox_receiver`] directly should call it
+    /// per drained frame so receive counters stay accurate.
+    pub fn record_rx(&self, from: ServerId, len: usize) {
+        if let Some(m) = &self.metrics {
+            m.on_rx(from, len);
+        }
     }
 
     /// Number of servers on the mesh.
@@ -73,13 +102,19 @@ impl TcpEndpoint {
     pub fn send(&self, to: ServerId, bytes: Bytes) -> Result<()> {
         let addr = self.addr_of(to)?;
         let mut conns = self.conns.lock();
-        if !conns.contains_key(&to) {
+        if !conns.open.contains_key(&to) {
             let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
                 .map_err(|e| io_err("connect", e))?;
             stream.set_nodelay(true).map_err(|e| io_err("nodelay", e))?;
-            conns.insert(to, stream);
+            if !conns.ever.insert(to) {
+                // The peer was connected before: this is a reconnect.
+                if let Some(m) = &self.metrics {
+                    m.on_reconnect(to);
+                }
+            }
+            conns.open.insert(to, stream);
         }
-        let stream = conns.get_mut(&to).expect("just inserted");
+        let stream = conns.open.get_mut(&to).expect("just inserted");
         let mut header = [0u8; 6];
         header[0..2].copy_from_slice(&self.me.as_u16().to_le_bytes());
         header[2..6].copy_from_slice(&(bytes.len() as u32).to_le_bytes());
@@ -87,8 +122,11 @@ impl TcpEndpoint {
             .write_all(&header)
             .and_then(|()| stream.write_all(&bytes));
         if let Err(e) = result {
-            conns.remove(&to); // reconnect on the next attempt
+            conns.open.remove(&to); // reconnect on the next attempt
             return Err(io_err("write", e));
+        }
+        if let Some(m) = &self.metrics {
+            m.on_tx(to, bytes.len());
         }
         Ok(())
     }
@@ -106,7 +144,10 @@ impl TcpEndpoint {
     /// Returns [`Error::Closed`] once the endpoint has shut down.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Incoming>> {
         match self.inbox.recv_timeout(timeout) {
-            Ok(msg) => Ok(Some(msg)),
+            Ok(msg) => {
+                self.record_rx(msg.from, msg.bytes.len());
+                Ok(Some(msg))
+            }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
                 Err(Error::Closed("tcp endpoint"))
@@ -141,8 +182,7 @@ impl TcpNetwork {
         let mut listeners = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
         for _ in 0..n {
-            let listener =
-                TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("bind", e))?;
+            let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("bind", e))?;
             addrs.push(listener.local_addr().map_err(|e| io_err("local_addr", e))?);
             listeners.push(listener);
         }
@@ -157,8 +197,9 @@ impl TcpNetwork {
                 me: ServerId::new(i as u16),
                 addrs: addrs.clone(),
                 inbox: rx,
-                conns: Mutex::new(HashMap::new()),
+                conns: Mutex::new(ConnTable::default()),
                 shutdown,
+                metrics: None,
             });
         }
         Ok(endpoints)
@@ -259,7 +300,9 @@ mod tests {
     #[test]
     fn point_to_point_over_tcp() {
         let eps = TcpNetwork::create(2).unwrap();
-        eps[0].send(ServerId::new(1), Bytes::from_static(b"hello tcp")).unwrap();
+        eps[0]
+            .send(ServerId::new(1), Bytes::from_static(b"hello tcp"))
+            .unwrap();
         let got = eps[1]
             .recv_timeout(Duration::from_secs(5))
             .unwrap()
@@ -290,15 +333,30 @@ mod tests {
     fn bidirectional_and_multi_peer() {
         let eps = TcpNetwork::create(3);
         let eps = eps.unwrap();
-        eps[0].send(ServerId::new(2), Bytes::from_static(b"a")).unwrap();
-        eps[2].send(ServerId::new(0), Bytes::from_static(b"b")).unwrap();
-        eps[1].send(ServerId::new(2), Bytes::from_static(b"c")).unwrap();
-        let at2a = eps[2].recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
-        let at2b = eps[2].recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        eps[0]
+            .send(ServerId::new(2), Bytes::from_static(b"a"))
+            .unwrap();
+        eps[2]
+            .send(ServerId::new(0), Bytes::from_static(b"b"))
+            .unwrap();
+        eps[1]
+            .send(ServerId::new(2), Bytes::from_static(b"c"))
+            .unwrap();
+        let at2a = eps[2]
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        let at2b = eps[2]
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
         let mut froms = vec![at2a.from, at2b.from];
         froms.sort();
         assert_eq!(froms, vec![ServerId::new(0), ServerId::new(1)]);
-        let at0 = eps[0].recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        let at0 = eps[0]
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
         assert_eq!(at0.from, ServerId::new(2));
     }
 
@@ -316,7 +374,10 @@ mod tests {
     fn empty_payload_roundtrip() {
         let eps = TcpNetwork::create(2).unwrap();
         eps[0].send(ServerId::new(1), Bytes::new()).unwrap();
-        let got = eps[1].recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        let got = eps[1]
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
         assert!(got.bytes.is_empty());
     }
 }

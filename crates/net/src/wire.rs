@@ -340,8 +340,16 @@ mod tests {
     #[test]
     fn delta_stamp_roundtrip_and_size() {
         let stamp = Stamp::Delta(vec![
-            UpdateEntry { row: 0, col: 1, value: 5 },
-            UpdateEntry { row: 3, col: 2, value: 11 },
+            UpdateEntry {
+                row: 0,
+                col: 1,
+                value: 5,
+            },
+            UpdateEntry {
+                row: 3,
+                col: 2,
+                value: 11,
+            },
         ]);
         let mut e = Encoder::new();
         e.stamp(&stamp);

@@ -1,0 +1,69 @@
+//! Cross-server send→deliver latency correlation.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use aaa_base::MessageId;
+
+/// Correlates message send times with their delivery, across servers.
+///
+/// The runtime records wall-clock microseconds, the simulator virtual-time
+/// microseconds — the tracker is agnostic; it only matches ids. Cloning is
+/// cheap and all clones share state (one tracker per system).
+///
+/// Entries for messages that are never delivered (crashes, unordered drops)
+/// are abandoned in the map; [`LatencyTracker::record_send`] caps the map
+/// so an unbounded leak is impossible.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyTracker {
+    inner: Arc<Mutex<HashMap<MessageId, u64>>>,
+}
+
+/// Safety valve: beyond this many outstanding sends, new sends are not
+/// tracked (their delivery will simply not be observed).
+const MAX_OUTSTANDING: usize = 1 << 20;
+
+impl LatencyTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        LatencyTracker::default()
+    }
+
+    /// Records that `id` was sent at `at_us` (µs on the caller's clock).
+    pub fn record_send(&self, id: MessageId, at_us: u64) {
+        let mut map = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if map.len() < MAX_OUTSTANDING {
+            map.insert(id, at_us);
+        }
+    }
+
+    /// Takes the send time of `id`, if one was recorded.
+    pub fn take_send(&self, id: MessageId) -> Option<u64> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id)
+    }
+
+    /// Number of sends awaiting delivery.
+    pub fn outstanding(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaa_base::ServerId;
+
+    #[test]
+    fn send_take_roundtrip() {
+        let t = LatencyTracker::new();
+        let id = MessageId::new(ServerId::new(1), 7);
+        t.record_send(id, 100);
+        assert_eq!(t.outstanding(), 1);
+        assert_eq!(t.take_send(id), Some(100));
+        assert_eq!(t.take_send(id), None);
+        assert_eq!(t.outstanding(), 0);
+    }
+}

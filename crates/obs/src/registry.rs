@@ -1,0 +1,281 @@
+//! The metrics [`Registry`] and the per-scope [`Meter`] handle.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::instruments::{Counter, Gauge, Histogram};
+use crate::snapshot::{MetricFamily, MetricKind, MetricsSnapshot, Sample, SampleValue};
+
+/// One registered instrument.
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: &'static str,
+    kind: MetricKind,
+    /// Keyed by the canonical label rendering for deterministic snapshots.
+    samples: BTreeMap<String, (Vec<(String, String)>, Instrument)>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+}
+
+/// A registry of named, labelled instruments.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same metrics.
+/// Instrument *registration* takes a mutex; the returned handles update
+/// lock-free. Register once at construction time, then update freely.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+/// Renders labels canonically: sorted by key, `k="v"` joined with commas.
+fn label_key(labels: &[(String, String)]) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    parts.sort();
+    parts.join(",")
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert<F>(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: MetricKind,
+        labels: &[(&'static str, String)],
+        make: F,
+    ) -> Instrument
+    where
+        F: FnOnce() -> Instrument,
+    {
+        let owned: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect();
+        let key = label_key(&owned);
+        let mut families = self
+            .inner
+            .families
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            kind,
+            samples: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} registered twice with different kinds"
+        );
+        family
+            .samples
+            .entry(key)
+            .or_insert_with(|| (owned, make()))
+            .1
+            .clone()
+    }
+
+    /// Returns the counter `name{labels}`, creating it on first use.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, String)],
+    ) -> Counter {
+        match self.get_or_insert(name, help, MetricKind::Counter, labels, || {
+            Instrument::Counter(Counter::new())
+        }) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Returns the gauge `name{labels}`, creating it on first use.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, String)],
+    ) -> Gauge {
+        match self.get_or_insert(name, help, MetricKind::Gauge, labels, || {
+            Instrument::Gauge(Gauge::new())
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Returns the histogram `name{labels}`, creating it with `bounds` on
+    /// first use (later callers inherit the original bounds).
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, String)],
+        bounds: &[u64],
+    ) -> Histogram {
+        match self.get_or_insert(name, help, MetricKind::Histogram, labels, || {
+            Instrument::Histogram(Histogram::new(bounds))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Takes a point-in-time snapshot of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let families = self
+            .inner
+            .families
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        MetricsSnapshot {
+            families: families
+                .iter()
+                .map(|(&name, fam)| MetricFamily {
+                    name: name.to_owned(),
+                    help: fam.help.to_owned(),
+                    kind: fam.kind,
+                    samples: fam
+                        .samples
+                        .values()
+                        .map(|(labels, inst)| Sample {
+                            labels: labels.clone(),
+                            value: match inst {
+                                Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                                Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                                Instrument::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A cheap handle carrying a registry plus a set of base labels
+/// (typically `server="<id>"`), from which cores mint their instruments.
+///
+/// Cores store `Option<...>` bundles of concrete [`Counter`]/[`Gauge`]/
+/// [`Histogram`] handles built from a `Meter`; absent a meter they pay one
+/// branch per event and no atomic traffic at all.
+#[derive(Debug, Clone)]
+pub struct Meter {
+    registry: Registry,
+    base: Vec<(&'static str, String)>,
+}
+
+impl Meter {
+    /// Creates a meter rooted at `registry` with no base labels.
+    pub fn new(registry: &Registry) -> Self {
+        Meter {
+            registry: registry.clone(),
+            base: Vec::new(),
+        }
+    }
+
+    /// Returns a child meter with one more base label.
+    pub fn with_label(&self, key: &'static str, value: impl Into<String>) -> Meter {
+        let mut base = self.base.clone();
+        base.push((key, value.into()));
+        Meter {
+            registry: self.registry.clone(),
+            base,
+        }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn merged(&self, extra: &[(&'static str, String)]) -> Vec<(&'static str, String)> {
+        let mut all = self.base.clone();
+        all.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
+        all
+    }
+
+    /// Mints the counter `name` with the meter's base labels.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        self.registry.counter(name, help, &self.base)
+    }
+
+    /// Mints the counter `name` with base labels plus `extra`.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        extra: &[(&'static str, String)],
+    ) -> Counter {
+        self.registry.counter(name, help, &self.merged(extra))
+    }
+
+    /// Mints the gauge `name` with the meter's base labels.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        self.registry.gauge(name, help, &self.base)
+    }
+
+    /// Mints the histogram `name` with the meter's base labels.
+    pub fn histogram(&self, name: &'static str, help: &'static str, bounds: &[u64]) -> Histogram {
+        self.registry.histogram(name, help, &self.base, bounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_state() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "help", &[("server", "1".into())]);
+        let b = r.counter("x_total", "help", &[("server", "1".into())]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        let c = r.counter("x_total", "help", &[("server", "2".into())]);
+        c.inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x_total", &[("server", "1")]), Some(2));
+        assert_eq!(snap.counter("x_total", &[("server", "2")]), Some(1));
+        assert_eq!(snap.sum_counter("x_total"), 3);
+    }
+
+    #[test]
+    fn meter_base_labels_compose() {
+        let r = Registry::new();
+        let m = Meter::new(&r).with_label("server", "7");
+        let c = m.counter_with("y_total", "help", &[("domain", "3".into())]);
+        c.add(5);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter("y_total", &[("server", "7"), ("domain", "3")]),
+            Some(5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different kinds")]
+    fn kind_conflicts_detected() {
+        let r = Registry::new();
+        let _ = r.counter("z", "h", &[]);
+        let _ = r.gauge("z", "h", &[]);
+    }
+}

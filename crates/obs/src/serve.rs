@@ -1,0 +1,140 @@
+//! A tiny, dependency-free HTTP exporter for metric snapshots.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::Registry;
+
+/// Handle to a running metrics exporter. Dropping it stops the server.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The address the exporter actually bound (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the exporter and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn respond(mut stream: TcpStream, registry: &Registry) {
+    let mut buf = [0u8; 1024];
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let n = stream.read(&mut buf).unwrap_or(0);
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/metrics");
+    let snapshot = registry.snapshot();
+    let (content_type, body) = if path.ends_with(".json") || path.starts_with("/json") {
+        ("application/json", snapshot.render_json())
+    } else {
+        (
+            "text/plain; version=0.0.4; charset=utf-8",
+            snapshot.render_prometheus(),
+        )
+    };
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+/// Serves `registry` over HTTP at `addr` (e.g. `"127.0.0.1:9464"`).
+///
+/// `GET /metrics` returns Prometheus text; `GET /metrics.json` (or any
+/// `.json` path) returns the JSON rendering. The listener polls so the
+/// returned handle can stop it promptly.
+///
+/// # Errors
+///
+/// Returns the I/O error if the address cannot be bound.
+pub fn serve(registry: Registry, addr: &str) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("aaa-obs-exporter".into())
+        .spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        respond(stream, &registry);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Meter;
+
+    #[test]
+    fn exporter_serves_text_and_json() {
+        let registry = Registry::new();
+        Meter::new(&registry)
+            .with_label("server", "0")
+            .counter("e_total", "exporter test")
+            .add(9);
+        let server = serve(registry, "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        let fetch = |path: &str| {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            out
+        };
+
+        let text = fetch("/metrics");
+        assert!(text.contains("200 OK"), "{text}");
+        assert!(text.contains("e_total{server=\"0\"} 9"));
+        let json = fetch("/metrics.json");
+        assert!(json.contains("application/json"));
+        assert!(json.contains("\"name\":\"e_total\""));
+        server.shutdown();
+    }
+}

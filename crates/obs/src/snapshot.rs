@@ -1,0 +1,370 @@
+//! Point-in-time metric snapshots and their Prometheus/JSON renderings.
+
+/// The kind of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Fixed-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn prometheus_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds (without the implicit `+Inf`).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one entry per bound plus the `+Inf` overflow.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket containing quantile `q` (0.0–1.0), or
+    /// `None` when the histogram is empty. Observations beyond the last
+    /// bound report that last bound.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return Some(*self.bounds.get(i).unwrap_or(self.bounds.last()?));
+            }
+        }
+        self.bounds.last().copied()
+    }
+}
+
+/// One labelled sample of a family.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Label key/value pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The observed value.
+    pub value: SampleValue,
+}
+
+/// The value of one sample.
+#[derive(Debug, Clone)]
+pub enum SampleValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// All samples of one metric name.
+#[derive(Debug, Clone)]
+pub struct MetricFamily {
+    /// Metric name, e.g. `aaa_channel_cell_ops_total`.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Counter / gauge / histogram.
+    pub kind: MetricKind,
+    /// The labelled samples, sorted by canonical label key.
+    pub samples: Vec<Sample>,
+}
+
+/// A point-in-time view over a whole [`crate::Registry`].
+///
+/// Families and samples are sorted (by name, then canonical label key), so
+/// two snapshots of identical state render byte-identically — which is what
+/// makes golden-file exposition tests possible.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// All metric families, sorted by name.
+    pub families: Vec<MetricFamily>,
+}
+
+fn labels_match(sample: &Sample, want: &[(&str, &str)]) -> bool {
+    want.len() == sample.labels.len()
+        && want
+            .iter()
+            .all(|(k, v)| sample.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<&(String, String)> = labels.iter().collect();
+    sorted.sort();
+    let inner: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn render_labels_extra(labels: &[(String, String)], extra_k: &str, extra_v: &str) -> String {
+    let mut all: Vec<(String, String)> = labels.to_vec();
+    all.push((extra_k.to_owned(), extra_v.to_owned()));
+    render_labels(&all)
+}
+
+impl MetricsSnapshot {
+    /// Looks up a family by name.
+    pub fn family(&self, name: &str) -> Option<&MetricFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Reads the counter `name{labels}` (labels must match exactly).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.family(name)?
+            .samples
+            .iter()
+            .find_map(|s| match (&s.value, labels_match(s, labels)) {
+                (SampleValue::Counter(v), true) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// Reads the gauge `name{labels}` (labels must match exactly).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        self.family(name)?
+            .samples
+            .iter()
+            .find_map(|s| match (&s.value, labels_match(s, labels)) {
+                (SampleValue::Gauge(v), true) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// Reads the histogram `name{labels}` (labels must match exactly).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        self.family(name)?
+            .samples
+            .iter()
+            .find_map(|s| match (&s.value, labels_match(s, labels)) {
+                (SampleValue::Histogram(h), true) => Some(h),
+                _ => None,
+            })
+    }
+
+    /// Sums every sample of counter `name` whose labels include all of
+    /// `labels` (further labels, e.g. a `domain`, may be present).
+    pub fn sum_counter_labelled(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.family(name)
+            .map(|f| {
+                f.samples
+                    .iter()
+                    .filter(|s| {
+                        labels
+                            .iter()
+                            .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+                    })
+                    .filter_map(|s| match &s.value {
+                        SampleValue::Counter(v) => Some(*v),
+                        _ => None,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Sums every sample of counter `name` across all label sets.
+    pub fn sum_counter(&self, name: &str) -> u64 {
+        self.family(name)
+            .map(|f| {
+                f.samples
+                    .iter()
+                    .filter_map(|s| match &s.value {
+                        SampleValue::Counter(v) => Some(*v),
+                        _ => None,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Sums every sample of gauge `name` across all label sets.
+    pub fn sum_gauge(&self, name: &str) -> i64 {
+        self.family(name)
+            .map(|f| {
+                f.samples
+                    .iter()
+                    .filter_map(|s| match &s.value {
+                        SampleValue::Gauge(v) => Some(*v),
+                        _ => None,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4). Deterministic for identical registry state.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for fam in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", fam.name, fam.help));
+            out.push_str(&format!(
+                "# TYPE {} {}\n",
+                fam.name,
+                fam.kind.prometheus_name()
+            ));
+            for s in &fam.samples {
+                match &s.value {
+                    SampleValue::Counter(v) => {
+                        out.push_str(&format!("{}{} {v}\n", fam.name, render_labels(&s.labels)));
+                    }
+                    SampleValue::Gauge(v) => {
+                        out.push_str(&format!("{}{} {v}\n", fam.name, render_labels(&s.labels)));
+                    }
+                    SampleValue::Histogram(h) => {
+                        let mut cumulative = 0;
+                        for (i, &bound) in h.bounds.iter().enumerate() {
+                            cumulative += h.counts[i];
+                            out.push_str(&format!(
+                                "{}_bucket{} {cumulative}\n",
+                                fam.name,
+                                render_labels_extra(&s.labels, "le", &bound.to_string()),
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            fam.name,
+                            render_labels_extra(&s.labels, "le", "+Inf"),
+                            h.count,
+                        ));
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            fam.name,
+                            render_labels(&s.labels),
+                            h.sum
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            fam.name,
+                            render_labels(&s.labels),
+                            h.count
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as JSON (hand-rolled, dependency-free).
+    pub fn render_json(&self) -> String {
+        fn jstr(s: &str) -> String {
+            format!("\"{}\"", escape(s))
+        }
+        let mut fams = Vec::new();
+        for fam in &self.families {
+            let mut samples = Vec::new();
+            for s in &fam.samples {
+                let labels: Vec<String> = {
+                    let mut sorted: Vec<&(String, String)> = s.labels.iter().collect();
+                    sorted.sort();
+                    sorted
+                        .iter()
+                        .map(|(k, v)| format!("{}:{}", jstr(k), jstr(v)))
+                        .collect()
+                };
+                let value = match &s.value {
+                    SampleValue::Counter(v) => format!("\"value\":{v}"),
+                    SampleValue::Gauge(v) => format!("\"value\":{v}"),
+                    SampleValue::Histogram(h) => format!(
+                        "\"histogram\":{{\"bounds\":{:?},\"counts\":{:?},\"sum\":{},\"count\":{}}}",
+                        h.bounds, h.counts, h.sum, h.count
+                    ),
+                };
+                samples.push(format!("{{\"labels\":{{{}}},{value}}}", labels.join(",")));
+            }
+            fams.push(format!(
+                "{{\"name\":{},\"help\":{},\"kind\":{},\"samples\":[{}]}}",
+                jstr(&fam.name),
+                jstr(&fam.help),
+                jstr(fam.kind.prometheus_name()),
+                samples.join(",")
+            ));
+        }
+        format!("{{\"families\":[{}]}}", fams.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Meter, Registry, LATENCY_BUCKETS_US};
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        let m = Meter::new(&r).with_label("server", "0");
+        m.counter("t_total", "a counter").add(3);
+        m.gauge("g", "a gauge").set(-2);
+        let h = m.histogram("lat_us", "a histogram", &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5000);
+        r
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_complete() {
+        let text = sample_registry().snapshot().render_prometheus();
+        let text2 = sample_registry().snapshot().render_prometheus();
+        assert_eq!(text, text2);
+        assert!(text.contains("# TYPE t_total counter"));
+        assert!(text.contains("t_total{server=\"0\"} 3"));
+        assert!(text.contains("g{server=\"0\"} -2"));
+        assert!(text.contains("lat_us_bucket{le=\"10\",server=\"0\"} 1"));
+        assert!(text.contains("lat_us_bucket{le=\"100\",server=\"0\"} 2"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\",server=\"0\"} 3"));
+        assert!(text.contains("lat_us_sum{server=\"0\"} 5055"));
+        assert!(text.contains("lat_us_count{server=\"0\"} 3"));
+    }
+
+    #[test]
+    fn json_rendering_contains_families() {
+        let json = sample_registry().snapshot().render_json();
+        assert!(json.starts_with("{\"families\":["));
+        assert!(json.contains("\"name\":\"t_total\""));
+        assert!(
+            json.contains("\"histogram\":{\"bounds\":[10, 100]")
+                || json.contains("\"histogram\":{\"bounds\":[10,100]")
+        );
+    }
+
+    #[test]
+    fn quantiles() {
+        let h = crate::Histogram::new(LATENCY_BUCKETS_US);
+        assert_eq!(h.snapshot().quantile(0.5), None);
+        for v in [1, 3, 9, 40, 800] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), Some(1));
+        assert_eq!(s.quantile(0.5), Some(10));
+        assert_eq!(s.quantile(1.0), Some(1_000));
+    }
+}

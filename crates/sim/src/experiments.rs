@@ -22,11 +22,7 @@ pub const ECHO_AGENT: u32 = 1;
 /// The local id of the main (measuring) agent on server 0.
 pub const MAIN_AGENT: u32 = 100;
 
-fn build_sim(
-    spec: TopologySpec,
-    mode: StampMode,
-    model: CostModel,
-) -> Result<Simulation> {
+fn build_sim(spec: TopologySpec, mode: StampMode, model: CostModel) -> Result<Simulation> {
     let topology = spec.validate()?;
     let config = ServerConfig {
         stamp_mode: mode,
@@ -71,11 +67,7 @@ pub struct Measurement {
     pub stats: StepStats,
 }
 
-fn ping_rounds(
-    mut sim: Simulation,
-    target: ServerId,
-    rounds: u32,
-) -> Result<Measurement> {
+fn ping_rounds(mut sim: Simulation, target: ServerId, rounds: u32) -> Result<Measurement> {
     let main = AgentId::new(ServerId::new(0), MAIN_AGENT);
     let echo = AgentId::new(target, ECHO_AGENT);
     let mut total = VDuration::ZERO;
@@ -218,11 +210,7 @@ pub fn pair_workload_avg_time(
 /// # Errors
 ///
 /// Propagates topology validation and simulation errors.
-pub fn stamp_bytes_per_message(
-    spec: TopologySpec,
-    mode: StampMode,
-    rounds: u32,
-) -> Result<f64> {
+pub fn stamp_bytes_per_message(spec: TopologySpec, mode: StampMode, rounds: u32) -> Result<f64> {
     let m = remote_unicast(spec, mode, CostModel::zero(), rounds)?;
     if m.stats.transmitted == 0 {
         return Ok(0.0);
@@ -340,14 +328,9 @@ mod tests {
     #[test]
     fn stamp_bytes_updates_much_smaller() {
         let full =
-            stamp_bytes_per_message(TopologySpec::single_domain(20), StampMode::Full, 10)
-                .unwrap();
-        let upd = stamp_bytes_per_message(
-            TopologySpec::single_domain(20),
-            StampMode::Updates,
-            10,
-        )
-        .unwrap();
+            stamp_bytes_per_message(TopologySpec::single_domain(20), StampMode::Full, 10).unwrap();
+        let upd = stamp_bytes_per_message(TopologySpec::single_domain(20), StampMode::Updates, 10)
+            .unwrap();
         assert!(upd * 5.0 < full, "updates {upd}B vs full {full}B");
     }
 }

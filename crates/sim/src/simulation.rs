@@ -4,8 +4,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use aaa_base::{AgentId, Result, ServerId, VDuration, VTime};
+use aaa_base::{Absorb, AgentId, Result, ServerId, VDuration, VTime};
 use aaa_mom::{Agent, DeliveryPolicy, Notification, ServerConfig, ServerCore, StepStats};
+use aaa_obs::{Gauge, LatencyTracker, Meter, MetricsSnapshot, Registry};
 use aaa_storage::MemoryStore;
 use aaa_topology::Topology;
 use aaa_trace::TraceRecorder;
@@ -75,6 +76,9 @@ pub struct Simulation {
     timer_armed: Vec<Option<VTime>>,
     crashed: Vec<bool>,
     recorder: Option<TraceRecorder>,
+    registry: Option<Registry>,
+    latency: Option<LatencyTracker>,
+    vtime_gauge: Option<Gauge>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -95,11 +99,7 @@ impl Simulation {
     ///
     /// Propagates server construction errors (none for a validated
     /// topology).
-    pub fn new(
-        topology: Topology,
-        config: ServerConfig,
-        model: CostModel,
-    ) -> Result<Simulation> {
+    pub fn new(topology: Topology, config: ServerConfig, model: CostModel) -> Result<Simulation> {
         // Without fault injection the simulated network is reliable, so
         // retransmission timers must never fire: give links an enormous
         // RTO and never schedule timer events.
@@ -183,7 +183,40 @@ impl Simulation {
             timer_armed: vec![None; n],
             crashed: vec![false; n],
             recorder: None,
+            registry: None,
+            latency: None,
+            vtime_gauge: None,
         })
+    }
+
+    /// Attaches a metrics registry: every server core gets a meter
+    /// labelled `server="<id>"` — publishing the **same metric vocabulary
+    /// as the threaded runtime**, only on virtual time — plus one
+    /// `aaa_sim_vtime_us` gauge tracking the simulation clock. Delivery
+    /// latencies observed through `aaa_server_delivery_latency_us` are
+    /// virtual-time microseconds.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        let tracker = LatencyTracker::new();
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let meter = Meter::new(registry).with_label("server", i.to_string());
+            core.attach_meter(&meter);
+            core.set_latency_tracker(tracker.clone());
+        }
+        self.vtime_gauge = Some(Meter::new(registry).gauge(
+            "aaa_sim_vtime_us",
+            "Current virtual time of the simulation, in microseconds",
+        ));
+        self.registry = Some(registry.clone());
+        self.latency = Some(tracker);
+    }
+
+    /// Snapshot of every metric, if a registry is attached; empty
+    /// otherwise.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry
+            .as_ref()
+            .map(|r| r.snapshot())
+            .unwrap_or_default()
     }
 
     /// Crashes `server` at the current virtual time: its in-memory state
@@ -208,11 +241,7 @@ impl Simulation {
     /// # Errors
     ///
     /// Propagates [`ServerCore::recover`] errors (corrupt image).
-    pub fn recover(
-        &mut self,
-        server: ServerId,
-        agents: Vec<(u32, Box<dyn Agent>)>,
-    ) -> Result<()> {
+    pub fn recover(&mut self, server: ServerId, agents: Vec<(u32, Box<dyn Agent>)>) -> Result<()> {
         let s = server.as_usize();
         let start = self.busy[s].max(self.now);
         let mut core = ServerCore::recover(
@@ -225,6 +254,11 @@ impl Simulation {
         )?;
         if let Some(rec) = &self.recorder {
             core.set_recorder(rec.clone());
+        }
+        if let (Some(registry), Some(tracker)) = (&self.registry, &self.latency) {
+            let meter = Meter::new(registry).with_label("server", s.to_string());
+            core.attach_meter(&meter);
+            core.set_latency_tracker(tracker.clone());
         }
         self.cores[s] = core;
         self.crashed[s] = false;
@@ -308,7 +342,15 @@ impl Simulation {
     /// time.
     pub fn client_send(&mut self, from: AgentId, to: AgentId, note: Notification) {
         let at = self.now;
-        self.push(at, Event::Client { from, to, note, policy: DeliveryPolicy::Causal });
+        self.push(
+            at,
+            Event::Client {
+                from,
+                to,
+                note,
+                policy: DeliveryPolicy::Causal,
+            },
+        );
     }
 
     /// Schedules an unordered-QoS client send at the current virtual time.
@@ -316,20 +358,27 @@ impl Simulation {
         let at = self.now;
         self.push(
             at,
-            Event::Client { from, to, note, policy: DeliveryPolicy::Unordered },
+            Event::Client {
+                from,
+                to,
+                note,
+                policy: DeliveryPolicy::Unordered,
+            },
         );
     }
 
     /// Schedules a causally ordered client send at an explicit virtual
     /// time.
-    pub fn client_send_at(
-        &mut self,
-        at: VTime,
-        from: AgentId,
-        to: AgentId,
-        note: Notification,
-    ) {
-        self.push(at, Event::Client { from, to, note, policy: DeliveryPolicy::Causal });
+    pub fn client_send_at(&mut self, at: VTime, from: AgentId, to: AgentId, note: Notification) {
+        self.push(
+            at,
+            Event::Client {
+                from,
+                to,
+                note,
+                policy: DeliveryPolicy::Causal,
+            },
+        );
     }
 
     /// Runs the event loop until no event remains, returning the final
@@ -388,11 +437,15 @@ impl Simulation {
                     let out = self.cores[s].on_datagram(from, bytes, start)?;
                     (s, out)
                 }
-                Event::Client { from, to, note, policy } => {
+                Event::Client {
+                    from,
+                    to,
+                    note,
+                    policy,
+                } => {
                     let s = from.server().as_usize();
                     let start = self.busy[s].max(at);
-                    let (_, out) =
-                        self.cores[s].client_send_with(from, to, note, policy, start)?;
+                    let (_, out) = self.cores[s].client_send_with(from, to, note, policy, start)?;
                     (s, out)
                 }
                 Event::Timer { server } => {
@@ -407,6 +460,9 @@ impl Simulation {
             let done = start + self.model.step_cost(&stats);
             self.busy[server] = done;
             self.now = self.now.max(done);
+            if let Some(g) = &self.vtime_gauge {
+                g.set(self.now.as_micros() as i64);
+            }
             if stats.delivered > 0 {
                 self.last_delivery = done;
             }
@@ -490,7 +546,10 @@ mod tests {
             sim.run_until_quiet().unwrap();
             t.push(sim.last_delivery().as_millis_f64());
         }
-        assert!(t[0] < t[1] && t[1] < t[2], "quadratic growth expected: {t:?}");
+        assert!(
+            t[0] < t[1] && t[1] < t[2],
+            "quadratic growth expected: {t:?}"
+        );
         // Superlinear: tripling n should much-more-than-triple the delta.
         let d1 = t[1] - t[0];
         let d2 = t[2] - t[1];
@@ -510,8 +569,7 @@ mod tests {
     #[test]
     fn trace_recording_in_sim() {
         let topo = TopologySpec::bus(2, 3).validate().unwrap();
-        let mut sim =
-            Simulation::new(topo, ServerConfig::default(), CostModel::zero()).unwrap();
+        let mut sim = Simulation::new(topo, ServerConfig::default(), CostModel::zero()).unwrap();
         let recorder = TraceRecorder::new();
         sim.record_into(&recorder);
         for s in 0..6u16 {
@@ -524,9 +582,7 @@ mod tests {
         assert_eq!(trace.message_count(), 2);
         assert!(trace.check_causality().is_ok());
         // Routers did forwarding work.
-        let forwarded: u64 = (0..6)
-            .map(|i| sim.stats(ServerId::new(i)).forwarded)
-            .sum();
+        let forwarded: u64 = (0..6).map(|i| sim.stats(ServerId::new(i)).forwarded).sum();
         assert!(forwarded >= 2);
     }
 
@@ -542,7 +598,10 @@ mod tests {
             topo,
             config,
             CostModel::paper_calibrated(),
-            FaultConfig { drop_probability: 0.25, seed: 11 },
+            FaultConfig {
+                drop_probability: 0.25,
+                seed: 11,
+            },
         )
         .unwrap();
         let recorder = TraceRecorder::new();
@@ -575,7 +634,10 @@ mod tests {
                 topo,
                 config,
                 CostModel::paper_calibrated(),
-                FaultConfig { drop_probability: 0.3, seed: 5 },
+                FaultConfig {
+                    drop_probability: 0.3,
+                    seed: 5,
+                },
             )
             .unwrap();
             for s in 0..3u16 {
@@ -623,7 +685,10 @@ mod tests {
             topo,
             config,
             CostModel::paper_calibrated(),
-            FaultConfig { drop_probability: 0.0, seed: 0 },
+            FaultConfig {
+                drop_probability: 0.0,
+                seed: 0,
+            },
         )
         .unwrap();
         let recorder = TraceRecorder::new();
@@ -663,7 +728,10 @@ mod tests {
             topo,
             ServerConfig::default(),
             CostModel::zero(),
-            FaultConfig { drop_probability: 1.5, seed: 0 },
+            FaultConfig {
+                drop_probability: 1.5,
+                seed: 0
+            },
         )
         .is_err());
     }
@@ -693,5 +761,58 @@ mod tests {
             updates < full * 0.75,
             "updates {updates} ms should beat full {full} ms on a WAN"
         );
+    }
+
+    #[test]
+    fn registry_mirrors_stats_and_tracks_vtime() {
+        let mut sim = sim(3, CostModel::paper_calibrated());
+        let registry = Registry::default();
+        sim.attach_registry(&registry);
+        sim.client_send(aid(0, 9), aid(2, 1), Notification::signal("ping"));
+        sim.run_until_quiet().unwrap();
+
+        let snap = sim.metrics();
+        let total = sim.total_stats();
+        assert_eq!(
+            snap.sum_counter("aaa_channel_delivered_total"),
+            total.delivered
+        );
+        assert_eq!(
+            snap.sum_counter("aaa_channel_transmitted_total"),
+            total.transmitted
+        );
+        assert_eq!(
+            snap.sum_counter("aaa_channel_cell_ops_total"),
+            total.cell_ops
+        );
+        assert_eq!(
+            snap.sum_counter("aaa_channel_stamp_bytes_total"),
+            total.stamp_bytes
+        );
+        // The vtime gauge follows the simulation clock.
+        assert_eq!(
+            snap.gauge("aaa_sim_vtime_us", &[]),
+            Some(sim.now().as_micros() as i64)
+        );
+        // Nothing in flight after quiescence.
+        assert_eq!(snap.sum_gauge("aaa_channel_postponed"), 0);
+        // Delivery latency was measured for the remote hops in virtual time.
+        let hist = snap
+            .histogram("aaa_server_delivery_latency_us", &[("server", "2")])
+            .expect("destination server observed a delivery latency");
+        assert!(hist.count >= 1, "at least the ping was timed");
+        assert!(
+            hist.sum > 0,
+            "virtual latency is non-zero under the paper model"
+        );
+    }
+
+    #[test]
+    fn metrics_without_registry_are_empty() {
+        let mut sim = sim(2, CostModel::zero());
+        sim.client_send(aid(0, 9), aid(1, 1), Notification::signal("x"));
+        sim.run_until_quiet().unwrap();
+        let snap = sim.metrics();
+        assert_eq!(snap.sum_counter("aaa_channel_delivered_total"), 0);
     }
 }

@@ -21,9 +21,7 @@ fn escape_key(key: &str) -> String {
     let mut out = String::with_capacity(key.len());
     for b in key.bytes() {
         match b {
-            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' => {
-                out.push(b as char)
-            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' => out.push(b as char),
             _ => out.push_str(&format!("%{b:02X}")),
         }
     }
@@ -109,8 +107,7 @@ impl StableStore for DirStore {
 
     fn keys(&self) -> Result<Vec<String>> {
         let mut out = Vec::new();
-        let entries =
-            fs::read_dir(&self.dir).map_err(|e| storage_err("list store dir", e))?;
+        let entries = fs::read_dir(&self.dir).map_err(|e| storage_err("list store dir", e))?;
         for entry in entries {
             let entry = entry.map_err(|e| storage_err("read dir entry", e))?;
             let name = entry.file_name();
@@ -176,16 +173,14 @@ impl FileLog {
     fn read_records(&self) -> Result<Vec<Vec<u8>>> {
         let mut buf = Vec::new();
         {
-            let mut file =
-                fs::File::open(&self.path).map_err(|e| storage_err("open log", e))?;
+            let mut file = fs::File::open(&self.path).map_err(|e| storage_err("open log", e))?;
             file.read_to_end(&mut buf)
                 .map_err(|e| storage_err("read log", e))?;
         }
         let mut out = Vec::new();
         let mut i = 0usize;
         while i + 4 <= buf.len() {
-            let len =
-                u32::from_le_bytes([buf[i], buf[i + 1], buf[i + 2], buf[i + 3]]) as usize;
+            let len = u32::from_le_bytes([buf[i], buf[i + 1], buf[i + 2], buf[i + 3]]) as usize;
             if i + 4 + len > buf.len() {
                 break; // torn final record: ignore
             }
@@ -246,10 +241,8 @@ mod tests {
     use super::*;
 
     fn tmp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "aaa-storage-test-{name}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("aaa-storage-test-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -260,7 +253,10 @@ mod tests {
         let store = DirStore::open(&dir).unwrap();
         store.put("matrix/d0", b"hello").unwrap();
         store.put("agent#1", b"state").unwrap();
-        assert_eq!(store.get("matrix/d0").unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(
+            store.get("matrix/d0").unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
         assert_eq!(store.get("nope").unwrap(), None);
         let mut keys = store.keys().unwrap();
         keys.sort();

@@ -109,7 +109,10 @@ mod tests {
         assert_eq!(log.append(b"one").unwrap(), 0);
         assert_eq!(log.append(b"two").unwrap(), 1);
         assert_eq!(log.len().unwrap(), 2);
-        assert_eq!(log.read_all().unwrap(), vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(
+            log.read_all().unwrap(),
+            vec![b"one".to_vec(), b"two".to_vec()]
+        );
     }
 
     #[test]

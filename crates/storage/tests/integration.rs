@@ -61,7 +61,9 @@ fn concurrent_store_access_through_trait_object() {
         let store = store.clone();
         handles.push(std::thread::spawn(move || {
             for i in 0..100 {
-                store.put(&format!("t{t}/k{i}"), &[t as u8, i as u8]).unwrap();
+                store
+                    .put(&format!("t{t}/k{i}"), &[t as u8, i as u8])
+                    .unwrap();
             }
         }));
     }

@@ -205,11 +205,16 @@ mod tests {
     fn linear_fits_paper_figure10_better_than_quadratic() {
         // The paper's Figure 10 series.
         let xs = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 90.0, 120.0, 150.0];
-        let ys = [159.0, 175.0, 185.0, 192.0, 189.0, 205.0, 212.0, 217.0, 218.0];
+        let ys = [
+            159.0, 175.0, 185.0, 192.0, 189.0, 205.0, 212.0, 217.0, 218.0,
+        ];
         let (_, b_lin, rmse_lin) = fit::linear(&xs, &ys);
         let (_, _, rmse_quad) = fit::quadratic(&xs, &ys);
         assert!(rmse_lin < rmse_quad);
-        assert!(b_lin > 0.0 && b_lin < 1.0, "gentle linear slope, got {b_lin}");
+        assert!(
+            b_lin > 0.0 && b_lin < 1.0,
+            "gentle linear slope, got {b_lin}"
+        );
     }
 
     #[test]

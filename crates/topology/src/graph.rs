@@ -109,11 +109,7 @@ impl UnionFind {
 /// With `allow_cycles`, the bipartite cycle check is skipped (used to build
 /// deliberately broken topologies for the Figure 4 counterexample), but
 /// connectivity is still required.
-pub(crate) fn check(
-    spec: &TopologySpec,
-    n: usize,
-    allow_cycles: bool,
-) -> Result<GraphCheck> {
+pub(crate) fn check(spec: &TopologySpec, n: usize, allow_cycles: bool) -> Result<GraphCheck> {
     let m = spec.domain_count();
     let mut inc = Incidence::new(n, m);
     let mut uf = UnionFind::new(n + m);
@@ -190,9 +186,17 @@ mod tests {
     #[test]
     fn figure2_is_acyclic() {
         // 0-based rendition of Figure 2.
-        let s = spec(vec![vec![0, 1, 2], vec![3, 4], vec![6, 7], vec![2, 4, 5, 6]]);
+        let s = spec(vec![
+            vec![0, 1, 2],
+            vec![3, 4],
+            vec![6, 7],
+            vec![2, 4, 5, 6],
+        ]);
         let check = check(&s, 8, false).expect("figure 2 is acyclic");
-        assert_eq!(check.memberships[2], vec![DomainId::new(0), DomainId::new(3)]);
+        assert_eq!(
+            check.memberships[2],
+            vec![DomainId::new(0), DomainId::new(3)]
+        );
         assert_eq!(check.memberships[1], vec![DomainId::new(0)]);
     }
 
@@ -203,7 +207,10 @@ mod tests {
         let err = check(&s, 3, false).unwrap_err();
         match err {
             Error::CyclicDomainGraph { cycle } => {
-                assert!(cycle.len() >= 3, "witness should name the domains: {cycle:?}");
+                assert!(
+                    cycle.len() >= 3,
+                    "witness should name the domains: {cycle:?}"
+                );
             }
             other => panic!("expected cycle error, got {other}"),
         }
@@ -245,7 +252,10 @@ mod tests {
         let s = spec(vec![vec![0, 1, 2], vec![2, 3]]);
         let adj = server_adjacency(&s, 4);
         assert_eq!(adj[0], vec![ServerId::new(1), ServerId::new(2)]);
-        assert_eq!(adj[2], vec![ServerId::new(0), ServerId::new(1), ServerId::new(3)]);
+        assert_eq!(
+            adj[2],
+            vec![ServerId::new(0), ServerId::new(1), ServerId::new(3)]
+        );
         assert_eq!(adj[3], vec![ServerId::new(2)]);
     }
 }

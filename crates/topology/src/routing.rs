@@ -86,7 +86,10 @@ impl RoutingTable {
     /// Propagates any error from [`RoutingTable::build`] (none occur for a
     /// validated topology).
     pub fn build_all(topology: &Topology) -> Result<Vec<RoutingTable>> {
-        topology.servers().map(|s| Self::build(topology, s)).collect()
+        topology
+            .servers()
+            .map(|s| Self::build(topology, s))
+            .collect()
     }
 
     /// The server this table belongs to.
@@ -135,11 +138,7 @@ impl RoutingTable {
 /// `tables`, or [`Error::NoRoute`] if the tables do not converge within
 /// `tables.len()` hops (impossible for tables produced by
 /// [`RoutingTable::build_all`]).
-pub fn trace_route(
-    tables: &[RoutingTable],
-    from: ServerId,
-    to: ServerId,
-) -> Result<Vec<ServerId>> {
+pub fn trace_route(tables: &[RoutingTable], from: ServerId, to: ServerId) -> Result<Vec<ServerId>> {
     if from.as_usize() >= tables.len() {
         return Err(Error::UnknownServer(from));
     }

@@ -72,7 +72,10 @@ impl TopologySpec {
     ///
     /// Panics if `k` or `s` is zero.
     pub fn bus(k: u16, s: u16) -> Self {
-        assert!(k > 0 && s > 0, "bus needs at least one domain and one server");
+        assert!(
+            k > 0 && s > 0,
+            "bus needs at least one domain and one server"
+        );
         let mut domains = Vec::with_capacity(k as usize + 1);
         // Backbone first so it gets DomainId 0, matching Figure 9's D0.
         domains.push((0..k).map(|i| ServerId::new(i * s)).collect());
@@ -94,13 +97,15 @@ impl TopologySpec {
     /// server on each side of the shared router).
     pub fn daisy(k: u16, s: u16) -> Self {
         assert!(k > 0, "daisy needs at least one domain");
-        assert!(k == 1 || s >= 2, "daisy links need domains of at least 2 servers");
+        assert!(
+            k == 1 || s >= 2,
+            "daisy links need domains of at least 2 servers"
+        );
         let mut domains = Vec::with_capacity(k as usize);
         let mut next = 0u16;
         for i in 0..k {
             let start = if i == 0 { 0 } else { next - 1 }; // share last server
-            let members: Vec<ServerId> =
-                (start..start + s).map(ServerId::new).collect();
+            let members: Vec<ServerId> = (start..start + s).map(ServerId::new).collect();
             next = start + s;
             domains.push(members);
         }
@@ -207,10 +212,7 @@ impl TopologySpec {
             let mut members = Vec::new();
             for token in line.split_whitespace() {
                 let id: u16 = token.parse().map_err(|_| {
-                    Error::Config(format!(
-                        "line {}: invalid server id {token:?}",
-                        lineno + 1
-                    ))
+                    Error::Config(format!("line {}: invalid server id {token:?}", lineno + 1))
                 })?;
                 members.push(ServerId::new(id));
             }
@@ -226,8 +228,7 @@ impl TopologySpec {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for members in &self.domains {
-            let ids: Vec<String> =
-                members.iter().map(|s| s.as_u16().to_string()).collect();
+            let ids: Vec<String> = members.iter().map(|s| s.as_u16().to_string()).collect();
             out.push_str(&ids.join(" "));
             out.push('\n');
         }
@@ -246,12 +247,7 @@ impl TopologySpec {
 
     /// Number of distinct servers mentioned in the spec.
     pub fn server_count(&self) -> usize {
-        let mut ids: Vec<u16> = self
-            .domains
-            .iter()
-            .flatten()
-            .map(|s| s.as_u16())
-            .collect();
+        let mut ids: Vec<u16> = self.domains.iter().flatten().map(|s| s.as_u16()).collect();
         ids.sort_unstable();
         ids.dedup();
         ids.len()
@@ -362,9 +358,8 @@ mod tests {
         // Paper §6.2: n = 1 + (s-1)(k^(d+1) - 1)/(k-1).
         for (d, k, s) in [(1u16, 2u16, 3u16), (2, 2, 3), (1, 3, 4), (2, 2, 4)] {
             let spec = TopologySpec::tree(d, k, s);
-            let expected = 1
-                + (s as usize - 1) * ((k as usize).pow(d as u32 + 1) - 1)
-                    / (k as usize - 1);
+            let expected =
+                1 + (s as usize - 1) * ((k as usize).pow(d as u32 + 1) - 1) / (k as usize - 1);
             assert_eq!(
                 spec.server_count(),
                 expected,

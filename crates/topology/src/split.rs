@@ -96,7 +96,10 @@ impl TrafficMatrix {
     pub fn set(&mut self, i: usize, j: usize, rate: f64) {
         assert!(i < self.n && j < self.n, "server index out of range");
         assert_ne!(i, j, "self-traffic never crosses the bus");
-        assert!(rate.is_finite() && rate >= 0.0, "rates must be non-negative");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "rates must be non-negative"
+        );
         self.rates[i * self.n + j] = rate;
     }
 
@@ -142,14 +145,9 @@ impl Default for SplitConfig {
 /// Returns [`Error::Config`] if `max_domain_size < 2` (domains need room
 /// for a member and a router), or validation errors if the resulting spec
 /// is somehow degenerate (not expected).
-pub fn split_by_traffic(
-    traffic: &TrafficMatrix,
-    config: &SplitConfig,
-) -> Result<TopologySpec> {
+pub fn split_by_traffic(traffic: &TrafficMatrix, config: &SplitConfig) -> Result<TopologySpec> {
     if config.max_domain_size < 2 {
-        return Err(Error::Config(
-            "max_domain_size must be at least 2".into(),
-        ));
+        return Err(Error::Config("max_domain_size must be at least 2".into()));
     }
     let n = traffic.len();
     if n == 1 {
@@ -172,7 +170,7 @@ pub fn split_by_traffic(
                     .flat_map(|&i| clusters[b].iter().map(move |&j| (i, j)))
                     .map(|(i, j)| traffic.weight(i, j))
                     .sum();
-                if w > 0.0 && best.map_or(true, |(_, _, bw)| w > bw) {
+                if w > 0.0 && best.is_none_or(|(_, _, bw)| w > bw) {
                     best = Some((a, b, w));
                 }
             }
@@ -213,7 +211,7 @@ pub fn split_by_traffic(
                     continue;
                 }
                 let w = cluster_weight(&clusters[a], &clusters[b]);
-                if best.map_or(true, |(_, _, bw)| w > bw) {
+                if best.is_none_or(|(_, _, bw)| w > bw) {
                     best = Some((a, b, w));
                 }
             }
@@ -276,11 +274,7 @@ impl Default for HopCost {
 /// Returns [`Error::Config`] if the traffic matrix width does not match
 /// the topology, and propagates routing errors (none for validated
 /// topologies).
-pub fn expected_cost(
-    topology: &Topology,
-    traffic: &TrafficMatrix,
-    hop: &HopCost,
-) -> Result<f64> {
+pub fn expected_cost(topology: &Topology, traffic: &TrafficMatrix, hop: &HopCost) -> Result<f64> {
     if traffic.len() != topology.server_count() {
         return Err(Error::Config(format!(
             "traffic matrix covers {} servers, topology has {}",
@@ -354,8 +348,7 @@ mod tests {
     #[test]
     fn split_keeps_communities_together() {
         let t = two_communities();
-        let spec =
-            split_by_traffic(&t, &SplitConfig { max_domain_size: 4 }).expect("splits");
+        let spec = split_by_traffic(&t, &SplitConfig { max_domain_size: 4 }).expect("splits");
         let topo = spec.validate().expect("split result must be acyclic");
         assert_eq!(topo.server_count(), 8);
         // The two communities must land in two (leaf) domains; the router
@@ -391,8 +384,13 @@ mod tests {
                 }
             }
             for max in [2usize, 3, 5, 8] {
-                let spec = split_by_traffic(&t, &SplitConfig { max_domain_size: max })
-                    .expect("split succeeds");
+                let spec = split_by_traffic(
+                    &t,
+                    &SplitConfig {
+                        max_domain_size: max,
+                    },
+                )
+                .expect("split succeeds");
                 let topo = spec.validate().unwrap_or_else(|e| {
                     panic!("n={n} max={max}: split produced invalid topology: {e}")
                 });
@@ -423,13 +421,9 @@ mod tests {
             .validate()
             .unwrap();
         // A deliberately bad split: communities interleaved.
-        let bad = TopologySpec::from_domains(vec![
-            vec![0, 4, 1, 5],
-            vec![1, 2, 6, 3],
-            vec![3, 7],
-        ])
-        .validate()
-        .unwrap();
+        let bad = TopologySpec::from_domains(vec![vec![0, 4, 1, 5], vec![1, 2, 6, 3], vec![3, 7]])
+            .validate()
+            .unwrap();
         let flat = TopologySpec::single_domain(8).validate().unwrap();
         let c_aware = expected_cost(&aware, &t, &hop).unwrap();
         let c_bad = expected_cost(&bad, &t, &hop).unwrap();
@@ -446,7 +440,10 @@ mod tests {
     #[test]
     fn expected_cost_grows_with_domain_size() {
         let t = TrafficMatrix::uniform(16, 1.0);
-        let hop = HopCost { base: 0.0, per_cell: 1.0 };
+        let hop = HopCost {
+            base: 0.0,
+            per_cell: 1.0,
+        };
         let flat = TopologySpec::single_domain(16).validate().unwrap();
         let bus = TopologySpec::bus(4, 4).validate().unwrap();
         let c_flat = expected_cost(&flat, &t, &hop).unwrap();
@@ -470,8 +467,7 @@ mod tests {
 
         // Zero traffic: every server is its own cluster, joined by a tree.
         let spec =
-            split_by_traffic(&TrafficMatrix::new(5), &SplitConfig { max_domain_size: 2 })
-                .unwrap();
+            split_by_traffic(&TrafficMatrix::new(5), &SplitConfig { max_domain_size: 2 }).unwrap();
         let topo = spec.validate().expect("still a valid tree");
         assert_eq!(topo.server_count(), 5);
     }

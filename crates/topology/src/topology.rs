@@ -235,7 +235,11 @@ impl Topology {
         use std::fmt::Write as _;
         let mut out = String::from("graph domains {\n");
         for s in self.servers() {
-            let shape = if self.is_router(s) { "doublecircle" } else { "circle" };
+            let shape = if self.is_router(s) {
+                "doublecircle"
+            } else {
+                "circle"
+            };
             let _ = writeln!(out, "  s{} [label=\"{}\", shape={}];", s.as_u16(), s, shape);
         }
         for d in &self.domains {
@@ -289,7 +293,10 @@ mod tests {
         assert_eq!(t.server_count(), 8);
         assert_eq!(t.domain_count(), 4);
         assert!(t.is_acyclic());
-        assert_eq!(t.routers(), vec![ServerId::new(2), ServerId::new(4), ServerId::new(6)]);
+        assert_eq!(
+            t.routers(),
+            vec![ServerId::new(2), ServerId::new(4), ServerId::new(6)]
+        );
         assert!(!t.is_router(ServerId::new(0)));
     }
 

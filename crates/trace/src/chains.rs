@@ -24,9 +24,11 @@ pub fn is_path(domains: &[Vec<ServerId>], procs: &[ServerId]) -> bool {
     if procs.is_empty() {
         return false;
     }
-    procs
-        .windows(2)
-        .all(|w| domains.iter().any(|d| d.contains(&w[0]) && d.contains(&w[1])))
+    procs.windows(2).all(|w| {
+        domains
+            .iter()
+            .any(|d| d.contains(&w[0]) && d.contains(&w[1]))
+    })
 }
 
 /// Returns `true` if `procs` is a *direct* path: a path with all processes
@@ -68,12 +70,8 @@ pub fn is_cycle(domains: &[Vec<ServerId>], procs: &[ServerId]) -> bool {
         return false;
     }
     let (src, dst) = (procs[0], procs[procs.len() - 1]);
-    let endpoints_share = domains
-        .iter()
-        .any(|d| d.contains(&src) && d.contains(&dst));
-    let some_domain_has_all = domains
-        .iter()
-        .any(|d| procs.iter().all(|p| d.contains(p)));
+    let endpoints_share = domains.iter().any(|d| d.contains(&src) && d.contains(&dst));
+    let some_domain_has_all = domains.iter().any(|d| procs.iter().all(|p| d.contains(p)));
     endpoints_share && !some_domain_has_all
 }
 
@@ -110,20 +108,12 @@ pub fn chain_path(trace: &Trace, msgs: &[MessageId]) -> Option<Vec<ServerId>> {
 }
 
 /// Returns `true` if a chain is *direct* (its associated path is direct).
-pub fn is_direct_chain(
-    trace: &Trace,
-    domains: &[Vec<ServerId>],
-    msgs: &[MessageId],
-) -> bool {
+pub fn is_direct_chain(trace: &Trace, domains: &[Vec<ServerId>], msgs: &[MessageId]) -> bool {
     chain_path(trace, msgs).is_some_and(|p| is_direct_path(domains, &p))
 }
 
 /// Returns `true` if a chain is *minimal* (its associated path is minimal).
-pub fn is_minimal_chain(
-    trace: &Trace,
-    domains: &[Vec<ServerId>],
-    msgs: &[MessageId],
-) -> bool {
+pub fn is_minimal_chain(trace: &Trace, domains: &[Vec<ServerId>], msgs: &[MessageId]) -> bool {
     chain_path(trace, msgs).is_some_and(|p| is_minimal_path(domains, &p))
 }
 
@@ -147,8 +137,7 @@ pub fn chains_do_not_cross(trace: &Trace, chains: &[Vec<MessageId>]) -> bool {
                     let xm = trace.message(x).expect("chain message");
                     // x sent by the relay process, causally after m_i and
                     // before m_{i+1}: a crossover.
-                    if xm.src == hop && trace.precedes(mi, x) && trace.precedes(x, mi1)
-                    {
+                    if xm.src == hop && trace.precedes(mi, x) && trace.precedes(x, mi1) {
                         return false;
                     }
                 }
@@ -466,10 +455,12 @@ mod tests {
         b.send(s(1), s(2), m(1, 1));
         b.receive(s(2), m(1, 1));
         let t = b.build().unwrap();
-        let virt = derive_virtual_trace(&t, &[vec![m(0, 1), m(1, 1)]])
-            .expect("valid virtual trace");
+        let virt =
+            derive_virtual_trace(&t, &[vec![m(0, 1), m(1, 1)]]).expect("valid virtual trace");
         assert_eq!(virt.message_count(), 1);
-        let info = virt.message(m(0, 1)).expect("virtual message keeps head id");
+        let info = virt
+            .message(m(0, 1))
+            .expect("virtual message keeps head id");
         assert_eq!(info.src, s(0));
         assert_eq!(info.dst, s(2));
         assert!(virt.check_causality().is_ok());
@@ -523,8 +514,7 @@ mod tests {
         b.send(s(1), s(2), m(1, 1));
         b.receive(s(2), m(1, 1));
         let t = b.build().unwrap();
-        let singletons: Vec<Vec<MessageId>> =
-            t.messages().iter().map(|i| vec![i.id]).collect();
+        let singletons: Vec<Vec<MessageId>> = t.messages().iter().map(|i| vec![i.id]).collect();
         let virt = derive_virtual_trace(&t, &singletons).expect("identity derivation");
         assert_eq!(virt.message_count(), t.message_count());
         for info in t.messages() {

@@ -149,10 +149,7 @@ pub struct Trace {
 }
 
 impl Trace {
-    fn from_events(
-        events: Vec<Event>,
-        meta: HashMap<MessageId, MessageInfo>,
-    ) -> Result<Trace> {
+    fn from_events(events: Vec<Event>, meta: HashMap<MessageId, MessageInfo>) -> Result<Trace> {
         let bad = |why: String| Err(Error::InvalidTopology(why));
 
         // Dense process index.
@@ -184,15 +181,16 @@ impl Trace {
                         return bad(format!("send of unknown message {msg}"));
                     };
                     if info.src != process {
-                        return bad(format!("{msg} sent by {process}, declared src {}", info.src));
+                        return bad(format!(
+                            "{msg} sent by {process}, declared src {}",
+                            info.src
+                        ));
                     }
                     if sent.insert(msg, true).is_some() {
                         return bad(format!("{msg} sent twice"));
                     }
                     let idx = process_index[&process];
-                    let vc = clocks
-                        .entry(process)
-                        .or_insert_with(|| VectorClock::new(n));
+                    let vc = clocks.entry(process).or_insert_with(|| VectorClock::new(n));
                     vc.tick(idx);
                     send_vc.insert(msg, vc.clone());
                     send_pos.insert(msg, pos);
@@ -215,9 +213,7 @@ impl Trace {
                     }
                     let idx = process_index[&process];
                     let m_vc = send_vc[&msg].clone();
-                    let vc = clocks
-                        .entry(process)
-                        .or_insert_with(|| VectorClock::new(n));
+                    let vc = clocks.entry(process).or_insert_with(|| VectorClock::new(n));
                     vc.merge(&m_vc);
                     vc.tick(idx);
                     recv_pos.insert(msg, pos);
@@ -258,11 +254,8 @@ impl Trace {
 
     /// The processes participating in the trace, in first-appearance order.
     pub fn processes(&self) -> Vec<ServerId> {
-        let mut ps: Vec<(usize, ServerId)> = self
-            .process_index
-            .iter()
-            .map(|(&p, &i)| (i, p))
-            .collect();
+        let mut ps: Vec<(usize, ServerId)> =
+            self.process_index.iter().map(|(&p, &i)| (i, p)).collect();
         ps.sort_unstable();
         ps.into_iter().map(|(_, p)| p).collect()
     }
@@ -291,8 +284,7 @@ impl Trace {
     /// `mᵢ <p mᵢ₊₁` chain condition. Returns `false` when the processes
     /// differ, `earlier` was never received, or `later` was never sent.
     pub fn received_before_sent(&self, earlier: MessageId, later: MessageId) -> bool {
-        let (Some(info_e), Some(info_l)) = (self.message(earlier), self.message(later))
-        else {
+        let (Some(info_e), Some(info_l)) = (self.message(earlier), self.message(later)) else {
             return false;
         };
         if info_e.dst != info_l.src {
@@ -392,8 +384,7 @@ impl Trace {
             .filter(|(id, _)| keep(id))
             .map(|(&id, &info)| (id, info))
             .collect();
-        Trace::from_events(events, meta)
-            .expect("restriction of a well-formed trace is well-formed")
+        Trace::from_events(events, meta).expect("restriction of a well-formed trace is well-formed")
     }
 
     /// Checks causal delivery on the restriction of the trace to one
@@ -407,10 +398,7 @@ impl Trace {
     /// # Errors
     ///
     /// Returns the first [`Violation`] found in the restriction.
-    pub fn check_causality_in(
-        &self,
-        members: &[ServerId],
-    ) -> std::result::Result<(), Violation> {
+    pub fn check_causality_in(&self, members: &[ServerId]) -> std::result::Result<(), Violation> {
         self.restrict(members).check_causality()
     }
 }

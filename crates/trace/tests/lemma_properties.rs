@@ -100,7 +100,7 @@ proptest! {
         let (trace, chain) = relay_trace(n, &hops, &[]);
         let path = chains::chain_path(&trace, &chain).expect("path");
         prop_assume!(path[0] != *path.last().expect("non-empty"));
-        let virt = chains::derive_virtual_trace(&trace, &[chain.clone()])
+        let virt = chains::derive_virtual_trace(&trace, std::slice::from_ref(&chain))
             .expect("single chain never crosses itself");
         prop_assert_eq!(virt.message_count(), 1);
         prop_assert!(virt.check_causality().is_ok());

@@ -79,8 +79,7 @@ fn figure4_longer_cycles() {
     for len in 2u16..6 {
         // Processes p=0, relays 1..len, q=len.
         // Domains: {0,1}, {1,2}, ..., {len-1,len}, {len,0}: a cycle.
-        let mut domains: Vec<Vec<ServerId>> =
-            (0..len).map(|i| vec![s(i), s(i + 1)]).collect();
+        let mut domains: Vec<Vec<ServerId>> = (0..len).map(|i| vec![s(i), s(i + 1)]).collect();
         domains.push(vec![s(len), s(0)]);
         let path: Vec<ServerId> = (0..=len).map(s).collect();
         assert!(chains::is_cycle(&domains, &path), "len={len}");

@@ -42,7 +42,9 @@ impl Replica {
                 });
             entry.1 = true;
         }
-        self.log.lock().push(format!("{} applied {edit}", self.name));
+        self.log
+            .lock()
+            .push(format!("{} applied {edit}", self.name));
     }
 }
 
@@ -69,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         agents.push(mom.register_agent(
             server,
             1,
-            Box::new(Replica { name, items: Vec::new(), log: log.clone() }),
+            Box::new(Replica {
+                name,
+                items: Vec::new(),
+                log: log.clone(),
+            }),
         )?);
     }
     let broadcast = |from: AgentId, edit: &str| -> Result<(), aaa_middleware::base::Error> {

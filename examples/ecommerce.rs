@@ -95,9 +95,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A customer places five orders.
     let customer = AgentId::new(storefront_server, 99);
     for i in 0..5 {
-        mom.send(customer, storefront, Notification::new("place", format!("order-{i}")))?;
+        mom.send(
+            customer,
+            storefront,
+            Notification::new("place", format!("order-{i}")),
+        )?;
     }
-    assert!(mom.quiesce(Duration::from_secs(10)), "pipeline should drain");
+    assert!(
+        mom.quiesce(Duration::from_secs(10)),
+        "pipeline should drain"
+    );
 
     let log = audit_log.lock();
     println!("audit log ({} entries):", log.len());

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let counter = mom.register_agent(
         counter_server,
         1,
-        Box::new(Counter { observed: observed.clone(), count: 0 }),
+        Box::new(Counter {
+            observed: observed.clone(),
+            count: 0,
+        }),
     )?;
     let client = AgentId::new(ServerId::new(0), 9);
 
@@ -74,7 +77,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // state).
     mom.recover(
         counter_server,
-        vec![(1, Box::new(Counter { observed: observed.clone(), count: 0 }) as Box<dyn Agent>)],
+        vec![(
+            1,
+            Box::new(Counter {
+                observed: observed.clone(),
+                count: 0,
+            }) as Box<dyn Agent>,
+        )],
     )?;
     println!("server {counter_server} recovered from its journal");
 
@@ -87,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("counter history: {seen:?}");
     // Exactly-once despite the crash: 6 ticks total, no gap, no repeat.
     assert_eq!(seen.last(), Some(&6));
-    assert!(seen.windows(2).all(|w| w[1] == w[0] + 1), "no gaps or duplicates");
+    assert!(
+        seen.windows(2).all(|w| w[1] == w[0] + 1),
+        "no gaps or duplicates"
+    );
     assert!(mom.trace()?.check_causality().is_ok());
     println!("exactly-once delivery and causal order preserved across the crash");
     mom.shutdown();

@@ -21,9 +21,9 @@ use parking_lot::Mutex;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Agency domain {0,1}; two regional domains joined by routers 1 and 3.
     let spec = TopologySpec::from_domains(vec![
-        vec![0, 1],       // agency
-        vec![1, 2, 3],    // region A (1 is the agency's router)
-        vec![3, 4, 5],    // region B
+        vec![0, 1],    // agency
+        vec![1, 2, 3], // region A (1 is the agency's router)
+        vec![3, 4, 5], // region B
     ]);
     let mom = MomBuilder::new(spec).build()?;
 
@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ServerId::new(s),
             1,
             Box::new(FnAgent::new(move |_ctx, _from, note| {
-                logs.lock().push((s, format!("{}: {}", note.kind(), note.body_str().unwrap_or(""))));
+                logs.lock().push((
+                    s,
+                    format!("{}: {}", note.kind(), note.body_str().unwrap_or("")),
+                ));
             })),
         )?;
         mom.send(room, wire, subscription())?;
@@ -50,8 +53,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The editor publishes a story, then a correction.
     let editor = AgentId::new(ServerId::new(0), 50);
-    mom.send(editor, wire, publication("story", "markets rally on chip news".as_bytes().to_vec()))?;
-    mom.send(editor, wire, publication("correction", "rally was 2%, not 20%".as_bytes().to_vec()))?;
+    mom.send(
+        editor,
+        wire,
+        publication("story", "markets rally on chip news".as_bytes().to_vec()),
+    )?;
+    mom.send(
+        editor,
+        wire,
+        publication("correction", "rally was 2%, not 20%".as_bytes().to_vec()),
+    )?;
     assert!(mom.quiesce(Duration::from_secs(10)));
 
     let log = logs.lock().clone();

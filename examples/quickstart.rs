@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "trace: {} end-to-end messages, causal order: {}",
         trace.message_count(),
-        if trace.check_causality().is_ok() { "OK" } else { "VIOLATED" }
+        if trace.check_causality().is_ok() {
+            "OK"
+        } else {
+            "VIOLATED"
+        }
     );
     assert!(trace.check_causality().is_ok());
 

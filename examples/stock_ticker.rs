@@ -21,15 +21,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Domain 1: the exchange {0,1,2}; domains 2 and 3: two brokerage
     // regions; domain 0: the backbone joining the three routers 2, 3, 6.
     let spec = TopologySpec::from_domains(vec![
-        vec![2, 3, 6],       // backbone
-        vec![0, 1, 2],       // exchange
-        vec![3, 4, 5],       // region east
-        vec![6, 7, 8],       // region west
+        vec![2, 3, 6], // backbone
+        vec![0, 1, 2], // exchange
+        vec![3, 4, 5], // region east
+        vec![6, 7, 8], // region west
     ]);
     let mom = MomBuilder::new(spec).build()?;
     println!(
         "routers: {:?}",
-        mom.topology().routers().iter().map(|r| r.to_string()).collect::<Vec<_>>()
+        mom.topology()
+            .routers()
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
     );
 
     // Broker desks: every region server runs a feed consumer that refuses
@@ -43,7 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             server,
             1,
             Box::new(FnAgent::new(move |_ctx, _from, note| {
-                feeds.lock().push((server, note.body_str().unwrap_or("").to_owned()));
+                feeds
+                    .lock()
+                    .push((server, note.body_str().unwrap_or("").to_owned()));
             })),
         )?);
     }
@@ -74,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         println!("desk S{s}: {desk_feed:?}");
         assert_eq!(desk_feed.len(), 4);
-        assert_eq!(desk_feed[3], "HALT ACME", "halt must arrive after its quotes");
+        assert_eq!(
+            desk_feed[3], "HALT ACME",
+            "halt must arrive after its quotes"
+        );
     }
 
     // And the global trace is causally consistent.

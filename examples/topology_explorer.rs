@@ -12,7 +12,11 @@ use aaa_middleware::topology::{trace_route, RoutingTable, Topology, TopologySpec
 
 fn explore(name: &str, topo: &Topology) -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== {name} ===");
-    println!("servers: {}, domains: {}", topo.server_count(), topo.domain_count());
+    println!(
+        "servers: {}, domains: {}",
+        topo.server_count(),
+        topo.domain_count()
+    );
     for d in topo.domains() {
         let members: Vec<String> = d.members().iter().map(|s| s.to_string()).collect();
         println!("  {}: {{{}}}", d.id(), members.join(", "));
@@ -49,17 +53,23 @@ fn explore(name: &str, topo: &Topology) -> Result<(), Box<dyn std::error::Error>
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    explore("Figure 2 (paper's example)", &TopologySpec::from_domains(vec![
-        vec![0, 1, 2],
-        vec![3, 4],
-        vec![6, 7],
-        vec![2, 4, 5, 6],
-    ])
-    .validate()?)?;
+    explore(
+        "Figure 2 (paper's example)",
+        &TopologySpec::from_domains(vec![
+            vec![0, 1, 2],
+            vec![3, 4],
+            vec![6, 7],
+            vec![2, 4, 5, 6],
+        ])
+        .validate()?,
+    )?;
 
     explore("Bus 4 x 4", &TopologySpec::bus(4, 4).validate()?)?;
     explore("Daisy 4 x 4", &TopologySpec::daisy(4, 4).validate()?)?;
-    explore("Tree depth 2, fanout 2, s = 4", &TopologySpec::tree(2, 2, 4).validate()?)?;
+    explore(
+        "Tree depth 2, fanout 2, s = 4",
+        &TopologySpec::tree(2, 2, 4).validate()?,
+    )?;
 
     // The theorem's precondition is enforced: cyclic decompositions are
     // rejected with a witness.

@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 log.push(format!(
                     "{} {job}",
-                    if note.kind() == "done" { "completed" } else { "submitted" }
+                    if note.kind() == "done" {
+                        "completed"
+                    } else {
+                        "submitted"
+                    }
                 ));
             }
         })),
@@ -69,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dispatcher = AgentId::new(ServerId::new(0), 9);
     for i in 0..6 {
         let job = format!("job-{i}");
-        mom.send(dispatcher, collector, Notification::new("submitted", job.clone()))?;
+        mom.send(
+            dispatcher,
+            collector,
+            Notification::new("submitted", job.clone()),
+        )?;
         mom.send(dispatcher, queue, publication("job", job))?;
     }
     assert!(mom.quiesce(Duration::from_secs(10)));

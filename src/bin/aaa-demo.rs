@@ -40,7 +40,7 @@ fn spec_for(kind: &str, n: u16) -> TopologySpec {
             let k = ((n + 1) / (s - 1)).max(1);
             TopologySpec::daisy(k, s)
         }
-        "tree" => TopologySpec::tree(2, 2, ((n / 7).max(2)).min(6)),
+        "tree" => TopologySpec::tree(2, 2, (n / 7).clamp(2, 6)),
         "figure2" => TopologySpec::from_domains(vec![
             vec![0, 1, 2],
             vec![3, 4],
@@ -68,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topo = mom.topology();
     let count = topo.server_count() as u16;
 
-    println!("topology: {kind} with {count} servers, {} domains", topo.domain_count());
+    println!(
+        "topology: {kind} with {count} servers, {} domains",
+        topo.domain_count()
+    );
     for d in topo.domains() {
         let members: Vec<String> = d.members().iter().map(ToString::to_string).collect();
         println!("  {}: {{{}}}", d.id(), members.join(", "));

@@ -15,6 +15,8 @@
 //! - [`trace`] — the paper's formal trace model (§4.2) and causality
 //!   checkers;
 //! - [`net`] — wire codec and the in-memory reliable link substrate;
+//! - [`obs`] — the observability layer: lock-free metrics registry,
+//!   Prometheus/JSON exposition and the delivery-latency tracker;
 //! - [`storage`] — stable storage and the recovery journal;
 //! - [`mom`] — the message-oriented middleware itself: agent servers,
 //!   engine, channel, causal router-servers;
@@ -40,7 +42,43 @@ pub use aaa_base as base;
 pub use aaa_clocks as clocks;
 pub use aaa_mom as mom;
 pub use aaa_net as net;
+pub use aaa_obs as obs;
 pub use aaa_sim as sim;
 pub use aaa_storage as storage;
 pub use aaa_topology as topology;
 pub use aaa_trace as trace;
+
+/// One-stop imports for building and observing an AAA bus.
+///
+/// Pulls together the handles a typical embedder needs — the builder and
+/// bus, the agent traits, topology construction, the unified send options,
+/// and the metrics/stats surface — so applications can start with
+///
+/// ```
+/// use aaa_middleware::prelude::*;
+///
+/// # fn main() -> Result<()> { // `Result` here is the re-exported aaa_base::Result
+/// let mut mom = MomBuilder::new(TopologySpec::single_domain(2)).build()?;
+/// mom.register_agent(ServerId::new(0), 1, Box::new(EchoAgent))?;
+/// let snapshot: MetricsSnapshot = mom.metrics();
+/// assert_eq!(snapshot.sum_counter("aaa_channel_delivered_total"), 0);
+/// mom.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use aaa_base::{
+        Absorb, AgentId, DomainId, Error, MessageId, Result, ServerId, VDuration, VTime,
+    };
+    pub use aaa_clocks::StampMode;
+    pub use aaa_mom::{
+        Agent, AgentMessage, DeliveryPolicy, EchoAgent, FnAgent, Mom, MomBuilder, Notification,
+        ReactionContext, SendOptions, ServerConfig, StepStats,
+    };
+    pub use aaa_obs::{
+        Counter, Gauge, Histogram, LatencyTracker, Meter, MetricsServer, MetricsSnapshot, Registry,
+    };
+    pub use aaa_sim::{CostModel, Simulation};
+    pub use aaa_topology::{Topology, TopologySpec};
+    pub use aaa_trace::TraceRecorder;
+}

@@ -1,0 +1,234 @@
+//! Cross-crate observability: the metrics registry must agree with the
+//! formal trace model, with the legacy `StepStats` view, and with the
+//! paper's headline scalability claims (Figures 7/8 vs the domain
+//! decomposition) — all read through the public `Mom::metrics()` /
+//! `Simulation::metrics()` surface.
+
+mod common;
+
+use std::time::Duration;
+
+use aaa_middleware::prelude::*;
+use aaa_middleware::sim::FaultConfig;
+
+fn aid(s: u16, l: u32) -> AgentId {
+    AgentId::new(ServerId::new(s), l)
+}
+
+/// The sum over servers of delivered messages in the registry equals the
+/// trace length, and the `StepStats` view agrees with the registry it is
+/// derived from.
+#[test]
+fn delivered_counters_sum_to_trace_length() {
+    let spec = common::random_acyclic_spec(3, 3, 2, 4);
+    let n = spec.server_count() as u16;
+    let mom = MomBuilder::new(spec).build().unwrap();
+    for s in 0..n {
+        mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent))
+            .unwrap();
+    }
+    for (from, to) in common::random_pairs(11, n, 30) {
+        mom.send(aid(from, 77), aid(to, 1), Notification::signal("m"))
+            .unwrap();
+    }
+    assert!(mom.quiesce(Duration::from_secs(30)));
+
+    let trace = mom.trace().unwrap();
+    let snap = mom.metrics();
+    assert_eq!(
+        snap.sum_counter("aaa_channel_delivered_total"),
+        trace.message_count() as u64,
+        "registry and trace disagree on end-to-end deliveries"
+    );
+    // The legacy per-server stats are a view over the same registry.
+    let mut total = StepStats::default();
+    for s in 0..n {
+        total.absorb(mom.stats(ServerId::new(s)).unwrap());
+    }
+    assert_eq!(total.delivered, trace.message_count() as u64);
+    assert_eq!(
+        total.stamp_bytes,
+        snap.sum_counter("aaa_channel_stamp_bytes_total")
+    );
+    mom.shutdown();
+}
+
+/// After quiescence nothing may remain postponed: the gauge that tracked
+/// causally-blocked messages must be back at zero on every server, in both
+/// runtimes — including under message loss, where postponement actually
+/// fires.
+#[test]
+fn postponed_gauge_returns_to_zero_after_quiesce() {
+    // Threaded runtime.
+    let mom = MomBuilder::new(TopologySpec::single_domain(4))
+        .build()
+        .unwrap();
+    for s in 0..4 {
+        mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent))
+            .unwrap();
+    }
+    for (from, to) in common::random_pairs(7, 4, 20) {
+        mom.send(aid(from, 9), aid(to, 1), Notification::signal("x"))
+            .unwrap();
+    }
+    assert!(mom.quiesce(Duration::from_secs(30)));
+    assert_eq!(mom.metrics().sum_gauge("aaa_channel_postponed"), 0);
+    mom.shutdown();
+
+    // Simulator under 25 % loss: retransmissions reorder traffic enough to
+    // exercise the postponement path deterministically.
+    let topo = TopologySpec::single_domain(4).validate().unwrap();
+    let config = ServerConfig {
+        rto: VDuration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let mut sim = aaa_middleware::sim::Simulation::with_faults(
+        topo,
+        config,
+        CostModel::paper_calibrated(),
+        FaultConfig {
+            drop_probability: 0.25,
+            seed: 11,
+        },
+    )
+    .unwrap();
+    let registry = Registry::default();
+    sim.attach_registry(&registry);
+    for s in 0..4u16 {
+        sim.register_agent(ServerId::new(s), 1, Box::new(EchoAgent));
+    }
+    for (from, to) in common::random_pairs(13, 4, 20) {
+        sim.client_send(aid(from, 9), aid(to, 1), Notification::signal("x"));
+    }
+    sim.run_until_quiet().unwrap();
+    assert!(sim.dropped_datagrams() > 0, "faults should actually fire");
+    let snap = sim.metrics();
+    assert_eq!(snap.sum_gauge("aaa_channel_postponed"), 0);
+    // Every loss shows up as a link retransmission somewhere.
+    assert!(snap.sum_counter("aaa_server_retransmissions_total") > 0);
+}
+
+/// Golden-file check of the Prometheus text exposition: a hand-built
+/// registry with one family of each kind must render byte-for-byte as
+/// `tests/golden/metrics.prom`. Regenerate with
+/// `UPDATE_GOLDEN=1 cargo test --test observability`.
+#[test]
+fn prometheus_rendering_matches_golden_file() {
+    let registry = Registry::default();
+    let m0 = Meter::new(&registry).with_label("server", "0");
+    let m1 = Meter::new(&registry).with_label("server", "1");
+
+    let c0 = m0.counter(
+        "aaa_channel_delivered_total",
+        "Messages delivered to local agents",
+    );
+    let c1 = m1.counter(
+        "aaa_channel_delivered_total",
+        "Messages delivered to local agents",
+    );
+    c0.add(3);
+    c1.add(4);
+    m0.counter_with(
+        "aaa_net_tx_frames_total",
+        "Frames sent, by destination peer",
+        &[("peer", "1".to_string())],
+    )
+    .add(7);
+    let g = m0.gauge("aaa_channel_postponed", "Messages currently postponed");
+    g.add(2);
+    g.add(-2);
+    let h = m0.histogram(
+        "aaa_server_delivery_latency_us",
+        "Send-to-delivery latency, microseconds",
+        &[100, 1_000, 10_000],
+    );
+    h.observe(40);
+    h.observe(900);
+    h.observe(2_000_000);
+
+    let rendered = registry.snapshot().render_prometheus();
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).unwrap();
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing; run UPDATE_GOLDEN=1 cargo test --test observability");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus exposition drifted from tests/golden/metrics.prom \
+         (set UPDATE_GOLDEN=1 to regenerate intentionally)"
+    );
+}
+
+/// Stamp bytes for one round trip, read off the registry of a fresh bus.
+fn round_trip_stamp_bytes(spec: TopologySpec, from: u16, to: u16) -> u64 {
+    let n = spec.server_count() as u16;
+    let mom = MomBuilder::new(spec)
+        .stamp_mode(StampMode::Full)
+        .record_trace(false)
+        .build()
+        .unwrap();
+    for s in 0..n {
+        mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent))
+            .unwrap();
+    }
+    mom.send(aid(from, 9), aid(to, 1), Notification::signal("ping"))
+        .unwrap();
+    assert!(mom.quiesce(Duration::from_secs(30)));
+    let bytes = mom.metrics().sum_counter("aaa_channel_stamp_bytes_total");
+    mom.shutdown();
+    bytes
+}
+
+/// The paper's Figures 7/8 claim, read from the metrics API: without
+/// domains the wire cost of causal ordering grows quadratically with the
+/// number of servers, while with small fixed-size domains (the bus of
+/// Figure 9/10) doubling the system leaves the per-message stamp cost
+/// nearly flat.
+#[test]
+fn stamp_cost_quadratic_without_domains_flat_with() {
+    // Single domain, 6 → 12 servers: matrix stamps are n × n, so one round
+    // trip carries ~4× the stamp bytes.
+    let single_small = round_trip_stamp_bytes(TopologySpec::single_domain(6), 0, 5);
+    let single_big = round_trip_stamp_bytes(TopologySpec::single_domain(12), 0, 11);
+    let single_ratio = single_big as f64 / single_small as f64;
+    assert!(
+        single_ratio > 3.0,
+        "single-domain stamp bytes should grow ~quadratically: \
+         {single_small} → {single_big} ({single_ratio:.2}×)"
+    );
+
+    // Bus of 3-server domains, 2 → 4 leaves (6 → 12 servers), cross-domain
+    // round trip between the first and the last leaf: stamps are sized by
+    // the domains crossed, not by the whole system.
+    let bus_small = round_trip_stamp_bytes(TopologySpec::bus(2, 3), 1, 5);
+    let bus_big = round_trip_stamp_bytes(TopologySpec::bus(4, 3), 1, 11);
+    let bus_ratio = bus_big as f64 / bus_small as f64;
+    assert!(
+        bus_ratio < 2.5,
+        "small-domain stamp bytes should stay nearly flat: \
+         {bus_small} → {bus_big} ({bus_ratio:.2}×)"
+    );
+    assert!(
+        single_ratio > bus_ratio,
+        "domains must beat the flat organization: {single_ratio:.2}× vs {bus_ratio:.2}×"
+    );
+}
+
+/// The JSON exposition carries the same totals as the typed snapshot.
+#[test]
+fn json_exposition_matches_snapshot() {
+    let mom = MomBuilder::new(TopologySpec::single_domain(2))
+        .build()
+        .unwrap();
+    mom.register_agent(ServerId::new(1), 1, Box::new(EchoAgent))
+        .unwrap();
+    mom.send(aid(0, 9), aid(1, 1), Notification::signal("hi"))
+        .unwrap();
+    assert!(mom.quiesce(Duration::from_secs(30)));
+    let snap = mom.metrics();
+    let json = snap.render_json();
+    assert!(json.contains("\"aaa_channel_delivered_total\""));
+    assert!(snap.sum_counter("aaa_channel_delivered_total") >= 2);
+    mom.shutdown();
+}

@@ -21,7 +21,10 @@ struct Collector {
 
 impl Collector {
     fn boxed(seen: Arc<Mutex<Vec<String>>>) -> Box<dyn Agent> {
-        Box::new(Collector { seen, mine: Vec::new() })
+        Box::new(Collector {
+            seen,
+            mine: Vec::new(),
+        })
     }
 }
 
@@ -55,7 +58,8 @@ fn repeated_crashes_of_destination_server() {
         .build()
         .unwrap();
     let dest = ServerId::new(1);
-    mom.register_agent(dest, 1, Collector::boxed(seen.clone())).unwrap();
+    mom.register_agent(dest, 1, Collector::boxed(seen.clone()))
+        .unwrap();
 
     let mut expected = Vec::new();
     for cycle in 0..4 {
@@ -64,14 +68,16 @@ fn repeated_crashes_of_destination_server() {
         for phase in 0..3 {
             let body = format!("c{cycle}p{phase}");
             expected.push(body.clone());
-            mom.send(aid(0, 9), aid(1, 1), Notification::new("m", body)).unwrap();
+            mom.send(aid(0, 9), aid(1, 1), Notification::new("m", body))
+                .unwrap();
             if phase == 0 {
                 assert!(mom.quiesce(Duration::from_secs(10)));
                 mom.crash(dest).unwrap();
             }
             if phase == 1 {
                 std::thread::sleep(Duration::from_millis(30));
-                mom.recover(dest, vec![(1, Collector::boxed(seen.clone()))]).unwrap();
+                mom.recover(dest, vec![(1, Collector::boxed(seen.clone()))])
+                    .unwrap();
             }
         }
         assert!(
@@ -81,7 +87,10 @@ fn repeated_crashes_of_destination_server() {
     }
 
     let seen = seen.lock().clone();
-    assert_eq!(seen, expected, "exactly-once, in-order delivery across crashes");
+    assert_eq!(
+        seen, expected,
+        "exactly-once, in-order delivery across crashes"
+    );
     assert!(mom.trace().unwrap().check_causality().is_ok());
     mom.shutdown();
 }
@@ -95,25 +104,36 @@ fn router_crash_heals_cross_domain_route() {
     let mom = MomBuilder::new(spec).persistence(true).build().unwrap();
     let router = ServerId::new(2);
     assert!(mom.topology().is_router(router));
-    mom.register_agent(ServerId::new(4), 1, Collector::boxed(seen.clone())).unwrap();
+    mom.register_agent(ServerId::new(4), 1, Collector::boxed(seen.clone()))
+        .unwrap();
 
     // Phase 1: normal cross-domain delivery.
-    mom.send(aid(0, 9), aid(4, 1), Notification::new("m", "before")).unwrap();
+    mom.send(aid(0, 9), aid(4, 1), Notification::new("m", "before"))
+        .unwrap();
     assert!(mom.quiesce(Duration::from_secs(10)));
 
     // Phase 2: crash the router; messages queue at the source.
     mom.crash(router).unwrap();
     for i in 0..3 {
-        mom.send(aid(0, 9), aid(4, 1), Notification::new("m", format!("during-{i}")))
-            .unwrap();
+        mom.send(
+            aid(0, 9),
+            aid(4, 1),
+            Notification::new("m", format!("during-{i}")),
+        )
+        .unwrap();
     }
     std::thread::sleep(Duration::from_millis(50));
-    assert_eq!(seen.lock().len(), 1, "router down: nothing should get through");
+    assert_eq!(
+        seen.lock().len(),
+        1,
+        "router down: nothing should get through"
+    );
 
     // Phase 3: recover the router (it has no agents of its own).
     mom.recover(router, Vec::new()).unwrap();
     assert!(mom.quiesce(Duration::from_secs(20)), "route should heal");
-    mom.send(aid(0, 9), aid(4, 1), Notification::new("m", "after")).unwrap();
+    mom.send(aid(0, 9), aid(4, 1), Notification::new("m", "after"))
+        .unwrap();
     assert!(mom.quiesce(Duration::from_secs(10)));
 
     let seen = seen.lock().clone();
@@ -137,10 +157,12 @@ fn source_crash_preserves_queued_outbound() {
         .build()
         .unwrap();
     let source = ServerId::new(0);
-    mom.register_agent(ServerId::new(1), 1, Collector::boxed(seen.clone())).unwrap();
+    mom.register_agent(ServerId::new(1), 1, Collector::boxed(seen.clone()))
+        .unwrap();
 
     for i in 0..5 {
-        mom.send(aid(0, 9), aid(1, 1), Notification::new("m", format!("{i}"))).unwrap();
+        mom.send(aid(0, 9), aid(1, 1), Notification::new("m", format!("{i}")))
+            .unwrap();
     }
     // Crash immediately: some frames may be unacked.
     mom.crash(source).unwrap();
@@ -149,21 +171,24 @@ fn source_crash_preserves_queued_outbound() {
     assert!(mom.quiesce(Duration::from_secs(20)));
 
     let seen = seen.lock().clone();
-    assert_eq!(seen, vec!["0", "1", "2", "3", "4"], "journaled sends survive");
+    assert_eq!(
+        seen,
+        vec!["0", "1", "2", "3", "4"],
+        "journaled sends survive"
+    );
     mom.shutdown();
 }
 
 #[test]
 fn dead_letters_are_counted_not_fatal() {
-    let mom = MomBuilder::new(TopologySpec::single_domain(2)).build().unwrap();
+    let mom = MomBuilder::new(TopologySpec::single_domain(2))
+        .build()
+        .unwrap();
     // No agent registered at the destination.
-    mom.send(aid(0, 9), aid(1, 42), Notification::signal("void")).unwrap();
+    mom.send(aid(0, 9), aid(1, 42), Notification::signal("void"))
+        .unwrap();
     assert!(mom.quiesce(Duration::from_secs(5)));
     // The message was delivered (then dropped by the engine); nothing hangs.
-    let _ = mom.register_agent(
-        ServerId::new(1),
-        1,
-        Box::new(FnAgent::new(|_, _, _| {})),
-    );
+    let _ = mom.register_agent(ServerId::new(1), 1, Box::new(FnAgent::new(|_, _, _| {})));
     mom.shutdown();
 }

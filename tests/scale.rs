@@ -24,7 +24,8 @@ fn threaded_bus_with_30_servers_and_600_messages() {
     let n = mom.topology().server_count() as u16;
     assert_eq!(n, 30);
     for s in 0..n {
-        mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent)).unwrap();
+        mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent))
+            .unwrap();
     }
     let mut rng = StdRng::seed_from_u64(2026);
     for _ in 0..300 {
@@ -33,9 +34,13 @@ fn threaded_bus_with_30_servers_and_600_messages() {
         if to == from {
             to = (to + 1) % n;
         }
-        mom.send(aid(from, 9), aid(to, 1), Notification::signal("s")).unwrap();
+        mom.send(aid(from, 9), aid(to, 1), Notification::signal("s"))
+            .unwrap();
     }
-    assert!(mom.quiesce(Duration::from_secs(60)), "30-server bus must drain");
+    assert!(
+        mom.quiesce(Duration::from_secs(60)),
+        "30-server bus must drain"
+    );
     let trace = mom.trace().unwrap();
     assert_eq!(trace.message_count(), 600);
     assert!(trace.check_causality().is_ok());
@@ -50,7 +55,10 @@ fn simulated_150_servers_cross_domain() {
     let topo = spec.validate().unwrap();
     let mut sim = Simulation::new(
         topo,
-        ServerConfig { stamp_mode: StampMode::Updates, ..ServerConfig::default() },
+        ServerConfig {
+            stamp_mode: StampMode::Updates,
+            ..ServerConfig::default()
+        },
         CostModel::paper_calibrated(),
     )
     .unwrap();

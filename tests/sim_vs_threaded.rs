@@ -22,7 +22,10 @@ fn run_sim(seed: u64) -> (usize, bool) {
     let topo = spec.validate().unwrap();
     let mut sim = Simulation::new(
         topo,
-        ServerConfig { stamp_mode: StampMode::Updates, ..ServerConfig::default() },
+        ServerConfig {
+            stamp_mode: StampMode::Updates,
+            ..ServerConfig::default()
+        },
         CostModel::paper_calibrated(),
     )
     .unwrap();
@@ -44,10 +47,12 @@ fn run_threaded(seed: u64) -> (usize, bool) {
     let n = spec.server_count() as u16;
     let mom = MomBuilder::new(spec).build().unwrap();
     for s in 0..n {
-        mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent)).unwrap();
+        mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent))
+            .unwrap();
     }
     for (from, to) in common::random_pairs(seed + 5, n, 40) {
-        mom.send(aid(from, 77), aid(to, 1), Notification::signal("m")).unwrap();
+        mom.send(aid(from, 77), aid(to, 1), Notification::signal("m"))
+            .unwrap();
     }
     assert!(mom.quiesce(Duration::from_secs(30)));
     let trace = mom.trace().unwrap();
@@ -74,12 +79,8 @@ fn simulator_is_fully_deterministic() {
         let spec = common::random_acyclic_spec(9, 4, 2, 3);
         let n = spec.server_count() as u16;
         let topo = spec.validate().unwrap();
-        let mut sim = Simulation::new(
-            topo,
-            ServerConfig::default(),
-            CostModel::paper_calibrated(),
-        )
-        .unwrap();
+        let mut sim =
+            Simulation::new(topo, ServerConfig::default(), CostModel::paper_calibrated()).unwrap();
         for s in 0..n {
             sim.register_agent(ServerId::new(s), 1, Box::new(EchoAgent));
         }

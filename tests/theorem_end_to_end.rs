@@ -20,7 +20,10 @@ fn aid(s: u16, l: u32) -> AgentId {
 fn run_random_topology(seed: u64, mode: StampMode) {
     let spec = common::random_acyclic_spec(seed, 4, 2, 4);
     let n = spec.server_count() as u16;
-    let mom = MomBuilder::new(spec).stamp_mode(mode).build().expect("valid topology");
+    let mom = MomBuilder::new(spec)
+        .stamp_mode(mode)
+        .build()
+        .expect("valid topology");
     for s in 0..n {
         mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent))
             .expect("registration succeeds");
@@ -30,7 +33,10 @@ fn run_random_topology(seed: u64, mode: StampMode) {
         mom.send(aid(from, 77), aid(to, 1), Notification::signal("m"))
             .expect("send accepted");
     }
-    assert!(mom.quiesce(Duration::from_secs(30)), "seed {seed}: no quiescence");
+    assert!(
+        mom.quiesce(Duration::from_secs(30)),
+        "seed {seed}: no quiescence"
+    );
     let trace = mom.trace().expect("trace well-formed");
     assert_eq!(trace.message_count(), 120, "seed {seed}: sends + echoes");
     assert!(
@@ -70,13 +76,15 @@ fn theorem_holds_on_deep_daisy() {
     let mom = MomBuilder::new(TopologySpec::daisy(6, 3)).build().unwrap();
     let n = mom.topology().server_count() as u16;
     for s in 0..n {
-        mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent)).unwrap();
+        mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent))
+            .unwrap();
     }
     let last = n - 1;
     for i in 0..20 {
         // Alternate ends and middle to exercise long and short routes.
         let to = if i % 2 == 0 { last } else { n / 2 };
-        mom.send(aid(0, 9), aid(to, 1), Notification::signal("m")).unwrap();
+        mom.send(aid(0, 9), aid(to, 1), Notification::signal("m"))
+            .unwrap();
     }
     assert!(mom.quiesce(Duration::from_secs(30)));
     let trace = mom.trace().unwrap();
@@ -96,13 +104,15 @@ fn theorem_holds_on_figure2_with_bursty_traffic() {
     ]);
     let mom = MomBuilder::new(spec).build().unwrap();
     for s in 0..8 {
-        mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent)).unwrap();
+        mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent))
+            .unwrap();
     }
     // Bursts: every server fires at every other server back-to-back.
     for from in 0..8u16 {
         for to in 0..8u16 {
             if from != to {
-                mom.send(aid(from, 9), aid(to, 1), Notification::signal("b")).unwrap();
+                mom.send(aid(from, 9), aid(to, 1), Notification::signal("b"))
+                    .unwrap();
             }
         }
     }

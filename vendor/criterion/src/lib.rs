@@ -125,7 +125,10 @@ fn run_one(label: &str, throughput: Option<Throughput>, mut routine: impl FnMut(
             format!("  ({:.2} Melem/s)", n as f64 * 1e3 / per_iter)
         }
         Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
-            format!("  ({:.2} MiB/s)", n as f64 * 1e9 / per_iter / (1024.0 * 1024.0))
+            format!(
+                "  ({:.2} MiB/s)",
+                n as f64 * 1e9 / per_iter / (1024.0 * 1024.0)
+            )
         }
         _ => String::new(),
     };

@@ -205,11 +205,7 @@ impl<T> Receiver<T> {
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
-            let (guard, _) = self
-                .inner
-                .ready
-                .wait_timeout(st, deadline - now)
-                .unwrap();
+            let (guard, _) = self.inner.ready.wait_timeout(st, deadline - now).unwrap();
             st = guard;
         }
     }
