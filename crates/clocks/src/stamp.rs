@@ -47,18 +47,35 @@ pub enum Stamp {
     Full(MatrixClock),
     /// The entries modified since the last send to this peer.
     Delta(Vec<UpdateEntry>),
+    /// Group-commit continuation: "the previous frame's stamp, with
+    /// `SENT[sender][receiver]` incremented by one".
+    ///
+    /// Emitted by [`CausalState::stamp_send_batched`] for the second and
+    /// later messages of a batch to the same peer when nothing else in the
+    /// sender's matrix changed in between. The receiver reconstructs the
+    /// exact stamp from its per-sender image, so the wire cost is zero
+    /// payload bytes — the amortization that makes group-commit batching
+    /// collapse the per-message stamp cost (cf. hybrid buffering /
+    /// constant-size causal broadcast in the related work).
+    ///
+    /// Sound only over reliable FIFO links, which AAA links guarantee.
+    ///
+    /// [`CausalState::stamp_send_batched`]: crate::CausalState::stamp_send_batched
+    GroupNext,
 }
 
 impl Stamp {
     /// Size of the stamp on the wire, in bytes.
     ///
     /// Full stamps cost `n² × 8` bytes; delta stamps cost a 4-byte count
-    /// plus [`UpdateEntry::WIRE_LEN`] per entry. This is the quantity
-    /// plotted by the Appendix-A ablation experiment.
+    /// plus [`UpdateEntry::WIRE_LEN`] per entry; group continuations cost
+    /// nothing beyond their tag. This is the quantity plotted by the
+    /// Appendix-A ablation experiment.
     pub fn encoded_len(&self) -> usize {
         match self {
             Stamp::Full(m) => 4 + m.encoded_len(),
             Stamp::Delta(entries) => 4 + entries.len() * UpdateEntry::WIRE_LEN,
+            Stamp::GroupNext => 0,
         }
     }
 
@@ -67,12 +84,18 @@ impl Stamp {
         match self {
             Stamp::Full(m) => m.width() * m.width(),
             Stamp::Delta(entries) => entries.len(),
+            Stamp::GroupNext => 1,
         }
     }
 
     /// Returns `true` if this is a delta stamp.
     pub fn is_delta(&self) -> bool {
         matches!(self, Stamp::Delta(_))
+    }
+
+    /// Returns `true` if this is a group-commit continuation stamp.
+    pub fn is_group_next(&self) -> bool {
+        matches!(self, Stamp::GroupNext)
     }
 }
 

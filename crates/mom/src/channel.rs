@@ -259,6 +259,29 @@ impl ChannelCore {
         }
     }
 
+    /// Submits several notifications as one batch, amortizing validation
+    /// and queueing. The returned outcomes are in submission order; remote
+    /// messages will be stamped together by the next
+    /// [`ChannelCore::take_transmissions_batched`] call, which collapses
+    /// consecutive same-hop stamps into `GroupNext` continuations.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ChannelCore::submit_with`]; the first failing submission
+    /// aborts the batch (earlier submissions remain queued).
+    pub fn submit_batch(
+        &mut self,
+        from: AgentId,
+        batch: impl IntoIterator<Item = (AgentId, Notification)>,
+        opts: impl Into<SendOptions>,
+    ) -> Result<Vec<Submit>> {
+        let opts = opts.into();
+        batch
+            .into_iter()
+            .map(|(to, note)| self.submit_with(from, to, note, opts))
+            .collect()
+    }
+
     /// Stamps and drains `QueueOUT`, returning `(next_hop, message)` pairs
     /// in transmission order.
     ///
@@ -269,6 +292,24 @@ impl ChannelCore {
     /// [`Error::NotInDomain`] if the next hop shares no domain with this
     /// server (likewise impossible).
     pub fn take_transmissions(&mut self) -> Result<Vec<(ServerId, WireMessage)>> {
+        self.take_transmissions_batched(false)
+    }
+
+    /// Like [`ChannelCore::take_transmissions`], with group-commit stamp
+    /// amortization. With `batched` true, consecutive causal sends to the
+    /// same next hop with no intervening clock activity are stamped with
+    /// [`aaa_clocks::Stamp::GroupNext`] (one tag byte, O(1) cell work)
+    /// instead of a full/delta stamp — the continuation is reconstructed
+    /// from the previous frame at the receiver over the FIFO link. See
+    /// [`aaa_clocks::CausalState::stamp_send_batched`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ChannelCore::take_transmissions`].
+    pub fn take_transmissions_batched(
+        &mut self,
+        batched: bool,
+    ) -> Result<Vec<(ServerId, WireMessage)>> {
         let mut out = Vec::with_capacity(self.queue_out.len());
         while let Some(env) = self.queue_out.pop_front() {
             let next_hop = self.routing.next_hop(env.dest)?;
@@ -278,11 +319,18 @@ impl ChannelCore {
             let stamp = match env.policy {
                 DeliveryPolicy::Causal => {
                     let n = item.clock().n() as u64;
-                    let stamp = item.clock_mut().stamp_send(hop_dsid);
-                    self.stats.cell_ops += n * n;
+                    let stamp = if batched {
+                        item.clock_mut().stamp_send_batched(hop_dsid)
+                    } else {
+                        item.clock_mut().stamp_send(hop_dsid)
+                    };
+                    // A GroupNext continuation touches one matrix cell;
+                    // a full stamping pass touches n².
+                    let ops = if stamp.is_group_next() { 1 } else { n * n };
+                    self.stats.cell_ops += ops;
                     self.stats.stamp_bytes += stamp.encoded_len() as u64;
                     if let Some(m) = &self.metrics {
-                        m.domains[item_idx].cell_ops.add(n * n);
+                        m.domains[item_idx].cell_ops.add(ops);
                         m.domains[item_idx]
                             .stamp_bytes
                             .add(stamp.encoded_len() as u64);
@@ -784,6 +832,61 @@ mod tests {
         assert_eq!(hop, s(2));
         let got = chs[2].on_message(s(1), msg).unwrap();
         assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn batched_transmissions_collapse_stamps() {
+        for mode in [StampMode::Full, StampMode::Updates] {
+            let topo = single_domain(4);
+            let mut chs = channels(&topo, mode);
+            let batch: Vec<_> = (0..8)
+                .map(|i| (aid(1, 1), Notification::new("b", vec![i as u8])))
+                .collect();
+            chs[0]
+                .submit_batch(aid(0, 1), batch, SendOptions::new())
+                .unwrap();
+            let tx = chs[0].take_transmissions_batched(true).unwrap();
+            assert_eq!(tx.len(), 8);
+            assert!(!tx[0].1.stamp.as_ref().unwrap().is_group_next());
+            for (_, msg) in &tx[1..] {
+                assert!(
+                    msg.stamp.as_ref().unwrap().is_group_next(),
+                    "{mode:?}: continuation expected"
+                );
+            }
+            let stats = chs[0].take_stats();
+            // Only the first stamp pays matrix bytes; continuations are free.
+            assert_eq!(
+                stats.stamp_bytes,
+                tx[0].1.stamp.as_ref().unwrap().encoded_len() as u64
+            );
+            // Delivery at the receiver, in FIFO order.
+            let mut got = Vec::new();
+            for (_, msg) in tx {
+                got.extend(chs[1].on_message(s(0), msg).unwrap());
+            }
+            let bodies: Vec<u8> = got.iter().map(|m| m.note.body()[0]).collect();
+            assert_eq!(bodies, (0..8).collect::<Vec<u8>>(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn batched_stamping_interleaves_with_unbatched_receivers() {
+        // A batched sender and a plain `take_transmissions` sender agree on
+        // causal order at a third server.
+        let topo = single_domain(3);
+        let mut chs = channels(&topo, StampMode::Updates);
+        for i in 0..4u8 {
+            chs[0]
+                .submit(aid(0, 1), aid(2, 1), Notification::new("m", vec![i]))
+                .unwrap();
+        }
+        let tx = chs[0].take_transmissions_batched(true).unwrap();
+        for (_, msg) in tx {
+            chs[2].on_message(s(0), msg).unwrap();
+        }
+        assert_eq!(chs[2].postponed_count(), 0);
+        assert_eq!(chs[2].take_stats().delivered, 4);
     }
 
     #[test]

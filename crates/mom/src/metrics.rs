@@ -25,6 +25,10 @@
 //! | `aaa_server_delivery_latency_us` | histogram | µs send→deliver |
 //! | `aaa_server_disk_bytes_total` | counter | bytes persisted |
 //! | `aaa_server_retransmissions_total` (+`peer`) | counter | frames |
+//! | `aaa_link_batch_frames` | histogram | frames per flushed batch |
+//! | `aaa_link_flushes_total` | counter | batch flushes |
+//! | `aaa_persist_group_commit_total` | counter | group commits |
+//! | `aaa_persist_group_commit_us` | histogram | µs per group commit |
 
 use std::collections::HashMap;
 
@@ -131,9 +135,21 @@ pub(crate) struct ServerMetrics {
     meter: Meter,
     pub delivery_latency_us: Histogram,
     pub disk_bytes: Counter,
+    /// Frames per flushed link batch (group-commit coalescing width).
+    pub batch_frames: Histogram,
+    /// Link batch flushes (each becomes one wire packet to one peer).
+    pub flushes: Counter,
+    /// Transactional group commits (one `put` covering a whole batch).
+    pub group_commit_total: Counter,
+    /// Wall-clock duration of one group commit, in microseconds.
+    pub group_commit_us: Histogram,
     /// Minted lazily per peer (retransmissions are rare).
     retransmissions: HashMap<ServerId, Counter>,
 }
+
+/// Bucket edges for the batch-width histogram: powers of two up to the
+/// default `BatchPolicy::max_frames` and a little beyond.
+const BATCH_FRAME_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64];
 
 impl ServerMetrics {
     pub fn new(meter: &Meter) -> Self {
@@ -148,6 +164,24 @@ impl ServerMetrics {
             disk_bytes: meter.counter(
                 "aaa_server_disk_bytes_total",
                 "Bytes written to stable storage by transactional commits",
+            ),
+            batch_frames: meter.histogram(
+                "aaa_link_batch_frames",
+                "Frames coalesced into one flushed link batch",
+                BATCH_FRAME_BUCKETS,
+            ),
+            flushes: meter.counter(
+                "aaa_link_flushes_total",
+                "Link batch flushes (one wire packet per flush)",
+            ),
+            group_commit_total: meter.counter(
+                "aaa_persist_group_commit_total",
+                "Transactional group commits (one put per batch of deliveries)",
+            ),
+            group_commit_us: meter.histogram(
+                "aaa_persist_group_commit_us",
+                "Wall-clock duration of one group commit, in microseconds",
+                LATENCY_BUCKETS_US,
             ),
             retransmissions: HashMap::new(),
         }

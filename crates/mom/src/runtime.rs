@@ -1,10 +1,20 @@
-//! The threaded runtime: one OS thread per agent server.
+//! The threaded runtime: one OS thread drives each agent server's whole
+//! step loop (commands, inbox, timers) — not one thread per agent.
 //!
 //! [`MomBuilder`] assembles a complete bus — validated topology, in-memory
 //! network, one [`ServerCore`] per server, each driven by its own thread —
 //! and returns a [`Mom`] handle for clients: register agents, send
 //! notifications, crash and recover servers, snapshot the causality trace,
 //! and collect statistics.
+//!
+//! Each server thread runs a **batched step loop**: one `select!` wakeup
+//! greedily drains the transport inbox and hands every ready datagram to
+//! [`ServerCore::on_datagram_batch`] as a single transaction — deliveries
+//! and reactions run together, outgoing messages are group-stamped and
+//! coalesced into one wire packet per peer (see
+//! [`aaa_net::BatchPolicy`]), and one group commit persists the result.
+//! Urgent traffic bypasses the coalescing delay via
+//! [`SendOptions::urgent`] or [`Mom::flush`].
 //!
 //! This is the moral equivalent of the paper's deployment of one JVM per
 //! agent server on a LAN, shrunk into a single process.
@@ -15,8 +25,7 @@ use std::time::{Duration, Instant};
 
 use aaa_base::{Absorb, AgentId, Error, MessageId, Result, ServerId, VDuration, VTime};
 use aaa_clocks::StampMode;
-use aaa_net::memory::Incoming;
-use aaa_net::{MemoryEndpoint, MemoryNetwork, TcpEndpoint, TcpNetwork};
+use aaa_net::{BatchPolicy, MemoryNetwork, TcpNetwork};
 use aaa_obs::{LatencyTracker, Meter, MetricsServer, MetricsSnapshot, Registry};
 use aaa_storage::{MemoryStore, StableStore};
 use aaa_topology::{Topology, TopologySpec};
@@ -27,63 +36,15 @@ use crate::agent::Agent;
 use crate::message::{Notification, SendOptions};
 use crate::server::{ServerConfig, ServerCore, StepStats, Transmission};
 
-/// A byte transport the threaded runtime can drive: the in-memory mesh
-/// ([`MemoryEndpoint`]) or localhost TCP ([`TcpEndpoint`]), selected with
-/// [`MomBuilder::tcp`].
-pub trait Transport: Send + 'static {
-    /// This endpoint's server id.
-    fn me(&self) -> ServerId;
-    /// Sends `bytes` to `to`.
-    ///
-    /// # Errors
-    ///
-    /// Transport-specific failures; the caller treats them as packet loss
-    /// (the link layer retransmits).
-    fn send(&self, to: ServerId, bytes: bytes::Bytes) -> Result<()>;
-    /// The inbox receiver for `select!`.
-    fn inbox_receiver(&self) -> &crossbeam::channel::Receiver<Incoming>;
-    /// Attaches a metrics meter (default: no instrumentation).
-    fn attach_meter(&mut self, _meter: &Meter) {}
-    /// Records one received frame (runtimes draining `inbox_receiver`
-    /// directly call this per frame; default: no-op).
-    fn record_rx(&self, _from: ServerId, _len: usize) {}
-}
+/// The byte-transport abstraction, re-exported from `aaa-net` where it
+/// lives beside the endpoint types that implement it ([`aaa_net::memory`],
+/// [`aaa_net::tcp`]). Select between them with [`MomBuilder::tcp`].
+pub use aaa_net::Transport;
 
-impl Transport for MemoryEndpoint {
-    fn me(&self) -> ServerId {
-        MemoryEndpoint::me(self)
-    }
-    fn send(&self, to: ServerId, bytes: bytes::Bytes) -> Result<()> {
-        MemoryEndpoint::send(self, to, bytes)
-    }
-    fn inbox_receiver(&self) -> &crossbeam::channel::Receiver<Incoming> {
-        MemoryEndpoint::inbox_receiver(self)
-    }
-    fn attach_meter(&mut self, meter: &Meter) {
-        MemoryEndpoint::attach_meter(self, meter);
-    }
-    fn record_rx(&self, from: ServerId, len: usize) {
-        MemoryEndpoint::record_rx(self, from, len);
-    }
-}
-
-impl Transport for TcpEndpoint {
-    fn me(&self) -> ServerId {
-        TcpEndpoint::me(self)
-    }
-    fn send(&self, to: ServerId, bytes: bytes::Bytes) -> Result<()> {
-        TcpEndpoint::send(self, to, bytes)
-    }
-    fn inbox_receiver(&self) -> &crossbeam::channel::Receiver<Incoming> {
-        TcpEndpoint::inbox_receiver(self)
-    }
-    fn attach_meter(&mut self, meter: &Meter) {
-        TcpEndpoint::attach_meter(self, meter);
-    }
-    fn record_rx(&self, from: ServerId, len: usize) {
-        TcpEndpoint::record_rx(self, from, len);
-    }
-}
+/// Maximum datagrams one step loop iteration drains from the inbox before
+/// processing them as a single transaction. Bounds step latency while
+/// letting bursts amortize stamping, flushing and the group commit.
+const MAX_STEP_DRAIN: usize = 256;
 
 enum Command {
     Register {
@@ -97,6 +58,15 @@ enum Command {
         note: Notification,
         opts: SendOptions,
         reply: Sender<Result<MessageId>>,
+    },
+    SendBatch {
+        from: AgentId,
+        batch: Vec<(AgentId, Notification)>,
+        opts: SendOptions,
+        reply: Sender<Result<Vec<MessageId>>>,
+    },
+    Flush {
+        reply: Sender<()>,
     },
     Crash,
     Recover {
@@ -170,6 +140,21 @@ impl MomBuilder {
     /// Required for [`Mom::crash`]/[`Mom::recover`] to be meaningful.
     pub fn persistence(mut self, on: bool) -> Self {
         self.config.persist = on;
+        self
+    }
+
+    /// Sets the group-commit batching policy for outgoing link frames.
+    ///
+    /// Batching is **on by default** with
+    /// [`BatchPolicy::default`] — up to 32 frames or 256 KiB per wire
+    /// packet, and `max_delay` zero, meaning frames are coalesced only
+    /// *within* a step (everything a burst produced goes out together at
+    /// the end of the step) so single-message latency is unchanged. Pass
+    /// [`BatchPolicy::disabled`] for the legacy one-packet-per-message
+    /// behaviour, or a non-zero `max_delay` to hold partial batches across
+    /// steps ([`SendOptions::urgent`] and [`Mom::flush`] bypass the delay).
+    pub fn batching(mut self, policy: BatchPolicy) -> Self {
+        self.config.batch = policy;
         self
     }
 
@@ -424,6 +409,56 @@ impl Mom {
         rx.recv().map_err(|_| Error::Closed("server thread"))?
     }
 
+    /// Sends several notifications from `from` as **one transaction** on
+    /// the origin server: the batch is stamped together (consecutive
+    /// same-peer stamps collapse into one-byte continuations), coalesced
+    /// into multi-frame wire packets per peer, and covered by a single
+    /// group commit. Returns the assigned message ids in order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mom::send`]; the first failing submission aborts the batch
+    /// (earlier messages remain queued and are still delivered).
+    pub fn send_batch(
+        &self,
+        from: AgentId,
+        batch: Vec<(AgentId, Notification)>,
+        opts: impl Into<SendOptions>,
+    ) -> Result<Vec<MessageId>> {
+        let (reply, rx) = bounded(1);
+        self.cmd(from.server())?
+            .send(Command::SendBatch {
+                from,
+                batch,
+                opts: opts.into(),
+                reply,
+            })
+            .map_err(|_| Error::Closed("server thread"))?;
+        rx.recv().map_err(|_| Error::Closed("server thread"))?
+    }
+
+    /// Flushes every server's partially filled link batches immediately,
+    /// bypassing any configured `max_delay`. A no-op under the default
+    /// policy (zero `max_delay` never leaves frames buffered between
+    /// steps); crashed servers are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Closed`] if the bus is shutting down.
+    pub fn flush(&self) -> Result<()> {
+        let mut waits = Vec::with_capacity(self.cmd_txs.len());
+        for tx in &self.cmd_txs {
+            let (reply, rx) = bounded(1);
+            tx.send(Command::Flush { reply })
+                .map_err(|_| Error::Closed("server thread"))?;
+            waits.push(rx);
+        }
+        for rx in waits {
+            rx.recv().map_err(|_| Error::Closed("server thread"))?;
+        }
+        Ok(())
+    }
+
     /// Crashes `server`: its in-memory state is discarded and incoming
     /// frames are dropped until [`Mom::recover`]. The stable store
     /// survives.
@@ -649,10 +684,24 @@ fn server_thread(
     let mut core: Option<ServerCore> = Some(fresh(Vec::new()).expect("valid topology"));
     let mut cumulative = StepStats::default();
 
+    // Consecutive same-destination packets go through the transport's
+    // batch-native path (one syscall/lock per run for TCP). Failures count
+    // as packet loss: the link layer retransmits.
     let transmit = |endpoint: &dyn Transport, ts: Vec<Transmission>| {
-        for t in ts {
-            // Failures count as packet loss: the link layer retransmits.
-            let _ = endpoint.send(t.to, t.bytes);
+        let mut i = 0;
+        while i < ts.len() {
+            let to = ts[i].to;
+            let mut j = i + 1;
+            while j < ts.len() && ts[j].to == to {
+                j += 1;
+            }
+            if j - i == 1 {
+                let _ = endpoint.send(to, ts[i].bytes.clone());
+            } else {
+                let run: Vec<bytes::Bytes> = ts[i..j].iter().map(|t| t.bytes.clone()).collect();
+                let _ = endpoint.send_batch(to, &run);
+            }
+            i = j;
         }
     };
 
@@ -681,6 +730,28 @@ fn server_thread(
                             cumulative.absorb(core.take_step_stats());
                         }
                         let _ = reply.send(result);
+                    }
+                    Command::SendBatch { from, batch, opts, reply } => {
+                        let result = match core.as_mut() {
+                            Some(core) => core
+                                .client_send_batch(from, batch, opts, now())
+                                .map(|(ids, ts)| {
+                                    transmit(endpoint.as_ref(), ts);
+                                    ids
+                                }),
+                            None => Err(Error::Closed("crashed server")),
+                        };
+                        if let Some(core) = core.as_mut() {
+                            cumulative.absorb(core.take_step_stats());
+                        }
+                        let _ = reply.send(result);
+                    }
+                    Command::Flush { reply } => {
+                        if let Some(core) = core.as_mut() {
+                            let ts = core.flush_links();
+                            transmit(endpoint.as_ref(), ts);
+                        }
+                        let _ = reply.send(());
                     }
                     Command::Crash => {
                         core = None;
@@ -720,8 +791,19 @@ fn server_thread(
             recv(endpoint.inbox_receiver()) -> inc => {
                 let Ok(inc) = inc else { return };
                 endpoint.record_rx(inc.from, inc.bytes.len());
+                // Greedily drain whatever else is already queued and
+                // process the whole burst as one transaction: batched
+                // stamping, coalesced wire packets, one group commit.
+                let mut drained = vec![(inc.from, inc.bytes)];
+                while drained.len() < MAX_STEP_DRAIN {
+                    let Ok(more) = endpoint.inbox_receiver().try_recv() else {
+                        break;
+                    };
+                    endpoint.record_rx(more.from, more.bytes.len());
+                    drained.push((more.from, more.bytes));
+                }
                 if let Some(core) = core.as_mut() {
-                    match core.on_datagram(inc.from, inc.bytes, now()) {
+                    match core.on_datagram_batch(drained, now()) {
                         Ok(ts) => transmit(endpoint.as_ref(), ts),
                         Err(e) => {
                             debug_assert!(false, "datagram processing failed: {e}");
@@ -835,6 +917,103 @@ mod tests {
         .unwrap();
         assert!(mom.quiesce(Duration::from_secs(5)));
         assert_eq!(mom.trace().unwrap().message_count(), 0);
+        mom.shutdown();
+    }
+
+    #[test]
+    fn send_batch_is_one_transaction_with_flush() {
+        let mom = MomBuilder::new(TopologySpec::single_domain(2))
+            .build()
+            .unwrap();
+        mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
+        let batch: Vec<_> = (0..10)
+            .map(|i| {
+                (
+                    AgentId::new(sid(1), 1),
+                    Notification::new("b", vec![i as u8]),
+                )
+            })
+            .collect();
+        let ids = mom
+            .send_batch(AgentId::new(sid(0), 9), batch, SendOptions::new())
+            .unwrap();
+        assert_eq!(ids.len(), 10);
+        mom.flush().unwrap(); // no-op under the default policy
+        assert!(mom.quiesce(Duration::from_secs(5)));
+        assert_eq!(mom.in_flight(), 0);
+        assert_eq!(mom.stats(sid(1)).unwrap().reactions, 10);
+        assert!(mom.trace().unwrap().check_causality().is_ok());
+        // The batch metrics observed coalesced flushes.
+        let snap = mom.metrics();
+        assert!(snap.sum_counter("aaa_link_flushes_total") > 0);
+        mom.shutdown();
+    }
+
+    #[test]
+    fn batching_can_be_disabled_per_bus() {
+        let mom = MomBuilder::new(TopologySpec::single_domain(2))
+            .batching(BatchPolicy::disabled())
+            .build()
+            .unwrap();
+        mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
+        let batch: Vec<_> = (0..4)
+            .map(|_| (AgentId::new(sid(1), 1), Notification::signal("x")))
+            .collect();
+        mom.send_batch(AgentId::new(sid(0), 9), batch, SendOptions::new())
+            .unwrap();
+        assert!(mom.quiesce(Duration::from_secs(5)));
+        assert_eq!(mom.stats(sid(1)).unwrap().reactions, 4);
+        mom.shutdown();
+    }
+
+    #[test]
+    fn urgent_sends_flush_held_batches() {
+        // With a large max_delay, frames would sit in the batcher; an
+        // urgent send forces them onto the wire in the same step.
+        let mom = MomBuilder::new(TopologySpec::single_domain(2))
+            .batching(BatchPolicy {
+                max_frames: 32,
+                max_bytes: 256 * 1024,
+                max_delay: VDuration::from_millis(50),
+            })
+            .build()
+            .unwrap();
+        mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
+        mom.send_with(
+            AgentId::new(sid(0), 9),
+            AgentId::new(sid(1), 1),
+            Notification::signal("now"),
+            SendOptions::urgent(),
+        )
+        .unwrap();
+        assert!(mom.quiesce(Duration::from_secs(5)));
+        assert_eq!(mom.stats(sid(1)).unwrap().reactions, 1);
+        mom.shutdown();
+    }
+
+    #[test]
+    fn delayed_batches_flush_on_mom_flush_or_deadline() {
+        let mom = MomBuilder::new(TopologySpec::single_domain(2))
+            .batching(BatchPolicy {
+                max_frames: 32,
+                max_bytes: 256 * 1024,
+                max_delay: VDuration::from_millis(30),
+            })
+            .build()
+            .unwrap();
+        mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
+        for _ in 0..3 {
+            mom.send(
+                AgentId::new(sid(0), 9),
+                AgentId::new(sid(1), 1),
+                Notification::signal("held"),
+            )
+            .unwrap();
+        }
+        mom.flush().unwrap();
+        assert!(mom.quiesce(Duration::from_secs(5)));
+        assert_eq!(mom.stats(sid(1)).unwrap().reactions, 3);
+        assert!(mom.trace().unwrap().check_causality().is_ok());
         mom.shutdown();
     }
 

@@ -17,8 +17,8 @@ use std::sync::Arc;
 
 use aaa_base::{Absorb, AgentId, Error, MessageId, Result, ServerId, VDuration, VTime};
 use aaa_clocks::StampMode;
-use aaa_net::link::Datagram;
-use aaa_net::{LinkReceiver, LinkSender, WireMessage};
+use aaa_net::link::{Datagram, LinkFrame};
+use aaa_net::{BatchPolicy, LinkReceiver, LinkSender, WireMessage};
 use aaa_obs::{LatencyTracker, Meter};
 use aaa_storage::StableStore;
 use aaa_topology::Topology;
@@ -44,6 +44,12 @@ pub struct ServerConfig {
     pub rto: VDuration,
     /// Whether to persist the transactional image after every step.
     pub persist: bool,
+    /// Group-commit batching policy for outgoing link frames. The default
+    /// coalesces every frame produced within one step into a single wire
+    /// packet per peer with no added latency (`max_delay` = 0); use
+    /// [`BatchPolicy::disabled`] for the legacy one-packet-per-message
+    /// behaviour.
+    pub batch: BatchPolicy,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +58,7 @@ impl Default for ServerConfig {
             stamp_mode: StampMode::Updates,
             rto: VDuration::from_millis(200),
             persist: false,
+            batch: BatchPolicy::default(),
         }
     }
 }
@@ -320,14 +327,63 @@ impl ServerCore {
             }
         };
         self.run_reactions(now)?;
-        let out = self.flush(now)?;
+        let out = self.flush(now, opts.flush)?;
         self.commit()?;
         Ok((id, out))
+    }
+
+    /// Injects several notifications from `from` as one transaction: all of
+    /// them are stamped together (consecutive same-hop stamps collapse to
+    /// `GroupNext` continuations), flushed as coalesced wire packets and
+    /// covered by a single group commit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServerCore::client_send`]; the first failing submission
+    /// aborts the batch (earlier submissions remain queued and are still
+    /// flushed by the next step).
+    pub fn client_send_batch(
+        &mut self,
+        from: AgentId,
+        batch: Vec<(AgentId, Notification)>,
+        opts: impl Into<SendOptions>,
+        now: VTime,
+    ) -> Result<(Vec<MessageId>, Vec<Transmission>)> {
+        let opts = opts.into();
+        let causal = opts.policy == DeliveryPolicy::Causal;
+        let mut ids = Vec::with_capacity(batch.len());
+        for (to, note) in batch {
+            match self.channel.submit_with(from, to, note, opts)? {
+                Submit::Local(msg) => {
+                    let id = msg.id;
+                    if causal {
+                        self.record_send(self.me, id, now);
+                        self.record_delivery(id, false, now);
+                    }
+                    self.engine.enqueue(msg);
+                    ids.push(id);
+                }
+                Submit::Queued(id) => {
+                    if causal {
+                        self.record_send(to.server(), id, now);
+                    } else if let Some(c) = &self.in_flight {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }
+                    ids.push(id);
+                }
+            }
+        }
+        self.run_reactions(now)?;
+        let out = self.flush(now, opts.flush)?;
+        self.commit()?;
+        Ok((ids, out))
     }
 
     /// Processes one datagram from neighbour `from`, commits the resulting
     /// transaction, and returns the datagrams to transmit (always
     /// including a link acknowledgement for data frames).
+    ///
+    /// Equivalent to [`ServerCore::on_datagram_batch`] with one element.
     ///
     /// # Errors
     ///
@@ -339,59 +395,139 @@ impl ServerCore {
         bytes: Bytes,
         now: VTime,
     ) -> Result<Vec<Transmission>> {
-        match Datagram::decode(bytes)? {
-            Datagram::Ack { cum_seq } => {
-                if let Some(tx) = self.links_tx.get_mut(&from) {
-                    tx.on_ack(cum_seq);
-                }
-                Ok(Vec::new())
-            }
-            Datagram::Data(frame) => {
-                let delivery = self.links_rx.entry(from).or_default().on_frame(frame);
-                for payload in delivery.delivered {
-                    let msg = WireMessage::decode(payload)?;
-                    let unordered = msg.stamp.is_none() && msg.dest_server == self.me;
-                    let local = self.channel.on_message_at(from, msg, now)?;
-                    for m in local {
-                        if unordered {
-                            // Unordered deliveries stay out of the causal
-                            // trace but settle the in-flight counter.
-                            if let Some(c) = &self.in_flight {
-                                c.fetch_sub(1, Ordering::SeqCst);
-                            }
-                        } else {
-                            self.record_delivery(m.id, m.from.server() != self.me, now);
-                        }
-                        self.engine.enqueue(m);
-                    }
-                }
-                self.run_reactions(now)?;
-                let mut out = self.flush(now)?;
-                self.commit()?;
-                if let Some(cum_seq) = delivery.ack {
-                    out.push(Transmission {
-                        to: from,
-                        bytes: Datagram::Ack { cum_seq }.encode(),
-                    });
-                }
-                Ok(out)
-            }
-        }
+        self.on_datagram_batch(std::iter::once((from, bytes)), now)
     }
 
-    /// Polls retransmission timers; returns any frames to re-send.
+    /// Processes a whole inbox drain as **one transaction**: every ready
+    /// frame is ingested, causal deliveries and reactions run, the produced
+    /// messages are batch-stamped and coalesced per peer, and a single
+    /// group commit persists the result — one `StableStore::put` covering
+    /// N deliveries. One cumulative acknowledgement per data-sending peer
+    /// is appended (batches of frames from a peer are acked once).
+    ///
+    /// Pure-ack input produces no reactions, no flush and no commit, as
+    /// with the single-datagram path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServerCore::on_datagram`]. An error aborts the step before
+    /// the commit.
+    pub fn on_datagram_batch(
+        &mut self,
+        datagrams: impl IntoIterator<Item = (ServerId, Bytes)>,
+        now: VTime,
+    ) -> Result<Vec<Transmission>> {
+        let mut any_data = false;
+        // Last cumulative ack per peer, in first-seen peer order.
+        let mut acks: Vec<(ServerId, u64)> = Vec::new();
+        for (from, bytes) in datagrams {
+            let frames = match Datagram::decode(bytes)? {
+                Datagram::Ack { cum_seq } => {
+                    if let Some(tx) = self.links_tx.get_mut(&from) {
+                        tx.on_ack(cum_seq);
+                    }
+                    continue;
+                }
+                Datagram::Data(frame) => vec![frame],
+                Datagram::Batch(frames) => frames,
+            };
+            any_data = true;
+            let mut delivered = Vec::new();
+            let mut ack = None;
+            {
+                let rx = self.links_rx.entry(from).or_default();
+                for frame in frames {
+                    let d = rx.on_frame(frame);
+                    delivered.extend(d.delivered);
+                    if d.ack.is_some() {
+                        ack = d.ack;
+                    }
+                }
+            }
+            for payload in delivered {
+                let msg = WireMessage::decode(payload)?;
+                let unordered = msg.stamp.is_none() && msg.dest_server == self.me;
+                let local = self.channel.on_message_at(from, msg, now)?;
+                for m in local {
+                    if unordered {
+                        // Unordered deliveries stay out of the causal
+                        // trace but settle the in-flight counter.
+                        if let Some(c) = &self.in_flight {
+                            c.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    } else {
+                        self.record_delivery(m.id, m.from.server() != self.me, now);
+                    }
+                    self.engine.enqueue(m);
+                }
+            }
+            if let Some(cum_seq) = ack {
+                match acks.iter_mut().find(|(peer, _)| *peer == from) {
+                    Some(entry) => entry.1 = cum_seq,
+                    None => acks.push((from, cum_seq)),
+                }
+            }
+        }
+        if !any_data {
+            return Ok(Vec::new());
+        }
+        self.run_reactions(now)?;
+        let mut out = self.flush(now, false)?;
+        self.commit()?;
+        for (to, cum_seq) in acks {
+            out.push(Transmission {
+                to,
+                bytes: Datagram::Ack { cum_seq }.encode(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Polls link timers: retransmits overdue unacked frames (coalesced
+    /// into one wire packet per peer) and flushes partial batches whose
+    /// `max_delay` has elapsed.
     pub fn on_tick(&mut self, now: VTime) -> Vec<Transmission> {
         let mut out = Vec::new();
+        let mut flushed: Vec<(ServerId, Vec<LinkFrame>)> = Vec::new();
         for (&peer, tx) in self.links_tx.iter_mut() {
-            for frame in tx.due_retransmissions(now) {
+            let due = tx.due_retransmissions(now);
+            if !due.is_empty() {
                 if let Some(m) = &mut self.metrics {
-                    m.retransmissions(peer).inc();
+                    m.retransmissions(peer).add(due.len() as u64);
                 }
                 out.push(Transmission {
                     to: peer,
-                    bytes: Datagram::Data(frame).encode(),
+                    bytes: Datagram::for_frames(due).encode(),
                 });
             }
+            if tx.flush_deadline().is_some_and(|d| d <= now) {
+                if let Some(frames) = tx.flush() {
+                    flushed.push((peer, frames));
+                }
+            }
+        }
+        for (peer, frames) in flushed {
+            self.push_batch(&mut out, peer, frames);
+        }
+        out
+    }
+
+    /// Flushes every link's partial batch immediately, regardless of the
+    /// batching policy's `max_delay` — the urgent path behind
+    /// [`crate::Mom::flush`]. With the default policy (`max_delay` = 0)
+    /// nothing is ever left buffered between steps and this returns
+    /// nothing. No commit is needed: buffered frames already live in the
+    /// persisted unacked window.
+    pub fn flush_links(&mut self) -> Vec<Transmission> {
+        let mut out = Vec::new();
+        let mut flushed: Vec<(ServerId, Vec<LinkFrame>)> = Vec::new();
+        for (&peer, tx) in self.links_tx.iter_mut() {
+            if let Some(frames) = tx.flush() {
+                flushed.push((peer, frames));
+            }
+        }
+        for (peer, frames) in flushed {
+            self.push_batch(&mut out, peer, frames);
         }
         out
     }
@@ -446,39 +582,76 @@ impl ServerCore {
     }
 
     /// Stamps and hands queued messages to the link layer, returning the
-    /// datagrams for the transport.
-    fn flush(&mut self, now: VTime) -> Result<Vec<Transmission>> {
+    /// datagrams for the transport. With batching enabled, consecutive
+    /// same-hop messages are group-stamped and coalesced into multi-frame
+    /// wire packets; `urgent` (or a zero `max_delay`) flushes partial
+    /// batches at the end of the step so no latency is added.
+    fn flush(&mut self, now: VTime, urgent: bool) -> Result<Vec<Transmission>> {
         let rto = self.config.rto;
+        let policy = self.config.batch;
         let mut out = Vec::new();
-        for (hop, msg) in self.channel.take_transmissions()? {
+        let mut touched: Vec<ServerId> = Vec::new();
+        for (hop, msg) in self
+            .channel
+            .take_transmissions_batched(!policy.is_disabled())?
+        {
             let payload = msg.encode();
-            let frame = self
+            let full = self
                 .links_tx
                 .entry(hop)
-                .or_insert_with(|| LinkSender::with_rto(rto))
-                .send(payload, now);
-            out.push(Transmission {
-                to: hop,
-                bytes: Datagram::Data(frame).encode(),
-            });
+                .or_insert_with(|| LinkSender::with_rto(rto).with_policy(policy))
+                .buffer(payload, now);
+            if let Some(frames) = full {
+                self.push_batch(&mut out, hop, frames);
+            }
+            if !touched.contains(&hop) {
+                touched.push(hop);
+            }
+        }
+        if urgent || policy.max_delay == VDuration::ZERO {
+            for hop in touched {
+                let flushed = self.links_tx.get_mut(&hop).and_then(|tx| tx.flush());
+                if let Some(frames) = flushed {
+                    self.push_batch(&mut out, hop, frames);
+                }
+            }
         }
         Ok(out)
     }
 
-    /// Persists the transactional image, if persistence is enabled.
+    /// Encodes one flushed batch as a wire packet and records its width.
+    fn push_batch(&self, out: &mut Vec<Transmission>, to: ServerId, frames: Vec<LinkFrame>) {
+        if let Some(m) = &self.metrics {
+            m.batch_frames.observe(frames.len() as u64);
+            m.flushes.inc();
+        }
+        out.push(Transmission {
+            to,
+            bytes: Datagram::for_frames(frames).encode(),
+        });
+    }
+
+    /// Persists the transactional image, if persistence is enabled. One
+    /// call covers everything the step did — a batch of N deliveries costs
+    /// one `put` (the group commit).
     fn commit(&mut self) -> Result<()> {
         if !self.config.persist {
             return Ok(());
         }
+        let started = std::time::Instant::now();
         let image = self.build_image();
         let bytes = image.encode();
         self.disk_bytes += bytes.len() as u64;
-        if let Some(m) = &self.metrics {
-            m.disk_bytes.add(bytes.len() as u64);
-        }
         self.store
             .put(IMAGE_KEY, &bytes)
-            .map_err(|e| Error::Storage(format!("commit failed: {e}")))
+            .map_err(|e| Error::Storage(format!("commit failed: {e}")))?;
+        if let Some(m) = &self.metrics {
+            m.disk_bytes.add(bytes.len() as u64);
+            m.group_commit_total.inc();
+            m.group_commit_us
+                .observe(started.elapsed().as_micros() as u64);
+        }
+        Ok(())
     }
 
     fn build_image(&self) -> ServerImage {
@@ -565,7 +738,8 @@ impl ServerCore {
         for link in image.links_tx {
             core.links_tx.insert(
                 link.peer,
-                LinkSender::restore(config.rto, link.next_seq, link.unacked, now),
+                LinkSender::restore(config.rto, link.next_seq, link.unacked, now)
+                    .with_policy(config.batch),
             );
         }
         for link in image.links_rx {
@@ -829,6 +1003,127 @@ mod tests {
         assert_eq!(re[0].to, s(1));
         assert!(c0.next_deadline().is_some());
         assert!(!c0.is_idle());
+    }
+
+    #[test]
+    fn batched_sends_coalesce_into_one_wire_packet() {
+        let topo = TopologySpec::single_domain(2).validate().unwrap();
+        let mut cores: Vec<ServerCore> = (0..2)
+            .map(|i| make(&topo, i, ServerConfig::default()))
+            .collect();
+        let batch: Vec<_> = (0..5)
+            .map(|i| (aid(1, 1), Notification::new("b", vec![i as u8])))
+            .collect();
+        let (ids, tx) = cores[0]
+            .client_send_batch(aid(0, 9), batch, SendOptions::new(), VTime::ZERO)
+            .unwrap();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(tx.len(), 1, "five messages, one wire packet");
+        match Datagram::decode(tx[0].bytes.clone()).unwrap() {
+            Datagram::Batch(frames) => assert_eq!(frames.len(), 5),
+            other => panic!("expected a batch, got {other:?}"),
+        }
+        let out = cores[1]
+            .on_datagram(s(0), tx[0].bytes.clone(), VTime::ZERO)
+            .unwrap();
+        assert_eq!(cores[1].engine.reactions(), 5);
+        // Exactly one cumulative ack for the whole batch.
+        let acks: Vec<u64> = out
+            .iter()
+            .filter_map(|t| match Datagram::decode(t.bytes.clone()).unwrap() {
+                Datagram::Ack { cum_seq } => Some(cum_seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks, vec![5]);
+    }
+
+    #[test]
+    fn disabled_batching_keeps_one_packet_per_message() {
+        let topo = TopologySpec::single_domain(2).validate().unwrap();
+        let config = ServerConfig {
+            batch: BatchPolicy::disabled(),
+            ..ServerConfig::default()
+        };
+        let mut c0 = make(&topo, 0, config);
+        let batch: Vec<_> = (0..3)
+            .map(|_| (aid(1, 1), Notification::signal("x")))
+            .collect();
+        let (_, tx) = c0
+            .client_send_batch(aid(0, 1), batch, SendOptions::new(), VTime::ZERO)
+            .unwrap();
+        assert_eq!(tx.len(), 3);
+        for t in &tx {
+            assert!(matches!(
+                Datagram::decode(t.bytes.clone()).unwrap(),
+                Datagram::Data(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn group_commit_is_one_put_per_batch() {
+        let topo = TopologySpec::single_domain(2).validate().unwrap();
+        let config = ServerConfig {
+            persist: true,
+            ..ServerConfig::default()
+        };
+        let store1 = Arc::new(MemoryStore::new());
+        let mut c0 = ServerCore::new(&topo, s(0), config, Arc::new(MemoryStore::new())).unwrap();
+        let mut c1 = ServerCore::new(&topo, s(1), config, store1.clone()).unwrap();
+        c1.register_agent(1, Box::new(EchoAgent));
+        let batch: Vec<_> = (0..8)
+            .map(|i| (aid(1, 1), Notification::new("b", vec![i as u8])))
+            .collect();
+        let (_, tx) = c0
+            .client_send_batch(aid(0, 9), batch, SendOptions::new(), VTime::ZERO)
+            .unwrap();
+        assert_eq!(tx.len(), 1);
+        let before = store1.stats().writes();
+        c1.on_datagram(s(0), tx[0].bytes.clone(), VTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            store1.stats().writes() - before,
+            1,
+            "eight deliveries, one group commit"
+        );
+    }
+
+    #[test]
+    fn mid_batch_crash_recovers_without_loss_or_duplicates() {
+        // The sender crashes after buffering a batch but before the wire
+        // packet is transmitted; the persisted unacked window re-flushes
+        // everything on recovery.
+        let topo = TopologySpec::single_domain(2).validate().unwrap();
+        let config = ServerConfig {
+            persist: true,
+            ..ServerConfig::default()
+        };
+        let store0: Arc<dyn StableStore> = Arc::new(MemoryStore::new());
+        let mut c0 = ServerCore::new(&topo, s(0), config, store0.clone()).unwrap();
+        let mut c1 = make(&topo, 1, config);
+        let batch: Vec<_> = (0..4)
+            .map(|i| (aid(1, 1), Notification::new("b", vec![i as u8])))
+            .collect();
+        let (_, tx) = c0
+            .client_send_batch(aid(0, 9), batch, SendOptions::new(), VTime::ZERO)
+            .unwrap();
+        // The packet is "lost" and the sender crashes.
+        drop(tx);
+        drop(c0);
+        let mut c0 =
+            ServerCore::recover(&topo, s(0), config, store0, Vec::new(), VTime::ZERO).unwrap();
+        // The retransmission timer re-sends all four frames as one packet.
+        let re = c0.on_tick(VTime::ZERO + config.rto);
+        assert_eq!(re.len(), 1);
+        match Datagram::decode(re[0].bytes.clone()).unwrap() {
+            Datagram::Batch(frames) => assert_eq!(frames.len(), 4),
+            other => panic!("expected a batch, got {other:?}"),
+        }
+        c1.on_datagram(s(0), re[0].bytes.clone(), VTime::ZERO)
+            .unwrap();
+        assert_eq!(c1.engine.reactions(), 4);
+        assert_eq!(c1.channel().postponed_count(), 0);
     }
 
     #[test]

@@ -18,7 +18,14 @@
 //!   reorder buffering. Both the threaded runtime and the discrete-event
 //!   simulator drive these same state machines;
 //! - [`memory`] — an in-process transport ([`MemoryNetwork`]) connecting a
-//!   set of servers with FIFO byte channels, used by the threaded runtime.
+//!   set of servers with FIFO byte channels, used by the threaded runtime;
+//! - [`transport`] — the [`Transport`] trait the runtimes drive, with
+//!   batch-native sends ([`Transport::send_batch`]) implemented beside the
+//!   endpoint types.
+//!
+//! Frame coalescing (group-commit batching) lives in the [`link`] module:
+//! a [`BatchPolicy`] governs when a [`LinkSender`] flushes its buffered
+//! frames as one multi-frame [`Datagram::Batch`] wire packet.
 //!
 //! # Example: a lossy link made reliable
 //!
@@ -45,10 +52,12 @@ pub mod link;
 pub mod memory;
 pub mod metrics;
 pub mod tcp;
+pub mod transport;
 pub mod wire;
 
 pub use frame::WireMessage;
-pub use link::{Datagram, LinkFrame, LinkReceiver, LinkSender};
+pub use link::{BatchPolicy, Datagram, LinkFrame, LinkReceiver, LinkSender};
 pub use memory::{Incoming, MemoryEndpoint, MemoryNetwork};
 pub use metrics::NetMetrics;
 pub use tcp::{TcpEndpoint, TcpNetwork};
+pub use transport::Transport;

@@ -16,6 +16,20 @@
 //! The structs are sans-IO: they never touch sockets or clocks themselves.
 //! The threaded runtime polls them with wall-clock time, the discrete-event
 //! simulator with virtual time — the same code is exercised either way.
+//!
+//! # Group-commit batching
+//!
+//! Senders can *coalesce* consecutive frames to the same peer into one
+//! multi-frame [`Datagram::Batch`] wire packet, governed by a
+//! [`BatchPolicy`]: frames accumulate via [`LinkSender::buffer`] until the
+//! policy's frame/byte limits are hit or the owner calls
+//! [`LinkSender::flush`]. One batch costs one transport send instead of one
+//! per frame, and the channel layer amortizes causal-stamp bytes across the
+//! batch (see `Stamp::GroupNext` in `aaa-clocks`). Reliability is
+//! unchanged: batched frames keep their individual sequence numbers, enter
+//! the unacked queue at buffer time (so they are persisted and re-flushed
+//! after a crash), and the receiver acknowledges cumulatively once per
+//! arriving batch.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -24,6 +38,53 @@ use bytes::Bytes;
 
 /// Default retransmission timeout.
 pub const DEFAULT_RTO: VDuration = VDuration::from_millis(200);
+
+/// When a [`LinkSender`] flushes its pending frames as one wire batch.
+///
+/// The default policy (`max_frames = 32`, `max_bytes = 256 KiB`,
+/// `max_delay = 0`) coalesces everything one processing step produces per
+/// peer and flushes at the end of that step — batching without added
+/// latency. A non-zero `max_delay` additionally holds partial batches
+/// across steps, trading latency for larger batches; urgent traffic can
+/// bypass the delay with an explicit flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush once this many frames are pending (1 disables coalescing).
+    pub max_frames: usize,
+    /// Flush once pending payload bytes reach this threshold.
+    pub max_bytes: usize,
+    /// How long a partial batch may wait for more traffic before it is
+    /// flushed by the timer path. Zero means "never wait": the owning step
+    /// flushes when it finishes.
+    pub max_delay: VDuration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_frames: 32,
+            max_bytes: 256 * 1024,
+            max_delay: VDuration::ZERO,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// A policy that never coalesces: every frame is flushed by itself, as
+    /// a legacy [`Datagram::Data`] packet.
+    pub fn disabled() -> Self {
+        BatchPolicy {
+            max_frames: 1,
+            max_bytes: 0,
+            max_delay: VDuration::ZERO,
+        }
+    }
+
+    /// Returns `true` if this policy never coalesces frames.
+    pub fn is_disabled(&self) -> bool {
+        self.max_frames <= 1
+    }
+}
 
 /// A sequenced frame on a link.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,9 +107,37 @@ pub enum Datagram {
         /// Highest contiguously received link sequence number.
         cum_seq: u64,
     },
+    /// Several sequenced frames coalesced into one wire packet (group
+    /// commit). Semantically identical to sending each frame as
+    /// [`Datagram::Data`] in order, but costs a single transport send.
+    Batch(Vec<LinkFrame>),
 }
 
 impl Datagram {
+    /// Wraps `frames` in the cheapest wire form: a single frame becomes a
+    /// legacy [`Datagram::Data`] packet (decodable by pre-batching peers),
+    /// several frames become a [`Datagram::Batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn for_frames(mut frames: Vec<LinkFrame>) -> Datagram {
+        match frames.len() {
+            0 => panic!("a batch needs at least one frame"),
+            1 => Datagram::Data(frames.pop().expect("len checked")),
+            _ => Datagram::Batch(frames),
+        }
+    }
+
+    /// Number of link frames this datagram carries (0 for acks).
+    pub fn frame_count(&self) -> usize {
+        match self {
+            Datagram::Data(_) => 1,
+            Datagram::Ack { .. } => 0,
+            Datagram::Batch(frames) => frames.len(),
+        }
+    }
+
     /// Encodes the datagram to bytes.
     pub fn encode(&self) -> Bytes {
         match self {
@@ -63,6 +152,18 @@ impl Datagram {
                 let mut out = Vec::with_capacity(9);
                 out.push(1);
                 out.extend_from_slice(&cum_seq.to_le_bytes());
+                Bytes::from(out)
+            }
+            Datagram::Batch(frames) => {
+                let body: usize = frames.iter().map(|f| 12 + f.payload.len()).sum();
+                let mut out = Vec::with_capacity(5 + body);
+                out.push(2);
+                out.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+                for f in frames {
+                    out.extend_from_slice(&f.seq.to_le_bytes());
+                    out.extend_from_slice(&(f.payload.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&f.payload);
+                }
                 Bytes::from(out)
             }
         }
@@ -95,6 +196,32 @@ impl Datagram {
                 let cum_seq = u64::from_le_bytes(bytes[1..9].try_into().expect("len checked"));
                 Ok(Datagram::Ack { cum_seq })
             }
+            2 => {
+                if bytes.len() < 5 {
+                    return Err(Error::Codec("truncated batch header".into()));
+                }
+                let count = u32::from_le_bytes(bytes[1..5].try_into().expect("len checked"));
+                if count == 0 {
+                    return Err(Error::Codec("empty batch".into()));
+                }
+                let mut rest = bytes.split_off(5);
+                let mut frames = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    if rest.len() < 12 {
+                        return Err(Error::Codec("truncated batch frame header".into()));
+                    }
+                    let seq = u64::from_le_bytes(rest[0..8].try_into().expect("len checked"));
+                    let len =
+                        u32::from_le_bytes(rest[8..12].try_into().expect("len checked")) as usize;
+                    if rest.len() < 12 + len {
+                        return Err(Error::Codec("truncated batch frame payload".into()));
+                    }
+                    let mut payload = rest.split_off(12);
+                    rest = payload.split_off(len);
+                    frames.push(LinkFrame { seq, payload });
+                }
+                Ok(Datagram::Batch(frames))
+            }
             t => Err(Error::Codec(format!("unknown datagram tag {t}"))),
         }
     }
@@ -107,6 +234,14 @@ pub struct LinkSender {
     rto: VDuration,
     /// Unacknowledged frames with their next retransmission deadline.
     unacked: VecDeque<(VTime, LinkFrame)>,
+    /// How pending frames are coalesced into wire batches.
+    policy: BatchPolicy,
+    /// Frames buffered for the next flush (also present in `unacked`).
+    pending: VecDeque<LinkFrame>,
+    /// Payload bytes currently pending.
+    pending_bytes: usize,
+    /// When the oldest pending frame was buffered (drives `max_delay`).
+    pending_since: Option<VTime>,
 }
 
 impl Default for LinkSender {
@@ -117,7 +252,7 @@ impl Default for LinkSender {
 
 impl LinkSender {
     /// Creates a sender with the [default](DEFAULT_RTO) retransmission
-    /// timeout.
+    /// timeout and the default [`BatchPolicy`].
     pub fn new() -> Self {
         Self::with_rto(DEFAULT_RTO)
     }
@@ -128,7 +263,22 @@ impl LinkSender {
             next_seq: 1,
             rto,
             unacked: VecDeque::new(),
+            policy: BatchPolicy::default(),
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+            pending_since: None,
         }
+    }
+
+    /// Sets the coalescing policy, returning `self` for chaining.
+    pub fn with_policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The coalescing policy in force.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
     }
 
     /// Wraps `payload` into the next sequenced frame; the frame must then
@@ -141,6 +291,58 @@ impl LinkSender {
         self.next_seq += 1;
         self.unacked.push_back((now + self.rto, frame.clone()));
         frame
+    }
+
+    /// Buffers `payload` as the next sequenced frame for a coalesced flush.
+    ///
+    /// The frame enters the unacked queue immediately (deadline `now +
+    /// rto`), so crash-recovery journaling and retransmission cover it from
+    /// the moment it is buffered — an unflushed batch that survives a crash
+    /// is re-flushed from the persisted image. Returns a full batch when
+    /// the policy's frame or byte limit is reached; otherwise the frame
+    /// waits for [`LinkSender::flush`] or the limits.
+    pub fn buffer(&mut self, payload: Bytes, now: VTime) -> Option<Vec<LinkFrame>> {
+        let frame = self.send(payload, now);
+        if self.pending.is_empty() {
+            self.pending_since = Some(now);
+        }
+        self.pending_bytes += frame.payload.len();
+        self.pending.push_back(frame);
+        if self.pending.len() >= self.policy.max_frames.max(1)
+            || self.pending_bytes >= self.policy.max_bytes
+        {
+            self.flush()
+        } else {
+            None
+        }
+    }
+
+    /// Drains all pending frames as one batch, or `None` if nothing is
+    /// pending. The caller wraps the result with [`Datagram::for_frames`]
+    /// and hands it to the transport.
+    pub fn flush(&mut self) -> Option<Vec<LinkFrame>> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        self.pending_bytes = 0;
+        self.pending_since = None;
+        Some(std::mem::take(&mut self.pending).into())
+    }
+
+    /// Number of frames buffered and not yet flushed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// When the pending partial batch must be flushed by the timer path
+    /// (`pending_since + max_delay`), if the policy holds batches across
+    /// steps. `None` when nothing is pending or `max_delay` is zero (the
+    /// owning step flushes synchronously).
+    pub fn flush_deadline(&self) -> Option<VTime> {
+        if self.policy.max_delay == VDuration::ZERO {
+            return None;
+        }
+        self.pending_since.map(|t| t + self.policy.max_delay)
     }
 
     /// Processes a cumulative acknowledgement: frames with `seq <= cum_seq`
@@ -164,10 +366,14 @@ impl LinkSender {
         due
     }
 
-    /// The earliest pending retransmission deadline, if any — what a
-    /// runtime should arm its timer to.
+    /// The earliest pending deadline — retransmission or delayed batch
+    /// flush — if any: what a runtime should arm its timer to.
     pub fn next_deadline(&self) -> Option<VTime> {
-        self.unacked.iter().map(|(d, _)| *d).min()
+        let retransmit = self.unacked.iter().map(|(d, _)| *d).min();
+        match (retransmit, self.flush_deadline()) {
+            (Some(r), Some(f)) => Some(r.min(f)),
+            (r, f) => r.or(f),
+        }
     }
 
     /// Number of frames sent but not yet acknowledged.
@@ -187,12 +393,17 @@ impl LinkSender {
     }
 
     /// Rebuilds a sender from persisted state. Every restored frame is
-    /// armed for retransmission at `now + rto`.
+    /// armed for retransmission at `now + rto` — this is what re-flushes a
+    /// batch that was buffered (or flushed but unacked) at crash time.
     pub fn restore(rto: VDuration, next_seq: u64, unacked: Vec<LinkFrame>, now: VTime) -> Self {
         LinkSender {
             next_seq,
             rto,
             unacked: unacked.into_iter().map(|f| (now + rto, f)).collect(),
+            policy: BatchPolicy::default(),
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+            pending_since: None,
         }
     }
 }
@@ -400,6 +611,187 @@ mod tests {
         // And the next send continues the sequence space.
         let f = tx2.send(payload("c"), VTime::ZERO);
         assert_eq!(f.seq, 3);
+    }
+
+    #[test]
+    fn batch_datagram_roundtrip() {
+        let frames = vec![
+            LinkFrame {
+                seq: 1,
+                payload: payload("a"),
+            },
+            LinkFrame {
+                seq: 2,
+                payload: Bytes::new(),
+            },
+            LinkFrame {
+                seq: 3,
+                payload: payload("ccc"),
+            },
+        ];
+        let d = Datagram::Batch(frames.clone());
+        assert_eq!(d.frame_count(), 3);
+        assert_eq!(Datagram::decode(d.encode()).unwrap(), d);
+        // Wire layout: 1 tag + 4 count + per frame (8 seq + 4 len + body).
+        let body: usize = frames.iter().map(|f| 12 + f.payload.len()).sum();
+        assert_eq!(d.encode().len(), 5 + body);
+    }
+
+    #[test]
+    fn single_frame_batch_degrades_to_legacy_data() {
+        let d = Datagram::for_frames(vec![LinkFrame {
+            seq: 9,
+            payload: payload("x"),
+        }]);
+        assert!(matches!(d, Datagram::Data(_)));
+        // And a pre-batching decoder understands it (tag 0).
+        assert_eq!(d.encode()[0], 0);
+    }
+
+    #[test]
+    fn batch_garbage_rejected() {
+        // Truncated header.
+        assert!(Datagram::decode(Bytes::from_static(&[2, 1])).is_err());
+        // Empty batch.
+        assert!(Datagram::decode(Bytes::from_static(&[2, 0, 0, 0, 0])).is_err());
+        // Count says one frame but nothing follows.
+        assert!(Datagram::decode(Bytes::from_static(&[2, 1, 0, 0, 0])).is_err());
+        // Frame claims more payload than present.
+        let mut raw = vec![2u8, 1, 0, 0, 0];
+        raw.extend_from_slice(&1u64.to_le_bytes());
+        raw.extend_from_slice(&100u32.to_le_bytes());
+        raw.extend_from_slice(b"short");
+        assert!(Datagram::decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn buffer_coalesces_until_flush() {
+        let mut tx = LinkSender::new().with_policy(BatchPolicy {
+            max_frames: 4,
+            ..BatchPolicy::default()
+        });
+        assert!(tx.buffer(payload("a"), VTime::ZERO).is_none());
+        assert!(tx.buffer(payload("b"), VTime::ZERO).is_none());
+        assert_eq!(tx.pending_len(), 2);
+        assert_eq!(tx.in_flight(), 2, "buffered frames are unacked already");
+        let batch = tx.flush().expect("pending frames");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].seq, 1);
+        assert_eq!(batch[1].seq, 2);
+        assert_eq!(tx.pending_len(), 0);
+        assert!(tx.flush().is_none());
+    }
+
+    #[test]
+    fn max_frames_limit_splits_batches() {
+        let mut tx = LinkSender::new().with_policy(BatchPolicy {
+            max_frames: 3,
+            ..BatchPolicy::default()
+        });
+        let mut flushed = Vec::new();
+        for i in 0..7u64 {
+            if let Some(batch) = tx.buffer(Bytes::from(format!("m{i}")), VTime::ZERO) {
+                flushed.push(batch.len());
+            }
+        }
+        assert_eq!(flushed, vec![3, 3]);
+        assert_eq!(tx.flush().map(|b| b.len()), Some(1));
+    }
+
+    #[test]
+    fn max_bytes_limit_flushes_early() {
+        let mut tx = LinkSender::new().with_policy(BatchPolicy {
+            max_frames: 100,
+            max_bytes: 10,
+            max_delay: VDuration::ZERO,
+        });
+        assert!(tx.buffer(Bytes::from(vec![0u8; 4]), VTime::ZERO).is_none());
+        let batch = tx.buffer(Bytes::from(vec![0u8; 6]), VTime::ZERO);
+        assert_eq!(batch.map(|b| b.len()), Some(2));
+    }
+
+    #[test]
+    fn disabled_policy_flushes_every_frame() {
+        let mut tx = LinkSender::new().with_policy(BatchPolicy::disabled());
+        assert!(BatchPolicy::disabled().is_disabled());
+        assert!(!BatchPolicy::default().is_disabled());
+        let batch = tx.buffer(payload("a"), VTime::ZERO).expect("immediate");
+        assert_eq!(batch.len(), 1);
+        assert!(matches!(Datagram::for_frames(batch), Datagram::Data(_)));
+    }
+
+    #[test]
+    fn flush_deadline_follows_max_delay() {
+        let mut tx = LinkSender::new().with_policy(BatchPolicy {
+            max_delay: VDuration::from_millis(2),
+            ..BatchPolicy::default()
+        });
+        assert_eq!(tx.flush_deadline(), None);
+        let _ = tx.buffer(payload("a"), VTime::from_micros(1_000));
+        assert_eq!(tx.flush_deadline(), Some(VTime::from_micros(3_000)));
+        // The runtime timer must wake for the flush even before the RTO.
+        assert_eq!(tx.next_deadline(), Some(VTime::from_micros(3_000)));
+        let _ = tx.flush();
+        assert_eq!(tx.flush_deadline(), None);
+    }
+
+    #[test]
+    fn crashed_batch_is_reflushed_from_persisted_image() {
+        // Buffer two frames, never flush, "crash": the unacked journal
+        // already contains them, so a restored sender retransmits both.
+        let mut tx = LinkSender::with_rto(VDuration::from_millis(5)).with_policy(BatchPolicy {
+            max_frames: 8,
+            ..BatchPolicy::default()
+        });
+        assert!(tx.buffer(payload("a"), VTime::ZERO).is_none());
+        assert!(tx.buffer(payload("b"), VTime::ZERO).is_none());
+        let journal: Vec<LinkFrame> = tx.unacked_frames().cloned().collect();
+        assert_eq!(journal.len(), 2);
+
+        let mut tx2 = LinkSender::restore(
+            VDuration::from_millis(5),
+            tx.next_seq(),
+            journal,
+            VTime::ZERO,
+        );
+        let due = tx2.due_retransmissions(VTime::from_micros(5_000));
+        assert_eq!(due.len(), 2);
+        let mut rx = LinkReceiver::new();
+        let mut delivered = Vec::new();
+        for f in due {
+            delivered.extend(rx.on_frame(f).delivered);
+        }
+        assert_eq!(delivered, vec![payload("a"), payload("b")]);
+    }
+
+    #[test]
+    fn receiver_acks_once_per_batch() {
+        let mut tx = LinkSender::new();
+        let mut rx = LinkReceiver::new();
+        let mut batch = Vec::new();
+        for i in 0..5u64 {
+            let _ = i;
+            assert!(tx.buffer(payload("m"), VTime::ZERO).is_none());
+        }
+        if let Some(frames) = tx.flush() {
+            batch = frames;
+        }
+        let wire = Datagram::for_frames(batch);
+        assert!(matches!(wire, Datagram::Batch(_)));
+        // The receiving server feeds frames in order and sends the *last*
+        // cumulative ack only.
+        let mut last_ack = None;
+        if let Datagram::Batch(frames) = wire {
+            for f in frames {
+                let out = rx.on_frame(f);
+                if out.ack.is_some() {
+                    last_ack = out.ack;
+                }
+            }
+        }
+        assert_eq!(last_ack, Some(5));
+        tx.on_ack(5);
+        assert_eq!(tx.in_flight(), 0);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! The byte-transport abstraction — owned by the net crate.
+//!
+//! A [`Transport`] is what a runtime drives to move encoded datagrams
+//! between servers: the in-memory mesh ([`MemoryEndpoint`]) or localhost
+//! TCP ([`TcpEndpoint`]). It lived in `aaa-mom`'s runtime historically;
+//! it belongs here, beside the endpoint types that implement it (the
+//! MOM re-exports it for compatibility).
+//!
+//! Transports speak batches natively: [`Transport::send_batch`] hands the
+//! transport every wire packet a group-commit flush produced for one peer,
+//! so implementations with per-send cost (syscalls, locks) can amortize it
+//! — [`TcpEndpoint`] writes one contiguous buffer per batch. The default
+//! implementation falls back to one [`Transport::send`] per packet.
+
+use aaa_base::{Result, ServerId};
+use aaa_obs::Meter;
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+
+use crate::memory::{Incoming, MemoryEndpoint};
+use crate::tcp::TcpEndpoint;
+
+/// A byte transport a runtime can drive: the in-memory mesh
+/// ([`MemoryEndpoint`]) or localhost TCP ([`TcpEndpoint`]).
+pub trait Transport: Send + 'static {
+    /// This endpoint's server id.
+    fn me(&self) -> ServerId;
+
+    /// Sends `bytes` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific failures; the caller treats them as packet loss
+    /// (the link layer retransmits).
+    fn send(&self, to: ServerId, bytes: Bytes) -> Result<()>;
+
+    /// Sends several already-encoded wire packets to `to`, preserving
+    /// order. The default forwards each packet to [`Transport::send`];
+    /// transports with per-send overhead override this to pay it once per
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transport::send`]. A mid-batch failure may leave a prefix
+    /// delivered; the link layer retransmits the rest.
+    fn send_batch(&self, to: ServerId, batch: &[Bytes]) -> Result<()> {
+        for bytes in batch {
+            self.send(to, bytes.clone())?;
+        }
+        Ok(())
+    }
+
+    /// The inbox receiver for `select!`.
+    fn inbox_receiver(&self) -> &Receiver<Incoming>;
+
+    /// Attaches a metrics meter (default: no instrumentation).
+    fn attach_meter(&mut self, _meter: &Meter) {}
+
+    /// Records one received frame (runtimes draining `inbox_receiver`
+    /// directly call this per frame; default: no-op).
+    fn record_rx(&self, _from: ServerId, _len: usize) {}
+}
+
+impl Transport for MemoryEndpoint {
+    fn me(&self) -> ServerId {
+        MemoryEndpoint::me(self)
+    }
+    fn send(&self, to: ServerId, bytes: Bytes) -> Result<()> {
+        MemoryEndpoint::send(self, to, bytes)
+    }
+    fn inbox_receiver(&self) -> &Receiver<Incoming> {
+        MemoryEndpoint::inbox_receiver(self)
+    }
+    fn attach_meter(&mut self, meter: &Meter) {
+        MemoryEndpoint::attach_meter(self, meter);
+    }
+    fn record_rx(&self, from: ServerId, len: usize) {
+        MemoryEndpoint::record_rx(self, from, len);
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn me(&self) -> ServerId {
+        TcpEndpoint::me(self)
+    }
+    fn send(&self, to: ServerId, bytes: Bytes) -> Result<()> {
+        TcpEndpoint::send(self, to, bytes)
+    }
+    fn send_batch(&self, to: ServerId, batch: &[Bytes]) -> Result<()> {
+        TcpEndpoint::send_batch(self, to, batch)
+    }
+    fn inbox_receiver(&self) -> &Receiver<Incoming> {
+        TcpEndpoint::inbox_receiver(self)
+    }
+    fn attach_meter(&mut self, meter: &Meter) {
+        TcpEndpoint::attach_meter(self, meter);
+    }
+    fn record_rx(&self, from: ServerId, len: usize) {
+        TcpEndpoint::record_rx(self, from, len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryNetwork;
+    use crate::tcp::TcpNetwork;
+    use std::time::Duration;
+
+    fn drive<T: Transport>(eps: &[T], recv: impl Fn(&T) -> Incoming) {
+        let batch = vec![
+            Bytes::from_static(b"one"),
+            Bytes::from_static(b"two"),
+            Bytes::from_static(b"three"),
+        ];
+        eps[0].send_batch(ServerId::new(1), &batch).unwrap();
+        for expect in [&b"one"[..], b"two", b"three"] {
+            let got = recv(&eps[1]);
+            assert_eq!(got.from, ServerId::new(0));
+            assert_eq!(&got.bytes[..], expect);
+        }
+    }
+
+    #[test]
+    fn memory_send_batch_preserves_order() {
+        let eps = MemoryNetwork::create(2);
+        drive(&eps, |ep| {
+            ep.recv_timeout(Duration::from_secs(1)).unwrap().unwrap()
+        });
+    }
+
+    #[test]
+    fn tcp_send_batch_is_one_buffer_many_packets() {
+        let eps = TcpNetwork::create(2).unwrap();
+        drive(&eps, |ep| {
+            ep.recv_timeout(Duration::from_secs(5)).unwrap().unwrap()
+        });
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let eps = MemoryNetwork::create(2);
+        Transport::send_batch(&eps[0], ServerId::new(1), &[]).unwrap();
+        assert!(eps[1].try_recv().unwrap().is_none());
+    }
+}

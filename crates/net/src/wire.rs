@@ -104,7 +104,8 @@ impl Encoder {
     }
 
     /// Writes a stamp: a 1-byte tag, then either the full matrix
-    /// (width + cells) or the update list (count + triples).
+    /// (width + cells), the update list (count + triples), or — for the
+    /// zero-byte group-commit continuation — nothing at all.
     pub fn stamp(&mut self, v: &Stamp) -> &mut Self {
         match v {
             Stamp::Full(m) => {
@@ -124,6 +125,10 @@ impl Encoder {
                     self.u16(e.col);
                     self.u64(e.value);
                 }
+            }
+            // Tag 2 is taken by "no stamp" in `stamp_opt`.
+            Stamp::GroupNext => {
+                self.u8(3);
             }
         }
         self
@@ -278,6 +283,7 @@ impl Decoder {
                 }
                 Ok(Stamp::Delta(entries))
             }
+            3 => Ok(Stamp::GroupNext),
             tag => Err(Error::Codec(format!("unknown stamp tag {tag}"))),
         }
     }
@@ -356,6 +362,24 @@ mod tests {
         assert_eq!(e.len(), stamp.encoded_len() + 1);
         let decoded = Decoder::new(e.finish()).stamp().unwrap();
         assert_eq!(decoded, stamp);
+    }
+
+    #[test]
+    fn group_next_stamp_is_one_tag_byte() {
+        let stamp = Stamp::GroupNext;
+        let mut e = Encoder::new();
+        e.stamp(&stamp);
+        assert_eq!(e.len(), 1, "continuation stamps cost only their tag");
+        assert_eq!(e.len(), stamp.encoded_len() + 1);
+        let decoded = Decoder::new(e.finish()).stamp().unwrap();
+        assert_eq!(decoded, stamp);
+
+        // Also through the optional path.
+        let mut e = Encoder::new();
+        e.stamp_opt(&Some(Stamp::GroupNext)).stamp_opt(&None);
+        let mut d = Decoder::new(e.finish());
+        assert_eq!(d.stamp_opt().unwrap(), Some(Stamp::GroupNext));
+        assert_eq!(d.stamp_opt().unwrap(), None);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! `bench-batching` — measures the end-to-end effect of the group-commit
+//! batching pipeline against the legacy one-frame-per-packet path.
+//!
+//! ```text
+//! bench-batching [--short] [messages-per-sender]
+//! ```
+//!
+//! Two identical workloads run on a 16-server bus (`TopologySpec::bus(4, 4)`
+//! — four 4-server domains bridged by a backbone) with full matrix stamps
+//! and persistence enabled, the configuration where batching has to earn
+//! its keep:
+//!
+//! - **batched**: the default [`BatchPolicy`] (32 frames / 256 KiB per
+//!   packet, flush at end of step) with clients submitting bursts through
+//!   [`Mom::send_batch`], so stamping, link coalescing and the group commit
+//!   all amortize;
+//! - **unbatched**: `BatchPolicy::disabled()` with one [`Mom::send`] per
+//!   message — the wire format and transaction boundary of the seed.
+//!
+//! Each run floods the bus with ring traffic (`server i → server i+1 mod
+//! 16`, a mix of intra- and cross-domain routes), waits for quiescence,
+//! and reads throughput and wire cost off the metrics registry. Results
+//! are printed and written to `BENCH_batching.json`.
+//!
+//! `--short` (or `BENCH_SHORT=1`) runs a few hundred messages as a CI
+//! smoke test: it exercises the full pipeline and fails on panic or
+//! non-quiescence, but asserts no performance ratios.
+
+use std::time::{Duration, Instant};
+
+use aaa_middleware::prelude::*;
+
+const BURST: usize = 32;
+
+/// Outcome of one benchmark run.
+struct RunResult {
+    label: &'static str,
+    messages: u64,
+    elapsed: Duration,
+    tx_bytes: u64,
+    tx_packets: u64,
+    group_commits: u64,
+    stamp_bytes: u64,
+}
+
+impl RunResult {
+    fn msgs_per_sec(&self) -> f64 {
+        self.messages as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn bytes_per_msg(&self) -> f64 {
+        self.tx_bytes as f64 / self.messages as f64
+    }
+}
+
+fn aid(s: u16, l: u32) -> AgentId {
+    AgentId::new(ServerId::new(s), l)
+}
+
+/// Runs the ring workload and returns the measured totals.
+fn run(
+    label: &'static str,
+    policy: BatchPolicy,
+    batched_sends: bool,
+    per_sender: usize,
+) -> Result<RunResult> {
+    let servers: u16 = 16;
+    let mom = MomBuilder::new(TopologySpec::bus(4, 4))
+        .stamp_mode(StampMode::Full)
+        .persistence(true)
+        .record_trace(false)
+        .batching(policy)
+        .build()?;
+    // A no-op sink on every server: we measure the middleware, not agents.
+    for s in 0..servers {
+        mom.register_agent(
+            ServerId::new(s),
+            1,
+            Box::new(FnAgent::new(|_ctx, _from, _note| {})),
+        )?;
+    }
+
+    let total = per_sender as u64 * u64::from(servers);
+    let note = Notification::signal("bench");
+    let start = Instant::now();
+    if batched_sends {
+        for s in 0..servers {
+            let from = aid(s, 9);
+            let to = aid((s + 1) % servers, 1);
+            let mut left = per_sender;
+            while left > 0 {
+                let n = left.min(BURST);
+                let batch: Vec<_> = (0..n).map(|_| (to, note.clone())).collect();
+                mom.send_batch(from, batch, SendOptions::new())?;
+                left -= n;
+            }
+        }
+    } else {
+        for s in 0..servers {
+            let from = aid(s, 9);
+            let to = aid((s + 1) % servers, 1);
+            for _ in 0..per_sender {
+                mom.send(from, to, note.clone())?;
+            }
+        }
+    }
+    assert!(
+        mom.quiesce(Duration::from_secs(120)),
+        "{label}: bus failed to quiesce"
+    );
+    let elapsed = start.elapsed();
+
+    let snap = mom.metrics();
+    let delivered = snap.sum_counter("aaa_channel_delivered_total");
+    assert_eq!(delivered, total, "{label}: lost messages");
+    let result = RunResult {
+        label,
+        messages: total,
+        elapsed,
+        tx_bytes: snap.sum_counter("aaa_net_tx_bytes_total"),
+        tx_packets: snap.sum_counter("aaa_net_tx_frames_total"),
+        group_commits: snap.sum_counter("aaa_persist_group_commit_total"),
+        stamp_bytes: snap.sum_counter("aaa_channel_stamp_bytes_total"),
+    };
+    mom.shutdown();
+    Ok(result)
+}
+
+fn json_run(r: &RunResult) -> String {
+    format!(
+        "  \"{}\": {{\n    \"messages\": {},\n    \"elapsed_ms\": {:.1},\n    \
+         \"messages_per_sec\": {:.1},\n    \"tx_bytes\": {},\n    \
+         \"bytes_per_msg\": {:.1},\n    \"wire_packets\": {},\n    \
+         \"group_commits\": {},\n    \"stamp_bytes\": {}\n  }}",
+        r.label,
+        r.messages,
+        r.elapsed.as_secs_f64() * 1e3,
+        r.msgs_per_sec(),
+        r.tx_bytes,
+        r.bytes_per_msg(),
+        r.tx_packets,
+        r.group_commits,
+        r.stamp_bytes,
+    )
+}
+
+fn main() -> Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    let short = args.iter().any(|a| a == "--short") || std::env::var_os("BENCH_SHORT").is_some();
+    let per_sender: usize = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if short { 24 } else { 512 });
+
+    eprintln!(
+        "bench-batching: 16-server bus(4,4), {per_sender} msgs/sender, burst {BURST}{}",
+        if short { " [short]" } else { "" }
+    );
+
+    let batched = run("batched", BatchPolicy::default(), true, per_sender)?;
+    let unbatched = run("unbatched", BatchPolicy::disabled(), false, per_sender)?;
+
+    let speedup = batched.msgs_per_sec() / unbatched.msgs_per_sec();
+    let byte_ratio = batched.bytes_per_msg() / unbatched.bytes_per_msg();
+
+    for r in [&batched, &unbatched] {
+        eprintln!(
+            "  {:>9}: {:>8.0} msg/s  {:>6.1} B/msg  {:>6} packets  {:>6} commits",
+            r.label,
+            r.msgs_per_sec(),
+            r.bytes_per_msg(),
+            r.tx_packets,
+            r.group_commits,
+        );
+    }
+    eprintln!("  speedup {speedup:.2}x  bytes/msg ratio {byte_ratio:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"batching\",\n  \"topology\": \"bus(4,4)\",\n  \
+         \"servers\": 16,\n  \"burst\": {BURST},\n  \"short\": {short},\n\
+         {},\n{},\n  \"speedup\": {speedup:.3},\n  \"bytes_per_msg_ratio\": {byte_ratio:.3}\n}}\n",
+        json_run(&batched),
+        json_run(&unbatched),
+    );
+    std::fs::write("BENCH_batching.json", &json).expect("write BENCH_batching.json");
+    eprintln!("  wrote BENCH_batching.json");
+
+    if !short {
+        assert!(
+            speedup >= 2.0,
+            "batching speedup regressed: {speedup:.2}x < 2.0x"
+        );
+        assert!(
+            byte_ratio <= 0.6,
+            "batching wire-cost ratio regressed: {byte_ratio:.2}x > 0.6x"
+        );
+    }
+    Ok(())
+}

@@ -72,8 +72,8 @@ pub mod prelude {
     };
     pub use aaa_clocks::StampMode;
     pub use aaa_mom::{
-        Agent, AgentMessage, DeliveryPolicy, EchoAgent, FnAgent, Mom, MomBuilder, Notification,
-        ReactionContext, SendOptions, ServerConfig, StepStats,
+        Agent, AgentMessage, BatchPolicy, DeliveryPolicy, EchoAgent, FnAgent, Mom, MomBuilder,
+        Notification, ReactionContext, SendOptions, ServerConfig, StepStats,
     };
     pub use aaa_obs::{
         Counter, Gauge, Histogram, LatencyTracker, Meter, MetricsServer, MetricsSnapshot, Registry,

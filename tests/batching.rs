@@ -1,0 +1,266 @@
+//! Group-commit batching under adversity: randomized batch sizes, packet
+//! loss and mid-batch crashes must never cost causal order, exactly-once
+//! delivery, or quiescence — the batching pipeline is an optimization,
+//! not a semantics change.
+
+#[allow(dead_code)]
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aaa_middleware::prelude::*;
+use aaa_middleware::sim::FaultConfig;
+use aaa_middleware::trace::TraceRecorder;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn aid(s: u16, l: u32) -> AgentId {
+    AgentId::new(ServerId::new(s), l)
+}
+
+/// Sink agent that appends every body it sees to a shared log.
+fn collector(seen: Arc<Mutex<Vec<String>>>) -> Box<dyn Agent> {
+    Box::new(FnAgent::new(move |_ctx, _from, note: &Notification| {
+        seen.lock().push(note.body_str().unwrap_or("").to_owned());
+    }))
+}
+
+/// Simulator: random-size batched bursts through a bus of domains, under
+/// 20 % packet loss. Retransmission re-sends whole batches; delivery must
+/// stay causal and exactly-once, and nothing may remain postponed.
+#[test]
+fn random_batches_under_loss_stay_causal_and_exactly_once() {
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(0xBA7C & seed.wrapping_mul(977));
+        let topo = TopologySpec::bus(3, 3).validate().unwrap();
+        let n = 9u16;
+        let config = ServerConfig {
+            rto: VDuration::from_millis(40),
+            ..ServerConfig::default()
+        };
+        assert!(
+            !config.batch.is_disabled(),
+            "batching must be on by default"
+        );
+        let mut sim = Simulation::with_faults(
+            topo,
+            config,
+            CostModel::paper_calibrated(),
+            FaultConfig {
+                drop_probability: 0.2,
+                seed: seed + 3,
+            },
+        )
+        .unwrap();
+        let registry = Registry::default();
+        sim.attach_registry(&registry);
+        let recorder = TraceRecorder::new();
+        sim.record_into(&recorder);
+        for s in 0..n {
+            sim.register_agent(ServerId::new(s), 1, collector(Default::default()));
+        }
+
+        let mut total = 0usize;
+        for _ in 0..12 {
+            let from = rng.gen_range(0..n);
+            let burst = rng.gen_range(1..=48usize);
+            let batch: Vec<_> = (0..burst)
+                .map(|_| {
+                    let to = rng.gen_range(0..n);
+                    (aid(to, 1), Notification::signal("b"))
+                })
+                .collect();
+            total += batch.len();
+            sim.client_send_batch(aid(from, 9), batch);
+        }
+        sim.run_until_quiet().unwrap();
+
+        assert!(sim.dropped_datagrams() > 0, "seed {seed}: loss never fired");
+        let trace = recorder.snapshot().unwrap();
+        assert_eq!(trace.message_count(), total, "seed {seed}: lost messages");
+        assert!(
+            trace.check_causality().is_ok(),
+            "seed {seed}: batched trace violates causality"
+        );
+        let snap = sim.metrics();
+        assert_eq!(
+            snap.sum_counter("aaa_channel_delivered_total"),
+            total as u64,
+            "seed {seed}: duplicate or missing deliveries"
+        );
+        assert_eq!(
+            snap.sum_gauge("aaa_channel_postponed"),
+            0,
+            "seed {seed}: messages left postponed after quiescence"
+        );
+        // Coalescing actually happened: fewer flushes than frames.
+        let flushes = snap.sum_counter("aaa_link_flushes_total");
+        let frames = snap.sum_counter("aaa_channel_transmitted_total");
+        assert!(
+            flushes > 0 && flushes < frames,
+            "seed {seed}: no coalescing"
+        );
+    }
+}
+
+/// Threaded runtime: randomized batch policies (including disabled and a
+/// timer-flushed one) with random-size `send_batch` bursts all converge to
+/// the same causal, exactly-once outcome.
+#[test]
+fn randomized_batch_policies_converge_threaded() {
+    let policies = [
+        BatchPolicy::default(),
+        BatchPolicy::disabled(),
+        BatchPolicy {
+            max_frames: 5,
+            max_bytes: 400,
+            max_delay: VDuration::ZERO,
+        },
+        BatchPolicy {
+            max_frames: 64,
+            max_bytes: 256 * 1024,
+            // Timer-flushed: partial batches ride across steps until the
+            // tick path (or an urgent send) pushes them out.
+            max_delay: VDuration::from_millis(5),
+        },
+    ];
+    for (i, policy) in policies.into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(31 + i as u64);
+        let spec = common::random_acyclic_spec(i as u64 + 7, 3, 2, 3);
+        let n = spec.server_count() as u16;
+        let mom = MomBuilder::new(spec).batching(policy).build().unwrap();
+        for s in 0..n {
+            mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent))
+                .unwrap();
+        }
+        let mut total = 0u64;
+        for round in 0..8 {
+            let from = rng.gen_range(0..n);
+            let burst = rng.gen_range(1..=20usize);
+            let batch: Vec<_> = (0..burst)
+                .map(|_| {
+                    let to = rng.gen_range(0..n);
+                    (aid(to, 1), Notification::signal("m"))
+                })
+                .collect();
+            total += batch.len() as u64;
+            // Alternate lazy and urgent submission.
+            let opts = if round % 2 == 0 {
+                SendOptions::new()
+            } else {
+                SendOptions::urgent()
+            };
+            mom.send_batch(aid(from, 9), batch, opts).unwrap();
+        }
+        mom.flush().unwrap();
+        assert!(
+            mom.quiesce(Duration::from_secs(30)),
+            "policy {i}: failed to quiesce"
+        );
+        let trace = mom.trace().unwrap();
+        assert!(
+            trace.check_causality().is_ok(),
+            "policy {i}: causality violated"
+        );
+        // Every request delivered once, plus one echo each.
+        assert_eq!(
+            trace.message_count() as u64,
+            total * 2,
+            "policy {i}: wrong delivery count"
+        );
+        assert_eq!(mom.metrics().sum_gauge("aaa_channel_postponed"), 0);
+        mom.shutdown();
+    }
+}
+
+/// A source server crashes while a batch is still buffered on its links
+/// (large `max_delay`, never flushed before the crash). Because frames
+/// enter the retransmission window at *buffer* time, the persisted image
+/// covers the whole batch: recovery re-flushes it and delivery is
+/// exactly-once, in order.
+#[test]
+fn mid_batch_crash_recovers_buffered_frames() {
+    let seen: Arc<Mutex<Vec<String>>> = Default::default();
+    let mom = MomBuilder::new(TopologySpec::single_domain(2))
+        .persistence(true)
+        .batching(BatchPolicy {
+            max_frames: 64,
+            max_bytes: 256 * 1024,
+            max_delay: VDuration::from_millis(600_000), // effectively: never
+        })
+        .build()
+        .unwrap();
+    let source = ServerId::new(0);
+    mom.register_agent(ServerId::new(1), 1, collector(seen.clone()))
+        .unwrap();
+
+    let batch: Vec<_> = (0..5)
+        .map(|i| (aid(1, 1), Notification::new("m", format!("{i}"))))
+        .collect();
+    // Accepted, journaled, buffered — but the batch never hits the wire
+    // before the crash wipes the in-memory server.
+    mom.send_batch(aid(0, 9), batch, SendOptions::new())
+        .unwrap();
+    mom.crash(source).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(seen.lock().is_empty(), "nothing should have been flushed");
+
+    mom.recover(source, Vec::new()).unwrap();
+    assert!(
+        mom.quiesce(Duration::from_secs(30)),
+        "recovered batch never delivered"
+    );
+    assert_eq!(
+        seen.lock().clone(),
+        vec!["0", "1", "2", "3", "4"],
+        "mid-batch crash must not lose, duplicate or reorder"
+    );
+    assert!(mom.trace().unwrap().check_causality().is_ok());
+    assert_eq!(mom.metrics().sum_gauge("aaa_channel_postponed"), 0);
+    mom.shutdown();
+}
+
+/// Crashing a *destination* between two halves of a burst stream: the
+/// default zero-delay policy flushes per step, so the first half is on
+/// the wire when the receiver dies; retransmission re-sends those frames
+/// as batches after recovery and dedup keeps delivery exactly-once.
+#[test]
+fn destination_crash_between_bursts_is_exactly_once() {
+    let seen: Arc<Mutex<Vec<String>>> = Default::default();
+    let mom = MomBuilder::new(TopologySpec::single_domain(2))
+        .persistence(true)
+        .build()
+        .unwrap();
+    let dest = ServerId::new(1);
+    mom.register_agent(dest, 1, collector(seen.clone()))
+        .unwrap();
+
+    let mut expected = Vec::new();
+    let burst = |lo: usize, hi: usize| -> Vec<(AgentId, Notification)> {
+        (lo..hi)
+            .map(|i| (aid(1, 1), Notification::new("m", format!("{i}"))))
+            .collect()
+    };
+    expected.extend((0..6).map(|i| i.to_string()));
+    mom.send_batch(aid(0, 9), burst(0, 6), SendOptions::new())
+        .unwrap();
+    mom.crash(dest).unwrap();
+    // Second burst while the destination is down: frames queue unacked.
+    expected.extend((6..12).map(|i| i.to_string()));
+    mom.send_batch(aid(0, 9), burst(6, 12), SendOptions::urgent())
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    mom.recover(dest, vec![(1, collector(seen.clone()))])
+        .unwrap();
+    assert!(mom.quiesce(Duration::from_secs(30)));
+
+    assert_eq!(
+        seen.lock().clone(),
+        expected,
+        "burst split by a crash must still deliver exactly once, in order"
+    );
+    assert_eq!(mom.metrics().sum_gauge("aaa_channel_postponed"), 0);
+    mom.shutdown();
+}

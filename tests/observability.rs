@@ -145,6 +145,30 @@ fn prometheus_rendering_matches_golden_file() {
     h.observe(40);
     h.observe(900);
     h.observe(2_000_000);
+    // Group-commit batching instruments.
+    let bf = m0.histogram(
+        "aaa_link_batch_frames",
+        "Frames coalesced into one flushed link batch",
+        &[1, 2, 4, 8, 16, 32, 64],
+    );
+    bf.observe(1);
+    bf.observe(32);
+    m0.counter(
+        "aaa_link_flushes_total",
+        "Link batch flushes (one wire packet per flush)",
+    )
+    .add(2);
+    m0.counter(
+        "aaa_persist_group_commit_total",
+        "Transactional group commits (one put per batch of deliveries)",
+    )
+    .add(2);
+    m0.histogram(
+        "aaa_persist_group_commit_us",
+        "Wall-clock duration of one group commit, in microseconds",
+        &[100, 1_000, 10_000],
+    )
+    .observe(250);
 
     let rendered = registry.snapshot().render_prometheus();
     let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
