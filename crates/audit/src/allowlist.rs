@@ -1,0 +1,186 @@
+//! Committed allowlists: one file per rule, each entry an intentional
+//! exception.
+//!
+//! Format (`crates/audit/allow/<rule>.allow`): one entry per line,
+//! `<workspace-relative path>\t<trimmed source line>`. Entries key on the
+//! *content* of the offending line, not its number, so unrelated edits
+//! above it do not invalidate the allowlist; an entry whose line text no
+//! longer produces a finding is **stale** and fails CI (run
+//! `cargo run -p aaa-audit -- --fix-allowlist` to refresh).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::Finding;
+
+/// One allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowEntry {
+    /// Rule id the exception applies to.
+    pub rule: String,
+    /// Workspace-relative path of the excepted file.
+    pub file: String,
+    /// Trimmed text of the excepted source line.
+    pub line_text: String,
+}
+
+impl std::fmt::Display for AllowEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: `{}`", self.rule, self.file, self.line_text)
+    }
+}
+
+/// The loaded set of allowlist entries across every rule file.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// All entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Loads every `*.allow` file in `dir` (missing dir = empty list).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than a missing directory.
+    pub fn load(dir: &Path) -> io::Result<Allowlist> {
+        let mut entries = Vec::new();
+        let read = match fs::read_dir(dir) {
+            Ok(r) => r,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok(Allowlist { entries });
+            }
+            Err(e) => return Err(e),
+        };
+        let mut paths: Vec<_> = read
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|x| x == "allow").unwrap_or(false))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let rule = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let text = fs::read_to_string(&path)?;
+            for line in text.lines() {
+                let line = line.trim_end();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                if let Some((file, line_text)) = line.split_once('\t') {
+                    entries.push(AllowEntry {
+                        rule: rule.clone(),
+                        file: file.to_owned(),
+                        line_text: line_text.to_owned(),
+                    });
+                }
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Builds an allowlist covering exactly `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Allowlist {
+        let mut set: BTreeSet<AllowEntry> = BTreeSet::new();
+        for f in findings {
+            set.insert(AllowEntry {
+                rule: f.rule.to_owned(),
+                file: f.file.clone(),
+                line_text: f.line_text.clone(),
+            });
+        }
+        Allowlist {
+            entries: set.into_iter().collect(),
+        }
+    }
+
+    /// Writes one `<rule>.allow` file per rule into `dir` (creating it),
+    /// removing files for rules that no longer have entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        // Remove stale per-rule files first.
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().map(|x| x == "allow").unwrap_or(false) {
+                fs::remove_file(&path)?;
+            }
+        }
+        let rules: BTreeSet<&str> = self.entries.iter().map(|e| e.rule.as_str()).collect();
+        for rule in rules {
+            let mut body = String::new();
+            body.push_str(&format!(
+                "# Intentional `{rule}` exceptions. One entry per line:\n\
+                 # <workspace-relative path>\\t<trimmed source line>\n\
+                 # Refresh with: cargo run -p aaa-audit -- --fix-allowlist\n"
+            ));
+            for e in self.entries.iter().filter(|e| e.rule == rule) {
+                body.push_str(&format!("{}\t{}\n", e.file, e.line_text));
+            }
+            fs::write(dir.join(format!("{rule}.allow")), body)?;
+        }
+        Ok(())
+    }
+
+    /// Index of the first entry matching `finding`, if any.
+    pub fn matches(&self, finding: &Finding) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            e.rule == finding.rule && e.file == finding.file && e.line_text == finding.line_text
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, text: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_owned(),
+            line: 3,
+            message: "m".to_owned(),
+            line_text: text.to_owned(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("aaa-audit-allow-{}", std::process::id()));
+        let findings = vec![
+            finding("panic-freedom", "crates/net/src/link.rs", "x.unwrap();"),
+            finding("determinism", "crates/sim/src/s.rs", "Instant::now();"),
+        ];
+        let list = Allowlist::from_findings(&findings);
+        list.save(&dir).expect("save");
+        let loaded = Allowlist::load(&dir).expect("load");
+        assert_eq!(loaded.entries.len(), 2);
+        assert!(loaded.matches(&findings[0]).is_some());
+        assert!(loaded.matches(&findings[1]).is_some());
+        assert!(loaded
+            .matches(&finding("panic-freedom", "crates/net/src/link.rs", "other"))
+            .is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_empty() {
+        let list = Allowlist::load(Path::new("/nonexistent/audit/allow")).expect("ok");
+        assert!(list.entries.is_empty());
+    }
+
+    #[test]
+    fn duplicate_findings_collapse_to_one_entry() {
+        let findings = vec![
+            finding("panic-freedom", "a.rs", "x.unwrap();"),
+            finding("panic-freedom", "a.rs", "x.unwrap();"),
+        ];
+        assert_eq!(Allowlist::from_findings(&findings).entries.len(), 1);
+    }
+}

@@ -1,0 +1,590 @@
+//! A minimal, panic-free Rust lexer.
+//!
+//! The auditor cannot depend on `syn` (the vendor tree is offline), and it
+//! does not need full parsing: every rule in this crate works on a *token
+//! stream* with accurate line numbers, as long as the lexer gets the hard
+//! parts right — strings (plain, raw, byte), character literals vs.
+//! lifetimes, and nested block comments. Anything the lexer does not
+//! recognise degrades to a one-character [`TokKind::Punct`] token; it never
+//! panics and never loses position information (see the proptest in
+//! `tests/lexer_props.rs`).
+
+/// The classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Stamp`, ...).
+    Ident,
+    /// Lifetime such as `'static` (without trailing quote).
+    Lifetime,
+    /// Numeric literal (integers, floats, suffixed forms).
+    Number,
+    /// String literal: plain, raw, byte, or raw-byte. `text` holds the
+    /// *content* (without quotes/prefix) so rules can match on it.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Line or block comment (doc comments included). `text` holds the
+    /// full comment body including delimiters.
+    Comment,
+    /// Any single punctuation / operator character.
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what exactly is stored).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based line of the token's last character (differs from `line`
+    /// for multi-line strings and block comments).
+    pub end_line: u32,
+}
+
+impl Tok {
+    /// `true` if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// Advances one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if let Some(b) = self.peek() {
+            if b == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Advances `n` bytes.
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn slice(&self, from: usize) -> &'a str {
+        self.src.get(from..self.pos).unwrap_or("")
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. Whitespace is dropped; comments are
+/// kept (rules need them for `// audit:allow(...)` escapes). Total
+/// function: malformed input produces `Punct` tokens, never a panic.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut c = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(b) = c.peek() {
+        let start = c.pos;
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                while let Some(nb) = c.peek() {
+                    if nb == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+                out.push(Tok {
+                    kind: TokKind::Comment,
+                    text: c.slice(start).to_owned(),
+                    line,
+                    end_line: c.line,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump_n(2);
+                        }
+                        (Some(_), _) => c.bump(),
+                        (None, _) => break, // unterminated: swallow to EOF
+                    }
+                }
+                out.push(Tok {
+                    kind: TokKind::Comment,
+                    text: c.slice(start).to_owned(),
+                    line,
+                    end_line: c.line,
+                });
+            }
+            b'"' => {
+                c.bump();
+                let content_start = c.pos;
+                lex_plain_string_body(&mut c);
+                let content_end = c.pos.saturating_sub(1).max(content_start);
+                out.push(Tok {
+                    kind: TokKind::Str,
+                    text: c
+                        .src
+                        .get(content_start..content_end)
+                        .unwrap_or("")
+                        .to_owned(),
+                    line,
+                    end_line: c.line,
+                });
+            }
+            b'\'' => {
+                lex_quote(&mut c, &mut out, line);
+            }
+            b'r' | b'b' if starts_prefixed_literal(&c) => {
+                lex_prefixed_literal(&mut c, &mut out, line);
+            }
+            _ if is_ident_start(b) => {
+                while let Some(nb) = c.peek() {
+                    if is_ident_continue(nb) {
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    text: c.slice(start).to_owned(),
+                    line,
+                    end_line: c.line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                while let Some(nb) = c.peek() {
+                    if is_ident_continue(nb) {
+                        c.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // One fractional part: `1.5` but not the range `0..10`.
+                if c.peek() == Some(b'.')
+                    && c.peek_at(1).map(|d| d.is_ascii_digit()).unwrap_or(false)
+                {
+                    c.bump();
+                    while let Some(nb) = c.peek() {
+                        if is_ident_continue(nb) {
+                            c.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                out.push(Tok {
+                    kind: TokKind::Number,
+                    text: c.slice(start).to_owned(),
+                    line,
+                    end_line: c.line,
+                });
+            }
+            _ => {
+                c.bump();
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.slice(start).to_owned(),
+                    line,
+                    end_line: c.line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a plain string body after the opening `"`, handling `\"` and
+/// `\\` escapes; stops after the closing quote (or EOF).
+fn lex_plain_string_body(c: &mut Cursor<'_>) {
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => c.bump_n(2),
+            b'"' => {
+                c.bump();
+                return;
+            }
+            _ => c.bump(),
+        }
+    }
+}
+
+/// Does the cursor sit at `r"`, `r#`, `b"`, `b'`, `br`, or `rb`-style
+/// literal prefix (rather than a plain identifier starting with r/b)?
+fn starts_prefixed_literal(c: &Cursor<'_>) -> bool {
+    let b0 = c.peek();
+    let b1 = c.peek_at(1);
+    let b2 = c.peek_at(2);
+    match (b0, b1) {
+        (Some(b'r'), Some(b'"')) | (Some(b'r'), Some(b'#')) => true,
+        (Some(b'b'), Some(b'"')) | (Some(b'b'), Some(b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => matches!(b2, Some(b'"') | Some(b'#')),
+        _ => false,
+    }
+}
+
+/// Lexes `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
+fn lex_prefixed_literal(c: &mut Cursor<'_>, out: &mut Vec<Tok>, line: u32) {
+    let raw = c.peek() == Some(b'r') || (c.peek() == Some(b'b') && c.peek_at(1) == Some(b'r'));
+    let byte_char = c.peek() == Some(b'b') && c.peek_at(1) == Some(b'\'');
+    // Consume the prefix letters: `r`, `b`, or `br` (guaranteed by
+    // `starts_prefixed_literal` to be followed by `"`, `'`, or `#`).
+    c.bump();
+    if matches!(c.peek(), Some(b'r')) && raw {
+        c.bump();
+    }
+    if byte_char {
+        // b'x' — reuse the char/lifetime path.
+        c.bump(); // the opening quote
+        let mut chars = 0usize;
+        while let Some(b) = c.peek() {
+            match b {
+                b'\\' => {
+                    c.bump_n(2);
+                    chars += 1;
+                }
+                b'\'' => {
+                    c.bump();
+                    break;
+                }
+                b'\n' => break,
+                _ => {
+                    c.bump();
+                    chars += 1;
+                }
+            }
+            if chars > 4 {
+                break; // malformed; bail without panicking
+            }
+        }
+        out.push(Tok {
+            kind: TokKind::Char,
+            text: String::new(),
+            line,
+            end_line: c.line,
+        });
+        return;
+    }
+    if raw {
+        // Count the hashes, then find `"` ... `"` + same number of hashes.
+        let mut hashes = 0usize;
+        while c.peek() == Some(b'#') {
+            hashes += 1;
+            c.bump();
+        }
+        if c.peek() != Some(b'"') {
+            // `r#foo` raw identifier: emit as ident.
+            let start = c.pos;
+            while let Some(nb) = c.peek() {
+                if is_ident_continue(nb) {
+                    c.bump();
+                } else {
+                    break;
+                }
+            }
+            out.push(Tok {
+                kind: TokKind::Ident,
+                text: c.slice(start).to_owned(),
+                line,
+                end_line: c.line,
+            });
+            return;
+        }
+        c.bump(); // opening quote
+        let content_start = c.pos;
+        let mut content_end = c.pos;
+        'scan: while let Some(b) = c.peek() {
+            if b == b'"' {
+                // Candidate close: check for `hashes` hashes after it.
+                let mut ok = true;
+                for i in 0..hashes {
+                    if c.peek_at(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    content_end = c.pos;
+                    c.bump_n(1 + hashes);
+                    break 'scan;
+                }
+            }
+            c.bump();
+            content_end = c.pos;
+        }
+        out.push(Tok {
+            kind: TokKind::Str,
+            text: c
+                .src
+                .get(content_start..content_end)
+                .unwrap_or("")
+                .to_owned(),
+            line,
+            end_line: c.line,
+        });
+    } else {
+        // b"..." plain byte string.
+        c.bump(); // opening quote
+        let content_start = c.pos;
+        lex_plain_string_body(c);
+        let content_end = c.pos.saturating_sub(1).max(content_start);
+        out.push(Tok {
+            kind: TokKind::Str,
+            text: c
+                .src
+                .get(content_start..content_end)
+                .unwrap_or("")
+                .to_owned(),
+            line,
+            end_line: c.line,
+        });
+    }
+}
+
+/// Disambiguates `'a'` / `'\n'` (char literals) from `'a` / `'static`
+/// (lifetimes). Called with the cursor on the opening quote.
+fn lex_quote(c: &mut Cursor<'_>, out: &mut Vec<Tok>, line: u32) {
+    c.bump(); // the quote
+    match c.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: `'\n'`, `'\''`, `'\u{1F600}'`.
+            c.bump_n(2);
+            while let Some(b) = c.peek() {
+                if b == b'\'' {
+                    c.bump();
+                    break;
+                }
+                if b == b'\n' {
+                    break;
+                }
+                c.bump();
+            }
+            out.push(Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+                end_line: c.line,
+            });
+        }
+        Some(b) if is_ident_start(b) => {
+            let start = c.pos;
+            while let Some(nb) = c.peek() {
+                if is_ident_continue(nb) {
+                    c.bump();
+                } else {
+                    break;
+                }
+            }
+            if c.peek() == Some(b'\'') {
+                // 'a' — a char literal (possibly malformed multi-char;
+                // swallow it whole either way).
+                c.bump();
+                out.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                    end_line: c.line,
+                });
+            } else {
+                out.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: c.slice(start).to_owned(),
+                    line,
+                    end_line: c.line,
+                });
+            }
+        }
+        Some(_) => {
+            // `'(' )` or similar single odd char: treat as char literal if
+            // closed, else as a stray quote Punct.
+            let b = c.peek();
+            c.bump();
+            if c.peek() == Some(b'\'') {
+                c.bump();
+                out.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                    end_line: c.line,
+                });
+            } else {
+                let _ = b;
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "'".to_owned(),
+                    line,
+                    end_line: c.line,
+                });
+            }
+        }
+        None => out.push(Tok {
+            kind: TokKind::Punct,
+            text: "'".to_owned(),
+            line,
+            end_line: c.line,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let toks = kinds("let x = 42 + y_2;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Number, "42".into()),
+                (TokKind::Punct, "+".into()),
+                (TokKind::Ident, "y_2".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = kinds(r#"f("a \" b", "\\")"#);
+        assert_eq!(toks[2], (TokKind::Str, r#"a \" b"#.into()));
+        assert_eq!(toks[4], (TokKind::Str, r"\\".into()));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"x(r"plain", r#"with "quotes""#)"###);
+        assert_eq!(toks[2], (TokKind::Str, "plain".into()));
+        assert_eq!(toks[4], (TokKind::Str, r#"with "quotes""#.into()));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let toks = kinds(r##"f(b"bytes", br#"raw bytes"#)"##);
+        assert_eq!(toks[2], (TokKind::Str, "bytes".into()));
+        assert_eq!(toks[4], (TokKind::Str, "raw bytes".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* one /* two */ still */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::Comment);
+        assert_eq!(toks[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("x<'a> = 'b'; y: &'static str = '\\n';");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a".to_owned(), "static".to_owned()]);
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n  c // tail\nd");
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.is_ident(name))
+                .map(|t| t.line)
+                .unwrap_or(0)
+        };
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 2);
+        assert_eq!(find("c"), 3);
+        assert_eq!(find("d"), 4);
+    }
+
+    #[test]
+    fn multiline_string_spans_lines() {
+        let toks = lex("let s = \"one\ntwo\"; x");
+        let s = &toks[3];
+        assert_eq!(s.kind, TokKind::Str);
+        assert_eq!(s.line, 1);
+        assert_eq!(s.end_line, 2);
+        let x = toks.iter().find(|t| t.is_ident("x")).map(|t| t.line);
+        assert_eq!(x, Some(2));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed",
+            "'",
+            "b'",
+            "r#",
+            "br#\"x",
+            "'\\",
+        ] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("r#match = 1");
+        assert_eq!(toks[0], (TokKind::Ident, "match".into()));
+    }
+}

@@ -1,0 +1,404 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+//! `aaa-audit` — the workspace's static-analysis pass and
+//! protocol-invariant auditor.
+//!
+//! The paper's guarantee (local causal delivery in every domain plus an
+//! acyclic domain graph implies global causal delivery, §4.3) is enforced
+//! by *code discipline* as much as by the protocol: a panic on a hot path
+//! aborts a half-committed channel transaction, a wall-clock read inside
+//! the deterministic simulator makes replay diverge, and a wire-enum
+//! variant handled in `encode` but not `decode` silently breaks
+//! cross-version exactly-once delivery. This crate walks every workspace
+//! source file with a tiny self-contained Rust [lexer] (no `syn`; the
+//! vendor tree is offline) and enforces five rules:
+//!
+//! | rule id | guards |
+//! |---|---|
+//! | `panic-freedom` | no `unwrap`/`expect`/`panic!`-family/indexing-by-literal in non-test code of `net`, `mom`, `clocks`, `storage` |
+//! | `determinism` | no `Instant`/`SystemTime`/`thread_rng` in `sim` and `clocks` |
+//! | `match-drift` | every wire-enum variant appears in both its serializer and deserializer |
+//! | `metric-drift` | the `aaa_*` metric vocabulary in code, README table and Prometheus golden file agree |
+//! | `lock-across-send` | no `Mutex`/`RwLock` guard held across a transport send in the same block |
+//!
+//! Intentional exceptions live in per-rule allowlist files
+//! (`crates/audit/allow/<rule>.allow`, refreshed with
+//! `cargo run -p aaa-audit -- --fix-allowlist`) or inline as
+//! `// audit:allow(rule)` on (or directly above) the offending line.
+//! Active findings are counted into the observability layer as
+//! `aaa_audit_findings_total{rule=...}`.
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use aaa_obs::Meter;
+
+use allowlist::Allowlist;
+use source::SourceFile;
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`panic-freedom`, `determinism`, ...).
+    pub rule: &'static str,
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The trimmed source line the finding points at (the allowlist key).
+    pub line_text: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A wire enum whose serializer/deserializer pair must cover every
+/// variant (the `match-drift` rule).
+#[derive(Debug, Clone)]
+pub struct EnumPair {
+    /// The enum's type name (e.g. `Stamp`).
+    pub enum_name: &'static str,
+    /// Workspace-relative path of the file defining the enum.
+    pub def: &'static str,
+    /// `(file, fn name)` of the serializer side.
+    pub encode: (&'static str, &'static str),
+    /// `(file, fn name)` of the deserializer side.
+    pub decode: (&'static str, &'static str),
+}
+
+/// What the auditor checks and where.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path prefixes subject to the `panic-freedom` rule.
+    pub panic_scopes: Vec<&'static str>,
+    /// Path prefixes subject to the `determinism` rule.
+    pub determinism_scopes: Vec<&'static str>,
+    /// Path prefixes subject to the `lock-across-send` rule.
+    pub lock_scopes: Vec<&'static str>,
+    /// Wire enums whose codec pairs must not drift.
+    pub enum_pairs: Vec<EnumPair>,
+    /// Workspace-relative path of the README holding the metric table.
+    pub readme: &'static str,
+    /// Workspace-relative paths of Prometheus golden files.
+    pub golden: Vec<&'static str>,
+    /// Workspace-relative directory holding `<rule>.allow` files.
+    pub allow_dir: &'static str,
+}
+
+impl Config {
+    /// The rule set codified for this workspace.
+    pub fn for_aaa_workspace() -> Config {
+        Config {
+            panic_scopes: vec![
+                "crates/net/src/",
+                "crates/mom/src/",
+                "crates/clocks/src/",
+                "crates/storage/src/",
+            ],
+            determinism_scopes: vec!["crates/sim/src/", "crates/clocks/src/"],
+            lock_scopes: vec![
+                "crates/net/src/",
+                "crates/mom/src/",
+                "crates/sim/src/",
+                "crates/storage/src/",
+            ],
+            enum_pairs: vec![
+                EnumPair {
+                    enum_name: "Stamp",
+                    def: "crates/clocks/src/stamp.rs",
+                    encode: ("crates/net/src/wire.rs", "stamp"),
+                    decode: ("crates/net/src/wire.rs", "stamp_tagged"),
+                },
+                EnumPair {
+                    enum_name: "Datagram",
+                    def: "crates/net/src/link.rs",
+                    encode: ("crates/net/src/link.rs", "encode"),
+                    decode: ("crates/net/src/link.rs", "decode"),
+                },
+                EnumPair {
+                    enum_name: "DeliveryPolicy",
+                    def: "crates/mom/src/message.rs",
+                    encode: ("crates/mom/src/persist.rs", "encode_envelope"),
+                    decode: ("crates/mom/src/persist.rs", "decode_envelope"),
+                },
+            ],
+            readme: "README.md",
+            golden: vec!["tests/golden/metrics.prom"],
+            allow_dir: "crates/audit/allow",
+        }
+    }
+}
+
+/// A loaded workspace: every `.rs` file under `crates/*/src` and the root
+/// package's `src/`, lexed and annotated.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// Parsed source files, sorted by relative path.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Reads and lexes the workspace rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; unreadable UTF-8 files are skipped.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut rels: Vec<PathBuf> = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            for entry in fs::read_dir(&crates_dir)? {
+                let entry = entry?;
+                let src = entry.path().join("src");
+                if src.is_dir() {
+                    collect_rs(&src, &mut rels)?;
+                }
+            }
+        }
+        let root_src = root.join("src");
+        if root_src.is_dir() {
+            collect_rs(&root_src, &mut rels)?;
+        }
+        let mut files = Vec::with_capacity(rels.len());
+        for path in rels {
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue; // non-UTF-8 or vanished; nothing for a lexer here
+            };
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(SourceFile::parse(rel, text));
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// Looks up a file by workspace-relative path.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+impl Workspace {
+    /// Builds a workspace from in-memory files (tests / synthetic trees).
+    pub fn from_files(files: Vec<(String, String)>) -> Workspace {
+        let mut parsed: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(rel, text)| SourceFile::parse(rel, text))
+            .collect();
+        parsed.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Workspace {
+            root: PathBuf::new(),
+            files: parsed,
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The result of one full audit pass.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// Findings still active after inline escapes and the allowlist.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by `// audit:allow(rule)` comments.
+    pub suppressed_inline: Vec<Finding>,
+    /// Findings suppressed by allowlist entries.
+    pub suppressed_allowlist: Vec<Finding>,
+    /// Allowlist entries that matched nothing (stale; CI fails on these).
+    pub stale_allowlist: Vec<allowlist::AllowEntry>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    /// Active findings for `rule`.
+    pub fn count(&self, rule: &str) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    /// Active finding counts per rule (only rules with findings appear).
+    pub fn per_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut map = BTreeMap::new();
+        for f in &self.findings {
+            *map.entry(f.rule).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Records active finding counts into the observability layer as
+    /// `aaa_audit_findings_total{rule=...}` — every rule gets a sample,
+    /// so a clean pass exports explicit zeros.
+    pub fn record_metrics(&self, meter: &Meter) {
+        let per_rule = self.per_rule();
+        for rule in rules::ALL_RULES {
+            let c = meter.counter_with(
+                "aaa_audit_findings_total",
+                "Static-analysis findings by audit rule",
+                &[("rule", (*rule).to_owned())],
+            );
+            c.add(per_rule.get(rule).copied().unwrap_or(0) as u64);
+        }
+    }
+
+    /// `true` when the tree is clean: no active findings and no stale
+    /// allowlist entries.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_allowlist.is_empty()
+    }
+}
+
+/// Runs every rule over `ws`, returning *raw* findings (before any
+/// allowlist or inline-escape filtering).
+pub fn run_rules(ws: &Workspace, config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if in_scope(&file.rel, &config.panic_scopes) {
+            findings.extend(rules::panic_freedom::check(file));
+        }
+        if in_scope(&file.rel, &config.determinism_scopes) {
+            findings.extend(rules::determinism::check(file));
+        }
+        if in_scope(&file.rel, &config.lock_scopes) {
+            findings.extend(rules::lock_across_send::check(file));
+        }
+    }
+    findings.extend(rules::match_drift::check(ws, &config.enum_pairs));
+    let readme_text = fs::read_to_string(ws.root.join(config.readme)).unwrap_or_default();
+    let golden_texts: Vec<(&'static str, String)> = config
+        .golden
+        .iter()
+        .map(|g| (*g, fs::read_to_string(ws.root.join(g)).unwrap_or_default()))
+        .collect();
+    findings.extend(rules::metric_drift::check(
+        ws,
+        config.readme,
+        &readme_text,
+        &golden_texts,
+    ));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+fn in_scope(rel: &str, scopes: &[&'static str]) -> bool {
+    scopes.iter().any(|s| rel.starts_with(s))
+}
+
+/// Runs the full audit over the workspace at `root`: load, lex, run every
+/// rule, then apply inline escapes and the committed allowlist.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from loading the tree or the allowlist.
+pub fn audit_workspace(root: &Path, config: &Config) -> io::Result<AuditReport> {
+    let ws = Workspace::load(root)?;
+    let raw = run_rules(&ws, config);
+    let allow = Allowlist::load(&root.join(config.allow_dir))?;
+    Ok(apply_suppressions(&ws, raw, &allow))
+}
+
+/// Splits raw findings into active / inline-suppressed /
+/// allowlist-suppressed, and computes stale allowlist entries.
+pub fn apply_suppressions(ws: &Workspace, raw: Vec<Finding>, allow: &Allowlist) -> AuditReport {
+    let files_scanned = ws.files.len();
+    let mut findings = Vec::new();
+    let mut suppressed_inline = Vec::new();
+    let mut suppressed_allowlist = Vec::new();
+    let mut matched = vec![false; allow.entries.len()];
+    for f in raw {
+        let inline = ws
+            .file(&f.file)
+            .map(|sf| sf.is_allowed_inline(f.line, f.rule))
+            .unwrap_or(false);
+        if inline {
+            suppressed_inline.push(f);
+            continue;
+        }
+        match allow.matches(&f) {
+            Some(idx) => {
+                matched[idx] = true;
+                suppressed_allowlist.push(f);
+            }
+            None => findings.push(f),
+        }
+    }
+    let stale_allowlist = allow
+        .entries
+        .iter()
+        .zip(&matched)
+        .filter(|(_, &m)| !m)
+        .map(|(e, _)| e.clone())
+        .collect();
+    AuditReport {
+        findings,
+        suppressed_inline,
+        suppressed_allowlist,
+        stale_allowlist,
+        files_scanned,
+    }
+}
+
+/// Rewrites the allowlist directory to exactly cover today's
+/// (non-inline-suppressed) findings: the `--fix-allowlist` snapshot.
+///
+/// # Errors
+///
+/// Propagates filesystem errors writing the allow files.
+pub fn fix_allowlist(root: &Path, config: &Config) -> io::Result<AuditReport> {
+    let ws = Workspace::load(root)?;
+    let raw = run_rules(&ws, config);
+    let kept: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            !ws.file(&f.file)
+                .map(|sf| sf.is_allowed_inline(f.line, f.rule))
+                .unwrap_or(false)
+        })
+        .collect();
+    let allow = Allowlist::from_findings(&kept);
+    allow.save(&root.join(config.allow_dir))?;
+    // Re-run with the fresh allowlist: by construction everything is
+    // suppressed and nothing is stale.
+    let report = apply_suppressions(&ws, kept, &allow);
+    Ok(report)
+}

@@ -1,0 +1,77 @@
+//! `determinism`: the simulator and the clock algebra must be replayable.
+//!
+//! The discrete-event simulator proves causal-delivery properties by
+//! replaying schedules deterministically, and the clock crate's stamp
+//! algebra must be a pure function of its inputs (the paper's matrix-clock
+//! maintenance, §3). A wall-clock read (`Instant::now`, `SystemTime`) or
+//! OS entropy (`thread_rng`, `from_entropy`) smuggled into either crate
+//! makes a counterexample unreproducible — route time through the virtual
+//! clock (`VTime`) and randomness through a seeded generator instead.
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Identifiers that pull in wall-clock time or OS entropy.
+const FORBIDDEN: &[(&str, &str)] = &[
+    (
+        "Instant",
+        "wall-clock time; use the virtual clock (`VTime`)",
+    ),
+    (
+        "SystemTime",
+        "wall-clock time; use the virtual clock (`VTime`)",
+    ),
+    (
+        "thread_rng",
+        "OS entropy; use a seeded `StdRng` owned by the caller",
+    ),
+    (
+        "from_entropy",
+        "OS entropy; use a seeded `StdRng` owned by the caller",
+    ),
+];
+
+/// Runs the rule over one in-scope file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in file.non_test_indices() {
+        let t = &file.toks[i];
+        if t.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        if let Some((name, why)) = FORBIDDEN.iter().find(|(n, _)| t.text == *n) {
+            out.push(Finding {
+                rule: super::DETERMINISM,
+                file: file.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "`{name}` in deterministic code is {why} — replayed schedules must not \
+                     observe the host"
+                ),
+                line_text: file.trimmed_line(t.line).to_owned(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_wall_clock_and_entropy() {
+        let src = "fn f() { let t = std::time::Instant::now(); let r = rand::thread_rng(); }";
+        let f = check(&SourceFile::parse("crates/sim/src/x.rs", src));
+        assert_eq!(f.len(), 2);
+        assert!(f[0].message.contains("Instant"));
+        assert!(f[1].message.contains("thread_rng"));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let t = Instant::now(); } }";
+        let f = check(&SourceFile::parse("crates/sim/src/x.rs", src));
+        assert!(f.is_empty());
+    }
+}

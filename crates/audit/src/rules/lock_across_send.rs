@@ -1,0 +1,158 @@
+//! `lock-across-send`: never hold a lock guard across a transport send.
+//!
+//! A `Mutex`/`RwLock` guard held while calling into the transport couples
+//! unrelated peers: a slow or blocked TCP write to one neighbour stalls
+//! every thread contending for that lock, which in the worst case delays
+//! acknowledgements long enough to trigger spurious retransmissions —
+//! duplicate suppression keeps delivery exactly-once, but throughput
+//! collapses. The rule flags a `let guard = ...lock()/.read()/.write()`
+//! binding whose enclosing block performs a `.send(...)`/`.send_batch(...)`
+//! call (or names `LinkSender`/`Transport`) before the guard dies; an
+//! intervening `drop(guard)` ends the window.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Guard-producing method calls (exact `.name()` with no arguments).
+const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
+/// Transport entry points.
+const SEND_METHODS: &[&str] = &["send", "send_batch"];
+/// Type names whose mention inside the window also counts.
+const SEND_TYPES: &[&str] = &["LinkSender", "Transport"];
+
+/// Runs the rule over one in-scope file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.toks;
+    // Brace depth of each token (depth *before* processing the token).
+    let mut depth_at = Vec::with_capacity(toks.len());
+    let mut depth = 0i32;
+    for t in toks {
+        if t.is_punct('}') {
+            depth -= 1;
+        }
+        depth_at.push(depth);
+        if t.is_punct('{') {
+            depth += 1;
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if file.test_mask[i] || !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        // `let [mut] <guard> = ... ;` — find the bound name.
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].is_ident("mut") {
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let guard_name = toks[j].text.clone();
+        let let_line = toks[i].line;
+        let let_depth = depth_at[i];
+        // Statement end: first `;` back at the let's depth.
+        let mut stmt_end = j;
+        while stmt_end < toks.len() {
+            if toks[stmt_end].is_punct(';') && depth_at[stmt_end] <= let_depth {
+                break;
+            }
+            stmt_end += 1;
+        }
+        // Does the initializer acquire a guard? (`.lock()`, `.read()`,
+        // `.write()` with empty argument lists.)
+        let acquires = (j..stmt_end.saturating_sub(2)).any(|k| {
+            toks[k].is_punct('.')
+                && toks[k + 1].kind == TokKind::Ident
+                && GUARD_METHODS.contains(&toks[k + 1].text.as_str())
+                && toks[k + 2].is_punct('(')
+                && toks.get(k + 3).map(|t| t.is_punct(')')).unwrap_or(false)
+        });
+        if !acquires {
+            i = stmt_end.max(i) + 1;
+            continue;
+        }
+        // Window: from the end of the statement to the close of the
+        // enclosing block (depth drops below the let's depth), ended early
+        // by `drop(<guard>)`.
+        let mut k = stmt_end + 1;
+        while k < toks.len() && depth_at[k] >= let_depth {
+            let t = &toks[k];
+            if t.is_ident("drop")
+                && k + 2 < toks.len()
+                && toks[k + 1].is_punct('(')
+                && toks[k + 2].is_ident(&guard_name)
+            {
+                break;
+            }
+            let sendish = (t.kind == TokKind::Ident && SEND_TYPES.contains(&t.text.as_str()))
+                || (t.is_punct('.')
+                    && k + 2 < toks.len()
+                    && toks[k + 1].kind == TokKind::Ident
+                    && SEND_METHODS.contains(&toks[k + 1].text.as_str())
+                    && toks[k + 2].is_punct('('));
+            if sendish {
+                out.push(Finding {
+                    rule: super::LOCK_ACROSS_SEND,
+                    file: file.rel.clone(),
+                    line: t.line,
+                    message: format!(
+                        "transport send while lock guard `{guard_name}` (bound on line \
+                         {let_line}) is still alive — drop the guard before sending, or a \
+                         blocked peer stalls every thread behind this lock"
+                    ),
+                    line_text: file.trimmed_line(t.line).to_owned(),
+                });
+                break; // one finding per guard is enough
+            }
+            k += 1;
+        }
+        i = stmt_end + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("crates/net/src/x.rs", src))
+    }
+
+    #[test]
+    fn flags_send_under_guard() {
+        let f = run("fn f() { let g = self.conns.lock(); transport.send(to, bytes); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains('g'));
+    }
+
+    #[test]
+    fn drop_ends_the_window() {
+        let f = run("fn f() { let g = self.conns.lock(); drop(g); transport.send(to, b); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn scope_end_ends_the_window() {
+        let f = run("fn f() { { let g = m.lock(); g.touch(); } transport.send(to, b); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn rwlock_write_guard_counts() {
+        let f = run("fn f() { let w = table.write(); link.send_batch(to, &w.bufs); }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_a_guard() {
+        let f = run("fn f() { let n = stream.read(&mut buf); transport.send(to, b); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

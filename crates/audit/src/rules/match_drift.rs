@@ -1,0 +1,258 @@
+//! `match-drift`: wire-enum codecs must cover every variant.
+//!
+//! The wire format is hand-rolled (the paper reasons about bytes on the
+//! wire, so no serde framework) — which means a new enum variant added to
+//! the serializer but not the deserializer compiles cleanly and only fails
+//! when a peer receives the new tag, *dropping the frame and with it the
+//! causal past it carries*. PR 2's `Datagram::Batch` and `Stamp::GroupNext`
+//! are exactly the kind of variant this rule exists for: each configured
+//! enum's variant list is extracted from its definition and required to
+//! appear, by name, in both the encode and decode function bodies.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::source::{fn_bodies, match_brace, SourceFile};
+use crate::{EnumPair, Finding, Workspace};
+
+/// Extracts `(variant name, line)` pairs for `enum_name` in `file`.
+pub fn enum_variants(file: &SourceFile, enum_name: &str) -> Option<Vec<(String, u32)>> {
+    let toks = &file.toks;
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident(enum_name) {
+            // Scan to the opening brace (skipping generics).
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            if j >= toks.len() {
+                return None;
+            }
+            let close = match_brace(toks, j)?;
+            let mut variants = Vec::new();
+            let mut paren = 0i32;
+            let mut brace = 0i32;
+            let mut bracket = 0i32;
+            let mut prev_top: Option<char> = Some('{');
+            for t in &toks[j + 1..close] {
+                if t.is_punct('(') {
+                    paren += 1;
+                } else if t.is_punct(')') {
+                    paren -= 1;
+                } else if t.is_punct('{') {
+                    brace += 1;
+                } else if t.is_punct('}') {
+                    brace -= 1;
+                } else if t.is_punct('[') {
+                    bracket += 1;
+                } else if t.is_punct(']') {
+                    bracket -= 1;
+                }
+                let top = paren == 0 && brace == 0 && bracket == 0;
+                if top {
+                    if t.kind == TokKind::Ident
+                        && matches!(prev_top, Some('{') | Some(',') | Some(']'))
+                    {
+                        variants.push((t.text.clone(), t.line));
+                    }
+                    if t.kind == TokKind::Punct {
+                        prev_top = t.text.chars().next();
+                    } else {
+                        prev_top = None;
+                    }
+                } else if t.is_punct(')') && paren == 0
+                    || t.is_punct('}') && brace == 0
+                    || t.is_punct(']') && bracket == 0
+                {
+                    prev_top = t.text.chars().next();
+                }
+            }
+            return Some(variants);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Union of identifier names inside every `fn <name>` body in `file`.
+fn idents_in_fns(file: &SourceFile, fn_name: &str) -> Option<BTreeSet<String>> {
+    let bodies = fn_bodies(file, fn_name);
+    if bodies.is_empty() {
+        return None;
+    }
+    let mut set = BTreeSet::new();
+    for (start, end) in bodies {
+        for t in &file.toks[start..end] {
+            if t.kind == TokKind::Ident {
+                set.insert(t.text.clone());
+            }
+        }
+    }
+    Some(set)
+}
+
+fn config_finding(pair: &EnumPair, file: &str, message: String) -> Finding {
+    Finding {
+        rule: super::MATCH_DRIFT,
+        file: file.to_owned(),
+        line: 1,
+        message,
+        line_text: format!("[auditor config] {}", pair.enum_name),
+    }
+}
+
+/// Runs the rule over the whole workspace for the configured enum pairs.
+pub fn check(ws: &Workspace, pairs: &[EnumPair]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for pair in pairs {
+        let Some(def_file) = ws.file(pair.def) else {
+            out.push(config_finding(
+                pair,
+                pair.def,
+                format!(
+                    "match-drift config is stale: file `{}` (definition of `{}`) not found",
+                    pair.def, pair.enum_name
+                ),
+            ));
+            continue;
+        };
+        let Some(variants) = enum_variants(def_file, pair.enum_name) else {
+            out.push(config_finding(
+                pair,
+                pair.def,
+                format!(
+                    "match-drift config is stale: `enum {}` not found in `{}`",
+                    pair.enum_name, pair.def
+                ),
+            ));
+            continue;
+        };
+        for (side, (path, fn_name)) in [("encode", pair.encode), ("decode", pair.decode)] {
+            let Some(codec_file) = ws.file(path) else {
+                out.push(config_finding(
+                    pair,
+                    path,
+                    format!(
+                        "match-drift config is stale: {side} file `{path}` for `{}` not found",
+                        pair.enum_name
+                    ),
+                ));
+                continue;
+            };
+            let Some(idents) = idents_in_fns(codec_file, fn_name) else {
+                out.push(config_finding(
+                    pair,
+                    path,
+                    format!(
+                        "match-drift config is stale: no `fn {fn_name}` ({side} side of `{}`) \
+                         in `{path}`",
+                        pair.enum_name
+                    ),
+                ));
+                continue;
+            };
+            for (variant, line) in &variants {
+                if !idents.contains(variant) {
+                    out.push(Finding {
+                        rule: super::MATCH_DRIFT,
+                        file: pair.def.to_owned(),
+                        line: *line,
+                        message: format!(
+                            "wire-enum variant `{}::{variant}` is missing from the {side} \
+                             side (`fn {fn_name}` in {path}) — a peer {} this variant would \
+                             drop the frame and the causal past it carries",
+                            pair.enum_name,
+                            if side == "encode" {
+                                "sending"
+                            } else {
+                                "receiving"
+                            },
+                        ),
+                        line_text: def_file.trimmed_line(*line).to_owned(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> EnumPair {
+        EnumPair {
+            enum_name: "Wire",
+            def: "crates/x/src/def.rs",
+            encode: ("crates/x/src/codec.rs", "enc"),
+            decode: ("crates/x/src/codec.rs", "dec"),
+        }
+    }
+
+    fn ws(def: &str, codec: &str) -> Workspace {
+        Workspace::from_files(vec![
+            ("crates/x/src/def.rs".into(), def.into()),
+            ("crates/x/src/codec.rs".into(), codec.into()),
+        ])
+    }
+
+    #[test]
+    fn variant_extraction_handles_payloads_attrs_and_discriminants() {
+        let f = SourceFile::parse(
+            "d.rs",
+            r#"
+pub enum Wire {
+    /// doc
+    Plain,
+    Tuple(Vec<u8>, u32),
+    Struct { a: u8, b: Inner<Vec<u8>> },
+    #[allow(dead_code)]
+    Attributed = 7,
+}
+"#,
+        );
+        let names: Vec<String> = enum_variants(&f, "Wire")
+            .expect("enum found")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["Plain", "Tuple", "Struct", "Attributed"]);
+    }
+
+    #[test]
+    fn covered_codec_is_clean() {
+        let findings = check(
+            &ws(
+                "pub enum Wire { A, B(u8) }",
+                "fn enc(w: &Wire) { match w { Wire::A => {}, Wire::B(x) => {} } }\n\
+                 fn dec(t: u8) { if t == 0 { Wire::A } else { Wire::B(t) }; }",
+            ),
+            &[pair()],
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn encode_only_variant_is_flagged_on_decode_side() {
+        let findings = check(
+            &ws(
+                "pub enum Wire { A, B }",
+                "fn enc(w: &Wire) { match w { Wire::A => {}, Wire::B => {} } }\n\
+                 fn dec(t: u8) { if t == 0 { Wire::A } else { err() }; }",
+            ),
+            &[pair()],
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("`Wire::B`"));
+        assert!(findings[0].message.contains("decode"));
+    }
+
+    #[test]
+    fn stale_config_is_itself_a_finding() {
+        let findings = check(&ws("pub enum Other { A }", "fn nothing() {}"), &[pair()]);
+        assert!(!findings.is_empty());
+        assert!(findings[0].message.contains("stale"));
+    }
+}

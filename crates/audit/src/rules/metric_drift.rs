@@ -1,0 +1,405 @@
+//! `metric-drift`: the metric vocabulary must not silently fork.
+//!
+//! The observability layer (PR 1) is the operator's only window into the
+//! causal machinery — `aaa_channel_postponed` staying at zero after
+//! quiesce *is* the delivery invariant, rendered as a gauge. That only
+//! holds while three artefacts agree on the vocabulary:
+//!
+//! 1. the `aaa_*` names **registered** in code (`meter.counter(...)` et al.),
+//! 2. the README metric table (what operators alert on),
+//! 3. the Prometheus golden file (what the exposition test pins).
+//!
+//! A metric registered but undocumented, documented but unregistered
+//! (e.g. after a rename), referenced by a dashboard-style read without a
+//! registration, or present in the golden file under a stale name — each
+//! is a finding.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::source::{match_brace, SourceFile};
+use crate::{Finding, Workspace};
+
+/// Registration methods on `Registry`/`Meter` whose first string literal
+/// argument names a metric.
+const REGISTER_METHODS: &[&str] = &[
+    "counter",
+    "counter_with",
+    "gauge",
+    "gauge_with",
+    "histogram",
+    "histogram_with",
+];
+
+/// `true` for a full metric name: the `aaa_` prefix plus at least one
+/// `[a-z0-9_]` word character.
+fn is_metric_name(s: &str) -> bool {
+    let prefix = "aaa_";
+    s.len() > prefix.len()
+        && s.starts_with(prefix)
+        && s.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// Callee identifier of the innermost call `toks[i]` is an argument of.
+///
+/// Walks backward matching parentheses until the enclosing `(` at depth
+/// zero; the identifier right before it names the call. Stops at a
+/// statement boundary (`;`, `{`, `}`) when no call encloses the token.
+fn enclosing_call_ident(file: &SourceFile, i: usize) -> Option<&str> {
+    let toks = &file.toks;
+    let mut depth = 0i32;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(')') {
+            depth += 1;
+        } else if t.is_punct('(') {
+            if depth == 0 {
+                return (j > 0 && toks[j - 1].kind == TokKind::Ident)
+                    .then(|| toks[j - 1].text.as_str());
+            }
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) {
+            return None;
+        }
+    }
+    None
+}
+
+/// Names of file-local helpers that forward a `name` parameter into a
+/// registration method — e.g. `fn per_peer(meter, peers, name, help)`
+/// calling `meter.counter_with(name, ...)` per peer. A metric literal
+/// handed to such a helper *is* a registration, not a dangling reference.
+///
+/// Detection: a `fn` whose body contains `<register-method>(<ident>` —
+/// the name argument is an identifier (forwarded), not a string literal.
+fn forwarders(file: &SourceFile) -> BTreeSet<String> {
+    let toks = &file.toks;
+    let mut spans: Vec<(String, usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("fn") && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                let end = match_brace(toks, j).unwrap_or(toks.len() - 1);
+                spans.push((name, j, end + 1));
+                // Step *into* the body so nested fns are also collected.
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    let mut out = BTreeSet::new();
+    for (name, start, end) in &spans {
+        for k in *start..end.saturating_sub(2) {
+            if toks[k].kind == TokKind::Ident
+                && REGISTER_METHODS.contains(&toks[k].text.as_str())
+                && toks[k + 1].is_punct('(')
+                && toks[k + 2].kind == TokKind::Ident
+            {
+                out.insert(name.clone());
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Scans non-test code for metric registrations and references.
+fn scan_code(
+    file: &SourceFile,
+    registered: &mut BTreeMap<String, (String, u32)>,
+    referenced: &mut Vec<(String, String, u32)>,
+) {
+    let fwd = forwarders(file);
+    let toks = &file.toks;
+    for i in file.non_test_indices() {
+        let t = &toks[i];
+        if t.kind == TokKind::Str && is_metric_name(&t.text) {
+            // A literal is a registration when the call it is an argument
+            // of is a registration method (`meter.counter("aaa_...")`) or
+            // a file-local forwarder of one (`per_peer(m, n, "aaa_...")`).
+            let is_registration = enclosing_call_ident(file, i)
+                .map(|callee| REGISTER_METHODS.contains(&callee) || fwd.contains(callee))
+                .unwrap_or(false);
+            if is_registration {
+                registered
+                    .entry(t.text.clone())
+                    .or_insert_with(|| (file.rel.clone(), t.line));
+            } else {
+                referenced.push((t.text.clone(), file.rel.clone(), t.line));
+            }
+        }
+    }
+}
+
+/// Extracts metric names from the README's table rows (lines starting
+/// with `|`).
+fn readme_names(text: &str) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        if !line.trim_start().starts_with('|') {
+            continue;
+        }
+        for name in extract_metric_words(line) {
+            out.entry(name).or_insert(idx as u32 + 1);
+        }
+    }
+    out
+}
+
+/// Extracts base metric names from a Prometheus exposition golden file,
+/// via its `# TYPE <name> <kind>` lines.
+fn golden_names(text: &str) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let rest = match line.strip_prefix("# TYPE ") {
+            Some(r) => r,
+            None => continue,
+        };
+        if let Some(name) = rest.split_whitespace().next() {
+            if is_metric_name(name) {
+                out.entry(name.to_owned()).or_insert(idx as u32 + 1);
+            }
+        }
+    }
+    out
+}
+
+/// All maximal `[a-z0-9_]` words starting with the metric prefix.
+fn extract_metric_words(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_lowercase() || bytes[i].is_ascii_digit() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &line[start..i];
+            if is_metric_name(word) {
+                out.push(word.to_owned());
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn finding(file: &str, line: u32, message: String, line_text: String) -> Finding {
+    Finding {
+        rule: super::METRIC_DRIFT,
+        file: file.to_owned(),
+        line,
+        message,
+        line_text,
+    }
+}
+
+fn text_line(text: &str, line: u32) -> String {
+    text.lines()
+        .nth(line.saturating_sub(1) as usize)
+        .map(str::trim)
+        .unwrap_or("")
+        .to_owned()
+}
+
+/// Runs the rule: cross-checks registrations, references, the README
+/// table (`readme_text`) and each `(path, text)` golden file.
+pub fn check(
+    ws: &Workspace,
+    readme_path: &str,
+    readme_text: &str,
+    golden: &[(&'static str, String)],
+) -> Vec<Finding> {
+    let mut registered: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    let mut referenced: Vec<(String, String, u32)> = Vec::new();
+    for file in &ws.files {
+        scan_code(file, &mut registered, &mut referenced);
+    }
+    let documented = readme_names(readme_text);
+    let mut out = Vec::new();
+
+    // 1. Registered but undocumented.
+    for (name, (file, line)) in &registered {
+        if !documented.contains_key(name) {
+            let sf = ws.file(file);
+            out.push(finding(
+                file,
+                *line,
+                format!(
+                    "metric `{name}` is registered here but missing from the README metric \
+                     table — operators cannot alert on what is not documented"
+                ),
+                sf.map(|s| s.trimmed_line(*line).to_owned())
+                    .unwrap_or_default(),
+            ));
+        }
+    }
+    // 2. Documented but not registered (stale docs after a rename).
+    for (name, line) in &documented {
+        if !registered.contains_key(name) {
+            out.push(finding(
+                readme_path,
+                *line,
+                format!(
+                    "README documents metric `{name}` but no registration exists in code — \
+                     stale after a rename?"
+                ),
+                text_line(readme_text, *line),
+            ));
+        }
+    }
+    // 3. Referenced (read) but never registered: the read silently
+    // returns zero forever.
+    for (name, file, line) in &referenced {
+        if !registered.contains_key(name) {
+            let sf = ws.file(file);
+            out.push(finding(
+                file,
+                *line,
+                format!(
+                    "code references metric `{name}` which is never registered — the read \
+                     will observe zero forever"
+                ),
+                sf.map(|s| s.trimmed_line(*line).to_owned())
+                    .unwrap_or_default(),
+            ));
+        }
+    }
+    // 4. Golden-file names must be registered and documented.
+    for (path, text) in golden {
+        for (name, line) in golden_names(text) {
+            if !registered.contains_key(&name) {
+                out.push(finding(
+                    path,
+                    line,
+                    format!("golden file pins metric `{name}` which is not registered in code"),
+                    text_line(text, line),
+                ));
+            } else if !documented.contains_key(&name) {
+                out.push(finding(
+                    path,
+                    line,
+                    format!(
+                        "golden file pins metric `{name}` which is missing from the README \
+                         metric table"
+                    ),
+                    text_line(text, line),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const README: &str = "\
+# Doc\n\
+| metric | kind |\n\
+|---|---|\n\
+| `aaa_x_total` | counter |\n\
+| `aaa_y_us` | histogram |\n";
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::from_files(vec![("crates/m/src/l.rs".into(), src.into())])
+    }
+
+    #[test]
+    fn clean_vocabulary() {
+        let src = "fn f(m: &Meter) { m.counter(\"aaa_x_total\", \"h\"); \
+                   m.histogram(\"aaa_y_us\", \"h\", &[1]); }";
+        let f = check(&ws(src), "README.md", README, &[]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unregistered_metric_in_code_is_flagged() {
+        let src = "fn f(m: &Meter) { m.counter(\"aaa_x_total\", \"h\"); \
+                   m.histogram(\"aaa_y_us\", \"h\", &[1]); \
+                   m.gauge(\"aaa_new_thing\", \"h\"); }";
+        let f = check(&ws(src), "README.md", README, &[]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("aaa_new_thing"));
+        assert!(f[0].message.contains("README"));
+    }
+
+    #[test]
+    fn stale_readme_row_is_flagged() {
+        let src = "fn f(m: &Meter) { m.counter(\"aaa_x_total\", \"h\"); }";
+        let f = check(&ws(src), "README.md", README, &[]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("aaa_y_us"));
+        assert_eq!(f[0].file, "README.md");
+    }
+
+    #[test]
+    fn read_of_unregistered_name_is_flagged() {
+        let src = "fn f(m: &Meter, s: &Snap) { m.counter(\"aaa_x_total\", \"h\"); \
+                   m.histogram(\"aaa_y_us\", \"h\", &[1]); \
+                   s.sum_counter(\"aaa_renamed_total\"); }";
+        let f = check(&ws(src), "README.md", README, &[]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("zero forever"));
+    }
+
+    #[test]
+    fn golden_file_names_checked_both_ways() {
+        let src = "fn f(m: &Meter) { m.counter(\"aaa_x_total\", \"h\"); \
+                   m.histogram(\"aaa_y_us\", \"h\", &[1]); }";
+        let golden = "# TYPE aaa_x_total counter\n# TYPE aaa_gone_total counter\n".to_owned();
+        let f = check(&ws(src), "README.md", README, &[("g.prom", golden)]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("aaa_gone_total"));
+        assert_eq!(f[0].file, "g.prom");
+    }
+
+    #[test]
+    fn helper_forwarded_registration_is_recognized() {
+        let src = "fn per_peer(m: &Meter, name: &'static str, h: &'static str) -> Counter {\n\
+                       m.counter_with(name, h, &[(\"peer\", \"0\")])\n\
+                   }\n\
+                   fn f(m: &Meter) { per_peer(m, \"aaa_x_total\", \"h\"); \
+                   m.histogram(\"aaa_y_us\", \"h\", &[1]); }";
+        let f = check(&ws(src), "README.md", README, &[]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn multiline_registration_call_is_recognized() {
+        let src = "fn f(m: &Meter) {\n\
+                       m.counter_with(\n\
+                           \"aaa_x_total\",\n\
+                           \"help text\",\n\
+                           &[(\"peer\", \"0\")],\n\
+                       );\n\
+                       m.histogram(\"aaa_y_us\", \"h\", &[1]);\n\
+                   }";
+        let f = check(&ws(src), "README.md", README, &[]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "fn f(m: &Meter) { m.counter(\"aaa_x_total\", \"h\"); \
+                   m.histogram(\"aaa_y_us\", \"h\", &[1]); }\n\
+                   #[cfg(test)]\nmod tests { fn t(m: &Meter) { m.gauge(\"aaa_only_in_tests\", \"h\"); } }";
+        let f = check(&ws(src), "README.md", README, &[]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,31 @@
+//! The codified rule set.
+//!
+//! Every rule reports [`Finding`](crate::Finding)s with a stable rule id;
+//! the engine maps those ids to allowlist files and to the
+//! `aaa_audit_findings_total{rule=...}` metric.
+
+pub mod determinism;
+pub mod lock_across_send;
+pub mod match_drift;
+pub mod metric_drift;
+pub mod panic_freedom;
+
+/// Rule id: panic-freedom on delivery-critical crates.
+pub const PANIC_FREEDOM: &str = "panic-freedom";
+/// Rule id: no wall-clock / OS entropy in deterministic crates.
+pub const DETERMINISM: &str = "determinism";
+/// Rule id: wire-enum serializer/deserializer coverage.
+pub const MATCH_DRIFT: &str = "match-drift";
+/// Rule id: metric vocabulary consistency (code / README / golden file).
+pub const METRIC_DRIFT: &str = "metric-drift";
+/// Rule id: no lock guard held across a transport send.
+pub const LOCK_ACROSS_SEND: &str = "lock-across-send";
+
+/// Every rule id, in reporting order.
+pub const ALL_RULES: &[&str] = &[
+    PANIC_FREEDOM,
+    DETERMINISM,
+    MATCH_DRIFT,
+    METRIC_DRIFT,
+    LOCK_ACROSS_SEND,
+];

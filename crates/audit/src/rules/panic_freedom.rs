@@ -1,0 +1,136 @@
+//! `panic-freedom`: delivery-critical crates must not panic.
+//!
+//! A panic inside `net`, `mom`, `clocks` or `storage` tears down a server
+//! mid-transaction: the channel's exactly-once hand-off (paper §5) assumes
+//! a step either commits its whole group or recovers from the persisted
+//! image — an `unwrap()` that fires halfway through neither commits nor
+//! aborts cleanly. Flagged in non-test code:
+//!
+//! - `.unwrap()` and `.expect(...)` calls;
+//! - the `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros;
+//! - indexing by an integer literal (`buf[0]`), the silent cousin of
+//!   `unwrap` — prefer `get(..)` with a typed `Error::Codec` return.
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Identifiers that look like `x[0]` but are keyword contexts, not
+/// indexing expressions.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "in", "return", "if", "else", "match", "break", "while", "loop", "as", "mut", "ref", "move",
+    "let", "const", "static",
+];
+
+fn finding(file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        rule: super::PANIC_FREEDOM,
+        file: file.rel.clone(),
+        line,
+        message,
+        line_text: file.trimmed_line(line).to_owned(),
+    }
+}
+
+/// Runs the rule over one in-scope file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    for i in file.non_test_indices().collect::<Vec<_>>() {
+        // `.unwrap()` / `.expect(`
+        if toks[i].is_punct('.') && i + 2 < toks.len() && toks[i + 2].is_punct('(') {
+            let name = &toks[i + 1];
+            if name.is_ident("unwrap") || name.is_ident("expect") {
+                out.push(finding(
+                    file,
+                    name.line,
+                    format!(
+                        "`.{}()` on a delivery-critical path — return a typed `Error` instead \
+                         (a panic here aborts a half-committed channel transaction)",
+                        name.text
+                    ),
+                ));
+                continue;
+            }
+        }
+        // panic-family macros.
+        if i + 1 < toks.len() && toks[i + 1].is_punct('!') {
+            let t = &toks[i];
+            if t.is_ident("panic")
+                || t.is_ident("unreachable")
+                || t.is_ident("todo")
+                || t.is_ident("unimplemented")
+            {
+                out.push(finding(
+                    file,
+                    t.line,
+                    format!(
+                        "`{}!` on a delivery-critical path — surface a typed `Error` instead",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+        }
+        // Indexing by literal: `ident[ <number> ]`.
+        if toks[i].kind == crate::lexer::TokKind::Ident
+            && !NON_INDEX_KEYWORDS.contains(&toks[i].text.as_str())
+            && i + 3 < toks.len()
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].kind == crate::lexer::TokKind::Number
+            && toks[i + 3].is_punct(']')
+        {
+            out.push(finding(
+                file,
+                toks[i].line,
+                format!(
+                    "indexing `{}[{}]` by literal can panic on truncated input — \
+                     use `.get({})` and return `Error::Codec`",
+                    toks[i].text,
+                    toks[i + 2].text,
+                    toks[i + 2].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("crates/net/src/x.rs", src))
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let f = run("fn f() { a.unwrap(); b.expect(\"why\"); panic!(\"no\"); unreachable!() }");
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert_eq!(rules.len(), 4);
+        assert!(rules.iter().all(|r| *r == "panic-freedom"));
+    }
+
+    #[test]
+    fn flags_literal_indexing_only() {
+        let f = run("fn f(b: &[u8]) { let x = b[0]; let y = b[i]; let z = [0u8; 4]; }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("b[0]"));
+    }
+
+    #[test]
+    fn ignores_test_code_and_similar_names() {
+        let f = run(
+            "fn f() { a.unwrap_or(0); a.unwrap_or_else(|| 1); a.expected(); }\n\
+             #[cfg(test)]\nmod tests { fn t() { a.unwrap(); panic!(); } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn line_numbers_point_at_the_call() {
+        let f = run("fn f() {\n    a\n        .unwrap();\n}");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests: the audit lexer is *total* — any input, including
+//! adversarial token soups with unbalanced quotes, nested comment
+//! markers and stray escapes, lexes without panicking and with sane
+//! line bookkeeping. The auditor runs inside `cargo test`; a lexer
+//! panic on a weird-but-legal source file would turn the safety net
+//! itself into the crash.
+
+use aaa_audit::lexer::{lex, TokKind};
+use aaa_audit::source::SourceFile;
+use proptest::prelude::*;
+
+/// Fragments chosen to stress every lexer mode transition: string and
+/// char openers/closers, raw-string guards, comment markers, escapes,
+/// attribute-ish and escape-hatch text, plus general punctuation soup.
+fn arb_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("\"".to_owned()),
+            Just("'".to_owned()),
+            Just("/*".to_owned()),
+            Just("*/".to_owned()),
+            Just("//".to_owned()),
+            Just("r#\"".to_owned()),
+            Just("\"#".to_owned()),
+            Just("r#raw_ident".to_owned()),
+            Just("b\"bytes".to_owned()),
+            Just("\\".to_owned()),
+            Just("\\\"".to_owned()),
+            Just("\n".to_owned()),
+            Just("'l".to_owned()),
+            Just("#[cfg(test)]".to_owned()),
+            Just("audit:allow(panic-freedom)".to_owned()),
+            "[a-zA-Z0-9_ {}()\\[\\];.,:<>=!&|+*-]{0,10}",
+        ],
+        0..48,
+    )
+    .prop_map(|v| v.concat())
+}
+
+/// Arbitrary bytes, lossily decoded: exercises non-ASCII and replacement
+/// characters without constraining the shape at all.
+fn arb_bytes_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..256)
+        .prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+}
+
+fn check_total(src: &str) {
+    // A file with k newlines has at most k+1 (1-based) lines; a token
+    // may legitimately end on the (empty) line after a trailing newline.
+    let line_count = src.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+    let toks = lex(src);
+    for t in &toks {
+        assert!(t.line >= 1, "line numbers are 1-based: {t:?}");
+        assert!(
+            t.line <= line_count,
+            "token starts past EOF ({} > {line_count}): {t:?}",
+            t.line
+        );
+        assert!(t.end_line >= t.line, "token ends before it starts: {t:?}");
+        assert!(t.end_line <= line_count, "token ends past EOF: {t:?}");
+        if t.kind == TokKind::Punct {
+            assert_eq!(
+                t.text.chars().count(),
+                1,
+                "punct tokens are single chars: {t:?}"
+            );
+        }
+    }
+    // SourceFile::parse layers test-masking and escape parsing on top;
+    // it must be just as total, and its bookkeeping must stay aligned.
+    let sf = SourceFile::parse("crates/net/src/soup.rs", src);
+    assert_eq!(sf.toks.len(), sf.test_mask.len());
+    assert!(sf.toks.iter().all(|t| t.kind != TokKind::Comment));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexing_token_soup_never_panics(src in arb_soup()) {
+        check_total(&src);
+    }
+
+    #[test]
+    fn lexing_arbitrary_bytes_never_panics(src in arb_bytes_text()) {
+        check_total(&src);
+    }
+
+    #[test]
+    fn lexing_is_deterministic(src in arb_soup()) {
+        prop_assert_eq!(lex(&src), lex(&src));
+    }
+}

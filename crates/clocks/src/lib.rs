@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Logical clocks and the matrix-clock causal-delivery protocol.
 //!

@@ -196,7 +196,7 @@ impl MatrixClock {
         (0..self.n)
             .map(|row| self.cells[row * self.n + col])
             .min()
-            .expect("matrix width is non-zero")
+            .unwrap_or(0)
     }
 
     /// Number of non-zero cells.

@@ -231,10 +231,16 @@ impl CausalState {
                 // or updated the image) was ingested first.
                 let image = self.images[from.as_usize()]
                     .as_mut()
+                    // A missing predecessor means the transport violated
+                    // FIFO — a broken protocol invariant, not recoverable
+                    // input. audit:allow(panic-freedom)
                     .expect("GroupNext continuation with no prior frame from this sender");
                 image.increment(from.as_usize(), self.me.as_usize());
                 image.clone()
             }
+            // A stamp kind that contradicts the configured mode is a
+            // programming error in the channel wiring, never wire input
+            // (decoding already rejected it). audit:allow(panic-freedom)
             (mode, other) => panic!(
                 "stamp kind {:?} does not match configured mode {:?}",
                 other.is_delta(),

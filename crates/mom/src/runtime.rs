@@ -250,11 +250,10 @@ impl MomBuilder {
                 let recorder = self.record_trace.then(|| recorder.clone());
                 let in_flight = in_flight.clone();
                 let config = self.config;
-                let obs = registry.as_ref().map(|r| {
-                    (
-                        Meter::new(r).with_label("server", i.to_string()),
-                        latency.clone().expect("tracker exists with registry"),
-                    )
+                // The tracker is minted together with the registry, so
+                // zipping the two options never silently drops one.
+                let obs = registry.as_ref().zip(latency.clone()).map(|(r, tracker)| {
+                    (Meter::new(r).with_label("server", i.to_string()), tracker)
                 });
                 if let Some((meter, _)) = &obs {
                     endpoint.attach_meter(meter);
@@ -681,7 +680,15 @@ fn server_thread(
         Ok(core)
     };
 
-    let mut core: Option<ServerCore> = Some(fresh(Vec::new()).expect("valid topology"));
+    let mut core: Option<ServerCore> = match fresh(Vec::new()) {
+        Ok(c) => Some(c),
+        Err(e) => {
+            // A server that cannot start must not take the whole process
+            // down mid-run; the thread exits and peers see a dead link.
+            eprintln!("aaa-mom: server {} failed to start: {e}", me.as_usize());
+            return;
+        }
+    };
     let mut cumulative = StepStats::default();
 
     // Consecutive same-destination packets go through the transport's

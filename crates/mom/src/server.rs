@@ -495,10 +495,12 @@ impl ServerCore {
                 if let Some(m) = &mut self.metrics {
                     m.retransmissions(peer).add(due.len() as u64);
                 }
-                out.push(Transmission {
-                    to: peer,
-                    bytes: Datagram::for_frames(due).encode(),
-                });
+                if let Some(d) = Datagram::for_frames(due) {
+                    out.push(Transmission {
+                        to: peer,
+                        bytes: d.encode(),
+                    });
+                }
             }
             if tx.flush_deadline().is_some_and(|d| d <= now) {
                 if let Some(frames) = tx.flush() {
@@ -625,10 +627,12 @@ impl ServerCore {
             m.batch_frames.observe(frames.len() as u64);
             m.flushes.inc();
         }
-        out.push(Transmission {
-            to,
-            bytes: Datagram::for_frames(frames).encode(),
-        });
+        if let Some(d) = Datagram::for_frames(frames) {
+            out.push(Transmission {
+                to,
+                bytes: d.encode(),
+            });
+        }
     }
 
     /// Persists the transactional image, if persistence is enabled. One
@@ -660,12 +664,7 @@ impl ServerCore {
             .engine
             .agent_ids()
             .into_iter()
-            .map(|id| {
-                (
-                    id.local(),
-                    self.engine.snapshot_agent(id).expect("agent listed"),
-                )
-            })
+            .filter_map(|id| Some((id.local(), self.engine.snapshot_agent(id)?)))
             .collect();
         agents.sort_unstable_by_key(|(local, _)| *local);
         ServerImage {

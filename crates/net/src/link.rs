@@ -116,16 +116,13 @@ pub enum Datagram {
 impl Datagram {
     /// Wraps `frames` in the cheapest wire form: a single frame becomes a
     /// legacy [`Datagram::Data`] packet (decodable by pre-batching peers),
-    /// several frames become a [`Datagram::Batch`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `frames` is empty.
-    pub fn for_frames(mut frames: Vec<LinkFrame>) -> Datagram {
+    /// several frames become a [`Datagram::Batch`]. Returns `None` for an
+    /// empty slice — nothing to put on the wire.
+    pub fn for_frames(mut frames: Vec<LinkFrame>) -> Option<Datagram> {
         match frames.len() {
-            0 => panic!("a batch needs at least one frame"),
-            1 => Datagram::Data(frames.pop().expect("len checked")),
-            _ => Datagram::Batch(frames),
+            0 => None,
+            1 => frames.pop().map(Datagram::Data),
+            _ => Some(Datagram::Batch(frames)),
         }
     }
 
@@ -176,16 +173,16 @@ impl Datagram {
     /// Returns [`aaa_base::Error::Codec`] on truncation or an unknown tag.
     pub fn decode(mut bytes: Bytes) -> aaa_base::Result<Datagram> {
         use aaa_base::Error;
-        if bytes.is_empty() {
-            return Err(Error::Codec("empty datagram".into()));
-        }
-        let tag = bytes[0];
+        let tag = match bytes.first() {
+            Some(&t) => t,
+            None => return Err(Error::Codec("empty datagram".into())),
+        };
         match tag {
             0 => {
                 if bytes.len() < 9 {
                     return Err(Error::Codec("truncated data frame".into()));
                 }
-                let seq = u64::from_le_bytes(bytes[1..9].try_into().expect("len checked"));
+                let seq = le_u64(&bytes, 1)?;
                 let payload = bytes.split_off(9);
                 Ok(Datagram::Data(LinkFrame { seq, payload }))
             }
@@ -193,14 +190,14 @@ impl Datagram {
                 if bytes.len() < 9 {
                     return Err(Error::Codec("truncated ack".into()));
                 }
-                let cum_seq = u64::from_le_bytes(bytes[1..9].try_into().expect("len checked"));
+                let cum_seq = le_u64(&bytes, 1)?;
                 Ok(Datagram::Ack { cum_seq })
             }
             2 => {
                 if bytes.len() < 5 {
                     return Err(Error::Codec("truncated batch header".into()));
                 }
-                let count = u32::from_le_bytes(bytes[1..5].try_into().expect("len checked"));
+                let count = le_u32(&bytes, 1)?;
                 if count == 0 {
                     return Err(Error::Codec("empty batch".into()));
                 }
@@ -210,9 +207,8 @@ impl Datagram {
                     if rest.len() < 12 {
                         return Err(Error::Codec("truncated batch frame header".into()));
                     }
-                    let seq = u64::from_le_bytes(rest[0..8].try_into().expect("len checked"));
-                    let len =
-                        u32::from_le_bytes(rest[8..12].try_into().expect("len checked")) as usize;
+                    let seq = le_u64(&rest, 0)?;
+                    let len = le_u32(&rest, 8)? as usize;
                     if rest.len() < 12 + len {
                         return Err(Error::Codec("truncated batch frame payload".into()));
                     }
@@ -225,6 +221,26 @@ impl Datagram {
             t => Err(Error::Codec(format!("unknown datagram tag {t}"))),
         }
     }
+}
+
+/// Reads a little-endian `u64` at byte offset `at`, as a codec error on
+/// truncation (never panics on malformed wire input).
+fn le_u64(bytes: &[u8], at: usize) -> aaa_base::Result<u64> {
+    bytes
+        .get(at..at + 8)
+        .and_then(|s| s.try_into().ok())
+        .map(u64::from_le_bytes)
+        .ok_or_else(|| aaa_base::Error::Codec("truncated u64 field".into()))
+}
+
+/// Reads a little-endian `u32` at byte offset `at`, as a codec error on
+/// truncation (never panics on malformed wire input).
+fn le_u32(bytes: &[u8], at: usize) -> aaa_base::Result<u32> {
+    bytes
+        .get(at..at + 4)
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| aaa_base::Error::Codec("truncated u32 field".into()))
 }
 
 /// Sending half of one directed link.
@@ -642,8 +658,10 @@ mod tests {
         let d = Datagram::for_frames(vec![LinkFrame {
             seq: 9,
             payload: payload("x"),
-        }]);
+        }])
+        .expect("one frame");
         assert!(matches!(d, Datagram::Data(_)));
+        assert!(Datagram::for_frames(Vec::new()).is_none());
         // And a pre-batching decoder understands it (tag 0).
         assert_eq!(d.encode()[0], 0);
     }
@@ -717,7 +735,10 @@ mod tests {
         assert!(!BatchPolicy::default().is_disabled());
         let batch = tx.buffer(payload("a"), VTime::ZERO).expect("immediate");
         assert_eq!(batch.len(), 1);
-        assert!(matches!(Datagram::for_frames(batch), Datagram::Data(_)));
+        assert!(matches!(
+            Datagram::for_frames(batch),
+            Some(Datagram::Data(_))
+        ));
     }
 
     #[test]
@@ -776,7 +797,7 @@ mod tests {
         if let Some(frames) = tx.flush() {
             batch = frames;
         }
-        let wire = Datagram::for_frames(batch);
+        let wire = Datagram::for_frames(batch).expect("five frames");
         assert!(matches!(wire, Datagram::Batch(_)));
         // The receiving server feeds frames in order and sends the *last*
         // cumulative ack only.

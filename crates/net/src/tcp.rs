@@ -118,7 +118,17 @@ impl TcpEndpoint {
             }
             conns.open.insert(to, stream);
         }
-        let stream = conns.open.get_mut(&to).expect("just inserted");
+        let stream = match conns.open.get_mut(&to) {
+            Some(s) => s,
+            // Unreachable (inserted just above); surfaced as a failed
+            // write so the link layer's retransmission path recovers.
+            None => {
+                return Err(io_err(
+                    "connect",
+                    std::io::Error::other("connection missing"),
+                ))
+            }
+        };
         if let Err(e) = stream.write_all(buf) {
             conns.open.remove(&to); // reconnect on the next attempt
             return Err(io_err("write", e));
@@ -297,8 +307,12 @@ fn reader_loop(stream: TcpStream, tx: Sender<Incoming>, shutdown: Arc<AtomicBool
                 Err(_) => break 'conn,
             }
         }
-        let from = ServerId::new(u16::from_le_bytes([header[0], header[1]]));
-        let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+        let mut from_bytes = [0u8; 2];
+        let mut len_bytes = [0u8; 4];
+        from_bytes.copy_from_slice(&header[..2]);
+        len_bytes.copy_from_slice(&header[2..]);
+        let from = ServerId::new(u16::from_le_bytes(from_bytes));
+        let len = u32::from_le_bytes(len_bytes) as usize;
         if len > 64 << 20 {
             break; // absurd frame: drop the connection
         }

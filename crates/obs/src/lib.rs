@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # `aaa-obs` — first-class observability for the AAA middleware
 //!

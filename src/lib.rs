@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # AAA middleware — scalable causal ordering through domains of causality
 //!
