@@ -1,0 +1,265 @@
+//! Incremental per-file result cache for the audit pass.
+//!
+//! The tier-1 gate (`tests/audit.rs`) runs the full pass inside
+//! `cargo test`; as the workspace grows, lexing + per-file rules dominate
+//! its wall time. Per-file findings depend on nothing but the file's own
+//! bytes and the config, so they are cached under
+//! `target/aaa-audit-cache/` keyed by an FNV-1a content hash plus a
+//! config/rule-revision fingerprint. Cross-file rules (match-drift,
+//! metric-drift, stamp-flow, error-swallow's global leg, block-in-step)
+//! are never cached.
+//!
+//! The cache is strictly an accelerator: any miss, version skew, parse
+//! failure or I/O error silently degrades to recomputation (`--no-cache`
+//! forces that degradation for debugging). Entries are plain text so a
+//! `git clean`-style wipe of `target/` is always safe.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::source::SourceFile;
+use crate::{rules, Config, Finding};
+
+/// Bump when a per-file rule's behaviour changes without a crate version
+/// bump, to invalidate stale caches.
+const RULES_REV: &str = "pr4-dataflow-1";
+
+/// FNV-1a 64-bit — tiny, dependency-free, good enough for content keys.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => break,
+        }
+    }
+    out
+}
+
+/// Maps a serialized rule id back to its `&'static str` identity.
+fn rule_id(name: &str) -> Option<&'static str> {
+    rules::ALL_RULES.iter().find(|r| **r == name).copied()
+}
+
+/// One open cache store, loaded eagerly and persisted explicitly.
+#[derive(Debug)]
+pub struct Store {
+    path: Option<PathBuf>,
+    fingerprint: String,
+    /// rel path → (content hash, per-file findings).
+    entries: BTreeMap<String, (u64, Vec<Finding>)>,
+    dirty: bool,
+}
+
+impl Store {
+    /// Opens (or initializes) the cache for the workspace at `root` under
+    /// the given config. An empty/unusable root yields an inert store.
+    pub fn open(root: &Path, config: &Config) -> Store {
+        let fp = fingerprint(config);
+        if root.as_os_str().is_empty() {
+            return Store {
+                path: None,
+                fingerprint: fp,
+                entries: BTreeMap::new(),
+                dirty: false,
+            };
+        }
+        let path = root
+            .join("target")
+            .join("aaa-audit-cache")
+            .join("per-file.v1");
+        let mut store = Store {
+            path: Some(path.clone()),
+            fingerprint: fp.clone(),
+            entries: BTreeMap::new(),
+            dirty: false,
+        };
+        let Ok(text) = fs::read_to_string(&path) else {
+            return store;
+        };
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(header) if header == format!("aaa-audit-cache {fp}") => {}
+            _ => return store, // version/config skew: start fresh
+        }
+        let mut current: Option<(String, u64)> = None;
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("F ") {
+                let mut parts = rest.splitn(2, ' ');
+                let (Some(hash), Some(rel)) = (parts.next(), parts.next()) else {
+                    return store.reset();
+                };
+                let Ok(hash) = u64::from_str_radix(hash, 16) else {
+                    return store.reset();
+                };
+                store.entries.insert(rel.to_owned(), (hash, Vec::new()));
+                current = Some((rel.to_owned(), hash));
+                continue;
+            }
+            let Some((rel, _)) = &current else {
+                return store.reset();
+            };
+            let mut parts = line.split('\t');
+            let (Some(rule), Some(ln), Some(line_text), Some(message)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return store.reset();
+            };
+            let (Some(rule), Ok(ln)) = (rule_id(rule), ln.parse::<u32>()) else {
+                return store.reset();
+            };
+            let finding = Finding {
+                rule,
+                file: rel.clone(),
+                line: ln,
+                message: unescape(message),
+                line_text: unescape(line_text),
+            };
+            if let Some((_, fs)) = store.entries.get_mut(rel) {
+                fs.push(finding);
+            }
+        }
+        store
+    }
+
+    fn reset(mut self) -> Store {
+        self.entries.clear();
+        self
+    }
+
+    /// Cached per-file findings for `file`, if its content hash matches.
+    pub fn lookup(&self, file: &SourceFile) -> Option<Vec<Finding>> {
+        let (hash, findings) = self.entries.get(&file.rel)?;
+        (*hash == fnv1a(file.text.as_bytes())).then(|| findings.clone())
+    }
+
+    /// Records freshly computed per-file findings for `file`.
+    pub fn insert(&mut self, file: &SourceFile, findings: &[Finding]) {
+        self.entries.insert(
+            file.rel.clone(),
+            (fnv1a(file.text.as_bytes()), findings.to_vec()),
+        );
+        self.dirty = true;
+    }
+
+    /// Writes the cache back to disk (best effort; errors are ignored —
+    /// the cache is an accelerator, not a source of truth).
+    pub fn persist(&self) {
+        if !self.dirty {
+            return;
+        }
+        let Some(path) = &self.path else { return };
+        let mut out = String::new();
+        out.push_str(&format!("aaa-audit-cache {}\n", self.fingerprint));
+        for (rel, (hash, findings)) in &self.entries {
+            out.push_str(&format!("F {hash:016x} {rel}\n"));
+            for f in findings {
+                out.push_str(&format!(
+                    "{}\t{}\t{}\t{}\n",
+                    f.rule,
+                    f.line,
+                    escape(&f.line_text),
+                    escape(&f.message)
+                ));
+            }
+        }
+        if let Some(dir) = path.parent() {
+            let _dir_ok = fs::create_dir_all(dir).is_ok();
+        }
+        let _write_ok = fs::write(path, out).is_ok();
+    }
+}
+
+/// Config + rule-revision fingerprint keying the whole cache file.
+fn fingerprint(config: &Config) -> String {
+    let ident = format!(
+        "{RULES_REV}|{}|{}",
+        env!("CARGO_PKG_VERSION"),
+        format_args!("{config:?}")
+    );
+    format!("{:016x}", fnv1a(ident.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::for_aaa_workspace()
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let root =
+            std::env::temp_dir().join(format!("aaa-audit-cache-test-{}", std::process::id()));
+        let _cleanup = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("temp root");
+
+        let file = SourceFile::parse("crates/net/src/x.rs", "fn f() { a.unwrap(); }\n");
+        let findings = crate::per_file_rules(&file, &cfg());
+        assert!(!findings.is_empty());
+
+        let mut store = Store::open(&root, &cfg());
+        assert!(store.lookup(&file).is_none(), "cold cache misses");
+        store.insert(&file, &findings);
+        store.persist();
+
+        let store2 = Store::open(&root, &cfg());
+        let cached = store2.lookup(&file).expect("warm cache hits");
+        assert_eq!(cached, findings);
+
+        // Content change invalidates.
+        let changed = SourceFile::parse("crates/net/src/x.rs", "fn f() { a.unwrap(); }\n\n");
+        assert!(store2.lookup(&changed).is_none());
+
+        let _cleanup = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn empty_root_is_inert() {
+        let mut store = Store::open(Path::new(""), &cfg());
+        let file = SourceFile::parse("x.rs", "fn f() {}\n");
+        store.insert(&file, &[]);
+        store.persist(); // must not create anything or panic
+        assert!(
+            store.lookup(&file).is_some(),
+            "in-memory entries still work"
+        );
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let s = "a\tb\\c\nd";
+        assert_eq!(unescape(&escape(s)), s);
+    }
+}

@@ -30,9 +30,12 @@
 //! `aaa_audit_findings_total{rule=...}`.
 
 pub mod allowlist;
+pub mod cache;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 pub mod source;
+pub mod tree;
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -100,6 +103,28 @@ pub struct Config {
     pub golden: Vec<&'static str>,
     /// Workspace-relative directory holding `<rule>.allow` files.
     pub allow_dir: &'static str,
+    /// Path prefixes where raw transport sends must be stamp-dominated
+    /// (`stamp-flow`); deliberately excludes `aaa-net`, which *is* the
+    /// transport.
+    pub stamp_scopes: Vec<&'static str>,
+    /// Function names that perform causal stamping (`stamp-flow` seeds).
+    pub stamp_seeds: Vec<&'static str>,
+    /// Path prefixes subject to `wire-cast-truncation` (codec/wire code).
+    pub cast_scopes: Vec<&'static str>,
+    /// Path prefixes subject to `clock-overflow`.
+    pub clock_scopes: Vec<&'static str>,
+    /// Field names holding clock state (`clock-overflow` targets).
+    pub clock_cells: Vec<&'static str>,
+    /// Path prefixes subject to `error-swallow`.
+    pub swallow_scopes: Vec<&'static str>,
+    /// Path prefixes forming the batched server step's deterministic core
+    /// (`block-in-step` call-graph scope). Excludes transport endpoints
+    /// and the runtime thread shell, which own their blocking.
+    pub step_scopes: Vec<&'static str>,
+    /// Step entry-point function names (`block-in-step` seeds).
+    pub step_entries: Vec<&'static str>,
+    /// Function names considered blocking inside the step.
+    pub step_blocking: Vec<&'static str>,
 }
 
 impl Config {
@@ -142,6 +167,65 @@ impl Config {
             readme: "README.md",
             golden: vec!["tests/golden/metrics.prom"],
             allow_dir: "crates/audit/allow",
+            stamp_scopes: vec!["crates/mom/src/", "crates/sim/src/"],
+            stamp_seeds: vec!["stamp_send", "stamp_send_batched"],
+            cast_scopes: vec![
+                "crates/net/src/",
+                "crates/clocks/src/matrix.rs",
+                "crates/clocks/src/protocol.rs",
+                "crates/clocks/src/vector.rs",
+                "crates/mom/src/persist.rs",
+                "crates/mom/src/pubsub.rs",
+                "crates/storage/src/file.rs",
+            ],
+            clock_scopes: vec!["crates/clocks/src/"],
+            clock_cells: vec![
+                "cells",
+                "deliv",
+                "counts",
+                "state",
+                "now",
+                "delivered",
+                "sent",
+            ],
+            swallow_scopes: vec![
+                "crates/net/src/",
+                "crates/mom/src/",
+                "crates/clocks/src/",
+                "crates/storage/src/",
+            ],
+            step_scopes: vec![
+                "crates/mom/src/server.rs",
+                "crates/mom/src/channel.rs",
+                "crates/mom/src/engine.rs",
+                "crates/mom/src/persist.rs",
+                "crates/mom/src/pubsub.rs",
+                "crates/mom/src/agent.rs",
+                "crates/net/src/link.rs",
+                "crates/net/src/wire.rs",
+                "crates/clocks/src/",
+                "crates/storage/src/",
+            ],
+            step_entries: vec![
+                "on_datagram",
+                "on_datagram_batch",
+                "on_tick",
+                "client_send_with",
+                "client_send_batch",
+                "flush_links",
+            ],
+            step_blocking: vec![
+                "sleep",
+                "recv",
+                "recv_timeout",
+                "park",
+                "wait",
+                "wait_timeout",
+                "block_on",
+                "accept",
+                "read_line",
+                "read_to_end",
+            ],
         }
     }
 }
@@ -288,21 +372,37 @@ impl AuditReport {
     }
 }
 
-/// Runs every rule over `ws`, returning *raw* findings (before any
-/// allowlist or inline-escape filtering).
-pub fn run_rules(ws: &Workspace, config: &Config) -> Vec<Finding> {
+/// Runs the *per-file* rules over one file: findings depend only on the
+/// file's own content and the config, which is what makes them cacheable
+/// (see [`cache`]).
+pub fn per_file_rules(file: &SourceFile, config: &Config) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for file in &ws.files {
-        if in_scope(&file.rel, &config.panic_scopes) {
-            findings.extend(rules::panic_freedom::check(file));
-        }
-        if in_scope(&file.rel, &config.determinism_scopes) {
-            findings.extend(rules::determinism::check(file));
-        }
-        if in_scope(&file.rel, &config.lock_scopes) {
-            findings.extend(rules::lock_across_send::check(file));
-        }
+    if in_scope(&file.rel, &config.panic_scopes) {
+        findings.extend(rules::panic_freedom::check(file));
     }
+    if in_scope(&file.rel, &config.determinism_scopes) {
+        findings.extend(rules::determinism::check(file));
+    }
+    if in_scope(&file.rel, &config.lock_scopes) {
+        findings.extend(rules::lock_across_send::check(file));
+    }
+    if in_scope(&file.rel, &config.cast_scopes) {
+        findings.extend(rules::wire_cast::check(file));
+    }
+    if in_scope(&file.rel, &config.clock_scopes) {
+        findings.extend(rules::clock_overflow::check(file, &config.clock_cells));
+    }
+    if in_scope(&file.rel, &config.swallow_scopes) {
+        findings.extend(rules::error_swallow::check(file));
+    }
+    findings
+}
+
+/// Runs the *cross-file* rules: anything needing the whole workspace
+/// (enum codec pairs, the metric vocabulary, the call graph). Never
+/// cached.
+pub fn global_rules(ws: &Workspace, config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
     findings.extend(rules::match_drift::check(ws, &config.enum_pairs));
     let readme_text = fs::read_to_string(ws.root.join(config.readme)).unwrap_or_default();
     let golden_texts: Vec<(&'static str, String)> = config
@@ -316,7 +416,59 @@ pub fn run_rules(ws: &Workspace, config: &Config) -> Vec<Finding> {
         &readme_text,
         &golden_texts,
     ));
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings.extend(rules::stamp_flow::check(ws, config));
+    findings.extend(rules::error_swallow::check_global(ws, config));
+    findings.extend(rules::block_in_step::check(ws, config));
+    findings
+}
+
+/// Sorts findings into the canonical reporting order. The full key
+/// (file, line, rule, line text, message) makes the order — and with it
+/// every rendered artifact: allowlist, `--metrics`, SARIF — byte-stable
+/// across filesystems and runs.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.line_text, &a.message).cmp(&(
+            &b.file,
+            b.line,
+            b.rule,
+            &b.line_text,
+            &b.message,
+        ))
+    });
+}
+
+/// Runs every rule over `ws`, returning *raw* findings (before any
+/// allowlist or inline-escape filtering).
+pub fn run_rules(ws: &Workspace, config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        findings.extend(per_file_rules(file, config));
+    }
+    findings.extend(global_rules(ws, config));
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Like [`run_rules`], but consults and refreshes the per-file result
+/// cache under `target/` (the global rules always run). Cache failures
+/// of any kind silently fall back to computing.
+pub fn run_rules_cached(ws: &Workspace, config: &Config) -> Vec<Finding> {
+    let mut store = cache::Store::open(&ws.root, config);
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        match store.lookup(file) {
+            Some(cached) => findings.extend(cached),
+            None => {
+                let fresh = per_file_rules(file, config);
+                store.insert(file, &fresh);
+                findings.extend(fresh);
+            }
+        }
+    }
+    store.persist();
+    findings.extend(global_rules(ws, config));
+    sort_findings(&mut findings);
     findings
 }
 
@@ -325,14 +477,32 @@ fn in_scope(rel: &str, scopes: &[&'static str]) -> bool {
 }
 
 /// Runs the full audit over the workspace at `root`: load, lex, run every
-/// rule, then apply inline escapes and the committed allowlist.
+/// rule (with the per-file cache), then apply inline escapes and the
+/// committed allowlist.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors from loading the tree or the allowlist.
 pub fn audit_workspace(root: &Path, config: &Config) -> io::Result<AuditReport> {
+    audit_workspace_with(root, config, true)
+}
+
+/// [`audit_workspace`] with explicit cache control (`--no-cache`).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from loading the tree or the allowlist.
+pub fn audit_workspace_with(
+    root: &Path,
+    config: &Config,
+    use_cache: bool,
+) -> io::Result<AuditReport> {
     let ws = Workspace::load(root)?;
-    let raw = run_rules(&ws, config);
+    let raw = if use_cache {
+        run_rules_cached(&ws, config)
+    } else {
+        run_rules(&ws, config)
+    };
     let allow = Allowlist::load(&root.join(config.allow_dir))?;
     Ok(apply_suppressions(&ws, raw, &allow))
 }

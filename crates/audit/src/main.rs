@@ -9,17 +9,22 @@
 //! cargo run -p aaa-audit -- --root <dir>     # audit another tree
 //! cargo run -p aaa-audit -- --metrics        # also print the Prometheus
 //!                                            # rendering of the findings
+//! cargo run -p aaa-audit -- --sarif out.sarif # write SARIF 2.1.0 for CI
+//!                                             # diff annotation
+//! cargo run -p aaa-audit -- --no-cache       # bypass the per-file result
+//!                                            # cache under target/
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use aaa_audit::{audit_workspace, fix_allowlist, rules, Config};
+use aaa_audit::{audit_workspace_with, fix_allowlist, rules, sarif, Config};
 use aaa_obs::{Meter, Registry};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: aaa-audit [--root DIR] [--fix-allowlist] [--metrics] [--quiet]\n\
+        "usage: aaa-audit [--root DIR] [--fix-allowlist] [--metrics] [--sarif FILE] \
+         [--no-cache] [--quiet]\n\
          exit codes: 0 clean, 1 findings, 2 stale allowlist, 3 usage/io error"
     );
     std::process::exit(3)
@@ -44,6 +49,8 @@ fn main() -> ExitCode {
     let mut fix = false;
     let mut metrics = false;
     let mut quiet = false;
+    let mut use_cache = true;
+    let mut sarif_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -53,6 +60,11 @@ fn main() -> ExitCode {
             },
             "--fix-allowlist" => fix = true,
             "--metrics" => metrics = true,
+            "--sarif" => match args.next() {
+                Some(path) => sarif_out = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            "--no-cache" => use_cache = false,
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -83,7 +95,7 @@ fn main() -> ExitCode {
         };
     }
 
-    let report = match audit_workspace(&root, &config) {
+    let report = match audit_workspace_with(&root, &config, use_cache) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("aaa-audit: {e}");
@@ -94,6 +106,15 @@ fn main() -> ExitCode {
     // Export findings through the observability layer.
     let registry = Registry::new();
     report.record_metrics(&Meter::new(&registry));
+
+    // SARIF export happens before the exit-code decision so CI can upload
+    // the artifact even when the job fails on findings.
+    if let Some(path) = &sarif_out {
+        if let Err(e) = std::fs::write(path, sarif::render(&report.findings)) {
+            eprintln!("aaa-audit: writing {}: {e}", path.display());
+            return ExitCode::from(3);
+        }
+    }
 
     for f in &report.findings {
         println!("{f}");

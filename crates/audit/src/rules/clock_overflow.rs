@@ -1,0 +1,252 @@
+//! `clock-overflow`: clock-cell arithmetic must not silently wrap.
+//!
+//! Matrix/vector clock cells are the very counters whose growth "On
+//! reducing the complexity of matrix clocks" bounds — but *bounded
+//! storage* does not mean *bounded values*: a long-lived channel
+//! increments `SENT[r][c]` on every send, and a wrapped cell makes a
+//! *future* message compare as *past*, so the causality predicate
+//! (`stamp == DELIV + 1`, paper §4.2) postpones it forever or, worse,
+//! delivers it early. In release builds Rust's `+` wraps silently.
+//!
+//! The rule flags, in non-test code of the clocks crate:
+//!
+//! - `<cell> += ...` where the statement's left-hand side mentions a
+//!   clock-cell field (`cells`, `deliv`, `counts`, ...);
+//! - binary `<cell-expr> + ...` / `... + <cell-expr>` where the operand
+//!   chain next to the `+` dereferences a clock-cell field.
+//!
+//! Remediation is `saturating_add` (a saturated clock stays causally
+//! *late*, which only delays delivery — never reorders it) or
+//! `checked_add` with an explicit protocol error.
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+use crate::Finding;
+
+fn finding(file: &SourceFile, line: u32, what: &str) -> Finding {
+    Finding {
+        rule: super::CLOCK_OVERFLOW,
+        file: file.rel.clone(),
+        line,
+        message: format!(
+            "{what} on a clock cell can wrap in release builds, making future messages \
+             compare as past — use `saturating_add` (late, never reordered) or `checked_add` \
+             with a protocol error"
+        ),
+        line_text: file.trimmed_line(line).to_owned(),
+    }
+}
+
+/// Walks left from `toks[idx]` (exclusive) over a postfix expression
+/// chain (`a.b.c(..)[..]`) and collects the identifiers on the chain's
+/// spine (not inside argument lists / index brackets).
+fn left_chain_idents(toks: &[Tok], idx: usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut k = idx as isize - 1;
+    while k >= 0 {
+        let t = &toks[k as usize];
+        if t.is_punct(']') {
+            k = match back_match(toks, k as usize, '[', ']') {
+                Some(open) => open as isize - 1,
+                None => break,
+            };
+            continue;
+        }
+        if t.is_punct(')') {
+            k = match back_match(toks, k as usize, '(', ')') {
+                Some(open) => open as isize - 1,
+                None => break,
+            };
+            continue;
+        }
+        if t.kind == TokKind::Ident || t.kind == TokKind::Number {
+            if t.kind == TokKind::Ident {
+                idents.push(t.text.clone());
+            }
+            // Continue only through `.` / `::` chain links.
+            if k >= 1 && toks[k as usize - 1].is_punct('.') {
+                k -= 2;
+                continue;
+            }
+            if k >= 2 && toks[k as usize - 1].is_punct(':') && toks[k as usize - 2].is_punct(':') {
+                k -= 3;
+                continue;
+            }
+        }
+        break;
+    }
+    idents
+}
+
+/// Walks right from `toks[idx]` (exclusive) over a postfix chain,
+/// collecting spine identifiers.
+fn right_chain_idents(toks: &[Tok], idx: usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut k = idx + 1;
+    // Optional leading `self.` / path segments are part of the chain.
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.kind == TokKind::Ident {
+            idents.push(t.text.clone());
+            k += 1;
+            // Postfix continuations: `.x`, `::x`, `( .. )`, `[ .. ]`.
+            loop {
+                if k < toks.len() && toks[k].is_punct('.') {
+                    k += 1;
+                    break; // next ident handled by outer loop
+                }
+                if k + 1 < toks.len() && toks[k].is_punct(':') && toks[k + 1].is_punct(':') {
+                    k += 2;
+                    break;
+                }
+                if k < toks.len() && toks[k].is_punct('(') {
+                    match crate::tree::match_paren(toks, k) {
+                        Some(close) => k = close + 1,
+                        None => return idents,
+                    }
+                    continue;
+                }
+                if k < toks.len() && toks[k].is_punct('[') {
+                    match crate::source::match_bracket(toks, k) {
+                        Some(close) => k = close + 1,
+                        None => return idents,
+                    }
+                    continue;
+                }
+                return idents;
+            }
+            continue;
+        }
+        if t.kind == TokKind::Number {
+            k += 1;
+            continue;
+        }
+        break;
+    }
+    idents
+}
+
+/// Given `toks[close]` is the closing delimiter, scans backward for the
+/// matching opener.
+fn back_match(toks: &[Tok], close: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for k in (0..=close).rev() {
+        if toks[k].is_punct(close_c) {
+            depth += 1;
+        } else if toks[k].is_punct(open_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Runs the rule over one in-scope file. `cells` is the configured list
+/// of clock-state field names.
+pub fn check(file: &SourceFile, cells: &[&str]) -> Vec<Finding> {
+    let toks = &file.toks;
+    let hit = |idents: &[String]| idents.iter().any(|i| cells.contains(&i.as_str()));
+    let mut out = Vec::new();
+    for i in file.non_test_indices().collect::<Vec<_>>() {
+        if !toks[i].is_punct('+') {
+            continue;
+        }
+        let compound = toks.get(i + 1).map(|t| t.is_punct('=')).unwrap_or(false);
+        if compound {
+            // `lhs += rhs` — scan the statement's left-hand side back to
+            // the statement boundary for a clock-cell field.
+            let mut start = i;
+            while start > 0 {
+                let t = &toks[start - 1];
+                if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                    break;
+                }
+                start -= 1;
+            }
+            let lhs: Vec<String> = toks[start..i]
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .collect();
+            if hit(&lhs) {
+                out.push(finding(file, toks[i].line, "unchecked `+=`"));
+            }
+            continue;
+        }
+        // Binary `+`: needs a runtime operand to its left (`ident`,
+        // `)` or `]`) so unary `+x` and `1 + 2` in const contexts with
+        // identifiers still work out naturally.
+        let is_binary = i > 0
+            && (toks[i - 1].kind == TokKind::Ident
+                || toks[i - 1].kind == TokKind::Number
+                || toks[i - 1].is_punct(')')
+                || toks[i - 1].is_punct(']'));
+        if !is_binary {
+            continue;
+        }
+        if hit(&left_chain_idents(toks, i)) || hit(&right_chain_idents(toks, i)) {
+            out.push(finding(file, toks[i].line, "unchecked `+`"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CELLS: &[&str] = &["cells", "deliv", "counts", "state", "now", "delivered"];
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("crates/clocks/src/x.rs", src), CELLS)
+    }
+
+    #[test]
+    fn flags_compound_increment() {
+        let f = run("fn inc(&mut self, i: usize) { self.cells[i] += 1; }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("saturating_add"));
+    }
+
+    #[test]
+    fn flags_plain_plus_on_cell_read() {
+        let f = run("fn next(&self, f: usize) -> u64 { self.deliv[f] + 1 }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn flags_plus_after_method_chain() {
+        let f = run("fn merge(&mut self, remote: u64) { self.now = self.now.max(remote) + 1; }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn flags_cell_on_right_of_plus() {
+        let f = run("fn f(&self) -> u64 { 1 + self.state }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn cursor_and_index_arithmetic_is_fine() {
+        let f = run(
+            "fn idx(&self, r: usize, c: usize) -> u64 { self.cells[r * self.n + c] }\n\
+             fn read(&mut self) { let mut at = 0; at += 1; let x = at + 4; }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn saturating_add_is_fine() {
+        let f =
+            run("fn inc(&mut self, i: usize) { self.cells[i] = self.cells[i].saturating_add(1); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = run("#[cfg(test)]\nmod t { fn f(c: &mut C) { c.state += 1; } }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

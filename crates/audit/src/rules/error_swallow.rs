@@ -1,0 +1,302 @@
+//! `error-swallow`: protocol crates must not discard fallible results.
+//!
+//! The motivating bug (PR 4): `let _ = d.u32().unwrap()` on a decode path
+//! reads past a truncated buffer and *drops the evidence* — the decoder
+//! keeps going with garbage alignment and the corruption surfaces three
+//! fields later as a plausible-looking value. A swallowed `Err` on the
+//! router path is the same failure at a larger scale: the §4.3 causality
+//! argument assumes every accepted message is actually processed, and a
+//! dropped `Result` makes "accepted but not processed" invisible.
+//!
+//! Three legs, all in non-test code of the configured protocol crates:
+//!
+//! - **`let _ = f(..)`** — a call result explicitly discarded (the
+//!   binding form that defeats `#[must_use]`);
+//! - **`.ok();`** — converting an `Err` to `None` and dropping it in
+//!   statement position;
+//! - **discarded workspace `Result`s** — a statement-position call of a
+//!   function that returns `Result` in *every* workspace definition of
+//!   that name (the name-collision-safe approximation of `#[must_use]`;
+//!   this leg lives in [`check_global`] because it needs the
+//!   workspace-wide return-type map).
+//!
+//! Deliberate best-effort sends (e.g. replying to a client that may have
+//! hung up) stay expressible via `// audit:allow(error-swallow)` with a
+//! justification comment.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::tree::{calls_in, match_paren, CallGraph};
+use crate::{Config, Finding, Workspace};
+
+fn finding(file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        rule: super::ERROR_SWALLOW,
+        file: file.rel.clone(),
+        line,
+        message,
+        line_text: file.trimmed_line(line).to_owned(),
+    }
+}
+
+/// The per-file legs: `let _ = <call>` and statement-position `.ok();`.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    for i in file.non_test_indices().collect::<Vec<_>>() {
+        // Leg 1: `let _ = <expr containing a call> ;`
+        if toks[i].is_ident("let")
+            && i + 2 < toks.len()
+            && toks[i + 1].is_ident("_")
+            && toks[i + 2].is_punct('=')
+        {
+            // Statement end: first `;` with all delimiters balanced.
+            let (mut p, mut b, mut br) = (0i32, 0i32, 0i32);
+            let mut end = i + 3;
+            while end < toks.len() {
+                let t = &toks[end];
+                if t.is_punct('(') {
+                    p += 1;
+                } else if t.is_punct(')') {
+                    p -= 1;
+                } else if t.is_punct('[') {
+                    b += 1;
+                } else if t.is_punct(']') {
+                    b -= 1;
+                } else if t.is_punct('{') {
+                    br += 1;
+                } else if t.is_punct('}') {
+                    br -= 1;
+                } else if t.is_punct(';') && p <= 0 && b <= 0 && br <= 0 {
+                    break;
+                }
+                end += 1;
+            }
+            if let Some(call) = calls_in(file, i + 3, end).first() {
+                out.push(finding(
+                    file,
+                    toks[i].line,
+                    format!(
+                        "`let _ = ..{}(..)` discards a fallible result on a protocol path — \
+                         handle or propagate the error, or `// audit:allow(error-swallow)` \
+                         with a justification",
+                        call.name
+                    ),
+                ));
+            }
+            continue;
+        }
+        // Leg 2: statement-position `.ok();`
+        if toks[i].is_punct('.')
+            && i + 4 < toks.len()
+            && toks[i + 1].is_ident("ok")
+            && toks[i + 2].is_punct('(')
+            && toks[i + 3].is_punct(')')
+            && toks[i + 4].is_punct(';')
+        {
+            out.push(finding(
+                file,
+                toks[i + 1].line,
+                "`.ok();` swallows an `Err` in statement position — match on it, propagate \
+                 it, or `// audit:allow(error-swallow)` with a justification"
+                    .to_owned(),
+            ));
+        }
+    }
+    out
+}
+
+/// Names that collide with common *infallible* std methods (atomics'
+/// `store`/`load`, map `remove`/`insert`/`get`, `Option::take`, ...).
+/// The workspace-wide return-type map cannot see std, so a workspace
+/// `fn store() -> Result<..>` would otherwise flag every
+/// `AtomicU64::store(..)` statement. Discarding an `Option` from a map
+/// mutation is idiomatic, so these names disarm the leg entirely.
+const STD_COLLISIONS: &[&str] = &[
+    "store", "load", "remove", "insert", "get", "take", "swap", "replace", "push", "pop", "set",
+    "clear", "extend", "drain", "truncate", "reserve",
+];
+
+/// Leg 3: statement-position calls of functions that return `Result` in
+/// every workspace definition of that simple name.
+pub fn check_global(ws: &Workspace, config: &Config) -> Vec<Finding> {
+    // Return-type map over the *whole* workspace: a name counts only when
+    // every definition of it returns Result (collisions disarm the leg).
+    let graph = CallGraph::build(ws.files.iter());
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !config
+            .swallow_scopes
+            .iter()
+            .any(|s| file.rel.starts_with(s))
+        {
+            continue;
+        }
+        let toks = &file.toks;
+        for call in calls_in(file, 0, toks.len()) {
+            if file.test_mask.get(call.tok).copied().unwrap_or(false) {
+                continue;
+            }
+            if graph.always_result.get(&call.name) != Some(&true) {
+                continue;
+            }
+            if STD_COLLISIONS.contains(&call.name.as_str()) {
+                continue;
+            }
+            // Result must be discarded: the token after the matching `)`
+            // is `;` (not `?`, `.`, an operator, ...).
+            let Some(close) = match_paren(toks, call.open) else {
+                continue;
+            };
+            if !toks
+                .get(close + 1)
+                .map(|t| t.is_punct(';'))
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            // ... and the call chain must start the statement: walk left
+            // over the receiver chain; the token before it must end a
+            // statement or open a block.
+            let mut k = call.tok as isize - 1;
+            loop {
+                if k < 0 {
+                    break;
+                }
+                let t = &toks[k as usize];
+                if t.is_punct('.') {
+                    k -= 1;
+                    continue;
+                }
+                if t.kind == TokKind::Ident {
+                    // part of the receiver chain (`self`, `store`, ...)
+                    // only if linked by `.`/`::` on its left or it begins
+                    // the statement.
+                    if k >= 1 && toks[k as usize - 1].is_punct('.') {
+                        k -= 2;
+                        continue;
+                    }
+                    if k >= 2
+                        && toks[k as usize - 1].is_punct(':')
+                        && toks[k as usize - 2].is_punct(':')
+                    {
+                        k -= 3;
+                        continue;
+                    }
+                    k -= 1;
+                    break;
+                }
+                break;
+            }
+            let stmt_start = k < 0
+                || toks
+                    .get(k as usize)
+                    .map(|t| t.is_punct(';') || t.is_punct('{') || t.is_punct('}'))
+                    .unwrap_or(true);
+            if !stmt_start {
+                continue;
+            }
+            out.push(finding(
+                file,
+                call.line,
+                format!(
+                    "result of `{}(..)` is discarded, but every workspace definition of \
+                     `{}` returns `Result` — add `?`, handle the error, or \
+                     `// audit:allow(error-swallow)` with a justification",
+                    call.name, call.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("crates/mom/src/x.rs", src))
+    }
+
+    #[test]
+    fn flags_let_underscore_call() {
+        let f = run("fn f(&self) { let _ = self.ep.send(to, b); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("send"));
+    }
+
+    #[test]
+    fn let_underscore_without_call_is_fine() {
+        let f = run("fn f(&self, id: u32) { let _ = id; let _ = (a, b); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn flags_statement_ok() {
+        let f = run("fn f(&mut self) { self.store.put(k, v).ok(); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains(".ok()"));
+    }
+
+    #[test]
+    fn used_ok_is_fine() {
+        let f = run("fn f(&mut self) -> Option<u8> { self.read().ok().map(|x| x) }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = run("#[cfg(test)]\nmod t { fn f() { let _ = d.u32(); x.parse().ok(); } }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::from_files(
+            files
+                .iter()
+                .map(|(r, t)| ((*r).to_owned(), (*t).to_owned()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn global_leg_flags_discarded_workspace_result() {
+        let w = ws(&[(
+            "crates/mom/src/x.rs",
+            "fn persist(&mut self) -> Result<(), E> { Ok(()) }\n\
+             fn step(&mut self) { self.persist(); }",
+        )]);
+        let f = check_global(&w, &crate::Config::for_aaa_workspace());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("persist"));
+    }
+
+    #[test]
+    fn global_leg_ignores_used_and_mixed_names() {
+        let w = ws(&[(
+            "crates/mom/src/x.rs",
+            "fn persist(&mut self) -> Result<(), E> { Ok(()) }\n\
+             fn step(&mut self) -> Result<(), E> { self.persist()?; Ok(()) }\n\
+             fn used(&mut self) { let r = self.persist(); drop(r); }",
+        )]);
+        let f = check_global(&w, &crate::Config::for_aaa_workspace());
+        assert!(f.is_empty(), "{f:?}");
+
+        // `u32` is both a fallible Decoder read and an infallible Encoder
+        // write somewhere else: the mixed name disarms the leg.
+        let w = ws(&[
+            (
+                "crates/net/src/y.rs",
+                "impl Encoder { fn u32(&mut self, v: u32) -> &mut Self { self } }",
+            ),
+            (
+                "crates/mom/src/x.rs",
+                "fn u32(&mut self) -> Result<u32, E> { Ok(0) }\n\
+                 fn enc(&mut self) { self.u32(); }",
+            ),
+        ]);
+        let f = check_global(&w, &crate::Config::for_aaa_workspace());
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

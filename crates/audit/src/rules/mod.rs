@@ -1,14 +1,21 @@
 //! The codified rule set.
 //!
 //! Every rule reports [`Finding`](crate::Finding)s with a stable rule id;
-//! the engine maps those ids to allowlist files and to the
-//! `aaa_audit_findings_total{rule=...}` metric.
+//! the engine maps those ids to allowlist files, to the
+//! `aaa_audit_findings_total{rule=...}` metric and to SARIF `rules`
+//! entries. PR 3's five rules are token-window scanners; PR 4 adds five
+//! dataflow-aware rules built on the [tree](crate::tree) layer.
 
+pub mod block_in_step;
+pub mod clock_overflow;
 pub mod determinism;
+pub mod error_swallow;
 pub mod lock_across_send;
 pub mod match_drift;
 pub mod metric_drift;
 pub mod panic_freedom;
+pub mod stamp_flow;
+pub mod wire_cast;
 
 /// Rule id: panic-freedom on delivery-critical crates.
 pub const PANIC_FREEDOM: &str = "panic-freedom";
@@ -20,6 +27,16 @@ pub const MATCH_DRIFT: &str = "match-drift";
 pub const METRIC_DRIFT: &str = "metric-drift";
 /// Rule id: no lock guard held across a transport send.
 pub const LOCK_ACROSS_SEND: &str = "lock-across-send";
+/// Rule id: every transport send dominated by a `stamp_send*` call.
+pub const STAMP_FLOW: &str = "stamp-flow";
+/// Rule id: no unguarded narrowing casts on codec/wire paths.
+pub const WIRE_CAST: &str = "wire-cast-truncation";
+/// Rule id: no wrapping arithmetic on matrix/vector clock cells.
+pub const CLOCK_OVERFLOW: &str = "clock-overflow";
+/// Rule id: no discarded fallible results in protocol crates.
+pub const ERROR_SWALLOW: &str = "error-swallow";
+/// Rule id: no blocking calls reachable from the batched server step.
+pub const BLOCK_IN_STEP: &str = "block-in-step";
 
 /// Every rule id, in reporting order.
 pub const ALL_RULES: &[&str] = &[
@@ -28,4 +45,44 @@ pub const ALL_RULES: &[&str] = &[
     MATCH_DRIFT,
     METRIC_DRIFT,
     LOCK_ACROSS_SEND,
+    STAMP_FLOW,
+    WIRE_CAST,
+    CLOCK_OVERFLOW,
+    ERROR_SWALLOW,
+    BLOCK_IN_STEP,
 ];
+
+/// One-line description per rule id (SARIF `shortDescription`, docs).
+pub fn describe(rule: &str) -> &'static str {
+    match rule {
+        r if r == PANIC_FREEDOM => {
+            "No unwrap/expect/panic-family/indexing-by-literal in non-test delivery-path code."
+        }
+        r if r == DETERMINISM => {
+            "No wall-clock or OS entropy reads inside the deterministic simulator and clocks."
+        }
+        r if r == MATCH_DRIFT => {
+            "Every wire-enum variant is covered by both its serializer and its deserializer."
+        }
+        r if r == METRIC_DRIFT => {
+            "The aaa_* metric vocabulary agrees across code, README table and Prometheus golden."
+        }
+        r if r == LOCK_ACROSS_SEND => {
+            "No Mutex/RwLock guard is held across a transport send in the same block."
+        }
+        r if r == STAMP_FLOW => {
+            "Every transport send outside aaa-net is dominated by a stamp_send* call."
+        }
+        r if r == WIRE_CAST => "No unguarded narrowing casts (as u16/u32) on codec and wire paths.",
+        r if r == CLOCK_OVERFLOW => {
+            "Matrix/vector clock cell arithmetic uses saturating/checked operations."
+        }
+        r if r == ERROR_SWALLOW => {
+            "No discarded fallible results (let _ =, .ok();, dropped Results) in protocol crates."
+        }
+        r if r == BLOCK_IN_STEP => {
+            "No blocking calls or .await reachable from the batched server step."
+        }
+        _ => "Workspace protocol-invariant audit rule.",
+    }
+}

@@ -1,0 +1,191 @@
+//! `stamp-flow`: every message leaving a server must carry a causal stamp.
+//!
+//! The paper's global-causality theorem (§4.3) quantifies over *messages*:
+//! per-domain causal delivery composes into global causal delivery only if
+//! every inter-server send flows through `CausalState::stamp_send` /
+//! `stamp_send_batched`. One raw `Transport::send` that bypasses the
+//! stamping path produces a frame the receiver cannot order — delivery
+//! still happens, causality silently does not. That failure mode is
+//! invisible to tests that only count deliveries, which is why it gets a
+//! structural rule instead of a code-review convention.
+//!
+//! The rule finds transport-shaped call sites outside `aaa-net` —
+//! `.send(to, bytes)` / `.send_batch(to, batch)` (two arguments, which
+//! distinguishes the transport from one-argument mpsc sends and
+//! three-argument `Mom::send`) and `.buffer(payload, now)` — and demands
+//! that each is *dominated by stamping*: the enclosing function, one of
+//! its callees (transitively), or one of its transitive callers must call
+//! a `stamp_send*` seed. The call graph is simple-name based
+//! ([`CallGraph`]); name collisions only ever widen the covered set, so
+//! the rule errs toward missing an exotic violation rather than crying
+//! wolf on a sound one.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::tree::{arg_count, enclosing_fn, fn_spans, CallGraph};
+use crate::{Config, Finding, Workspace};
+
+/// Transport-shaped method names with the argument count that makes them
+/// a raw send.
+const SEND_METHODS: &[(&str, usize)] = &[("send", 2), ("send_batch", 2), ("buffer", 2)];
+
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace, config: &Config) -> Vec<Finding> {
+    let in_scope: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| config.stamp_scopes.iter().any(|s| f.rel.starts_with(s)))
+        .collect();
+    let graph = CallGraph::build(in_scope.iter().copied());
+    // Functions that (transitively) call a stamping seed. The send-method
+    // names themselves are barriers: a workspace `fn send` that happens to
+    // reach stamping must not make every raw `.send(..)` site look covered
+    // through the name merge.
+    let send_names: Vec<&str> = SEND_METHODS.iter().map(|(m, _)| *m).collect();
+    let stamping: BTreeSet<String> = graph.reaching_excluding(&config.stamp_seeds, &send_names);
+
+    let mut out = Vec::new();
+    for file in &in_scope {
+        let toks = &file.toks;
+        let spans = fn_spans(file);
+        for i in file.non_test_indices().collect::<Vec<_>>() {
+            if !toks[i].is_punct('.') {
+                continue;
+            }
+            let Some(name_tok) = toks.get(i + 1) else {
+                continue;
+            };
+            if name_tok.kind != TokKind::Ident {
+                continue;
+            }
+            let Some(&(_, want_args)) = SEND_METHODS.iter().find(|(m, _)| name_tok.is_ident(m))
+            else {
+                continue;
+            };
+            if !toks.get(i + 2).map(|t| t.is_punct('(')).unwrap_or(false) {
+                continue;
+            }
+            if arg_count(toks, i + 2) != Some(want_args) {
+                continue;
+            }
+            let covered = match enclosing_fn(&spans, i + 1) {
+                Some(f) => {
+                    stamping.contains(&f.name)
+                        || graph
+                            .transitive_callers(&f.name)
+                            .iter()
+                            .any(|c| stamping.contains(c))
+                }
+                None => false,
+            };
+            if covered {
+                continue;
+            }
+            let enclosing = enclosing_fn(&spans, i + 1)
+                .map(|f| format!("`{}`", f.name))
+                .unwrap_or_else(|| "<no enclosing fn>".to_owned());
+            out.push(Finding {
+                rule: super::STAMP_FLOW,
+                file: file.rel.clone(),
+                line: name_tok.line,
+                message: format!(
+                    "`.{}(..)` reaches the transport from {enclosing} without a dominating \
+                     `stamp_send*` call in this function, its callees or its callers — an \
+                     unstamped frame breaks the §4.3 causality argument invisibly; route the \
+                     message through the channel/stamping path",
+                    name_tok.text
+                ),
+                line_text: file.trimmed_line(name_tok.line).to_owned(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> Config {
+        Config::for_aaa_workspace()
+    }
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::from_files(
+            files
+                .iter()
+                .map(|(r, t)| ((*r).to_owned(), (*t).to_owned()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn unstamped_send_is_flagged() {
+        let w = ws(&[(
+            "crates/mom/src/x.rs",
+            "fn sneaky(t: &dyn Transport) { t.send(to, bytes); }",
+        )]);
+        let f = check(&w, &config());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "stamp-flow");
+        assert!(f[0].message.contains("sneaky"));
+    }
+
+    #[test]
+    fn stamping_in_same_fn_covers() {
+        let w = ws(&[(
+            "crates/mom/src/x.rs",
+            "fn ok(&mut self) { let s = self.clock.stamp_send(to); self.link.send(to, s); }",
+        )]);
+        assert!(check(&w, &config()).is_empty());
+    }
+
+    #[test]
+    fn stamping_in_callee_covers() {
+        let w = ws(&[(
+            "crates/mom/src/x.rs",
+            "fn take(&mut self) { self.clock.stamp_send_batched(to); }\n\
+             fn flush(&mut self) { let ts = self.take(); self.link.buffer(payload, now); }",
+        )]);
+        assert!(check(&w, &config()).is_empty());
+    }
+
+    #[test]
+    fn stamping_in_caller_covers() {
+        let w = ws(&[(
+            "crates/mom/src/x.rs",
+            "fn raw(&mut self) { self.ep.send(to, bytes); }\n\
+             fn step(&mut self) { self.clock.stamp_send(to); self.raw(); }",
+        )]);
+        assert!(check(&w, &config()).is_empty());
+    }
+
+    #[test]
+    fn arity_distinguishes_mpsc_and_mom_sends() {
+        let w = ws(&[(
+            "crates/mom/src/x.rs",
+            "fn f(&self) { reply.send(result); mom.send(a, b, c); tx.send(Command::Go { x, y }); }",
+        )]);
+        assert!(check(&w, &config()).is_empty());
+    }
+
+    #[test]
+    fn net_crate_is_exempt() {
+        let w = ws(&[(
+            "crates/net/src/x.rs",
+            "fn raw(&mut self) { self.ep.send(to, bytes); }",
+        )]);
+        assert!(check(&w, &config()).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let w = ws(&[(
+            "crates/mom/src/x.rs",
+            "#[cfg(test)]\nmod t { fn f(tx: &L) { tx.send(payload, now); } }",
+        )]);
+        assert!(check(&w, &config()).is_empty());
+    }
+}

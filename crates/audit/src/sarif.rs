@@ -1,0 +1,161 @@
+//! SARIF 2.1.0 export of audit findings.
+//!
+//! CI consumes this (`aaa-audit --sarif out.sarif`) to annotate PR diffs:
+//! the GitHub code-scanning upload action turns each `result` into an
+//! inline annotation at `physicalLocation.region.startLine`. The writer
+//! is hand-rolled (the vendor tree is offline — no `serde_json`) and
+//! **deterministic**: object keys are emitted in a fixed order, findings
+//! in the canonical sort order, so two runs over the same tree produce
+//! byte-identical files and the golden test can compare exactly.
+//!
+//! Shape: one `run` with a `tool.driver` declaring every rule id (so
+//! `ruleIndex` is stable even for rules with zero findings this run) and
+//! one `result` per active finding at level `error`.
+
+use crate::{rules, Finding};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `findings` as a SARIF 2.1.0 document.
+///
+/// Findings should already be in canonical order ([`crate::sort_findings`])
+/// for byte-stable output; the function does not reorder them.
+pub fn render(findings: &[Finding]) -> String {
+    let mut o = String::with_capacity(4096 + findings.len() * 512);
+    o.push_str("{\n");
+    o.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    o.push_str("  \"version\": \"2.1.0\",\n");
+    o.push_str("  \"runs\": [\n    {\n");
+    o.push_str("      \"tool\": {\n        \"driver\": {\n");
+    o.push_str("          \"name\": \"aaa-audit\",\n");
+    o.push_str(&format!(
+        "          \"version\": \"{}\",\n",
+        esc(env!("CARGO_PKG_VERSION"))
+    ));
+    o.push_str("          \"informationUri\": \"https://example.invalid/aaa-middleware/audit\",\n");
+    o.push_str("          \"rules\": [\n");
+    for (i, rule) in rules::ALL_RULES.iter().enumerate() {
+        o.push_str("            {\n");
+        o.push_str(&format!("              \"id\": \"{}\",\n", esc(rule)));
+        o.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": \"{}\" }},\n",
+            esc(rules::describe(rule))
+        ));
+        o.push_str("              \"defaultConfiguration\": { \"level\": \"error\" }\n");
+        o.push_str("            }");
+        if i + 1 < rules::ALL_RULES.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("          ]\n");
+    o.push_str("        }\n      },\n");
+    o.push_str(
+        "      \"columnKind\": \"utf16CodeUnits\",\n      \"originalUriBaseIds\": {\n        \"SRCROOT\": { \"uri\": \"file:///\" }\n      },\n",
+    );
+    o.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let rule_index = rules::ALL_RULES
+            .iter()
+            .position(|r| *r == f.rule)
+            .unwrap_or(0);
+        o.push_str("        {\n");
+        o.push_str(&format!("          \"ruleId\": \"{}\",\n", esc(f.rule)));
+        o.push_str(&format!("          \"ruleIndex\": {rule_index},\n"));
+        o.push_str("          \"level\": \"error\",\n");
+        o.push_str(&format!(
+            "          \"message\": {{ \"text\": \"{}\" }},\n",
+            esc(&f.message)
+        ));
+        o.push_str("          \"locations\": [\n            {\n");
+        o.push_str("              \"physicalLocation\": {\n");
+        o.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": \"{}\", \"uriBaseId\": \"SRCROOT\" }},\n",
+            esc(&f.file)
+        ));
+        o.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {}, \"snippet\": {{ \"text\": \"{}\" }} }}\n",
+            f.line.max(1),
+            esc(&f.line_text)
+        ));
+        o.push_str("              }\n            }\n          ]\n");
+        o.push_str("        }");
+        if i + 1 < findings.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("      ]\n    }\n  ]\n}\n");
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                rule: rules::ERROR_SWALLOW,
+                file: "crates/net/src/wire.rs".to_owned(),
+                line: 390,
+                message: "`let _ = ..u32(..)` discards a fallible result".to_owned(),
+                line_text: "let _ = d.u32().unwrap();".to_owned(),
+            },
+            Finding {
+                rule: rules::WIRE_CAST,
+                file: "crates/net/src/wire.rs".to_owned(),
+                line: 65,
+                message: "unguarded narrowing `as u32` with \"quotes\" and \\ backslash".to_owned(),
+                line_text: "self.u32(v.len() as u32);".to_owned(),
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_required_fields() {
+        let s = render(&sample());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("sarif-2.1.0.json"));
+        assert!(s.contains("\"name\": \"aaa-audit\""));
+        assert!(s.contains("\"ruleId\": \"error-swallow\""));
+        assert!(s.contains("\"startLine\": 390"));
+        // Every rule id is declared even with zero results.
+        for rule in rules::ALL_RULES {
+            assert!(s.contains(&format!("\"id\": \"{rule}\"")), "{rule} missing");
+        }
+    }
+
+    #[test]
+    fn escapes_json_metacharacters() {
+        let s = render(&sample());
+        assert!(s.contains("\\\"quotes\\\""));
+        assert!(s.contains("\\\\ backslash"));
+    }
+
+    #[test]
+    fn empty_findings_is_still_a_valid_run() {
+        let s = render(&[]);
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        assert_eq!(render(&sample()), render(&sample()));
+    }
+}

@@ -1,0 +1,677 @@
+//! Token-tree and function-span analysis over the total [lexer](crate::lexer).
+//!
+//! PR 3's rules were token-window scanners; the dataflow rules added here
+//! (stamp-flow, block-in-step, error-swallow's `#[must_use]` leg) need
+//! *structure*: which function a token lives in, who owns that function
+//! (`impl` block), what it returns, and which other functions it calls.
+//! This module builds exactly that — and nothing more — on top of the
+//! comment-stripped token stream:
+//!
+//! - a tolerant brace/bracket/paren **delimiter tree** ([`delim_tree`]),
+//!   never panicking on unbalanced byte soup (see `tests/tree_props.rs`);
+//! - **function spans** ([`fn_spans`]): every `fn name` with its body
+//!   token range, enclosing `impl` owner, return-type tokens and
+//!   test-gating;
+//! - **call sites** ([`calls_in`]) and an intra-workspace, simple-name
+//!   **call graph** ([`CallGraph`]) with forward/backward reachability.
+//!
+//! The call graph is deliberately name-based (no type resolution — the
+//! vendor tree is offline, `syn` is unavailable). Rules built on it err
+//! toward *fewer* false positives: a name collision merges nodes, which
+//! only ever widens the set of functions considered "covered".
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::{match_brace, SourceFile};
+
+/// A delimiter class tracked by the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `( ... )`
+    Paren,
+    /// `[ ... ]`
+    Bracket,
+    /// `{ ... }`
+    Brace,
+}
+
+impl Delim {
+    fn open(c: char) -> Option<Delim> {
+        match c {
+            '(' => Some(Delim::Paren),
+            '[' => Some(Delim::Bracket),
+            '{' => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+
+    fn close(c: char) -> Option<Delim> {
+        match c {
+            ')' => Some(Delim::Paren),
+            ']' => Some(Delim::Bracket),
+            '}' => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+}
+
+/// One node of the delimiter tree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Which delimiter pair this group uses.
+    pub delim: Delim,
+    /// Token index of the opening delimiter.
+    pub open: usize,
+    /// Token index of the closing delimiter; `None` when the group is
+    /// unterminated (runs to end of file).
+    pub close: Option<usize>,
+    /// Nested groups, in source order.
+    pub children: Vec<Node>,
+}
+
+/// Builds a brace-matched tree over `toks`.
+///
+/// Total and tolerant: a closer that does not match the innermost open
+/// group closes every intervening group (treating them as unterminated at
+/// that point only if no matching opener exists on the stack — a stray
+/// closer with no opener is ignored). Unclosed groups at end of input get
+/// `close: None`. Never panics, for any token stream.
+pub fn delim_tree(toks: &[Tok]) -> Vec<Node> {
+    // Stack of open groups; each frame owns its already-finished children.
+    let mut stack: Vec<Node> = Vec::new();
+    let mut roots: Vec<Node> = Vec::new();
+    let finish = |stack: &mut Vec<Node>, roots: &mut Vec<Node>, mut node: Node| {
+        node.children.shrink_to_fit();
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(node),
+            None => roots.push(node),
+        }
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        let Some(c) = t.text.chars().next() else {
+            continue;
+        };
+        if let Some(d) = Delim::open(c) {
+            stack.push(Node {
+                delim: d,
+                open: i,
+                close: None,
+                children: Vec::new(),
+            });
+        } else if let Some(d) = Delim::close(c) {
+            // Only unwind if a matching opener is somewhere on the stack;
+            // otherwise this closer is stray and ignored.
+            if stack.iter().any(|n| n.delim == d) {
+                while let Some(mut top) = stack.pop() {
+                    let matched = top.delim == d;
+                    if matched {
+                        top.close = Some(i);
+                    }
+                    finish(&mut stack, &mut roots, top);
+                    if matched {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    while let Some(top) = stack.pop() {
+        finish(&mut stack, &mut roots, top);
+    }
+    roots
+}
+
+/// Given `toks[open]` == `(`, returns the index of the matching `)`.
+pub fn match_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Counts the comma-separated arguments between `toks[open]` == `(` and
+/// its matching `)`. Returns `None` when the paren is unterminated.
+/// An empty argument list counts as 0.
+pub fn arg_count(toks: &[Tok], open: usize) -> Option<usize> {
+    let close = match_paren(toks, open)?;
+    if close == open + 1 {
+        return Some(0);
+    }
+    let mut commas = 0usize;
+    let (mut p, mut b, mut br) = (0i32, 0i32, 0i32);
+    for t in &toks[open + 1..close] {
+        if t.is_punct('(') {
+            p += 1;
+        } else if t.is_punct(')') {
+            p -= 1;
+        } else if t.is_punct('[') {
+            b += 1;
+        } else if t.is_punct(']') {
+            b -= 1;
+        } else if t.is_punct('{') {
+            br += 1;
+        } else if t.is_punct('}') {
+            br -= 1;
+        } else if t.is_punct(',') && p == 0 && b == 0 && br == 0 {
+            commas += 1;
+        }
+    }
+    Some(commas + 1)
+}
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's simple name.
+    pub name: String,
+    /// Type name of the enclosing `impl` block, when there is one.
+    pub owner: Option<String>,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token range of the body including both braces: `[start, end)`,
+    /// `toks[start]` == `{`. `None` for bodyless declarations
+    /// (`fn f(..);` in traits).
+    pub body: Option<(usize, usize)>,
+    /// Return-type tokens (text between `->` and the body/`;`), joined
+    /// with single spaces. Empty for `()`-returning functions.
+    pub ret: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// `true` when the span lies inside test-gated code.
+    pub is_test: bool,
+}
+
+impl FnSpan {
+    /// `true` when the declared return type mentions `Result`.
+    pub fn returns_result(&self) -> bool {
+        self.ret.split_whitespace().any(|w| w == "Result")
+    }
+
+    /// `true` when `tok` lies inside this span's body.
+    pub fn contains(&self, tok: usize) -> bool {
+        self.body.map(|(s, e)| s <= tok && tok < e).unwrap_or(false)
+    }
+}
+
+/// Keywords that introduce control flow / items, never call sites.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn", "impl",
+    "let", "const", "static", "mod", "use", "pub", "in", "as", "ref", "mut", "move", "where",
+    "struct", "enum", "trait", "type", "unsafe", "extern", "dyn",
+];
+
+/// Extracts every `fn` span in `file`, with `impl` owners.
+///
+/// Nested functions get their own spans (the outer span still covers
+/// them); closures do not — their tokens belong to the enclosing `fn`,
+/// which is exactly what the dataflow rules want.
+pub fn fn_spans(file: &SourceFile) -> Vec<FnSpan> {
+    let toks = &file.toks;
+    let mut spans = Vec::new();
+    // Stack of (impl owner name, close index of the impl's brace).
+    let mut owners: Vec<(String, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        while let Some(&(_, close)) = owners.last() {
+            if i > close {
+                owners.pop();
+            } else {
+                break;
+            }
+        }
+        let t = &toks[i];
+        if t.is_ident("impl") {
+            if let Some((owner, body_open)) = impl_owner(toks, i) {
+                if let Some(close) = match_brace(toks, body_open) {
+                    owners.push((owner, close));
+                }
+                // Continue scanning *inside* the impl body for fns.
+                i = body_open + 1;
+                continue;
+            }
+        }
+        if t.is_ident("fn") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            // Scan the signature to the body `{` or a terminating `;`,
+            // collecting return-type tokens after `->`.
+            let mut j = i + 2;
+            let mut ret_toks: Vec<&str> = Vec::new();
+            let mut in_ret = false;
+            let mut angle = 0i32; // `<...>` depth inside the signature
+            let mut paren = 0i32;
+            let body_open = loop {
+                if j >= toks.len() {
+                    break None;
+                }
+                let s = &toks[j];
+                if s.is_punct('(') {
+                    paren += 1;
+                } else if s.is_punct(')') {
+                    paren -= 1;
+                } else if s.is_punct('<') {
+                    angle += 1;
+                } else if s.is_punct('>') {
+                    // `->` is lexed as `-` then `>`: don't count the arrow
+                    // head as a closing angle.
+                    if j > 0 && toks[j - 1].is_punct('-') {
+                        in_ret = true;
+                    } else {
+                        angle -= 1;
+                    }
+                } else if s.is_punct('{') && paren == 0 && angle <= 0 {
+                    break Some(j);
+                } else if s.is_punct(';') && paren == 0 {
+                    break None;
+                } else if in_ret && s.kind != TokKind::Comment {
+                    // `where` ends the return type.
+                    if s.is_ident("where") {
+                        in_ret = false;
+                    } else {
+                        ret_toks.push(&s.text);
+                    }
+                }
+                j += 1;
+            };
+            let body = body_open.map(|open| {
+                let close = match_brace(toks, open).unwrap_or(toks.len().saturating_sub(1));
+                (open, close + 1)
+            });
+            spans.push(FnSpan {
+                name,
+                owner: owners.last().map(|(o, _)| o.clone()),
+                fn_tok: i,
+                body,
+                ret: ret_toks.join(" "),
+                line: t.line,
+                is_test: file.test_mask.get(i).copied().unwrap_or(false),
+            });
+            // Keep scanning from just after the signature so nested fns
+            // are discovered too.
+            i = j.saturating_add(1).max(i + 2);
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Parses an `impl` header starting at `toks[at]` == `impl`; returns the
+/// implemented type's simple name and the index of the body `{`.
+fn impl_owner(toks: &[Tok], at: usize) -> Option<(String, usize)> {
+    let mut j = at + 1;
+    // Skip the generic parameter list `impl<...>`.
+    if toks.get(j).map(|t| t.is_punct('<')).unwrap_or(false) {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            if toks[j].is_punct('<') {
+                depth += 1;
+            } else if toks[j].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Collect header idents up to `{`; `for` switches to the self type
+    // (`impl Trait for Type`).
+    let mut first: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            let owner = if saw_for { after_for } else { first };
+            return owner.map(|o| (o, j));
+        }
+        if t.is_punct(';') {
+            return None; // `impl Trait for Type;` — nothing to own
+        }
+        if t.is_ident("for") {
+            saw_for = true;
+        } else if t.kind == TokKind::Ident && !t.is_ident("where") && !t.is_ident("dyn") {
+            if saw_for {
+                after_for.get_or_insert_with(|| t.text.clone());
+            } else {
+                first.get_or_insert_with(|| t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// The innermost function span containing token index `tok`.
+pub fn enclosing_fn(spans: &[FnSpan], tok: usize) -> Option<&FnSpan> {
+    spans
+        .iter()
+        .filter(|s| s.contains(tok))
+        .min_by_key(|s| s.body.map(|(st, en)| en - st).unwrap_or(usize::MAX))
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Simple name of the callee.
+    pub name: String,
+    /// Token index of the callee identifier.
+    pub tok: usize,
+    /// Token index of the `(` opening the argument list.
+    pub open: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// `true` for `.name(...)` method-call syntax.
+    pub is_method: bool,
+}
+
+/// Extracts call sites in the half-open token range `[start, end)`:
+/// `name(...)` and `.name(...)`, excluding keywords, macro invocations
+/// (`name!(...)`) and `fn` definitions.
+pub fn calls_in(file: &SourceFile, start: usize, end: usize) -> Vec<Call> {
+    let toks = &file.toks;
+    let end = end.min(toks.len());
+    let mut out = Vec::new();
+    for i in start..end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Next non-turbofish token must open the argument list.
+        let mut j = i + 1;
+        // `name::<T>(...)` — skip the turbofish.
+        if j + 1 < end && toks[j].is_punct(':') && toks[j + 1].is_punct(':') {
+            if j + 2 < end && toks[j + 2].is_punct('<') {
+                let mut depth = 0i32;
+                let mut k = j + 2;
+                while k < end {
+                    if toks[k].is_punct('<') {
+                        depth += 1;
+                    } else if toks[k].is_punct('>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+            } else {
+                continue; // `path::segment` — the *last* segment will match
+            }
+        }
+        if j >= end || !toks[j].is_punct('(') {
+            continue;
+        }
+        if i > 0 && (toks[i - 1].is_punct('!') || toks[i - 1].is_ident("fn")) {
+            continue;
+        }
+        if i + 1 < toks.len() && toks[i + 1].is_punct('!') {
+            continue; // macro
+        }
+        out.push(Call {
+            name: t.text.clone(),
+            tok: i,
+            open: j,
+            line: t.line,
+            is_method: i > 0 && toks[i - 1].is_punct('.'),
+        });
+    }
+    out
+}
+
+/// An intra-workspace call graph over simple function names.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// callee names by caller name.
+    pub callees: BTreeMap<String, BTreeSet<String>>,
+    /// caller names by callee name.
+    pub callers: BTreeMap<String, BTreeSet<String>>,
+    /// Names with at least one *non-test* `fn` definition in the graph's
+    /// file set, mapped to whether **every** such definition returns
+    /// `Result` (used by the error-swallow `#[must_use]` leg).
+    pub always_result: BTreeMap<String, bool>,
+}
+
+impl CallGraph {
+    /// Builds the graph from every non-test `fn` span in `files`.
+    pub fn build<'a>(files: impl IntoIterator<Item = &'a SourceFile>) -> CallGraph {
+        let mut g = CallGraph::default();
+        for file in files {
+            let spans = fn_spans(file);
+            for s in &spans {
+                if s.is_test {
+                    continue;
+                }
+                let entry = g.always_result.entry(s.name.clone()).or_insert(true);
+                *entry = *entry && s.returns_result();
+                let Some((bs, be)) = s.body else { continue };
+                // Attribute calls to the innermost span only, so a nested
+                // fn's calls are not double-counted for the outer fn.
+                for c in calls_in(file, bs + 1, be.saturating_sub(1)) {
+                    let inner = enclosing_fn(&spans, c.tok);
+                    let owner_name = inner.map(|f| f.name.as_str()).unwrap_or(&s.name);
+                    if owner_name != s.name {
+                        continue;
+                    }
+                    g.callees
+                        .entry(s.name.clone())
+                        .or_default()
+                        .insert(c.name.clone());
+                    g.callers.entry(c.name).or_default().insert(s.name.clone());
+                }
+            }
+        }
+        g
+    }
+
+    /// Fixpoint: the set of function names that (transitively, through
+    /// their callees) reach any of `seeds` — including functions that
+    /// *are* seeds themselves when defined or called in the graph.
+    pub fn reaching(&self, seeds: &[&str]) -> BTreeSet<String> {
+        self.reaching_excluding(seeds, &[])
+    }
+
+    /// [`CallGraph::reaching`] with *barrier* names: reachability does not
+    /// propagate through any name in `blocked` — its callers are not added
+    /// on its account and it never enters the result set.
+    ///
+    /// The stamp-flow rule needs this to stop the name-merged graph from
+    /// laundering coverage through the send methods themselves: without
+    /// the barrier, `fn f { ep.send(..) }` would count as "stamping"
+    /// whenever *some* workspace function named `send` reaches a stamping
+    /// seed, making every raw send site self-covering.
+    pub fn reaching_excluding(&self, seeds: &[&str], blocked: &[&str]) -> BTreeSet<String> {
+        let mut set: BTreeSet<String> = seeds
+            .iter()
+            .filter(|s| !blocked.contains(s))
+            .map(|s| (*s).to_owned())
+            .collect();
+        let mut queue: VecDeque<String> = set.iter().cloned().collect();
+        while let Some(name) = queue.pop_front() {
+            if let Some(callers) = self.callers.get(&name) {
+                for c in callers {
+                    if blocked.iter().any(|b| b == c) {
+                        continue;
+                    }
+                    if set.insert(c.clone()) {
+                        queue.push_back(c.clone());
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// Forward reachability: every function name reachable from `seeds`
+    /// through callee edges (seeds included).
+    pub fn reachable_from(&self, seeds: &[&str]) -> BTreeSet<String> {
+        let mut set: BTreeSet<String> = seeds.iter().map(|s| (*s).to_owned()).collect();
+        let mut queue: VecDeque<String> = set.iter().cloned().collect();
+        while let Some(name) = queue.pop_front() {
+            if let Some(callees) = self.callees.get(&name) {
+                for c in callees {
+                    if set.insert(c.clone()) {
+                        queue.push_back(c.clone());
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// Transitive *callers* of `name` (not including `name` itself unless
+    /// it calls itself).
+    pub fn transitive_callers(&self, name: &str) -> BTreeSet<String> {
+        let mut set = BTreeSet::new();
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        queue.push_back(name);
+        while let Some(n) = queue.pop_front() {
+            if let Some(callers) = self.callers.get(n) {
+                for c in callers {
+                    if set.insert(c.clone()) {
+                        queue.push_back(c.as_str());
+                    }
+                }
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("crates/net/src/x.rs", src)
+    }
+
+    #[test]
+    fn delim_tree_nests_and_tolerates_soup() {
+        let f = file("fn a() { b(c[0]); }");
+        let roots = delim_tree(&f.toks);
+        // `()` of the signature and `{}` of the body at top level.
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].delim, Delim::Paren);
+        assert_eq!(roots[1].delim, Delim::Brace);
+        assert_eq!(roots[1].children.len(), 1); // b(...)
+        assert_eq!(roots[1].children[0].children.len(), 1); // c[...]
+
+        // Unbalanced input: never panics, unclosed groups flagged.
+        let f = file("{ ( ] }");
+        let roots = delim_tree(&f.toks);
+        assert_eq!(roots.len(), 1);
+        assert!(roots[0].close.is_some());
+        assert!(roots[0].children.iter().any(|c| c.close.is_none()));
+    }
+
+    #[test]
+    fn fn_spans_finds_owner_ret_and_test_gate() {
+        let src = "\
+impl Codec for Encoder {
+    fn stamp(&mut self) -> Result<(), Error> { self.u8(1); }
+}
+fn free() { }
+#[cfg(test)]
+mod tests { fn t() -> Result<u8, ()> { Ok(1) } }
+";
+        let f = file(src);
+        let spans = fn_spans(&f);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "stamp");
+        assert_eq!(spans[0].owner.as_deref(), Some("Encoder"));
+        assert!(spans[0].returns_result());
+        assert!(!spans[0].is_test);
+        assert_eq!(spans[1].name, "free");
+        assert_eq!(spans[1].owner, None);
+        assert!(!spans[1].returns_result());
+        assert_eq!(spans[2].name, "t");
+        assert!(spans[2].is_test);
+    }
+
+    #[test]
+    fn fn_spans_handles_generics_and_where() {
+        let src = "fn g<T: Into<Vec<u8>>>(x: T) -> Option<T> where T: Clone { x.into() }";
+        let f = file(src);
+        let spans = fn_spans(&f);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "g");
+        assert!(spans[0].ret.contains("Option"));
+        assert!(!spans[0].ret.contains("Clone"));
+        assert!(spans[0].body.is_some());
+    }
+
+    #[test]
+    fn calls_in_skips_macros_keywords_and_defs() {
+        let src = "fn f() { g(); h.i(j); println!(\"x\"); if (a) { } let k = m::n(); }";
+        let f = file(src);
+        let spans = fn_spans(&f);
+        let (s, e) = spans[0].body.unwrap();
+        let names: Vec<String> = calls_in(&f, s, e).into_iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["g", "i", "n"]);
+    }
+
+    #[test]
+    fn call_graph_reaches_through_layers() {
+        let src = "\
+fn stamp_send() { }
+fn take_batched(&mut self) { self.clock.stamp_send(); }
+fn flush(&mut self) { let ts = self.take_batched(); }
+fn other(&self) { }
+";
+        let f = file(src);
+        let g = CallGraph::build([&f]);
+        let s = g.reaching(&["stamp_send"]);
+        assert!(s.contains("take_batched"));
+        assert!(s.contains("flush"));
+        assert!(!s.contains("other"));
+        let fwd = g.reachable_from(&["flush"]);
+        assert!(fwd.contains("stamp_send"));
+        assert!(g.transitive_callers("stamp_send").contains("flush"));
+    }
+
+    #[test]
+    fn arg_count_counts_top_level_commas() {
+        let f = file("f(a, g(b, c), [d, e]) g() h(x)");
+        let toks = &f.toks;
+        let opens: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| t.is_punct('(') && *i > 0 && toks[i - 1].kind == TokKind::Ident)
+            .map(|(i, _)| i)
+            .collect();
+        let counts: Vec<Option<usize>> = opens.iter().map(|&o| arg_count(toks, o)).collect();
+        assert_eq!(counts[0], Some(3));
+        // inner g(b, c)
+        assert_eq!(counts[1], Some(2));
+        assert_eq!(counts[2], Some(0));
+        assert_eq!(counts[3], Some(1));
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_innermost() {
+        let src = "fn outer() { fn inner() { leaf(); } }";
+        let f = file(src);
+        let spans = fn_spans(&f);
+        assert_eq!(spans.len(), 2);
+        let call = calls_in(&f, 0, f.toks.len())
+            .into_iter()
+            .find(|c| c.name == "leaf")
+            .unwrap();
+        assert_eq!(enclosing_fn(&spans, call.tok).unwrap().name, "inner");
+    }
+}

@@ -1,0 +1,82 @@
+//! Golden test for the SARIF 2.1.0 exporter.
+//!
+//! The committed golden (`tests/golden.sarif`) pins the *exact bytes* the
+//! exporter produces for a fixed finding sample: key order, indentation,
+//! escaping, the declared rules array and the uriBaseId scheme. CI uploads
+//! this format to code-scanning backends, so any drift — even cosmetic —
+//! is a contract change and must show up in review as a golden diff.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! AAA_BLESS=1 cargo test -p aaa-audit --test sarif_golden
+//! ```
+
+use aaa_audit::rules;
+use aaa_audit::sarif;
+use aaa_audit::Finding;
+
+/// A fixed sample covering: multiple rules, result ordering, JSON
+/// metacharacters in messages and a snippet with a narrowing cast.
+fn sample() -> Vec<Finding> {
+    vec![
+        Finding {
+            rule: rules::ERROR_SWALLOW,
+            file: "crates/net/src/wire.rs".to_owned(),
+            line: 390,
+            message: "`let _ = ..u32(..)` discards a fallible result on a protocol path".to_owned(),
+            line_text: "let _ = d.u32().unwrap();".to_owned(),
+        },
+        Finding {
+            rule: rules::WIRE_CAST,
+            file: "crates/net/src/wire.rs".to_owned(),
+            line: 65,
+            message: "unguarded narrowing cast `as u32` with \"quotes\" and a \\ backslash"
+                .to_owned(),
+            line_text: "self.u32(v.len() as u32);".to_owned(),
+        },
+        Finding {
+            rule: rules::STAMP_FLOW,
+            file: "crates/mom/src/server.rs".to_owned(),
+            line: 12,
+            message: "transport send not dominated by a stamp_send* call".to_owned(),
+            line_text: "self.endpoint.send(to, bytes);".to_owned(),
+        },
+    ]
+}
+
+#[test]
+fn sarif_output_matches_committed_golden() {
+    let rendered = sarif::render(&sample());
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden.sarif");
+    if std::env::var_os("AAA_BLESS").is_some() {
+        std::fs::write(golden_path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path).expect(
+        "missing tests/golden.sarif — run AAA_BLESS=1 cargo test -p aaa-audit --test sarif_golden",
+    );
+    assert_eq!(
+        rendered, golden,
+        "SARIF output drifted from the committed golden; if intentional, \
+         regenerate with AAA_BLESS=1"
+    );
+}
+
+/// Structural sanity beyond byte equality: the golden stays parseable by
+/// the (deliberately strict) expectations a SARIF consumer has.
+#[test]
+fn sarif_output_declares_every_rule_once() {
+    let rendered = sarif::render(&sample());
+    for rule in rules::ALL_RULES {
+        let needle = format!("\"id\": \"{rule}\"");
+        assert_eq!(
+            rendered.matches(&needle).count(),
+            1,
+            "{rule} must be declared exactly once in the rules array"
+        );
+    }
+    // Results reference rules by index into that same array.
+    assert!(rendered.contains("\"ruleIndex\""));
+    assert!(rendered.contains("\"uriBaseId\": \"SRCROOT\""));
+}

@@ -1,0 +1,175 @@
+//! Property tests: the token-tree layer is *total* — any input, however
+//! unbalanced or adversarial, produces a delimiter tree, function spans
+//! and call sites without panicking, and the structures it returns are
+//! internally consistent. The dataflow rules (stamp-flow, block-in-step,
+//! the error-swallow return-type map) all stand on this layer; a panic
+//! here on a weird-but-legal source file would crash the audit inside
+//! `cargo test`.
+
+use aaa_audit::source::SourceFile;
+use aaa_audit::tree::{calls_in, delim_tree, fn_spans, match_paren, CallGraph, Node};
+use proptest::prelude::*;
+
+/// Fragments chosen to stress the tree builder: unbalanced delimiters of
+/// all three kinds, `fn`/`impl`/`for`/`where` keywords in odd positions,
+/// generics with shift operators, and general punctuation soup.
+fn arb_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("{".to_owned()),
+            Just("}".to_owned()),
+            Just("(".to_owned()),
+            Just(")".to_owned()),
+            Just("[".to_owned()),
+            Just("]".to_owned()),
+            Just("fn ".to_owned()),
+            Just("impl ".to_owned()),
+            Just("for ".to_owned()),
+            Just("where ".to_owned()),
+            Just("-> Result<(), E> ".to_owned()),
+            Just("<T: Ord<X>> ".to_owned()),
+            Just(">> ".to_owned()),
+            Just("self.a.b(c)?;".to_owned()),
+            Just("#[cfg(test)]".to_owned()),
+            Just("\n".to_owned()),
+            "[a-zA-Z0-9_ ;.,:<>=!&|+*-]{0,12}",
+        ],
+        0..48,
+    )
+    .prop_map(|v| v.concat())
+}
+
+/// Arbitrary bytes, lossily decoded: no shape constraints at all.
+fn arb_bytes_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..256)
+        .prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+}
+
+/// Checks a node list for internal consistency against the token stream.
+fn check_nodes(file: &SourceFile, nodes: &[Node], lo: usize, hi: usize) {
+    for node in nodes {
+        assert!(
+            node.open >= lo && node.open < hi,
+            "node open {} escapes its parent range {lo}..{hi}",
+            node.open
+        );
+        let open_tok = &file.toks[node.open];
+        assert!(
+            open_tok.is_punct('(') || open_tok.is_punct('[') || open_tok.is_punct('{'),
+            "node.open must index an opening delimiter, got {open_tok:?}"
+        );
+        if let Some(close) = node.close {
+            assert!(close > node.open, "close {close} <= open {}", node.open);
+            assert!(close < hi, "close {close} escapes parent range ..{hi}");
+            let close_tok = &file.toks[close];
+            assert!(
+                close_tok.is_punct(')') || close_tok.is_punct(']') || close_tok.is_punct('}'),
+                "node.close must index a closing delimiter, got {close_tok:?}"
+            );
+            check_nodes(file, &node.children, node.open + 1, close);
+        } else {
+            // Unclosed: children still live inside the file.
+            check_nodes(file, &node.children, node.open + 1, file.toks.len());
+        }
+    }
+    // Siblings appear in token order.
+    for pair in nodes.windows(2) {
+        assert!(pair[0].open < pair[1].open, "siblings out of order");
+    }
+}
+
+fn check_total(src: &str) {
+    let file = SourceFile::parse("crates/net/src/soup.rs", src);
+    let n = file.toks.len();
+
+    // The delimiter tree is total and internally consistent.
+    let tree = delim_tree(&file.toks);
+    check_nodes(&file, &tree, 0, n.max(1));
+
+    // match_paren agrees with the tree for every opening paren.
+    for (i, t) in file.toks.iter().enumerate() {
+        if t.is_punct('(') {
+            if let Some(close) = match_paren(&file.toks, i) {
+                assert!(close > i);
+                assert!(file.toks[close].is_punct(')'));
+            }
+        }
+    }
+
+    // Function spans are total: every span names a real `fn` token and a
+    // well-formed body range.
+    let spans = fn_spans(&file);
+    for s in &spans {
+        assert!(s.fn_tok < n, "fn_tok out of range");
+        assert!(file.toks[s.fn_tok].is_ident("fn"), "fn_tok must be `fn`");
+        assert!(s.line >= 1, "fn lines are 1-based");
+        if let Some((open, end)) = s.body {
+            // `body` is `(open, exclusive end)`: `end` may equal the token
+            // count for an unclosed body at EOF.
+            assert!(open > s.fn_tok, "body starts before the fn keyword");
+            assert!(end > open, "body end precedes its open");
+            assert!(end <= n, "body end out of range");
+            assert!(file.toks[open].is_punct('{'));
+            assert!(s.contains(open), "a span contains its own body open");
+        }
+    }
+
+    // Call sites are total and well-formed.
+    for call in calls_in(&file, 0, n) {
+        assert!(!call.name.is_empty(), "calls have names");
+        assert!(call.tok < call.open, "callee precedes its open paren");
+        assert!(file.toks[call.open].is_punct('('));
+        assert!(call.line >= 1);
+    }
+
+    // The call graph builds without panicking and its reachability sets
+    // are subsets of the known names.
+    let graph = CallGraph::build([&file]);
+    let callers: Vec<&str> = graph.callees.keys().map(String::as_str).collect();
+    let reach = graph.reaching(&callers);
+    for name in &reach {
+        assert!(
+            graph.callees.contains_key(name) || graph.callers.contains_key(name),
+            "reaching() invented an unknown function {name}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tree_on_token_soup_never_panics(src in arb_soup()) {
+        check_total(&src);
+    }
+
+    #[test]
+    fn tree_on_arbitrary_bytes_never_panics(src in arb_bytes_text()) {
+        check_total(&src);
+    }
+
+    #[test]
+    fn tree_is_deterministic(src in arb_soup()) {
+        let a = SourceFile::parse("crates/net/src/soup.rs", &src);
+        let spans_a: Vec<String> = fn_spans(&a).into_iter().map(|s| format!("{s:?}")).collect();
+        let spans_b: Vec<String> = fn_spans(&a).into_iter().map(|s| format!("{s:?}")).collect();
+        prop_assert_eq!(spans_a, spans_b);
+    }
+
+    /// On *balanced* soups (every fragment self-balanced), every function
+    /// span finds a body and every body close matches its open delimiter
+    /// count — the totality property sharpened to the common case.
+    #[test]
+    fn balanced_bodies_are_found(names in prop::collection::vec("[a-z_][a-z0-9_]{0,8}", 1..8)) {
+        let src: String = names
+            .iter()
+            .map(|n| format!("fn {n}(x: u32) -> u32 {{ x + helper(x) }}\n"))
+            .collect();
+        let file = SourceFile::parse("crates/net/src/gen.rs", &src);
+        let spans = fn_spans(&file);
+        prop_assert_eq!(spans.len(), names.len());
+        for s in &spans {
+            prop_assert!(s.body.is_some(), "balanced fn {} lost its body", s.name);
+        }
+    }
+}

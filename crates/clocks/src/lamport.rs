@@ -46,7 +46,9 @@ impl LamportClock {
     /// Advances the clock for a local or send event, returning the new
     /// timestamp.
     pub fn tick(&mut self) -> u64 {
-        self.now += 1;
+        // Saturating: a clock stuck at `u64::MAX` is causally *late*,
+        // which only delays comparisons — wrapping would reorder them.
+        self.now = self.now.saturating_add(1);
         self.now
     }
 
@@ -54,7 +56,7 @@ impl LamportClock {
     /// local timestamp, which is strictly greater than both the previous
     /// local time and the remote stamp.
     pub fn observe(&mut self, remote: u64) -> u64 {
-        self.now = self.now.max(remote) + 1;
+        self.now = self.now.max(remote).saturating_add(1);
         self.now
     }
 }

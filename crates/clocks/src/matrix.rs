@@ -103,7 +103,9 @@ impl MatrixClock {
     #[inline]
     pub fn increment(&mut self, row: usize, col: usize) -> u64 {
         let i = self.idx(row, col);
-        self.cells[i] += 1;
+        // Saturating: a saturated SENT cell postpones future deliveries
+        // (safe) instead of wrapping and reordering them (unsafe).
+        self.cells[i] = self.cells[i].saturating_add(1);
         self.cells[i]
     }
 
@@ -220,7 +222,10 @@ impl MatrixClock {
     /// Used by the persistence layer; the wire codec in `aaa-net` has its
     /// own framing.
     pub fn write_bytes(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&(self.n as u32).to_le_bytes());
+        // Saturating `try_from`: an impossible width (> u32::MAX servers)
+        // writes a prefix `read_bytes` rejects, instead of silently
+        // truncating into a *valid-looking* smaller matrix.
+        out.extend_from_slice(&u32::try_from(self.n).unwrap_or(u32::MAX).to_le_bytes());
         for v in &self.cells {
             out.extend_from_slice(&v.to_le_bytes());
         }

@@ -145,7 +145,10 @@ impl CausalState {
     pub fn stamp_send(&mut self, to: DomainServerId) -> Stamp {
         assert!(to != self.me, "local deliveries bypass the causal protocol");
         assert!(to.as_usize() < self.n, "destination {to} out of range");
-        self.state += 1;
+        // Saturating throughout the clock core: a saturated counter keeps
+        // comparisons monotone (late, never reordered); wrapping breaks
+        // the §4.2 delivery predicate.
+        self.state = self.state.saturating_add(1);
         self.sent.increment(self.me.as_usize(), to.as_usize());
         let tag = self.state;
         self.set_entry_state(self.me.as_usize(), to.as_usize(), tag);
@@ -187,7 +190,7 @@ impl CausalState {
         // The guard on SENT[me][to] ensures a previous frame to this peer
         // exists, so the receiver has an image to continue from.
         if self.node_state[t] == self.state && self.sent.get(me, t) > 0 {
-            self.state += 1;
+            self.state = self.state.saturating_add(1);
             self.sent.increment(me, t);
             let tag = self.state;
             self.set_entry_state(me, t, tag);
@@ -260,7 +263,7 @@ impl CausalState {
         let f = from.as_usize();
         let me = self.me.as_usize();
         assert!(f < self.n, "sender {from} out of range");
-        if pending.matrix.get(f, me) != self.deliv[f] + 1 {
+        if pending.matrix.get(f, me) != self.deliv[f].saturating_add(1) {
             return false;
         }
         (0..self.n).all(|k| k == f || pending.matrix.get(k, me) <= self.deliv[k])
@@ -278,8 +281,8 @@ impl CausalState {
             self.can_deliver(from, pending),
             "delivering a message out of causal order"
         );
-        self.deliv[from.as_usize()] += 1;
-        self.state += 1;
+        self.deliv[from.as_usize()] = self.deliv[from.as_usize()].saturating_add(1);
+        self.state = self.state.saturating_add(1);
         let tag = self.state;
         let n = self.n;
         let entry_state = &mut self.entry_state;
@@ -301,7 +304,9 @@ impl CausalState {
     /// resumes the delta protocol exactly where it crashed.
     pub fn write_bytes(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.me.as_u16().to_le_bytes());
-        out.extend_from_slice(&(self.n as u32).to_le_bytes());
+        // Saturating `try_from`: an impossible width writes a prefix the
+        // reader rejects rather than a truncated valid-looking one.
+        out.extend_from_slice(&u32::try_from(self.n).unwrap_or(u32::MAX).to_le_bytes());
         out.push(match self.mode {
             StampMode::Full => 0,
             StampMode::Updates => 1,
@@ -403,9 +408,12 @@ impl CausalState {
         for row in 0..self.n {
             for col in 0..self.n {
                 if self.entry_state[row * self.n + col] > since {
+                    // `n <= u16::MAX` is a construction invariant, so the
+                    // checked narrowing never saturates in practice; if it
+                    // ever did, the peer would reject the frame loudly.
                     out.push(UpdateEntry {
-                        row: row as u16,
-                        col: col as u16,
+                        row: u16::try_from(row).unwrap_or(u16::MAX),
+                        col: u16::try_from(col).unwrap_or(u16::MAX),
                         value: self.sent.get(row, col),
                     });
                 }

@@ -82,7 +82,9 @@ impl VectorClock {
     ///
     /// Panics if `i` is out of range.
     pub fn tick(&mut self, i: usize) -> u64 {
-        self.counts[i] += 1;
+        // Saturating: wrapping a vector-clock component would make future
+        // events compare as past; saturation merely delays them.
+        self.counts[i] = self.counts[i].saturating_add(1);
         self.counts[i]
     }
 
@@ -223,7 +225,7 @@ impl BssState {
     pub fn can_deliver(&self, from: DomainServerId, stamp: &VectorClock) -> bool {
         assert_eq!(stamp.len(), self.delivered.len());
         let f = from.as_usize();
-        if stamp.get(f) != self.delivered.get(f) + 1 {
+        if stamp.get(f) != self.delivered.get(f).saturating_add(1) {
             return false;
         }
         (0..stamp.len()).all(|k| k == f || stamp.get(k) <= self.delivered.get(k))

@@ -118,11 +118,11 @@ impl ServerImage {
         let mut e = Encoder::new();
         e.u64(self.next_msg_seq);
 
-        e.u32(self.items.len() as u32);
+        e.count(self.items.len());
         for item in &self.items {
             e.domain_id(item.domain_id());
             e.u16(item.me().as_u16());
-            e.u32(item.id_table().len() as u32);
+            e.count(item.id_table().len());
             for s in item.id_table() {
                 e.server_id(*s);
             }
@@ -131,14 +131,16 @@ impl ServerImage {
             e.bytes(&clock_bytes);
         }
 
-        e.u32(self.queue_out.len() as u32);
+        e.count(self.queue_out.len());
         for env in &self.queue_out {
             encode_envelope(&mut e, env);
         }
 
-        e.u32(self.postponed.len() as u32);
+        e.count(self.postponed.len());
         for p in &self.postponed {
-            e.u32(p.item_idx as u32);
+            // `item_idx` indexes `items`, so it fits whenever the item
+            // count does; `count` keeps the narrowing checked.
+            e.count(p.item_idx);
             e.u16(p.from.as_u16());
             e.u64(p.arrived_at.as_micros());
             let mut m = Vec::new();
@@ -147,29 +149,29 @@ impl ServerImage {
             encode_envelope(&mut e, &p.env);
         }
 
-        e.u32(self.engine_queue.len() as u32);
+        e.count(self.engine_queue.len());
         for m in &self.engine_queue {
             encode_agent_message(&mut e, m);
         }
 
-        e.u32(self.links_tx.len() as u32);
+        e.count(self.links_tx.len());
         for link in &self.links_tx {
             e.server_id(link.peer);
             e.u64(link.next_seq);
-            e.u32(link.unacked.len() as u32);
+            e.count(link.unacked.len());
             for f in &link.unacked {
                 e.u64(f.seq);
                 e.bytes(&f.payload);
             }
         }
 
-        e.u32(self.links_rx.len() as u32);
+        e.count(self.links_rx.len());
         for link in &self.links_rx {
             e.server_id(link.peer);
             e.u64(link.cum_seq);
         }
 
-        e.u32(self.agents.len() as u32);
+        e.count(self.agents.len());
         for (local, image) in &self.agents {
             e.u32(*local);
             e.bytes(image);

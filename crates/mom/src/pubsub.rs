@@ -126,7 +126,7 @@ impl Agent for TopicAgent {
     fn snapshot(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         e.u64(self.published);
-        e.u32(self.subscribers.len() as u32);
+        e.count(self.subscribers.len());
         for s in &self.subscribers {
             e.agent_id(*s);
         }
@@ -212,8 +212,10 @@ impl Agent for QueueAgent {
     fn snapshot(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         e.u64(self.dispatched);
-        e.u32(self.next as u32);
-        e.u32(self.consumers.len() as u32);
+        // `next` is an index into `consumers`, so it fits whenever the
+        // consumer count does; `count` keeps the narrowing checked.
+        e.count(self.next);
+        e.count(self.consumers.len());
         for c in &self.consumers {
             e.agent_id(*c);
         }

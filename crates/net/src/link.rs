@@ -155,10 +155,21 @@ impl Datagram {
                 let body: usize = frames.iter().map(|f| 12 + f.payload.len()).sum();
                 let mut out = Vec::with_capacity(5 + body);
                 out.push(2);
-                out.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+                // Saturating prefixes: an impossible >u32::MAX count/length
+                // yields a prefix the decoder rejects as truncated instead of
+                // a silently wrapped, plausible-looking small value.
+                out.extend_from_slice(
+                    &u32::try_from(frames.len())
+                        .unwrap_or(u32::MAX)
+                        .to_le_bytes(),
+                );
                 for f in frames {
                     out.extend_from_slice(&f.seq.to_le_bytes());
-                    out.extend_from_slice(&(f.payload.len() as u32).to_le_bytes());
+                    out.extend_from_slice(
+                        &u32::try_from(f.payload.len())
+                            .unwrap_or(u32::MAX)
+                            .to_le_bytes(),
+                    );
                     out.extend_from_slice(&f.payload);
                 }
                 Bytes::from(out)

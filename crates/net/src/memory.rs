@@ -139,9 +139,15 @@ impl MemoryNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
+    /// Panics if `n` is zero or exceeds the `u16` server-id space.
     pub fn create(n: usize) -> Vec<MemoryEndpoint> {
         assert!(n > 0, "a network needs at least one endpoint");
+        // Server ids are u16 on the wire; an unguarded `i as u16` below
+        // would silently alias endpoint 65536 onto id 0.
+        assert!(
+            n <= usize::from(u16::MAX) + 1,
+            "server ids are u16: cannot create {n} endpoints"
+        );
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
         for _ in 0..n {

@@ -96,7 +96,10 @@ impl TcpEndpoint {
     fn frame_into(&self, out: &mut Vec<u8>, bytes: &[u8]) {
         let mut header = [0u8; 6];
         header[0..2].copy_from_slice(&self.me.as_u16().to_le_bytes());
-        header[2..6].copy_from_slice(&(bytes.len() as u32).to_le_bytes());
+        // Saturating length prefix: a >4 GiB frame cannot be represented, and
+        // the saturated header makes the reader fail loudly on a short body
+        // instead of silently truncating via `as u32` wraparound.
+        header[2..6].copy_from_slice(&u32::try_from(bytes.len()).unwrap_or(u32::MAX).to_le_bytes());
         out.extend_from_slice(&header);
         out.extend_from_slice(bytes);
     }
@@ -224,9 +227,15 @@ impl TcpNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
+    /// Panics if `n` is zero or exceeds the `u16` server-id space.
     pub fn create(n: usize) -> Result<Vec<TcpEndpoint>> {
         assert!(n > 0, "a network needs at least one endpoint");
+        // Server ids are u16 on the wire; an unguarded `i as u16` below
+        // would silently alias endpoint 65536 onto id 0.
+        assert!(
+            n <= usize::from(u16::MAX) + 1,
+            "server ids are u16: cannot create {n} endpoints"
+        );
         let mut listeners = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
         for _ in 0..n {

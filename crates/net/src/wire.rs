@@ -60,9 +60,21 @@ impl Encoder {
         self
     }
 
+    /// Writes a `usize` count as a little-endian `u32`, saturating at
+    /// `u32::MAX`.
+    ///
+    /// Saturation is deliberate: an element count that genuinely exceeds
+    /// `u32::MAX` cannot be represented on the wire at all, and a saturated
+    /// prefix makes the decoder fail loudly (`need` sees fewer bytes than
+    /// claimed) instead of silently truncating to a *plausible* small value
+    /// the way `as u32` would.
+    pub fn count(&mut self, n: usize) -> &mut Self {
+        self.u32(u32::try_from(n).unwrap_or(u32::MAX))
+    }
+
     /// Writes a length-prefixed byte slice.
     pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
-        self.u32(v.len() as u32);
+        self.count(v.len());
         self.buf.put_slice(v);
         self
     }
@@ -110,7 +122,9 @@ impl Encoder {
         match v {
             Stamp::Full(m) => {
                 self.u8(0);
-                self.u32(m.width() as u32);
+                // Widths are bounded by the u16 server-id space, far below
+                // u32::MAX; `count` keeps the narrowing checked anyway.
+                self.count(m.width());
                 for row in 0..m.width() {
                     for col in 0..m.width() {
                         self.u64(m.get(row, col));
@@ -119,7 +133,7 @@ impl Encoder {
             }
             Stamp::Delta(entries) => {
                 self.u8(1);
-                self.u32(entries.len() as u32);
+                self.count(entries.len());
                 for e in entries {
                     self.u16(e.row);
                     self.u16(e.col);
@@ -387,8 +401,12 @@ mod tests {
         let mut e = Encoder::new();
         e.u64(1);
         let mut d = Decoder::new(e.finish());
-        let _ = d.u32().unwrap();
-        let _ = d.u32().unwrap();
+        // Read the u64 back as two named u32 halves so a decode error here
+        // fails the test at the read that broke, instead of being discarded
+        // and surfacing three fields later as garbage alignment.
+        let lo = d.u32().expect("low half of the u64 is present");
+        let hi = d.u32().expect("high half of the u64 is present");
+        assert_eq!((lo, hi), (1, 0), "little-endian halves of 1u64");
         assert!(matches!(d.u8(), Err(Error::Codec(_))));
 
         let mut d = Decoder::new(Bytes::from_static(&[0, 255, 255, 255, 255]));

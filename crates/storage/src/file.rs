@@ -195,7 +195,12 @@ impl Log for FileLog {
     fn append(&self, record: &[u8]) -> Result<u64> {
         self.stats.record_write(record.len() as u64 + 4);
         let mut file = self.file.lock();
-        let len = (record.len() as u32).to_le_bytes();
+        // Saturating prefix: a >4 GiB record cannot be represented; the
+        // saturated header makes recovery treat it as a torn record instead
+        // of silently truncating to a wrapped length.
+        let len = u32::try_from(record.len())
+            .unwrap_or(u32::MAX)
+            .to_le_bytes();
         file.write_all(&len)
             .and_then(|()| file.write_all(record))
             .and_then(|()| file.flush())

@@ -135,6 +135,135 @@ fn sabotage_stamp_variant_in_encode_only_is_caught() {
 }
 
 #[test]
+fn sabotage_unstamped_send_is_caught() {
+    // A helper inside aaa-mom that pushes bytes straight onto the
+    // transport without going through `stamp_send*` — exactly the §4.2
+    // bypass the stamp-flow rule exists to catch.
+    let f = findings_after(&[("crates/mom/src/server.rs", &|t| {
+        format!(
+            "{t}\nfn sneaky_bypass(ep: &dyn Transport, to: ServerId, bytes: Bytes) \
+             -> Result<()> {{ ep.send(to, bytes) }}\n"
+        )
+    })]);
+    let hit = f
+        .iter()
+        .find(|f| f.rule == "stamp-flow" && f.file == "crates/mom/src/server.rs")
+        .unwrap_or_else(|| panic!("unstamped send not flagged; findings: {f:#?}"));
+    assert!(hit.line > 0, "diagnostic must carry a line number");
+    assert!(
+        hit.message.contains("stamp"),
+        "diagnostic should explain the missing stamp domination: {}",
+        hit.message
+    );
+}
+
+#[test]
+fn sabotage_unguarded_len_cast_is_caught() {
+    // A raw `len() as u32` on a codec path: wraps silently past 4 GiB
+    // instead of producing a prefix the decoder can reject.
+    let f = findings_after(&[("crates/net/src/wire.rs", &|t| {
+        format!("{t}\nfn sneaky_len(v: &[u8]) -> u32 {{ v.len() as u32 }}\n")
+    })]);
+    let hit = f
+        .iter()
+        .find(|f| f.rule == "wire-cast-truncation" && f.file == "crates/net/src/wire.rs")
+        .unwrap_or_else(|| panic!("unguarded narrowing cast not flagged; findings: {f:#?}"));
+    assert!(hit.line > 0, "diagnostic must carry a line number");
+}
+
+#[test]
+fn sabotage_raw_clock_increment_is_caught() {
+    // Revert the matrix clock's own-event increment to wrapping `+= 1`:
+    // a wrapped cell compares as *past* and reorders delivery.
+    let f = findings_after(&[("crates/clocks/src/matrix.rs", &|t| {
+        t.replacen(
+            "self.cells[i] = self.cells[i].saturating_add(1);",
+            "self.cells[i] += 1;",
+            1,
+        )
+    })]);
+    let hit = f
+        .iter()
+        .find(|f| f.rule == "clock-overflow" && f.file == "crates/clocks/src/matrix.rs")
+        .unwrap_or_else(|| panic!("raw clock increment not flagged; findings: {f:#?}"));
+    assert!(hit.line > 0, "diagnostic must carry a line number");
+    assert!(
+        hit.message.contains("saturating"),
+        "diagnostic should prescribe the saturating fix: {}",
+        hit.message
+    );
+}
+
+#[test]
+fn sabotage_swallowed_error_in_mom_is_caught() {
+    // A statement-position `.ok();` in the persistence layer: the commit
+    // failed, nobody heard about it, and §4.3's "accepted implies
+    // processed" assumption silently broke.
+    let f = findings_after(&[("crates/mom/src/persist.rs", &|t| {
+        format!("{t}\nfn sneaky(r: Result<(), u8>) {{ r.ok(); }}\n")
+    })]);
+    let hit = f
+        .iter()
+        .find(|f| f.rule == "error-swallow" && f.file == "crates/mom/src/persist.rs")
+        .unwrap_or_else(|| panic!("swallowed error not flagged; findings: {f:#?}"));
+    assert!(hit.line > 0, "diagnostic must carry a line number");
+}
+
+#[test]
+fn sabotage_blocking_call_in_step_is_caught() {
+    // A blocking sleep inside a function the batched step loop reaches:
+    // one stalled step delays every queued delivery behind it.
+    let f = findings_after(&[("crates/mom/src/server.rs", &|t| {
+        t.replacen(
+            "pub fn on_tick(&mut self, now: VTime) -> Vec<Transmission> {",
+            "pub fn on_tick(&mut self, now: VTime) -> Vec<Transmission> {\n        \
+             std::thread::sleep(std::time::Duration::from_millis(1));",
+            1,
+        )
+    })]);
+    let hit = f
+        .iter()
+        .find(|f| f.rule == "block-in-step" && f.file == "crates/mom/src/server.rs")
+        .unwrap_or_else(|| panic!("blocking call in step not flagged; findings: {f:#?}"));
+    assert!(hit.line > 0, "diagnostic must carry a line number");
+    assert!(
+        hit.message.contains("on_tick"),
+        "diagnostic should name the step entry that reaches the call: {}",
+        hit.message
+    );
+}
+
+#[test]
+fn audit_output_is_byte_identical_across_runs() {
+    // Determinism is part of the contract: identical trees produce
+    // identical findings, identical rendered SARIF and identical metric
+    // expositions — no HashMap iteration order, no filesystem order.
+    let config = Config::for_aaa_workspace();
+    let ws = Workspace::load(root()).expect("workspace loads");
+    let a = run_rules(&ws, &config);
+    let b = run_rules(&ws, &config);
+    assert_eq!(a, b, "raw findings must be run-stable");
+    assert_eq!(
+        aaa_audit::sarif::render(&a),
+        aaa_audit::sarif::render(&b),
+        "SARIF bytes must be run-stable"
+    );
+
+    let render_metrics = |raw: Vec<Finding>| {
+        let allow = Allowlist::load(&root().join(config.allow_dir)).expect("allowlist loads");
+        let report = apply_suppressions(&ws, raw, &allow);
+        let registry = Registry::new();
+        report.record_metrics(&Meter::new(&registry));
+        registry.snapshot().render_prometheus()
+    };
+    assert_eq!(
+        render_metrics(a),
+        render_metrics(b),
+        "Prometheus exposition must be run-stable"
+    );
+}
+
+#[test]
 fn sabotage_unregistered_metric_is_caught() {
     let f = findings_after(&[("crates/net/src/metrics.rs", &|t| {
         format!(
