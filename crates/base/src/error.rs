@@ -51,6 +51,10 @@ pub enum Error {
     Storage(String),
     /// A configuration value was invalid. The string describes the defect.
     Config(String),
+    /// The server's outstanding-message budget is exhausted: accepting more
+    /// client sends would grow the postponed/retransmit queues without
+    /// bound. Retry after in-flight traffic drains (or raise the cap).
+    Backpressure,
 }
 
 impl fmt::Display for Error {
@@ -79,6 +83,9 @@ impl fmt::Display for Error {
             Error::Closed(what) => write!(f, "{what} is closed"),
             Error::Storage(why) => write!(f, "storage error: {why}"),
             Error::Config(why) => write!(f, "invalid configuration: {why}"),
+            Error::Backpressure => {
+                write!(f, "backpressure: outstanding-message budget exhausted")
+            }
         }
     }
 }

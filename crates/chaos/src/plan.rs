@@ -1,0 +1,479 @@
+//! Seeded fault plans and the deterministic decision engine.
+//!
+//! A [`FaultPlan`] is a *pure description* of network misbehaviour: per-link
+//! drop/duplicate/delay probabilities, timed partition windows and a crash
+//! schedule, all rooted in one seed. A [`FaultInjector`] turns the plan into
+//! decisions — exactly **one** RNG draw per datagram regardless of outcome,
+//! so a run is reproducible from `(plan, workload)` alone and two plans that
+//! differ only in probabilities still walk the same decision stream.
+
+use aaa_base::{Error, Result, ServerId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Extra latency (in plan ticks — virtual milliseconds in the simulator)
+/// added to a datagram selected for delay/reorder, when the plan does not
+/// override it.
+pub const DEFAULT_DELAY_TICKS: u64 = 5;
+
+/// Per-link fault probabilities. Probabilities are disjoint outcomes of a
+/// single lottery, so their sum must stay below `1.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Probability that a datagram is lost in transit.
+    pub drop: f64,
+    /// Probability that a datagram is delivered twice.
+    pub duplicate: f64,
+    /// Probability that a datagram is held back and re-offered later
+    /// (reordering it behind newer traffic).
+    pub delay: f64,
+}
+
+impl LinkFaults {
+    /// No faults at all: every datagram is delivered exactly once, in order.
+    pub const NONE: LinkFaults = LinkFaults {
+        drop: 0.0,
+        duplicate: 0.0,
+        delay: 0.0,
+    };
+
+    /// Drop-only faults, the shape of the legacy `FaultConfig`.
+    pub fn drop_only(p: f64) -> LinkFaults {
+        LinkFaults {
+            drop: p,
+            ..LinkFaults::NONE
+        }
+    }
+
+    /// Checks every probability is in `[0, 1)` and the outcomes are
+    /// mutually exclusive (sum < 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] describing the defect.
+    pub fn validate(&self) -> Result<()> {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("delay", self.delay),
+        ] {
+            if !(0.0..1.0).contains(&p) {
+                return Err(Error::Config(format!(
+                    "{name} probability {p} outside [0, 1)"
+                )));
+            }
+        }
+        let sum = self.drop + self.duplicate + self.delay;
+        if sum >= 1.0 {
+            return Err(Error::Config(format!(
+                "fault probabilities sum to {sum}, leaving no probability of delivery"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A timed, symmetric partition window: while `from_tick <= tick <
+/// until_tick`, no datagram crosses between the two servers (either
+/// direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// The two servers cut off from each other.
+    pub between: (ServerId, ServerId),
+    /// First tick (inclusive) of the window.
+    pub from_tick: u64,
+    /// First tick after the window (exclusive); `u64::MAX` never heals.
+    pub until_tick: u64,
+}
+
+impl Partition {
+    /// `true` if this window blocks traffic between `a` and `b` at `tick`.
+    pub fn blocks(&self, a: ServerId, b: ServerId, tick: u64) -> bool {
+        let (x, y) = self.between;
+        let on_link = (a == x && b == y) || (a == y && b == x);
+        on_link && tick >= self.from_tick && tick < self.until_tick
+    }
+}
+
+/// One entry of a crash schedule. The injector itself never crashes a
+/// server — it has no access to runtime state — so the schedule is
+/// *consumed by the harness* driving the run (`Simulation::crash`/
+/// `recover`, `Mom::crash`/`recover`), keeping the plan the single seeded
+/// source of truth for when crashes happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The server to crash.
+    pub server: ServerId,
+    /// Tick at which the crash occurs.
+    pub at_tick: u64,
+    /// Tick at which the server recovers, if it does.
+    pub recover_at: Option<u64>,
+}
+
+/// A seeded, fully deterministic description of network misbehaviour.
+///
+/// # Examples
+///
+/// ```
+/// use aaa_base::ServerId;
+/// use aaa_chaos::{FaultPlan, LinkFaults};
+///
+/// let plan = FaultPlan::new(42)
+///     .faults(LinkFaults { drop: 0.2, duplicate: 0.05, delay: 0.05 })
+///     .partition((ServerId::new(0), ServerId::new(1)), 100, 400)
+///     .crash(ServerId::new(2), 250, Some(600));
+/// assert!(plan.validate().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed of the decision stream.
+    pub seed: u64,
+    /// Fault probabilities applied to links without an override.
+    pub default_faults: LinkFaults,
+    /// Per-link (directed) overrides.
+    pub overrides: Vec<((ServerId, ServerId), LinkFaults)>,
+    /// Timed partition windows.
+    pub partitions: Vec<Partition>,
+    /// Crash schedule, consumed by the harness driving the run.
+    pub crashes: Vec<CrashEvent>,
+    /// Extra latency, in ticks, for a delayed datagram.
+    pub delay_ticks: u64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            default_faults: LinkFaults::NONE,
+            overrides: Vec::new(),
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+            delay_ticks: DEFAULT_DELAY_TICKS,
+        }
+    }
+
+    /// The legacy shape: i.i.d. datagram loss with probability `p` on
+    /// every link. Draw-for-draw compatible with the historical
+    /// `FaultConfig` path (same seed, same losses).
+    pub fn drop_only(p: f64, seed: u64) -> FaultPlan {
+        FaultPlan::new(seed).faults(LinkFaults::drop_only(p))
+    }
+
+    /// Sets the default per-link fault probabilities.
+    #[must_use]
+    pub fn faults(mut self, faults: LinkFaults) -> FaultPlan {
+        self.default_faults = faults;
+        self
+    }
+
+    /// Overrides the fault probabilities of the directed link `from → to`.
+    #[must_use]
+    pub fn link(mut self, from: ServerId, to: ServerId, faults: LinkFaults) -> FaultPlan {
+        self.overrides.push(((from, to), faults));
+        self
+    }
+
+    /// Adds a symmetric partition window.
+    #[must_use]
+    pub fn partition(
+        mut self,
+        between: (ServerId, ServerId),
+        from_tick: u64,
+        until_tick: u64,
+    ) -> FaultPlan {
+        self.partitions.push(Partition {
+            between,
+            from_tick,
+            until_tick,
+        });
+        self
+    }
+
+    /// Adds a crash event to the schedule.
+    #[must_use]
+    pub fn crash(mut self, server: ServerId, at_tick: u64, recover_at: Option<u64>) -> FaultPlan {
+        self.crashes.push(CrashEvent {
+            server,
+            at_tick,
+            recover_at,
+        });
+        self
+    }
+
+    /// Sets the extra latency, in ticks, of a delayed datagram.
+    #[must_use]
+    pub fn delay_ticks(mut self, ticks: u64) -> FaultPlan {
+        self.delay_ticks = ticks.max(1);
+        self
+    }
+
+    /// The fault probabilities in effect on the directed link `from → to`.
+    pub fn faults_for(&self, from: ServerId, to: ServerId) -> LinkFaults {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|((f, t), _)| *f == from && *t == to)
+            .map(|(_, faults)| *faults)
+            .unwrap_or(self.default_faults)
+    }
+
+    /// Validates every probability set in the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] describing the first defect.
+    pub fn validate(&self) -> Result<()> {
+        self.default_faults.validate()?;
+        for (_, faults) in &self.overrides {
+            faults.validate()?;
+        }
+        for p in &self.partitions {
+            if p.from_tick >= p.until_tick {
+                return Err(Error::Config(format!(
+                    "partition window [{}, {}) is empty",
+                    p.from_tick, p.until_tick
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The decision taken for one datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Lose the datagram (link-layer retransmission repairs it).
+    Drop,
+    /// Deliver the datagram twice (duplicate suppression absorbs it).
+    Duplicate,
+    /// Hold the datagram back and re-offer it later (reordering).
+    Delay,
+    /// Blocked by an active partition window (no RNG consumed).
+    Block,
+}
+
+/// Cumulative counts of the injector's decisions.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Datagrams decided on.
+    pub decided: u64,
+    /// Datagrams dropped by the loss lottery.
+    pub dropped: u64,
+    /// Datagrams duplicated.
+    pub duplicated: u64,
+    /// Datagrams delayed/reordered.
+    pub delayed: u64,
+    /// Datagrams blocked by a partition window.
+    pub blocked: u64,
+}
+
+/// The seeded decision engine over a [`FaultPlan`].
+///
+/// Decisions consume exactly one RNG draw per datagram (partition blocks
+/// consume none), so the loss pattern depends only on the plan's seed and
+/// the order datagrams are offered — the property every deterministic
+/// replay in the test suite rests on.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Builds an injector over a validated plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the plan is invalid.
+    pub fn new(plan: FaultPlan) -> Result<FaultInjector> {
+        plan.validate()?;
+        let rng = StdRng::seed_from_u64(plan.seed);
+        Ok(FaultInjector {
+            plan,
+            rng,
+            stats: FaultStats::default(),
+        })
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Cumulative decision counts.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Decides the fate of one datagram on the link `from → to` at `tick`.
+    pub fn decide(&mut self, from: ServerId, to: ServerId, tick: u64) -> FaultAction {
+        self.stats.decided = self.stats.decided.saturating_add(1);
+        if self
+            .plan
+            .partitions
+            .iter()
+            .any(|p| p.blocks(from, to, tick))
+        {
+            self.stats.blocked = self.stats.blocked.saturating_add(1);
+            return FaultAction::Block;
+        }
+        let f = self.plan.faults_for(from, to);
+        // One uniform draw splits into the disjoint outcomes; drop occupies
+        // the prefix [0, drop) so `drop_only` plans are draw-for-draw
+        // compatible with the legacy `gen_bool(p)` decision stream.
+        let x: f64 = self.rng.gen();
+        if x < f.drop {
+            self.stats.dropped = self.stats.dropped.saturating_add(1);
+            FaultAction::Drop
+        } else if x < f.drop + f.duplicate {
+            self.stats.duplicated = self.stats.duplicated.saturating_add(1);
+            FaultAction::Duplicate
+        } else if x < f.drop + f.duplicate + f.delay {
+            self.stats.delayed = self.stats.delayed.saturating_add(1);
+            FaultAction::Delay
+        } else {
+            FaultAction::Deliver
+        }
+    }
+
+    /// Adds a partition window while the injector is running (used by
+    /// [`ChaosHandle`](crate::ChaosHandle) to cut links mid-test).
+    pub fn add_partition(&mut self, partition: Partition) {
+        self.plan.partitions.push(partition);
+    }
+
+    /// Replaces the default per-link fault probabilities while the
+    /// injector is running. Invalid probabilities are ignored (the
+    /// previous faults stay in effect).
+    pub fn set_default_faults(&mut self, faults: LinkFaults) {
+        if faults.validate().is_ok() {
+            self.plan.default_faults = faults;
+        }
+    }
+
+    /// Heals the network: clears every partition window and zeroes every
+    /// fault probability. Cumulative statistics are preserved.
+    pub fn heal_all(&mut self) {
+        self.plan.partitions.clear();
+        self.plan.default_faults = LinkFaults::NONE;
+        for (_, faults) in &mut self.plan.overrides {
+            *faults = LinkFaults::NONE;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u16) -> ServerId {
+        ServerId::new(i)
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::new(7).faults(LinkFaults {
+            drop: 0.3,
+            duplicate: 0.1,
+            delay: 0.1,
+        });
+        let run = || {
+            let mut inj = FaultInjector::new(plan.clone()).unwrap();
+            (0..200)
+                .map(|t| inj.decide(s(0), s(1), t))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn drop_only_matches_legacy_gen_bool_stream() {
+        // The single-lottery decision must reproduce the exact drop pattern
+        // of the historical `rng.gen_bool(p)` per-datagram decision.
+        let p = 0.25;
+        let seed = 11;
+        let mut inj = FaultInjector::new(FaultPlan::drop_only(p, seed)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in 0..500 {
+            let legacy = rng.gen_bool(p);
+            let action = inj.decide(s(0), s(1), t);
+            assert_eq!(legacy, action == FaultAction::Drop, "tick {t}");
+        }
+    }
+
+    #[test]
+    fn partition_blocks_symmetrically_and_heals() {
+        let plan = FaultPlan::new(0).partition((s(0), s(1)), 10, 20);
+        let mut inj = FaultInjector::new(plan).unwrap();
+        assert_eq!(inj.decide(s(0), s(1), 9), FaultAction::Deliver);
+        assert_eq!(inj.decide(s(0), s(1), 10), FaultAction::Block);
+        assert_eq!(inj.decide(s(1), s(0), 19), FaultAction::Block);
+        assert_eq!(inj.decide(s(2), s(1), 15), FaultAction::Deliver);
+        assert_eq!(inj.decide(s(0), s(1), 20), FaultAction::Deliver);
+        assert_eq!(inj.stats().blocked, 2);
+    }
+
+    #[test]
+    fn heal_all_stops_every_fault() {
+        let plan = FaultPlan::new(3)
+            .faults(LinkFaults::drop_only(0.9))
+            .partition((s(0), s(1)), 0, u64::MAX);
+        let mut inj = FaultInjector::new(plan).unwrap();
+        assert_eq!(inj.decide(s(0), s(1), 0), FaultAction::Block);
+        inj.heal_all();
+        for t in 0..100 {
+            assert_eq!(inj.decide(s(0), s(1), t), FaultAction::Deliver);
+        }
+    }
+
+    #[test]
+    fn per_link_overrides_take_precedence() {
+        let plan = FaultPlan::new(1).faults(LinkFaults::NONE).link(
+            s(0),
+            s(1),
+            LinkFaults::drop_only(0.999),
+        );
+        let mut inj = FaultInjector::new(plan).unwrap();
+        let dropped = (0..100)
+            .filter(|&t| inj.decide(s(0), s(1), t) == FaultAction::Drop)
+            .count();
+        assert!(dropped > 90, "override must apply: {dropped}");
+        // The reverse direction uses the (fault-free) default.
+        assert_eq!(inj.decide(s(1), s(0), 0), FaultAction::Deliver);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        assert!(FaultPlan::drop_only(1.5, 0).validate().is_err());
+        assert!(FaultPlan::new(0)
+            .faults(LinkFaults {
+                drop: 0.5,
+                duplicate: 0.4,
+                delay: 0.2,
+            })
+            .validate()
+            .is_err());
+        assert!(FaultPlan::new(0)
+            .partition((s(0), s(1)), 5, 5)
+            .validate()
+            .is_err());
+        assert!(FaultInjector::new(FaultPlan::drop_only(-0.1, 0)).is_err());
+    }
+
+    #[test]
+    fn crash_schedule_is_carried_verbatim() {
+        let plan = FaultPlan::new(9).crash(s(2), 100, Some(300));
+        assert_eq!(
+            plan.crashes,
+            vec![CrashEvent {
+                server: s(2),
+                at_tick: 100,
+                recover_at: Some(300),
+            }]
+        );
+    }
+}

@@ -25,6 +25,7 @@
 //! | `aaa_server_delivery_latency_us` | histogram | µs send→deliver |
 //! | `aaa_server_disk_bytes_total` | counter | bytes persisted |
 //! | `aaa_server_retransmissions_total` (+`peer`) | counter | frames |
+//! | `aaa_mom_backpressure_total` | counter | rejected client sends |
 //! | `aaa_link_batch_frames` | histogram | frames per flushed batch |
 //! | `aaa_link_flushes_total` | counter | batch flushes |
 //! | `aaa_persist_group_commit_total` | counter | group commits |
@@ -143,6 +144,8 @@ pub(crate) struct ServerMetrics {
     pub group_commit_total: Counter,
     /// Wall-clock duration of one group commit, in microseconds.
     pub group_commit_us: Histogram,
+    /// Client sends rejected because the outstanding budget was exhausted.
+    pub backpressure: Counter,
     /// Minted lazily per peer (retransmissions are rare).
     retransmissions: HashMap<ServerId, Counter>,
 }
@@ -182,6 +185,11 @@ impl ServerMetrics {
                 "aaa_persist_group_commit_us",
                 "Wall-clock duration of one group commit, in microseconds",
                 LATENCY_BUCKETS_US,
+            ),
+            backpressure: meter.counter(
+                "aaa_mom_backpressure_total",
+                "Client sends rejected because the outstanding-message budget \
+                 was exhausted",
             ),
             retransmissions: HashMap::new(),
         }

@@ -19,13 +19,14 @@
 //! This is the moral equivalent of the paper's deployment of one JVM per
 //! agent server on a LAN, shrunk into a single process.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aaa_base::{Absorb, AgentId, Error, MessageId, Result, ServerId, VDuration, VTime};
 use aaa_clocks::StampMode;
-use aaa_net::{BatchPolicy, MemoryNetwork, TcpNetwork};
+use aaa_net::{BatchPolicy, MemoryNetwork, PeerState, TcpNetwork};
 use aaa_obs::{LatencyTracker, Meter, MetricsServer, MetricsSnapshot, Registry};
 use aaa_storage::{MemoryStore, StableStore};
 use aaa_topology::{Topology, TopologySpec};
@@ -45,6 +46,12 @@ pub use aaa_net::Transport;
 /// processing them as a single transaction. Bounds step latency while
 /// letting bursts amortize stamping, flushing and the group commit.
 const MAX_STEP_DRAIN: usize = 256;
+
+/// While a peer is [`PeerState::Down`], at most one transmission run per
+/// this interval goes out to it as a liveness probe; everything else is
+/// suppressed (the link layer re-offers it after recovery) so the step
+/// loop does not hot-spin retransmits into a dead socket.
+const PROBE_INTERVAL: Duration = Duration::from_millis(100);
 
 enum Command {
     Register {
@@ -104,6 +111,8 @@ pub struct MomBuilder {
     record_trace: bool,
     allow_cycles: bool,
     tcp: bool,
+    tcp_connect_timeout: Option<Duration>,
+    transports: Option<Vec<Box<dyn Transport>>>,
     stores: Option<Vec<Arc<dyn StableStore>>>,
     metrics: bool,
     registry: Option<Registry>,
@@ -118,6 +127,8 @@ impl MomBuilder {
             record_trace: true,
             allow_cycles: false,
             tcp: false,
+            tcp_connect_timeout: None,
+            transports: None,
             stores: None,
             metrics: true,
             registry: None,
@@ -176,6 +187,34 @@ impl MomBuilder {
     /// over TCP). Default: in-memory.
     pub fn tcp(mut self, on: bool) -> Self {
         self.tcp = on;
+        self
+    }
+
+    /// Sets the outbound connect timeout used by the TCP transport
+    /// (default: [`aaa_net::tcp::DEFAULT_CONNECT_TIMEOUT`], 2 s). Only
+    /// meaningful together with [`MomBuilder::tcp`].
+    pub fn tcp_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.tcp_connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Supplies pre-built transport endpoints — one per server, indexed
+    /// by id — instead of letting the builder create the mesh. This is
+    /// how chaos tests run the threaded runtime over
+    /// `aaa_chaos::FaultTransport`-wrapped endpoints; it also admits any
+    /// custom [`Transport`] implementation. Overrides
+    /// [`MomBuilder::tcp`].
+    pub fn transports(mut self, transports: Vec<Box<dyn Transport>>) -> Self {
+        self.transports = Some(transports);
+        self
+    }
+
+    /// Caps the number of outstanding (accepted but not yet
+    /// acknowledged/delivered) messages a server accepts before client
+    /// sends fail with [`Error::Backpressure`] (default: 65 536). See
+    /// [`ServerConfig::max_outstanding`].
+    pub fn max_outstanding(mut self, cap: usize) -> Self {
+        self.config.max_outstanding = cap;
         self
     }
 
@@ -265,8 +304,19 @@ impl MomBuilder {
                 }));
             }
         };
-        if self.tcp {
-            let endpoints = TcpNetwork::create(n)?;
+        if let Some(transports) = self.transports {
+            if transports.len() != n {
+                return Err(Error::Config(format!(
+                    "expected {n} transports, got {}",
+                    transports.len()
+                )));
+            }
+            spawn_all(transports);
+        } else if self.tcp {
+            let timeout = self
+                .tcp_connect_timeout
+                .unwrap_or(aaa_net::tcp::DEFAULT_CONNECT_TIMEOUT);
+            let endpoints = TcpNetwork::create_with_connect_timeout(n, timeout)?;
             spawn_all(
                 endpoints
                     .into_iter()
@@ -712,13 +762,32 @@ fn server_thread(
     // Consecutive same-destination packets go through the transport's
     // batch-native path (one syscall/lock per run for TCP). Failures count
     // as packet loss: the link layer retransmits.
-    let transmit = |endpoint: &dyn Transport, ts: Vec<Transmission>| {
+    //
+    // Self-healing: when the transport's failure detector says a peer is
+    // Down, transmissions to it are suppressed except for one probe run
+    // per `PROBE_INTERVAL` — the suppressed frames stay unacknowledged in
+    // the link layer, which re-offers them on the next tick, so nothing
+    // is lost and nothing hot-loops into a dead socket. A successful
+    // probe flips the peer back to Up and full traffic resumes.
+    let mut last_probe: HashMap<ServerId, Instant> = HashMap::new();
+    let mut transmit = move |endpoint: &dyn Transport, ts: Vec<Transmission>| {
         let mut i = 0;
         while i < ts.len() {
             let to = ts[i].to;
             let mut j = i + 1;
             while j < ts.len() && ts[j].to == to {
                 j += 1;
+            }
+            if endpoint.peer_state(to) == PeerState::Down {
+                let probe_due = last_probe
+                    .get(&to)
+                    .is_none_or(|t| t.elapsed() >= PROBE_INTERVAL);
+                if !probe_due {
+                    i = j; // suppressed: the link layer re-offers later
+                    continue;
+                }
+                last_probe.insert(to, Instant::now());
+                // Fall through: this run doubles as the liveness probe.
             }
             if j - i == 1 {
                 // Best-effort over a lossy transport: a failed wire write is

@@ -50,6 +50,12 @@ pub struct ServerConfig {
     /// [`BatchPolicy::disabled`] for the legacy one-packet-per-message
     /// behaviour.
     pub batch: BatchPolicy,
+    /// Outstanding-message budget: the maximum number of messages that may
+    /// be queued, postponed or in flight on the links before client sends
+    /// are rejected with [`Error::Backpressure`]. Bounds the postponed and
+    /// retransmit queues when a peer is partitioned away, so a stalled link
+    /// degrades into a visible error instead of unbounded memory growth.
+    pub max_outstanding: usize,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +65,7 @@ impl Default for ServerConfig {
             rto: VDuration::from_millis(200),
             persist: false,
             batch: BatchPolicy::default(),
+            max_outstanding: 65_536,
         }
     }
 }
@@ -296,7 +303,9 @@ impl ServerCore {
     ///
     /// # Errors
     ///
-    /// As for [`ServerCore::client_send`].
+    /// As for [`ServerCore::client_send`]; additionally returns
+    /// [`Error::Backpressure`] when the outstanding-message budget
+    /// ([`ServerConfig::max_outstanding`]) is exhausted.
     pub fn client_send_with(
         &mut self,
         from: AgentId,
@@ -305,6 +314,7 @@ impl ServerCore {
         opts: impl Into<SendOptions>,
         now: VTime,
     ) -> Result<(MessageId, Vec<Transmission>)> {
+        self.check_backpressure()?;
         let opts = opts.into();
         let causal = opts.policy == DeliveryPolicy::Causal;
         let id = match self.channel.submit_with(from, to, note, opts)? {
@@ -341,7 +351,9 @@ impl ServerCore {
     ///
     /// As for [`ServerCore::client_send`]; the first failing submission
     /// aborts the batch (earlier submissions remain queued and are still
-    /// flushed by the next step).
+    /// flushed by the next step). Returns [`Error::Backpressure`] when the
+    /// outstanding-message budget ([`ServerConfig::max_outstanding`]) is
+    /// exhausted (checked once, before the first submission).
     pub fn client_send_batch(
         &mut self,
         from: AgentId,
@@ -349,6 +361,7 @@ impl ServerCore {
         opts: impl Into<SendOptions>,
         now: VTime,
     ) -> Result<(Vec<MessageId>, Vec<Transmission>)> {
+        self.check_backpressure()?;
         let opts = opts.into();
         let causal = opts.policy == DeliveryPolicy::Causal;
         let mut ids = Vec::with_capacity(batch.len());
@@ -549,6 +562,29 @@ impl ServerCore {
             && self.channel.postponed_count() == 0
             && self.engine.pending() == 0
             && self.links_tx.values().all(|tx| tx.in_flight() == 0)
+    }
+
+    /// Messages currently queued, postponed, or unacknowledged on a link —
+    /// the quantity bounded by [`ServerConfig::max_outstanding`].
+    pub fn outstanding(&self) -> usize {
+        self.channel.queued_out()
+            + self.channel.postponed_count()
+            + self
+                .links_tx
+                .values()
+                .map(|tx| tx.in_flight())
+                .sum::<usize>()
+    }
+
+    /// Rejects a client send when the outstanding budget is exhausted.
+    fn check_backpressure(&mut self) -> Result<()> {
+        if self.outstanding() >= self.config.max_outstanding {
+            if let Some(m) = &self.metrics {
+                m.backpressure.inc();
+            }
+            return Err(Error::Backpressure);
+        }
+        Ok(())
     }
 
     /// Runs engine reactions until `QueueIN` is empty, submitting every
@@ -1123,6 +1159,54 @@ mod tests {
             .unwrap();
         assert_eq!(c1.engine.reactions(), 4);
         assert_eq!(c1.channel().postponed_count(), 0);
+    }
+
+    #[test]
+    fn backpressure_rejects_sends_past_the_outstanding_cap() {
+        let topo = TopologySpec::single_domain(2).validate().unwrap();
+        let config = ServerConfig {
+            max_outstanding: 2,
+            ..ServerConfig::default()
+        };
+        let mut core = make(&topo, 0, config);
+        let registry = aaa_obs::Registry::new();
+        core.attach_meter(&aaa_obs::Meter::new(&registry).with_label("server", "0"));
+
+        // Never delivering the transmissions keeps the frames in flight on
+        // the link, so outstanding grows by one per send until the cap.
+        for i in 0..2u8 {
+            core.client_send(
+                aid(0, 1),
+                aid(1, 1),
+                Notification::new("n", vec![i]),
+                VTime::ZERO,
+            )
+            .unwrap();
+        }
+        assert_eq!(core.outstanding(), 2);
+        let err = core
+            .client_send(
+                aid(0, 1),
+                aid(1, 1),
+                Notification::signal("over"),
+                VTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, Error::Backpressure);
+        let err = core
+            .client_send_batch(
+                aid(0, 1),
+                vec![(aid(1, 1), Notification::signal("over"))],
+                SendOptions::new(),
+                VTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, Error::Backpressure);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("aaa_mom_backpressure_total", &[("server", "0")]),
+            Some(2)
+        );
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Peer failure detection for self-healing runtimes.
+//!
+//! The paper's AAA channel assumes live causal routers; a real deployment
+//! sees peers crash and come back. [`PeerHealth`] is a tiny, lock-free
+//! failure detector every transport endpoint can own: consecutive send
+//! failures walk a peer [`PeerState::Up`] → [`PeerState::Suspect`] →
+//! [`PeerState::Down`], one successful send snaps it back to `Up`. The
+//! threaded runtime consults [`PeerHealth::state`] to stop hot-looping
+//! retransmissions into a dead peer (it keeps sending low-rate probes so
+//! recovery is noticed).
+//!
+//! Metric vocabulary (optional, minted by [`PeerHealth::attach_meter`];
+//! every sample carries `peer="<id>"` beside the meter's base labels):
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `aaa_net_peer_state` | gauge | 0=down, 1=suspect, 2=up |
+//! | `aaa_net_send_retries_total` | counter | send attempts beyond the first |
+//! | `aaa_net_backoff_ms` | histogram | backoff slept before a retry |
+//! | `aaa_net_peer_recoveries_total` | counter | down→up transitions observed |
+
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+
+use aaa_base::ServerId;
+use aaa_obs::{Counter, Gauge, Histogram, Meter};
+
+/// Consecutive failures after which a peer becomes [`PeerState::Suspect`].
+pub const SUSPECT_AFTER: u32 = 1;
+/// Consecutive failures after which a peer becomes [`PeerState::Down`].
+pub const DOWN_AFTER: u32 = 3;
+
+/// Liveness verdict for one peer, as seen from one endpoint.
+///
+/// The numeric values are the ones exported on the `aaa_net_peer_state`
+/// gauge, chosen so "bigger is healthier".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum PeerState {
+    /// Three or more consecutive send failures: treat as crashed. The
+    /// runtime suppresses routine (re)transmissions and only probes.
+    Down = 0,
+    /// At least one recent send failure; keep transmitting normally.
+    Suspect = 1,
+    /// No recent failures (the initial state).
+    Up = 2,
+}
+
+impl PeerState {
+    fn from_u8(v: u8) -> PeerState {
+        match v {
+            0 => PeerState::Down,
+            1 => PeerState::Suspect,
+            _ => PeerState::Up,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PeerSlot {
+    /// Encoded [`PeerState`]; `2` (up) initially.
+    state: AtomicU8,
+    /// Consecutive failure count since the last success.
+    failures: AtomicU32,
+}
+
+struct HealthInstruments {
+    state: Vec<Gauge>,
+    retries: Vec<Counter>,
+    recoveries: Vec<Counter>,
+    backoff_ms: Histogram,
+}
+
+impl std::fmt::Debug for HealthInstruments {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthInstruments").finish_non_exhaustive()
+    }
+}
+
+/// Lock-free per-peer failure detector (see the [module docs](self)).
+///
+/// All transitions are driven by the owner reporting send outcomes via
+/// [`PeerHealth::on_success`] / [`PeerHealth::on_failure`]; reads via
+/// [`PeerHealth::state`] are a single relaxed atomic load.
+#[derive(Debug)]
+pub struct PeerHealth {
+    slots: Vec<PeerSlot>,
+    instruments: Option<HealthInstruments>,
+}
+
+impl PeerHealth {
+    /// A detector tracking `peers` servers, all initially [`PeerState::Up`].
+    #[must_use]
+    pub fn new(peers: usize) -> Self {
+        let slots = (0..peers)
+            .map(|_| PeerSlot {
+                state: AtomicU8::new(PeerState::Up as u8),
+                failures: AtomicU32::new(0),
+            })
+            .collect();
+        PeerHealth {
+            slots,
+            instruments: None,
+        }
+    }
+
+    /// Number of peers tracked.
+    #[must_use]
+    pub fn peers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Mints the `aaa_net_peer_state` / `aaa_net_send_retries_total` /
+    /// `aaa_net_backoff_ms` / `aaa_net_peer_recoveries_total` instruments
+    /// on `meter` (one labelled series per peer) and starts updating them.
+    pub fn attach_meter(&mut self, meter: &Meter) {
+        let state: Vec<Gauge> = (0..self.slots.len())
+            .map(|p| {
+                meter.with_label("peer", p.to_string()).gauge(
+                    "aaa_net_peer_state",
+                    "Failure-detector verdict per peer (0=down, 1=suspect, 2=up)",
+                )
+            })
+            .collect();
+        for (g, slot) in state.iter().zip(&self.slots) {
+            g.set(i64::from(slot.state.load(Ordering::Relaxed)));
+        }
+        let retries = (0..self.slots.len())
+            .map(|p| {
+                meter.counter_with(
+                    "aaa_net_send_retries_total",
+                    "Transport send attempts beyond the first, per peer",
+                    &[("peer", p.to_string())],
+                )
+            })
+            .collect();
+        let recoveries = (0..self.slots.len())
+            .map(|p| {
+                meter.counter_with(
+                    "aaa_net_peer_recoveries_total",
+                    "Peer transitions from down back to up",
+                    &[("peer", p.to_string())],
+                )
+            })
+            .collect();
+        let backoff_ms = meter.histogram(
+            "aaa_net_backoff_ms",
+            "Milliseconds of backoff slept before a send retry",
+            &[1, 2, 5, 10, 20, 40, 80],
+        );
+        self.instruments = Some(HealthInstruments {
+            state,
+            retries,
+            recoveries,
+            backoff_ms,
+        });
+    }
+
+    /// Current verdict for `peer`. Unknown peers read as [`PeerState::Up`]
+    /// (the detector never blocks traffic it knows nothing about).
+    #[must_use]
+    pub fn state(&self, peer: ServerId) -> PeerState {
+        self.slots.get(peer.as_usize()).map_or(PeerState::Up, |s| {
+            PeerState::from_u8(s.state.load(Ordering::Relaxed))
+        })
+    }
+
+    /// Records a successful send to `peer`: resets the failure streak and
+    /// snaps the verdict back to [`PeerState::Up`] (counting a recovery if
+    /// the peer was [`PeerState::Down`]).
+    pub fn on_success(&self, peer: ServerId) {
+        let Some(slot) = self.slots.get(peer.as_usize()) else {
+            return;
+        };
+        slot.failures.store(0, Ordering::Relaxed);
+        let prev = slot.state.swap(PeerState::Up as u8, Ordering::Relaxed);
+        if prev != PeerState::Up as u8 {
+            self.export_state(peer, PeerState::Up);
+            if prev == PeerState::Down as u8 {
+                if let Some(ins) = &self.instruments {
+                    if let Some(c) = ins.recoveries.get(peer.as_usize()) {
+                        c.inc();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a failed send to `peer`: bumps the consecutive-failure
+    /// streak and degrades the verdict (`Up` → `Suspect` at
+    /// [`SUSPECT_AFTER`], → `Down` at [`DOWN_AFTER`]). Returns the new
+    /// verdict.
+    pub fn on_failure(&self, peer: ServerId) -> PeerState {
+        let Some(slot) = self.slots.get(peer.as_usize()) else {
+            return PeerState::Up;
+        };
+        let streak = slot
+            .failures
+            .fetch_add(1, Ordering::Relaxed)
+            .saturating_add(1);
+        let next = if streak >= DOWN_AFTER {
+            PeerState::Down
+        } else if streak >= SUSPECT_AFTER {
+            PeerState::Suspect
+        } else {
+            PeerState::Up
+        };
+        let prev = slot.state.swap(next as u8, Ordering::Relaxed);
+        if prev != next as u8 {
+            self.export_state(peer, next);
+        }
+        next
+    }
+
+    /// Records one retry attempt toward `peer` that slept `backoff_ms`
+    /// before retransmitting (feeds `aaa_net_send_retries_total` and
+    /// `aaa_net_backoff_ms`).
+    pub fn on_retry(&self, peer: ServerId, backoff_ms: u64) {
+        if let Some(ins) = &self.instruments {
+            if let Some(c) = ins.retries.get(peer.as_usize()) {
+                c.inc();
+            }
+            ins.backoff_ms.observe(backoff_ms);
+        }
+    }
+
+    fn export_state(&self, peer: ServerId, state: PeerState) {
+        if let Some(ins) = &self.instruments {
+            if let Some(g) = ins.state.get(peer.as_usize()) {
+                g.set(i64::from(state as u8));
+            }
+        }
+    }
+}
+
+/// Deterministic backoff schedule for send retries: capped exponential
+/// with a small deterministic "jitter" derived from `(me, to, attempt)` —
+/// no wall clock, no OS entropy, so chaos tests replay identically.
+///
+/// `attempt` is 1-based (the first *retry* is attempt 1). Returns the
+/// number of milliseconds to sleep before that retry.
+#[must_use]
+pub fn retry_backoff_ms(me: ServerId, to: ServerId, attempt: u32) -> u64 {
+    const BASE_MS: u64 = 5;
+    const CAP_MS: u64 = 40;
+    let exp = attempt.saturating_sub(1).min(8);
+    let base = BASE_MS.saturating_mul(1_u64 << exp).min(CAP_MS);
+    // SplitMix64-style avalanche of the (me, to, attempt) triple.
+    let mut z = (me.as_usize() as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(to.as_usize() as u64)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        .wrapping_add(u64::from(attempt));
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    base + z % (base / 2 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aaa_obs::Registry;
+
+    #[test]
+    fn transitions_up_suspect_down_and_back() {
+        let h = PeerHealth::new(2);
+        let p = ServerId::new(1);
+        assert_eq!(h.state(p), PeerState::Up);
+        assert_eq!(h.on_failure(p), PeerState::Suspect);
+        assert_eq!(h.on_failure(p), PeerState::Suspect);
+        assert_eq!(h.on_failure(p), PeerState::Down);
+        assert_eq!(h.state(p), PeerState::Down);
+        // Other peers are unaffected.
+        assert_eq!(h.state(ServerId::new(0)), PeerState::Up);
+        h.on_success(p);
+        assert_eq!(h.state(p), PeerState::Up);
+    }
+
+    #[test]
+    fn metrics_track_state_and_recoveries() {
+        let registry = Registry::new();
+        let meter = Meter::new(&registry).with_label("server", "0");
+        let mut h = PeerHealth::new(2);
+        h.attach_meter(&meter);
+        let p = ServerId::new(1);
+        let labels = [("server", "0"), ("peer", "1")];
+        assert_eq!(
+            registry.snapshot().gauge("aaa_net_peer_state", &labels),
+            Some(2)
+        );
+        for _ in 0..3 {
+            h.on_failure(p);
+        }
+        assert_eq!(
+            registry.snapshot().gauge("aaa_net_peer_state", &labels),
+            Some(0)
+        );
+        h.on_retry(p, 7);
+        h.on_success(p);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("aaa_net_peer_state", &labels), Some(2));
+        assert_eq!(
+            snap.counter("aaa_net_peer_recoveries_total", &labels),
+            Some(1)
+        );
+        assert_eq!(snap.counter("aaa_net_send_retries_total", &labels), Some(1));
+    }
+
+    #[test]
+    fn unknown_peers_are_up_and_ignored() {
+        let h = PeerHealth::new(1);
+        let ghost = ServerId::new(9);
+        assert_eq!(h.state(ghost), PeerState::Up);
+        assert_eq!(h.on_failure(ghost), PeerState::Up);
+        h.on_success(ghost);
+        h.on_retry(ghost, 1);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_grows() {
+        let a = ServerId::new(0);
+        let b = ServerId::new(1);
+        for attempt in 1..10 {
+            assert_eq!(
+                retry_backoff_ms(a, b, attempt),
+                retry_backoff_ms(a, b, attempt),
+                "same inputs, same backoff"
+            );
+            // base ≤ 40, jitter ≤ base/2 → hard ceiling of 60 ms.
+            assert!(retry_backoff_ms(a, b, attempt) <= 60);
+        }
+        assert!(retry_backoff_ms(a, b, 1) < retry_backoff_ms(a, b, 4));
+    }
+}

@@ -49,6 +49,7 @@
 //! ```
 
 pub mod frame;
+pub mod health;
 pub mod link;
 pub mod memory;
 pub mod metrics;
@@ -57,6 +58,7 @@ pub mod transport;
 pub mod wire;
 
 pub use frame::WireMessage;
+pub use health::{PeerHealth, PeerState};
 pub use link::{BatchPolicy, Datagram, LinkFrame, LinkReceiver, LinkSender};
 pub use memory::{Incoming, MemoryEndpoint, MemoryNetwork};
 pub use metrics::NetMetrics;

@@ -25,12 +25,22 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
+use crate::health::{retry_backoff_ms, PeerHealth, PeerState};
 use crate::memory::Incoming;
 use crate::metrics::NetMetrics;
 
 fn io_err(context: &str, e: std::io::Error) -> Error {
     Error::Storage(format!("tcp {context}: {e}"))
 }
+
+/// Default timeout for establishing an outbound connection (override
+/// with [`TcpEndpoint::with_connect_timeout`]).
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Send attempts per packet (first try + retries with capped
+/// exponential backoff). The link layer's retransmission remains the
+/// backstop beyond this.
+const MAX_SEND_ATTEMPTS: u32 = 3;
 
 /// Connection table: open streams plus the set of peers ever connected
 /// to (so re-establishments can be told apart from first connections).
@@ -49,6 +59,8 @@ pub struct TcpEndpoint {
     conns: Mutex<ConnTable>,
     shutdown: Arc<AtomicBool>,
     metrics: Option<NetMetrics>,
+    connect_timeout: Duration,
+    health: PeerHealth,
 }
 
 impl TcpEndpoint {
@@ -62,6 +74,28 @@ impl TcpEndpoint {
     /// `aaa_net_reconnects_total` in the meter's registry.
     pub fn attach_meter(&mut self, meter: &Meter) {
         self.metrics = Some(NetMetrics::with_reconnects(meter, self.addrs.len()));
+        self.health.attach_meter(meter);
+    }
+
+    /// Overrides the timeout used when establishing an outbound
+    /// connection (default [`DEFAULT_CONNECT_TIMEOUT`]). Builder-style;
+    /// apply before handing the endpoint to a runtime.
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> TcpEndpoint {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// The configured outbound connect timeout.
+    pub fn connect_timeout(&self) -> Duration {
+        self.connect_timeout
+    }
+
+    /// Failure-detector verdict for `to` (see [`PeerHealth`]): send
+    /// outcomes walk a peer `Up` → `Suspect` → `Down`; a success snaps
+    /// it back to `Up`.
+    pub fn peer_state(&self, to: ServerId) -> PeerState {
+        self.health.state(to)
     }
 
     /// Records one received frame of `len` payload bytes from `from`.
@@ -110,7 +144,7 @@ impl TcpEndpoint {
         let addr = self.addr_of(to)?;
         let mut conns = self.conns.lock();
         if !conns.open.contains_key(&to) {
-            let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+            let stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
                 .map_err(|e| io_err("connect", e))?;
             stream.set_nodelay(true).map_err(|e| io_err("nodelay", e))?;
             if !conns.ever.insert(to) {
@@ -139,6 +173,35 @@ impl TcpEndpoint {
         Ok(())
     }
 
+    /// Self-healing write: up to [`MAX_SEND_ATTEMPTS`] tries with capped
+    /// exponential backoff and deterministic jitter between them (no lock
+    /// is held across an attempt — [`TcpEndpoint::write_to_peer`] scopes
+    /// the connection-table guard internally). Outcomes feed the
+    /// [`PeerHealth`] failure detector either way; an unknown peer is
+    /// never retried.
+    fn write_with_retry(&self, to: ServerId, buf: &[u8]) -> Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match self.write_to_peer(to, buf) {
+                Ok(()) => {
+                    self.health.on_success(to);
+                    return Ok(());
+                }
+                Err(e @ Error::UnknownServer(_)) => return Err(e),
+                Err(e) => {
+                    self.health.on_failure(to);
+                    attempt = attempt.saturating_add(1);
+                    if attempt >= MAX_SEND_ATTEMPTS {
+                        return Err(e);
+                    }
+                    let backoff = retry_backoff_ms(self.me, to, attempt);
+                    self.health.on_retry(to, backoff);
+                    std::thread::sleep(Duration::from_millis(backoff));
+                }
+            }
+        }
+    }
+
     /// Sends `bytes` to `to`, connecting lazily.
     ///
     /// # Errors
@@ -149,7 +212,7 @@ impl TcpEndpoint {
     pub fn send(&self, to: ServerId, bytes: Bytes) -> Result<()> {
         let mut buf = Vec::with_capacity(6 + bytes.len());
         self.frame_into(&mut buf, &bytes);
-        self.write_to_peer(to, &buf)?;
+        self.write_with_retry(to, &buf)?;
         if let Some(m) = &self.metrics {
             m.on_tx(to, bytes.len());
         }
@@ -173,7 +236,7 @@ impl TcpEndpoint {
         for bytes in batch {
             self.frame_into(&mut buf, bytes);
         }
-        self.write_to_peer(to, &buf)?;
+        self.write_with_retry(to, &buf)?;
         if let Some(m) = &self.metrics {
             for bytes in batch {
                 m.on_tx(to, bytes.len());
@@ -229,6 +292,21 @@ impl TcpNetwork {
     ///
     /// Panics if `n` is zero or exceeds the `u16` server-id space.
     pub fn create(n: usize) -> Result<Vec<TcpEndpoint>> {
+        Self::create_with_connect_timeout(n, DEFAULT_CONNECT_TIMEOUT)
+    }
+
+    /// Like [`TcpNetwork::create`], with an explicit outbound connect
+    /// timeout for every endpoint (the satellite knob for impatient
+    /// runtimes and fast-failing tests).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TcpNetwork::create`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the `u16` server-id space.
+    pub fn create_with_connect_timeout(n: usize, timeout: Duration) -> Result<Vec<TcpEndpoint>> {
         assert!(n > 0, "a network needs at least one endpoint");
         // Server ids are u16 on the wire; an unguarded `i as u16` below
         // would silently alias endpoint 65536 onto id 0.
@@ -257,6 +335,8 @@ impl TcpNetwork {
                 conns: Mutex::new(ConnTable::default()),
                 shutdown,
                 metrics: None,
+                connect_timeout: timeout,
+                health: PeerHealth::new(n),
             });
         }
         Ok(endpoints)
@@ -419,6 +499,43 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(at0.from, ServerId::new(2));
+    }
+
+    #[test]
+    fn connect_timeout_is_plumbed_and_non_listening_port_fails_fast() {
+        use std::time::Instant;
+        // Default stays at 2 s unless overridden.
+        let eps = TcpNetwork::create(1).unwrap();
+        assert_eq!(eps[0].connect_timeout(), DEFAULT_CONNECT_TIMEOUT);
+
+        let mut eps =
+            TcpNetwork::create_with_connect_timeout(2, Duration::from_millis(100)).unwrap();
+        assert_eq!(eps[0].connect_timeout(), Duration::from_millis(100));
+        // Kill peer 1's listener: its port stops accepting connections.
+        let ep1 = eps.pop().expect("two endpoints");
+        drop(ep1);
+        std::thread::sleep(Duration::from_millis(100));
+
+        let start = Instant::now();
+        let res = eps[0].send(ServerId::new(1), Bytes::from_static(b"x"));
+        let elapsed = start.elapsed();
+        assert!(res.is_err(), "non-listening port must fail the send");
+        // 3 attempts at ≤100 ms connect timeout + ≤60 ms backoff each —
+        // far below the historical hardcoded 2 s per attempt.
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "send took {elapsed:?}; connect timeout not honoured"
+        );
+        // The retry loop exhausted its attempts: the peer is now Down.
+        assert_eq!(eps[0].peer_state(ServerId::new(1)), PeerState::Down);
+    }
+
+    #[test]
+    fn builder_timeout_override_applies() {
+        let mut eps = TcpNetwork::create(1).unwrap();
+        let ep = eps.pop().expect("endpoint");
+        let ep = ep.with_connect_timeout(Duration::from_millis(250));
+        assert_eq!(ep.connect_timeout(), Duration::from_millis(250));
     }
 
     #[test]

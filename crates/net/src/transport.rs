@@ -17,6 +17,7 @@ use aaa_obs::Meter;
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 
+use crate::health::PeerState;
 use crate::memory::{Incoming, MemoryEndpoint};
 use crate::tcp::TcpEndpoint;
 
@@ -59,6 +60,16 @@ pub trait Transport: Send + 'static {
     /// Records one received frame (runtimes draining `inbox_receiver`
     /// directly call this per frame; default: no-op).
     fn record_rx(&self, _from: ServerId, _len: usize) {}
+
+    /// Failure-detector verdict for `to`, if this transport tracks one.
+    ///
+    /// Runtimes use this to stop hot-looping retransmissions into a peer
+    /// that is [`PeerState::Down`] (they still send low-rate probes so a
+    /// recovery is noticed). The default says every peer is up, which is
+    /// always safe — just not self-healing.
+    fn peer_state(&self, _to: ServerId) -> PeerState {
+        PeerState::Up
+    }
 }
 
 impl Transport for MemoryEndpoint {
@@ -97,6 +108,9 @@ impl Transport for TcpEndpoint {
     }
     fn record_rx(&self, from: ServerId, len: usize) {
         TcpEndpoint::record_rx(self, from, len);
+    }
+    fn peer_state(&self, to: ServerId) -> PeerState {
+        TcpEndpoint::peer_state(self, to)
     }
 }
 

@@ -42,5 +42,6 @@ mod cost;
 pub mod experiments;
 mod simulation;
 
+pub use aaa_chaos::{CrashEvent, FaultAction, FaultPlan, FaultStats, LinkFaults, Partition};
 pub use cost::CostModel;
 pub use simulation::{FaultConfig, Simulation};

@@ -5,6 +5,7 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use aaa_base::{Absorb, AgentId, Result, ServerId, VDuration, VTime};
+use aaa_chaos::{FaultAction, FaultInjector, FaultPlan, FaultStats};
 use aaa_mom::{
     Agent, DeliveryPolicy, Notification, SendOptions, ServerConfig, ServerCore, StepStats,
 };
@@ -40,24 +41,21 @@ enum Event {
     Timer { server: usize },
 }
 
-/// Deterministic network-fault injection for the simulator.
+/// Deterministic network-fault injection for the simulator — the legacy,
+/// drop-only shape.
 ///
-/// Each datagram is dropped independently with probability
-/// `drop_probability`, decided by a seeded generator, so a faulty run is
-/// exactly reproducible. Dropped frames are recovered by the link layer's
-/// retransmission, driven by simulated timer events.
+/// **Deprecated in favour of [`FaultPlan`]** (via
+/// [`Simulation::with_fault_plan`]), which adds duplication,
+/// delay/reorder, partition windows and crash schedules. `FaultConfig`
+/// remains as a thin alias: [`Simulation::with_faults`] forwards to
+/// `FaultPlan::drop_only(p, seed)`, which is draw-for-draw compatible —
+/// the same seed loses the same datagrams it always did.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultConfig {
     /// Probability in `[0, 1)` that any datagram is lost in transit.
     pub drop_probability: f64,
     /// Seed of the drop decision stream.
     pub seed: u64,
-}
-
-struct FaultState {
-    p: f64,
-    rng: rand::rngs::StdRng,
-    dropped: u64,
 }
 
 /// A deterministic simulation of a complete MOM.
@@ -80,7 +78,8 @@ pub struct Simulation {
     last_delivery: VTime,
     seq: u64,
     cumulative: Vec<StepStats>,
-    fault: Option<FaultState>,
+    fault: Option<FaultInjector>,
+    dropped_by_crash: u64,
     timer_armed: Vec<Option<VTime>>,
     crashed: Vec<bool>,
     recorder: Option<TraceRecorder>,
@@ -122,6 +121,12 @@ impl Simulation {
     /// layer's acknowledgements and retransmissions (driven by simulated
     /// timers at the configured [`ServerConfig::rto`]) repair it.
     ///
+    /// This is the legacy drop-only shape; prefer
+    /// [`Simulation::with_fault_plan`] for duplication, delay/reorder and
+    /// partitions. Same seed, same losses: this forwards to
+    /// [`FaultPlan::drop_only`], whose decision stream is draw-for-draw
+    /// compatible with the historical implementation.
+    ///
     /// # Errors
     ///
     /// Propagates server construction errors, or [`aaa_base::Error::Config`]
@@ -132,30 +137,43 @@ impl Simulation {
         model: CostModel,
         faults: FaultConfig,
     ) -> Result<Simulation> {
-        if !(0.0..1.0).contains(&faults.drop_probability) {
-            return Err(aaa_base::Error::Config(format!(
-                "drop probability {} outside [0, 1)",
-                faults.drop_probability
-            )));
-        }
-        use rand::SeedableRng;
-        Self::build(
+        Self::with_fault_plan(
             topology,
             config,
             model,
-            Some(FaultState {
-                p: faults.drop_probability,
-                rng: rand::rngs::StdRng::seed_from_u64(faults.seed),
-                dropped: 0,
-            }),
+            FaultPlan::drop_only(faults.drop_probability, faults.seed),
         )
+    }
+
+    /// Builds a simulation executing a full [`FaultPlan`]: per-link
+    /// drop/duplicate/delay probabilities and timed partition windows.
+    /// The plan's *tick* unit is **virtual-time milliseconds** (a
+    /// partition `[100, 400)` is active from 100 ms to 400 ms of
+    /// simulated time); a delayed datagram is re-offered
+    /// [`FaultPlan::delay_ticks`] milliseconds later, overtaking anything
+    /// sent in between. Crash schedules ([`FaultPlan::crashes`]) are not
+    /// executed by the event loop — drive them from the harness via
+    /// [`Simulation::crash`]/[`Simulation::recover`], which need the
+    /// recovery agents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server construction errors, or
+    /// [`aaa_base::Error::Config`] if the plan is invalid.
+    pub fn with_fault_plan(
+        topology: Topology,
+        config: ServerConfig,
+        model: CostModel,
+        plan: FaultPlan,
+    ) -> Result<Simulation> {
+        Self::build(topology, config, model, Some(FaultInjector::new(plan)?))
     }
 
     fn build(
         topology: Topology,
         config: ServerConfig,
         model: CostModel,
-        fault: Option<FaultState>,
+        fault: Option<FaultInjector>,
     ) -> Result<Simulation> {
         let topology = Arc::new(topology);
         let stores: Vec<Arc<MemoryStore>> = topology
@@ -188,6 +206,7 @@ impl Simulation {
             seq: 0,
             cumulative: vec![StepStats::default(); n],
             fault,
+            dropped_by_crash: 0,
             timer_armed: vec![None; n],
             crashed: vec![false; n],
             recorder: None,
@@ -278,9 +297,42 @@ impl Simulation {
         Ok(())
     }
 
-    /// Number of datagrams dropped by fault injection so far.
+    /// Number of datagrams dropped by the fault-injection loss lottery so
+    /// far. Does **not** include datagrams discarded because their
+    /// destination was crashed — those are counted by
+    /// [`Simulation::dropped_by_crash`] (they are a consequence of the
+    /// crash schedule, not of link loss, and historically went entirely
+    /// uncounted).
     pub fn dropped_datagrams(&self) -> u64 {
-        self.fault.as_ref().map_or(0, |f| f.dropped)
+        self.fault.as_ref().map_or(0, |f| f.stats().dropped)
+    }
+
+    /// Number of datagrams discarded because their destination server was
+    /// crashed at arrival time. Kept separate from
+    /// [`Simulation::dropped_datagrams`]: a crashed destination is a
+    /// *host* fault repaired by recovery + retransmission, while the drop
+    /// counter measures *link* loss injected by the plan.
+    pub fn dropped_by_crash(&self) -> u64 {
+        self.dropped_by_crash
+    }
+
+    /// Cumulative fault-injection decision statistics (zero without a
+    /// plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault
+            .as_ref()
+            .map_or_else(FaultStats::default, |f| f.stats())
+    }
+
+    /// Heals every injected fault from now on: partition windows are
+    /// cleared and all drop/duplicate/delay probabilities drop to zero.
+    /// Already-scheduled duplicates/delays still play out; statistics are
+    /// preserved. Lets a harness end a chaos phase and assert the system
+    /// quiesces cleanly.
+    pub fn heal_faults(&mut self) {
+        if let Some(f) = self.fault.as_mut() {
+            f.heal_all();
+        }
     }
 
     /// The simulated topology.
@@ -437,20 +489,52 @@ impl Simulation {
                 Event::Datagram { from, to, bytes } => {
                     // A crashed server drops everything addressed to it;
                     // the sender's retransmission redelivers after
-                    // recovery (mirrors the threaded runtime).
+                    // recovery (mirrors the threaded runtime). Counted
+                    // separately from link loss — see `dropped_by_crash`.
                     if self.crashed[to.as_usize()] {
+                        self.dropped_by_crash += 1;
                         self.arm_timer(from.as_usize());
                         continue;
                     }
-                    // Fault injection: lose the datagram in transit. The
-                    // sender's retransmission timer will repair it.
-                    if let Some(fault) = self.fault.as_mut() {
-                        use rand::Rng;
-                        if fault.rng.gen_bool(fault.p) {
-                            fault.dropped += 1;
+                    // Fault injection: one seeded decision per datagram.
+                    // Loss and partition blocks are repaired by the
+                    // sender's retransmission timer; duplicates are
+                    // absorbed by the link layer's duplicate suppression;
+                    // delays re-offer the datagram later (reordering),
+                    // repaired by the receiver's reorder buffer. Partition
+                    // ticks are virtual-time milliseconds.
+                    let (action, delay_ms) = match self.fault.as_mut() {
+                        Some(f) => (
+                            f.decide(from, to, at.as_micros() / 1_000),
+                            f.plan().delay_ticks,
+                        ),
+                        None => (FaultAction::Deliver, 0),
+                    };
+                    match action {
+                        FaultAction::Drop | FaultAction::Block => {
                             self.arm_timer(from.as_usize());
                             continue;
                         }
+                        FaultAction::Delay => {
+                            self.push(
+                                at + VDuration::from_millis(delay_ms),
+                                Event::Datagram { from, to, bytes },
+                            );
+                            continue;
+                        }
+                        FaultAction::Duplicate => {
+                            // Deliver now *and* re-offer an identical copy
+                            // one link latency later.
+                            self.push(
+                                at + self.model.link_latency,
+                                Event::Datagram {
+                                    from,
+                                    to,
+                                    bytes: bytes.clone(),
+                                },
+                            );
+                        }
+                        FaultAction::Deliver => {}
                     }
                     let s = to.as_usize();
                     let start = self.busy[s].max(at);
@@ -789,6 +873,135 @@ mod tests {
         let trace = recorder.snapshot().unwrap();
         assert_eq!(trace.message_count(), 4);
         assert_eq!(trace.deliveries_at(dest).len(), 4);
+        assert!(trace.check_causality().is_ok());
+    }
+
+    #[test]
+    fn rich_fault_plan_still_delivers_causally() {
+        use aaa_chaos::{FaultPlan, LinkFaults};
+        let topo = TopologySpec::single_domain(4).validate().unwrap();
+        let config = ServerConfig {
+            rto: aaa_base::VDuration::from_millis(50),
+            ..ServerConfig::default()
+        };
+        let plan = FaultPlan::new(17)
+            .faults(LinkFaults {
+                drop: 0.15,
+                duplicate: 0.1,
+                delay: 0.1,
+            })
+            .partition((ServerId::new(0), ServerId::new(2)), 50, 250);
+        let mut sim =
+            Simulation::with_fault_plan(topo, config, CostModel::paper_calibrated(), plan).unwrap();
+        let recorder = TraceRecorder::new();
+        sim.record_into(&recorder);
+        for s in 0..4u16 {
+            sim.register_agent(ServerId::new(s), 1, Box::new(EchoAgent));
+        }
+        for i in 0..20u16 {
+            let from = i % 4;
+            let to = (i + 1) % 4;
+            sim.client_send(aid(from, 9), aid(to, 1), Notification::signal("x"));
+        }
+        sim.run_until_quiet().unwrap();
+        let stats = sim.fault_stats();
+        assert!(
+            stats.dropped + stats.duplicated + stats.delayed + stats.blocked > 0,
+            "faults should actually fire: {stats:?}"
+        );
+        let trace = recorder.snapshot().unwrap();
+        assert_eq!(trace.message_count(), 40, "exactly-once end-to-end");
+        assert!(trace.check_causality().is_ok());
+        assert_eq!(sim.dropped_by_crash(), 0);
+    }
+
+    #[test]
+    fn rich_fault_plans_are_deterministic() {
+        use aaa_chaos::{FaultPlan, LinkFaults};
+        let run = || {
+            let topo = TopologySpec::single_domain(3).validate().unwrap();
+            let config = ServerConfig {
+                rto: aaa_base::VDuration::from_millis(30),
+                ..ServerConfig::default()
+            };
+            let plan = FaultPlan::new(23).faults(LinkFaults {
+                drop: 0.2,
+                duplicate: 0.1,
+                delay: 0.1,
+            });
+            let mut sim =
+                Simulation::with_fault_plan(topo, config, CostModel::paper_calibrated(), plan)
+                    .unwrap();
+            for s in 0..3u16 {
+                sim.register_agent(ServerId::new(s), 1, Box::new(EchoAgent));
+            }
+            for _ in 0..10 {
+                sim.client_send(aid(0, 9), aid(2, 1), Notification::signal("x"));
+                sim.run_until_quiet().unwrap();
+            }
+            (sim.now(), sim.fault_stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crash_discards_are_counted_separately() {
+        use crate::simulation::FaultConfig;
+        let topo = TopologySpec::single_domain(2).validate().unwrap();
+        let config = ServerConfig {
+            rto: aaa_base::VDuration::from_millis(50),
+            ..ServerConfig::default()
+        };
+        let mut sim = Simulation::with_faults(
+            topo,
+            config,
+            CostModel::paper_calibrated(),
+            FaultConfig {
+                drop_probability: 0.0,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        let dest = ServerId::new(1);
+        sim.register_agent(dest, 1, Box::new(EchoAgent));
+        sim.crash(dest);
+        sim.client_send(aid(0, 9), aid(1, 1), Notification::signal("x"));
+        let pause = sim.now() + aaa_base::VDuration::from_millis(300);
+        sim.run_until(pause).unwrap();
+        // The loss lottery never fired, but the crashed destination
+        // discarded at least the first transmission.
+        assert_eq!(sim.dropped_datagrams(), 0);
+        assert!(sim.dropped_by_crash() > 0, "crash discards must be counted");
+    }
+
+    #[test]
+    fn heal_faults_lets_the_run_quiesce() {
+        use aaa_chaos::{FaultPlan, LinkFaults};
+        let topo = TopologySpec::single_domain(3).validate().unwrap();
+        let config = ServerConfig {
+            rto: aaa_base::VDuration::from_millis(40),
+            ..ServerConfig::default()
+        };
+        let plan = FaultPlan::new(9)
+            .faults(LinkFaults::drop_only(0.4))
+            .partition((ServerId::new(0), ServerId::new(1)), 0, u64::MAX);
+        let mut sim =
+            Simulation::with_fault_plan(topo, config, CostModel::paper_calibrated(), plan).unwrap();
+        let recorder = TraceRecorder::new();
+        sim.record_into(&recorder);
+        for s in 0..3u16 {
+            sim.register_agent(ServerId::new(s), 1, Box::new(EchoAgent));
+        }
+        for _ in 0..5 {
+            sim.client_send(aid(0, 9), aid(1, 1), Notification::signal("x"));
+        }
+        // Bounded chaos phase, then heal and quiesce.
+        let pause = sim.now() + aaa_base::VDuration::from_millis(400);
+        sim.run_until(pause).unwrap();
+        sim.heal_faults();
+        sim.run_until_quiet().unwrap();
+        let trace = recorder.snapshot().unwrap();
+        assert_eq!(trace.message_count(), 10, "heal lets everything through");
         assert!(trace.check_causality().is_ok());
     }
 

@@ -15,7 +15,11 @@
 //! - [`topology`] — domains of causality, acyclicity checking, routing;
 //! - [`trace`] — the paper's formal trace model (§4.2) and causality
 //!   checkers;
-//! - [`net`] — wire codec and the in-memory reliable link substrate;
+//! - [`net`] — wire codec, the in-memory reliable link substrate, and the
+//!   peer failure detector driving the self-healing runtime;
+//! - [`chaos`] — deterministic fault injection: seeded fault plans and the
+//!   [`chaos::FaultTransport`] wrapper that drops, duplicates, delays and
+//!   partitions live traffic;
 //! - [`obs`] — the observability layer: lock-free metrics registry,
 //!   Prometheus/JSON exposition and the delivery-latency tracker;
 //! - [`storage`] — stable storage and the recovery journal;
@@ -40,6 +44,7 @@
 //! ```
 
 pub use aaa_base as base;
+pub use aaa_chaos as chaos;
 pub use aaa_clocks as clocks;
 pub use aaa_mom as mom;
 pub use aaa_net as net;

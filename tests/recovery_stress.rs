@@ -147,6 +147,59 @@ fn router_crash_heals_cross_domain_route() {
 }
 
 #[test]
+fn router_crash_mid_batch_cross_domain() {
+    // A cross-domain *batch* is in flight as one coalesced multi-frame wire
+    // packet when the router crashes. The link layer retransmits the whole
+    // packet after recovery; nothing is lost, duplicated or reordered, and
+    // no frame of the batch is delivered twice even though the packet
+    // boundary (not the message boundary) is the retransmission unit.
+    let seen: Arc<Mutex<Vec<String>>> = Default::default();
+    let spec = TopologySpec::from_domains(vec![vec![0, 1, 2], vec![2, 3, 4]]);
+    let mom = MomBuilder::new(spec).persistence(true).build().unwrap();
+    let router = ServerId::new(2);
+    assert!(mom.topology().is_router(router));
+    mom.register_agent(ServerId::new(4), 1, Collector::boxed(seen.clone()))
+        .unwrap();
+
+    // Warm the route so link state exists on both hops.
+    mom.send(aid(0, 9), aid(4, 1), Notification::new("m", "warm"))
+        .unwrap();
+    assert!(mom.quiesce(Duration::from_secs(10)));
+
+    for round in 0..3 {
+        // Crash the router, then hand the source a whole batch while the
+        // route is down: the batch is stamped and flushed as one packet
+        // that cannot get past the dead router.
+        mom.crash(router).unwrap();
+        let batch: Vec<_> = (0..8)
+            .map(|i| (aid(4, 1), Notification::new("m", format!("r{round}b{i}"))))
+            .collect();
+        mom.send_batch(aid(0, 9), batch, aaa_middleware::mom::SendOptions::new())
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        mom.recover(router, Vec::new()).unwrap();
+        assert!(
+            mom.quiesce(Duration::from_secs(20)),
+            "round {round}: batch should heal through the recovered router"
+        );
+    }
+
+    let got = seen.lock().clone();
+    let mut expected = vec!["warm".to_owned()];
+    for round in 0..3 {
+        for i in 0..8 {
+            expected.push(format!("r{round}b{i}"));
+        }
+    }
+    assert_eq!(
+        got, expected,
+        "exactly-once, in-order delivery of batches through router crashes"
+    );
+    assert!(mom.trace().unwrap().check_causality().is_ok());
+    mom.shutdown();
+}
+
+#[test]
 fn source_crash_preserves_queued_outbound() {
     // Crash the *source* after it accepted (and persisted) sends whose
     // frames may not have been acked yet; on recovery the link layer
