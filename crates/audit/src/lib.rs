@@ -168,11 +168,13 @@ impl Config {
             golden: vec!["tests/golden/metrics.prom"],
             allow_dir: "crates/audit/allow",
             stamp_scopes: vec!["crates/mom/src/", "crates/sim/src/"],
-            stamp_seeds: vec!["stamp_send", "stamp_send_batched"],
+            stamp_seeds: vec!["stamp_send"],
             cast_scopes: vec![
                 "crates/net/src/",
                 "crates/clocks/src/matrix.rs",
                 "crates/clocks/src/protocol.rs",
+                "crates/clocks/src/engine.rs",
+                "crates/clocks/src/engines.rs",
                 "crates/clocks/src/vector.rs",
                 "crates/mom/src/persist.rs",
                 "crates/mom/src/pubsub.rs",

@@ -2,8 +2,9 @@
 //!
 //! The paper's global-causality theorem (§4.3) quantifies over *messages*:
 //! per-domain causal delivery composes into global causal delivery only if
-//! every inter-server send flows through `CausalState::stamp_send` /
-//! `stamp_send_batched`. One raw `Transport::send` that bypasses the
+//! every inter-server send flows through `CausalState::stamp_send` (the
+//! single stamping entry point; batching is an argument, not a second
+//! name). One raw `Transport::send` that bypasses the
 //! stamping path produces a frame the receiver cannot order — delivery
 //! still happens, causality silently does not. That failure mode is
 //! invisible to tests that only count deliveries, which is why it gets a
@@ -146,7 +147,7 @@ mod tests {
     fn stamping_in_callee_covers() {
         let w = ws(&[(
             "crates/mom/src/x.rs",
-            "fn take(&mut self) { self.clock.stamp_send_batched(to); }\n\
+            "fn take(&mut self) { self.clock.stamp_send(to, Batching::Grouped); }\n\
              fn flush(&mut self) { let ts = self.take(); self.link.buffer(payload, now); }",
         )]);
         assert!(check(&w, &config()).is_empty());

@@ -5,7 +5,7 @@
 //! merging, across domain sizes, in both stamp modes.
 
 use aaa_base::DomainServerId;
-use aaa_clocks::{CausalState, StampMode};
+use aaa_clocks::{Batching, CausalState, StampMode};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -20,7 +20,7 @@ fn bench_stamp_send(c: &mut Criterion) {
             group.throughput(Throughput::Elements(1));
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
                 let mut state = CausalState::new(d(0), n, mode);
-                b.iter(|| black_box(state.stamp_send(d(1))));
+                b.iter(|| black_box(state.stamp_send(d(1), Batching::Single)));
             });
         }
     }
@@ -35,7 +35,7 @@ fn bench_check_and_deliver(c: &mut Criterion) {
                 || {
                     let mut tx = CausalState::new(d(0), n, StampMode::Full);
                     let mut rx = CausalState::new(d(1), n, StampMode::Full);
-                    let stamp = tx.stamp_send(d(1));
+                    let stamp = tx.stamp_send(d(1), Batching::Single);
                     let pending = rx.on_frame(d(0), stamp);
                     (rx, pending)
                 },
@@ -59,10 +59,10 @@ fn bench_round_trip(c: &mut Criterion) {
             let mut a = CausalState::new(d(0), n, StampMode::Updates);
             let mut z = CausalState::new(d(1), n, StampMode::Updates);
             b.iter(|| {
-                let s = a.stamp_send(d(1));
+                let s = a.stamp_send(d(1), Batching::Single);
                 let p = z.on_frame(d(0), s);
                 z.deliver(d(0), &p);
-                let s = z.stamp_send(d(0));
+                let s = z.stamp_send(d(0), Batching::Single);
                 let p = a.on_frame(d(1), s);
                 a.deliver(d(1), &p);
             });

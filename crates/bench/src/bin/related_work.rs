@@ -14,7 +14,7 @@
 
 use aaa_base::DomainServerId;
 use aaa_clocks::vector::BssState;
-use aaa_clocks::{CausalState, StampMode};
+use aaa_clocks::{Batching, CausalState, StampMode};
 
 fn d(i: usize) -> DomainServerId {
     DomainServerId::new(i as u16)
@@ -46,7 +46,7 @@ fn matrix_unicast_cost(n: usize, rounds: usize, mode: StampMode) -> (u64, u64) {
     let mut b = CausalState::new(d(1), n, mode);
     let mut bytes = 0u64;
     for _ in 0..rounds {
-        let stamp = a.stamp_send(d(1));
+        let stamp = a.stamp_send(d(1), Batching::Single);
         bytes += stamp.encoded_len() as u64;
         let p = b.on_frame(d(0), stamp);
         b.deliver(d(0), &p);

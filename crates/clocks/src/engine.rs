@@ -1,0 +1,446 @@
+//! The pluggable clock-engine contract and the state core shared by the
+//! built-in engines.
+//!
+//! [`CausalState`](crate::CausalState) is a thin dispatcher over a
+//! [`ClockEngine`]: every stamp mode is one engine, and the engine owns
+//! the whole per-domain protocol — what goes on the wire at send time
+//! ([`ClockEngine::stamp_send`]), how the exact sender matrix is
+//! reconstructed at arrival ([`ClockEngine::on_frame`]), the §4.2
+//! delivery predicate ([`ClockEngine::can_deliver`] /
+//! [`ClockEngine::deliver`]), and crash-recovery persistence
+//! ([`ClockEngine::write_bytes`]).
+//!
+//! # The engine contract
+//!
+//! An engine is correct iff, for every FIFO schedule, the
+//! [`PendingStamp`] it returns from `on_frame` carries **exactly** the
+//! sender's `SENT` matrix at the instant the message was stamped, in the
+//! receiver's column — and a sound lower bound elsewhere that loses no
+//! knowledge across the delivery merge. Concretely:
+//!
+//! 1. **Exact predicate column.** `pending.matrix()[k][me]` equals the
+//!    sender's `SENT[k][me]` for every `k`. An underestimate delivers a
+//!    message before a causal predecessor destined to `me`; an
+//!    overestimate deadlocks (the receiver waits for messages that were
+//!    never sent to it).
+//! 2. **Lossless merge.** For every other cell, either the reconstructed
+//!    value equals the sender's, or the receiver's own matrix already
+//!    dominates the sender's value at delivery time — so
+//!    `SENT := max(SENT, pending)` ends identical to Full-mode delivery.
+//! 3. **Persistence round-trip.** `write_bytes` followed by
+//!    [`CausalState::read_bytes`](crate::CausalState::read_bytes) resumes
+//!    the protocol mid-stream, including mid-batch [`Stamp::GroupNext`]
+//!    continuation state and any sender-side buffering.
+//!
+//! Engines satisfying 1–2 take **identical delivery decisions** — the
+//! mode-generic conformance suite (`tests/conformance.rs`) checks this
+//! observationally against [`StampMode::Full`].
+
+use aaa_base::DomainServerId;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::MatrixClock;
+use crate::protocol::PendingStamp;
+use crate::stamp::{Stamp, StampMode, UpdateEntry};
+
+/// Whether a send is part of a batch and may collapse to a zero-byte
+/// [`Stamp::GroupNext`] continuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Batching {
+    /// A standalone send: always ships a real stamp.
+    #[default]
+    Single,
+    /// Part of a batched flush: the engine may emit [`Stamp::GroupNext`]
+    /// when the matrix has not changed since the previous send to the
+    /// same peer. Falls back to a real stamp otherwise, so callers may
+    /// use this unconditionally on batched paths.
+    Grouped,
+}
+
+/// One pluggable causal-stamp engine (see the [module docs](self) for the
+/// correctness contract).
+///
+/// The four built-in engines live in [`crate::engines`]; [`CausalState`]
+/// (the only type the rest of the workspace touches) dispatches over them
+/// by [`StampMode`].
+///
+/// [`CausalState`]: crate::CausalState
+pub trait ClockEngine {
+    /// This server's identifier within the domain.
+    fn me(&self) -> DomainServerId;
+
+    /// Number of servers in the domain.
+    fn n(&self) -> usize;
+
+    /// The stamp mode this engine implements.
+    fn mode(&self) -> StampMode;
+
+    /// The local `SENT` matrix.
+    fn sent(&self) -> &MatrixClock;
+
+    /// Messages from `from` delivered here so far.
+    fn delivered_from(&self, from: DomainServerId) -> u64;
+
+    /// Total messages delivered here so far.
+    fn delivered_total(&self) -> u64;
+
+    /// Stamps a message about to be sent to `to` and updates the local
+    /// state. Must be called exactly once per message, in send order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is this server or out of range.
+    fn stamp_send(&mut self, to: DomainServerId, batching: Batching) -> Stamp;
+
+    /// Ingests a frame arriving from `from` (in link order) and returns
+    /// the message's reconstructed stamp. Must be called exactly once per
+    /// frame, in arrival order — the reliable link layer guarantees FIFO,
+    /// which every incremental reconstruction relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range, or if the stamp kind does not
+    /// match this engine's [`StampMode`].
+    fn on_frame(&mut self, from: DomainServerId, stamp: Stamp) -> PendingStamp;
+
+    /// Returns `true` if a message from `from` with stamp `pending` may
+    /// be delivered now without violating causal order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    fn can_deliver(&self, from: DomainServerId, pending: &PendingStamp) -> bool;
+
+    /// Records delivery of a message from `from` with stamp `pending`,
+    /// merging the sender's knowledge into the local matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message is not currently deliverable; call
+    /// [`ClockEngine::can_deliver`] first.
+    fn deliver(&mut self, from: DomainServerId, pending: &PendingStamp);
+
+    /// Appends a self-describing binary image of the engine state to
+    /// `out`, suitable for crash-recovery journaling. The image must
+    /// restore through [`CausalState::read_bytes`] to a state that
+    /// resumes the protocol exactly where it stopped.
+    ///
+    /// [`CausalState::read_bytes`]: crate::CausalState::read_bytes
+    fn write_bytes(&self, out: &mut Vec<u8>);
+}
+
+/// The protocol state every built-in engine shares: the RST matrix/vector
+/// pair, the Appendix-A change-tracking bookkeeping, and the per-sender
+/// reconstruction images.
+///
+/// Engines differ only in what [`Stamp`] they emit on send and how they
+/// raise the per-sender image on arrival; the predicate, the delivery
+/// merge and persistence of these fields are identical and live here.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct EngineCore {
+    pub me: DomainServerId,
+    pub n: usize,
+    /// `SENT[k][l]`: messages sent from `k` to `l` that this server knows
+    /// of.
+    pub sent: MatrixClock,
+    /// `DELIV[k]`: messages from `k` delivered here.
+    pub deliv: Vec<u64>,
+    /// Logical instant counter for change tracking (`State` in
+    /// Appendix A).
+    pub state: u64,
+    /// Per-cell tag: value of `state` when the cell last changed
+    /// (`Mat[k,l].state`).
+    pub entry_state: Vec<u64>,
+    /// Per-peer: value of `state` at the last send to that peer
+    /// (`Node[j].state`).
+    pub node_state: Vec<u64>,
+    /// Per-peer image of that peer's matrix, rebuilt from received
+    /// stamps.
+    pub images: Vec<Option<MatrixClock>>,
+}
+
+impl EngineCore {
+    /// Creates the shared core of server `me` in a domain of `n` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `me` is out of range.
+    pub fn new(me: DomainServerId, n: usize) -> Self {
+        assert!(n > 0, "a domain needs at least one server");
+        assert!(
+            me.as_usize() < n,
+            "server id {me} out of range for domain of {n}"
+        );
+        EngineCore {
+            me,
+            n,
+            sent: MatrixClock::new(n),
+            deliv: vec![0; n],
+            state: 0,
+            entry_state: vec![0; n * n],
+            node_state: vec![0; n],
+            images: vec![None; n],
+        }
+    }
+
+    pub fn delivered_total(&self) -> u64 {
+        self.deliv.iter().sum()
+    }
+
+    /// Validates a send destination (not self, in range).
+    pub fn assert_send_target(&self, to: DomainServerId) {
+        assert!(to != self.me, "local deliveries bypass the causal protocol");
+        assert!(to.as_usize() < self.n, "destination {to} out of range");
+    }
+
+    /// The send-side bookkeeping common to every real (non-continuation)
+    /// stamp: advance the logical instant, count the send, tag the cell,
+    /// and remember the instant of this send to `to`. Returns the change
+    /// horizon (`node_state[to]` *before* this send) that delta-style
+    /// engines scan from.
+    pub fn bump_send(&mut self, to: DomainServerId) -> u64 {
+        // Saturating throughout the clock core: a saturated counter keeps
+        // comparisons monotone (late, never reordered); wrapping breaks
+        // the §4.2 delivery predicate.
+        self.state = self.state.saturating_add(1);
+        let (me, t) = (self.me.as_usize(), to.as_usize());
+        self.sent.increment(me, t);
+        let tag = self.state;
+        self.entry_state[me * self.n + t] = tag;
+        let since = self.node_state[t];
+        self.node_state[t] = self.state;
+        since
+    }
+
+    /// Attempts a zero-byte group continuation to `to`: legal exactly
+    /// when the matrix has not changed since the previous send to the
+    /// same peer (no other sends, no deliveries in between) — the new
+    /// stamp then differs from the previous frame's only by
+    /// `SENT[me][to] += 1`, which the receiver reconstructs from its
+    /// per-sender image. Applies the send bookkeeping and returns `true`
+    /// on success; leaves the state untouched and returns `false` when a
+    /// real stamp is required.
+    pub fn try_group_continuation(&mut self, to: DomainServerId) -> bool {
+        let me = self.me.as_usize();
+        let t = to.as_usize();
+        // The guard on SENT[me][to] ensures a previous frame to this peer
+        // exists, so the receiver has an image to continue from.
+        if self.node_state[t] == self.state && self.sent.get(me, t) > 0 {
+            self.bump_send(to);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Collects the entries modified since logical instant `since` for
+    /// which `keep(row, col)` holds, in row-major order.
+    pub fn collect_changed(
+        &self,
+        since: u64,
+        mut keep: impl FnMut(usize, usize) -> bool,
+    ) -> Vec<UpdateEntry> {
+        let mut out = Vec::new();
+        for row in 0..self.n {
+            for col in 0..self.n {
+                if self.entry_state[row * self.n + col] > since && keep(row, col) {
+                    // `n <= u16::MAX` is a construction invariant, so the
+                    // checked narrowing never saturates in practice; if it
+                    // ever did, the peer would reject the frame loudly.
+                    out.push(UpdateEntry {
+                        row: u16::try_from(row).unwrap_or(u16::MAX),
+                        col: u16::try_from(col).unwrap_or(u16::MAX),
+                        value: self.sent.get(row, col),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The per-sender reconstruction image for `from`, created on first
+    /// use.
+    pub fn image_mut(&mut self, from: DomainServerId) -> &mut MatrixClock {
+        let n = self.n;
+        self.images[from.as_usize()].get_or_insert_with(|| MatrixClock::new(n))
+    }
+
+    /// Reconstructs a [`Stamp::GroupNext`] continuation from `from`:
+    /// the previous frame's stamp plus one send from `from` to me.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no prior frame from this sender seeded an image — FIFO
+    /// links make that a transport-invariant violation, not recoverable
+    /// input.
+    pub fn continue_group(&mut self, from: DomainServerId) -> PendingStamp {
+        let me = self.me.as_usize();
+        let image = self.images[from.as_usize()]
+            .as_mut()
+            // A missing predecessor means the transport violated FIFO — a
+            // broken protocol invariant, not recoverable input.
+            // audit:allow(panic-freedom)
+            .expect("GroupNext continuation with no prior frame from this sender");
+        image.increment(from.as_usize(), me);
+        PendingStamp::from_matrix(image.clone())
+    }
+
+    /// The §4.2 delivery predicate over the reconstructed stamp.
+    pub fn can_deliver(&self, from: DomainServerId, pending: &PendingStamp) -> bool {
+        let f = from.as_usize();
+        let me = self.me.as_usize();
+        assert!(f < self.n, "sender {from} out of range");
+        if pending.matrix().get(f, me) != self.deliv[f].saturating_add(1) {
+            return false;
+        }
+        (0..self.n).all(|k| k == f || pending.matrix().get(k, me) <= self.deliv[k])
+    }
+
+    /// The delivery transition: `DELIV[from] += 1` and
+    /// `SENT := max(SENT, pending)`, tagging every raised cell with a
+    /// fresh logical instant so delta-style engines ship it onward.
+    pub fn deliver(&mut self, from: DomainServerId, pending: &PendingStamp) {
+        assert!(
+            self.can_deliver(from, pending),
+            "delivering a message out of causal order"
+        );
+        self.deliv[from.as_usize()] = self.deliv[from.as_usize()].saturating_add(1);
+        self.state = self.state.saturating_add(1);
+        let tag = self.state;
+        let n = self.n;
+        let entry_state = &mut self.entry_state;
+        self.sent.merge_max(pending.matrix(), |row, col, _| {
+            entry_state[row * n + col] = tag;
+        });
+    }
+
+    /// Diagnostic panic for a stamp kind that contradicts the engine —
+    /// a programming error in the channel wiring, never wire input
+    /// (decoding already rejected it).
+    #[cold]
+    pub fn stamp_mode_mismatch(mode: StampMode, stamp: &Stamp) -> ! {
+        // audit:allow(panic-freedom)
+        panic!(
+            "stamp kind {} does not match configured mode {mode:?}",
+            stamp.kind()
+        );
+    }
+
+    /// Appends the shared persistence image: identity, the given mode
+    /// byte, and every core field. Engine-specific extras follow it.
+    pub fn write_bytes(&self, mode_byte: u8, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.me.as_u16().to_le_bytes());
+        // Saturating `try_from`: an impossible width writes a prefix the
+        // reader rejects rather than a truncated valid-looking one.
+        out.extend_from_slice(&u32::try_from(self.n).unwrap_or(u32::MAX).to_le_bytes());
+        out.push(mode_byte);
+        self.sent.write_bytes(out);
+        for v in &self.deliv {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.state.to_le_bytes());
+        for v in &self.entry_state {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.node_state {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        write_optional_matrices(&self.images, out);
+    }
+
+    /// Reads an image written by [`EngineCore::write_bytes`] from the
+    /// front of `input`, returning the core, the mode byte, and the bytes
+    /// consumed. Engine-specific extras follow at the returned offset.
+    ///
+    /// Returns `None` on truncated or invalid input.
+    pub fn read_bytes(input: &[u8]) -> Option<(EngineCore, u8, usize)> {
+        let mut at = 0usize;
+        let me = DomainServerId::new(u16::from_le_bytes(
+            take(input, &mut at, 2)?.try_into().ok()?,
+        ));
+        let n = u32::from_le_bytes(take(input, &mut at, 4)?.try_into().ok()?) as usize;
+        if n == 0 || me.as_usize() >= n {
+            return None;
+        }
+        let mode_byte = take(input, &mut at, 1)?[0];
+        let (sent, used) = MatrixClock::read_bytes(&input[at..])?;
+        if sent.width() != n {
+            return None;
+        }
+        at += used;
+        let deliv = read_u64s(input, &mut at, n)?;
+        let state = read_u64s(input, &mut at, 1)?[0];
+        let entry_state = read_u64s(input, &mut at, n * n)?;
+        let node_state = read_u64s(input, &mut at, n)?;
+        let images = read_optional_matrices(input, &mut at, n)?;
+        Some((
+            EngineCore {
+                me,
+                n,
+                sent,
+                deliv,
+                state,
+                entry_state,
+                node_state,
+                images,
+            },
+            mode_byte,
+            at,
+        ))
+    }
+}
+
+fn take<'a>(input: &'a [u8], at: &mut usize, n: usize) -> Option<&'a [u8]> {
+    let s = input.get(*at..*at + n)?;
+    *at += n;
+    Some(s)
+}
+
+fn read_u64s(input: &[u8], at: &mut usize, count: usize) -> Option<Vec<u64>> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(u64::from_le_bytes(take(input, at, 8)?.try_into().ok()?));
+    }
+    Some(out)
+}
+
+/// Appends a `0`/`1`-tagged vector of optional matrices (the image /
+/// knowledge-model persistence shape).
+pub(crate) fn write_optional_matrices(ms: &[Option<MatrixClock>], out: &mut Vec<u8>) {
+    for m in ms {
+        match m {
+            None => out.push(0),
+            Some(m) => {
+                out.push(1);
+                m.write_bytes(out);
+            }
+        }
+    }
+}
+
+/// Reads `n` optional matrices written by [`write_optional_matrices`],
+/// validating each width against `n`.
+pub(crate) fn read_optional_matrices(
+    input: &[u8],
+    at: &mut usize,
+    n: usize,
+) -> Option<Vec<Option<MatrixClock>>> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = *input.get(*at)?;
+        *at += 1;
+        match tag {
+            0 => out.push(None),
+            1 => {
+                let (m, used) = MatrixClock::read_bytes(&input[*at..])?;
+                if m.width() != n {
+                    return None;
+                }
+                *at += used;
+                out.push(Some(m));
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}

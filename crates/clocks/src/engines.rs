@@ -1,0 +1,599 @@
+//! The four built-in [`ClockEngine`] implementations, one per
+//! [`StampMode`].
+//!
+//! | Engine | Stamp | Wire cost | Shines when |
+//! |---|---|---|---|
+//! | [`FullEngine`] | [`Stamp::Full`] | `8n² + 4` B | debugging; tiny domains |
+//! | [`UpdatesEngine`] | [`Stamp::Delta`] | `O(changed)` | general traffic (Appendix A) |
+//! | [`ReducedEngine`] | [`Stamp::Reduced`] | `16n + O(extras)` B | large `n`, pairwise traffic |
+//! | [`HybridEngine`] | [`Stamp::Hybrid`] | `O(changed − known)` | pub/sub, echo-heavy traffic |
+//!
+//! All four reconstruct the exact sender matrix in the receiver's column
+//! (the §4.2 predicate column), so they take identical delivery
+//! decisions; `tests/conformance.rs` checks this observationally and the
+//! engine-specific soundness arguments live in `DESIGN.md` §13.
+
+use aaa_base::DomainServerId;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{
+    read_optional_matrices, write_optional_matrices, Batching, ClockEngine, EngineCore,
+};
+use crate::matrix::MatrixClock;
+use crate::protocol::PendingStamp;
+use crate::stamp::{Stamp, StampMode};
+
+/// Implements the state-accessor and core-delegating portions of
+/// [`ClockEngine`] for an engine with a `core: EngineCore` field.
+macro_rules! delegate_core {
+    ($mode:expr) => {
+        fn me(&self) -> DomainServerId {
+            self.core.me
+        }
+
+        fn n(&self) -> usize {
+            self.core.n
+        }
+
+        fn mode(&self) -> StampMode {
+            $mode
+        }
+
+        fn sent(&self) -> &MatrixClock {
+            &self.core.sent
+        }
+
+        fn delivered_from(&self, from: DomainServerId) -> u64 {
+            self.core.deliv[from.as_usize()]
+        }
+
+        fn delivered_total(&self) -> u64 {
+            self.core.delivered_total()
+        }
+
+        fn can_deliver(&self, from: DomainServerId, pending: &PendingStamp) -> bool {
+            self.core.can_deliver(from, pending)
+        }
+
+        fn deliver(&mut self, from: DomainServerId, pending: &PendingStamp) {
+            self.core.deliver(from, pending)
+        }
+    };
+}
+
+/// [`StampMode::Full`]: ship the sender's entire matrix with every
+/// message. `O(n²)` bytes per stamp, zero reconstruction state of its own
+/// (a per-sender image is still kept so zero-byte [`Stamp::GroupNext`]
+/// continuations work in batched bursts).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FullEngine {
+    core: EngineCore,
+}
+
+impl FullEngine {
+    /// Creates the engine for server `me` in a domain of `n` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `me` is out of range.
+    pub fn new(me: DomainServerId, n: usize) -> Self {
+        FullEngine {
+            core: EngineCore::new(me, n),
+        }
+    }
+
+    pub(crate) fn from_core(core: EngineCore) -> Self {
+        FullEngine { core }
+    }
+}
+
+impl ClockEngine for FullEngine {
+    delegate_core!(StampMode::Full);
+
+    fn stamp_send(&mut self, to: DomainServerId, batching: Batching) -> Stamp {
+        self.core.assert_send_target(to);
+        if batching == Batching::Grouped && self.core.try_group_continuation(to) {
+            return Stamp::GroupNext;
+        }
+        self.core.bump_send(to);
+        Stamp::Full(self.core.sent.clone())
+    }
+
+    fn on_frame(&mut self, from: DomainServerId, stamp: Stamp) -> PendingStamp {
+        assert!(from.as_usize() < self.core.n, "sender {from} out of range");
+        match stamp {
+            Stamp::Full(m) => {
+                assert_eq!(m.width(), self.core.n, "stamp width mismatch");
+                // Keep a per-sender image so zero-byte GroupNext
+                // continuations can be reconstructed in Full mode too.
+                self.core.images[from.as_usize()] = Some(m.clone());
+                PendingStamp::from_matrix(m)
+            }
+            Stamp::GroupNext => self.core.continue_group(from),
+            other => EngineCore::stamp_mode_mismatch(StampMode::Full, &other),
+        }
+    }
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.core.write_bytes(0, out);
+    }
+}
+
+/// [`StampMode::Updates`]: ship only the entries modified since the last
+/// send to the same peer — the paper's Appendix-A optimized algorithm.
+/// The receiver rebuilds a per-sender image incrementally over the FIFO
+/// link, so every stamp is exact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdatesEngine {
+    core: EngineCore,
+}
+
+impl UpdatesEngine {
+    /// Creates the engine for server `me` in a domain of `n` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `me` is out of range.
+    pub fn new(me: DomainServerId, n: usize) -> Self {
+        UpdatesEngine {
+            core: EngineCore::new(me, n),
+        }
+    }
+
+    pub(crate) fn from_core(core: EngineCore) -> Self {
+        UpdatesEngine { core }
+    }
+}
+
+impl ClockEngine for UpdatesEngine {
+    delegate_core!(StampMode::Updates);
+
+    fn stamp_send(&mut self, to: DomainServerId, batching: Batching) -> Stamp {
+        self.core.assert_send_target(to);
+        if batching == Batching::Grouped && self.core.try_group_continuation(to) {
+            return Stamp::GroupNext;
+        }
+        let since = self.core.bump_send(to);
+        Stamp::Delta(self.core.collect_changed(since, |_, _| true))
+    }
+
+    fn on_frame(&mut self, from: DomainServerId, stamp: Stamp) -> PendingStamp {
+        assert!(from.as_usize() < self.core.n, "sender {from} out of range");
+        match stamp {
+            Stamp::Delta(entries) => {
+                let image = self.core.image_mut(from);
+                for e in &entries {
+                    image.raise(e.row as usize, e.col as usize, e.value);
+                }
+                PendingStamp::from_matrix(image.clone())
+            }
+            Stamp::GroupNext => self.core.continue_group(from),
+            other => EngineCore::stamp_mode_mismatch(StampMode::Updates, &other),
+        }
+    }
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.core.write_bytes(1, out);
+    }
+}
+
+/// [`StampMode::Reduced`]: Drummond–Barbosa reduced matrix clocks, made
+/// exact. Each stamp ships the sender's whole row (`SENT[me][*]`), the
+/// destination's whole column (`SENT[*][to]`) and the *correction set* —
+/// third-party entries (`row ∉ {me, to}`, `col ≠ to`) modified since the
+/// last send to this peer.
+///
+/// The two dense vectors alone are the literal reduction from the
+/// related-work paper, but they are **unsound** for the §4.2 delivery
+/// predicate: knowledge about a third party's sends to a fourth party
+/// (`SENT[k][l]`) travels on neither vector, and three hops later an
+/// under-informed column reorders delivery (DESIGN.md §13 carries the
+/// counterexample). The correction set restores exactness; it is empty
+/// for pairwise traffic, so the common-case stamp stays a bounded
+/// `16n + 8` bytes regardless of how busy the rest of the domain is —
+/// unlike [`UpdatesEngine`], whose delta grows with every cell the domain
+/// touched since the last send.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReducedEngine {
+    core: EngineCore,
+}
+
+impl ReducedEngine {
+    /// Creates the engine for server `me` in a domain of `n` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `me` is out of range.
+    pub fn new(me: DomainServerId, n: usize) -> Self {
+        ReducedEngine {
+            core: EngineCore::new(me, n),
+        }
+    }
+
+    pub(crate) fn from_core(core: EngineCore) -> Self {
+        ReducedEngine { core }
+    }
+}
+
+impl ClockEngine for ReducedEngine {
+    delegate_core!(StampMode::Reduced);
+
+    fn stamp_send(&mut self, to: DomainServerId, batching: Batching) -> Stamp {
+        self.core.assert_send_target(to);
+        if batching == Batching::Grouped && self.core.try_group_continuation(to) {
+            return Stamp::GroupNext;
+        }
+        let since = self.core.bump_send(to);
+        let me = self.core.me.as_usize();
+        let t = to.as_usize();
+        // Everything the row/column vectors miss: third-party knowledge
+        // changed since the last send to this peer. The peer's own row is
+        // also skipped — only the peer increments it, so its copy dominates
+        // and the delivery merge loses nothing.
+        let extra = self
+            .core
+            .collect_changed(since, |r, c| r != me && r != t && c != t);
+        let row = (0..self.core.n)
+            .map(|l| self.core.sent.get(me, l))
+            .collect();
+        let col = self.core.sent.column(t);
+        Stamp::Reduced { row, col, extra }
+    }
+
+    fn on_frame(&mut self, from: DomainServerId, stamp: Stamp) -> PendingStamp {
+        assert!(from.as_usize() < self.core.n, "sender {from} out of range");
+        match stamp {
+            Stamp::Reduced { row, col, extra } => {
+                let n = self.core.n;
+                assert_eq!(row.len(), n, "reduced stamp row width mismatch");
+                assert_eq!(col.len(), n, "reduced stamp column width mismatch");
+                let me = self.core.me.as_usize();
+                let f = from.as_usize();
+                let image = self.core.image_mut(from);
+                for (l, &v) in row.iter().enumerate() {
+                    image.raise(f, l, v);
+                }
+                for (k, &v) in col.iter().enumerate() {
+                    image.raise(k, me, v);
+                }
+                for e in &extra {
+                    image.raise(e.row as usize, e.col as usize, e.value);
+                }
+                PendingStamp::from_matrix(image.clone())
+            }
+            Stamp::GroupNext => self.core.continue_group(from),
+            other => EngineCore::stamp_mode_mismatch(StampMode::Reduced, &other),
+        }
+    }
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.core.write_bytes(2, out);
+    }
+}
+
+/// [`StampMode::Hybrid`]: Almeida-style sender-side knowledge buffering.
+/// Each stamp is an Updates delta pruned against `know[to]`, a per-peer
+/// lower bound on what that peer's own matrix already contains:
+///
+/// - entries in the peer's own row (`row == to`) are never shipped — only
+///   the peer increments its row, so its own copy always dominates;
+/// - entries the knowledge model already attributes to the peer
+///   (`know[to][r][c] ≥ SENT[r][c]`) are skipped — the delivery merge
+///   loses nothing the peer already has;
+/// - entries in the peer's column (`col == to`) are **always** shipped
+///   when changed: that column is the §4.2 delivery predicate, and "the
+///   peer *knows of* the message" does not imply "the peer *delivered*
+///   it", so pruning there would release messages early.
+///
+/// `know[to]` is raised by everything shipped to `to` (FIFO links land it
+/// in the peer's image before any later frame) and by everything received
+/// *from* `to` (a peer's stamp is a snapshot of its own matrix). The
+/// pruning pays off on echo-shaped traffic — pub/sub replies, ping-pong —
+/// where Updates keeps re-shipping counters the peer originated.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HybridEngine {
+    core: EngineCore,
+    /// `know[j]`: lower bound on peer `j`'s own `SENT` matrix.
+    know: Vec<Option<MatrixClock>>,
+}
+
+impl HybridEngine {
+    /// Creates the engine for server `me` in a domain of `n` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `me` is out of range.
+    pub fn new(me: DomainServerId, n: usize) -> Self {
+        let core = EngineCore::new(me, n);
+        let know = vec![None; n];
+        HybridEngine { core, know }
+    }
+
+    fn know_mut(&mut self, peer: usize) -> &mut MatrixClock {
+        let n = self.core.n;
+        self.know[peer].get_or_insert_with(|| MatrixClock::new(n))
+    }
+}
+
+impl ClockEngine for HybridEngine {
+    delegate_core!(StampMode::Hybrid);
+
+    fn stamp_send(&mut self, to: DomainServerId, batching: Batching) -> Stamp {
+        self.core.assert_send_target(to);
+        let me = self.core.me.as_usize();
+        let t = to.as_usize();
+        if batching == Batching::Grouped && self.core.try_group_continuation(to) {
+            // The receiver's image gains the increment, so the model does.
+            let v = self.core.sent.get(me, t);
+            self.know_mut(t).raise(me, t, v);
+            return Stamp::GroupNext;
+        }
+        let since = self.core.bump_send(to);
+        let know = &self.know[t];
+        let entries = self.core.collect_changed(since, |r, c| {
+            if r == t {
+                return false; // the peer's own row — its copy dominates
+            }
+            if c == t {
+                return true; // the predicate column must stay exact
+            }
+            match know {
+                Some(k) => k.get(r, c) < self.core.sent.get(r, c),
+                None => true,
+            }
+        });
+        let k = self.know_mut(t);
+        for e in &entries {
+            k.raise(e.row as usize, e.col as usize, e.value);
+        }
+        Stamp::Hybrid(entries)
+    }
+
+    fn on_frame(&mut self, from: DomainServerId, stamp: Stamp) -> PendingStamp {
+        assert!(from.as_usize() < self.core.n, "sender {from} out of range");
+        let f = from.as_usize();
+        match stamp {
+            Stamp::Hybrid(entries) => {
+                let image = self.core.image_mut(from);
+                for e in &entries {
+                    image.raise(e.row as usize, e.col as usize, e.value);
+                }
+                let pending = PendingStamp::from_matrix(image.clone());
+                // A peer's stamp is a snapshot of its own matrix: raise
+                // the knowledge model with everything it conveyed.
+                let k = self.know_mut(f);
+                for e in &entries {
+                    k.raise(e.row as usize, e.col as usize, e.value);
+                }
+                pending
+            }
+            Stamp::GroupNext => {
+                let pending = self.core.continue_group(from);
+                let me = self.core.me.as_usize();
+                let v = pending.matrix().get(f, me);
+                self.know_mut(f).raise(f, me, v);
+                pending
+            }
+            other => EngineCore::stamp_mode_mismatch(StampMode::Hybrid, &other),
+        }
+    }
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.core.write_bytes(3, out);
+        write_optional_matrices(&self.know, out);
+    }
+}
+
+impl HybridEngine {
+    /// Reads the hybrid-specific tail (the knowledge model) that follows
+    /// the shared core image, returning the engine and the bytes consumed
+    /// *beyond* the core.
+    pub(crate) fn read_tail(core: EngineCore, input: &[u8]) -> Option<(HybridEngine, usize)> {
+        let mut at = 0usize;
+        let know = read_optional_matrices(input, &mut at, core.n)?;
+        Some((HybridEngine { core, know }, at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u16) -> DomainServerId {
+        DomainServerId::new(i)
+    }
+
+    /// The transitive chain that breaks the literal two-vector reduction:
+    /// `k → l` (m0), `k → i` (m1), `i → j` (m2), `j → l` (m3). Knowledge
+    /// of `SENT[k][l]` reaches `j` only via the correction set, and `l`
+    /// must postpone m3 until m0 is delivered.
+    #[test]
+    fn reduced_correction_set_carries_third_party_knowledge() {
+        let n = 4;
+        let (k, l, i, j) = (d(0), d(1), d(2), d(3));
+        let mut s_k = ReducedEngine::new(k, n);
+        let mut s_l = ReducedEngine::new(l, n);
+        let mut s_i = ReducedEngine::new(i, n);
+        let mut s_j = ReducedEngine::new(j, n);
+
+        let m0 = s_k.stamp_send(l, Batching::Single); // k -> l, in flight
+        let m1 = s_k.stamp_send(i, Batching::Single); // k -> i
+        let p1 = s_i.on_frame(k, m1);
+        assert!(s_i.can_deliver(k, &p1));
+        s_i.deliver(k, &p1);
+
+        // i -> j: SENT[k][l] is third-party knowledge for this link — it
+        // must ride in the correction set.
+        let m2 = s_i.stamp_send(j, Batching::Single);
+        if let Stamp::Reduced { ref extra, .. } = m2 {
+            assert!(
+                extra
+                    .iter()
+                    .any(|e| e.row == k.as_u16() && e.col == l.as_u16() && e.value == 1),
+                "SENT[k][l] missing from the correction set: {extra:?}"
+            );
+        } else {
+            panic!("reduced engine emitted {}", m2.kind());
+        }
+        let p2 = s_j.on_frame(i, m2);
+        s_j.deliver(i, &p2);
+
+        // j -> l arrives before k's original message: l must postpone it.
+        let m3 = s_j.stamp_send(l, Batching::Single);
+        let p3 = s_l.on_frame(j, m3);
+        assert!(
+            !s_l.can_deliver(j, &p3),
+            "m3 causally follows m0 and must wait for it"
+        );
+        let p0 = s_l.on_frame(k, m0);
+        assert!(s_l.can_deliver(k, &p0));
+        s_l.deliver(k, &p0);
+        assert!(s_l.can_deliver(j, &p3));
+        s_l.deliver(j, &p3);
+    }
+
+    #[test]
+    fn reduced_pairwise_stamp_is_bounded() {
+        let n = 32;
+        let mut a = ReducedEngine::new(d(0), n);
+        let mut b = ReducedEngine::new(d(1), n);
+        for round in 0..10 {
+            let s = a.stamp_send(d(1), Batching::Single);
+            if let Stamp::Reduced { ref extra, .. } = s {
+                assert!(
+                    extra.is_empty(),
+                    "pairwise traffic needs no correction (round {round}): {extra:?}"
+                );
+            }
+            assert_eq!(s.encoded_len(), 4 + 2 * n * 8 + 4);
+            let p = b.on_frame(d(0), s);
+            b.deliver(d(0), &p);
+            let r = b.stamp_send(d(0), Batching::Single);
+            let pr = a.on_frame(d(1), r);
+            a.deliver(d(1), &pr);
+        }
+        assert_eq!(b.delivered_total(), 10);
+    }
+
+    #[test]
+    fn hybrid_prunes_the_peers_own_row_on_echo_traffic() {
+        // Ping-pong: after a delivers b's echo, a's matrix has changed in
+        // row b — which Updates would ship straight back to b. Hybrid
+        // must not.
+        let mut a = HybridEngine::new(d(0), 3);
+        let mut b = HybridEngine::new(d(1), 3);
+        let s1 = a.stamp_send(d(1), Batching::Single);
+        let p1 = b.on_frame(d(0), s1);
+        b.deliver(d(0), &p1);
+        let r1 = b.stamp_send(d(0), Batching::Single);
+        let pr1 = a.on_frame(d(1), r1);
+        a.deliver(d(1), &pr1);
+
+        // Steady state: a's second ping conveys only its own counter.
+        let s2 = a.stamp_send(d(1), Batching::Single);
+        match &s2 {
+            Stamp::Hybrid(entries) => {
+                assert!(
+                    entries.iter().all(|e| e.row != 1),
+                    "b's own row shipped back to b: {entries:?}"
+                );
+                assert_eq!(entries.len(), 1, "steady-state ping: {entries:?}");
+            }
+            other => panic!("hybrid engine emitted {}", other.kind()),
+        }
+        let p2 = b.on_frame(d(0), s2);
+        assert!(b.can_deliver(d(0), &p2));
+        b.deliver(d(0), &p2);
+    }
+
+    #[test]
+    fn hybrid_never_prunes_the_predicate_column() {
+        // a sends to c, then to b; b forwards to c. The (a, c) counter is
+        // in c's predicate column: b's stamp to c must carry it even
+        // though b could believe c "knows" of it, because knowing is not
+        // delivering.
+        let (a_id, b_id, c_id) = (d(0), d(1), d(2));
+        let mut a = HybridEngine::new(a_id, 3);
+        let mut b = HybridEngine::new(b_id, 3);
+        let mut c = HybridEngine::new(c_id, 3);
+
+        let m_ac = a.stamp_send(c_id, Batching::Single); // in flight
+        let m_ab = a.stamp_send(b_id, Batching::Single);
+        let p_ab = b.on_frame(a_id, m_ab);
+        b.deliver(a_id, &p_ab);
+
+        let m_bc = b.stamp_send(c_id, Batching::Single);
+        match &m_bc {
+            Stamp::Hybrid(entries) => assert!(
+                entries
+                    .iter()
+                    .any(|e| e.row == 0 && e.col == 2 && e.value == 1),
+                "predicate-column entry (a, c) pruned: {entries:?}"
+            ),
+            other => panic!("hybrid engine emitted {}", other.kind()),
+        }
+        let p_bc = c.on_frame(b_id, m_bc);
+        assert!(
+            !c.can_deliver(b_id, &p_bc),
+            "b's message causally follows a's and must wait"
+        );
+        let p_ac = c.on_frame(a_id, m_ac);
+        c.deliver(a_id, &p_ac);
+        assert!(c.can_deliver(b_id, &p_bc));
+        c.deliver(b_id, &p_bc);
+    }
+
+    #[test]
+    fn hybrid_smaller_than_updates_on_echo_traffic() {
+        let n = 8;
+        let mut ha = HybridEngine::new(d(0), n);
+        let mut hb = HybridEngine::new(d(1), n);
+        let mut ua = UpdatesEngine::new(d(0), n);
+        let mut ub = UpdatesEngine::new(d(1), n);
+        let (mut hybrid_bytes, mut updates_bytes) = (0usize, 0usize);
+        for _ in 0..40 {
+            let hs = ha.stamp_send(d(1), Batching::Single);
+            hybrid_bytes += hs.encoded_len();
+            let hp = hb.on_frame(d(0), hs);
+            hb.deliver(d(0), &hp);
+            let hr = hb.stamp_send(d(0), Batching::Single);
+            hybrid_bytes += hr.encoded_len();
+            let hpr = ha.on_frame(d(1), hr);
+            ha.deliver(d(1), &hpr);
+
+            let us = ua.stamp_send(d(1), Batching::Single);
+            updates_bytes += us.encoded_len();
+            let up = ub.on_frame(d(0), us);
+            ub.deliver(d(0), &up);
+            let ur = ub.stamp_send(d(0), Batching::Single);
+            updates_bytes += ur.encoded_len();
+            let upr = ua.on_frame(d(1), ur);
+            ua.deliver(d(1), &upr);
+        }
+        assert!(
+            hybrid_bytes < updates_bytes,
+            "hybrid ({hybrid_bytes}B) should undercut updates ({updates_bytes}B) on echoes"
+        );
+        // Same deliveries either way.
+        assert_eq!(ha.delivered_total(), ua.delivered_total());
+        assert_eq!(hb.sent(), ub.sent());
+    }
+
+    #[test]
+    fn every_engine_supports_group_continuations() {
+        for mode in StampMode::ALL {
+            let mut a = crate::CausalState::new(d(0), 3, mode);
+            let mut b = crate::CausalState::new(d(1), 3, mode);
+            let first = a.stamp_send(d(1), Batching::Grouped);
+            assert!(!first.is_group_next(), "{mode}: first frame needs a stamp");
+            let second = a.stamp_send(d(1), Batching::Grouped);
+            assert!(second.is_group_next(), "{mode}: burst must collapse");
+            for s in [first, second] {
+                let p = b.on_frame(d(0), s);
+                assert!(b.can_deliver(d(0), &p));
+                b.deliver(d(0), &p);
+            }
+            assert_eq!(b.delivered_from(d(0)), 2, "{mode}");
+        }
+    }
+}

@@ -14,15 +14,21 @@
 //! - [`MatrixClock`] — the `n × n` "what A knows about what B knows" clock
 //!   the paper builds on;
 //! - [`CausalState`] — the per-domain causal delivery protocol
-//!   (Raynal–Schiper–Toueg style) used by every AAA channel, in either
-//!   [`StampMode::Full`] (ship the whole matrix) or [`StampMode::Updates`]
-//!   (ship only modified entries — Appendix A of the paper).
+//!   (Raynal–Schiper–Toueg style) used by every AAA channel, dispatching
+//!   to a pluggable [`ClockEngine`] selected by [`StampMode`]:
+//!   [`StampMode::Full`] (ship the whole matrix), [`StampMode::Updates`]
+//!   (ship only modified entries — Appendix A of the paper),
+//!   [`StampMode::Reduced`] (Drummond–Barbosa reduced matrix clocks) or
+//!   [`StampMode::Hybrid`] (Almeida-style sender-side buffering).
+//!
+//! The four engines live in [`engines`]; all take identical delivery
+//! decisions and differ only in stamp bytes and bookkeeping cost.
 //!
 //! # Example: two servers exchanging causally ordered messages
 //!
 //! ```
 //! use aaa_base::DomainServerId;
-//! use aaa_clocks::{CausalState, StampMode};
+//! use aaa_clocks::{Batching, CausalState, StampMode};
 //!
 //! let a = DomainServerId::new(0);
 //! let b = DomainServerId::new(1);
@@ -30,18 +36,22 @@
 //! let mut clock_b = CausalState::new(b, 2, StampMode::Full);
 //!
 //! // a sends to b
-//! let stamp = clock_a.stamp_send(b);
+//! let stamp = clock_a.stamp_send(b, Batching::Single);
 //! let pending = clock_b.on_frame(a, stamp);
 //! assert!(clock_b.can_deliver(a, &pending));
 //! clock_b.deliver(a, &pending);
 //! ```
 
+pub mod engine;
+pub mod engines;
 pub mod lamport;
 pub mod matrix;
 pub mod protocol;
 pub mod stamp;
 pub mod vector;
 
+pub use engine::{Batching, ClockEngine};
+pub use engines::{FullEngine, HybridEngine, ReducedEngine, UpdatesEngine};
 pub use lamport::LamportClock;
 pub use matrix::MatrixClock;
 pub use protocol::{CausalState, PendingStamp};

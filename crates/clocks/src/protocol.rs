@@ -6,8 +6,8 @@
 //! - each server `i` keeps `SENT` (an `n × n` [`MatrixClock`]: messages sent
 //!   `k → l` that `i` knows of) and `DELIV` (a vector: messages from `k`
 //!   delivered at `i`);
-//! - **send `i → j`**: increment `SENT[i][j]`, piggyback the matrix (whole
-//!   or as Update deltas);
+//! - **send `i → j`**: increment `SENT[i][j]`, piggyback the matrix (whole,
+//!   as Update deltas, or in a bounded-space encoding);
 //! - **deliverable at `j`** (message from `i` with reconstructed stamp
 //!   `ST`): `ST[i][j] == DELIV[i] + 1` and `ST[k][j] <= DELIV[k]` for all
 //!   `k != i` — `j` must already have delivered every message *destined to
@@ -18,24 +18,26 @@
 //! are re-examined after each delivery (the queue lives in `aaa-mom`; this
 //! crate only provides the predicates and state).
 //!
-//! In [`StampMode::Updates`] the wire carries only modified entries; the
-//! receiver keeps a per-sender *image* of the sender's matrix, rebuilt
-//! incrementally (sound because AAA links are reliable FIFO), and the exact
-//! per-message stamp is materialized when the frame arrives. The two modes
-//! are observationally equivalent — a property test in this crate's test
-//! suite drives random schedules through both and compares every decision.
+//! [`CausalState`] is a thin dispatcher over the pluggable
+//! [`ClockEngine`]s in [`crate::engines`], selected by [`StampMode`]:
+//! full matrices, Appendix-A deltas, Drummond–Barbosa reduced stamps, or
+//! Almeida-style hybrid buffering. All engines are observationally
+//! equivalent — property and conformance tests in this crate's test suite
+//! drive random schedules through every mode and compare each decision.
 
 use aaa_base::DomainServerId;
 use serde::{Deserialize, Serialize};
 
+use crate::engine::{Batching, ClockEngine, EngineCore};
+use crate::engines::{FullEngine, HybridEngine, ReducedEngine, UpdatesEngine};
 use crate::matrix::MatrixClock;
-use crate::stamp::{Stamp, StampMode, UpdateEntry};
+use crate::stamp::{Stamp, StampMode};
 
 /// A message's causal stamp, reconstructed on the receiving side.
 ///
 /// In [`StampMode::Full`] this is the matrix shipped with the message; in
-/// [`StampMode::Updates`] it is the receiver's image of the sender's matrix
-/// at the instant the frame arrived. Either way it is exactly the sender's
+/// every other mode it is the receiver's image of the sender's matrix at
+/// the instant the frame arrived. Either way it is exactly the sender's
 /// `SENT` matrix when the message was sent.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PendingStamp {
@@ -54,203 +56,133 @@ impl PendingStamp {
     }
 }
 
+/// The engine behind one [`CausalState`], one variant per [`StampMode`].
+///
+/// Enum dispatch (rather than `Box<dyn ClockEngine>`) keeps `CausalState`
+/// `Clone + PartialEq + Serialize` and the per-call overhead at one match.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum EngineKind {
+    Full(FullEngine),
+    Updates(UpdatesEngine),
+    Reduced(ReducedEngine),
+    Hybrid(HybridEngine),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $e:ident => $body:expr) => {
+        match &$self.engine {
+            EngineKind::Full($e) => $body,
+            EngineKind::Updates($e) => $body,
+            EngineKind::Reduced($e) => $body,
+            EngineKind::Hybrid($e) => $body,
+        }
+    };
+}
+
+macro_rules! dispatch_mut {
+    ($self:expr, $e:ident => $body:expr) => {
+        match &mut $self.engine {
+            EngineKind::Full($e) => $body,
+            EngineKind::Updates($e) => $body,
+            EngineKind::Reduced($e) => $body,
+            EngineKind::Hybrid($e) => $body,
+        }
+    };
+}
+
 /// Per-domain causal delivery state of one server.
 ///
 /// See the [module documentation](self) for the protocol. One `CausalState`
 /// exists per `DomainItem` on every server; causal router-servers therefore
-/// hold several, one per domain they belong to (§5).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// hold several, one per domain they belong to (§5). The heavy lifting is
+/// done by the [`ClockEngine`] selected at construction; this type is the
+/// stable workspace-facing facade.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CausalState {
-    me: DomainServerId,
-    n: usize,
-    mode: StampMode,
-    /// `SENT[k][l]`: messages sent from `k` to `l` that this server knows of.
-    sent: MatrixClock,
-    /// `DELIV[k]`: messages from `k` delivered here.
-    deliv: Vec<u64>,
-    /// Logical instant counter for the Updates algorithm (`State` in
-    /// Appendix A).
-    state: u64,
-    /// Per-cell tag: value of `state` when the cell last changed
-    /// (`Mat[k,l].state`).
-    entry_state: Vec<u64>,
-    /// Per-peer: value of `state` at the last send to that peer
-    /// (`Node[j].state`).
-    node_state: Vec<u64>,
-    /// Per-peer image of that peer's matrix, rebuilt from received deltas.
-    images: Vec<Option<MatrixClock>>,
+    engine: EngineKind,
 }
 
 impl CausalState {
-    /// Creates the causal state of server `me` in a domain of `n` servers.
+    /// Creates the causal state of server `me` in a domain of `n` servers,
+    /// running the engine selected by `mode`.
     ///
     /// # Panics
     ///
     /// Panics if `n` is zero or `me` is out of range.
     pub fn new(me: DomainServerId, n: usize, mode: StampMode) -> Self {
-        assert!(n > 0, "a domain needs at least one server");
-        assert!(
-            me.as_usize() < n,
-            "server id {me} out of range for domain of {n}"
-        );
-        CausalState {
-            me,
-            n,
-            mode,
-            sent: MatrixClock::new(n),
-            deliv: vec![0; n],
-            state: 0,
-            entry_state: vec![0; n * n],
-            node_state: vec![0; n],
-            images: vec![None; n],
-        }
+        let engine = match mode {
+            StampMode::Full => EngineKind::Full(FullEngine::new(me, n)),
+            StampMode::Updates => EngineKind::Updates(UpdatesEngine::new(me, n)),
+            StampMode::Reduced => EngineKind::Reduced(ReducedEngine::new(me, n)),
+            StampMode::Hybrid => EngineKind::Hybrid(HybridEngine::new(me, n)),
+        };
+        CausalState { engine }
     }
 
     /// This server's identifier within the domain.
     pub fn me(&self) -> DomainServerId {
-        self.me
+        dispatch!(self, e => e.me())
     }
 
     /// Number of servers in the domain.
     pub fn n(&self) -> usize {
-        self.n
+        dispatch!(self, e => e.n())
     }
 
     /// The stamp encoding mode.
     pub fn mode(&self) -> StampMode {
-        self.mode
+        dispatch!(self, e => e.mode())
     }
 
     /// The local `SENT` matrix.
     pub fn sent(&self) -> &MatrixClock {
-        &self.sent
+        dispatch!(self, e => e.sent())
     }
 
     /// Messages from `from` delivered here so far.
     pub fn delivered_from(&self, from: DomainServerId) -> u64 {
-        self.deliv[from.as_usize()]
+        dispatch!(self, e => e.delivered_from(from))
     }
 
     /// Total messages delivered here so far.
     pub fn delivered_total(&self) -> u64 {
-        self.deliv.iter().sum()
+        dispatch!(self, e => e.delivered_total())
     }
 
     /// Stamps a message about to be sent to `to` and updates the local
     /// state. Must be called exactly once per message, in send order.
     ///
+    /// With [`Batching::Grouped`] the engine may emit the zero-byte
+    /// [`Stamp::GroupNext`] continuation when this send is part of a batch
+    /// and nothing else changed since the previous send to the same peer;
+    /// it falls back to a real stamp otherwise, so batched callers pass
+    /// `Grouped` unconditionally.
+    ///
     /// # Panics
     ///
     /// Panics if `to` is this server or out of range.
-    pub fn stamp_send(&mut self, to: DomainServerId) -> Stamp {
-        assert!(to != self.me, "local deliveries bypass the causal protocol");
-        assert!(to.as_usize() < self.n, "destination {to} out of range");
-        // Saturating throughout the clock core: a saturated counter keeps
-        // comparisons monotone (late, never reordered); wrapping breaks
-        // the §4.2 delivery predicate.
-        self.state = self.state.saturating_add(1);
-        self.sent.increment(self.me.as_usize(), to.as_usize());
-        let tag = self.state;
-        self.set_entry_state(self.me.as_usize(), to.as_usize(), tag);
-        match self.mode {
-            StampMode::Full => {
-                // `node_state` is maintained in Full mode too so that
-                // `stamp_send_batched` can detect group continuations.
-                self.node_state[to.as_usize()] = self.state;
-                Stamp::Full(self.sent.clone())
-            }
-            StampMode::Updates => {
-                let since = self.node_state[to.as_usize()];
-                let entries = self.collect_updates(since);
-                self.node_state[to.as_usize()] = self.state;
-                Stamp::Delta(entries)
-            }
-        }
+    pub fn stamp_send(&mut self, to: DomainServerId, batching: Batching) -> Stamp {
+        dispatch_mut!(self, e => e.stamp_send(to, batching))
     }
 
-    /// Like [`CausalState::stamp_send`], but may return the zero-byte
-    /// [`Stamp::GroupNext`] continuation when this send is part of a batch.
-    ///
-    /// A continuation is legal exactly when the matrix has not changed since
-    /// the previous send to the same peer (no other sends, no deliveries in
-    /// between) — the new stamp then differs from the previous frame's stamp
-    /// only by `SENT[me][to] += 1`, which the receiver reconstructs from its
-    /// per-sender image without any shipped bytes. Falls back to a regular
-    /// stamp otherwise, so callers may use this unconditionally on batched
-    /// paths.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `to` is this server or out of range.
+    /// Deprecated alias for [`CausalState::stamp_send`] with
+    /// [`Batching::Grouped`].
+    #[deprecated(since = "0.1.0", note = "use stamp_send(to, Batching::Grouped)")]
     pub fn stamp_send_batched(&mut self, to: DomainServerId) -> Stamp {
-        assert!(to != self.me, "local deliveries bypass the causal protocol");
-        assert!(to.as_usize() < self.n, "destination {to} out of range");
-        let me = self.me.as_usize();
-        let t = to.as_usize();
-        // The guard on SENT[me][to] ensures a previous frame to this peer
-        // exists, so the receiver has an image to continue from.
-        if self.node_state[t] == self.state && self.sent.get(me, t) > 0 {
-            self.state = self.state.saturating_add(1);
-            self.sent.increment(me, t);
-            let tag = self.state;
-            self.set_entry_state(me, t, tag);
-            self.node_state[t] = self.state;
-            Stamp::GroupNext
-        } else {
-            self.stamp_send(to)
-        }
+        self.stamp_send(to, Batching::Grouped)
     }
 
     /// Ingests a frame arriving from `from` (in link order) and returns the
     /// message's reconstructed stamp. Must be called exactly once per frame,
-    /// in arrival order — the reliable link layer guarantees FIFO, which the
-    /// Updates reconstruction relies on.
+    /// in arrival order — the reliable link layer guarantees FIFO, which
+    /// every incremental reconstruction relies on.
     ///
     /// # Panics
     ///
     /// Panics if `from` is out of range, or if the stamp kind does not match
     /// the configured [`StampMode`].
     pub fn on_frame(&mut self, from: DomainServerId, stamp: Stamp) -> PendingStamp {
-        assert!(from.as_usize() < self.n, "sender {from} out of range");
-        let matrix = match (self.mode, stamp) {
-            (StampMode::Full, Stamp::Full(m)) => {
-                assert_eq!(m.width(), self.n, "stamp width mismatch");
-                // Keep a per-sender image so zero-byte GroupNext
-                // continuations can be reconstructed in Full mode too.
-                self.images[from.as_usize()] = Some(m.clone());
-                m
-            }
-            (StampMode::Updates, Stamp::Delta(entries)) => {
-                let image =
-                    self.images[from.as_usize()].get_or_insert_with(|| MatrixClock::new(self.n));
-                for e in &entries {
-                    image.raise(e.row as usize, e.col as usize, e.value);
-                }
-                image.clone()
-            }
-            (_, Stamp::GroupNext) => {
-                // Previous frame's stamp plus one send from `from` to me.
-                // FIFO links guarantee the predecessor frame (which seeded
-                // or updated the image) was ingested first.
-                let image = self.images[from.as_usize()]
-                    .as_mut()
-                    // A missing predecessor means the transport violated
-                    // FIFO — a broken protocol invariant, not recoverable
-                    // input. audit:allow(panic-freedom)
-                    .expect("GroupNext continuation with no prior frame from this sender");
-                image.increment(from.as_usize(), self.me.as_usize());
-                image.clone()
-            }
-            // A stamp kind that contradicts the configured mode is a
-            // programming error in the channel wiring, never wire input
-            // (decoding already rejected it). audit:allow(panic-freedom)
-            (mode, other) => panic!(
-                "stamp kind {:?} does not match configured mode {:?}",
-                other.is_delta(),
-                mode
-            ),
-        };
-        PendingStamp { matrix }
+        dispatch_mut!(self, e => e.on_frame(from, stamp))
     }
 
     /// Returns `true` if a message from `from` with stamp `pending` may be
@@ -260,13 +192,7 @@ impl CausalState {
     ///
     /// Panics if `from` is out of range.
     pub fn can_deliver(&self, from: DomainServerId, pending: &PendingStamp) -> bool {
-        let f = from.as_usize();
-        let me = self.me.as_usize();
-        assert!(f < self.n, "sender {from} out of range");
-        if pending.matrix.get(f, me) != self.deliv[f].saturating_add(1) {
-            return false;
-        }
-        (0..self.n).all(|k| k == f || pending.matrix.get(k, me) <= self.deliv[k])
+        dispatch!(self, e => e.can_deliver(from, pending))
     }
 
     /// Records delivery of a message from `from` with stamp `pending`,
@@ -277,60 +203,19 @@ impl CausalState {
     /// Panics if the message is not currently deliverable; call
     /// [`CausalState::can_deliver`] first.
     pub fn deliver(&mut self, from: DomainServerId, pending: &PendingStamp) {
-        assert!(
-            self.can_deliver(from, pending),
-            "delivering a message out of causal order"
-        );
-        self.deliv[from.as_usize()] = self.deliv[from.as_usize()].saturating_add(1);
-        self.state = self.state.saturating_add(1);
-        let tag = self.state;
-        let n = self.n;
-        let entry_state = &mut self.entry_state;
-        self.sent.merge_max(&pending.matrix, |row, col, _| {
-            entry_state[row * n + col] = tag;
-        });
-    }
-
-    #[inline]
-    fn set_entry_state(&mut self, row: usize, col: usize, tag: u64) {
-        self.entry_state[row * self.n + col] = tag;
+        dispatch_mut!(self, e => e.deliver(from, pending))
     }
 
     /// Appends a self-describing binary image of the whole causal state to
     /// `out`, suitable for crash-recovery journaling.
     ///
-    /// The image includes the Updates bookkeeping (entry states, per-peer
-    /// send states and per-peer sender images), so a recovered server
-    /// resumes the delta protocol exactly where it crashed.
+    /// The image includes every engine's bookkeeping (entry states,
+    /// per-peer send states, per-peer sender images, and the hybrid
+    /// engine's knowledge model), so a recovered server resumes its
+    /// protocol — including a mid-batch [`Stamp::GroupNext`] group —
+    /// exactly where it crashed.
     pub fn write_bytes(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&self.me.as_u16().to_le_bytes());
-        // Saturating `try_from`: an impossible width writes a prefix the
-        // reader rejects rather than a truncated valid-looking one.
-        out.extend_from_slice(&u32::try_from(self.n).unwrap_or(u32::MAX).to_le_bytes());
-        out.push(match self.mode {
-            StampMode::Full => 0,
-            StampMode::Updates => 1,
-        });
-        self.sent.write_bytes(out);
-        for v in &self.deliv {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        out.extend_from_slice(&self.state.to_le_bytes());
-        for v in &self.entry_state {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        for v in &self.node_state {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        for image in &self.images {
-            match image {
-                None => out.push(0),
-                Some(m) => {
-                    out.push(1);
-                    m.write_bytes(out);
-                }
-            }
-        }
+        dispatch!(self, e => e.write_bytes(out))
     }
 
     /// Reads an image written by [`CausalState::write_bytes`] from the
@@ -338,94 +223,25 @@ impl CausalState {
     ///
     /// Returns `None` on truncated or invalid input.
     pub fn read_bytes(input: &[u8]) -> Option<(CausalState, usize)> {
-        let mut at = 0usize;
-        let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
-            let s = input.get(*at..*at + n)?;
-            *at += n;
-            Some(s)
-        };
-        let me = DomainServerId::new(u16::from_le_bytes(take(&mut at, 2)?.try_into().ok()?));
-        let n = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
-        if n == 0 || me.as_usize() >= n {
-            return None;
-        }
-        let mode = match take(&mut at, 1)?[0] {
-            0 => StampMode::Full,
-            1 => StampMode::Updates,
+        let (core, mode_byte, used) = EngineCore::read_bytes(input)?;
+        let (engine, used) = match mode_byte {
+            0 => (EngineKind::Full(FullEngine::from_core(core)), used),
+            1 => (EngineKind::Updates(UpdatesEngine::from_core(core)), used),
+            2 => (EngineKind::Reduced(ReducedEngine::from_core(core)), used),
+            3 => {
+                let (engine, tail) = HybridEngine::read_tail(core, &input[used..])?;
+                (EngineKind::Hybrid(engine), used + tail)
+            }
             _ => return None,
         };
-        let (sent, used) = MatrixClock::read_bytes(&input[at..])?;
-        if sent.width() != n {
-            return None;
-        }
-        at += used;
-        let read_u64s = |at: &mut usize, count: usize| -> Option<Vec<u64>> {
-            let mut out = Vec::with_capacity(count);
-            for _ in 0..count {
-                out.push(u64::from_le_bytes(take(at, 8)?.try_into().ok()?));
-            }
-            Some(out)
-        };
-        let deliv = read_u64s(&mut at, n)?;
-        let state = read_u64s(&mut at, 1)?[0];
-        let entry_state = read_u64s(&mut at, n * n)?;
-        let node_state = read_u64s(&mut at, n)?;
-        let mut images = Vec::with_capacity(n);
-        for _ in 0..n {
-            let tag = *input.get(at)?;
-            at += 1;
-            match tag {
-                0 => images.push(None),
-                1 => {
-                    let (m, used) = MatrixClock::read_bytes(&input[at..])?;
-                    if m.width() != n {
-                        return None;
-                    }
-                    at += used;
-                    images.push(Some(m));
-                }
-                _ => return None,
-            }
-        }
-        Some((
-            CausalState {
-                me,
-                n,
-                mode,
-                sent,
-                deliv,
-                state,
-                entry_state,
-                node_state,
-                images,
-            },
-            at,
-        ))
-    }
-
-    fn collect_updates(&self, since: u64) -> Vec<UpdateEntry> {
-        let mut out = Vec::new();
-        for row in 0..self.n {
-            for col in 0..self.n {
-                if self.entry_state[row * self.n + col] > since {
-                    // `n <= u16::MAX` is a construction invariant, so the
-                    // checked narrowing never saturates in practice; if it
-                    // ever did, the peer would reject the frame loudly.
-                    out.push(UpdateEntry {
-                        row: u16::try_from(row).unwrap_or(u16::MAX),
-                        col: u16::try_from(col).unwrap_or(u16::MAX),
-                        value: self.sent.get(row, col),
-                    });
-                }
-            }
-        }
-        out
+        Some((CausalState { engine }, used))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stamp::UpdateEntry;
 
     fn d(i: u16) -> DomainServerId {
         DomainServerId::new(i)
@@ -438,10 +254,18 @@ mod tests {
         )
     }
 
+    fn single(c: &mut CausalState, to: DomainServerId) -> Stamp {
+        c.stamp_send(to, Batching::Single)
+    }
+
+    fn grouped(c: &mut CausalState, to: DomainServerId) -> Stamp {
+        c.stamp_send(to, Batching::Grouped)
+    }
+
     #[test]
     fn simple_send_deliver_full() {
         let (mut a, mut b) = pair(StampMode::Full);
-        let s = a.stamp_send(d(1));
+        let s = single(&mut a, d(1));
         let p = b.on_frame(d(0), s);
         assert!(b.can_deliver(d(0), &p));
         b.deliver(d(0), &p);
@@ -452,7 +276,7 @@ mod tests {
     #[test]
     fn simple_send_deliver_updates() {
         let (mut a, mut b) = pair(StampMode::Updates);
-        let s = a.stamp_send(d(1));
+        let s = single(&mut a, d(1));
         assert!(s.is_delta());
         let p = b.on_frame(d(0), s);
         assert!(b.can_deliver(d(0), &p));
@@ -461,12 +285,26 @@ mod tests {
     }
 
     #[test]
+    fn simple_send_deliver_every_mode() {
+        for mode in StampMode::ALL {
+            let (mut a, mut b) = pair(mode);
+            let s = single(&mut a, d(1));
+            assert!(!s.is_group_next(), "{mode}");
+            let p = b.on_frame(d(0), s);
+            assert!(b.can_deliver(d(0), &p), "{mode}");
+            b.deliver(d(0), &p);
+            assert_eq!(b.delivered_from(d(0)), 1, "{mode}");
+            assert_eq!(b.mode(), mode);
+        }
+    }
+
+    #[test]
     fn fifo_gap_is_postponed() {
         // a sends m1 then m2 to b; if m2's stamp is examined first it must
         // not be deliverable (its SENT[a][b] is 2, b expects 1).
         let (mut a, mut b) = pair(StampMode::Full);
-        let s1 = a.stamp_send(d(1));
-        let s2 = a.stamp_send(d(1));
+        let s1 = single(&mut a, d(1));
+        let s2 = single(&mut a, d(1));
         // Frames still arrive in FIFO order (on_frame), but the channel may
         // test deliverability in any order.
         let p1 = b.on_frame(d(0), s1);
@@ -480,67 +318,48 @@ mod tests {
 
     #[test]
     fn transitive_three_servers() {
-        // s0 -> s1 (m1); s1 -> s2 (m2 after delivering m1); s0 -> s2 (m0,
-        // sent before m1? no: sent first, concurrent-ish). Classic triangle:
-        // m_a: s0->s2 sent first, m_b: s0->s1, then s1->s2. s2 must deliver
-        // m_a before m2 because m_a precedes m_b (same sender order) and
-        // m_b precedes m2 (receive-then-send).
-        let mut s0 = CausalState::new(d(0), 3, StampMode::Full);
-        let mut s1 = CausalState::new(d(1), 3, StampMode::Full);
-        let mut s2 = CausalState::new(d(2), 3, StampMode::Full);
+        // Classic triangle, in every mode: m_a: s0->s2 sent first,
+        // m_b: s0->s1, then s1->s2. s2 must deliver m_a before m2 because
+        // m_a precedes m_b (same sender order) and m_b precedes m2
+        // (receive-then-send).
+        for mode in StampMode::ALL {
+            let mut s0 = CausalState::new(d(0), 3, mode);
+            let mut s1 = CausalState::new(d(1), 3, mode);
+            let mut s2 = CausalState::new(d(2), 3, mode);
 
-        let st_a = s0.stamp_send(d(2)); // m_a
-        let st_b = s0.stamp_send(d(1)); // m_b
-        let p_b = s1.on_frame(d(0), st_b);
-        assert!(s1.can_deliver(d(0), &p_b));
-        s1.deliver(d(0), &p_b);
-        let st_2 = s1.stamp_send(d(2)); // m2, causally after m_a
+            let st_a = single(&mut s0, d(2)); // m_a
+            let st_b = single(&mut s0, d(1)); // m_b
+            let p_b = s1.on_frame(d(0), st_b);
+            assert!(s1.can_deliver(d(0), &p_b), "{mode}");
+            s1.deliver(d(0), &p_b);
+            let st_2 = single(&mut s1, d(2)); // m2, causally after m_a
 
-        // m2 arrives at s2 before m_a: must wait.
-        let p_2 = s2.on_frame(d(1), st_2);
-        assert!(!s2.can_deliver(d(1), &p_2));
-        let p_a = s2.on_frame(d(0), st_a);
-        assert!(s2.can_deliver(d(0), &p_a));
-        s2.deliver(d(0), &p_a);
-        assert!(s2.can_deliver(d(1), &p_2));
-        s2.deliver(d(1), &p_2);
-        assert_eq!(s2.delivered_total(), 2);
-    }
-
-    #[test]
-    fn transitive_three_servers_updates_mode() {
-        let mut s0 = CausalState::new(d(0), 3, StampMode::Updates);
-        let mut s1 = CausalState::new(d(1), 3, StampMode::Updates);
-        let mut s2 = CausalState::new(d(2), 3, StampMode::Updates);
-
-        let st_a = s0.stamp_send(d(2));
-        let st_b = s0.stamp_send(d(1));
-        let p_b = s1.on_frame(d(0), st_b);
-        s1.deliver(d(0), &p_b);
-        let st_2 = s1.stamp_send(d(2));
-
-        let p_2 = s2.on_frame(d(1), st_2);
-        assert!(!s2.can_deliver(d(1), &p_2));
-        let p_a = s2.on_frame(d(0), st_a);
-        s2.deliver(d(0), &p_a);
-        assert!(s2.can_deliver(d(1), &p_2));
-        s2.deliver(d(1), &p_2);
+            // m2 arrives at s2 before m_a: must wait.
+            let p_2 = s2.on_frame(d(1), st_2);
+            assert!(!s2.can_deliver(d(1), &p_2), "{mode}");
+            let p_a = s2.on_frame(d(0), st_a);
+            assert!(s2.can_deliver(d(0), &p_a), "{mode}");
+            s2.deliver(d(0), &p_a);
+            assert!(s2.can_deliver(d(1), &p_2), "{mode}");
+            s2.deliver(d(1), &p_2);
+            assert_eq!(s2.delivered_total(), 2, "{mode}");
+        }
     }
 
     #[test]
     fn first_delta_carries_everything_later_deltas_shrink() {
         let mut a = CausalState::new(d(0), 4, StampMode::Updates);
-        let s1 = a.stamp_send(d(1));
+        let s1 = single(&mut a, d(1));
         // First message to d1: one entry modified so far.
         assert_eq!(s1.entry_count(), 1);
-        let s2 = a.stamp_send(d(1));
+        let s2 = single(&mut a, d(1));
         // Second message: only the (0,1) cell changed again.
         assert_eq!(s2.entry_count(), 1);
         // Send to a different peer: both prior modifications are news to d2.
-        let s3 = a.stamp_send(d(2));
+        let s3 = single(&mut a, d(2));
         assert_eq!(s3.entry_count(), 2);
         // Now d1 already knows everything except the newest cells.
-        let s4 = a.stamp_send(d(1));
+        let s4 = single(&mut a, d(1));
         // Changed since last send to d1: (0,2) from s3 and (0,1) from s4.
         assert_eq!(s4.entry_count(), 2);
     }
@@ -552,7 +371,7 @@ mod tests {
         let mut b = CausalState::new(d(1), n, StampMode::Updates);
         let mut total_delta = 0usize;
         for _ in 0..50 {
-            let s = a.stamp_send(d(1));
+            let s = single(&mut a, d(1));
             total_delta += s.encoded_len();
             let p = b.on_frame(d(0), s);
             b.deliver(d(0), &p);
@@ -565,18 +384,39 @@ mod tests {
     }
 
     #[test]
+    fn bounded_modes_smaller_than_full_matrix() {
+        let n = 40;
+        for mode in [StampMode::Reduced, StampMode::Hybrid] {
+            let mut a = CausalState::new(d(0), n, mode);
+            let mut b = CausalState::new(d(1), n, mode);
+            let mut total = 0usize;
+            for _ in 0..50 {
+                let s = single(&mut a, d(1));
+                total += s.encoded_len();
+                let p = b.on_frame(d(0), s);
+                b.deliver(d(0), &p);
+            }
+            let full = Stamp::Full(MatrixClock::new(n)).encoded_len() * 50;
+            assert!(
+                total * 10 < full,
+                "{mode}: {total}B should be >=10x below full stamps ({full}B)"
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "bypass the causal protocol")]
     fn self_send_rejected() {
         let mut a = CausalState::new(d(0), 2, StampMode::Full);
-        let _ = a.stamp_send(d(0));
+        let _ = a.stamp_send(d(0), Batching::Single);
     }
 
     #[test]
     #[should_panic(expected = "out of causal order")]
     fn deliver_out_of_order_panics() {
         let (mut a, mut b) = pair(StampMode::Full);
-        let _s1 = a.stamp_send(d(1));
-        let s2 = a.stamp_send(d(1));
+        let _s1 = single(&mut a, d(1));
+        let s2 = single(&mut a, d(1));
         let p2 = b.on_frame(d(0), s2);
         b.deliver(d(0), &p2);
     }
@@ -585,50 +425,79 @@ mod tests {
     #[should_panic(expected = "does not match configured mode")]
     fn mode_mismatch_panics() {
         let (mut a, mut b) = pair(StampMode::Full);
-        let _ = a.stamp_send(d(1));
+        let _ = single(&mut a, d(1));
         let bogus = Stamp::Delta(Vec::new());
         let _ = b.on_frame(d(0), bogus);
     }
 
     #[test]
+    #[should_panic(expected = "does not match configured mode")]
+    fn reduced_stamp_rejected_by_updates_engine() {
+        let mut b = CausalState::new(d(1), 2, StampMode::Updates);
+        let bogus = Stamp::Reduced {
+            row: vec![0; 2],
+            col: vec![0; 2],
+            extra: Vec::new(),
+        };
+        let _ = b.on_frame(d(0), bogus);
+    }
+
+    #[test]
+    fn deprecated_batched_alias_still_groups() {
+        let mut a = CausalState::new(d(0), 2, StampMode::Updates);
+        #[allow(deprecated)]
+        let first = a.stamp_send_batched(d(1));
+        assert!(!first.is_group_next());
+        #[allow(deprecated)]
+        let second = a.stamp_send_batched(d(1));
+        assert!(second.is_group_next());
+    }
+
+    #[test]
     fn causal_state_bytes_roundtrip() {
-        // Build a state with non-trivial Updates bookkeeping, persist it,
-        // and check the recovered state behaves identically.
-        let mut a = CausalState::new(d(0), 3, StampMode::Updates);
-        let mut b = CausalState::new(d(1), 3, StampMode::Updates);
-        for _ in 0..3 {
-            let s = a.stamp_send(d(1));
-            let p = b.on_frame(d(0), s);
-            b.deliver(d(0), &p);
+        // Build a state with non-trivial bookkeeping in every mode,
+        // persist it, and check the recovered state behaves identically.
+        for mode in StampMode::ALL {
+            let mut a = CausalState::new(d(0), 3, mode);
+            let mut b = CausalState::new(d(1), 3, mode);
+            for _ in 0..3 {
+                let s = single(&mut a, d(1));
+                let p = b.on_frame(d(0), s);
+                b.deliver(d(0), &p);
+            }
+            let _ = single(&mut a, d(2)); // leaves an in-flight stamp
+
+            let mut buf = Vec::new();
+            b.write_bytes(&mut buf);
+            let (b2, used) = CausalState::read_bytes(&buf).expect("roundtrip");
+            assert_eq!(used, buf.len(), "{mode}");
+            assert_eq!(b2, b, "{mode}: persisted state must round-trip");
+
+            // The recovered state keeps working: a's next stamp must still
+            // reconstruct correctly against b2's persisted image of a.
+            let mut b2 = b2;
+            let s = single(&mut a, d(1));
+            let p = b2.on_frame(d(0), s);
+            assert!(b2.can_deliver(d(0), &p), "{mode}");
+            b2.deliver(d(0), &p);
+            assert_eq!(b2.delivered_from(d(0)), 4, "{mode}");
         }
-        let _ = a.stamp_send(d(2)); // leaves an in-flight delta
-
-        let mut buf = Vec::new();
-        b.write_bytes(&mut buf);
-        let (b2, used) = CausalState::read_bytes(&buf).expect("roundtrip");
-        assert_eq!(used, buf.len());
-        assert_eq!(b2.sent(), b.sent());
-        assert_eq!(b2.delivered_total(), b.delivered_total());
-        assert_eq!(b2.mode(), b.mode());
-        assert_eq!(b2.me(), b.me());
-
-        // The recovered state keeps working: a's next delta must still
-        // reconstruct correctly against b2's persisted image of a.
-        let mut b2 = b2;
-        let s = a.stamp_send(d(1));
-        let p = b2.on_frame(d(0), s);
-        assert!(b2.can_deliver(d(0), &p));
-        b2.deliver(d(0), &p);
-        assert_eq!(b2.delivered_from(d(0)), 4);
     }
 
     #[test]
     fn causal_state_read_rejects_garbage() {
         assert!(CausalState::read_bytes(&[]).is_none());
         assert!(CausalState::read_bytes(&[1, 2, 3]).is_none());
+        for mode in StampMode::ALL {
+            let mut buf = Vec::new();
+            CausalState::new(d(0), 2, mode).write_bytes(&mut buf);
+            buf.truncate(buf.len() - 1);
+            assert!(CausalState::read_bytes(&buf).is_none(), "{mode}");
+        }
+        // An unknown mode byte (offset 6: me u16 + n u32) must be rejected.
         let mut buf = Vec::new();
         CausalState::new(d(0), 2, StampMode::Full).write_bytes(&mut buf);
-        buf.truncate(buf.len() - 1);
+        buf[6] = 9;
         assert!(CausalState::read_bytes(&buf).is_none());
     }
 
@@ -641,22 +510,25 @@ mod tests {
 
     #[test]
     fn batched_first_send_is_never_a_continuation() {
-        for mode in [StampMode::Full, StampMode::Updates] {
+        for mode in StampMode::ALL {
             let mut a = CausalState::new(d(0), 3, mode);
-            let s = a.stamp_send_batched(d(1));
-            assert!(!s.is_group_next(), "first frame must carry a real stamp");
+            let s = grouped(&mut a, d(1));
+            assert!(
+                !s.is_group_next(),
+                "{mode}: first frame must carry a real stamp"
+            );
         }
     }
 
     #[test]
     fn batched_burst_collapses_to_continuations() {
-        for mode in [StampMode::Full, StampMode::Updates] {
+        for mode in StampMode::ALL {
             let mut a = CausalState::new(d(0), 3, mode);
             let mut b = CausalState::new(d(1), 3, mode);
             let mut wire_bytes = 0usize;
             for i in 0..32 {
-                let s = a.stamp_send_batched(d(1));
-                assert_eq!(s.is_group_next(), i > 0, "mode {mode:?}, frame {i}");
+                let s = grouped(&mut a, d(1));
+                assert_eq!(s.is_group_next(), i > 0, "mode {mode}, frame {i}");
                 wire_bytes += s.encoded_len();
                 let p = b.on_frame(d(0), s);
                 assert!(b.can_deliver(d(0), &p));
@@ -667,95 +539,132 @@ mod tests {
             // Only the first frame pays stamp bytes.
             let first = match mode {
                 StampMode::Full => Stamp::Full(MatrixClock::new(3)).encoded_len(),
-                StampMode::Updates => 4 + UpdateEntry::WIRE_LEN,
+                StampMode::Updates | StampMode::Hybrid => 4 + UpdateEntry::WIRE_LEN,
+                StampMode::Reduced => 4 + 2 * 3 * 8 + 4,
             };
-            assert_eq!(wire_bytes, first);
+            assert_eq!(wire_bytes, first, "{mode}");
         }
     }
 
     #[test]
     fn continuation_reconstructs_exact_stamp() {
-        // Drive an identical schedule through stamp_send (reference) and
-        // stamp_send_batched, and check the reconstructed matrices agree.
-        for mode in [StampMode::Full, StampMode::Updates] {
+        // Drive an identical schedule through Single (reference) and
+        // Grouped batching, and check the reconstructed matrices agree.
+        for mode in StampMode::ALL {
             let mut a_ref = CausalState::new(d(0), 2, mode);
             let mut b_ref = CausalState::new(d(1), 2, mode);
             let mut a = CausalState::new(d(0), 2, mode);
             let mut b = CausalState::new(d(1), 2, mode);
             for _ in 0..5 {
-                let sr = a_ref.stamp_send(d(1));
+                let sr = single(&mut a_ref, d(1));
                 let pr = b_ref.on_frame(d(0), sr);
-                let s = a.stamp_send_batched(d(1));
+                let s = grouped(&mut a, d(1));
                 let p = b.on_frame(d(0), s);
-                assert_eq!(p.matrix(), pr.matrix());
+                assert_eq!(p.matrix(), pr.matrix(), "{mode}");
                 b_ref.deliver(d(0), &pr);
                 b.deliver(d(0), &p);
             }
-            assert_eq!(b.sent(), b_ref.sent());
+            assert_eq!(b.sent(), b_ref.sent(), "{mode}");
         }
     }
 
     #[test]
     fn intervening_traffic_breaks_the_group() {
-        let mut a = CausalState::new(d(0), 3, StampMode::Updates);
-        let mut b = CausalState::new(d(1), 3, StampMode::Updates);
-        let s1 = a.stamp_send_batched(d(1));
-        assert!(!s1.is_group_next());
-        let s2 = a.stamp_send_batched(d(1));
-        assert!(s2.is_group_next());
-        // A send to another peer changes the matrix: the next frame to d1
-        // must fall back to a real stamp that conveys it.
-        let _ = a.stamp_send_batched(d(2));
-        let s3 = a.stamp_send_batched(d(1));
-        assert!(!s3.is_group_next());
-        for s in [s1, s2, s3] {
-            let p = b.on_frame(d(0), s);
-            assert!(b.can_deliver(d(0), &p));
-            b.deliver(d(0), &p);
+        for mode in StampMode::ALL {
+            let mut a = CausalState::new(d(0), 3, mode);
+            let mut b = CausalState::new(d(1), 3, mode);
+            let s1 = grouped(&mut a, d(1));
+            assert!(!s1.is_group_next(), "{mode}");
+            let s2 = grouped(&mut a, d(1));
+            assert!(s2.is_group_next(), "{mode}");
+            // A send to another peer changes the matrix: the next frame to
+            // d1 must fall back to a real stamp that conveys it.
+            let _ = grouped(&mut a, d(2));
+            let s3 = grouped(&mut a, d(1));
+            assert!(!s3.is_group_next(), "{mode}");
+            for s in [s1, s2, s3] {
+                let p = b.on_frame(d(0), s);
+                assert!(b.can_deliver(d(0), &p), "{mode}");
+                b.deliver(d(0), &p);
+            }
+            assert_eq!(b.sent().get(0, 1), 3, "{mode}");
+            assert_eq!(b.sent().get(0, 2), 1, "{mode}");
         }
-        assert_eq!(b.sent().get(0, 1), 3);
-        assert_eq!(b.sent().get(0, 2), 1);
     }
 
     #[test]
     fn delivery_breaks_the_group() {
-        let (mut a, mut b) = pair(StampMode::Full);
-        let s1 = a.stamp_send_batched(d(1));
-        let p1 = b.on_frame(d(0), s1);
-        b.deliver(d(0), &p1);
-        // b replies; a delivers — a's matrix changed, so a's next frame to b
-        // must be a full stamp again.
-        let r = b.stamp_send_batched(d(0));
-        let pr = a.on_frame(d(1), r);
-        a.deliver(d(1), &pr);
-        let s2 = a.stamp_send_batched(d(1));
-        assert!(!s2.is_group_next());
-        let p2 = b.on_frame(d(0), s2);
-        assert!(b.can_deliver(d(0), &p2));
-        b.deliver(d(0), &p2);
+        for mode in StampMode::ALL {
+            let (mut a, mut b) = pair(mode);
+            let s1 = grouped(&mut a, d(1));
+            let p1 = b.on_frame(d(0), s1);
+            b.deliver(d(0), &p1);
+            // b replies; a delivers — a's matrix changed, so a's next frame
+            // to b must be a real stamp again.
+            let r = grouped(&mut b, d(0));
+            let pr = a.on_frame(d(1), r);
+            a.deliver(d(1), &pr);
+            let s2 = grouped(&mut a, d(1));
+            assert!(!s2.is_group_next(), "{mode}");
+            let p2 = b.on_frame(d(0), s2);
+            assert!(b.can_deliver(d(0), &p2), "{mode}");
+            b.deliver(d(0), &p2);
+        }
     }
 
     #[test]
-    fn full_mode_images_survive_persistence() {
-        // A Full-mode receiver's per-sender image (needed for GroupNext)
-        // must roundtrip through write_bytes/read_bytes mid-group.
-        let mut a = CausalState::new(d(0), 2, StampMode::Full);
-        let mut b = CausalState::new(d(1), 2, StampMode::Full);
-        let s1 = a.stamp_send_batched(d(1));
+    fn images_survive_persistence_mid_group() {
+        // A receiver's per-sender image (needed for GroupNext) must
+        // round-trip through write_bytes/read_bytes mid-group, whatever
+        // the engine.
+        for mode in StampMode::ALL {
+            let mut a = CausalState::new(d(0), 2, mode);
+            let mut b = CausalState::new(d(1), 2, mode);
+            let s1 = grouped(&mut a, d(1));
+            let p1 = b.on_frame(d(0), s1);
+            b.deliver(d(0), &p1);
+
+            let mut buf = Vec::new();
+            b.write_bytes(&mut buf);
+            let (mut b2, used) = CausalState::read_bytes(&buf).expect("roundtrip");
+            assert_eq!(used, buf.len(), "{mode}");
+
+            let s2 = grouped(&mut a, d(1));
+            assert!(s2.is_group_next(), "{mode}");
+            let p2 = b2.on_frame(d(0), s2);
+            assert!(b2.can_deliver(d(0), &p2), "{mode}");
+            b2.deliver(d(0), &p2);
+            assert_eq!(b2.delivered_from(d(0)), 2, "{mode}");
+        }
+    }
+
+    #[test]
+    fn hybrid_sender_state_survives_persistence() {
+        // The knowledge model is sender-side state: persist the *sender*
+        // mid-conversation and check its next stamp is still both pruned
+        // and sufficient.
+        let mut a = CausalState::new(d(0), 3, StampMode::Hybrid);
+        let mut b = CausalState::new(d(1), 3, StampMode::Hybrid);
+        let s1 = a.stamp_send(d(1), Batching::Single);
         let p1 = b.on_frame(d(0), s1);
         b.deliver(d(0), &p1);
+        let r1 = b.stamp_send(d(0), Batching::Single);
+        let pr1 = a.on_frame(d(1), r1);
+        a.deliver(d(1), &pr1);
 
         let mut buf = Vec::new();
-        b.write_bytes(&mut buf);
-        let (mut b2, used) = CausalState::read_bytes(&buf).expect("roundtrip");
+        a.write_bytes(&mut buf);
+        let (mut a2, used) = CausalState::read_bytes(&buf).expect("roundtrip");
         assert_eq!(used, buf.len());
+        assert_eq!(a2, a);
 
-        let s2 = a.stamp_send_batched(d(1));
-        assert!(s2.is_group_next());
-        let p2 = b2.on_frame(d(0), s2);
-        assert!(b2.can_deliver(d(0), &p2));
-        b2.deliver(d(0), &p2);
-        assert_eq!(b2.delivered_from(d(0)), 2);
+        let s2 = a2.stamp_send(d(1), Batching::Single);
+        // Steady-state echo ping: the recovered knowledge model still
+        // prunes b's own row.
+        assert_eq!(s2.entry_count(), 1, "recovered model must keep pruning");
+        let p2 = b.on_frame(d(0), s2);
+        assert!(b.can_deliver(d(0), &p2));
+        b.deliver(d(0), &p2);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::collections::VecDeque;
 use aaa_base::{
     Absorb, AgentId, DomainId, DomainServerId, Error, MessageId, Result, ServerId, VTime,
 };
-use aaa_clocks::{PendingStamp, StampMode};
+use aaa_clocks::{Batching, PendingStamp, StampMode};
 use aaa_net::WireMessage;
 use aaa_obs::Meter;
 use aaa_topology::{RoutingTable, Topology};
@@ -149,7 +149,7 @@ impl ChannelCore {
     /// meter every event pays one branch and no atomic traffic.
     pub fn attach_meter(&mut self, meter: &Meter) {
         let domains: Vec<DomainId> = self.items.iter().map(|it| it.domain_id()).collect();
-        let metrics = ChannelMetrics::new(meter, &domains);
+        let metrics = ChannelMetrics::new(meter, &domains, self.mode);
         metrics.postponed.set(self.postponed.len() as i64);
         self.metrics = Some(metrics);
     }
@@ -301,7 +301,7 @@ impl ChannelCore {
     /// [`aaa_clocks::Stamp::GroupNext`] (one tag byte, O(1) cell work)
     /// instead of a full/delta stamp — the continuation is reconstructed
     /// from the previous frame at the receiver over the FIFO link. See
-    /// [`aaa_clocks::CausalState::stamp_send_batched`].
+    /// [`aaa_clocks::Batching::Grouped`].
     ///
     /// # Errors
     ///
@@ -319,11 +319,12 @@ impl ChannelCore {
             let stamp = match env.policy {
                 DeliveryPolicy::Causal => {
                     let n = item.clock().n() as u64;
-                    let stamp = if batched {
-                        item.clock_mut().stamp_send_batched(hop_dsid)
+                    let batching = if batched {
+                        Batching::Grouped
                     } else {
-                        item.clock_mut().stamp_send(hop_dsid)
+                        Batching::Single
                     };
+                    let stamp = item.clock_mut().stamp_send(hop_dsid, batching);
                     // A GroupNext continuation touches one matrix cell;
                     // a full stamping pass touches n².
                     let ops = if stamp.is_group_next() { 1 } else { n * n };
@@ -836,7 +837,7 @@ mod tests {
 
     #[test]
     fn batched_transmissions_collapse_stamps() {
-        for mode in [StampMode::Full, StampMode::Updates] {
+        for mode in StampMode::ALL {
             let topo = single_domain(4);
             let mut chs = channels(&topo, mode);
             let batch: Vec<_> = (0..8)

@@ -12,7 +12,7 @@
 //! | name | kind | unit |
 //! |---|---|---|
 //! | `aaa_channel_cell_ops_total` | counter | matrix-cell operations |
-//! | `aaa_channel_stamp_bytes_total` | counter | bytes |
+//! | `aaa_channel_stamp_bytes_total` (+`mode`) | counter | bytes |
 //! | `aaa_channel_transmitted_total` | counter | messages |
 //! | `aaa_channel_delivered_total` | counter | messages |
 //! | `aaa_channel_forwarded_total` | counter | messages |
@@ -34,6 +34,7 @@
 use std::collections::HashMap;
 
 use aaa_base::{DomainId, ServerId};
+use aaa_clocks::StampMode;
 use aaa_obs::{Counter, Gauge, Histogram, Meter, LATENCY_BUCKETS_US};
 
 /// Per-domain causal-cost counters (Figures 7/8 of the paper are plots of
@@ -57,7 +58,7 @@ pub(crate) struct ChannelMetrics {
 }
 
 impl ChannelMetrics {
-    pub fn new(meter: &Meter, domains: &[DomainId]) -> Self {
+    pub fn new(meter: &Meter, domains: &[DomainId], mode: StampMode) -> Self {
         let per_domain = domains
             .iter()
             .map(|d| DomainChannelMetrics {
@@ -66,10 +67,15 @@ impl ChannelMetrics {
                     "Matrix-cell operations (stamp, check, delivery merge)",
                     &[("domain", d.as_u16().to_string())],
                 ),
+                // The stamp-byte series carries the engine name so the
+                // mode shootout can be read straight off the dashboard.
                 stamp_bytes: meter.counter_with(
                     "aaa_channel_stamp_bytes_total",
                     "Causal stamp bytes emitted",
-                    &[("domain", d.as_u16().to_string())],
+                    &[
+                        ("domain", d.as_u16().to_string()),
+                        ("mode", mode.to_string()),
+                    ],
                 ),
             })
             .collect();

@@ -368,6 +368,42 @@ mod tests {
     }
 
     #[test]
+    fn active_clock_survives_journal_in_every_mode() {
+        // The journal must round-trip engine bookkeeping in every stamp
+        // mode — including mid-batch GroupNext state and the hybrid
+        // engine's knowledge model, which lives beyond the shared core
+        // image.
+        use aaa_clocks::Batching;
+        for mode in StampMode::ALL {
+            let mut a = CausalState::new(DomainServerId::new(0), 3, mode);
+            let mut b = CausalState::new(DomainServerId::new(1), 3, mode);
+            for _ in 0..2 {
+                let s = a.stamp_send(DomainServerId::new(1), Batching::Grouped);
+                let p = b.on_frame(DomainServerId::new(0), s);
+                b.deliver(DomainServerId::new(0), &p);
+            }
+            let mut img = sample_image();
+            img.items = vec![DomainItem::from_parts(
+                DomainId::new(1),
+                DomainServerId::new(0),
+                vec![ServerId::new(0), ServerId::new(2), ServerId::new(4)],
+                a.clone(),
+            )];
+            img.postponed.clear();
+            let decoded = ServerImage::decode(img.encode()).unwrap();
+            assert_eq!(decoded.items[0].clock(), &a, "{mode}");
+
+            // The recovered clock continues the open batch where the
+            // original left off.
+            let mut recovered = decoded.items[0].clock().clone();
+            let s = recovered.stamp_send(DomainServerId::new(1), Batching::Grouped);
+            assert!(s.is_group_next(), "{mode}: batch must survive recovery");
+            let p = b.on_frame(DomainServerId::new(0), s);
+            assert!(b.can_deliver(DomainServerId::new(0), &p), "{mode}");
+        }
+    }
+
+    #[test]
     fn truncated_image_rejected() {
         let img = sample_image();
         let bytes = img.encode();

@@ -113,14 +113,19 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Global causality holds on random acyclic topologies under
-    /// adversarial delivery interleavings, in both stamp modes.
+    /// adversarial delivery interleavings, in every stamp mode.
     #[test]
     fn causality_under_adversarial_interleavings(
         sizes in prop::collection::vec(2usize..4, 1..4),
         attach in prop::collection::vec((0usize..10, 0usize..10), 0..4),
         sends in prop::collection::vec((0u16..12, 0u16..12), 1..25),
         seed in any::<u64>(),
-        mode in prop_oneof![Just(StampMode::Full), Just(StampMode::Updates)],
+        mode in prop_oneof![
+            Just(StampMode::Full),
+            Just(StampMode::Updates),
+            Just(StampMode::Reduced),
+            Just(StampMode::Hybrid),
+        ],
     ) {
         let spec = spec_from(&sizes, &attach);
         let trace = run_adversarial(spec.clone(), mode, &sends, seed);

@@ -223,6 +223,14 @@ fn stamp_sizes_updates_vs_full() {
         updates * 2 < full,
         "updates ({updates}B) should be well under full ({full}B)"
     );
+    // The bounded-space engines must beat full on the same live workload.
+    for mode in [StampMode::Reduced, StampMode::Hybrid] {
+        let bytes = run(mode);
+        assert!(
+            bytes * 2 < full,
+            "{mode} ({bytes}B) should be well under full ({full}B)"
+        );
+    }
 }
 
 #[test]

@@ -116,8 +116,10 @@ impl Encoder {
     }
 
     /// Writes a stamp: a 1-byte tag, then either the full matrix
-    /// (width + cells), the update list (count + triples), or — for the
-    /// zero-byte group-commit continuation — nothing at all.
+    /// (width + cells), an update list (count + triples; delta and hybrid
+    /// stamps differ only in tag), the reduced row/column vectors plus
+    /// their correction list, or — for the zero-byte group-commit
+    /// continuation — nothing at all.
     pub fn stamp(&mut self, v: &Stamp) -> &mut Self {
         match v {
             Stamp::Full(m) => {
@@ -143,6 +145,34 @@ impl Encoder {
             // Tag 2 is taken by "no stamp" in `stamp_opt`.
             Stamp::GroupNext => {
                 self.u8(3);
+            }
+            Stamp::Reduced { row, col, extra } => {
+                self.u8(4);
+                // The row and column are always domain-width, so one count
+                // covers both dense vectors.
+                self.count(row.len());
+                debug_assert_eq!(row.len(), col.len());
+                for v in row {
+                    self.u64(*v);
+                }
+                for v in col {
+                    self.u64(*v);
+                }
+                self.count(extra.len());
+                for e in extra {
+                    self.u16(e.row);
+                    self.u16(e.col);
+                    self.u64(e.value);
+                }
+            }
+            Stamp::Hybrid(entries) => {
+                self.u8(5);
+                self.count(entries.len());
+                for e in entries {
+                    self.u16(e.row);
+                    self.u16(e.col);
+                    self.u64(e.value);
+                }
             }
         }
         self
@@ -284,22 +314,38 @@ impl Decoder {
                 }
                 Ok(Stamp::Full(m))
             }
-            1 => {
-                let count = self.u32()? as usize;
-                self.need(count * UpdateEntry::WIRE_LEN, "update entries")?;
-                let mut entries = Vec::with_capacity(count);
-                for _ in 0..count {
-                    entries.push(UpdateEntry {
-                        row: self.buf.get_u16_le(),
-                        col: self.buf.get_u16_le(),
-                        value: self.buf.get_u64_le(),
-                    });
-                }
-                Ok(Stamp::Delta(entries))
-            }
+            1 => Ok(Stamp::Delta(self.update_entries()?)),
             3 => Ok(Stamp::GroupNext),
+            4 => {
+                let n = self.u32()? as usize;
+                if n == 0 || n > u16::MAX as usize {
+                    return Err(Error::Codec(format!("invalid reduced stamp width {n}")));
+                }
+                self.need(2 * n * 8, "reduced stamp vectors")?;
+                let row = (0..n).map(|_| self.buf.get_u64_le()).collect();
+                let col = (0..n).map(|_| self.buf.get_u64_le()).collect();
+                let extra = self.update_entries()?;
+                Ok(Stamp::Reduced { row, col, extra })
+            }
+            5 => Ok(Stamp::Hybrid(self.update_entries()?)),
             tag => Err(Error::Codec(format!("unknown stamp tag {tag}"))),
         }
+    }
+
+    /// Reads a counted list of modified-entry triples, shared by the delta,
+    /// reduced (correction set) and hybrid stamp encodings.
+    fn update_entries(&mut self) -> Result<Vec<UpdateEntry>> {
+        let count = self.u32()? as usize;
+        self.need(count * UpdateEntry::WIRE_LEN, "update entries")?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(UpdateEntry {
+                row: self.buf.get_u16_le(),
+                col: self.buf.get_u16_le(),
+                value: self.buf.get_u64_le(),
+            });
+        }
+        Ok(entries)
     }
 }
 
@@ -394,6 +440,54 @@ mod tests {
         let mut d = Decoder::new(e.finish());
         assert_eq!(d.stamp_opt().unwrap(), Some(Stamp::GroupNext));
         assert_eq!(d.stamp_opt().unwrap(), None);
+    }
+
+    #[test]
+    fn reduced_stamp_roundtrip_and_size() {
+        let stamp = Stamp::Reduced {
+            row: vec![1, 0, 3],
+            col: vec![0, 2, 0],
+            extra: vec![UpdateEntry {
+                row: 2,
+                col: 1,
+                value: 9,
+            }],
+        };
+        let mut e = Encoder::new();
+        e.stamp(&stamp);
+        assert_eq!(e.len(), stamp.encoded_len() + 1);
+        let decoded = Decoder::new(e.finish()).stamp().unwrap();
+        assert_eq!(decoded, stamp);
+    }
+
+    #[test]
+    fn hybrid_stamp_roundtrip_and_size() {
+        let stamp = Stamp::Hybrid(vec![
+            UpdateEntry {
+                row: 0,
+                col: 1,
+                value: 5,
+            },
+            UpdateEntry {
+                row: 4,
+                col: 0,
+                value: 1,
+            },
+        ]);
+        let mut e = Encoder::new();
+        e.stamp(&stamp);
+        assert_eq!(e.len(), stamp.encoded_len() + 1);
+        let decoded = Decoder::new(e.finish()).stamp().unwrap();
+        assert_eq!(decoded, stamp);
+        // Hybrid and delta stamps must not decode into each other.
+        assert!(decoded.kind() == "Hybrid");
+    }
+
+    #[test]
+    fn reduced_stamp_rejects_absurd_width() {
+        let mut e = Encoder::new();
+        e.u8(4).count(0);
+        assert!(Decoder::new(e.finish()).stamp().is_err());
     }
 
     #[test]

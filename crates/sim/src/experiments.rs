@@ -333,4 +333,14 @@ mod tests {
             .unwrap();
         assert!(upd * 5.0 < full, "updates {upd}B vs full {full}B");
     }
+
+    #[test]
+    fn bounded_stamp_modes_much_smaller_than_full() {
+        let spec = || TopologySpec::single_domain(20);
+        let full = stamp_bytes_per_message(spec(), StampMode::Full, 10).unwrap();
+        for mode in [StampMode::Reduced, StampMode::Hybrid] {
+            let bytes = stamp_bytes_per_message(spec(), mode, 10).unwrap();
+            assert!(bytes * 5.0 < full, "{mode} {bytes}B vs full {full}B");
+        }
+    }
 }

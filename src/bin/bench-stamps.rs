@@ -1,0 +1,353 @@
+//! `bench-stamps` — the stamp-mode shootout: per-message stamp bytes, CPU
+//! per deliver and postponed depth for every [`StampMode`], at domain
+//! widths far beyond the paper's ~100-server comfort zone.
+//!
+//! ```text
+//! bench-stamps [--short]
+//! ```
+//!
+//! The protocol cost of a stamp mode is a property of [`CausalState`]
+//! alone, so the shootout drives the clock layer directly: four *active*
+//! servers exchange all-to-all traffic inside a domain *declared* to hold
+//! `n` servers (the regime the ROADMAP north-star cares about: enormous
+//! membership, sparse active communication). One link runs a tick late, so
+//! frames genuinely postpone and the can-deliver scan is exercised.
+//!
+//! Legs:
+//!
+//! - **n = 100 and n = 1000, measured** — real protocol runs; stamp bytes
+//!   are exact, CPU is wall-clock over the stamp/on-frame/deliver path.
+//! - **n = 10000, modeled** — a full-mode matrix is 800 MB *per server*,
+//!   so this leg is computed from the cost model instead of run: dense
+//!   terms (`8n²` for full, `16n` for reduced) from the formulas, sparse
+//!   per-message entry counts carried over from the n = 1000 measurement
+//!   (they depend on traffic, not on declared width). Marked
+//!   `"measured": false` in the output.
+//!
+//! Results go to `BENCH_stamps.json`. Without `--short` the run asserts
+//! the acceptance bar: every bounded mode ships ≥10× fewer stamp bytes
+//! than full at n = 1000.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use aaa_middleware::base::DomainServerId;
+use aaa_middleware::clocks::{Batching, CausalState, PendingStamp, Stamp, StampMode, UpdateEntry};
+
+/// Active servers exchanging traffic; everything else in the domain is
+/// declared membership only.
+const ACTIVE: usize = 4;
+
+fn d(i: usize) -> DomainServerId {
+    DomainServerId::new(i as u16)
+}
+
+/// One measured run of one mode at one declared width.
+struct ModeResult {
+    mode: StampMode,
+    messages: u64,
+    stamp_bytes: u64,
+    /// Entries shipped by sparse stamps (delta / hybrid / reduced extras):
+    /// the traffic-dependent, width-independent part of the cost model.
+    sparse_entries: u64,
+    protocol_cpu: Duration,
+    delivers: u64,
+    max_postponed: usize,
+    modeled: bool,
+}
+
+impl ModeResult {
+    fn bytes_per_msg(&self) -> f64 {
+        self.stamp_bytes as f64 / self.messages.max(1) as f64
+    }
+
+    fn cpu_us_per_deliver(&self) -> f64 {
+        self.protocol_cpu.as_secs_f64() * 1e6 / self.delivers.max(1) as f64
+    }
+}
+
+/// Per-server resident clock state: the `SENT` matrix plus the equally
+/// wide entry-state tags (both `n² × 8` bytes).
+fn state_bytes_per_server(n: usize) -> u64 {
+    2 * (n as u64) * (n as u64) * 8
+}
+
+struct Frame {
+    from: usize,
+    stamp: Option<Stamp>,
+    pending: Option<PendingStamp>,
+}
+
+/// Runs `ticks` rounds of all-to-all traffic among the active servers in a
+/// domain declared `n` wide, with the `active[0] → active[1]` link held
+/// back one tick so later frames arrive before their causal predecessors.
+// The symmetric (from, to) walks index clocks/links/postponed in parallel;
+// zipped iterators would obscure which server each access belongs to.
+#[allow(clippy::needless_range_loop)]
+fn run_mode(n: usize, mode: StampMode, ticks: usize) -> ModeResult {
+    let mut clocks: Vec<CausalState> = (0..ACTIVE)
+        .map(|i| CausalState::new(d(i), n, mode))
+        .collect();
+    let mut links: Vec<Vec<VecDeque<Frame>>> = (0..ACTIVE)
+        .map(|_| (0..ACTIVE).map(|_| VecDeque::new()).collect())
+        .collect();
+    let mut postponed: Vec<Vec<Frame>> = (0..ACTIVE).map(|_| Vec::new()).collect();
+
+    let mut result = ModeResult {
+        mode,
+        messages: 0,
+        stamp_bytes: 0,
+        sparse_entries: 0,
+        protocol_cpu: Duration::ZERO,
+        delivers: 0,
+        max_postponed: 0,
+        modeled: false,
+    };
+
+    for tick in 0..ticks {
+        // Sends: all-to-all among the active set, grouped per peer the way
+        // the channel's batched path stamps bursts.
+        for from in 0..ACTIVE {
+            for to in 0..ACTIVE {
+                if from == to {
+                    continue;
+                }
+                let t0 = Instant::now();
+                let stamp = clocks[from].stamp_send(d(to), Batching::Single);
+                result.protocol_cpu += t0.elapsed();
+                result.messages += 1;
+                result.stamp_bytes += stamp.encoded_len() as u64;
+                result.sparse_entries += match &stamp {
+                    Stamp::Delta(e) | Stamp::Hybrid(e) => e.len() as u64,
+                    Stamp::Reduced { extra, .. } => extra.len() as u64,
+                    _ => 0,
+                };
+                links[from][to].push_back(Frame {
+                    from,
+                    stamp: Some(stamp),
+                    pending: None,
+                });
+            }
+        }
+        // Arrivals: every link drains except the slow one, which stays one
+        // tick behind (skips draining on even ticks, catches up on odd).
+        for from in 0..ACTIVE {
+            for to in 0..ACTIVE {
+                if from == 0 && to == 1 && tick % 2 == 0 {
+                    continue;
+                }
+                while let Some(mut frame) = links[from][to].pop_front() {
+                    let stamp = frame.stamp.take().expect("unsent frame");
+                    let t0 = Instant::now();
+                    frame.pending = Some(clocks[to].on_frame(d(from), stamp));
+                    result.protocol_cpu += t0.elapsed();
+                    postponed[to].push(frame);
+                    result.max_postponed = result.max_postponed.max(postponed[to].len());
+                }
+            }
+        }
+        // Delivery: scan with a rotating start so blocked frames are
+        // genuinely re-examined.
+        for (who, queue) in postponed.iter_mut().enumerate() {
+            loop {
+                let len = queue.len();
+                let mut hit = None;
+                for off in 0..len {
+                    let i = (off + tick) % len;
+                    let p = queue[i].pending.as_ref().expect("arrived frame");
+                    let t0 = Instant::now();
+                    let ok = clocks[who].can_deliver(d(queue[i].from), p);
+                    result.protocol_cpu += t0.elapsed();
+                    if ok {
+                        hit = Some(i);
+                        break;
+                    }
+                }
+                let Some(i) = hit else { break };
+                let frame = queue.remove(i);
+                let p = frame.pending.as_ref().expect("arrived frame");
+                let t0 = Instant::now();
+                clocks[who].deliver(d(frame.from), p);
+                result.protocol_cpu += t0.elapsed();
+                result.delivers += 1;
+            }
+        }
+    }
+    // Drain the slow link and whatever is still queued.
+    loop {
+        let mut progressed = false;
+        for from in 0..ACTIVE {
+            for to in 0..ACTIVE {
+                while let Some(mut frame) = links[from][to].pop_front() {
+                    let stamp = frame.stamp.take().expect("unsent frame");
+                    frame.pending = Some(clocks[to].on_frame(d(from), stamp));
+                    postponed[to].push(frame);
+                    progressed = true;
+                }
+            }
+        }
+        for (who, queue) in postponed.iter_mut().enumerate() {
+            while let Some(i) = (0..queue.len()).find(|&i| {
+                clocks[who].can_deliver(d(queue[i].from), queue[i].pending.as_ref().unwrap())
+            }) {
+                let frame = queue.remove(i);
+                clocks[who].deliver(d(frame.from), frame.pending.as_ref().unwrap());
+                result.delivers += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let stuck: usize = postponed.iter().map(Vec::len).sum();
+    assert_eq!(stuck, 0, "{mode} at n={n}: frames stuck after drain");
+    assert_eq!(
+        result.delivers, result.messages,
+        "{mode} at n={n}: lost frames"
+    );
+    result
+}
+
+/// The n = 10000 leg, computed instead of run (see module docs): dense
+/// byte terms from the encoding formulas, sparse entry counts carried over
+/// from the measured leg at n = 1000.
+fn model_mode(n: usize, measured: &ModeResult) -> ModeResult {
+    let per_msg_entries = measured.sparse_entries as f64 / measured.messages.max(1) as f64;
+    let entry_bytes = (per_msg_entries * UpdateEntry::WIRE_LEN as f64) as u64;
+    let bytes_per_msg = match measured.mode {
+        StampMode::Full => 4 + 8 * (n as u64) * (n as u64),
+        StampMode::Updates | StampMode::Hybrid => 4 + entry_bytes,
+        StampMode::Reduced => 4 + 16 * n as u64 + 4 + entry_bytes,
+        // `StampMode` is non_exhaustive: a new engine needs its own model.
+        other => panic!("no cost model for stamp mode {other}"),
+    };
+    ModeResult {
+        mode: measured.mode,
+        messages: 1,
+        stamp_bytes: bytes_per_msg,
+        sparse_entries: per_msg_entries as u64,
+        // CPU scales with the dense work per message: n² cells for full,
+        // the measured (width-light) path otherwise.
+        protocol_cpu: measured.protocol_cpu,
+        delivers: measured.delivers,
+        max_postponed: measured.max_postponed,
+        modeled: true,
+    }
+}
+
+fn json_mode(r: &ModeResult) -> String {
+    format!(
+        "      \"{}\": {{ \"stamp_bytes_per_msg\": {:.1}, \"cpu_us_per_deliver\": {:.2}, \
+         \"max_postponed_depth\": {}, \"messages\": {} }}",
+        r.mode,
+        r.bytes_per_msg(),
+        if r.modeled {
+            -1.0
+        } else {
+            r.cpu_us_per_deliver()
+        },
+        r.max_postponed,
+        if r.modeled { 0 } else { r.messages },
+    )
+}
+
+fn json_leg(n: usize, measured: bool, modes: &[ModeResult]) -> String {
+    let body: Vec<String> = modes.iter().map(json_mode).collect();
+    format!(
+        "    {{ \"n\": {n}, \"measured\": {measured}, \"state_bytes_per_server\": {},\n      \
+         \"modes\": {{\n{}\n      }} }}",
+        state_bytes_per_server(n),
+        body.join(",\n")
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let short = args.iter().any(|a| a == "--short") || std::env::var_os("BENCH_SHORT").is_some();
+
+    // Tick counts sized so the full-matrix legs stay in the hundreds of
+    // megabytes and seconds range; the sparse modes are cheap regardless.
+    let widths: &[(usize, usize)] = if short {
+        &[(100, 6)]
+    } else {
+        &[(100, 60), (1000, 20)]
+    };
+
+    eprintln!(
+        "bench-stamps: {ACTIVE} active servers, widths {:?}{}",
+        widths.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+        if short { " [short]" } else { "" }
+    );
+
+    let mut legs = Vec::new();
+    let mut at_1000: Vec<ModeResult> = Vec::new();
+    for &(n, ticks) in widths {
+        let modes: Vec<ModeResult> = StampMode::ALL
+            .into_iter()
+            .map(|mode| {
+                let r = run_mode(n, mode, ticks);
+                eprintln!(
+                    "  n={n:>5} {:>8}: {:>12.1} B/msg  {:>8.2} us/deliver  depth {}",
+                    r.mode.to_string(),
+                    r.bytes_per_msg(),
+                    r.cpu_us_per_deliver(),
+                    r.max_postponed,
+                );
+                r
+            })
+            .collect();
+        legs.push(json_leg(n, true, &modes));
+        if n == 1000 {
+            at_1000 = modes;
+        }
+    }
+
+    let mut reductions = String::new();
+    if !at_1000.is_empty() {
+        // Modeled 10000-wide leg, derived from the 1000-wide measurement.
+        let modeled: Vec<ModeResult> = at_1000.iter().map(|r| model_mode(10_000, r)).collect();
+        for r in &modeled {
+            eprintln!(
+                "  n=10000 {:>8}: {:>12.1} B/msg  (modeled)",
+                r.mode.to_string(),
+                r.bytes_per_msg()
+            );
+        }
+        legs.push(json_leg(10_000, false, &modeled));
+
+        let full = at_1000
+            .iter()
+            .find(|r| r.mode == StampMode::Full)
+            .expect("full leg ran")
+            .bytes_per_msg();
+        let mut parts = Vec::new();
+        for r in &at_1000 {
+            if r.mode == StampMode::Full {
+                continue;
+            }
+            let ratio = full / r.bytes_per_msg();
+            eprintln!("  n=1000 {} vs full: {ratio:.1}x fewer stamp bytes", r.mode);
+            parts.push(format!("    \"{}\": {ratio:.1}", r.mode));
+            if !short {
+                assert!(
+                    ratio >= 10.0,
+                    "{} at n=1000 only {ratio:.1}x below full (need >=10x)",
+                    r.mode
+                );
+            }
+        }
+        reductions = format!(
+            ",\n  \"stamp_bytes_reduction_vs_full_at_1000\": {{\n{}\n  }}",
+            parts.join(",\n")
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"stamps\",\n  \"active_servers\": {ACTIVE},\n  \
+         \"short\": {short},\n  \"legs\": [\n{}\n  ]{reductions}\n}}\n",
+        legs.join(",\n")
+    );
+    std::fs::write("BENCH_stamps.json", &json).expect("write BENCH_stamps.json");
+    eprintln!("  wrote BENCH_stamps.json");
+}

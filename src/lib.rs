@@ -76,7 +76,9 @@ pub mod prelude {
     pub use aaa_base::{
         Absorb, AgentId, DomainId, Error, MessageId, Result, ServerId, VDuration, VTime,
     };
-    pub use aaa_clocks::StampMode;
+    pub use aaa_clocks::{
+        Batching, ClockEngine, FullEngine, HybridEngine, ReducedEngine, StampMode, UpdatesEngine,
+    };
     pub use aaa_mom::{
         Agent, AgentMessage, BatchPolicy, DeliveryPolicy, EchoAgent, FnAgent, Mom, MomBuilder,
         Notification, ReactionContext, SendOptions, ServerConfig, StepStats,
