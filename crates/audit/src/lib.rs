@@ -125,6 +125,10 @@ pub struct Config {
     pub step_entries: Vec<&'static str>,
     /// Function names considered blocking inside the step.
     pub step_blocking: Vec<&'static str>,
+    /// Path prefix whose `pub` items are pinned by `pub-api-drift`.
+    pub api_scope: &'static str,
+    /// Workspace-relative path of the public-API baseline file.
+    pub api_golden: &'static str,
 }
 
 impl Config {
@@ -203,6 +207,11 @@ impl Config {
                 "crates/mom/src/persist.rs",
                 "crates/mom/src/pubsub.rs",
                 "crates/mom/src/agent.rs",
+                // The evented runtime's shard loop and the shared server
+                // driver: one blocking call here stalls a whole shard —
+                // every server multiplexed onto that worker, not just one.
+                "crates/mom/src/runtime/driver.rs",
+                "crates/mom/src/runtime/evented.rs",
                 "crates/net/src/link.rs",
                 "crates/net/src/wire.rs",
                 "crates/clocks/src/",
@@ -215,6 +224,7 @@ impl Config {
                 "client_send_with",
                 "client_send_batch",
                 "flush_links",
+                "run_ready_server",
             ],
             step_blocking: vec![
                 "sleep",
@@ -228,6 +238,8 @@ impl Config {
                 "read_line",
                 "read_to_end",
             ],
+            api_scope: "crates/mom/src/",
+            api_golden: "crates/mom/PUBLIC_API.txt",
         }
     }
 }
@@ -421,6 +433,13 @@ pub fn global_rules(ws: &Workspace, config: &Config) -> Vec<Finding> {
     findings.extend(rules::stamp_flow::check(ws, config));
     findings.extend(rules::error_swallow::check_global(ws, config));
     findings.extend(rules::block_in_step::check(ws, config));
+    let api_text = fs::read_to_string(ws.root.join(config.api_golden)).unwrap_or_default();
+    findings.extend(rules::pub_api::check(
+        ws,
+        config.api_scope,
+        config.api_golden,
+        &api_text,
+    ));
     findings
 }
 
@@ -548,6 +567,23 @@ pub fn apply_suppressions(ws: &Workspace, raw: Vec<Finding>, allow: &Allowlist) 
         stale_allowlist,
         files_scanned,
     }
+}
+
+/// Regenerates the public-API baseline from the live tree
+/// (`--fix-pub-api`): the reviewed way to admit a `pub` surface change.
+/// Returns the number of inventoried items.
+///
+/// # Errors
+///
+/// Propagates filesystem errors loading the tree or writing the baseline.
+pub fn fix_pub_api(root: &Path, config: &Config) -> io::Result<usize> {
+    let ws = Workspace::load(root)?;
+    let inv = rules::pub_api::inventory(&ws, config.api_scope);
+    fs::write(
+        root.join(config.api_golden),
+        rules::pub_api::render_baseline(&inv),
+    )?;
+    Ok(inv.len())
 }
 
 /// Rewrites the allowlist directory to exactly cover today's

@@ -6,6 +6,8 @@
 //!                                            # exit 2 on stale allowlist
 //! cargo run -p aaa-audit -- --fix-allowlist  # snapshot today's findings
 //!                                            # as intentional exceptions
+//! cargo run -p aaa-audit -- --fix-pub-api    # regenerate the aaa-mom
+//!                                            # public-API baseline
 //! cargo run -p aaa-audit -- --root <dir>     # audit another tree
 //! cargo run -p aaa-audit -- --metrics        # also print the Prometheus
 //!                                            # rendering of the findings
@@ -18,13 +20,13 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use aaa_audit::{audit_workspace_with, fix_allowlist, rules, sarif, Config};
+use aaa_audit::{audit_workspace_with, fix_allowlist, fix_pub_api, rules, sarif, Config};
 use aaa_obs::{Meter, Registry};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: aaa-audit [--root DIR] [--fix-allowlist] [--metrics] [--sarif FILE] \
-         [--no-cache] [--quiet]\n\
+        "usage: aaa-audit [--root DIR] [--fix-allowlist] [--fix-pub-api] [--metrics] \
+         [--sarif FILE] [--no-cache] [--quiet]\n\
          exit codes: 0 clean, 1 findings, 2 stale allowlist, 3 usage/io error"
     );
     std::process::exit(3)
@@ -47,6 +49,7 @@ fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut fix = false;
+    let mut fix_api = false;
     let mut metrics = false;
     let mut quiet = false;
     let mut use_cache = true;
@@ -59,6 +62,7 @@ fn main() -> ExitCode {
                 None => usage(),
             },
             "--fix-allowlist" => fix = true,
+            "--fix-pub-api" => fix_api = true,
             "--metrics" => metrics = true,
             "--sarif" => match args.next() {
                 Some(path) => sarif_out = Some(PathBuf::from(path)),
@@ -72,6 +76,19 @@ fn main() -> ExitCode {
     }
     let root = workspace_root(root);
     let config = Config::for_aaa_workspace();
+
+    if fix_api {
+        return match fix_pub_api(&root, &config) {
+            Ok(n) => {
+                println!("{} regenerated: {n} pub item(s)", config.api_golden);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("aaa-audit: {e}");
+                ExitCode::from(3)
+            }
+        };
+    }
 
     if fix {
         return match fix_allowlist(&root, &config) {

@@ -14,6 +14,7 @@ pub mod lock_across_send;
 pub mod match_drift;
 pub mod metric_drift;
 pub mod panic_freedom;
+pub mod pub_api;
 pub mod stamp_flow;
 pub mod wire_cast;
 
@@ -37,6 +38,8 @@ pub const CLOCK_OVERFLOW: &str = "clock-overflow";
 pub const ERROR_SWALLOW: &str = "error-swallow";
 /// Rule id: no blocking calls reachable from the batched server step.
 pub const BLOCK_IN_STEP: &str = "block-in-step";
+/// Rule id: aaa-mom's `pub` surface matches its committed baseline.
+pub const PUB_API: &str = "pub-api-drift";
 
 /// Every rule id, in reporting order.
 pub const ALL_RULES: &[&str] = &[
@@ -50,6 +53,7 @@ pub const ALL_RULES: &[&str] = &[
     CLOCK_OVERFLOW,
     ERROR_SWALLOW,
     BLOCK_IN_STEP,
+    PUB_API,
 ];
 
 /// One-line description per rule id (SARIF `shortDescription`, docs).
@@ -82,6 +86,9 @@ pub fn describe(rule: &str) -> &'static str {
         }
         r if r == BLOCK_IN_STEP => {
             "No blocking calls or .await reachable from the batched server step."
+        }
+        r if r == PUB_API => {
+            "Every pub item in aaa-mom is recorded in the committed PUBLIC_API.txt baseline."
         }
         _ => "Workspace protocol-invariant audit rule.",
     }

@@ -1,0 +1,313 @@
+//! `pub-api-drift`: aaa-mom's public surface changes only by decision.
+//!
+//! PR 7 redesigned the `aaa-mom` builder API from thirteen accreted
+//! setters into the typed config trio — and the lesson of how those
+//! thirteen got there is that public items accrete one innocent `pub` at
+//! a time, each skipping the "should the prelude re-export this? is it
+//! documented?" conversation. This rule pins the crate's `pub` item
+//! inventory to a committed baseline (`crates/mom/PUBLIC_API.txt`):
+//! adding a `pub` item without touching the baseline fails the audit, so
+//! every surface change shows up in review as an explicit baseline diff.
+//!
+//! Mechanically: scan every file under the configured scope for `pub`
+//! items at module top level (brace depth zero — `impl` methods and
+//! struct fields ride on their parent item's visibility and are not
+//! separately inventoried), expand `pub use` trees into their re-exported
+//! leaf names, and diff the sorted inventory against the baseline.
+//! `pub(crate)`/`pub(super)` items are internal and exempt. Refresh the
+//! baseline with `cargo run -p aaa-audit -- --fix-pub-api`.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::{Finding, Workspace};
+
+/// Item keywords that can follow `pub` and carry a name.
+const ITEM_KINDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
+];
+
+/// Modifier keywords to skip between `pub` and the item keyword.
+const MODIFIERS: &[&str] = &["unsafe", "async", "extern"];
+
+/// One inventoried `pub` item: `(baseline entry, defining line)`.
+type Inventory = BTreeMap<String, (String, u32)>;
+
+/// Collects the `pub` item inventory of every in-scope file, keyed by the
+/// baseline entry string (`<file>: <kind> <name>`).
+pub fn inventory(ws: &Workspace, scope: &str) -> Inventory {
+    let mut out = Inventory::new();
+    for file in ws.files.iter().filter(|f| f.rel.starts_with(scope)) {
+        scan_file(file, &mut out);
+    }
+    out
+}
+
+fn scan_file(file: &SourceFile, out: &mut Inventory) {
+    let toks = &file.toks;
+    let mut depth = 0i32;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            continue;
+        }
+        if depth != 0
+            || !t.is_ident("pub")
+            || file.test_mask.get(i).copied().unwrap_or(false)
+            // `pub(crate)` / `pub(super)` / `pub(in ...)`: internal.
+            || toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+        {
+            continue;
+        }
+        let mut j = i + 1;
+        while toks
+            .get(j)
+            .map(|t| MODIFIERS.contains(&t.text.as_str()))
+            .unwrap_or(false)
+        {
+            j += 1;
+            // `pub extern "C" fn`: step over the ABI string.
+            if toks.get(j).map(|t| t.kind == TokKind::Str).unwrap_or(false) {
+                j += 1;
+            }
+        }
+        let Some(kind_tok) = toks.get(j) else {
+            continue;
+        };
+        if kind_tok.is_ident("use") {
+            for (name, line) in use_tree_names(file, j + 1) {
+                out.entry(format!("{}: use {name}", file.rel))
+                    .or_insert((file.rel.clone(), line));
+            }
+            continue;
+        }
+        let mut kind = kind_tok.text.clone();
+        let mut name_at = j + 1;
+        // `pub const fn f` is a fn; `pub const X` is a const.
+        if kind == "const" && toks.get(j + 1).map(|t| t.is_ident("fn")).unwrap_or(false) {
+            kind = "fn".to_owned();
+            name_at = j + 2;
+        }
+        if !ITEM_KINDS.contains(&kind.as_str()) {
+            continue; // `pub` in a position we do not inventory (macros etc.)
+        }
+        let Some(name_tok) = toks.get(name_at) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        out.entry(format!("{}: {kind} {}", file.rel, name_tok.text))
+            .or_insert((file.rel.clone(), name_tok.line));
+    }
+}
+
+/// Re-exported leaf names of one `pub use` tree starting at token `start`
+/// (just after `use`), each with its line. `as` aliases export the alias;
+/// `self` in a brace group exports the enclosing path segment; globs
+/// export `<segment>::*`.
+fn use_tree_names(file: &SourceFile, start: usize) -> Vec<(String, u32)> {
+    let toks = &file.toks;
+    let mut names = Vec::new();
+    // Path segment owning each open brace group (`runtime::{...}` → the
+    // `runtime` frame), so `self` resolves to its enclosing segment.
+    let mut owners: Vec<Option<(String, u32)>> = Vec::new();
+    let mut last: Option<(String, u32)> = None; // most recent path ident
+    let mut j = start;
+    while let Some(t) = toks.get(j) {
+        if t.is_punct(';') {
+            break;
+        }
+        if t.kind == TokKind::Ident {
+            if t.is_ident("as") {
+                // Alias: the next plain ident simply replaces the leaf.
+            } else if t.is_ident("self") {
+                // `x::y::{self, ..}` re-exports `y`.
+                last = owners.last().cloned().flatten();
+            } else {
+                last = Some((t.text.clone(), t.line));
+            }
+        } else if t.is_punct('{') {
+            owners.push(last.take());
+        } else if t.is_punct('*') {
+            let owner = last.take().or_else(|| owners.last().cloned().flatten());
+            if let Some((seg, line)) = owner {
+                names.push((format!("{seg}::*"), line));
+            }
+        } else if t.is_punct(',') {
+            if let Some(leaf) = last.take() {
+                names.push(leaf);
+            }
+        } else if t.is_punct('}') {
+            if let Some(leaf) = last.take() {
+                names.push(leaf);
+            }
+            owners.pop();
+        }
+        j += 1;
+    }
+    if let Some(leaf) = last.take() {
+        names.push(leaf);
+    }
+    names
+}
+
+/// Parses the committed baseline: one entry per line, `#` comments and
+/// blanks skipped. Returns entry → 1-based line.
+fn baseline_entries(text: &str) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.entry(line.to_owned()).or_insert(idx as u32 + 1);
+    }
+    out
+}
+
+/// Renders the baseline file content for the current inventory
+/// (`--fix-pub-api`).
+pub fn render_baseline(inv: &Inventory) -> String {
+    let mut out = String::from(
+        "# aaa-mom public API baseline — one `pub` item per line.\n\
+         # The pub-api-drift audit rule fails when the crate's `pub` surface\n\
+         # diverges from this file: adding a public item is a reviewed decision\n\
+         # (prelude re-export? documented?), not a side effect. Refresh with\n\
+         #     cargo run -p aaa-audit -- --fix-pub-api\n",
+    );
+    for entry in inv.keys() {
+        out.push_str(entry);
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs the rule: diffs the live inventory against `golden_text` (the
+/// committed baseline at `golden_path`).
+pub fn check(ws: &Workspace, scope: &str, golden_path: &str, golden_text: &str) -> Vec<Finding> {
+    let inv = inventory(ws, scope);
+    let baseline = baseline_entries(golden_text);
+    let mut out = Vec::new();
+    for (entry, (file, line)) in &inv {
+        if !baseline.contains_key(entry) {
+            let sf = ws.file(file);
+            out.push(Finding {
+                rule: super::PUB_API,
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "new public item `{entry}` is not in the {golden_path} baseline — decide \
+                     its exposure (prelude re-export? docs?) and refresh with \
+                     `cargo run -p aaa-audit -- --fix-pub-api`"
+                ),
+                line_text: sf
+                    .map(|s| s.trimmed_line(*line).to_owned())
+                    .unwrap_or_default(),
+            });
+        }
+    }
+    for (entry, line) in &baseline {
+        if !inv.contains_key(entry) {
+            out.push(Finding {
+                rule: super::PUB_API,
+                file: golden_path.to_owned(),
+                line: *line,
+                message: format!(
+                    "baseline records `{entry}` but the item no longer exists — stale after \
+                     a removal or rename; refresh with `cargo run -p aaa-audit -- --fix-pub-api`"
+                ),
+                line_text: entry.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::from_files(vec![("crates/mom/src/lib.rs".into(), src.into())])
+    }
+
+    #[test]
+    fn inventory_covers_items_and_use_trees() {
+        let w = ws("pub struct A;\n\
+                    pub fn go() {}\n\
+                    pub const fn cf() {}\n\
+                    pub const MAX: u8 = 1;\n\
+                    pub use runtime::{Mom, config::RuntimeConfig as RC, kinds::{self}};\n\
+                    pub(crate) fn hidden() {}\n\
+                    fn private() {}\n");
+        let inv = inventory(&w, "crates/mom/src/");
+        let keys: Vec<&String> = inv.keys().collect();
+        assert_eq!(
+            keys,
+            vec![
+                "crates/mom/src/lib.rs: const MAX",
+                "crates/mom/src/lib.rs: fn cf",
+                "crates/mom/src/lib.rs: fn go",
+                "crates/mom/src/lib.rs: struct A",
+                "crates/mom/src/lib.rs: use Mom",
+                "crates/mom/src/lib.rs: use RC",
+                "crates/mom/src/lib.rs: use kinds",
+            ],
+            "{inv:?}"
+        );
+    }
+
+    #[test]
+    fn impl_methods_and_fields_are_not_inventoried() {
+        let w = ws("pub struct A { pub field: u8 }\n\
+                    impl A { pub fn method(&self) {} }\n");
+        let inv = inventory(&w, "crates/mom/src/");
+        assert_eq!(inv.len(), 1, "{inv:?}");
+        assert!(inv.contains_key("crates/mom/src/lib.rs: struct A"));
+    }
+
+    #[test]
+    fn matching_baseline_is_clean() {
+        let w = ws("pub struct A;\npub fn go() {}\n");
+        let golden = "# header\ncrates/mom/src/lib.rs: fn go\ncrates/mom/src/lib.rs: struct A\n";
+        let f = check(&w, "crates/mom/src/", "PUBLIC_API.txt", golden);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn new_item_without_baseline_entry_is_flagged() {
+        let w = ws("pub struct A;\npub fn sneaky_new_api() {}\n");
+        let golden = "crates/mom/src/lib.rs: struct A\n";
+        let f = check(&w, "crates/mom/src/", "PUBLIC_API.txt", golden);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("sneaky_new_api"));
+        assert_eq!(f[0].file, "crates/mom/src/lib.rs");
+        assert!(f[0].line > 0);
+    }
+
+    #[test]
+    fn stale_baseline_entry_is_flagged() {
+        let w = ws("pub struct A;\n");
+        let golden = "crates/mom/src/lib.rs: struct A\ncrates/mom/src/lib.rs: fn removed\n";
+        let f = check(&w, "crates/mom/src/", "PUBLIC_API.txt", golden);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("no longer exists"));
+        assert_eq!(f[0].file, "PUBLIC_API.txt");
+    }
+
+    #[test]
+    fn render_roundtrips_through_check() {
+        let w = ws("pub struct A;\npub use x::{Y, z::W as V};\n");
+        let inv = inventory(&w, "crates/mom/src/");
+        let golden = render_baseline(&inv);
+        let f = check(&w, "crates/mom/src/", "PUBLIC_API.txt", &golden);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -8,7 +8,7 @@
 
 use aaa_base::{AgentId, ServerId, VDuration};
 use aaa_mom::{EchoAgent, Notification, ServerConfig, StampMode};
-use aaa_sim::{CostModel, FaultConfig, Simulation};
+use aaa_sim::{CostModel, FaultPlan, Simulation};
 use aaa_topology::TopologySpec;
 use aaa_trace::TraceRecorder;
 
@@ -19,14 +19,11 @@ fn run(drop: f64) -> (f64, u64, usize, bool) {
         rto: VDuration::from_millis(80),
         ..ServerConfig::default()
     };
-    let mut sim = Simulation::with_faults(
+    let mut sim = Simulation::with_fault_plan(
         topo,
         config,
         CostModel::paper_calibrated(),
-        FaultConfig {
-            drop_probability: drop,
-            seed: 42,
-        },
+        FaultPlan::drop_only(drop, 42),
     )
     .expect("sim builds");
     let recorder = TraceRecorder::new();

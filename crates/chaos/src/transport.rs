@@ -27,10 +27,9 @@ use std::sync::Arc;
 use aaa_base::{Result, ServerId};
 use aaa_net::health::{PeerHealth, PeerState};
 use aaa_net::memory::Incoming;
-use aaa_net::Transport;
+use aaa_net::{ReadyNotifier, Transport};
 use aaa_obs::Meter;
 use bytes::Bytes;
-use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 
 use crate::plan::{FaultAction, FaultInjector, FaultPlan, FaultStats, LinkFaults, Partition};
@@ -235,17 +234,19 @@ impl<T: Transport> Transport for FaultTransport<T> {
         self.apply(to, action, batch)
     }
 
-    fn inbox_receiver(&self) -> &Receiver<Incoming> {
-        self.inner.inbox_receiver()
+    fn poll_recv(&self) -> Result<Option<Incoming>> {
+        // Faults are injected on the send side only; the receive path
+        // forwards unmodified so retransmitted repairs always get through.
+        self.inner.poll_recv()
+    }
+
+    fn set_ready_notifier(&mut self, notifier: ReadyNotifier) {
+        self.inner.set_ready_notifier(notifier);
     }
 
     fn attach_meter(&mut self, meter: &Meter) {
         self.inner.attach_meter(meter);
         self.health.attach_meter(meter);
-    }
-
-    fn record_rx(&self, from: ServerId, len: usize) {
-        self.inner.record_rx(from, len);
     }
 
     fn peer_state(&self, to: ServerId) -> PeerState {

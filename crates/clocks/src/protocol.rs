@@ -165,13 +165,6 @@ impl CausalState {
         dispatch_mut!(self, e => e.stamp_send(to, batching))
     }
 
-    /// Deprecated alias for [`CausalState::stamp_send`] with
-    /// [`Batching::Grouped`].
-    #[deprecated(since = "0.1.0", note = "use stamp_send(to, Batching::Grouped)")]
-    pub fn stamp_send_batched(&mut self, to: DomainServerId) -> Stamp {
-        self.stamp_send(to, Batching::Grouped)
-    }
-
     /// Ingests a frame arriving from `from` (in link order) and returns the
     /// message's reconstructed stamp. Must be called exactly once per frame,
     /// in arrival order — the reliable link layer guarantees FIFO, which
@@ -446,10 +439,10 @@ mod tests {
     fn deprecated_batched_alias_still_groups() {
         let mut a = CausalState::new(d(0), 2, StampMode::Updates);
         #[allow(deprecated)]
-        let first = a.stamp_send_batched(d(1));
+        let first = a.stamp_send(d(1), Batching::Grouped);
         assert!(!first.is_group_next());
         #[allow(deprecated)]
-        let second = a.stamp_send_batched(d(1));
+        let second = a.stamp_send(d(1), Batching::Grouped);
         assert!(second.is_group_next());
     }
 

@@ -23,9 +23,12 @@
 //! - sans-IO cores: [`ChannelCore`](channel::ChannelCore),
 //!   [`EngineCore`], [`ServerCore`] — deterministic
 //!   state machines, also driven by the `aaa-sim` discrete-event simulator;
-//! - the threaded runtime: [`MomBuilder`] / [`Mom`] — one thread per
-//!   server over an in-memory network, the form examples and integration
-//!   tests use.
+//! - the runtimes: [`MomBuilder`] / [`Mom`] — either one thread per
+//!   server ([`RuntimeKind::Threaded`]) or N event-loop shards driving
+//!   every server over a fixed worker pool
+//!   ([`RuntimeKind::Evented`]), both over a pluggable byte transport
+//!   (in-memory, pairwise TCP, or shard-multiplexed TCP; see
+//!   [`NetConfig`]).
 //!
 //! # Example: causal ping-pong across domains
 //!
@@ -66,5 +69,7 @@ pub use agent::{Agent, EchoAgent, FnAgent, ReactionContext};
 pub use domain_item::DomainItem;
 pub use engine::EngineCore;
 pub use message::{AgentMessage, DeliveryPolicy, Notification, SendOptions};
-pub use runtime::{Mom, MomBuilder};
+pub use runtime::{
+    ClockConfig, Mom, MomBuilder, NetConfig, RuntimeConfig, RuntimeKind, TransportKind,
+};
 pub use server::{ServerConfig, ServerCore, StepStats, Transmission};

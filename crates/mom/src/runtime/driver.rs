@@ -1,0 +1,293 @@
+//! The runtime-agnostic server shell.
+//!
+//! A [`ServerDriver`] owns everything one server needs besides the
+//! execution substrate: the sans-IO [`ServerCore`], its stable store,
+//! trace/metrics attachments, cumulative statistics and the probe
+//! throttle for down peers. Both runtimes drive the same methods —
+//! [`ServerDriver::handle_command`] for client commands,
+//! [`ServerDriver::on_batch`] for drained datagrams and
+//! [`ServerDriver::tick`] for timers — so protocol behaviour is
+//! identical whether a server has a dedicated thread or shares an
+//! event-loop shard with a thousand others.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicI64;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aaa_base::{Absorb, Error, Result, ServerId, VTime};
+use aaa_net::PeerState;
+use aaa_obs::{LatencyTracker, Meter};
+use aaa_storage::StableStore;
+use aaa_topology::Topology;
+use aaa_trace::TraceRecorder;
+
+use super::{respond, Command, Transport};
+use crate::agent::Agent;
+use crate::server::{ServerConfig, ServerCore, StepStats, Transmission};
+
+/// While a peer is [`PeerState::Down`], at most one transmission run per
+/// this interval goes out to it as a liveness probe; everything else is
+/// suppressed (the link layer re-offers it after recovery) so the step
+/// loop does not hot-spin retransmits into a dead socket.
+const PROBE_INTERVAL: Duration = Duration::from_millis(100);
+
+/// One server's runtime-agnostic state and step logic.
+pub(crate) struct ServerDriver {
+    topology: Arc<Topology>,
+    me: ServerId,
+    config: ServerConfig,
+    store: Arc<dyn StableStore>,
+    recorder: Option<TraceRecorder>,
+    in_flight: Arc<AtomicI64>,
+    obs: Option<(Meter, LatencyTracker)>,
+    core: Option<ServerCore>,
+    cumulative: StepStats,
+    last_probe: HashMap<ServerId, Instant>,
+}
+
+impl ServerDriver {
+    /// Builds the driver with a fresh core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates core construction failures (topology/config mismatch).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        topology: Arc<Topology>,
+        me: ServerId,
+        config: ServerConfig,
+        store: Arc<dyn StableStore>,
+        recorder: Option<TraceRecorder>,
+        in_flight: Arc<AtomicI64>,
+        obs: Option<(Meter, LatencyTracker)>,
+    ) -> Result<ServerDriver> {
+        let mut driver = ServerDriver {
+            topology,
+            me,
+            config,
+            store,
+            recorder,
+            in_flight,
+            obs,
+            core: None,
+            cumulative: StepStats::default(),
+            last_probe: HashMap::new(),
+        };
+        driver.core = Some(driver.fresh(Vec::new())?);
+        Ok(driver)
+    }
+
+    fn attach_obs(&self, core: &mut ServerCore) {
+        if let Some((meter, tracker)) = &self.obs {
+            core.attach_meter(meter);
+            core.set_latency_tracker(tracker.clone());
+        }
+    }
+
+    fn fresh(&self, agents: Vec<(u32, Box<dyn Agent>)>) -> Result<ServerCore> {
+        let mut core = ServerCore::new(&self.topology, self.me, self.config, self.store.clone())?;
+        for (local, agent) in agents {
+            core.register_agent(local, agent);
+        }
+        if let Some(rec) = &self.recorder {
+            core.set_recorder(rec.clone());
+        }
+        core.set_in_flight(self.in_flight.clone());
+        self.attach_obs(&mut core);
+        Ok(core)
+    }
+
+    /// Hands outgoing transmissions to the transport, coalescing
+    /// consecutive same-destination packets through the batch-native
+    /// path and throttling traffic into Down peers to liveness probes.
+    pub(crate) fn transmit(&mut self, endpoint: &dyn Transport, ts: Vec<Transmission>) {
+        let mut i = 0;
+        while i < ts.len() {
+            let to = ts[i].to;
+            let mut j = i + 1;
+            while j < ts.len() && ts[j].to == to {
+                j += 1;
+            }
+            if endpoint.peer_state(to) == PeerState::Down {
+                let probe_due = self
+                    .last_probe
+                    .get(&to)
+                    .is_none_or(|t| t.elapsed() >= PROBE_INTERVAL);
+                if !probe_due {
+                    i = j; // suppressed: the link layer re-offers later
+                    continue;
+                }
+                self.last_probe.insert(to, Instant::now());
+                // Fall through: this run doubles as the liveness probe.
+            }
+            if j - i == 1 {
+                // Best-effort over a lossy transport: a failed wire write is
+                // indistinguishable from packet loss, and the link layer's
+                // retransmission machinery recovers either way.
+                // audit:allow(error-swallow)
+                let _ = endpoint.send(to, ts[i].bytes.clone());
+            } else {
+                let run: Vec<bytes::Bytes> = ts[i..j].iter().map(|t| t.bytes.clone()).collect();
+                // Same as above: batch loss is recovered by retransmission.
+                // audit:allow(error-swallow)
+                let _ = endpoint.send_batch(to, &run);
+            }
+            i = j;
+        }
+    }
+
+    /// Applies one client command. Returns `false` when the command was
+    /// [`Command::Shutdown`] — the driver has already flushed pending
+    /// batches and taken its final group commit; the caller should stop
+    /// driving this server.
+    pub(crate) fn handle_command(
+        &mut self,
+        endpoint: &dyn Transport,
+        cmd: Command,
+        now: VTime,
+    ) -> bool {
+        match cmd {
+            Command::Register {
+                local,
+                agent,
+                reply,
+            } => {
+                if let Some(core) = self.core.as_mut() {
+                    core.register_agent(local, agent);
+                }
+                respond(&reply, ());
+            }
+            Command::Send {
+                from,
+                to,
+                note,
+                opts,
+                reply,
+            } => {
+                let result = match self.core.as_mut() {
+                    Some(core) => core.client_send_with(from, to, note, opts, now),
+                    None => Err(Error::Closed("crashed server")),
+                };
+                let result = result.map(|(id, ts)| {
+                    self.transmit(endpoint, ts);
+                    id
+                });
+                self.take_stats();
+                respond(&reply, result);
+            }
+            Command::SendBatch {
+                from,
+                batch,
+                opts,
+                reply,
+            } => {
+                let result = match self.core.as_mut() {
+                    Some(core) => core.client_send_batch(from, batch, opts, now),
+                    None => Err(Error::Closed("crashed server")),
+                };
+                let result = result.map(|(ids, ts)| {
+                    self.transmit(endpoint, ts);
+                    ids
+                });
+                self.take_stats();
+                respond(&reply, result);
+            }
+            Command::Flush { reply } => {
+                if let Some(core) = self.core.as_mut() {
+                    let ts = core.flush_links();
+                    self.transmit(endpoint, ts);
+                }
+                respond(&reply, ());
+            }
+            Command::Crash => {
+                self.core = None;
+            }
+            Command::Recover { agents, reply } => {
+                let result = ServerCore::recover(
+                    &self.topology,
+                    self.me,
+                    self.config,
+                    self.store.clone(),
+                    agents,
+                    now,
+                )
+                .map(|mut c| {
+                    if let Some(rec) = &self.recorder {
+                        c.set_recorder(rec.clone());
+                    }
+                    c.set_in_flight(self.in_flight.clone());
+                    self.attach_obs(&mut c);
+                    self.core = Some(c);
+                });
+                respond(&reply, result);
+            }
+            Command::Probe { reply } => {
+                let idle = self.core.as_ref().map(|c| c.is_idle()).unwrap_or(true);
+                respond(&reply, idle);
+            }
+            Command::Stats { reply } => {
+                self.take_stats();
+                respond(&reply, self.cumulative);
+            }
+            Command::Shutdown => {
+                // Graceful teardown: push out whatever the batcher still
+                // holds, then group-commit the drained image so recovery
+                // restarts from here instead of replaying the tail.
+                if let Some(core) = self.core.as_mut() {
+                    let ts = core.flush_links();
+                    self.transmit(endpoint, ts);
+                }
+                if let Some(core) = self.core.as_mut() {
+                    // A failed final checkpoint must not abort teardown;
+                    // the previous committed image is still consistent.
+                    // audit:allow(error-swallow)
+                    let _ = core.checkpoint();
+                }
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Processes one drained batch of datagrams as a single transaction.
+    pub(crate) fn on_batch(
+        &mut self,
+        endpoint: &dyn Transport,
+        drained: Vec<(ServerId, bytes::Bytes)>,
+        now: VTime,
+    ) {
+        if let Some(core) = self.core.as_mut() {
+            match core.on_datagram_batch(drained, now) {
+                Ok(ts) => self.transmit(endpoint, ts),
+                Err(e) => {
+                    debug_assert!(false, "datagram processing failed: {e}");
+                }
+            }
+            self.take_stats();
+        }
+        // Crashed servers silently drop frames: the sender's
+        // retransmission redelivers them after recovery.
+    }
+
+    /// Polls link timers (retransmissions, overdue batch flushes).
+    pub(crate) fn tick(&mut self, endpoint: &dyn Transport, now: VTime) {
+        if let Some(core) = self.core.as_mut() {
+            let ts = core.on_tick(now);
+            self.transmit(endpoint, ts);
+        }
+    }
+
+    /// The earliest link deadline (retransmission or held batch), if any
+    /// — when the evented runtime must next wake this server without
+    /// traffic.
+    pub(crate) fn next_wakeup(&self) -> Option<VTime> {
+        self.core.as_ref().and_then(ServerCore::next_deadline)
+    }
+
+    fn take_stats(&mut self) {
+        if let Some(core) = self.core.as_mut() {
+            self.cumulative.absorb(core.take_step_stats());
+        }
+    }
+}

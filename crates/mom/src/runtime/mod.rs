@@ -1,59 +1,80 @@
-//! The threaded runtime: one OS thread drives each agent server's whole
-//! step loop (commands, inbox, timers) — not one thread per agent.
+//! The MOM runtimes: thread-per-server and sharded event loops behind
+//! one readiness-based API.
 //!
-//! [`MomBuilder`] assembles a complete bus — validated topology, in-memory
-//! network, one [`ServerCore`] per server, each driven by its own thread —
-//! and returns a [`Mom`] handle for clients: register agents, send
-//! notifications, crash and recover servers, snapshot the causality trace,
-//! and collect statistics.
+//! [`MomBuilder`] assembles a complete bus — validated topology, a byte
+//! transport, one [`ServerCore`](crate::ServerCore) per server — and
+//! returns a [`Mom`]
+//! handle for clients: register agents, send notifications, crash and
+//! recover servers, snapshot the causality trace, collect statistics.
+//! Configuration is three typed values ([`RuntimeConfig`], [`NetConfig`],
+//! [`ClockConfig`]; see [`config`]) instead of a flat pile of setters.
 //!
-//! Each server thread runs a **batched step loop**: one `select!` wakeup
-//! greedily drains the transport inbox and hands every ready datagram to
-//! [`ServerCore::on_datagram_batch`] as a single transaction — deliveries
-//! and reactions run together, outgoing messages are group-stamped and
-//! coalesced into one wire packet per peer (see
-//! [`aaa_net::BatchPolicy`]), and one group commit persists the result.
-//! Urgent traffic bypasses the coalescing delay via
+//! Two execution substrates drive the same sans-IO cores
+//! (selected by [`RuntimeKind`]):
+//!
+//! - **[`RuntimeKind::Threaded`]** (`threaded` module) — one OS thread
+//!   per server, the paper's one-JVM-per-server deployment shrunk into a
+//!   process. Each thread blocks on its command channel and a
+//!   [`aaa_net::ReadyMailbox`] fed by the transport's readiness
+//!   notifier.
+//! - **[`RuntimeKind::Evented`]** (`evented` module) — N event-loop
+//!   shards over a fixed worker pool, multiplexing *all* servers onto
+//!   them with work-stealing. This is the C10K runtime: one process
+//!   sustains four-digit server counts because idle servers cost a slot
+//!   table entry, not a stack and a scheduler entry.
+//!
+//! Either way each server runs a **batched step loop**: one wakeup
+//! greedily drains the transport via [`Transport::poll_recv`] and hands
+//! every ready datagram to
+//! [`ServerCore::on_datagram_batch`](crate::ServerCore::on_datagram_batch)
+//! as a single transaction — deliveries and reactions run together, outgoing
+//! messages are group-stamped and coalesced into one wire packet per
+//! peer (see [`aaa_net::BatchPolicy`]), and one group commit persists
+//! the result. Urgent traffic bypasses the coalescing delay via
 //! [`SendOptions::urgent`] or [`Mom::flush`].
-//!
-//! This is the moral equivalent of the paper's deployment of one JVM per
-//! agent server on a LAN, shrunk into a single process.
 
-use std::collections::HashMap;
+pub mod config;
+mod driver;
+mod evented;
+mod threaded;
+
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aaa_base::{Absorb, AgentId, Error, MessageId, Result, ServerId, VDuration, VTime};
-use aaa_clocks::StampMode;
-use aaa_net::{BatchPolicy, MemoryNetwork, PeerState, TcpNetwork};
+use aaa_base::{AgentId, Error, MessageId, Result, ServerId};
+use aaa_net::{MemoryNetwork, MuxTcpNetwork, TcpNetwork};
 use aaa_obs::{LatencyTracker, Meter, MetricsServer, MetricsSnapshot, Registry};
 use aaa_storage::{MemoryStore, StableStore};
 use aaa_topology::{Topology, TopologySpec};
 use aaa_trace::TraceRecorder;
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, Sender};
+
+pub use config::{ClockConfig, NetConfig, RuntimeConfig, RuntimeKind, TransportKind};
 
 use crate::agent::Agent;
 use crate::message::{Notification, SendOptions};
-use crate::server::{ServerConfig, ServerCore, StepStats, Transmission};
+use crate::server::{ServerConfig, StepStats};
+
+use driver::ServerDriver;
+use evented::EventedPool;
 
 /// The byte-transport abstraction, re-exported from `aaa-net` where it
 /// lives beside the endpoint types that implement it ([`aaa_net::memory`],
-/// [`aaa_net::tcp`]). Select between them with [`MomBuilder::tcp`].
+/// [`aaa_net::tcp`], [`aaa_net::mux`]). Select between them with
+/// [`NetConfig::transport`].
 pub use aaa_net::Transport;
 
-/// Maximum datagrams one step loop iteration drains from the inbox before
-/// processing them as a single transaction. Bounds step latency while
-/// letting bursts amortize stamping, flushing and the group commit.
-const MAX_STEP_DRAIN: usize = 256;
+/// Maximum datagrams one step loop iteration drains from the transport
+/// before processing them as a single transaction. Bounds step latency
+/// while letting bursts amortize stamping, flushing and the group commit.
+pub(crate) const MAX_STEP_DRAIN: usize = 256;
 
-/// While a peer is [`PeerState::Down`], at most one transmission run per
-/// this interval goes out to it as a liveness probe; everything else is
-/// suppressed (the link layer re-offers it after recovery) so the step
-/// loop does not hot-spin retransmits into a dead socket.
-const PROBE_INTERVAL: Duration = Duration::from_millis(100);
+/// The default patience of [`Mom::shutdown`] — how long the bus gets to
+/// take its final group commits before workers are reaped regardless.
+const DEFAULT_SHUTDOWN_TIMEOUT: Duration = Duration::from_secs(5);
 
-enum Command {
+pub(crate) enum Command {
     Register {
         local: u32,
         agent: Box<dyn Agent>,
@@ -89,17 +110,79 @@ enum Command {
     Shutdown,
 }
 
-/// Builder for a threaded MOM.
+/// Replies to a client command, tolerating a hung-up client.
+///
+/// Every `Command` carries a bounded reply channel; if the client timed out
+/// or was dropped, the receiver is gone and `send` fails. That failure is
+/// the *client's* outcome, not the server's — the server step already ran to
+/// completion — so the error is deliberately discarded here, in exactly one
+/// place.
+pub(crate) fn respond<T>(reply: &Sender<T>, value: T) {
+    // audit:allow(error-swallow)
+    let _ = reply.send(value);
+}
+
+/// Everything the runtimes need to mint per-server drivers: shared,
+/// immutable boot-time state.
+pub(crate) struct Boot {
+    topology: Arc<Topology>,
+    config: ServerConfig,
+    stores: Vec<Arc<dyn StableStore>>,
+    recorder: TraceRecorder,
+    record_trace: bool,
+    in_flight: Arc<AtomicI64>,
+    registry: Option<Registry>,
+    latency: Option<LatencyTracker>,
+    pub(crate) start: Instant,
+}
+
+impl Boot {
+    /// The per-server observability pair (meter + end-to-end latency
+    /// tracker), if metrics are enabled. The tracker is minted together
+    /// with the registry, so zipping the two options never silently
+    /// drops one.
+    pub(crate) fn obs_for(&self, i: usize) -> Option<(Meter, LatencyTracker)> {
+        self.registry
+            .as_ref()
+            .zip(self.latency.clone())
+            .map(|(r, tracker)| (Meter::new(r).with_label("server", i.to_string()), tracker))
+    }
+
+    /// Builds the driver for server `me`.
+    pub(crate) fn driver(
+        &self,
+        me: ServerId,
+        obs: Option<(Meter, LatencyTracker)>,
+    ) -> Result<ServerDriver> {
+        ServerDriver::new(
+            self.topology.clone(),
+            me,
+            self.config,
+            self.stores[me.as_usize()].clone(),
+            self.record_trace.then(|| self.recorder.clone()),
+            self.in_flight.clone(),
+            obs,
+        )
+    }
+}
+
+/// Builder for a MOM bus.
+///
+/// Configuration is grouped into three typed values, one per layer:
+/// [`RuntimeConfig`] (execution), [`NetConfig`] (wire), [`ClockConfig`]
+/// (causality stamps). Each has a sensible default, so the minimal bus
+/// is `MomBuilder::new(spec).build()?`.
 ///
 /// # Examples
 ///
 /// ```
-/// use aaa_mom::{MomBuilder, StampMode};
+/// use aaa_mom::{ClockConfig, MomBuilder, NetConfig, RuntimeConfig, StampMode};
 /// use aaa_topology::TopologySpec;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mom = MomBuilder::new(TopologySpec::bus(2, 3))
-///     .stamp_mode(StampMode::Updates)
+///     .runtime(RuntimeConfig::evented(2))
+///     .clock(ClockConfig::mode(StampMode::Updates))
 ///     .build()?;
 /// mom.shutdown();
 /// # Ok(())
@@ -107,150 +190,92 @@ enum Command {
 /// ```
 pub struct MomBuilder {
     spec: TopologySpec,
-    config: ServerConfig,
-    record_trace: bool,
-    allow_cycles: bool,
-    tcp: bool,
-    tcp_connect_timeout: Option<Duration>,
+    runtime: RuntimeConfig,
+    net: NetConfig,
+    clock: ClockConfig,
     transports: Option<Vec<Box<dyn Transport>>>,
     stores: Option<Vec<Arc<dyn StableStore>>>,
-    metrics: bool,
     registry: Option<Registry>,
 }
 
 impl MomBuilder {
-    /// Starts a builder for the given topology.
+    /// Starts a builder for the given topology, with every config at its
+    /// default ([`RuntimeKind::Threaded`], in-memory transport,
+    /// [`aaa_clocks::StampMode::Updates`]).
     pub fn new(spec: TopologySpec) -> Self {
         MomBuilder {
             spec,
-            config: ServerConfig::default(),
-            record_trace: true,
-            allow_cycles: false,
-            tcp: false,
-            tcp_connect_timeout: None,
+            runtime: RuntimeConfig::default(),
+            net: NetConfig::default(),
+            clock: ClockConfig::default(),
             transports: None,
             stores: None,
-            metrics: true,
             registry: None,
         }
     }
 
-    /// Sets the stamp encoding mode (default: [`StampMode::Updates`]).
-    pub fn stamp_mode(mut self, mode: StampMode) -> Self {
-        self.config.stamp_mode = mode;
+    /// Sets the execution-layer configuration (runtime kind, persistence,
+    /// tracing, metrics, backpressure).
+    #[must_use]
+    pub fn runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
         self
     }
 
-    /// Sets the link retransmission timeout (default: 200 ms).
-    pub fn rto(mut self, rto: VDuration) -> Self {
-        self.config.rto = rto;
+    /// Sets the network-layer configuration (transport kind, batching,
+    /// retransmission timeout, connect timeout).
+    #[must_use]
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
         self
     }
 
-    /// Enables transactional persistence of every server (default: off).
-    /// Required for [`Mom::crash`]/[`Mom::recover`] to be meaningful.
-    pub fn persistence(mut self, on: bool) -> Self {
-        self.config.persist = on;
-        self
-    }
-
-    /// Sets the group-commit batching policy for outgoing link frames.
-    ///
-    /// Batching is **on by default** with
-    /// [`BatchPolicy::default`] — up to 32 frames or 256 KiB per wire
-    /// packet, and `max_delay` zero, meaning frames are coalesced only
-    /// *within* a step (everything a burst produced goes out together at
-    /// the end of the step) so single-message latency is unchanged. Pass
-    /// [`BatchPolicy::disabled`] for the legacy one-packet-per-message
-    /// behaviour, or a non-zero `max_delay` to hold partial batches across
-    /// steps ([`SendOptions::urgent`] and [`Mom::flush`] bypass the delay).
-    pub fn batching(mut self, policy: BatchPolicy) -> Self {
-        self.config.batch = policy;
-        self
-    }
-
-    /// Enables or disables causality-trace recording (default: on).
-    pub fn record_trace(mut self, on: bool) -> Self {
-        self.record_trace = on;
-        self
-    }
-
-    /// Accepts a cyclic domain graph (for counterexample experiments). The
-    /// theorem's guarantee is void on such topologies.
-    pub fn allow_cycles(mut self, on: bool) -> Self {
-        self.allow_cycles = on;
-        self
-    }
-
-    /// Runs the bus over localhost TCP instead of the in-memory mesh —
-    /// the shape of the paper's deployment (one JVM per server, meshed
-    /// over TCP). Default: in-memory.
-    pub fn tcp(mut self, on: bool) -> Self {
-        self.tcp = on;
-        self
-    }
-
-    /// Sets the outbound connect timeout used by the TCP transport
-    /// (default: [`aaa_net::tcp::DEFAULT_CONNECT_TIMEOUT`], 2 s). Only
-    /// meaningful together with [`MomBuilder::tcp`].
-    pub fn tcp_connect_timeout(mut self, timeout: Duration) -> Self {
-        self.tcp_connect_timeout = Some(timeout);
+    /// Sets the clock-layer configuration (stamp encoding mode).
+    #[must_use]
+    pub fn clock(mut self, clock: ClockConfig) -> Self {
+        self.clock = clock;
         self
     }
 
     /// Supplies pre-built transport endpoints — one per server, indexed
     /// by id — instead of letting the builder create the mesh. This is
-    /// how chaos tests run the threaded runtime over
+    /// how chaos tests run the runtimes over
     /// `aaa_chaos::FaultTransport`-wrapped endpoints; it also admits any
     /// custom [`Transport`] implementation. Overrides
-    /// [`MomBuilder::tcp`].
+    /// [`NetConfig::transport`].
+    #[must_use]
     pub fn transports(mut self, transports: Vec<Box<dyn Transport>>) -> Self {
         self.transports = Some(transports);
         self
     }
 
-    /// Caps the number of outstanding (accepted but not yet
-    /// acknowledged/delivered) messages a server accepts before client
-    /// sends fail with [`Error::Backpressure`] (default: 65 536). See
-    /// [`ServerConfig::max_outstanding`].
-    pub fn max_outstanding(mut self, cap: usize) -> Self {
-        self.config.max_outstanding = cap;
-        self
-    }
-
     /// Supplies per-server stable stores (defaults to fresh
     /// [`MemoryStore`]s). Must be one per server, indexed by id.
+    #[must_use]
     pub fn stores(mut self, stores: Vec<Arc<dyn StableStore>>) -> Self {
         self.stores = Some(stores);
-        self
-    }
-
-    /// Enables or disables metrics collection (default: on). When off,
-    /// cores run without meters — instrumentation costs one branch per
-    /// event — and [`Mom::stats`] falls back to asking the server threads.
-    pub fn metrics(mut self, on: bool) -> Self {
-        self.metrics = on;
         self
     }
 
     /// Supplies an external metrics [`Registry`] (for example one shared
     /// with other buses or already served over HTTP). Defaults to a fresh
     /// registry, accessible through [`Mom::metrics`].
+    #[must_use]
     pub fn registry(mut self, registry: Registry) -> Self {
         self.registry = Some(registry);
         self
     }
 
-    /// Validates the topology, boots every server thread and returns the
-    /// bus handle.
+    /// Validates the topology, boots the runtime and returns the bus
+    /// handle.
     ///
     /// # Errors
     ///
     /// Propagates topology validation errors ([`Error::InvalidTopology`],
-    /// [`Error::CyclicDomainGraph`]) and [`Error::Config`] if the supplied
-    /// store list has the wrong length.
+    /// [`Error::CyclicDomainGraph`]) and [`Error::Config`] if a supplied
+    /// store or transport list has the wrong length.
     pub fn build(self) -> Result<Mom> {
-        let topology = Arc::new(if self.allow_cycles {
+        let topology = Arc::new(if self.runtime.allow_cycles {
             self.spec.validate_allow_cycles()?
         } else {
             self.spec.validate()?
@@ -271,85 +296,145 @@ impl MomBuilder {
                 .collect(),
         };
 
-        let recorder = TraceRecorder::new();
-        let in_flight = Arc::new(AtomicI64::new(0));
-        let start = Instant::now();
-        let registry = self.metrics.then(|| self.registry.unwrap_or_default());
-        let latency = registry.as_ref().map(|_| LatencyTracker::new());
+        let registry = self
+            .runtime
+            .metrics
+            .then(|| self.registry.unwrap_or_default());
+        let boot = Boot {
+            topology: topology.clone(),
+            config: config::server_config(&self.runtime, &self.net, &self.clock),
+            stores: stores.clone(),
+            recorder: TraceRecorder::new(),
+            record_trace: self.runtime.record_trace,
+            in_flight: Arc::new(AtomicI64::new(0)),
+            latency: registry.as_ref().map(|_| LatencyTracker::new()),
+            registry,
+            start: Instant::now(),
+        };
 
-        let mut cmd_txs = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
-        let mut spawn_all = |endpoints: Vec<Box<dyn Transport>>| {
-            for (i, mut endpoint) in endpoints.into_iter().enumerate() {
-                let me = ServerId::new(i as u16);
-                let (tx, rx) = unbounded::<Command>();
-                cmd_txs.push(tx);
-                let topology = topology.clone();
-                let store = stores[i].clone();
-                let recorder = self.record_trace.then(|| recorder.clone());
-                let in_flight = in_flight.clone();
-                let config = self.config;
-                // The tracker is minted together with the registry, so
-                // zipping the two options never silently drops one.
-                let obs = registry.as_ref().zip(latency.clone()).map(|(r, tracker)| {
-                    (Meter::new(r).with_label("server", i.to_string()), tracker)
-                });
-                if let Some((meter, _)) = &obs {
-                    endpoint.attach_meter(meter);
+        let endpoints: Vec<Box<dyn Transport>> = match self.transports {
+            Some(transports) => {
+                if transports.len() != n {
+                    return Err(Error::Config(format!(
+                        "expected {n} transports, got {}",
+                        transports.len()
+                    )));
                 }
-                handles.push(std::thread::spawn(move || {
-                    server_thread(
-                        topology, me, config, store, recorder, in_flight, obs, endpoint, rx, start,
-                    );
-                }));
+                transports
+            }
+            None => match self.net.transport {
+                TransportKind::Memory => MemoryNetwork::create(n)
+                    .into_iter()
+                    .map(|e| Box::new(e) as Box<dyn Transport>)
+                    .collect(),
+                TransportKind::Tcp => {
+                    TcpNetwork::create_with_connect_timeout(n, self.net.connect_timeout)?
+                        .into_iter()
+                        .map(|e| Box::new(e) as Box<dyn Transport>)
+                        .collect()
+                }
+                TransportKind::MuxTcp => {
+                    let shards = self.runtime.kind.worker_count().unwrap_or(1).clamp(1, n);
+                    MuxTcpNetwork::create_with_connect_timeout(n, shards, self.net.connect_timeout)?
+                        .into_iter()
+                        .map(|e| Box::new(e) as Box<dyn Transport>)
+                        .collect()
+                }
+            },
+        };
+
+        let dispatch = match self.runtime.kind {
+            RuntimeKind::Threaded => {
+                let (cmd_txs, handles) = threaded::spawn(&boot, endpoints)?;
+                Dispatcher::Threaded { cmd_txs, handles }
+            }
+            RuntimeKind::Evented { .. } => {
+                let workers = self
+                    .runtime
+                    .kind
+                    .worker_count()
+                    .unwrap_or(1)
+                    .clamp(1, n.max(1));
+                Dispatcher::Evented(EventedPool::start(&boot, endpoints, workers)?)
             }
         };
-        if let Some(transports) = self.transports {
-            if transports.len() != n {
-                return Err(Error::Config(format!(
-                    "expected {n} transports, got {}",
-                    transports.len()
-                )));
-            }
-            spawn_all(transports);
-        } else if self.tcp {
-            let timeout = self
-                .tcp_connect_timeout
-                .unwrap_or(aaa_net::tcp::DEFAULT_CONNECT_TIMEOUT);
-            let endpoints = TcpNetwork::create_with_connect_timeout(n, timeout)?;
-            spawn_all(
-                endpoints
-                    .into_iter()
-                    .map(|e| Box::new(e) as Box<dyn Transport>)
-                    .collect(),
-            );
-        } else {
-            let endpoints = MemoryNetwork::create(n);
-            spawn_all(
-                endpoints
-                    .into_iter()
-                    .map(|e| Box::new(e) as Box<dyn Transport>)
-                    .collect(),
-            );
-        }
 
         Ok(Mom {
             topology,
-            cmd_txs,
-            handles,
-            recorder,
-            in_flight,
+            dispatch,
+            recorder: boot.recorder,
+            in_flight: boot.in_flight,
             stores,
-            registry,
+            registry: boot.registry,
         })
     }
 }
 
-/// A running, threaded MOM.
+/// The execution substrate behind a running [`Mom`].
+enum Dispatcher {
+    Threaded {
+        cmd_txs: Vec<Sender<Command>>,
+        handles: Vec<std::thread::JoinHandle<()>>,
+    },
+    Evented(EventedPool),
+}
+
+impl Dispatcher {
+    fn server_count(&self) -> usize {
+        match self {
+            Dispatcher::Threaded { cmd_txs, .. } => cmd_txs.len(),
+            Dispatcher::Evented(pool) => pool.server_count(),
+        }
+    }
+
+    fn send_cmd(&self, i: usize, cmd: Command) -> Result<()> {
+        match self {
+            Dispatcher::Threaded { cmd_txs, .. } => cmd_txs
+                .get(i)
+                .ok_or(Error::UnknownServer(ServerId::new(i as u16)))?
+                .send(cmd)
+                .map_err(|_| Error::Closed("server thread")),
+            Dispatcher::Evented(pool) => pool.send_cmd(i, cmd),
+        }
+    }
+
+    /// Sends every server its shutdown command (final batch flush + group
+    /// commit) and reaps the workers, waiting until `deadline` for the
+    /// evented pool's slots to finish. Returns `false` if reaping timed
+    /// out before every server took its final commit.
+    fn finish(self, deadline: Instant) -> bool {
+        match self {
+            Dispatcher::Threaded { cmd_txs, handles } => {
+                for tx in &cmd_txs {
+                    // A server that crashed mid-run has already dropped its
+                    // command receiver; shutdown must still reap the rest.
+                    // audit:allow(error-swallow)
+                    let _ = tx.send(Command::Shutdown);
+                }
+                for handle in handles {
+                    // Join errors mean the thread panicked; the panic is
+                    // already on stderr and shutdown keeps reaping.
+                    // audit:allow(error-swallow)
+                    let _ = handle.join();
+                }
+                true
+            }
+            Dispatcher::Evented(pool) => {
+                for i in 0..pool.server_count() {
+                    // As above: a dead slot is already past its shutdown.
+                    // audit:allow(error-swallow)
+                    let _ = pool.send_cmd(i, Command::Shutdown);
+                }
+                pool.stop(deadline)
+            }
+        }
+    }
+}
+
+/// A running MOM bus (threaded or evented; see [`RuntimeKind`]).
 pub struct Mom {
     topology: Arc<Topology>,
-    cmd_txs: Vec<Sender<Command>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    dispatch: Dispatcher,
     recorder: TraceRecorder,
     in_flight: Arc<AtomicI64>,
     stores: Vec<Arc<dyn StableStore>>,
@@ -359,7 +444,7 @@ pub struct Mom {
 impl std::fmt::Debug for Mom {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Mom")
-            .field("servers", &self.cmd_txs.len())
+            .field("servers", &self.dispatch.server_count())
             .field("in_flight", &self.in_flight.load(Ordering::SeqCst))
             .finish_non_exhaustive()
     }
@@ -371,10 +456,11 @@ impl Mom {
         &self.topology
     }
 
-    fn cmd(&self, server: ServerId) -> Result<&Sender<Command>> {
-        self.cmd_txs
-            .get(server.as_usize())
-            .ok_or(Error::UnknownServer(server))
+    fn cmd(&self, server: ServerId, cmd: Command) -> Result<()> {
+        if server.as_usize() >= self.dispatch.server_count() {
+            return Err(Error::UnknownServer(server));
+        }
+        self.dispatch.send_cmd(server.as_usize(), cmd)
     }
 
     /// Registers an agent on `server` under server-local id `local`.
@@ -390,14 +476,15 @@ impl Mom {
         agent: Box<dyn Agent>,
     ) -> Result<AgentId> {
         let (reply, rx) = bounded(1);
-        self.cmd(server)?
-            .send(Command::Register {
+        self.cmd(
+            server,
+            Command::Register {
                 local,
                 agent,
                 reply,
-            })
-            .map_err(|_| Error::Closed("server thread"))?;
-        rx.recv().map_err(|_| Error::Closed("server thread"))?;
+            },
+        )?;
+        rx.recv().map_err(|_| Error::Closed("server"))?;
         Ok(AgentId::new(server, local))
     }
 
@@ -446,16 +533,17 @@ impl Mom {
         opts: impl Into<SendOptions>,
     ) -> Result<MessageId> {
         let (reply, rx) = bounded(1);
-        self.cmd(from.server())?
-            .send(Command::Send {
+        self.cmd(
+            from.server(),
+            Command::Send {
                 from,
                 to,
                 note,
                 opts: opts.into(),
                 reply,
-            })
-            .map_err(|_| Error::Closed("server thread"))?;
-        rx.recv().map_err(|_| Error::Closed("server thread"))?
+            },
+        )?;
+        rx.recv().map_err(|_| Error::Closed("server"))?
     }
 
     /// Sends several notifications from `from` as **one transaction** on
@@ -475,15 +563,16 @@ impl Mom {
         opts: impl Into<SendOptions>,
     ) -> Result<Vec<MessageId>> {
         let (reply, rx) = bounded(1);
-        self.cmd(from.server())?
-            .send(Command::SendBatch {
+        self.cmd(
+            from.server(),
+            Command::SendBatch {
                 from,
                 batch,
                 opts: opts.into(),
                 reply,
-            })
-            .map_err(|_| Error::Closed("server thread"))?;
-        rx.recv().map_err(|_| Error::Closed("server thread"))?
+            },
+        )?;
+        rx.recv().map_err(|_| Error::Closed("server"))?
     }
 
     /// Flushes every server's partially filled link batches immediately,
@@ -495,15 +584,14 @@ impl Mom {
     ///
     /// Returns [`Error::Closed`] if the bus is shutting down.
     pub fn flush(&self) -> Result<()> {
-        let mut waits = Vec::with_capacity(self.cmd_txs.len());
-        for tx in &self.cmd_txs {
+        let mut waits = Vec::with_capacity(self.dispatch.server_count());
+        for i in 0..self.dispatch.server_count() {
             let (reply, rx) = bounded(1);
-            tx.send(Command::Flush { reply })
-                .map_err(|_| Error::Closed("server thread"))?;
+            self.dispatch.send_cmd(i, Command::Flush { reply })?;
             waits.push(rx);
         }
         for rx in waits {
-            rx.recv().map_err(|_| Error::Closed("server thread"))?;
+            rx.recv().map_err(|_| Error::Closed("server"))?;
         }
         Ok(())
     }
@@ -516,9 +604,7 @@ impl Mom {
     ///
     /// Returns [`Error::UnknownServer`] / [`Error::Closed`].
     pub fn crash(&self, server: ServerId) -> Result<()> {
-        self.cmd(server)?
-            .send(Command::Crash)
-            .map_err(|_| Error::Closed("server thread"))
+        self.cmd(server, Command::Crash)
     }
 
     /// Recovers `server` from its stable store, registering fresh agent
@@ -530,10 +616,8 @@ impl Mom {
     /// recovery error encountered by the server.
     pub fn recover(&self, server: ServerId, agents: Vec<(u32, Box<dyn Agent>)>) -> Result<()> {
         let (reply, rx) = bounded(1);
-        self.cmd(server)?
-            .send(Command::Recover { agents, reply })
-            .map_err(|_| Error::Closed("server thread"))?;
-        rx.recv().map_err(|_| Error::Closed("server thread"))?
+        self.cmd(server, Command::Recover { agents, reply })?;
+        rx.recv().map_err(|_| Error::Closed("server"))?
     }
 
     /// Cumulative statistics of one server.
@@ -541,14 +625,16 @@ impl Mom {
     /// With metrics enabled (the default) this is a **view over the
     /// metrics registry**: the same counters that power [`Mom::metrics`],
     /// summed for the server's `server="<id>"` label. With metrics
-    /// disabled it falls back to asking the server thread for its drained
+    /// disabled it falls back to asking the server for its drained
     /// [`StepStats`] accumulator.
     ///
     /// # Errors
     ///
     /// Returns [`Error::UnknownServer`] / [`Error::Closed`].
     pub fn stats(&self, server: ServerId) -> Result<StepStats> {
-        let cmd = self.cmd(server)?;
+        if server.as_usize() >= self.dispatch.server_count() {
+            return Err(Error::UnknownServer(server));
+        }
         if let Some(registry) = &self.registry {
             let snap = registry.snapshot();
             let id = server.as_u16().to_string();
@@ -564,15 +650,14 @@ impl Mom {
             });
         }
         let (reply, rx) = bounded(1);
-        cmd.send(Command::Stats { reply })
-            .map_err(|_| Error::Closed("server thread"))?;
-        rx.recv().map_err(|_| Error::Closed("server thread"))
+        self.cmd(server, Command::Stats { reply })?;
+        rx.recv().map_err(|_| Error::Closed("server"))
     }
 
     /// Snapshot of every metric of the bus, in deterministic order.
     ///
     /// Returns an empty snapshot if metrics were disabled with
-    /// [`MomBuilder::metrics`]. The per-domain causal-cost counters
+    /// [`RuntimeConfig::metrics`]. The per-domain causal-cost counters
     /// (`aaa_channel_cell_ops_total`, `aaa_channel_stamp_bytes_total`) are
     /// the series plotted in Figures 7/8 of the paper.
     ///
@@ -644,9 +729,9 @@ impl Mom {
         let deadline = Instant::now() + timeout;
         let mut consecutive = 0;
         while Instant::now() < deadline {
-            let all_idle = self.cmd_txs.iter().all(|tx| {
+            let all_idle = (0..self.dispatch.server_count()).all(|i| {
                 let (reply, rx) = bounded(1);
-                if tx.send(Command::Probe { reply }).is_err() {
+                if self.dispatch.send_cmd(i, Command::Probe { reply }).is_err() {
                     return true; // shut down counts as idle
                 }
                 rx.recv().unwrap_or(true)
@@ -686,240 +771,37 @@ impl Mom {
             .ok_or(Error::UnknownServer(server))
     }
 
-    /// Stops every server thread and waits for them to exit.
+    /// Gracefully stops the bus with the default timeout: every server
+    /// flushes its pending batches and takes a final group commit before
+    /// its worker is reaped. Equivalent to
+    /// `shutdown_within(...)` with a 5 s budget, discarding the verdict.
     pub fn shutdown(self) {
-        for tx in &self.cmd_txs {
-            // A server that crashed mid-run has already dropped its command
-            // receiver; shutdown must still reap the remaining threads.
-            // audit:allow(error-swallow)
-            let _ = tx.send(Command::Shutdown);
-        }
-        for handle in self.handles {
-            // Join errors mean the thread panicked; the panic is already on
-            // stderr and shutdown must keep reaping the other threads.
-            // audit:allow(error-swallow)
-            let _ = handle.join();
-        }
+        let deadline = Instant::now() + DEFAULT_SHUTDOWN_TIMEOUT;
+        self.dispatch.finish(deadline);
     }
-}
 
-/// Replies to a client command, tolerating a hung-up client.
-///
-/// Every `Command` carries a bounded reply channel; if the client timed out
-/// or was dropped, the receiver is gone and `send` fails. That failure is
-/// the *client's* outcome, not the server's — the server step already ran to
-/// completion — so the error is deliberately discarded here, in exactly one
-/// place.
-fn respond<T>(reply: &Sender<T>, value: T) {
-    // audit:allow(error-swallow)
-    let _ = reply.send(value);
-}
-
-#[allow(clippy::too_many_arguments)]
-fn server_thread(
-    topology: Arc<Topology>,
-    me: ServerId,
-    config: ServerConfig,
-    store: Arc<dyn StableStore>,
-    recorder: Option<TraceRecorder>,
-    in_flight: Arc<AtomicI64>,
-    obs: Option<(Meter, LatencyTracker)>,
-    endpoint: Box<dyn Transport>,
-    commands: crossbeam::channel::Receiver<Command>,
-    start: Instant,
-) {
-    let now = || VTime::from_micros(start.elapsed().as_micros() as u64);
-    let attach_obs = |core: &mut ServerCore| {
-        if let Some((meter, tracker)) = &obs {
-            core.attach_meter(meter);
-            core.set_latency_tracker(tracker.clone());
+    /// Drains and stops the bus within `timeout`: flushes every link
+    /// batch, waits for in-flight traffic to quiesce, then has every
+    /// server take a final group commit before the workers are joined.
+    /// Returns `true` if the bus fully drained and every server finished
+    /// its final commit in time; `false` means the timeout cut the drain
+    /// short (workers are still reaped).
+    pub fn shutdown_within(self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut drained = false;
+        while !drained && Instant::now() < deadline {
+            // Alternate flushing and quiescing: multi-hop traffic can land
+            // new frames in a peer's batcher after the previous flush, so
+            // one flush pass is not enough to settle the bus.
+            // audit:allow(error-swallow)
+            let _ = self.flush();
+            let slice = deadline
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(100));
+            drained = self.quiesce(slice);
         }
-    };
-    let fresh = |agents: Vec<(u32, Box<dyn Agent>)>| -> Result<ServerCore> {
-        let mut core = ServerCore::new(&topology, me, config, store.clone())?;
-        for (local, agent) in agents {
-            core.register_agent(local, agent);
-        }
-        if let Some(rec) = &recorder {
-            core.set_recorder(rec.clone());
-        }
-        core.set_in_flight(in_flight.clone());
-        attach_obs(&mut core);
-        Ok(core)
-    };
-
-    let mut core: Option<ServerCore> = match fresh(Vec::new()) {
-        Ok(c) => Some(c),
-        Err(e) => {
-            // A server that cannot start must not take the whole process
-            // down mid-run; the thread exits and peers see a dead link.
-            eprintln!("aaa-mom: server {} failed to start: {e}", me.as_usize());
-            return;
-        }
-    };
-    let mut cumulative = StepStats::default();
-
-    // Consecutive same-destination packets go through the transport's
-    // batch-native path (one syscall/lock per run for TCP). Failures count
-    // as packet loss: the link layer retransmits.
-    //
-    // Self-healing: when the transport's failure detector says a peer is
-    // Down, transmissions to it are suppressed except for one probe run
-    // per `PROBE_INTERVAL` — the suppressed frames stay unacknowledged in
-    // the link layer, which re-offers them on the next tick, so nothing
-    // is lost and nothing hot-loops into a dead socket. A successful
-    // probe flips the peer back to Up and full traffic resumes.
-    let mut last_probe: HashMap<ServerId, Instant> = HashMap::new();
-    let mut transmit = move |endpoint: &dyn Transport, ts: Vec<Transmission>| {
-        let mut i = 0;
-        while i < ts.len() {
-            let to = ts[i].to;
-            let mut j = i + 1;
-            while j < ts.len() && ts[j].to == to {
-                j += 1;
-            }
-            if endpoint.peer_state(to) == PeerState::Down {
-                let probe_due = last_probe
-                    .get(&to)
-                    .is_none_or(|t| t.elapsed() >= PROBE_INTERVAL);
-                if !probe_due {
-                    i = j; // suppressed: the link layer re-offers later
-                    continue;
-                }
-                last_probe.insert(to, Instant::now());
-                // Fall through: this run doubles as the liveness probe.
-            }
-            if j - i == 1 {
-                // Best-effort over a lossy transport: a failed wire write is
-                // indistinguishable from packet loss, and the link layer's
-                // retransmission machinery recovers either way.
-                // audit:allow(error-swallow)
-                let _ = endpoint.send(to, ts[i].bytes.clone());
-            } else {
-                let run: Vec<bytes::Bytes> = ts[i..j].iter().map(|t| t.bytes.clone()).collect();
-                // Same as above: batch loss is recovered by retransmission.
-                // audit:allow(error-swallow)
-                let _ = endpoint.send_batch(to, &run);
-            }
-            i = j;
-        }
-    };
-
-    loop {
-        crossbeam::channel::select! {
-            recv(commands) -> cmd => {
-                let Ok(cmd) = cmd else { return };
-                match cmd {
-                    Command::Register { local, agent, reply } => {
-                        if let Some(core) = core.as_mut() {
-                            core.register_agent(local, agent);
-                        }
-                        respond(&reply, ());
-                    }
-                    Command::Send { from, to, note, opts, reply } => {
-                        let result = match core.as_mut() {
-                            Some(core) => core
-                                .client_send_with(from, to, note, opts, now())
-                                .map(|(id, ts)| {
-                                    transmit(endpoint.as_ref(), ts);
-                                    id
-                                }),
-                            None => Err(Error::Closed("crashed server")),
-                        };
-                        if let Some(core) = core.as_mut() {
-                            cumulative.absorb(core.take_step_stats());
-                        }
-                        respond(&reply, result);
-                    }
-                    Command::SendBatch { from, batch, opts, reply } => {
-                        let result = match core.as_mut() {
-                            Some(core) => core
-                                .client_send_batch(from, batch, opts, now())
-                                .map(|(ids, ts)| {
-                                    transmit(endpoint.as_ref(), ts);
-                                    ids
-                                }),
-                            None => Err(Error::Closed("crashed server")),
-                        };
-                        if let Some(core) = core.as_mut() {
-                            cumulative.absorb(core.take_step_stats());
-                        }
-                        respond(&reply, result);
-                    }
-                    Command::Flush { reply } => {
-                        if let Some(core) = core.as_mut() {
-                            let ts = core.flush_links();
-                            transmit(endpoint.as_ref(), ts);
-                        }
-                        respond(&reply, ());
-                    }
-                    Command::Crash => {
-                        core = None;
-                    }
-                    Command::Recover { agents, reply } => {
-                        let result = ServerCore::recover(
-                            &topology,
-                            me,
-                            config,
-                            store.clone(),
-                            agents,
-                            now(),
-                        )
-                        .map(|mut c| {
-                            if let Some(rec) = &recorder {
-                                c.set_recorder(rec.clone());
-                            }
-                            c.set_in_flight(in_flight.clone());
-                            attach_obs(&mut c);
-                            core = Some(c);
-                        });
-                        respond(&reply, result);
-                    }
-                    Command::Probe { reply } => {
-                        let idle = core.as_ref().map(|c| c.is_idle()).unwrap_or(true);
-                        respond(&reply, idle);
-                    }
-                    Command::Stats { reply } => {
-                        if let Some(core) = core.as_mut() {
-                            cumulative.absorb(core.take_step_stats());
-                        }
-                        respond(&reply, cumulative);
-                    }
-                    Command::Shutdown => return,
-                }
-            }
-            recv(endpoint.inbox_receiver()) -> inc => {
-                let Ok(inc) = inc else { return };
-                endpoint.record_rx(inc.from, inc.bytes.len());
-                // Greedily drain whatever else is already queued and
-                // process the whole burst as one transaction: batched
-                // stamping, coalesced wire packets, one group commit.
-                let mut drained = vec![(inc.from, inc.bytes)];
-                while drained.len() < MAX_STEP_DRAIN {
-                    let Ok(more) = endpoint.inbox_receiver().try_recv() else {
-                        break;
-                    };
-                    endpoint.record_rx(more.from, more.bytes.len());
-                    drained.push((more.from, more.bytes));
-                }
-                if let Some(core) = core.as_mut() {
-                    match core.on_datagram_batch(drained, now()) {
-                        Ok(ts) => transmit(endpoint.as_ref(), ts),
-                        Err(e) => {
-                            debug_assert!(false, "datagram processing failed: {e}");
-                        }
-                    }
-                    cumulative.absorb(core.take_step_stats());
-                }
-                // Crashed servers silently drop frames: the sender's
-                // retransmission redelivers them after recovery.
-            }
-            default(Duration::from_millis(5)) => {}
-        }
-        if let Some(core) = core.as_mut() {
-            let ts = core.on_tick(now());
-            transmit(endpoint.as_ref(), ts);
-        }
+        let committed = self.dispatch.finish(deadline);
+        drained && committed
     }
 }
 
@@ -927,6 +809,8 @@ fn server_thread(
 mod tests {
     use super::*;
     use crate::agent::EchoAgent;
+    use aaa_base::VDuration;
+    use aaa_net::BatchPolicy;
     use std::time::Duration;
 
     fn sid(i: u16) -> ServerId {
@@ -1005,7 +889,7 @@ mod tests {
     #[test]
     fn trace_can_be_disabled() {
         let mom = MomBuilder::new(TopologySpec::single_domain(2))
-            .record_trace(false)
+            .runtime(RuntimeConfig::threaded().record_trace(false))
             .build()
             .unwrap();
         mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
@@ -1052,7 +936,7 @@ mod tests {
     #[test]
     fn batching_can_be_disabled_per_bus() {
         let mom = MomBuilder::new(TopologySpec::single_domain(2))
-            .batching(BatchPolicy::disabled())
+            .net(NetConfig::memory().batch(BatchPolicy::disabled()))
             .build()
             .unwrap();
         mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
@@ -1071,11 +955,11 @@ mod tests {
         // With a large max_delay, frames would sit in the batcher; an
         // urgent send forces them onto the wire in the same step.
         let mom = MomBuilder::new(TopologySpec::single_domain(2))
-            .batching(BatchPolicy {
+            .net(NetConfig::memory().batch(BatchPolicy {
                 max_frames: 32,
                 max_bytes: 256 * 1024,
                 max_delay: VDuration::from_millis(50),
-            })
+            }))
             .build()
             .unwrap();
         mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
@@ -1094,11 +978,11 @@ mod tests {
     #[test]
     fn delayed_batches_flush_on_mom_flush_or_deadline() {
         let mom = MomBuilder::new(TopologySpec::single_domain(2))
-            .batching(BatchPolicy {
+            .net(NetConfig::memory().batch(BatchPolicy {
                 max_frames: 32,
                 max_bytes: 256 * 1024,
                 max_delay: VDuration::from_millis(30),
-            })
+            }))
             .build()
             .unwrap();
         mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
@@ -1135,5 +1019,104 @@ mod tests {
         assert!(mom.quiesce(Duration::from_secs(5)));
         assert_eq!(mom.stats(sid(1)).unwrap().reactions, 1);
         mom.shutdown();
+    }
+
+    #[test]
+    fn evented_bus_delivers_and_quiesces() {
+        let mom = MomBuilder::new(TopologySpec::bus(2, 2))
+            .runtime(RuntimeConfig::evented(2))
+            .build()
+            .unwrap();
+        let n = mom.topology().server_count();
+        for s in 1..n {
+            mom.register_agent(sid(s as u16), 1, Box::new(EchoAgent))
+                .unwrap();
+        }
+        for s in 1..n {
+            mom.send(
+                AgentId::new(sid(0), 9),
+                AgentId::new(sid(s as u16), 1),
+                Notification::signal("ping"),
+            )
+            .unwrap();
+        }
+        assert!(mom.quiesce(Duration::from_secs(10)));
+        assert_eq!(mom.in_flight(), 0);
+        let trace = mom.trace().unwrap();
+        assert!(trace.check_causality().is_ok());
+        assert!(mom.shutdown_within(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn evented_crash_recover_round_trip() {
+        let mom = MomBuilder::new(TopologySpec::single_domain(3))
+            .runtime(RuntimeConfig::evented(2).persist(true))
+            .build()
+            .unwrap();
+        mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
+        mom.send(
+            AgentId::new(sid(0), 9),
+            AgentId::new(sid(1), 1),
+            Notification::signal("a"),
+        )
+        .unwrap();
+        assert!(mom.quiesce(Duration::from_secs(10)));
+        mom.crash(sid(1)).unwrap();
+        // The origin (server 0) is alive, so this send is accepted; the
+        // frame is retransmitted until server 1 recovers, then delivered
+        // exactly once.
+        mom.send(
+            AgentId::new(sid(0), 9),
+            AgentId::new(sid(1), 1),
+            Notification::signal("b"),
+        )
+        .unwrap();
+        mom.recover(sid(1), vec![(1, Box::new(EchoAgent) as Box<dyn Agent>)])
+            .unwrap();
+        assert!(mom.quiesce(Duration::from_secs(10)));
+        assert_eq!(mom.stats(sid(1)).unwrap().reactions, 2);
+        assert!(mom.shutdown_within(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn evented_sized_from_parallelism_when_zero() {
+        let mom = MomBuilder::new(TopologySpec::single_domain(2))
+            .runtime(RuntimeConfig::evented(0))
+            .build()
+            .unwrap();
+        mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
+        mom.send(
+            AgentId::new(sid(0), 9),
+            AgentId::new(sid(1), 1),
+            Notification::signal("x"),
+        )
+        .unwrap();
+        assert!(mom.quiesce(Duration::from_secs(10)));
+        mom.shutdown();
+    }
+
+    #[test]
+    fn shutdown_within_drains_held_batches() {
+        // Frames held by a cross-step batching delay must still reach
+        // their destination before shutdown returns true.
+        let mom = MomBuilder::new(TopologySpec::single_domain(2))
+            .net(NetConfig::memory().batch(BatchPolicy {
+                max_frames: 1024,
+                max_bytes: 1024 * 1024,
+                max_delay: VDuration::from_millis(60_000),
+            }))
+            .build()
+            .unwrap();
+        mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
+        mom.send(
+            AgentId::new(sid(0), 9),
+            AgentId::new(sid(1), 1),
+            Notification::signal("held"),
+        )
+        .unwrap();
+        let registry = mom.registry().cloned();
+        assert!(mom.shutdown_within(Duration::from_secs(10)));
+        let snap = registry.unwrap().snapshot();
+        assert_eq!(snap.sum_counter("aaa_engine_reactions_total"), 1);
     }
 }

@@ -1,0 +1,111 @@
+//! The thread-per-server runtime: one OS thread drives each agent
+//! server's whole step loop (commands, inbox, timers).
+//!
+//! This is the moral equivalent of the paper's deployment of one JVM per
+//! agent server on a LAN, shrunk into a single process. Readiness flows
+//! through the [`Transport`]'s notifier into a [`ReadyMailbox`], whose
+//! receiver the thread blocks on alongside its command channel — the
+//! mailbox collapses notification bursts into a single wakeup, and each
+//! wakeup greedily drains [`Transport::poll_recv`] into one batched
+//! transaction.
+
+use std::time::{Duration, Instant};
+
+use aaa_base::{ServerId, VTime};
+use aaa_net::ReadyMailbox;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use super::driver::ServerDriver;
+use super::{Boot, Command, Transport, MAX_STEP_DRAIN};
+
+/// Command senders and join handles for the spawned server threads.
+type SpawnedThreads = (Vec<Sender<Command>>, Vec<std::thread::JoinHandle<()>>);
+
+/// Spawns one thread per server, each owning its endpoint and driver.
+pub(crate) fn spawn(
+    boot: &Boot,
+    endpoints: Vec<Box<dyn Transport>>,
+) -> aaa_base::Result<SpawnedThreads> {
+    let mut cmd_txs = Vec::with_capacity(endpoints.len());
+    let mut handles = Vec::with_capacity(endpoints.len());
+    for (i, mut endpoint) in endpoints.into_iter().enumerate() {
+        let me = ServerId::new(i as u16);
+        let (tx, rx) = unbounded::<Command>();
+        cmd_txs.push(tx);
+        let obs = boot.obs_for(i);
+        if let Some((meter, _)) = &obs {
+            endpoint.attach_meter(meter);
+        }
+        let driver = boot.driver(me, obs)?;
+        let start = boot.start;
+        handles.push(std::thread::spawn(move || {
+            server_thread(driver, endpoint, rx, start);
+        }));
+    }
+    Ok((cmd_txs, handles))
+}
+
+/// Drains up to [`MAX_STEP_DRAIN`] ready datagrams and processes them as
+/// one transaction. Returns `true` if the drain hit the cap (more data
+/// may be pending).
+fn drain_ready(driver: &mut ServerDriver, endpoint: &dyn Transport, now: VTime) -> bool {
+    let mut drained = Vec::new();
+    while drained.len() < MAX_STEP_DRAIN {
+        match endpoint.poll_recv() {
+            Ok(Some(inc)) => drained.push((inc.from, inc.bytes)),
+            Ok(None) | Err(_) => break,
+        }
+    }
+    let saturated = drained.len() >= MAX_STEP_DRAIN;
+    if !drained.is_empty() {
+        driver.on_batch(endpoint, drained, now);
+    }
+    saturated
+}
+
+fn server_thread(
+    mut driver: ServerDriver,
+    mut endpoint: Box<dyn Transport>,
+    commands: Receiver<Command>,
+    start: Instant,
+) {
+    let now = move || VTime::from_micros(start.elapsed().as_micros() as u64);
+    let mailbox = ReadyMailbox::new();
+    endpoint.set_ready_notifier(mailbox.notifier());
+    // Anything that arrived before the notifier was installed produced no
+    // wakeup token; drain once so it is not stranded until the first tick.
+    let ready = mailbox.receiver().clone();
+    if drain_ready(&mut driver, endpoint.as_ref(), now()) {
+        mailbox.reschedule();
+    }
+
+    loop {
+        crossbeam::channel::select! {
+            recv(commands) -> cmd => {
+                let Ok(cmd) = cmd else { return };
+                if !driver.handle_command(endpoint.as_ref(), cmd, now()) {
+                    return;
+                }
+            }
+            recv(ready) -> token => {
+                if token.is_err() {
+                    return;
+                }
+                // Re-arm before draining so datagrams that race the drain
+                // produce a fresh token instead of being lost.
+                mailbox.ack();
+                if drain_ready(&mut driver, endpoint.as_ref(), now()) {
+                    mailbox.reschedule();
+                }
+            }
+            default(Duration::from_millis(5)) => {
+                // Safety net: poll even without a wakeup so a lost or
+                // pre-installation notification only costs one tick.
+                if drain_ready(&mut driver, endpoint.as_ref(), now()) {
+                    mailbox.reschedule();
+                }
+            }
+        }
+        driver.tick(endpoint.as_ref(), now());
+    }
+}

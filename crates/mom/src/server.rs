@@ -547,6 +547,19 @@ impl ServerCore {
         out
     }
 
+    /// Forces a group commit of the server's transactional image *now*,
+    /// outside any step — the final checkpoint a graceful shutdown takes
+    /// after draining, so a later recovery restarts from the drained
+    /// state instead of replaying the whole tail. A no-op without
+    /// persistence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::Storage`] from the stable store.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.commit()
+    }
+
     /// The earliest retransmission deadline across all links, if any.
     pub fn next_deadline(&self) -> Option<VTime> {
         self.links_tx

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use aaa_base::{AgentId, ServerId};
 use aaa_mom::pubsub::{publication, subscription, unsubscription, TopicAgent};
-use aaa_mom::{FnAgent, MomBuilder, Notification};
+use aaa_mom::{FnAgent, MomBuilder, Notification, RuntimeConfig};
 use aaa_topology::TopologySpec;
 use parking_lot::Mutex;
 
@@ -174,8 +174,7 @@ fn unsubscription_stops_delivery() {
 #[test]
 fn topic_state_survives_crash() {
     let mom = MomBuilder::new(TopologySpec::single_domain(3))
-        .persistence(true)
-        .record_trace(false)
+        .runtime(RuntimeConfig::threaded().persist(true).record_trace(false))
         .build()
         .unwrap();
     let topic = mom

@@ -4,7 +4,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aaa_base::{AgentId, ServerId};
-use aaa_mom::{EchoAgent, FnAgent, MomBuilder, Notification, StampMode};
+use aaa_mom::{
+    ClockConfig, EchoAgent, FnAgent, MomBuilder, NetConfig, Notification, RuntimeConfig, StampMode,
+};
 use aaa_topology::TopologySpec;
 use parking_lot::Mutex;
 
@@ -23,7 +25,7 @@ fn single_domain_random_traffic_is_causal() {
 
     let n = 5u16;
     let mom = MomBuilder::new(TopologySpec::single_domain(n))
-        .stamp_mode(StampMode::Updates)
+        .clock(ClockConfig::mode(StampMode::Updates))
         .build()
         .unwrap();
     for s in 0..n {
@@ -142,8 +144,9 @@ fn crash_and_recover_under_traffic() {
 
     let observed: Arc<Mutex<u32>> = Default::default();
     let mom = MomBuilder::new(TopologySpec::single_domain(2))
-        .persistence(true)
-        .record_trace(false) // trace has no recovery semantics for re-registered recorders
+        // trace recording is off: it has no recovery semantics for
+        // re-registered recorders
+        .runtime(RuntimeConfig::threaded().persist(true).record_trace(false))
         .build()
         .unwrap();
     mom.register_agent(sid(1), 1, Box::new(Counter(observed.clone(), 0)))
@@ -197,8 +200,8 @@ fn stamp_sizes_updates_vs_full() {
     let run = |mode: StampMode| -> u64 {
         let n = 8u16;
         let mom = MomBuilder::new(TopologySpec::single_domain(n))
-            .stamp_mode(mode)
-            .record_trace(false)
+            .clock(ClockConfig::mode(mode))
+            .runtime(RuntimeConfig::threaded().record_trace(false))
             .build()
             .unwrap();
         for s in 0..n {
@@ -249,7 +252,10 @@ fn unknown_destination_is_rejected() {
 fn cyclic_topology_is_rejected_unless_opted_in() {
     let cyclic = TopologySpec::from_domains(vec![vec![0, 1], vec![1, 2], vec![2, 0]]);
     assert!(MomBuilder::new(cyclic.clone()).build().is_err());
-    let mom = MomBuilder::new(cyclic).allow_cycles(true).build().unwrap();
+    let mom = MomBuilder::new(cyclic)
+        .runtime(RuntimeConfig::threaded().allow_cycles(true))
+        .build()
+        .unwrap();
     assert!(!mom.topology().is_acyclic());
     mom.shutdown();
 }
@@ -257,7 +263,7 @@ fn cyclic_topology_is_rejected_unless_opted_in() {
 #[test]
 fn persistence_accounting_is_visible() {
     let mom = MomBuilder::new(TopologySpec::single_domain(2))
-        .persistence(true)
+        .runtime(RuntimeConfig::threaded().persist(true))
         .build()
         .unwrap();
     mom.register_agent(sid(1), 1, Box::new(EchoAgent)).unwrap();
@@ -276,7 +282,7 @@ fn persistence_accounting_is_visible() {
 fn tcp_transport_end_to_end() {
     // The same bus over localhost TCP: cross-domain traffic, causal trace.
     let mom = MomBuilder::new(TopologySpec::bus(2, 3))
-        .tcp(true)
+        .net(NetConfig::tcp())
         .build()
         .unwrap();
     for s in 0..6 {

@@ -20,9 +20,17 @@
 //!   simulator drive these same state machines;
 //! - [`memory`] — an in-process transport ([`MemoryNetwork`]) connecting a
 //!   set of servers with FIFO byte channels, used by the threaded runtime;
-//! - [`transport`] — the [`Transport`] trait the runtimes drive, with
-//!   batch-native sends ([`Transport::send_batch`]) implemented beside the
-//!   endpoint types.
+//! - [`mux`] — connection multiplexing for the evented runtime: many
+//!   logical links per TCP socket ([`MuxTcpNetwork`] binds one listener
+//!   per event-loop shard), per-link FIFO preserved;
+//! - [`decode`] — zero-copy incremental frame decoding ([`FrameBuf`]):
+//!   payloads borrow from the recv buffer instead of allocating per
+//!   datagram;
+//! - [`transport`] — the [`Transport`] trait the runtimes drive:
+//!   non-blocking readiness ([`Transport::poll_recv`] +
+//!   [`Transport::set_ready_notifier`]), batch-native sends
+//!   ([`Transport::send_batch`]), and the [`ReadyMailbox`] blocking
+//!   adapter for thread-per-server loops.
 //!
 //! Frame coalescing (group-commit batching) lives in the [`link`] module:
 //! a [`BatchPolicy`] governs when a [`LinkSender`] flushes its buffered
@@ -48,19 +56,23 @@
 //! assert_eq!(out.delivered.len(), 2);
 //! ```
 
+pub mod decode;
 pub mod frame;
 pub mod health;
 pub mod link;
 pub mod memory;
 pub mod metrics;
+pub mod mux;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use decode::{FrameBuf, RawFrame};
 pub use frame::WireMessage;
 pub use health::{PeerHealth, PeerState};
 pub use link::{BatchPolicy, Datagram, LinkFrame, LinkReceiver, LinkSender};
 pub use memory::{Incoming, MemoryEndpoint, MemoryNetwork};
 pub use metrics::NetMetrics;
+pub use mux::{MuxTcpEndpoint, MuxTcpNetwork};
 pub use tcp::{TcpEndpoint, TcpNetwork};
-pub use transport::Transport;
+pub use transport::{NotifySlot, ReadyMailbox, ReadyNotifier, Transport};

@@ -11,8 +11,10 @@ use aaa_base::{Error, Result, ServerId};
 use aaa_obs::Meter;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 
 use crate::metrics::NetMetrics;
+use crate::transport::{NotifySlot, ReadyNotifier};
 
 /// A datagram tagged with its sender.
 #[derive(Debug, Clone)]
@@ -29,6 +31,9 @@ pub struct MemoryEndpoint {
     me: ServerId,
     peers: Vec<Sender<Incoming>>,
     inbox: Receiver<Incoming>,
+    /// One readiness slot per endpoint, shared network-wide: a sender
+    /// pokes the destination's slot right after pushing into its inbox.
+    notifiers: Arc<Vec<NotifySlot>>,
     metrics: Option<NetMetrics>,
 }
 
@@ -82,10 +87,21 @@ impl MemoryEndpoint {
             bytes,
         })
         .map_err(|_| Error::Closed("peer endpoint"))?;
+        if let Some(slot) = self.notifiers.get(to.as_usize()) {
+            slot.notify();
+        }
         if let Some(m) = &self.metrics {
             m.on_tx(to, len);
         }
         Ok(())
+    }
+
+    /// Installs this endpoint's readiness notifier (see
+    /// [`crate::Transport::set_ready_notifier`] for the contract).
+    pub fn set_ready_notifier(&mut self, notifier: ReadyNotifier) {
+        if let Some(slot) = self.notifiers.get(self.me.as_usize()) {
+            slot.set(notifier);
+        }
     }
 
     /// Receives the next datagram, blocking up to `timeout`.
@@ -155,12 +171,14 @@ impl MemoryNetwork {
             txs.push(tx);
             rxs.push(rx);
         }
+        let notifiers = Arc::new((0..n).map(|_| NotifySlot::new()).collect::<Vec<_>>());
         rxs.into_iter()
             .enumerate()
             .map(|(i, inbox)| MemoryEndpoint {
                 me: ServerId::new(i as u16),
                 peers: txs.clone(),
                 inbox,
+                notifiers: notifiers.clone(),
                 metrics: None,
             })
             .collect()

@@ -1,0 +1,548 @@
+//! Connection-multiplexed TCP: many logical links per socket.
+//!
+//! [`crate::TcpNetwork`] meshes `n` servers with up to `n²` sockets — the
+//! paper's one-JVM-per-server shape. At C10K scale that is untenable: a
+//! bus(32,32) topology would need ~a million potential connections. A
+//! [`MuxTcpNetwork`] instead binds **one listener per event-loop shard**
+//! and carries every logical link `(x → y)` over the single shared socket
+//! to `y`'s shard: `n²` logical links over `O(shards)` sockets.
+//!
+//! Wire format per frame: `u16` source server, `u16` destination server,
+//! `u32` payload length (all little-endian), payload bytes. The extra
+//! destination field (vs the plain TCP transport's 6-byte header) is what
+//! lets one socket serve every server on a shard — the shard reader
+//! demultiplexes by destination into per-server inboxes.
+//!
+//! **Per-link FIFO** holds because each logical link's frames always
+//! travel the same socket (writes serialized under the per-socket lock,
+//! one reader per accepted stream), which is the ordering property the
+//! AAA channel's causal protocol needs from its substrate.
+//!
+//! Frames are decoded **zero-copy** through [`FrameBuf`]: payloads are
+//! shared views into one buffer per read burst, not per-datagram
+//! allocations.
+//!
+//! Unlike [`crate::TcpEndpoint`], sends never sleep between retries —
+//! mux endpoints are driven from event-loop shards where blocking is
+//! banned — so a failed write surfaces immediately as packet loss and
+//! the link layer retransmits.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use aaa_base::{Error, Result, ServerId};
+use aaa_obs::Meter;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::decode::FrameBuf;
+use crate::health::{PeerHealth, PeerState};
+use crate::memory::Incoming;
+use crate::metrics::NetMetrics;
+use crate::transport::{NotifySlot, ReadyNotifier};
+
+/// Mux frame header: source `u16`, destination `u16`, length `u32`.
+const HEADER_LEN: usize = 8;
+
+/// Absurd-frame cutoff; a corrupt stream drops the connection.
+const MAX_FRAME: usize = 64 << 20;
+
+fn io_err(context: &str, e: std::io::Error) -> Error {
+    Error::Storage(format!("mux {context}: {e}"))
+}
+
+/// State shared by every endpoint of one mux network.
+struct MuxShared {
+    shards: usize,
+    shard_addrs: Vec<SocketAddr>,
+    /// One outbound socket per **destination shard**, shared by every
+    /// sender in the process — the multiplexing.
+    conns: Vec<Mutex<Option<TcpStream>>>,
+    connect_timeout: Duration,
+    shutdown: AtomicBool,
+    live: AtomicUsize,
+    inboxes: Vec<Sender<Incoming>>,
+    notify: Vec<NotifySlot>,
+    health: PeerHealth,
+}
+
+impl std::fmt::Debug for MuxShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxShared")
+            .field("shards", &self.shards)
+            .field("servers", &self.inboxes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MuxShared {
+    fn shard_of(&self, server: ServerId) -> usize {
+        server.as_usize() % self.shards
+    }
+
+    /// Writes one framed buffer to the destination shard's shared socket,
+    /// connecting lazily. Exactly one attempt: shard threads must not
+    /// sleep, so there is no in-transport retry — the link layer's
+    /// retransmission is the recovery path.
+    fn write_to_shard(&self, shard: usize, buf: &[u8]) -> Result<()> {
+        let mut conn = self.conns[shard].lock();
+        if conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.shard_addrs[shard], self.connect_timeout)
+                .map_err(|e| io_err("connect", e))?;
+            stream.set_nodelay(true).map_err(|e| io_err("nodelay", e))?;
+            *conn = Some(stream);
+        }
+        let stream = match conn.as_mut() {
+            Some(s) => s,
+            // Unreachable (inserted just above); surfaced as a failed
+            // write so the link layer's retransmission path recovers.
+            None => {
+                return Err(io_err(
+                    "connect",
+                    std::io::Error::other("connection missing"),
+                ))
+            }
+        };
+        if let Err(e) = stream.write_all(buf) {
+            *conn = None; // reconnect on the next attempt
+            return Err(io_err("write", e));
+        }
+        Ok(())
+    }
+}
+
+/// One server's handle on the multiplexed shard mesh.
+#[derive(Debug)]
+pub struct MuxTcpEndpoint {
+    me: ServerId,
+    shared: Arc<MuxShared>,
+    inbox: Receiver<Incoming>,
+    metrics: Option<NetMetrics>,
+}
+
+impl MuxTcpEndpoint {
+    /// This endpoint's server id.
+    pub fn me(&self) -> ServerId {
+        self.me
+    }
+
+    /// Number of servers on the mesh.
+    pub fn peer_count(&self) -> usize {
+        self.shared.inboxes.len()
+    }
+
+    /// Number of event-loop shards (and sockets) the mesh multiplexes
+    /// onto.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards
+    }
+
+    /// Attaches a metrics meter; subsequent traffic updates the
+    /// `aaa_net_tx_*`/`aaa_net_rx_*` per-peer counters.
+    pub fn attach_meter(&mut self, meter: &Meter) {
+        self.metrics = Some(NetMetrics::new(meter, self.shared.inboxes.len()));
+    }
+
+    /// Failure-detector verdict for `to` (shared across the mesh: the
+    /// socket to a shard is shared, so is the evidence about its peers).
+    pub fn peer_state(&self, to: ServerId) -> PeerState {
+        self.shared.health.state(to)
+    }
+
+    /// Installs this endpoint's readiness notifier (see
+    /// [`crate::Transport::set_ready_notifier`] for the contract).
+    pub fn set_ready_notifier(&mut self, notifier: ReadyNotifier) {
+        if let Some(slot) = self.shared.notify.get(self.me.as_usize()) {
+            slot.set(notifier);
+        }
+    }
+
+    fn frame_into(&self, out: &mut Vec<u8>, to: ServerId, bytes: &[u8]) {
+        out.extend_from_slice(&self.me.as_u16().to_le_bytes());
+        out.extend_from_slice(&to.as_u16().to_le_bytes());
+        // Saturating length prefix: the reader rejects it as absurd
+        // instead of silently truncating via `as u32` wraparound.
+        out.extend_from_slice(&u32::try_from(bytes.len()).unwrap_or(u32::MAX).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+
+    fn write_framed(&self, to: ServerId, buf: &[u8]) -> Result<()> {
+        if to.as_usize() >= self.shared.inboxes.len() {
+            return Err(Error::UnknownServer(to));
+        }
+        let shard = self.shared.shard_of(to);
+        match self.shared.write_to_shard(shard, buf) {
+            Ok(()) => {
+                self.shared.health.on_success(to);
+                Ok(())
+            }
+            Err(e) => {
+                self.shared.health.on_failure(to);
+                Err(e)
+            }
+        }
+    }
+
+    /// Sends `bytes` to `to` over the destination shard's shared socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] for an unknown peer, or a
+    /// transport error on connect/write failure (one attempt, no backoff
+    /// sleep — callers rely on link-layer retransmission).
+    pub fn send(&self, to: ServerId, bytes: Bytes) -> Result<()> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + bytes.len());
+        self.frame_into(&mut buf, to, &bytes);
+        self.write_framed(to, &buf)?;
+        if let Some(m) = &self.metrics {
+            m.on_tx(to, bytes.len());
+        }
+        Ok(())
+    }
+
+    /// Sends several packets to `to` as one buffered socket write.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MuxTcpEndpoint::send`].
+    pub fn send_batch(&self, to: ServerId, batch: &[Bytes]) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let total: usize = batch.iter().map(|b| HEADER_LEN + b.len()).sum();
+        let mut buf = Vec::with_capacity(total);
+        for bytes in batch {
+            self.frame_into(&mut buf, to, bytes);
+        }
+        self.write_framed(to, &buf)?;
+        if let Some(m) = &self.metrics {
+            for bytes in batch {
+                m.on_tx(to, bytes.len());
+            }
+        }
+        Ok(())
+    }
+
+    /// Receives without blocking; `Ok(None)` if the inbox is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Closed`] once the mesh has shut down.
+    pub fn try_recv(&self) -> Result<Option<Incoming>> {
+        match self.inbox.try_recv() {
+            Ok(msg) => {
+                if let Some(m) = &self.metrics {
+                    m.on_rx(msg.from, msg.bytes.len());
+                }
+                Ok(Some(msg))
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(Error::Closed("mux endpoint"))
+            }
+        }
+    }
+
+    /// Receives the next frame, blocking up to `timeout`; `Ok(None)` on
+    /// timeout. Test convenience — runtimes use the readiness contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Closed`] once the mesh has shut down.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Incoming>> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(msg) => {
+                if let Some(m) = &self.metrics {
+                    m.on_rx(msg.from, msg.bytes.len());
+                }
+                Ok(Some(msg))
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(Error::Closed("mux endpoint"))
+            }
+        }
+    }
+}
+
+impl Drop for MuxTcpEndpoint {
+    fn drop(&mut self) {
+        if self.shared.live.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last endpoint gone: stop the shard acceptors and readers.
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Factory for a multiplexed localhost mesh: one listener per shard,
+/// `n` endpoints demultiplexed onto them.
+#[derive(Debug)]
+pub struct MuxTcpNetwork;
+
+impl MuxTcpNetwork {
+    /// Default outbound connect timeout (matches the plain TCP mesh).
+    pub const DEFAULT_CONNECT_TIMEOUT: Duration = crate::tcp::DEFAULT_CONNECT_TIMEOUT;
+
+    /// Creates endpoints for servers `0..n`, multiplexed over `shards`
+    /// listener sockets (server `i` lives on shard `i % shards`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport error if a listener cannot be bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `shards` is zero, or `n` exceeds the `u16`
+    /// server-id space.
+    pub fn create(n: usize, shards: usize) -> Result<Vec<MuxTcpEndpoint>> {
+        Self::create_with_connect_timeout(n, shards, Self::DEFAULT_CONNECT_TIMEOUT)
+    }
+
+    /// Like [`MuxTcpNetwork::create`] with an explicit connect timeout.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MuxTcpNetwork::create`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`MuxTcpNetwork::create`].
+    pub fn create_with_connect_timeout(
+        n: usize,
+        shards: usize,
+        timeout: Duration,
+    ) -> Result<Vec<MuxTcpEndpoint>> {
+        assert!(n > 0, "a network needs at least one endpoint");
+        assert!(shards > 0, "a mux network needs at least one shard");
+        // Server ids are u16 on the wire; an unguarded cast below would
+        // silently alias endpoint 65536 onto id 0.
+        assert!(
+            n <= usize::from(u16::MAX) + 1,
+            "server ids are u16: cannot create {n} endpoints"
+        );
+        let shards = shards.min(n);
+        let mut listeners = Vec::with_capacity(shards);
+        let mut shard_addrs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("bind", e))?;
+            shard_addrs.push(listener.local_addr().map_err(|e| io_err("local_addr", e))?);
+            listeners.push(listener);
+        }
+        let mut inboxes = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            inboxes.push(tx);
+            rxs.push(rx);
+        }
+        let shared = Arc::new(MuxShared {
+            shards,
+            shard_addrs,
+            conns: (0..shards).map(|_| Mutex::new(None)).collect(),
+            connect_timeout: timeout,
+            shutdown: AtomicBool::new(false),
+            live: AtomicUsize::new(n),
+            inboxes,
+            notify: (0..n).map(|_| NotifySlot::new()).collect(),
+            health: PeerHealth::new(n),
+        });
+        for listener in listeners {
+            spawn_shard_acceptor(listener, shared.clone())?;
+        }
+        Ok(rxs
+            .into_iter()
+            .enumerate()
+            .map(|(i, inbox)| MuxTcpEndpoint {
+                me: ServerId::new(i as u16),
+                shared: shared.clone(),
+                inbox,
+                metrics: None,
+            })
+            .collect())
+    }
+}
+
+fn spawn_shard_acceptor(listener: TcpListener, shared: Arc<MuxShared>) -> Result<()> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| io_err("nonblocking", e))?;
+    std::thread::spawn(move || {
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = shared.clone();
+                    std::thread::spawn(move || shard_reader_loop(stream, &shared));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Payload length from an 8-byte `(from, to, len)` header.
+fn mux_payload_len(header: &[u8]) -> Option<usize> {
+    let &[_, _, _, _, l0, l1, l2, l3] = header else {
+        return None;
+    };
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
+    (len <= MAX_FRAME).then_some(len)
+}
+
+/// Demultiplexes one accepted stream: decodes mux frames zero-copy and
+/// routes each to its destination server's inbox, then pokes that
+/// server's readiness notifier.
+fn shard_reader_loop(stream: TcpStream, shared: &MuxShared) {
+    let mut stream = stream;
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .is_err()
+    {
+        return;
+    }
+    let mut buf = FrameBuf::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match stream.read(&mut scratch) {
+            Ok(0) => return, // peer closed
+            Ok(k) => {
+                buf.extend(&scratch[..k]);
+                let Some(frames) = buf.drain_frames(HEADER_LEN, mux_payload_len) else {
+                    return; // corrupt stream: drop the connection
+                };
+                for frame in frames {
+                    let &[f0, f1, t0, t1, ..] = frame.header.as_ref() else {
+                        continue; // impossible: drain_frames yields full headers
+                    };
+                    let from = ServerId::new(u16::from_le_bytes([f0, f1]));
+                    let to = ServerId::new(u16::from_le_bytes([t0, t1]));
+                    let Some(inbox) = shared.inboxes.get(to.as_usize()) else {
+                        continue; // unknown destination: drop the frame
+                    };
+                    if inbox
+                        .send(Incoming {
+                            from,
+                            bytes: frame.payload,
+                        })
+                        .is_err()
+                    {
+                        continue; // endpoint dropped: drop the frame
+                    }
+                    if let Some(slot) = shared.notify.get(to.as_usize()) {
+                        slot.notify();
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u16) -> ServerId {
+        ServerId::new(i)
+    }
+
+    fn recv(ep: &MuxTcpEndpoint) -> Incoming {
+        ep.recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("frame arrives")
+    }
+
+    #[test]
+    fn point_to_point_across_shards() {
+        let eps = MuxTcpNetwork::create(4, 2).unwrap();
+        assert_eq!(eps[0].shard_count(), 2);
+        eps[0].send(s(3), Bytes::from_static(b"hi")).unwrap();
+        let got = recv(&eps[3]);
+        assert_eq!(got.from, s(0));
+        assert_eq!(&got.bytes[..], b"hi");
+    }
+
+    #[test]
+    fn many_logical_links_share_one_socket() {
+        // Four servers on one shard: all 16 logical links run over a
+        // single destination socket; every frame still lands correctly.
+        let eps = MuxTcpNetwork::create(4, 1).unwrap();
+        for from in 0..4u16 {
+            for to in 0..4u16 {
+                eps[from as usize]
+                    .send(s(to), Bytes::from(vec![from as u8, to as u8]))
+                    .unwrap();
+            }
+        }
+        for (to, ep) in eps.iter().enumerate() {
+            let mut got = Vec::new();
+            for _ in 0..4 {
+                let inc = recv(ep);
+                assert_eq!(inc.bytes[1] as usize, to);
+                got.push(inc.from);
+            }
+            got.sort();
+            assert_eq!(got, vec![s(0), s(1), s(2), s(3)]);
+        }
+    }
+
+    #[test]
+    fn per_link_fifo_through_the_mux() {
+        let eps = MuxTcpNetwork::create(4, 2).unwrap();
+        for i in 0..100u32 {
+            eps[1]
+                .send(s(2), Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap();
+        }
+        for i in 0..100u32 {
+            let got = recv(&eps[2]);
+            assert_eq!(got.from, s(1));
+            assert_eq!(got.bytes[..], i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn batch_is_one_write_and_preserves_order() {
+        let eps = MuxTcpNetwork::create(2, 2).unwrap();
+        let batch: Vec<Bytes> = (0..5u8).map(|i| Bytes::from(vec![i])).collect();
+        eps[0].send_batch(s(1), &batch).unwrap();
+        for i in 0..5u8 {
+            assert_eq!(&recv(&eps[1]).bytes[..], &[i]);
+        }
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let eps = MuxTcpNetwork::create(2, 1).unwrap();
+        assert!(matches!(
+            eps[0].send(s(9), Bytes::new()),
+            Err(Error::UnknownServer(_))
+        ));
+    }
+
+    #[test]
+    fn notifier_fires_per_arrival() {
+        use std::sync::atomic::AtomicUsize;
+        let mut eps = MuxTcpNetwork::create(2, 1).unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let ep1 = &mut eps[1];
+        ep1.set_ready_notifier(Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        eps[0].send(s(1), Bytes::from_static(b"x")).unwrap();
+        let got = recv(&eps[1]);
+        assert_eq!(&got.bytes[..], b"x");
+        assert!(hits.load(Ordering::SeqCst) >= 1);
+    }
+}

@@ -25,9 +25,11 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
+use crate::decode::FrameBuf;
 use crate::health::{retry_backoff_ms, PeerHealth, PeerState};
 use crate::memory::Incoming;
 use crate::metrics::NetMetrics;
+use crate::transport::{NotifySlot, ReadyNotifier};
 
 fn io_err(context: &str, e: std::io::Error) -> Error {
     Error::Storage(format!("tcp {context}: {e}"))
@@ -58,6 +60,7 @@ pub struct TcpEndpoint {
     inbox: Receiver<Incoming>,
     conns: Mutex<ConnTable>,
     shutdown: Arc<AtomicBool>,
+    notify: NotifySlot,
     metrics: Option<NetMetrics>,
     connect_timeout: Duration,
     health: PeerHealth,
@@ -245,9 +248,30 @@ impl TcpEndpoint {
         Ok(())
     }
 
-    /// The raw inbox receiver, for `crossbeam::select!`.
-    pub fn inbox_receiver(&self) -> &Receiver<Incoming> {
-        &self.inbox
+    /// Installs this endpoint's readiness notifier (see
+    /// [`crate::Transport::set_ready_notifier`] for the contract): the
+    /// reader threads invoke it after pushing decoded frames into the
+    /// inbox.
+    pub fn set_ready_notifier(&mut self, notifier: ReadyNotifier) {
+        self.notify.set(notifier);
+    }
+
+    /// Receives without blocking; `Ok(None)` if the inbox is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Closed`] once the endpoint has shut down.
+    pub fn try_recv(&self) -> Result<Option<Incoming>> {
+        match self.inbox.try_recv() {
+            Ok(msg) => {
+                self.record_rx(msg.from, msg.bytes.len());
+                Ok(Some(msg))
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(Error::Closed("tcp endpoint"))
+            }
+        }
     }
 
     /// Receives the next frame, blocking up to `timeout`; `Ok(None)` on
@@ -327,13 +351,15 @@ impl TcpNetwork {
         for (i, listener) in listeners.into_iter().enumerate() {
             let (tx, rx) = unbounded();
             let shutdown = Arc::new(AtomicBool::new(false));
-            spawn_acceptor(listener, tx, shutdown.clone())?;
+            let notify = NotifySlot::new();
+            spawn_acceptor(listener, tx, shutdown.clone(), notify.clone())?;
             endpoints.push(TcpEndpoint {
                 me: ServerId::new(i as u16),
                 addrs: addrs.clone(),
                 inbox: rx,
                 conns: Mutex::new(ConnTable::default()),
                 shutdown,
+                notify,
                 metrics: None,
                 connect_timeout: timeout,
                 health: PeerHealth::new(n),
@@ -347,6 +373,7 @@ fn spawn_acceptor(
     listener: TcpListener,
     tx: Sender<Incoming>,
     shutdown: Arc<AtomicBool>,
+    notify: NotifySlot,
 ) -> Result<()> {
     listener
         .set_nonblocking(true)
@@ -357,7 +384,8 @@ fn spawn_acceptor(
                 Ok((stream, _)) => {
                     let tx = tx.clone();
                     let shutdown = shutdown.clone();
-                    std::thread::spawn(move || reader_loop(stream, tx, shutdown));
+                    let notify = notify.clone();
+                    std::thread::spawn(move || reader_loop(stream, tx, shutdown, notify));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(2));
@@ -369,7 +397,22 @@ fn spawn_acceptor(
     Ok(())
 }
 
-fn reader_loop(stream: TcpStream, tx: Sender<Incoming>, shutdown: Arc<AtomicBool>) {
+/// Payload length from a 6-byte `(from u16, len u32)` header; rejects
+/// absurd frames so a corrupt stream drops the connection.
+fn tcp_payload_len(header: &[u8]) -> Option<usize> {
+    let &[_, _, l0, l1, l2, l3] = header else {
+        return None;
+    };
+    let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
+    (len <= 64 << 20).then_some(len)
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    tx: Sender<Incoming>,
+    shutdown: Arc<AtomicBool>,
+    notify: NotifySlot,
+) {
     let mut stream = stream;
     if stream
         .set_read_timeout(Some(Duration::from_millis(50)))
@@ -377,59 +420,44 @@ fn reader_loop(stream: TcpStream, tx: Sender<Incoming>, shutdown: Arc<AtomicBool
     {
         return;
     }
-    let mut header = [0u8; 6];
-    'conn: while !shutdown.load(Ordering::SeqCst) {
-        // Read a full header, tolerating timeouts between frames.
-        let mut got = 0usize;
-        while got < header.len() {
-            match stream.read(&mut header[got..]) {
-                Ok(0) => break 'conn, // peer closed
-                Ok(k) => got += k,
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    if shutdown.load(Ordering::SeqCst) {
-                        break 'conn;
+    // Zero-copy decode: raw reads accumulate in a FrameBuf; each drain
+    // yields payloads as shared views into one buffer per read burst
+    // instead of a fresh allocation per frame.
+    let mut buf = FrameBuf::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    while !shutdown.load(Ordering::SeqCst) {
+        match stream.read(&mut scratch) {
+            Ok(0) => return, // peer closed
+            Ok(k) => {
+                buf.extend(&scratch[..k]);
+                let Some(frames) = buf.drain_frames(6, tcp_payload_len) else {
+                    return; // corrupt stream: drop the connection
+                };
+                let mut any = false;
+                for frame in frames {
+                    let &[f0, f1, ..] = frame.header.as_ref() else {
+                        continue; // impossible: drain_frames yields full headers
+                    };
+                    let from = ServerId::new(u16::from_le_bytes([f0, f1]));
+                    if tx
+                        .send(Incoming {
+                            from,
+                            bytes: frame.payload,
+                        })
+                        .is_err()
+                    {
+                        return;
                     }
+                    any = true;
                 }
-                Err(_) => break 'conn,
-            }
-        }
-        let mut from_bytes = [0u8; 2];
-        let mut len_bytes = [0u8; 4];
-        from_bytes.copy_from_slice(&header[..2]);
-        len_bytes.copy_from_slice(&header[2..]);
-        let from = ServerId::new(u16::from_le_bytes(from_bytes));
-        let len = u32::from_le_bytes(len_bytes) as usize;
-        if len > 64 << 20 {
-            break; // absurd frame: drop the connection
-        }
-        let mut payload = vec![0u8; len];
-        let mut got = 0usize;
-        while got < len {
-            match stream.read(&mut payload[got..]) {
-                Ok(0) => break 'conn,
-                Ok(k) => got += k,
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    if shutdown.load(Ordering::SeqCst) {
-                        break 'conn;
-                    }
+                if any {
+                    notify.notify();
                 }
-                Err(_) => break 'conn,
             }
-        }
-        if tx
-            .send(Incoming {
-                from,
-                bytes: Bytes::from(payload),
-            })
-            .is_err()
-        {
-            break;
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
         }
     }
 }

@@ -1,10 +1,28 @@
 //! The byte-transport abstraction — owned by the net crate.
 //!
 //! A [`Transport`] is what a runtime drives to move encoded datagrams
-//! between servers: the in-memory mesh ([`MemoryEndpoint`]) or localhost
-//! TCP ([`TcpEndpoint`]). It lived in `aaa-mom`'s runtime historically;
+//! between servers: the in-memory mesh ([`MemoryEndpoint`]), localhost
+//! TCP ([`TcpEndpoint`]), or the multiplexed shard mesh
+//! ([`MuxTcpEndpoint`]). It lived in `aaa-mom`'s runtime historically;
 //! it belongs here, beside the endpoint types that implement it (the
 //! MOM re-exports it for compatibility).
+//!
+//! # The readiness contract
+//!
+//! The trait is **non-blocking by design** so that many endpoints can be
+//! multiplexed onto a fixed pool of event-loop shards:
+//!
+//! - [`Transport::poll_recv`] returns the next ready datagram without
+//!   blocking (and records it in the receive counters), or `None` when
+//!   the inbox is empty;
+//! - [`Transport::set_ready_notifier`] registers a callback invoked
+//!   whenever the inbox (possibly) transitions from empty to non-empty.
+//!   An evented runtime uses it to schedule the owning server onto a
+//!   shard's run queue; nothing about the callback may block.
+//!
+//! Thread-per-server runtimes that want to *sleep* until traffic arrives
+//! wrap the notifier in a [`ReadyMailbox`] — the blocking adapter: the
+//! notifier pokes a wakeup channel the legacy `select!` loop can park on.
 //!
 //! Transports speak batches natively: [`Transport::send_batch`] hands the
 //! transport every wire packet a group-commit flush produced for one peer,
@@ -12,17 +30,146 @@
 //! — [`TcpEndpoint`] writes one contiguous buffer per batch. The default
 //! implementation falls back to one [`Transport::send`] per packet.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use aaa_base::{Result, ServerId};
 use aaa_obs::Meter;
 use bytes::Bytes;
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
 
 use crate::health::PeerState;
 use crate::memory::{Incoming, MemoryEndpoint};
+use crate::mux::MuxTcpEndpoint;
 use crate::tcp::TcpEndpoint;
 
+/// A readiness callback: invoked by a transport when its inbox may have
+/// become non-empty. Must be cheap and must never block — it typically
+/// flips an atomic flag and pushes a server index onto a run queue.
+pub type ReadyNotifier = Arc<dyn Fn() + Send + Sync>;
+
+/// A shared, swappable slot holding an endpoint's [`ReadyNotifier`].
+///
+/// Senders (peer endpoints, reader threads) clone the slot and call
+/// [`NotifySlot::notify`] after pushing into the inbox; the runtime
+/// installs the callback through [`Transport::set_ready_notifier`].
+/// Until one is installed, notifications are silently dropped — runtimes
+/// must poll once after installing to cover the gap.
+#[derive(Clone, Default)]
+pub struct NotifySlot(Arc<RwLock<Option<ReadyNotifier>>>);
+
+impl NotifySlot {
+    /// A fresh, empty slot.
+    #[must_use]
+    pub fn new() -> NotifySlot {
+        NotifySlot::default()
+    }
+
+    /// Installs (or replaces) the notifier.
+    pub fn set(&self, notifier: ReadyNotifier) {
+        *self.0.write() = Some(notifier);
+    }
+
+    /// Invokes the installed notifier, if any.
+    pub fn notify(&self) {
+        if let Some(n) = self.0.read().as_ref() {
+            n();
+        }
+    }
+}
+
+impl std::fmt::Debug for NotifySlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NotifySlot")
+            .field("installed", &self.0.read().is_some())
+            .finish()
+    }
+}
+
+/// The blocking adapter over the readiness contract.
+///
+/// Legacy thread-per-server runtimes park on a channel; an evented
+/// transport only offers a notifier callback. `ReadyMailbox` bridges the
+/// two: [`ReadyMailbox::notifier`] returns a callback that sends one
+/// wakeup token (collapsing bursts through an atomic flag so the channel
+/// never grows unboundedly), and the loop `select!`s on
+/// [`ReadyMailbox::receiver`]. Call [`ReadyMailbox::ack`] *before*
+/// draining [`Transport::poll_recv`] so a datagram arriving mid-drain
+/// re-arms the wakeup.
+pub struct ReadyMailbox {
+    armed: Arc<AtomicBool>,
+    tx: Sender<()>,
+    rx: Receiver<()>,
+}
+
+impl ReadyMailbox {
+    /// A fresh mailbox with no pending wakeups.
+    #[must_use]
+    pub fn new() -> ReadyMailbox {
+        let (tx, rx) = unbounded();
+        ReadyMailbox {
+            armed: Arc::new(AtomicBool::new(false)),
+            tx,
+            rx,
+        }
+    }
+
+    /// The notifier to install via [`Transport::set_ready_notifier`].
+    #[must_use]
+    pub fn notifier(&self) -> ReadyNotifier {
+        let armed = self.armed.clone();
+        let tx = self.tx.clone();
+        Arc::new(move || {
+            if !armed.swap(true, Ordering::AcqRel) {
+                // Receiver alive for the mailbox's lifetime; a send can
+                // only fail during teardown, when the wakeup is moot.
+                // audit:allow(error-swallow)
+                let _ = tx.send(());
+            }
+        })
+    }
+
+    /// The wakeup channel to park on (`select!`/`recv_timeout`).
+    #[must_use]
+    pub fn receiver(&self) -> &Receiver<()> {
+        &self.rx
+    }
+
+    /// Re-arms the mailbox; call before draining the transport so
+    /// arrivals during the drain produce a fresh wakeup.
+    pub fn ack(&self) {
+        self.armed.store(false, Ordering::Release);
+    }
+
+    /// Queues a wakeup to self — used when a bounded drain stopped early
+    /// and the loop must come back for the remainder.
+    pub fn reschedule(&self) {
+        if !self.armed.swap(true, Ordering::AcqRel) {
+            // Same as in `notifier`: failure means teardown.
+            // audit:allow(error-swallow)
+            let _ = self.tx.send(());
+        }
+    }
+}
+
+impl Default for ReadyMailbox {
+    fn default() -> Self {
+        ReadyMailbox::new()
+    }
+}
+
+impl std::fmt::Debug for ReadyMailbox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadyMailbox")
+            .field("armed", &self.armed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
 /// A byte transport a runtime can drive: the in-memory mesh
-/// ([`MemoryEndpoint`]) or localhost TCP ([`TcpEndpoint`]).
+/// ([`MemoryEndpoint`]), localhost TCP ([`TcpEndpoint`]), or the
+/// multiplexed shard mesh ([`MuxTcpEndpoint`]).
 pub trait Transport: Send + 'static {
     /// This endpoint's server id.
     fn me(&self) -> ServerId;
@@ -51,15 +198,24 @@ pub trait Transport: Send + 'static {
         Ok(())
     }
 
-    /// The inbox receiver for `select!`.
-    fn inbox_receiver(&self) -> &Receiver<Incoming>;
+    /// Returns the next ready datagram without blocking (`None` when the
+    /// inbox is empty). Implementations record the frame in their receive
+    /// counters, so runtimes need no separate accounting call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aaa_base::Error::Closed`] once the transport has shut
+    /// down and no more datagrams can ever arrive.
+    fn poll_recv(&self) -> Result<Option<Incoming>>;
+
+    /// Installs the readiness callback invoked whenever the inbox may
+    /// have become non-empty (see the module docs for the contract).
+    /// Replaces any previously installed notifier. Poll once after
+    /// installing: datagrams that arrived earlier produced no callback.
+    fn set_ready_notifier(&mut self, notifier: ReadyNotifier);
 
     /// Attaches a metrics meter (default: no instrumentation).
     fn attach_meter(&mut self, _meter: &Meter) {}
-
-    /// Records one received frame (runtimes draining `inbox_receiver`
-    /// directly call this per frame; default: no-op).
-    fn record_rx(&self, _from: ServerId, _len: usize) {}
 
     /// Failure-detector verdict for `to`, if this transport tracks one.
     ///
@@ -79,14 +235,14 @@ impl Transport for MemoryEndpoint {
     fn send(&self, to: ServerId, bytes: Bytes) -> Result<()> {
         MemoryEndpoint::send(self, to, bytes)
     }
-    fn inbox_receiver(&self) -> &Receiver<Incoming> {
-        MemoryEndpoint::inbox_receiver(self)
+    fn poll_recv(&self) -> Result<Option<Incoming>> {
+        MemoryEndpoint::try_recv(self)
+    }
+    fn set_ready_notifier(&mut self, notifier: ReadyNotifier) {
+        MemoryEndpoint::set_ready_notifier(self, notifier);
     }
     fn attach_meter(&mut self, meter: &Meter) {
         MemoryEndpoint::attach_meter(self, meter);
-    }
-    fn record_rx(&self, from: ServerId, len: usize) {
-        MemoryEndpoint::record_rx(self, from, len);
     }
 }
 
@@ -100,17 +256,41 @@ impl Transport for TcpEndpoint {
     fn send_batch(&self, to: ServerId, batch: &[Bytes]) -> Result<()> {
         TcpEndpoint::send_batch(self, to, batch)
     }
-    fn inbox_receiver(&self) -> &Receiver<Incoming> {
-        TcpEndpoint::inbox_receiver(self)
+    fn poll_recv(&self) -> Result<Option<Incoming>> {
+        TcpEndpoint::try_recv(self)
+    }
+    fn set_ready_notifier(&mut self, notifier: ReadyNotifier) {
+        TcpEndpoint::set_ready_notifier(self, notifier);
     }
     fn attach_meter(&mut self, meter: &Meter) {
         TcpEndpoint::attach_meter(self, meter);
     }
-    fn record_rx(&self, from: ServerId, len: usize) {
-        TcpEndpoint::record_rx(self, from, len);
-    }
     fn peer_state(&self, to: ServerId) -> PeerState {
         TcpEndpoint::peer_state(self, to)
+    }
+}
+
+impl Transport for MuxTcpEndpoint {
+    fn me(&self) -> ServerId {
+        MuxTcpEndpoint::me(self)
+    }
+    fn send(&self, to: ServerId, bytes: Bytes) -> Result<()> {
+        MuxTcpEndpoint::send(self, to, bytes)
+    }
+    fn send_batch(&self, to: ServerId, batch: &[Bytes]) -> Result<()> {
+        MuxTcpEndpoint::send_batch(self, to, batch)
+    }
+    fn poll_recv(&self) -> Result<Option<Incoming>> {
+        MuxTcpEndpoint::try_recv(self)
+    }
+    fn set_ready_notifier(&mut self, notifier: ReadyNotifier) {
+        MuxTcpEndpoint::set_ready_notifier(self, notifier);
+    }
+    fn attach_meter(&mut self, meter: &Meter) {
+        MuxTcpEndpoint::attach_meter(self, meter);
+    }
+    fn peer_state(&self, to: ServerId) -> PeerState {
+        MuxTcpEndpoint::peer_state(self, to)
     }
 }
 
@@ -119,7 +299,8 @@ mod tests {
     use super::*;
     use crate::memory::MemoryNetwork;
     use crate::tcp::TcpNetwork;
-    use std::time::Duration;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::{Duration, Instant};
 
     fn drive<T: Transport>(eps: &[T], recv: impl Fn(&T) -> Incoming) {
         let batch = vec![
@@ -135,26 +316,84 @@ mod tests {
         }
     }
 
+    /// Blocking drain through the trait's poll contract, for tests.
+    fn poll_until<T: Transport>(ep: &T, deadline: Duration) -> Incoming {
+        let start = Instant::now();
+        loop {
+            if let Some(inc) = ep.poll_recv().unwrap() {
+                return inc;
+            }
+            assert!(
+                start.elapsed() < deadline,
+                "no datagram within {deadline:?}"
+            );
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
     #[test]
     fn memory_send_batch_preserves_order() {
         let eps = MemoryNetwork::create(2);
-        drive(&eps, |ep| {
-            ep.recv_timeout(Duration::from_secs(1)).unwrap().unwrap()
-        });
+        drive(&eps, |ep| poll_until(ep, Duration::from_secs(1)));
     }
 
     #[test]
     fn tcp_send_batch_is_one_buffer_many_packets() {
         let eps = TcpNetwork::create(2).unwrap();
-        drive(&eps, |ep| {
-            ep.recv_timeout(Duration::from_secs(5)).unwrap().unwrap()
-        });
+        drive(&eps, |ep| poll_until(ep, Duration::from_secs(5)));
     }
 
     #[test]
     fn empty_batch_is_a_noop() {
         let eps = MemoryNetwork::create(2);
         Transport::send_batch(&eps[0], ServerId::new(1), &[]).unwrap();
-        assert!(eps[1].try_recv().unwrap().is_none());
+        assert!(eps[1].poll_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn notifier_fires_on_send() {
+        let mut eps = MemoryNetwork::create(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        eps[1].set_ready_notifier(Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        eps[0]
+            .send(ServerId::new(1), Bytes::from_static(b"x"))
+            .unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert!(eps[1].poll_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn ready_mailbox_collapses_bursts_and_rearms() {
+        let mut eps = MemoryNetwork::create(2);
+        let mailbox = ReadyMailbox::new();
+        eps[1].set_ready_notifier(mailbox.notifier());
+        for _ in 0..10 {
+            eps[0]
+                .send(ServerId::new(1), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        // A burst produces exactly one wakeup token.
+        assert!(mailbox
+            .receiver()
+            .recv_timeout(Duration::from_secs(1))
+            .is_ok());
+        assert!(mailbox.receiver().try_recv().is_err());
+        // Ack, drain, and the next send re-arms the wakeup.
+        mailbox.ack();
+        while eps[1].poll_recv().unwrap().is_some() {}
+        eps[0]
+            .send(ServerId::new(1), Bytes::from_static(b"y"))
+            .unwrap();
+        assert!(mailbox
+            .receiver()
+            .recv_timeout(Duration::from_secs(1))
+            .is_ok());
+        // Explicit reschedule queues a wakeup without traffic.
+        mailbox.ack();
+        mailbox.reschedule();
+        assert!(mailbox.receiver().try_recv().is_ok());
     }
 }

@@ -44,4 +44,4 @@ mod simulation;
 
 pub use aaa_chaos::{CrashEvent, FaultAction, FaultPlan, FaultStats, LinkFaults, Partition};
 pub use cost::CostModel;
-pub use simulation::{FaultConfig, Simulation};
+pub use simulation::Simulation;

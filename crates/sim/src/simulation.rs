@@ -41,23 +41,6 @@ enum Event {
     Timer { server: usize },
 }
 
-/// Deterministic network-fault injection for the simulator — the legacy,
-/// drop-only shape.
-///
-/// **Deprecated in favour of [`FaultPlan`]** (via
-/// [`Simulation::with_fault_plan`]), which adds duplication,
-/// delay/reorder, partition windows and crash schedules. `FaultConfig`
-/// remains as a thin alias: [`Simulation::with_faults`] forwards to
-/// `FaultPlan::drop_only(p, seed)`, which is draw-for-draw compatible —
-/// the same seed loses the same datagrams it always did.
-#[derive(Debug, Clone, Copy)]
-pub struct FaultConfig {
-    /// Probability in `[0, 1)` that any datagram is lost in transit.
-    pub drop_probability: f64,
-    /// Seed of the drop decision stream.
-    pub seed: u64,
-}
-
 /// A deterministic simulation of a complete MOM.
 ///
 /// Servers are single-threaded resources: each event occupies its target
@@ -115,34 +98,6 @@ impl Simulation {
             ..config
         };
         Self::build(topology, config, model, None)
-    }
-
-    /// Builds a simulation with deterministic packet loss; the link
-    /// layer's acknowledgements and retransmissions (driven by simulated
-    /// timers at the configured [`ServerConfig::rto`]) repair it.
-    ///
-    /// This is the legacy drop-only shape; prefer
-    /// [`Simulation::with_fault_plan`] for duplication, delay/reorder and
-    /// partitions. Same seed, same losses: this forwards to
-    /// [`FaultPlan::drop_only`], whose decision stream is draw-for-draw
-    /// compatible with the historical implementation.
-    ///
-    /// # Errors
-    ///
-    /// Propagates server construction errors, or [`aaa_base::Error::Config`]
-    /// if `drop_probability` is not in `[0, 1)`.
-    pub fn with_faults(
-        topology: Topology,
-        config: ServerConfig,
-        model: CostModel,
-        faults: FaultConfig,
-    ) -> Result<Simulation> {
-        Self::with_fault_plan(
-            topology,
-            config,
-            model,
-            FaultPlan::drop_only(faults.drop_probability, faults.seed),
-        )
     }
 
     /// Builds a simulation executing a full [`FaultPlan`]: per-link
@@ -252,8 +207,8 @@ impl Simulation {
     /// [`ServerConfig::persist`] enabled the server resumes transparently.
     ///
     /// Crash recovery relies on link retransmission timers, so build the
-    /// simulation with [`Simulation::with_faults`] (a drop probability of
-    /// `0.0` is fine) — the plain constructor disables timers by using an
+    /// simulation with [`Simulation::with_fault_plan`] (an empty plan is
+    /// fine) — the plain constructor disables timers by using an
     /// effectively infinite RTO.
     ///
     /// # Panics
@@ -744,20 +699,16 @@ mod tests {
 
     #[test]
     fn lossy_network_still_delivers_everything_causally() {
-        use crate::simulation::FaultConfig;
         let topo = TopologySpec::single_domain(4).validate().unwrap();
         let config = ServerConfig {
             rto: aaa_base::VDuration::from_millis(50),
             ..ServerConfig::default()
         };
-        let mut sim = Simulation::with_faults(
+        let mut sim = Simulation::with_fault_plan(
             topo,
             config,
             CostModel::paper_calibrated(),
-            FaultConfig {
-                drop_probability: 0.25,
-                seed: 11,
-            },
+            FaultPlan::drop_only(0.25, 11),
         )
         .unwrap();
         let recorder = TraceRecorder::new();
@@ -779,21 +730,17 @@ mod tests {
 
     #[test]
     fn lossy_runs_are_deterministic() {
-        use crate::simulation::FaultConfig;
         let run = || {
             let topo = TopologySpec::single_domain(3).validate().unwrap();
             let config = ServerConfig {
                 rto: aaa_base::VDuration::from_millis(30),
                 ..ServerConfig::default()
             };
-            let mut sim = Simulation::with_faults(
+            let mut sim = Simulation::with_fault_plan(
                 topo,
                 config,
                 CostModel::paper_calibrated(),
-                FaultConfig {
-                    drop_probability: 0.3,
-                    seed: 5,
-                },
+                FaultPlan::drop_only(0.3, 5),
             )
             .unwrap();
             for s in 0..3u16 {
@@ -810,7 +757,6 @@ mod tests {
 
     #[test]
     fn crash_and_recover_in_virtual_time() {
-        use crate::simulation::FaultConfig;
         use aaa_mom::Agent;
 
         struct Counter(u32);
@@ -837,14 +783,11 @@ mod tests {
             rto: aaa_base::VDuration::from_millis(50),
             ..ServerConfig::default()
         };
-        let mut sim = Simulation::with_faults(
+        let mut sim = Simulation::with_fault_plan(
             topo,
             config,
             CostModel::paper_calibrated(),
-            FaultConfig {
-                drop_probability: 0.0,
-                seed: 0,
-            },
+            FaultPlan::drop_only(0.0, 0),
         )
         .unwrap();
         let recorder = TraceRecorder::new();
@@ -946,20 +889,16 @@ mod tests {
 
     #[test]
     fn crash_discards_are_counted_separately() {
-        use crate::simulation::FaultConfig;
         let topo = TopologySpec::single_domain(2).validate().unwrap();
         let config = ServerConfig {
             rto: aaa_base::VDuration::from_millis(50),
             ..ServerConfig::default()
         };
-        let mut sim = Simulation::with_faults(
+        let mut sim = Simulation::with_fault_plan(
             topo,
             config,
             CostModel::paper_calibrated(),
-            FaultConfig {
-                drop_probability: 0.0,
-                seed: 0,
-            },
+            FaultPlan::drop_only(0.0, 0),
         )
         .unwrap();
         let dest = ServerId::new(1);
@@ -1007,16 +946,12 @@ mod tests {
 
     #[test]
     fn invalid_drop_probability_rejected() {
-        use crate::simulation::FaultConfig;
         let topo = TopologySpec::single_domain(2).validate().unwrap();
-        assert!(Simulation::with_faults(
+        assert!(Simulation::with_fault_plan(
             topo,
             ServerConfig::default(),
             CostModel::zero(),
-            FaultConfig {
-                drop_probability: 1.5,
-                seed: 0
-            },
+            FaultPlan::drop_only(1.5, 0),
         )
         .is_err());
     }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aaa_middleware::base::{AgentId, ServerId};
-use aaa_middleware::mom::{Agent, MomBuilder, Notification, ReactionContext};
+use aaa_middleware::mom::{Agent, MomBuilder, Notification, ReactionContext, RuntimeConfig};
 use aaa_middleware::topology::TopologySpec;
 use parking_lot::Mutex;
 
@@ -41,8 +41,8 @@ impl Agent for Counter {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let observed: Arc<Mutex<Vec<u32>>> = Default::default();
     let mom = MomBuilder::new(TopologySpec::single_domain(2))
-        .persistence(true) // enable the transactional image
-        .record_trace(true)
+        // persistence on: enable the transactional image
+        .runtime(RuntimeConfig::threaded().persist(true).record_trace(true))
         .build()?;
 
     let counter_server = ServerId::new(1);

@@ -66,10 +66,9 @@ fn run(
 ) -> Result<RunResult> {
     let servers: u16 = 16;
     let mom = MomBuilder::new(TopologySpec::bus(4, 4))
-        .stamp_mode(StampMode::Full)
-        .persistence(true)
-        .record_trace(false)
-        .batching(policy)
+        .clock(ClockConfig::mode(StampMode::Full))
+        .runtime(RuntimeConfig::threaded().persist(true).record_trace(false))
+        .net(NetConfig::memory().batch(policy))
         .build()?;
     // A no-op sink on every server: we measure the middleware, not agents.
     for s in 0..servers {

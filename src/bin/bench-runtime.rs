@@ -1,0 +1,253 @@
+//! `bench-runtime` — head-to-head of the two execution substrates behind
+//! the same sans-IO cores: one OS thread per server
+//! (`RuntimeKind::Threaded`) versus the sharded event-loop pool
+//! (`RuntimeKind::Evented`).
+//!
+//! ```text
+//! bench-runtime [--short] [messages-per-sender]
+//! ```
+//!
+//! The workload is the bench-batching ring (`server i → server i+1`,
+//! bursts of 32 through [`Mom::send_batch`], a no-op sink agent on every
+//! server) over three bus topologies:
+//!
+//! | topology | servers | threaded | evented |
+//! |---|---|---|---|
+//! | `bus(4,4)` | 16 | ✓ | ✓ |
+//! | `bus(8,8)` | 64 | ✓ | ✓ |
+//! | `bus(32,32)` | 1024 | — | ✓ |
+//!
+//! `bus(32,32)` is the C10K point: the threaded runtime would need 1024
+//! OS threads (plus their polling wakeups) for it, which is exactly the
+//! scaling wall the evented runtime removes — one process, a fixed shard
+//! pool, 1024 multiplexed servers. Each run reports throughput and the
+//! p99 send→deliver latency read off the per-server
+//! `aaa_server_delivery_latency_us` histograms. Results go to stderr and
+//! `BENCH_runtime.json`.
+//!
+//! `--short` (or `BENCH_SHORT=1`) runs a few messages per sender as a CI
+//! smoke test: full pipeline, all five runs, no performance assertions.
+//! The full run asserts the evented runtime clears 5× the threaded
+//! throughput on `bus(8,8)` and delivers the complete `bus(32,32)`
+//! workload.
+
+use std::time::{Duration, Instant};
+
+use aaa_middleware::obs::{HistogramSnapshot, SampleValue};
+use aaa_middleware::prelude::*;
+
+const BURST: usize = 32;
+
+/// Outcome of one benchmark run.
+struct RunResult {
+    label: String,
+    topology: &'static str,
+    servers: u16,
+    messages: u64,
+    elapsed: Duration,
+    p99_us: u64,
+}
+
+impl RunResult {
+    fn msgs_per_sec(&self) -> f64 {
+        self.messages as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+fn aid(s: u16, l: u32) -> AgentId {
+    AgentId::new(ServerId::new(s), l)
+}
+
+/// Merges every per-server sample of a histogram family and returns the
+/// p99 bucket bound.
+fn merged_p99(snap: &MetricsSnapshot, name: &str) -> u64 {
+    let mut merged: Option<HistogramSnapshot> = None;
+    for family in snap.families.iter().filter(|f| f.name == name) {
+        for sample in &family.samples {
+            let SampleValue::Histogram(h) = &sample.value else {
+                continue;
+            };
+            match &mut merged {
+                None => merged = Some(h.clone()),
+                Some(m) => {
+                    for (into, c) in m.counts.iter_mut().zip(&h.counts) {
+                        *into += c;
+                    }
+                    m.sum += h.sum;
+                    m.count += h.count;
+                }
+            }
+        }
+    }
+    merged.and_then(|m| m.quantile(0.99)).unwrap_or(0)
+}
+
+/// Runs the ring workload on one (topology, runtime) combination.
+fn run(
+    kind: &str,
+    topology: &'static str,
+    k: u16,
+    runtime: RuntimeConfig,
+    per_sender: usize,
+) -> Result<RunResult> {
+    let servers = k * k;
+    let label = format!("{kind}_bus{k}x{k}");
+    let mom = MomBuilder::new(TopologySpec::bus(k, k))
+        .clock(ClockConfig::mode(StampMode::Updates))
+        .runtime(runtime.record_trace(false).metrics(true))
+        .build()?;
+    // A no-op sink on every server: we measure the runtimes, not agents.
+    for s in 0..servers {
+        mom.register_agent(
+            ServerId::new(s),
+            1,
+            Box::new(FnAgent::new(|_ctx, _from, _note| {})),
+        )?;
+    }
+
+    let total = per_sender as u64 * u64::from(servers);
+    let note = Notification::signal("bench");
+    let start = Instant::now();
+    for s in 0..servers {
+        let from = aid(s, 9);
+        let to = aid((s + 1) % servers, 1);
+        let mut left = per_sender;
+        while left > 0 {
+            let n = left.min(BURST);
+            let batch: Vec<_> = (0..n).map(|_| (to, note.clone())).collect();
+            mom.send_batch(from, batch, SendOptions::new())?;
+            left -= n;
+        }
+    }
+    assert!(
+        mom.quiesce(Duration::from_secs(300)),
+        "{label}: bus failed to quiesce"
+    );
+    let elapsed = start.elapsed();
+
+    let snap = mom.metrics();
+    let delivered = snap.sum_counter("aaa_channel_delivered_total");
+    assert_eq!(delivered, total, "{label}: lost messages");
+    let result = RunResult {
+        label,
+        topology,
+        servers,
+        messages: total,
+        elapsed,
+        p99_us: merged_p99(&snap, "aaa_server_delivery_latency_us"),
+    };
+    mom.shutdown();
+    Ok(result)
+}
+
+fn json_run(r: &RunResult) -> String {
+    format!(
+        "  \"{}\": {{\n    \"topology\": \"{}\",\n    \"servers\": {},\n    \
+         \"messages\": {},\n    \"elapsed_ms\": {:.1},\n    \
+         \"messages_per_sec\": {:.1},\n    \"p99_latency_us\": {}\n  }}",
+        r.label,
+        r.topology,
+        r.servers,
+        r.messages,
+        r.elapsed.as_secs_f64() * 1e3,
+        r.msgs_per_sec(),
+        r.p99_us,
+    )
+}
+
+fn main() -> Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    let short = args.iter().any(|a| a == "--short") || std::env::var_os("BENCH_SHORT").is_some();
+    let per_sender: usize = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if short { 8 } else { 64 });
+    // The 1024-server run scales the per-sender count down so the total
+    // stays comparable to the 64-server runs.
+    let per_sender_big = (per_sender / 8).max(2);
+
+    eprintln!(
+        "bench-runtime: ring workload, burst {BURST}, {per_sender} msgs/sender \
+         ({per_sender_big} on bus(32,32)){}",
+        if short { " [short]" } else { "" }
+    );
+
+    let runs = vec![
+        run(
+            "threaded",
+            "bus(4,4)",
+            4,
+            RuntimeConfig::threaded(),
+            per_sender,
+        )?,
+        run(
+            "evented",
+            "bus(4,4)",
+            4,
+            RuntimeConfig::evented(0),
+            per_sender,
+        )?,
+        run(
+            "threaded",
+            "bus(8,8)",
+            8,
+            RuntimeConfig::threaded(),
+            per_sender,
+        )?,
+        run(
+            "evented",
+            "bus(8,8)",
+            8,
+            RuntimeConfig::evented(0),
+            per_sender,
+        )?,
+        run(
+            "evented",
+            "bus(32,32)",
+            32,
+            RuntimeConfig::evented(0),
+            per_sender_big,
+        )?,
+    ];
+
+    for r in &runs {
+        eprintln!(
+            "  {:>20}: {:>9.0} msg/s  p99 {:>8} µs  ({} msgs, {} servers)",
+            r.label,
+            r.msgs_per_sec(),
+            r.p99_us,
+            r.messages,
+            r.servers,
+        );
+    }
+    let rate = |label: &str| {
+        runs.iter()
+            .find(|r| r.label == label)
+            .map(RunResult::msgs_per_sec)
+            .unwrap_or(0.0)
+    };
+    let speedup_small = rate("evented_bus4x4") / rate("threaded_bus4x4");
+    let speedup = rate("evented_bus8x8") / rate("threaded_bus8x8");
+    eprintln!(
+        "  evented/threaded speedup: {speedup_small:.2}x on bus(4,4), {speedup:.2}x on bus(8,8)"
+    );
+
+    let body: Vec<String> = runs.iter().map(json_run).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"runtime\",\n  \"burst\": {BURST},\n  \"short\": {short},\n\
+         {},\n  \"speedup_bus4x4\": {speedup_small:.3},\n  \"speedup_bus8x8\": {speedup:.3}\n}}\n",
+        body.join(",\n"),
+    );
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    eprintln!("  wrote BENCH_runtime.json");
+
+    if !short {
+        assert!(
+            speedup >= 5.0,
+            "evented runtime speedup regressed: {speedup:.2}x < 5.0x on bus(8,8)"
+        );
+    }
+    Ok(())
+}

@@ -31,13 +31,17 @@
 //! # Quickstart
 //!
 //! ```
-//! use aaa_middleware::mom::{MomBuilder, StampMode};
+//! use aaa_middleware::mom::{ClockConfig, MomBuilder, RuntimeConfig, StampMode};
 //! use aaa_middleware::topology::TopologySpec;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Three servers in one domain of causality.
+//! // Three servers in one domain of causality, on the sharded
+//! // event-loop runtime.
 //! let spec = TopologySpec::single_domain(3);
-//! let mut mom = MomBuilder::new(spec).stamp_mode(StampMode::Updates).build()?;
+//! let mut mom = MomBuilder::new(spec)
+//!     .runtime(RuntimeConfig::evented(2))
+//!     .clock(ClockConfig::mode(StampMode::Updates))
+//!     .build()?;
 //! # let _ = &mut mom;
 //! # Ok(())
 //! # }
@@ -76,12 +80,14 @@ pub mod prelude {
     pub use aaa_base::{
         Absorb, AgentId, DomainId, Error, MessageId, Result, ServerId, VDuration, VTime,
     };
+    pub use aaa_chaos::{FaultPlan, FaultTransport};
     pub use aaa_clocks::{
         Batching, ClockEngine, FullEngine, HybridEngine, ReducedEngine, StampMode, UpdatesEngine,
     };
     pub use aaa_mom::{
-        Agent, AgentMessage, BatchPolicy, DeliveryPolicy, EchoAgent, FnAgent, Mom, MomBuilder,
-        Notification, ReactionContext, SendOptions, ServerConfig, StepStats,
+        Agent, AgentMessage, BatchPolicy, ClockConfig, DeliveryPolicy, EchoAgent, FnAgent, Mom,
+        MomBuilder, NetConfig, Notification, ReactionContext, RuntimeConfig, RuntimeKind,
+        SendOptions, ServerConfig, StepStats, TransportKind,
     };
     pub use aaa_obs::{
         Counter, Gauge, Histogram, LatencyTracker, Meter, MetricsServer, MetricsSnapshot, Registry,

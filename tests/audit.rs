@@ -234,6 +234,53 @@ fn sabotage_blocking_call_in_step_is_caught() {
 }
 
 #[test]
+fn sabotage_blocking_call_in_shard_loop_is_caught() {
+    // A sleep injected into the evented shard step: unlike the threaded
+    // runtime (one thread per server), a stalled shard worker delays
+    // *every* server multiplexed onto it — the rule must reach the
+    // `run_ready_server` entry's whole call tree.
+    let f = findings_after(&[("crates/mom/src/runtime/evented.rs", &|t| {
+        t.replacen(
+            "slot.scheduled.store(false, Ordering::Release);",
+            "slot.scheduled.store(false, Ordering::Release);\n        \
+             std::thread::sleep(TIMER_RESOLUTION);",
+            1,
+        )
+    })]);
+    let hit = f
+        .iter()
+        .find(|f| f.rule == "block-in-step" && f.file == "crates/mom/src/runtime/evented.rs")
+        .unwrap_or_else(|| panic!("blocking call in shard loop not flagged; findings: {f:#?}"));
+    assert!(hit.line > 0, "diagnostic must carry a line number");
+    assert!(
+        hit.message.contains("run_ready_server"),
+        "diagnostic should name the shard-loop entry: {}",
+        hit.message
+    );
+}
+
+#[test]
+fn sabotage_new_pub_item_without_baseline_is_caught() {
+    // A new `pub fn` added to aaa-mom without touching PUBLIC_API.txt:
+    // the surface grew without the prelude/docs decision the baseline
+    // diff is meant to force into review.
+    let f = findings_after(&[("crates/mom/src/lib.rs", &|t| {
+        format!("{t}\npub fn sneaky_new_api() {{}}\n")
+    })]);
+    let hit = f
+        .iter()
+        .find(|f| f.rule == "pub-api-drift" && f.message.contains("sneaky_new_api"))
+        .unwrap_or_else(|| panic!("unrecorded pub item not flagged; findings: {f:#?}"));
+    assert_eq!(hit.file, "crates/mom/src/lib.rs");
+    assert!(hit.line > 0, "diagnostic must carry a line number");
+    assert!(
+        hit.message.contains("fix-pub-api"),
+        "diagnostic should prescribe the baseline refresh: {}",
+        hit.message
+    );
+}
+
+#[test]
 fn audit_output_is_byte_identical_across_runs() {
     // Determinism is part of the contract: identical trees produce
     // identical findings, identical rendered SARIF and identical metric

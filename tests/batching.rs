@@ -10,7 +10,6 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aaa_middleware::prelude::*;
-use aaa_middleware::sim::FaultConfig;
 use aaa_middleware::trace::TraceRecorder;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -44,14 +43,11 @@ fn random_batches_under_loss_stay_causal_and_exactly_once() {
             !config.batch.is_disabled(),
             "batching must be on by default"
         );
-        let mut sim = Simulation::with_faults(
+        let mut sim = Simulation::with_fault_plan(
             topo,
             config,
             CostModel::paper_calibrated(),
-            FaultConfig {
-                drop_probability: 0.2,
-                seed: seed + 3,
-            },
+            FaultPlan::drop_only(0.2, seed + 3),
         )
         .unwrap();
         let registry = Registry::default();
@@ -130,7 +126,10 @@ fn randomized_batch_policies_converge_threaded() {
         let mut rng = StdRng::seed_from_u64(31 + i as u64);
         let spec = common::random_acyclic_spec(i as u64 + 7, 3, 2, 3);
         let n = spec.server_count() as u16;
-        let mom = MomBuilder::new(spec).batching(policy).build().unwrap();
+        let mom = MomBuilder::new(spec)
+            .net(NetConfig::memory().batch(policy))
+            .build()
+            .unwrap();
         for s in 0..n {
             mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent))
                 .unwrap();
@@ -184,12 +183,12 @@ fn randomized_batch_policies_converge_threaded() {
 fn mid_batch_crash_recovers_buffered_frames() {
     let seen: Arc<Mutex<Vec<String>>> = Default::default();
     let mom = MomBuilder::new(TopologySpec::single_domain(2))
-        .persistence(true)
-        .batching(BatchPolicy {
+        .runtime(RuntimeConfig::threaded().persist(true))
+        .net(NetConfig::memory().batch(BatchPolicy {
             max_frames: 64,
             max_bytes: 256 * 1024,
             max_delay: VDuration::from_millis(600_000), // effectively: never
-        })
+        }))
         .build()
         .unwrap();
     let source = ServerId::new(0);
@@ -230,7 +229,7 @@ fn mid_batch_crash_recovers_buffered_frames() {
 fn destination_crash_between_bursts_is_exactly_once() {
     let seen: Arc<Mutex<Vec<String>>> = Default::default();
     let mom = MomBuilder::new(TopologySpec::single_domain(2))
-        .persistence(true)
+        .runtime(RuntimeConfig::threaded().persist(true))
         .build()
         .unwrap();
     let dest = ServerId::new(1);

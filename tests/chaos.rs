@@ -1,6 +1,6 @@
 //! Chaos soak: seeded deterministic fault plans against the full stack.
 //!
-//! Three legs:
+//! Four legs:
 //!
 //! 1. A randomized **simulator soak** — 24 derived fault plans covering
 //!    loss, duplication, delay/reorder, partitions and router crashes,
@@ -13,6 +13,11 @@
 //!    two servers, the failure detector marks the peer down
 //!    (`aaa_net_peer_state`), the partition heals, the link self-heals and
 //!    the detector records the recovery.
+//! 4. An **evented-runtime matrix** — the same 24-seed derivation against
+//!    the live sharded event-loop runtime (`RuntimeKind::Evented`), with
+//!    `FaultTransport`-wrapped in-memory endpoints, walking all four stamp
+//!    modes and 1–3 shards. Exactly-once, causal order, clean quiesce and
+//!    a graceful drain on every seed.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -20,8 +25,8 @@ use std::time::Duration;
 use aaa_middleware::base::{AgentId, ServerId, VDuration, VTime};
 use aaa_middleware::chaos::{ChaosHandle, FaultPlan, FaultStats, FaultTransport, LinkFaults};
 use aaa_middleware::mom::{
-    Agent, BatchPolicy, EchoAgent, FnAgent, MomBuilder, Notification, ServerConfig, StampMode,
-    Transport,
+    Agent, BatchPolicy, ClockConfig, EchoAgent, FnAgent, MomBuilder, NetConfig, Notification,
+    RuntimeConfig, ServerConfig, StampMode, Transport,
 };
 use aaa_middleware::net::MemoryNetwork;
 use aaa_middleware::obs::Registry;
@@ -257,6 +262,133 @@ fn chaos_soak_24_seeds_cover_all_fault_shapes() {
     );
 }
 
+/// One live chaos run on the sharded evented runtime. Faults are injected
+/// by `FaultTransport` under the real shard pool (readiness notifiers,
+/// work-stealing, timer wakeups); the derivation mirrors [`derive_case`]:
+/// `seed % 4` picks the dominant fault shape — shape 3 is a live
+/// mid-workload partition between a leaf and the router — while `seed / 2`
+/// walks the stamp modes and `seed % 3` varies the shard count.
+fn run_evented_case(seed: u64) -> Result<FaultStats, String> {
+    let repro = format!("repro: seed {seed} in chaos_matrix_24_seeds_on_evented_runtime");
+    let fail = |what: String| format!("seed {seed}: {what}; {repro}");
+    let mut st = seed;
+    let shape = seed % 4;
+    let faults = LinkFaults {
+        drop: if shape == 0 {
+            0.15 + 0.10 * unit(&mut st)
+        } else {
+            0.08 * unit(&mut st)
+        },
+        duplicate: if shape == 1 {
+            0.10 + 0.08 * unit(&mut st)
+        } else {
+            0.04 * unit(&mut st)
+        },
+        delay: if shape == 2 {
+            0.10 + 0.08 * unit(&mut st)
+        } else {
+            0.04 * unit(&mut st)
+        },
+    };
+    let handle =
+        ChaosHandle::new(FaultPlan::new(seed).faults(faults)).map_err(|e| fail(e.to_string()))?;
+    let n = SERVERS as usize;
+    let transports: Vec<Box<dyn Transport>> = MemoryNetwork::create(n)
+        .into_iter()
+        .map(|ep| Box::new(FaultTransport::new(ep, &handle, n)) as Box<dyn Transport>)
+        .collect();
+    let shards = 1 + (seed % 3) as usize;
+    let mom = MomBuilder::new(spec())
+        .transports(transports)
+        .clock(ClockConfig::mode(StampMode::ALL[((seed / 2) % 4) as usize]))
+        .runtime(RuntimeConfig::evented(shards).metrics(true))
+        .net(NetConfig::memory().rto(VDuration::from_millis(20)))
+        .build()
+        .map_err(|e| fail(e.to_string()))?;
+    for s in 0..SERVERS {
+        mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent))
+            .map_err(|e| fail(e.to_string()))?;
+    }
+
+    if shape == 3 {
+        // Live partition: cut a leaf off from the router for the first
+        // half of the workload; retransmission repairs the gap after the
+        // heal.
+        handle.partition_now(ServerId::new(0), ServerId::new(ROUTER));
+    }
+    for i in 0..SENDS {
+        let from = (i as u16) % SERVERS;
+        let to = (i as u16 + 2) % SERVERS;
+        mom.send(
+            aid(from, 9),
+            aid(to, 1),
+            Notification::new("m", format!("s{i}")),
+        )
+        .map_err(|e| fail(e.to_string()))?;
+    }
+    if shape == 3 {
+        std::thread::sleep(Duration::from_millis(30));
+        handle.heal_all();
+    }
+
+    if !mom.quiesce(Duration::from_secs(30)) {
+        return Err(fail("never quiesced".to_owned()));
+    }
+    let expected = SENDS * 2;
+    let trace = mom.trace().map_err(|e| fail(e.to_string()))?;
+    if trace.message_count() != expected {
+        return Err(fail(format!(
+            "delivered {} of {expected} messages",
+            trace.message_count()
+        )));
+    }
+    trace
+        .check_causality()
+        .map_err(|v| fail(format!("global causality violated: {v:?}")))?;
+    let postponed = mom.metrics().sum_gauge("aaa_channel_postponed");
+    if postponed != 0 {
+        return Err(fail(format!("{postponed} messages left postponed")));
+    }
+    if mom.in_flight() != 0 {
+        return Err(fail(format!(
+            "{} messages still in flight",
+            mom.in_flight()
+        )));
+    }
+    if !mom.shutdown_within(Duration::from_secs(10)) {
+        return Err(fail("graceful shutdown did not drain in time".to_owned()));
+    }
+    Ok(handle.stats())
+}
+
+#[test]
+fn chaos_matrix_24_seeds_on_evented_runtime() {
+    let mut agg = FaultStats::default();
+    for seed in 0..24 {
+        match run_evented_case(seed) {
+            Ok(stats) => {
+                agg.decided += stats.decided;
+                agg.dropped += stats.dropped;
+                agg.duplicated += stats.duplicated;
+                agg.delayed += stats.delayed;
+                agg.blocked += stats.blocked;
+            }
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+    // The matrix is only meaningful if every live fault shape fired.
+    assert!(agg.dropped > 0, "no datagram was ever dropped: {agg:?}");
+    assert!(
+        agg.duplicated > 0,
+        "no datagram was ever duplicated: {agg:?}"
+    );
+    assert!(agg.delayed > 0, "no datagram was ever delayed: {agg:?}");
+    assert!(
+        agg.blocked > 0,
+        "no partition ever blocked traffic: {agg:?}"
+    );
+}
+
 #[test]
 fn chaos_random_seed_from_environment() {
     // CI's randomized leg: RANDOM_SEED=$GITHUB_RUN_ID explores a fresh
@@ -296,8 +428,8 @@ fn fault_transport_partition_heals_on_threaded_runtime() {
     let seen2 = seen.clone();
     let mom = MomBuilder::new(TopologySpec::single_domain(n as u16))
         .transports(transports)
-        .metrics(true)
-        .rto(VDuration::from_millis(20))
+        .runtime(RuntimeConfig::threaded().metrics(true))
+        .net(NetConfig::memory().rto(VDuration::from_millis(20)))
         .build()
         .unwrap();
     mom.register_agent(

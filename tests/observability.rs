@@ -9,7 +9,6 @@ mod common;
 use std::time::Duration;
 
 use aaa_middleware::prelude::*;
-use aaa_middleware::sim::FaultConfig;
 
 fn aid(s: u16, l: u32) -> AgentId {
     AgentId::new(ServerId::new(s), l)
@@ -82,14 +81,11 @@ fn postponed_gauge_returns_to_zero_after_quiesce() {
         rto: VDuration::from_millis(50),
         ..ServerConfig::default()
     };
-    let mut sim = aaa_middleware::sim::Simulation::with_faults(
+    let mut sim = aaa_middleware::sim::Simulation::with_fault_plan(
         topo,
         config,
         CostModel::paper_calibrated(),
-        FaultConfig {
-            drop_probability: 0.25,
-            seed: 11,
-        },
+        FaultPlan::drop_only(0.25, 11),
     )
     .unwrap();
     let registry = Registry::default();
@@ -188,8 +184,8 @@ fn prometheus_rendering_matches_golden_file() {
 fn round_trip_stamp_bytes(spec: TopologySpec, from: u16, to: u16) -> u64 {
     let n = spec.server_count() as u16;
     let mom = MomBuilder::new(spec)
-        .stamp_mode(StampMode::Full)
-        .record_trace(false)
+        .clock(ClockConfig::mode(StampMode::Full))
+        .runtime(RuntimeConfig::threaded().record_trace(false))
         .build()
         .unwrap();
     for s in 0..n {

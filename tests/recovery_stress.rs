@@ -5,7 +5,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aaa_middleware::base::{AgentId, ServerId};
-use aaa_middleware::mom::{Agent, FnAgent, MomBuilder, Notification, ReactionContext};
+use aaa_middleware::mom::{
+    Agent, FnAgent, MomBuilder, Notification, ReactionContext, RuntimeConfig,
+};
 use aaa_middleware::topology::TopologySpec;
 use parking_lot::Mutex;
 
@@ -54,7 +56,7 @@ impl Agent for Collector {
 fn repeated_crashes_of_destination_server() {
     let seen: Arc<Mutex<Vec<String>>> = Default::default();
     let mom = MomBuilder::new(TopologySpec::single_domain(2))
-        .persistence(true)
+        .runtime(RuntimeConfig::threaded().persist(true))
         .build()
         .unwrap();
     let dest = ServerId::new(1);
@@ -101,7 +103,10 @@ fn router_crash_heals_cross_domain_route() {
     // last-server = ... use explicit domains: {0,1,2} and {2,3,4}).
     let seen: Arc<Mutex<Vec<String>>> = Default::default();
     let spec = TopologySpec::from_domains(vec![vec![0, 1, 2], vec![2, 3, 4]]);
-    let mom = MomBuilder::new(spec).persistence(true).build().unwrap();
+    let mom = MomBuilder::new(spec)
+        .runtime(RuntimeConfig::threaded().persist(true))
+        .build()
+        .unwrap();
     let router = ServerId::new(2);
     assert!(mom.topology().is_router(router));
     mom.register_agent(ServerId::new(4), 1, Collector::boxed(seen.clone()))
@@ -155,7 +160,10 @@ fn router_crash_mid_batch_cross_domain() {
     // boundary (not the message boundary) is the retransmission unit.
     let seen: Arc<Mutex<Vec<String>>> = Default::default();
     let spec = TopologySpec::from_domains(vec![vec![0, 1, 2], vec![2, 3, 4]]);
-    let mom = MomBuilder::new(spec).persistence(true).build().unwrap();
+    let mom = MomBuilder::new(spec)
+        .runtime(RuntimeConfig::threaded().persist(true))
+        .build()
+        .unwrap();
     let router = ServerId::new(2);
     assert!(mom.topology().is_router(router));
     mom.register_agent(ServerId::new(4), 1, Collector::boxed(seen.clone()))
@@ -206,7 +214,7 @@ fn source_crash_preserves_queued_outbound() {
     // retransmits from the journal.
     let seen: Arc<Mutex<Vec<String>>> = Default::default();
     let mom = MomBuilder::new(TopologySpec::single_domain(2))
-        .persistence(true)
+        .runtime(RuntimeConfig::threaded().persist(true))
         .build()
         .unwrap();
     let source = ServerId::new(0);

@@ -1,14 +1,18 @@
-//! Cross-runtime consistency: the discrete-event simulator and the
-//! threaded runtime drive the *same* sans-IO cores; the same workload must
-//! produce the same end-to-end message set and causally consistent traces
-//! in both.
+//! Cross-runtime consistency: the discrete-event simulator, the threaded
+//! runtime and the sharded evented runtime all drive the *same* sans-IO
+//! cores; the same workload must produce the same end-to-end message set
+//! and causally consistent traces in all three — across both stamp-mode
+//! families (the full-matrix family and the bounded-space reduced
+//! family).
 
 mod common;
 
 use std::time::Duration;
 
 use aaa_middleware::base::{AgentId, ServerId};
-use aaa_middleware::mom::{EchoAgent, MomBuilder, Notification, ServerConfig, StampMode};
+use aaa_middleware::mom::{
+    ClockConfig, EchoAgent, MomBuilder, Notification, RuntimeConfig, ServerConfig, StampMode,
+};
 use aaa_middleware::sim::{CostModel, Simulation};
 use aaa_middleware::trace::TraceRecorder;
 
@@ -16,14 +20,14 @@ fn aid(s: u16, l: u32) -> AgentId {
     AgentId::new(ServerId::new(s), l)
 }
 
-fn run_sim(seed: u64) -> (usize, bool) {
+fn run_sim(seed: u64, mode: StampMode) -> (usize, bool) {
     let spec = common::random_acyclic_spec(seed, 3, 2, 4);
     let n = spec.server_count() as u16;
     let topo = spec.validate().unwrap();
     let mut sim = Simulation::new(
         topo,
         ServerConfig {
-            stamp_mode: StampMode::Updates,
+            stamp_mode: mode,
             ..ServerConfig::default()
         },
         CostModel::paper_calibrated(),
@@ -42,10 +46,14 @@ fn run_sim(seed: u64) -> (usize, bool) {
     (trace.message_count(), trace.check_causality().is_ok())
 }
 
-fn run_threaded(seed: u64) -> (usize, bool) {
+fn run_mom(seed: u64, mode: StampMode, runtime: RuntimeConfig) -> (usize, bool) {
     let spec = common::random_acyclic_spec(seed, 3, 2, 4);
     let n = spec.server_count() as u16;
-    let mom = MomBuilder::new(spec).build().unwrap();
+    let mom = MomBuilder::new(spec)
+        .clock(ClockConfig::mode(mode))
+        .runtime(runtime)
+        .build()
+        .unwrap();
     for s in 0..n {
         mom.register_agent(ServerId::new(s), 1, Box::new(EchoAgent))
             .unwrap();
@@ -61,15 +69,28 @@ fn run_threaded(seed: u64) -> (usize, bool) {
     out
 }
 
+/// Both stamp-mode families, three execution substrates, same workload:
+/// identical message sets, causal traces everywhere.
 #[test]
-fn same_workload_same_outcome_in_both_runtimes() {
-    for seed in 0..5u64 {
-        let (sim_msgs, sim_ok) = run_sim(seed);
-        let (thr_msgs, thr_ok) = run_threaded(seed);
-        assert_eq!(sim_msgs, thr_msgs, "seed {seed}: message counts differ");
-        assert!(sim_ok, "seed {seed}: simulator trace not causal");
-        assert!(thr_ok, "seed {seed}: threaded trace not causal");
-        assert_eq!(sim_msgs, 80, "40 sends + 40 echoes");
+fn same_workload_same_outcome_across_all_runtimes() {
+    for mode in [StampMode::Updates, StampMode::Reduced] {
+        for seed in 0..3u64 {
+            let (sim_msgs, sim_ok) = run_sim(seed, mode);
+            let (thr_msgs, thr_ok) = run_mom(seed, mode, RuntimeConfig::threaded());
+            let (evt_msgs, evt_ok) = run_mom(seed, mode, RuntimeConfig::evented(2));
+            assert_eq!(
+                sim_msgs, thr_msgs,
+                "seed {seed} {mode:?}: sim vs threaded message counts differ"
+            );
+            assert_eq!(
+                sim_msgs, evt_msgs,
+                "seed {seed} {mode:?}: sim vs evented message counts differ"
+            );
+            assert!(sim_ok, "seed {seed} {mode:?}: simulator trace not causal");
+            assert!(thr_ok, "seed {seed} {mode:?}: threaded trace not causal");
+            assert!(evt_ok, "seed {seed} {mode:?}: evented trace not causal");
+            assert_eq!(sim_msgs, 80, "40 sends + 40 echoes");
+        }
     }
 }
 

@@ -11,7 +11,7 @@ mod common;
 use std::time::Duration;
 
 use aaa_middleware::base::{AgentId, ServerId};
-use aaa_middleware::mom::{EchoAgent, MomBuilder, Notification, StampMode};
+use aaa_middleware::mom::{ClockConfig, EchoAgent, MomBuilder, Notification, StampMode};
 
 fn aid(s: u16, l: u32) -> AgentId {
     AgentId::new(ServerId::new(s), l)
@@ -21,7 +21,7 @@ fn run_random_topology(seed: u64, mode: StampMode) {
     let spec = common::random_acyclic_spec(seed, 4, 2, 4);
     let n = spec.server_count() as u16;
     let mom = MomBuilder::new(spec)
-        .stamp_mode(mode)
+        .clock(ClockConfig::mode(mode))
         .build()
         .expect("valid topology");
     for s in 0..n {
