@@ -1,0 +1,450 @@
+//! Guard-tracking dataflow: which `Mutex`/`RwLock` guards are live where.
+//!
+//! PR 3's `lock-across-send` was a token-proximity scanner: it saw a
+//! `let g = x.lock()` and a `.send(..)` in the same block and guessed.
+//! The concurrency rules added in this PR (`lock-order`,
+//! `guard-across-blocking`) need the real thing: per-function
+//! **lock-acquisition spans** — for every acquisition site, the token
+//! range over which the produced guard is live — including guards that a
+//! helper returns up the call chain (`fn conns(&self) -> MutexGuard<..>`).
+//!
+//! This module computes exactly that on top of [`tree`](crate::tree):
+//!
+//! - [`returned_guard_map`]: which functions hand a live guard to their
+//!   caller, and which lock *resource* that guard protects;
+//! - [`guard_spans_in`]: every acquisition inside one `fn` body with its
+//!   liveness range — a `let` binding lives to the end of its enclosing
+//!   block (ended early by `drop(guard)`), an `if let`/`while let` guard
+//!   lives for the conditional's block, and an expression temporary
+//!   (`x.lock().touch()`) dies at its statement's `;`.
+//!
+//! Resources are identified by the receiver's field/binding name
+//! (`self.conns[shard].lock()` → `conns`), the same name-based philosophy
+//! as the call graph: no type resolution, collisions merge nodes. For
+//! `lock-order` a merge can at worst *add* an ordering edge between
+//! already-related resources; rules stay deterministic either way.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::tree::{fn_spans, FnSpan};
+
+/// Zero-argument method names that acquire a guard.
+pub const ACQUIRE_METHODS: &[&str] =
+    &["lock", "try_lock", "read", "write", "try_read", "try_write"];
+
+/// One guard-acquisition site and the range over which its guard lives.
+#[derive(Debug, Clone)]
+pub struct GuardSpan {
+    /// Name of the locked resource (receiver field or binding name).
+    pub resource: String,
+    /// The guard's `let` binding name, when it has one.
+    pub binding: Option<String>,
+    /// Acquisition method (`lock`, `read`, `write`, `try_lock`, ...) or
+    /// the name of the guard-returning helper that was called.
+    pub method: String,
+    /// Token index of the acquisition (the method/helper identifier).
+    pub acq_tok: usize,
+    /// Liveness range in token indices: `[start, end)`.
+    pub start: usize,
+    /// Exclusive end of the liveness range.
+    pub end: usize,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+}
+
+/// Maps function name → locked resource for every non-test function whose
+/// return type mentions a guard (`MutexGuard`, `RwLockReadGuard`, ...):
+/// calling such a function acquires its resource in the *caller*.
+pub fn returned_guard_map<'a>(
+    files: impl IntoIterator<Item = &'a SourceFile>,
+) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for file in files {
+        for span in fn_spans(file) {
+            if span.is_test || !span.ret.contains("Guard") {
+                continue;
+            }
+            let Some((bs, be)) = span.body else { continue };
+            // The resource is the first direct acquisition in the body.
+            if let Some((resource, method, _, _)) = first_acquisition(file, bs, be) {
+                let _ = method;
+                map.entry(span.name.clone()).or_insert(resource);
+            }
+        }
+    }
+    map
+}
+
+/// First direct `.lock()`-style acquisition in `[start, end)`:
+/// `(resource, method, method token index, line)`.
+fn first_acquisition(
+    file: &SourceFile,
+    start: usize,
+    end: usize,
+) -> Option<(String, String, usize, u32)> {
+    let toks = &file.toks;
+    let end = end.min(toks.len());
+    (start..end).find_map(|i| {
+        method_acquisition(file, i).map(|(resource, method)| (resource, method, i, toks[i].line))
+    })
+}
+
+/// If `toks[i]` is the method identifier of a zero-argument guard
+/// acquisition (`recv.lock()`), returns `(resource, method)`.
+fn method_acquisition(file: &SourceFile, i: usize) -> Option<(String, String)> {
+    let toks = &file.toks;
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident || !ACQUIRE_METHODS.contains(&t.text.as_str()) {
+        return None;
+    }
+    if i == 0 || !toks[i - 1].is_punct('.') {
+        return None;
+    }
+    // Zero-argument call: `( )` directly after the name.
+    if !(toks.get(i + 1).map(|t| t.is_punct('(')).unwrap_or(false)
+        && toks.get(i + 2).map(|t| t.is_punct(')')).unwrap_or(false))
+    {
+        return None;
+    }
+    // Receiver's last path segment, skipping an index expression:
+    // `self.conns[shard].lock()` → `conns`.
+    let mut j = i.checked_sub(2)?;
+    if toks[j].is_punct(']') {
+        let mut depth = 0i32;
+        loop {
+            if toks[j].is_punct(']') {
+                depth += 1;
+            } else if toks[j].is_punct('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+        j = j.checked_sub(1)?;
+    }
+    if toks[j].is_punct(')') {
+        // `make_table().lock()` — name the producing call instead.
+        let mut depth = 0i32;
+        loop {
+            if toks[j].is_punct(')') {
+                depth += 1;
+            } else if toks[j].is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+        j = j.checked_sub(1)?;
+    }
+    if toks[j].kind != TokKind::Ident {
+        return None;
+    }
+    Some((toks[j].text.clone(), t.text.clone()))
+}
+
+/// If `toks[i]` calls a guard-returning helper from `returned`, returns
+/// `(resource, helper name)`.
+fn helper_acquisition(
+    file: &SourceFile,
+    i: usize,
+    returned: &BTreeMap<String, String>,
+) -> Option<(String, String)> {
+    let toks = &file.toks;
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let resource = returned.get(&t.text)?;
+    if !toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false) {
+        return None;
+    }
+    // Not a macro, definition or attribute.
+    if i > 0 && (toks[i - 1].is_punct('!') || toks[i - 1].is_ident("fn")) {
+        return None;
+    }
+    Some((resource.clone(), t.text.clone()))
+}
+
+/// Brace depth before each token, computed once per body walk.
+fn brace_depths(file: &SourceFile) -> Vec<i32> {
+    let toks = &file.toks;
+    let mut depths = Vec::with_capacity(toks.len());
+    let mut depth = 0i32;
+    for t in toks {
+        if t.is_punct('}') {
+            depth -= 1;
+        }
+        depths.push(depth);
+        if t.is_punct('{') {
+            depth += 1;
+        }
+    }
+    depths
+}
+
+/// Every guard-acquisition span inside `span`'s body. `returned` is the
+/// workspace-wide [`returned_guard_map`]; pass an empty map to consider
+/// only direct `.lock()`-style acquisitions.
+pub fn guard_spans_in(
+    file: &SourceFile,
+    span: &FnSpan,
+    returned: &BTreeMap<String, String>,
+) -> Vec<GuardSpan> {
+    let toks = &file.toks;
+    let Some((bs, be)) = span.body else {
+        return Vec::new();
+    };
+    let be = be.min(toks.len());
+    let depths = brace_depths(file);
+    let mut out = Vec::new();
+    for (i, tok) in toks
+        .iter()
+        .enumerate()
+        .take(be.saturating_sub(1))
+        .skip(bs + 1)
+    {
+        let acq = method_acquisition(file, i).or_else(|| helper_acquisition(file, i, returned));
+        let Some((resource, method)) = acq else {
+            continue;
+        };
+        let (binding, start, end) = liveness(file, &depths, i, bs, be);
+        out.push(GuardSpan {
+            resource,
+            binding,
+            method,
+            acq_tok: i,
+            start,
+            end,
+            line: tok.line,
+        });
+    }
+    out
+}
+
+/// Computes the binding name (if any) and liveness token range for an
+/// acquisition at token `acq` inside body `[bs, be)`.
+fn liveness(
+    file: &SourceFile,
+    depths: &[i32],
+    acq: usize,
+    bs: usize,
+    be: usize,
+) -> (Option<String>, usize, usize) {
+    let toks = &file.toks;
+    // Statement start: nearest `;` / `{` / `}` to the left.
+    let mut st = acq;
+    while st > bs {
+        let t = &toks[st - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        st -= 1;
+    }
+    // Classify the statement head.
+    let mut k = st;
+    let conditional = toks
+        .get(k)
+        .map(|t| t.is_ident("if") || t.is_ident("while"))
+        .unwrap_or(false);
+    if conditional {
+        k += 1;
+    }
+    let is_let = toks.get(k).map(|t| t.is_ident("let")).unwrap_or(false);
+    let binding = if is_let {
+        binding_name(file, k + 1, acq)
+    } else {
+        None
+    };
+    let stmt_depth = depths[acq];
+
+    if conditional && is_let {
+        // `if let Ok(g) = x.lock() { ... }` — the guard lives for the
+        // conditional's block.
+        let mut j = acq;
+        while j < be {
+            if toks[j].is_punct('{') && depths[j] <= stmt_depth {
+                let close = crate::source::match_brace(toks, j).unwrap_or(be.saturating_sub(1));
+                return (binding, acq, (close + 1).min(be));
+            }
+            j += 1;
+        }
+        return (binding, acq, be);
+    }
+
+    // Statement end: first `;` at the let's depth (an interior
+    // `else { ...; }` block sits deeper and is skipped).
+    let let_depth = depths.get(st).copied().unwrap_or(stmt_depth);
+    let mut stmt_end = acq;
+    while stmt_end < be {
+        if toks[stmt_end].is_punct(';') && depths[stmt_end] <= let_depth {
+            break;
+        }
+        stmt_end += 1;
+    }
+
+    match &binding {
+        Some(name) if name != "_" => {
+            // Live from the acquisition to the end of the enclosing block
+            // (depth drops below the binding's), or an explicit
+            // `drop(name)`.
+            let mut j = stmt_end + 1;
+            while j < be {
+                if depths[j] < let_depth {
+                    return (binding, acq, j);
+                }
+                if toks[j].is_ident("drop")
+                    && toks.get(j + 1).map(|t| t.is_punct('(')).unwrap_or(false)
+                    && toks.get(j + 2).map(|t| t.is_ident(name)).unwrap_or(false)
+                {
+                    return (binding, acq, j);
+                }
+                j += 1;
+            }
+            (binding, acq, be)
+        }
+        // `let _ = ...` or a plain expression statement: the temporary
+        // guard dies at the statement's `;`.
+        _ => (binding, acq, (stmt_end + 1).min(be)),
+    }
+}
+
+/// Extracts the bound name from a `let` pattern between `from` and the
+/// acquisition: skips `mut`, `&`, enum wrappers (`Some(`, `Ok(`) and
+/// tuple/struct punctuation, returning the first plain identifier.
+fn binding_name(file: &SourceFile, from: usize, until: usize) -> Option<String> {
+    const WRAPPERS: &[&str] = &["Some", "Ok", "Err", "mut", "ref"];
+    let toks = &file.toks;
+    let mut j = from;
+    while j < until {
+        let t = &toks[j];
+        if t.is_punct('=') {
+            return None; // reached the initializer without a name
+        }
+        if t.kind == TokKind::Ident && !WRAPPERS.contains(&t.text.as_str()) {
+            return Some(t.text.clone());
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::fn_spans;
+
+    fn spans_of(src: &str) -> Vec<GuardSpan> {
+        let f = SourceFile::parse("crates/net/src/x.rs", src);
+        let fns = fn_spans(&f);
+        guard_spans_in(&f, &fns[0], &BTreeMap::new())
+    }
+
+    #[test]
+    fn let_binding_lives_to_block_end() {
+        let src = "fn f(&self) { let g = self.conns.lock(); g.push(1); self.other(); }";
+        let s = spans_of(src);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].resource, "conns");
+        assert_eq!(s[0].binding.as_deref(), Some("g"));
+        let f = SourceFile::parse("x.rs", src);
+        // The span covers the trailing `other` call.
+        let other = f.toks.iter().position(|t| t.is_ident("other")).unwrap();
+        assert!(s[0].start <= other && other < s[0].end);
+    }
+
+    #[test]
+    fn drop_ends_liveness() {
+        let src = "fn f(&self) { let g = self.conns.lock(); drop(g); self.other(); }";
+        let s = spans_of(src);
+        let f = SourceFile::parse("x.rs", src);
+        let other = f.toks.iter().position(|t| t.is_ident("other")).unwrap();
+        assert!(s[0].end <= other, "span must end at drop(g): {s:?}");
+    }
+
+    #[test]
+    fn temporary_dies_at_statement() {
+        let src = "fn f(&self) { self.map.lock().insert(k, v); self.other(); }";
+        let s = spans_of(src);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].binding, None);
+        let f = SourceFile::parse("x.rs", src);
+        let other = f.toks.iter().position(|t| t.is_ident("other")).unwrap();
+        assert!(s[0].end <= other, "temporary outlived its statement: {s:?}");
+    }
+
+    #[test]
+    fn indexed_receiver_names_the_field() {
+        let s = spans_of("fn f(&self, i: usize) { let c = self.conns[i].lock(); c.write(); }");
+        assert_eq!(s[0].resource, "conns");
+    }
+
+    #[test]
+    fn let_else_binds_and_lives_on() {
+        let src = "fn f(&self) { let Some(mut g) = self.state.try_lock() else { return; }; \
+                    g.step(); self.other(); }";
+        let s = spans_of(src);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].resource, "state");
+        assert_eq!(s[0].binding.as_deref(), Some("g"));
+        let f = SourceFile::parse("x.rs", src);
+        let other = f.toks.iter().position(|t| t.is_ident("other")).unwrap();
+        assert!(
+            other < s[0].end,
+            "let-else binding must outlive its else: {s:?}"
+        );
+    }
+
+    #[test]
+    fn if_let_spans_the_conditional_block() {
+        let src = "fn f(&self) { if let Some(n) = self.slot.read() { n.call(); } self.after(); }";
+        let s = spans_of(src);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].resource, "slot");
+        let f = SourceFile::parse("x.rs", src);
+        let call = f.toks.iter().position(|t| t.is_ident("call")).unwrap();
+        let after = f.toks.iter().position(|t| t.is_ident("after")).unwrap();
+        assert!(s[0].start <= call && call < s[0].end);
+        assert!(
+            s[0].end <= after,
+            "guard must die with the if-let block: {s:?}"
+        );
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_an_acquisition() {
+        let s = spans_of("fn f(&self) { let n = stream.read(&mut buf); }");
+        assert!(s.is_empty(), "{s:?}");
+    }
+
+    #[test]
+    fn returned_guard_map_finds_helpers() {
+        let f = SourceFile::parse(
+            "crates/net/src/x.rs",
+            "impl T { fn table(&self) -> MutexGuard<'_, Vec<u8>> { self.conns.lock() } }",
+        );
+        let map = returned_guard_map([&f]);
+        assert_eq!(map.get("table").map(String::as_str), Some("conns"));
+    }
+
+    #[test]
+    fn helper_call_counts_as_acquisition() {
+        let f = SourceFile::parse(
+            "crates/net/src/x.rs",
+            "impl T { fn table(&self) -> MutexGuard<'_, V> { self.conns.lock() }\n\
+             fn f(&self) { let t = self.table(); t.push(1); } }",
+        );
+        let fns = fn_spans(&f);
+        let returned = returned_guard_map([&f]);
+        let target = fns.iter().find(|s| s.name == "f").unwrap();
+        let spans = guard_spans_in(&f, target, &returned);
+        assert_eq!(spans.len(), 1, "{spans:?}");
+        assert_eq!(spans[0].resource, "conns");
+        assert_eq!(spans[0].method, "table");
+    }
+}

@@ -12,15 +12,17 @@
 //! variant handled in `encode` but not `decode` silently breaks
 //! cross-version exactly-once delivery. This crate walks every workspace
 //! source file with a tiny self-contained Rust [lexer] (no `syn`; the
-//! vendor tree is offline) and enforces five rules:
+//! vendor tree is offline) and enforces a growing rule set, including:
 //!
 //! | rule id | guards |
 //! |---|---|
-//! | `panic-freedom` | no `unwrap`/`expect`/`panic!`-family/indexing-by-literal in non-test code of `net`, `mom`, `clocks`, `storage` |
+//! | `panic-freedom` | no `unwrap`/`expect`/`panic!`-family/indexing-by-literal in non-test code of `net`, `mom`, `clocks`, `storage`, bench drivers and examples |
 //! | `determinism` | no `Instant`/`SystemTime`/`thread_rng` in `sim` and `clocks` |
 //! | `match-drift` | every wire-enum variant appears in both its serializer and deserializer |
 //! | `metric-drift` | the `aaa_*` metric vocabulary in code, README table and Prometheus golden file agree |
-//! | `lock-across-send` | no `Mutex`/`RwLock` guard held across a transport send in the same block |
+//! | `lock-order` | the interprocedural lock-acquisition graph across `mom`/`net`/`obs`/`storage` is a DAG |
+//! | `guard-across-blocking` | no `Mutex`/`RwLock` guard *live* (real spans, guards returned by helpers included) across a blocking primitive, channel `recv` or transport `send*` |
+//! | `atomic-protocol` | gate-shaped atomics use Acquire/Release+; `Relaxed` only on counters; `SeqCst` carries a why-comment |
 //!
 //! Intentional exceptions live in per-rule allowlist files
 //! (`crates/audit/allow/<rule>.allow`, refreshed with
@@ -31,6 +33,8 @@
 
 pub mod allowlist;
 pub mod cache;
+pub mod guards;
+pub mod interleave;
 pub mod lexer;
 pub mod rules;
 pub mod sarif;
@@ -93,8 +97,16 @@ pub struct Config {
     pub panic_scopes: Vec<&'static str>,
     /// Path prefixes subject to the `determinism` rule.
     pub determinism_scopes: Vec<&'static str>,
-    /// Path prefixes subject to the `lock-across-send` rule.
-    pub lock_scopes: Vec<&'static str>,
+    /// Path prefixes subject to the concurrency rules (`lock-order`,
+    /// `guard-across-blocking`): the crates whose locks interleave at
+    /// runtime.
+    pub concurrency_scopes: Vec<&'static str>,
+    /// Function names considered blocking while a guard is live
+    /// (`guard-across-blocking`): primitives, channel receives and
+    /// transport sends.
+    pub guard_blocking: Vec<&'static str>,
+    /// Path prefixes subject to the `atomic-protocol` rule.
+    pub atomic_scopes: Vec<&'static str>,
     /// Wire enums whose codec pairs must not drift.
     pub enum_pairs: Vec<EnumPair>,
     /// Workspace-relative path of the README holding the metric table.
@@ -140,12 +152,39 @@ impl Config {
                 "crates/mom/src/",
                 "crates/clocks/src/",
                 "crates/storage/src/",
+                // Bench drivers and examples feed BENCH_*.json and the
+                // README walkthroughs; a panicking bench is a silent
+                // perf-trajectory hole.
+                "src/bin/",
+                "examples/",
             ],
             determinism_scopes: vec!["crates/sim/src/", "crates/clocks/src/"],
-            lock_scopes: vec![
-                "crates/net/src/",
+            concurrency_scopes: vec![
                 "crates/mom/src/",
-                "crates/sim/src/",
+                "crates/net/src/",
+                "crates/obs/src/",
+                "crates/storage/src/",
+            ],
+            guard_blocking: vec![
+                "sleep",
+                "recv",
+                "recv_timeout",
+                "park",
+                "wait",
+                "wait_timeout",
+                "block_on",
+                "accept",
+                "send",
+                "send_batch",
+                "send_to",
+                "write_all",
+                "connect",
+                "connect_timeout",
+            ],
+            atomic_scopes: vec![
+                "crates/mom/src/",
+                "crates/net/src/",
+                "crates/obs/src/",
                 "crates/storage/src/",
             ],
             enum_pairs: vec![
@@ -183,6 +222,8 @@ impl Config {
                 "crates/mom/src/persist.rs",
                 "crates/mom/src/pubsub.rs",
                 "crates/storage/src/file.rs",
+                "src/bin/",
+                "examples/",
             ],
             clock_scopes: vec!["crates/clocks/src/"],
             clock_cells: vec![
@@ -275,6 +316,10 @@ impl Workspace {
         let root_src = root.join("src");
         if root_src.is_dir() {
             collect_rs(&root_src, &mut rels)?;
+        }
+        let examples = root.join("examples");
+        if examples.is_dir() {
+            collect_rs(&examples, &mut rels)?;
         }
         let mut files = Vec::with_capacity(rels.len());
         for path in rels {
@@ -397,8 +442,8 @@ pub fn per_file_rules(file: &SourceFile, config: &Config) -> Vec<Finding> {
     if in_scope(&file.rel, &config.determinism_scopes) {
         findings.extend(rules::determinism::check(file));
     }
-    if in_scope(&file.rel, &config.lock_scopes) {
-        findings.extend(rules::lock_across_send::check(file));
+    if in_scope(&file.rel, &config.atomic_scopes) {
+        findings.extend(rules::atomic_protocol::check(file));
     }
     if in_scope(&file.rel, &config.cast_scopes) {
         findings.extend(rules::wire_cast::check(file));
@@ -433,6 +478,8 @@ pub fn global_rules(ws: &Workspace, config: &Config) -> Vec<Finding> {
     findings.extend(rules::stamp_flow::check(ws, config));
     findings.extend(rules::error_swallow::check_global(ws, config));
     findings.extend(rules::block_in_step::check(ws, config));
+    findings.extend(rules::lock_order::check(ws, config));
+    findings.extend(rules::guard_across_blocking::check(ws, config));
     let api_text = fs::read_to_string(ws.root.join(config.api_golden)).unwrap_or_default();
     findings.extend(rules::pub_api::check(
         ws,

@@ -15,6 +15,8 @@
 //!                                             # diff annotation
 //! cargo run -p aaa-audit -- --no-cache       # bypass the per-file result
 //!                                            # cache under target/
+//! cargo run -p aaa-audit -- --explain RULE   # print the long-form doc
+//!                                            # for one rule (or `all`)
 //! ```
 
 use std::path::PathBuf;
@@ -26,10 +28,35 @@ use aaa_obs::{Meter, Registry};
 fn usage() -> ! {
     eprintln!(
         "usage: aaa-audit [--root DIR] [--fix-allowlist] [--fix-pub-api] [--metrics] \
-         [--sarif FILE] [--no-cache] [--quiet]\n\
+         [--sarif FILE] [--no-cache] [--quiet] [--explain RULE|all]\n\
          exit codes: 0 clean, 1 findings, 2 stale allowlist, 3 usage/io error"
     );
     std::process::exit(3)
+}
+
+/// `--explain RULE`: print the long-form doc for one rule, or every rule
+/// when `RULE` is `all`. The same text ships as SARIF `help` so CI
+/// annotations and the CLI agree.
+fn explain(rule: &str) -> ExitCode {
+    if rule == "all" {
+        for (i, r) in rules::ALL_RULES.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            println!("{r}\n{}", rules::explain(r));
+        }
+        return ExitCode::SUCCESS;
+    }
+    if rules::ALL_RULES.contains(&rule) {
+        println!("{}", rules::explain(rule));
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "aaa-audit: unknown rule `{rule}` — known rules: {}",
+            rules::ALL_RULES.join(", ")
+        );
+        ExitCode::from(3)
+    }
 }
 
 fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
@@ -70,6 +97,10 @@ fn main() -> ExitCode {
             },
             "--no-cache" => use_cache = false,
             "--quiet" | "-q" => quiet = true,
+            "--explain" => match args.next() {
+                Some(rule) => return explain(&rule),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             _ => usage(),
         }

@@ -1,0 +1,282 @@
+//! `atomic-protocol`: memory orderings must match the shape of the use.
+//!
+//! The evented runtime's correctness argument (DESIGN.md §15) leans on
+//! three atomic idioms, each with its own minimum ordering:
+//!
+//! * **Gates** — `swap` / `compare_exchange` / `fetch_or`-family RMWs
+//!   that *publish* a state transition (`scheduled`, `dead`,
+//!   `deadline_us`). These synchronize two threads: the side that won
+//!   the gate reads state the loser wrote. `Relaxed` compiles and
+//!   passes every x86 test, then reorders on ARM — the classic lost
+//!   wakeup. The rule requires Acquire/Release (or stronger) on every
+//!   gate-shaped RMW and on every `store` to an `AtomicBool` field.
+//! * **Counters** — `fetch_add`/`fetch_sub` stat sites. `Relaxed` is
+//!   the *correct* ordering here (nothing is published), so those are
+//!   exempt; single-writer state machines that go further (all-`Relaxed`
+//!   loads/stores, e.g. `PeerHealth`) document it with an inline
+//!   `// audit:allow(atomic-protocol)` stating the single-writer
+//!   argument.
+//! * **`SeqCst`** — almost always a "not sure, go maximal" smell that
+//!   hides the actual protocol and costs a full fence on weak memory.
+//!   A `SeqCst` site must carry a nearby `// ... SeqCst ...` comment
+//!   saying *why* total order is needed, or be downgraded.
+//!
+//! Like every rule here the check is name-shaped, not type-resolved:
+//! it keys on the `Ordering::` variant idents at call sites and on
+//! `field: AtomicBool` declarations in the same file. That misses
+//! atomics behind type aliases and flags non-atomic `swap` calls never
+//! (the ordering argument is what triggers), which is the right
+//! trade-off for a dependency-free auditor.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// RMW methods that act as publication gates: a `Relaxed` ordering on
+/// any of these is (almost) never what the protocol means.
+const GATE_RMWS: &[&str] = &[
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_update",
+];
+
+/// Runs the rule over one in-scope file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.toks;
+    let bool_fields = atomic_bool_fields(file);
+    let mut out = Vec::new();
+    for i in file.non_test_indices().collect::<Vec<_>>() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `SeqCst` anywhere needs a why-comment nearby.
+        if t.text == "SeqCst" {
+            if !seqcst_justified(file, t.line) {
+                out.push(Finding {
+                    rule: super::ATOMIC_PROTOCOL,
+                    file: file.rel.clone(),
+                    line: t.line,
+                    message: "`SeqCst` without a justifying comment — total order costs a full \
+                              fence and usually hides the real protocol; downgrade to \
+                              Acquire/Release (or Relaxed for pure counters), or add a nearby \
+                              `// ...SeqCst...` comment saying why total order is required \
+                              (DESIGN.md §15)"
+                        .to_owned(),
+                    line_text: file.trimmed_line(t.line).to_owned(),
+                });
+            }
+            continue;
+        }
+        // Gate-shaped call sites: `.swap(.., Relaxed)` etc., and
+        // `.store(.., Relaxed)` on a declared `AtomicBool` field.
+        let is_method = i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false);
+        if !is_method {
+            continue;
+        }
+        let gate_rmw = GATE_RMWS.contains(&t.text.as_str());
+        let bool_store = t.text == "store"
+            && receiver_field(toks, i - 1).is_some_and(|f| bool_fields.contains(&f));
+        if !gate_rmw && !bool_store {
+            continue;
+        }
+        if let Some(line) = relaxed_in_args(toks, i + 1) {
+            let what = if gate_rmw {
+                format!("gate-shaped `{}`", t.text)
+            } else {
+                "`store` to an AtomicBool flag".to_owned()
+            };
+            out.push(Finding {
+                rule: super::ATOMIC_PROTOCOL,
+                file: file.rel.clone(),
+                line,
+                message: format!(
+                    "{what} with `Ordering::Relaxed` — this publishes a state transition, and \
+                     Relaxed lets the flag move independently of the state it guards (lost \
+                     wakeup on weak memory); use Release/Acquire/AcqRel, or document a \
+                     single-writer argument with `// audit:allow(atomic-protocol)` \
+                     (DESIGN.md §15)"
+                ),
+                line_text: file.trimmed_line(line).to_owned(),
+            });
+        }
+    }
+    out
+}
+
+/// Field names declared `: AtomicBool` anywhere in this file.
+fn atomic_bool_fields(file: &SourceFile) -> Vec<String> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    for i in 2..toks.len() {
+        if toks[i].is_ident("AtomicBool")
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].kind == TokKind::Ident
+        {
+            out.push(toks[i - 2].text.clone());
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Last path segment of the receiver left of the `.` at `dot`, skipping
+/// one `[...]` index group (`self.slots[i].dead.store(..)`).
+fn receiver_field(toks: &[crate::lexer::Tok], dot: usize) -> Option<String> {
+    let mut i = dot.checked_sub(1)?;
+    if toks[i].is_punct(']') {
+        let mut depth = 1usize;
+        while depth > 0 {
+            i = i.checked_sub(1)?;
+            if toks[i].is_punct(']') {
+                depth += 1;
+            } else if toks[i].is_punct('[') {
+                depth -= 1;
+            }
+        }
+        i = i.checked_sub(1)?;
+    }
+    (toks[i].kind == TokKind::Ident).then(|| toks[i].text.clone())
+}
+
+/// Scans the balanced paren group opening at `open` for a `Relaxed`
+/// ordering ident; returns its line when found.
+fn relaxed_in_args(toks: &[crate::lexer::Tok], open: usize) -> Option<u32> {
+    let mut depth = 0usize;
+    for t in toks.get(open..)?.iter() {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return None;
+            }
+        } else if t.is_ident("Relaxed") {
+            return Some(t.line);
+        }
+    }
+    None
+}
+
+/// `SeqCst` on `line` is justified when a comment on that line or within
+/// the three lines above mentions `SeqCst` (a why-comment, not the code
+/// itself — only text after `//` counts).
+fn seqcst_justified(file: &SourceFile, line: u32) -> bool {
+    let lines: Vec<&str> = file.text.lines().collect();
+    let idx = line.saturating_sub(1) as usize;
+    let lo = idx.saturating_sub(3);
+    for l in lines
+        .get(lo..=idx.min(lines.len().saturating_sub(1)))
+        .into_iter()
+        .flatten()
+    {
+        if let Some(pos) = l.find("//") {
+            if l[pos..].contains("SeqCst") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse("crates/mom/src/x.rs", src))
+    }
+
+    #[test]
+    fn relaxed_swap_is_flagged() {
+        let f = run("fn f(&self) { self.scheduled.swap(true, Ordering::Relaxed); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("swap"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn acqrel_swap_is_clean() {
+        let f = run("fn f(&self) { self.scheduled.swap(true, Ordering::AcqRel); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn relaxed_cas_failure_ordering_is_flagged() {
+        let f = run(
+            "fn f(&self) { self.d.compare_exchange(a, b, Ordering::AcqRel, \
+             Ordering::Relaxed); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn relaxed_counter_fetch_add_is_clean() {
+        let f = run("fn f(&self) { self.sent.fetch_add(1, Ordering::Relaxed); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn relaxed_store_on_bool_field_is_flagged() {
+        let f = run("struct S { dead: AtomicBool }\n\
+             fn f(s: &S) { s.dead.store(true, Ordering::Relaxed); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("AtomicBool"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn relaxed_store_on_counter_field_is_clean() {
+        let f = run("struct S { hits: AtomicU64 }\n\
+             fn f(s: &S) { s.hits.store(0, Ordering::Relaxed); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn relaxed_load_on_bool_field_is_clean() {
+        // Debug impls read flags with Relaxed by convention; loads never
+        // publish, so only stores are gated.
+        let f = run("struct S { dead: AtomicBool }\n\
+             fn f(s: &S) -> bool { s.dead.load(Ordering::Relaxed) }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn indexed_receiver_store_is_flagged() {
+        let f = run("struct S { dead: AtomicBool }\n\
+             fn f(v: &[S], i: usize) { v[i].dead.store(true, Ordering::Relaxed); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn bare_seqcst_is_flagged() {
+        let f = run("fn f(&self) { self.stop.store(true, Ordering::SeqCst); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("SeqCst"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn commented_seqcst_is_clean() {
+        let f = run("fn f(&self) {\n\
+             // SeqCst: stop must totally order against the drain-complete flag\n\
+             self.stop.store(true, Ordering::SeqCst); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = run("#[cfg(test)]\nmod t { fn f(s: &S) { s.x.swap(1, Ordering::Relaxed); } }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn non_atomic_swap_without_ordering_is_clean() {
+        let f = run("fn f(a: &mut Vec<u8>, b: &mut Vec<u8>) { std::mem::swap(a, b); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,155 @@
+//! `guard-across-blocking`: no guard live across a blocking call.
+//!
+//! Subsumes and retires PR 3's proximity-based `lock-across-send`. Where
+//! the old rule guessed from a `let g = ..lock()` and a `.send(..)` in
+//! the same block, this one consumes real liveness spans from the
+//! guard-tracking layer ([`guards`](crate::guards)) — including guards a
+//! helper returns up the call chain — and flags any blocking primitive
+//! (`sleep`, `recv`, `park`, `wait`, …), channel receive or transport
+//! `send*`/`write_all`/`connect*` executed while a guard is live. A
+//! blocked call under a lock couples unrelated peers: every thread
+//! contending for that lock inherits the stall, acknowledgements slip
+//! past the retransmission deadline, and duplicate-suppression turns the
+//! storm into throughput collapse rather than corruption — the paper's
+//! causal guarantee survives, its scalability claim does not.
+//!
+//! The check is intraprocedural over the guard's span (transitive
+//! blocking through a whole call tree is `block-in-step`'s job, with its
+//! scoped entry set); what makes it interprocedural is guard *liveness* —
+//! a `MutexGuard` returned by a helper keeps its span alive in the
+//! caller. Intentional couplings (a per-socket write lock serializing a
+//! TCP stream, group-commit file I/O under the store lock) carry inline
+//! `// audit:allow(guard-across-blocking)` justifications.
+
+use crate::guards::{guard_spans_in, returned_guard_map};
+use crate::source::SourceFile;
+use crate::{Config, Finding, Workspace};
+
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace, config: &Config) -> Vec<Finding> {
+    let in_scope: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| {
+            config
+                .concurrency_scopes
+                .iter()
+                .any(|s| f.rel.starts_with(s))
+        })
+        .collect();
+    let returned = returned_guard_map(in_scope.iter().copied());
+    let mut out = Vec::new();
+    for file in &in_scope {
+        let toks = &file.toks;
+        for span in crate::tree::fn_spans(file) {
+            if span.is_test {
+                continue;
+            }
+            for g in guard_spans_in(file, &span, &returned) {
+                let end = g.end.min(toks.len());
+                for i in g.acq_tok + 1..end {
+                    if file.test_mask.get(i).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    let t = &toks[i];
+                    if !config.guard_blocking.iter().any(|b| t.is_ident(b)) {
+                        continue;
+                    }
+                    // Must be a call, not a macro or a definition.
+                    if !toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false) {
+                        continue;
+                    }
+                    if i > 0 && (toks[i - 1].is_punct('!') || toks[i - 1].is_ident("fn")) {
+                        continue;
+                    }
+                    let held = match &g.binding {
+                        Some(b) => format!("guard `{b}` on `{}`", g.resource),
+                        None => format!("temporary guard on `{}`", g.resource),
+                    };
+                    out.push(Finding {
+                        rule: super::GUARD_ACROSS_BLOCKING,
+                        file: file.rel.clone(),
+                        line: t.line,
+                        message: format!(
+                            "blocking `{}` while {held} (acquired line {}) is live in `{}` — \
+                             drop the guard first, or every thread contending for `{}` \
+                             inherits this stall (DESIGN.md §15)",
+                            t.text, g.line, span.name, g.resource
+                        ),
+                        line_text: file.trimmed_line(t.line).to_owned(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let w = Workspace::from_files(vec![("crates/net/src/x.rs".to_owned(), src.to_owned())]);
+        check(&w, &Config::for_aaa_workspace())
+    }
+
+    #[test]
+    fn send_under_guard_is_flagged() {
+        let f = run("fn f(&self) { let g = self.conns.lock(); self.ep.send(to, bytes); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("send"));
+        assert!(f[0].message.contains("conns"));
+    }
+
+    #[test]
+    fn send_batch_under_rwlock_write_is_flagged() {
+        let f = run("fn f(&self) { let w = self.table.write(); self.link.send_batch(to, &w.b); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn drop_before_send_is_clean() {
+        let f = run("fn f(&self) { let g = self.conns.lock(); drop(g); self.ep.send(to, b); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn scope_exit_before_send_is_clean() {
+        let f = run("fn f(&self) { { let g = self.m.lock(); g.touch(); } self.ep.send(to, b); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn recv_under_guard_is_flagged() {
+        let f = run("fn f(&self) { let g = self.state.lock(); let c = self.rx.recv(); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("recv"));
+    }
+
+    #[test]
+    fn try_recv_is_not_blocking() {
+        let f = run("fn f(&self) { let g = self.state.lock(); let c = self.rx.try_recv(); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn returned_guard_keeps_span_alive_in_caller() {
+        let f = run(
+            "fn table(&self) -> MutexGuard<'_, V> { self.conns.lock() }\n\
+             fn f(&self) { let t = self.table(); self.ep.send(to, b); }",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("conns"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn inline_allow_suppresses_via_engine() {
+        // The rule itself still reports; suppression is apply_suppressions'
+        // job — checked here only in so far as the finding carries the
+        // line text the allowlist keys on.
+        let f = run("fn f(&self) { let g = self.conns.lock(); self.ep.send(to, bytes); }");
+        assert!(!f[0].line_text.is_empty());
+    }
+}

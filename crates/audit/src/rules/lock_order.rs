@@ -1,0 +1,364 @@
+//! `lock-order`: the interprocedural lock-acquisition graph must be a DAG.
+//!
+//! Two threads that take the same pair of locks in opposite orders can
+//! deadlock — and in this middleware a deadlocked shard worker freezes
+//! every server multiplexed onto it, which the chaos harness reads as
+//! total message loss. The rule computes, from the guard-tracking layer
+//! ([`guards`](crate::guards)), an edge `A → B` whenever some function
+//! acquires resource `B` (directly, or anywhere in the call tree of a
+//! function it calls) while a guard for resource `A` is live, then
+//! reports every cycle in that graph, naming the full cycle and the
+//! source location that closed it.
+//!
+//! Resources are name-merged (`guards` module docs). To keep the merge
+//! from manufacturing phantom cycles, transitive edges only follow
+//! calls whose callee name has **exactly one** definition in scope: a
+//! call to `len`/`send`/`flush` merges dozens of unrelated methods and
+//! would union their lock sets into every caller, so ambiguous names
+//! contribute nothing transitively (direct acquisitions and guards
+//! returned by helpers still count exactly). That is a deliberate
+//! under-approximation — cycles it misses would need type resolution —
+//! and every cycle it does report names concrete witness sites a
+//! reviewer can check in minutes. Self-edges (`A → A`) are ignored:
+//! re-acquiring the *same named* resource is almost always two distinct
+//! locks merged by name, and `parking_lot` re-entrancy bugs deadlock
+//! loudly in tests.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::guards::{guard_spans_in, returned_guard_map, ACQUIRE_METHODS};
+use crate::source::SourceFile;
+use crate::tree::{calls_in, fn_spans};
+use crate::{Config, Finding, Workspace};
+
+/// One witness for an ordering edge: where the inner acquisition happens
+/// while the outer guard is live.
+#[derive(Debug, Clone)]
+struct Witness {
+    file: String,
+    line: u32,
+    in_fn: String,
+    detail: String,
+}
+
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace, config: &Config) -> Vec<Finding> {
+    let in_scope: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| {
+            config
+                .concurrency_scopes
+                .iter()
+                .any(|s| f.rel.starts_with(s))
+        })
+        .collect();
+    let returned = returned_guard_map(in_scope.iter().copied());
+
+    // Direct acquisitions and outgoing calls per function name, plus how
+    // many definitions share that name — ambiguous names are barred from
+    // the transitive closure (see module docs).
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut body_calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut def_count: BTreeMap<String, usize> = BTreeMap::new();
+    // (file, fn span, guard spans), reused for the edge walk.
+    let mut per_fn: Vec<(
+        &SourceFile,
+        crate::tree::FnSpan,
+        Vec<crate::guards::GuardSpan>,
+    )> = Vec::new();
+    for file in &in_scope {
+        for span in fn_spans(file) {
+            if span.is_test {
+                continue;
+            }
+            let gspans = guard_spans_in(file, &span, &returned);
+            let entry = direct.entry(span.name.clone()).or_default();
+            for g in &gspans {
+                entry.insert(g.resource.clone());
+            }
+            *def_count.entry(span.name.clone()).or_insert(0) += 1;
+            if let Some((s, e)) = span.body {
+                let calls = body_calls.entry(span.name.clone()).or_default();
+                for c in calls_in(file, s, e) {
+                    if !ACQUIRE_METHODS.contains(&c.name.as_str()) {
+                        calls.insert(c.name);
+                    }
+                }
+            }
+            per_fn.push((file, span, gspans));
+        }
+    }
+
+    // Transitive acquisitions of a callee name: every resource acquired
+    // in its forward call closure, following only unambiguous names.
+    // Memoized per name; cycles in the call graph settle to their first
+    // visit's partial set, which is enough for edge existence.
+    let mut trans_cache: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    fn closure(
+        name: &str,
+        direct: &BTreeMap<String, BTreeSet<String>>,
+        body_calls: &BTreeMap<String, BTreeSet<String>>,
+        def_count: &BTreeMap<String, usize>,
+        cache: &mut BTreeMap<String, BTreeSet<String>>,
+    ) -> BTreeSet<String> {
+        if let Some(hit) = cache.get(name) {
+            return hit.clone();
+        }
+        if def_count.get(name).copied().unwrap_or(0) != 1 {
+            cache.insert(name.to_owned(), BTreeSet::new());
+            return BTreeSet::new();
+        }
+        // Seed the memo before recursing so call-graph cycles terminate.
+        cache.insert(name.to_owned(), BTreeSet::new());
+        let mut set = direct.get(name).cloned().unwrap_or_default();
+        for callee in body_calls.get(name).into_iter().flatten() {
+            set.extend(closure(callee, direct, body_calls, def_count, cache));
+        }
+        cache.insert(name.to_owned(), set.clone());
+        set
+    }
+    let trans = |name: &str, cache: &mut BTreeMap<String, BTreeSet<String>>| {
+        closure(name, &direct, &body_calls, &def_count, cache)
+    };
+
+    // Ordering edges A → B with their first witness (deterministic: files
+    // and spans are walked in sorted order).
+    let mut edges: BTreeMap<(String, String), Witness> = BTreeMap::new();
+    for (file, span, gspans) in &per_fn {
+        for outer in gspans {
+            // Nested direct acquisitions inside the outer guard's span.
+            for inner in gspans {
+                if inner.acq_tok <= outer.acq_tok || inner.acq_tok >= outer.end {
+                    continue;
+                }
+                add_edge(
+                    &mut edges,
+                    &outer.resource,
+                    &inner.resource,
+                    Witness {
+                        file: file.rel.clone(),
+                        line: inner.line,
+                        in_fn: span.name.clone(),
+                        detail: format!("acquires `{}` directly", inner.resource),
+                    },
+                );
+            }
+            // Calls under the guard: anything the callee's closure locks.
+            for call in calls_in(file, outer.acq_tok, outer.end) {
+                if ACQUIRE_METHODS.contains(&call.name.as_str()) {
+                    continue;
+                }
+                for res in trans(&call.name, &mut trans_cache) {
+                    add_edge(
+                        &mut edges,
+                        &outer.resource,
+                        &res,
+                        Witness {
+                            file: file.rel.clone(),
+                            line: call.line,
+                            in_fn: span.name.clone(),
+                            detail: format!("calls `{}`, whose call tree locks `{res}`", call.name),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // Cycle detection over the resource graph: for each edge A → B, a
+    // path B → … → A closes a cycle. Each cycle is reported once, keyed
+    // on its canonical rotation.
+    let mut succ: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        succ.entry(a.as_str()).or_default().insert(b.as_str());
+    }
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut out = Vec::new();
+    for ((a, b), w) in &edges {
+        let Some(path) = shortest_path(&succ, b, a) else {
+            continue;
+        };
+        // Cycle: a → b → … → a. `path` runs b → … → a; its last node is
+        // `a` again, so strip it before closing the loop. Canonical form
+        // rotates the smallest resource to the front so each cycle is
+        // reported exactly once.
+        let mut cycle: Vec<String> = Vec::with_capacity(path.len());
+        cycle.push(a.clone());
+        cycle.extend(
+            path[..path.len().saturating_sub(1)]
+                .iter()
+                .map(|s| (*s).to_owned()),
+        );
+        let canon = canonical_rotation(&cycle);
+        if !seen_cycles.insert(canon.clone()) {
+            continue;
+        }
+        let mut names = canon.clone();
+        names.push(canon[0].clone());
+        let file = ws.file(&w.file);
+        out.push(Finding {
+            rule: super::LOCK_ORDER,
+            file: w.file.clone(),
+            line: w.line,
+            message: format!(
+                "lock-order cycle `{}`: `{}` {} while a `{}` guard is live — two threads \
+                 taking these locks in opposite orders can deadlock; acquire them in one \
+                 global order or shrink the guard's span (DESIGN.md §15)",
+                names.join(" -> "),
+                w.in_fn,
+                w.detail,
+                b
+            ),
+            line_text: file
+                .map(|f| f.trimmed_line(w.line).to_owned())
+                .unwrap_or_default(),
+        });
+    }
+    out
+}
+
+fn add_edge(edges: &mut BTreeMap<(String, String), Witness>, a: &str, b: &str, witness: Witness) {
+    if a == b {
+        return;
+    }
+    edges.entry((a.to_owned(), b.to_owned())).or_insert(witness);
+}
+
+/// BFS shortest path `from → … → to` over the successor map (empty path
+/// when `from == to` is *not* returned; the caller supplies the closing
+/// edge). Returns the node sequence starting at `from`, ending at `to`.
+fn shortest_path<'a>(
+    succ: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    prev.insert(from, from);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut path = vec![n];
+            let mut cur = n;
+            while prev[cur] != cur {
+                cur = prev[cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for next in succ.get(n).into_iter().flatten() {
+            if !prev.contains_key(next) {
+                prev.insert(next, n);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// Rotates `cycle` so its lexicographically smallest element leads.
+fn canonical_rotation(cycle: &[String]) -> Vec<String> {
+    let min_idx = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.as_str())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend_from_slice(&cycle[min_idx..]);
+    out.extend_from_slice(&cycle[..min_idx]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::from_files(
+            files
+                .iter()
+                .map(|(r, t)| ((*r).to_owned(), (*t).to_owned()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn inversion_across_two_functions_is_a_cycle() {
+        let w = ws(&[
+            (
+                "crates/mom/src/a.rs",
+                "fn fwd(&self) { let g = self.routes.lock(); let h = self.peers.lock(); }",
+            ),
+            (
+                "crates/net/src/b.rs",
+                "fn rev(&self) { let h = self.peers.lock(); let g = self.routes.lock(); }",
+            ),
+        ]);
+        let f = check(&w, &Config::for_aaa_workspace());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("peers"), "{}", f[0].message);
+        assert!(f[0].message.contains("routes"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn interprocedural_edge_through_a_callee() {
+        let w = ws(&[(
+            "crates/mom/src/a.rs",
+            "fn outer(&self) { let g = self.routes.lock(); self.helper(); }\n\
+             fn helper(&self) { let h = self.peers.lock(); }\n\
+             fn rev(&self) { let h = self.peers.lock(); let g = self.routes.lock(); }",
+        )]);
+        let f = check(&w, &Config::for_aaa_workspace());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("helper") || f[0].message.contains("directly"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let w = ws(&[(
+            "crates/mom/src/a.rs",
+            "fn one(&self) { let g = self.routes.lock(); let h = self.peers.lock(); }\n\
+             fn two(&self) { let g = self.routes.lock(); let h = self.peers.lock(); }",
+        )]);
+        let f = check(&w, &Config::for_aaa_workspace());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn dropped_guard_opens_no_edge() {
+        let w = ws(&[(
+            "crates/mom/src/a.rs",
+            "fn fwd(&self) { let g = self.routes.lock(); drop(g); let h = self.peers.lock(); }\n\
+             fn rev(&self) { let h = self.peers.lock(); drop(h); let g = self.routes.lock(); }",
+        )]);
+        let f = check(&w, &Config::for_aaa_workspace());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn returned_guard_counts_in_the_caller() {
+        let w = ws(&[(
+            "crates/net/src/a.rs",
+            "fn table(&self) -> MutexGuard<'_, V> { self.routes.lock() }\n\
+             fn fwd(&self) { let t = self.table(); let h = self.peers.lock(); }\n\
+             fn rev(&self) { let h = self.peers.lock(); let t = self.table(); }",
+        )]);
+        let f = check(&w, &Config::for_aaa_workspace());
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn out_of_scope_files_are_exempt() {
+        let w = ws(&[(
+            "crates/topology/src/a.rs",
+            "fn fwd(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+             fn rev(&self) { let h = self.b.lock(); let g = self.a.lock(); }",
+        )]);
+        let f = check(&w, &Config::for_aaa_workspace());
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -3,14 +3,21 @@
 //! Every rule reports [`Finding`](crate::Finding)s with a stable rule id;
 //! the engine maps those ids to allowlist files, to the
 //! `aaa_audit_findings_total{rule=...}` metric and to SARIF `rules`
-//! entries. PR 3's five rules are token-window scanners; PR 4 adds five
-//! dataflow-aware rules built on the [tree](crate::tree) layer.
+//! entries. PR 3's rules are token-window scanners; PR 4 added five
+//! dataflow-aware rules built on the [tree](crate::tree) layer; PR 8's
+//! concurrency pass adds three more on the [guards](crate::guards)
+//! layer — `lock-order`, `guard-across-blocking` (which subsumed and
+//! retired the proximity-based `lock-across-send`) and
+//! `atomic-protocol` — plus the [interleave](crate::interleave) model
+//! checker, which is not a rule but a test-time exhaustive explorer.
 
+pub mod atomic_protocol;
 pub mod block_in_step;
 pub mod clock_overflow;
 pub mod determinism;
 pub mod error_swallow;
-pub mod lock_across_send;
+pub mod guard_across_blocking;
+pub mod lock_order;
 pub mod match_drift;
 pub mod metric_drift;
 pub mod panic_freedom;
@@ -26,8 +33,6 @@ pub const DETERMINISM: &str = "determinism";
 pub const MATCH_DRIFT: &str = "match-drift";
 /// Rule id: metric vocabulary consistency (code / README / golden file).
 pub const METRIC_DRIFT: &str = "metric-drift";
-/// Rule id: no lock guard held across a transport send.
-pub const LOCK_ACROSS_SEND: &str = "lock-across-send";
 /// Rule id: every transport send dominated by a `stamp_send*` call.
 pub const STAMP_FLOW: &str = "stamp-flow";
 /// Rule id: no unguarded narrowing casts on codec/wire paths.
@@ -40,6 +45,12 @@ pub const ERROR_SWALLOW: &str = "error-swallow";
 pub const BLOCK_IN_STEP: &str = "block-in-step";
 /// Rule id: aaa-mom's `pub` surface matches its committed baseline.
 pub const PUB_API: &str = "pub-api-drift";
+/// Rule id: the interprocedural lock-acquisition graph is a DAG.
+pub const LOCK_ORDER: &str = "lock-order";
+/// Rule id: no guard live across a blocking primitive or transport send.
+pub const GUARD_ACROSS_BLOCKING: &str = "guard-across-blocking";
+/// Rule id: atomic memory orderings match the shape of the use.
+pub const ATOMIC_PROTOCOL: &str = "atomic-protocol";
 
 /// Every rule id, in reporting order.
 pub const ALL_RULES: &[&str] = &[
@@ -47,13 +58,15 @@ pub const ALL_RULES: &[&str] = &[
     DETERMINISM,
     MATCH_DRIFT,
     METRIC_DRIFT,
-    LOCK_ACROSS_SEND,
     STAMP_FLOW,
     WIRE_CAST,
     CLOCK_OVERFLOW,
     ERROR_SWALLOW,
     BLOCK_IN_STEP,
     PUB_API,
+    LOCK_ORDER,
+    GUARD_ACROSS_BLOCKING,
+    ATOMIC_PROTOCOL,
 ];
 
 /// One-line description per rule id (SARIF `shortDescription`, docs).
@@ -71,9 +84,6 @@ pub fn describe(rule: &str) -> &'static str {
         r if r == METRIC_DRIFT => {
             "The aaa_* metric vocabulary agrees across code, README table and Prometheus golden."
         }
-        r if r == LOCK_ACROSS_SEND => {
-            "No Mutex/RwLock guard is held across a transport send in the same block."
-        }
         r if r == STAMP_FLOW => {
             "Every transport send outside aaa-net is dominated by a stamp_send* call."
         }
@@ -90,6 +100,119 @@ pub fn describe(rule: &str) -> &'static str {
         r if r == PUB_API => {
             "Every pub item in aaa-mom is recorded in the committed PUBLIC_API.txt baseline."
         }
+        r if r == LOCK_ORDER => {
+            "The interprocedural lock-acquisition graph across mom/net/obs/storage is acyclic."
+        }
+        r if r == GUARD_ACROSS_BLOCKING => {
+            "No Mutex/RwLock guard is live across a blocking primitive, channel recv or send*."
+        }
+        r if r == ATOMIC_PROTOCOL => {
+            "Gate-shaped atomics use Acquire/Release+; Relaxed only on counters; SeqCst justified."
+        }
         _ => "Workspace protocol-invariant audit rule.",
+    }
+}
+
+/// Long-form documentation per rule id: what the rule enforces, why the
+/// middleware needs it, and how to fix or suppress a finding. Printed by
+/// `aaa-audit --explain <rule>` and embedded as the SARIF `help` text.
+pub fn explain(rule: &str) -> &'static str {
+    match rule {
+        r if r == PANIC_FREEDOM => {
+            "A panic on the delivery path aborts a half-committed channel transaction and \
+             tears down a whole shard worker. The rule flags `.unwrap()`, `.expect(..)`, \
+             `panic!`-family macros and indexing by integer literal in non-test code of the \
+             configured crates (net, mom, clocks, storage, plus bench drivers under src/bin \
+             and examples/). Fix by propagating a `Result` or handling the `None`; suppress \
+             a deliberate invariant with `// audit:allow(panic-freedom)` plus a comment \
+             stating why the invariant holds."
+        }
+        r if r == DETERMINISM => {
+            "The simulator's replay guarantee (same seed, same trace) dies the moment a \
+             wall-clock or OS-entropy read sneaks into `sim` or `clocks`. The rule flags \
+             `Instant::now`, `SystemTime`, `thread_rng` and friends there. Fix by threading \
+             the simulated clock or seeded RNG through instead."
+        }
+        r if r == MATCH_DRIFT => {
+            "A wire-enum variant handled in `encode` but not `decode` (or vice versa) \
+             silently breaks cross-version delivery: the peer reads a valid-looking frame \
+             and drops or misroutes it. The rule parses each configured enum definition and \
+             checks every variant name appears in both the serializer and the deserializer \
+             function bodies."
+        }
+        r if r == METRIC_DRIFT => {
+            "Operators alert on metric names; a renamed counter that the README table or \
+             the Prometheus golden file still lists the old way produces silent blind spots. \
+             The rule cross-checks the `aaa_*` vocabulary across code, README and goldens."
+        }
+        r if r == STAMP_FLOW => {
+            "The paper's causal guarantee needs every message stamped before it leaves the \
+             process. The rule walks the call graph from each transport send site in mom/sim \
+             and requires a dominating `stamp_send*` call — a raw send is a causality leak."
+        }
+        r if r == WIRE_CAST => {
+            "`v.len() as u32` in a codec truncates silently past 2^32 and the peer decodes \
+             a structurally valid, wrong value. The rule flags narrowing `as u16`/`as u32` \
+             casts with runtime operands on wire paths (including bench drivers and \
+             examples) unless the enclosing function already guards with `try_from` or an \
+             explicit `::MAX` bound check."
+        }
+        r if r == CLOCK_OVERFLOW => {
+            "Matrix/vector clock cells only ever grow; wrapping arithmetic would travel \
+             back in causal time. The rule requires saturating/checked ops on configured \
+             clock-cell fields."
+        }
+        r if r == ERROR_SWALLOW => {
+            "`let _ = send(..)` on a protocol path turns a transport failure into silent \
+             message loss. The rule flags discarded fallible results in protocol crates; \
+             handle the error, log it through the obs layer, or justify inline."
+        }
+        r if r == BLOCK_IN_STEP => {
+            "One blocking call inside the batched server step stalls a whole shard — every \
+             server multiplexed onto that worker. The rule walks the call graph from the \
+             step entry points and flags reachable blocking primitives and `.await`s."
+        }
+        r if r == PUB_API => {
+            "aaa-mom's `pub` surface is a compatibility contract. The rule inventories pub \
+             items and diffs them against the committed PUBLIC_API.txt; admit a deliberate \
+             change by regenerating the baseline with `--fix-pub-api`."
+        }
+        r if r == LOCK_ORDER => {
+            "Two threads taking the same pair of locks in opposite orders can deadlock, \
+             and a deadlocked shard worker freezes every server multiplexed onto it. The \
+             guard-tracking layer computes which guards are live at each call site — \
+             including guards returned up the call chain — and builds an interprocedural \
+             lock-order graph over mom/net/obs/storage: an edge A -> B whenever B is \
+             acquired (directly or transitively through a call) while a guard on A is \
+             live. Any cycle is reported with the full cycle path and the witness site \
+             that closed it. Fix by acquiring locks in one global order (DESIGN.md §15 \
+             documents the sanctioned DAG) or by shrinking the guard's span with an \
+             explicit `drop(guard)`."
+        }
+        r if r == GUARD_ACROSS_BLOCKING => {
+            "A blocking call under a lock couples unrelated peers: every thread contending \
+             for that lock inherits the stall, acks miss retransmission deadlines, and the \
+             retry storm collapses throughput. Using real liveness spans (not token \
+             proximity — this rule subsumed PR 3's `lock-across-send`), the rule flags any \
+             blocking primitive, channel `recv`, or transport `send*`/`write_all`/`connect*` \
+             executed while a Mutex/RwLock guard is live, including guards returned by \
+             helpers. Fix by dropping the guard first or staging the data out of the \
+             critical section; a deliberate coupling (per-socket write serialization, \
+             group-commit file I/O) takes an inline `// audit:allow(guard-across-blocking)` \
+             with the reasoning."
+        }
+        r if r == ATOMIC_PROTOCOL => {
+            "Atomic orderings must match the idiom: gate-shaped RMWs (`swap`, \
+             `compare_exchange*`, `fetch_or`-family) and `store`s to AtomicBool flags \
+             publish state transitions and need Acquire/Release or stronger — `Relaxed` \
+             there is a lost wakeup on weak memory. Counter-shaped `fetch_add`/`fetch_sub` \
+             sites are exempt (Relaxed is correct: nothing is published). `SeqCst` must \
+             carry a nearby `// ...SeqCst...` why-comment or be downgraded — total order \
+             costs a full fence and usually hides the real protocol. Single-writer state \
+             machines document themselves with inline `// audit:allow(atomic-protocol)` \
+             comments stating the single-writer argument (DESIGN.md §15 has the policy \
+             table)."
+        }
+        _ => "Workspace protocol-invariant audit rule; see crates/audit/src/rules/.",
     }
 }

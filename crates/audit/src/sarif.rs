@@ -56,6 +56,10 @@ pub fn render(findings: &[Finding]) -> String {
             "              \"shortDescription\": {{ \"text\": \"{}\" }},\n",
             esc(rules::describe(rule))
         ));
+        o.push_str(&format!(
+            "              \"help\": {{ \"text\": \"{}\" }},\n",
+            esc(rules::explain(rule))
+        ));
         o.push_str("              \"defaultConfiguration\": { \"level\": \"error\" }\n");
         o.push_str("            }");
         if i + 1 < rules::ALL_RULES.len() {
@@ -135,9 +139,14 @@ mod tests {
         assert!(s.contains("\"name\": \"aaa-audit\""));
         assert!(s.contains("\"ruleId\": \"error-swallow\""));
         assert!(s.contains("\"startLine\": 390"));
-        // Every rule id is declared even with zero results.
+        // Every rule id is declared even with zero results, and carries
+        // the long-form `--explain` text as its help.
         for rule in rules::ALL_RULES {
             assert!(s.contains(&format!("\"id\": \"{rule}\"")), "{rule} missing");
+            assert!(
+                s.contains(&esc(rules::explain(rule))),
+                "{rule} help text missing"
+            );
         }
     }
 

@@ -115,6 +115,17 @@ impl PoolShared {
             std::thread::yield_now();
             return;
         };
+        // Re-check under the lock: `dead` is only ever set by the worker
+        // holding this guard, so a worker that passed the check above
+        // while another worker was mid-shutdown can acquire the lock
+        // right after the final flush + group commit and would otherwise
+        // poll the endpoint and tick the driver of a dead slot (the
+        // step-after-dead race; the interleaving model check in
+        // aaa-audit finds exactly this window when the re-check knob is
+        // disabled).
+        if slot.dead.load(Ordering::Acquire) {
+            return;
+        }
         let st = &mut *guard;
 
         while let Ok(cmd) = slot.cmd_rx.try_recv() {

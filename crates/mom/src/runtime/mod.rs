@@ -445,7 +445,7 @@ impl std::fmt::Debug for Mom {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Mom")
             .field("servers", &self.dispatch.server_count())
-            .field("in_flight", &self.in_flight.load(Ordering::SeqCst))
+            .field("in_flight", &self.in_flight.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
 }
@@ -717,7 +717,10 @@ impl Mom {
     /// Number of end-to-end messages currently in flight (accepted but not
     /// yet delivered to their destination engine).
     pub fn in_flight(&self) -> i64 {
-        self.in_flight.load(Ordering::SeqCst)
+        // Relaxed: a monitoring counter, updated Relaxed at the
+        // fetch_add/fetch_sub sites; quiesce() polls it in a loop, so
+        // eventual visibility is all it needs.
+        self.in_flight.load(Ordering::Relaxed)
     }
 
     /// Waits until every server reports itself idle twice in a row, or the

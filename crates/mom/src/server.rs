@@ -248,7 +248,7 @@ impl ServerCore {
         }
         if dest != self.me {
             if let Some(c) = &self.in_flight {
-                c.fetch_add(1, Ordering::SeqCst);
+                c.fetch_add(1, Ordering::Relaxed);
             }
             if self.metrics.is_some() {
                 if let Some(t) = &self.latency {
@@ -264,7 +264,7 @@ impl ServerCore {
         }
         if remote {
             if let Some(c) = &self.in_flight {
-                c.fetch_sub(1, Ordering::SeqCst);
+                c.fetch_sub(1, Ordering::Relaxed);
             }
             if let (Some(m), Some(t)) = (&self.metrics, &self.latency) {
                 if let Some(sent) = t.take_send(id) {
@@ -331,7 +331,7 @@ impl ServerCore {
                 if causal {
                     self.record_send(to.server(), id, now);
                 } else if let Some(c) = &self.in_flight {
-                    c.fetch_add(1, Ordering::SeqCst);
+                    c.fetch_add(1, Ordering::Relaxed);
                 }
                 id
             }
@@ -380,7 +380,7 @@ impl ServerCore {
                     if causal {
                         self.record_send(to.server(), id, now);
                     } else if let Some(c) = &self.in_flight {
-                        c.fetch_add(1, Ordering::SeqCst);
+                        c.fetch_add(1, Ordering::Relaxed);
                     }
                     ids.push(id);
                 }
@@ -466,7 +466,7 @@ impl ServerCore {
                         // Unordered deliveries stay out of the causal
                         // trace but settle the in-flight counter.
                         if let Some(c) = &self.in_flight {
-                            c.fetch_sub(1, Ordering::SeqCst);
+                            c.fetch_sub(1, Ordering::Relaxed);
                         }
                     } else {
                         self.record_delivery(m.id, m.from.server() != self.me, now);
@@ -622,7 +622,7 @@ impl ServerCore {
                         if causal {
                             self.record_send(to.server(), id, now);
                         } else if let Some(c) = &self.in_flight {
-                            c.fetch_add(1, Ordering::SeqCst);
+                            c.fetch_add(1, Ordering::Relaxed);
                         }
                         let _ = id;
                     }

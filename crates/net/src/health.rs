@@ -172,6 +172,11 @@ impl PeerHealth {
             return;
         };
         slot.failures.store(0, Ordering::Relaxed);
+        // Single-writer: only the thread driving sends to `peer` mutates
+        // this slot (per-link FIFO pins a peer's traffic to one socket
+        // writer); other threads only read an advisory verdict, so no
+        // ordering-based publication is needed.
+        // audit:allow(atomic-protocol)
         let prev = slot.state.swap(PeerState::Up as u8, Ordering::Relaxed);
         if prev != PeerState::Up as u8 {
             self.export_state(peer, PeerState::Up);
@@ -204,6 +209,10 @@ impl PeerHealth {
         } else {
             PeerState::Up
         };
+        // Single-writer, as in on_success: the failure streak and verdict
+        // for a peer are only written by that peer's sending thread; the
+        // verdict is advisory for readers.
+        // audit:allow(atomic-protocol)
         let prev = slot.state.swap(next as u8, Ordering::Relaxed);
         if prev != next as u8 {
             self.export_state(peer, next);

@@ -29,7 +29,7 @@ impl MetricsServer {
     }
 
     fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -86,7 +86,7 @@ pub fn serve(registry: Registry, addr: &str) -> std::io::Result<MetricsServer> {
     let handle = std::thread::Builder::new()
         .name("aaa-obs-exporter".into())
         .spawn(move || {
-            while !stop2.load(Ordering::SeqCst) {
+            while !stop2.load(Ordering::Acquire) {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         let _ = stream.set_nonblocking(false);

@@ -201,7 +201,12 @@ impl Log for FileLog {
         let len = u32::try_from(record.len())
             .unwrap_or(u32::MAX)
             .to_le_bytes();
+        // Intentional coupling (group commit): the file lock must span
+        // header + record + flush, or concurrent appends interleave and
+        // tear the log. Durability ordering is the point of the hold.
+        // audit:allow(guard-across-blocking)
         file.write_all(&len)
+            // audit:allow(guard-across-blocking)
             .and_then(|()| file.write_all(record))
             .and_then(|()| file.flush())
             .map_err(|e| storage_err("append record", e))?;

@@ -30,17 +30,15 @@ impl Replica {
         if let Some(item) = edit.strip_prefix("add:") {
             self.items.push((item.to_owned(), false));
         } else if let Some(item) = edit.strip_prefix("strike:") {
-            let entry = self
-                .items
-                .iter_mut()
-                .find(|(name, _)| name == item)
-                .unwrap_or_else(|| {
-                    panic!(
-                        "{}: strike of '{item}' arrived before its add — causality broken!",
-                        self.name
-                    )
-                });
-            entry.1 = true;
+            let entry = self.items.iter_mut().find(|(name, _)| name == item);
+            assert!(
+                entry.is_some(),
+                "{}: strike of '{item}' arrived before its add — causality broken!",
+                self.name
+            );
+            if let Some(entry) = entry {
+                entry.1 = true;
+            }
         }
         self.log
             .lock()
@@ -50,7 +48,10 @@ impl Replica {
 
 impl Agent for Replica {
     fn react(&mut self, _ctx: &mut ReactionContext<'_>, _from: AgentId, note: &Notification) {
-        self.apply(note.body_str().expect("edits are UTF-8"));
+        // Every edit this example sends is UTF-8; skip anything that isn't.
+        if let Some(edit) = note.body_str() {
+            self.apply(edit);
+        }
     }
 }
 

@@ -81,7 +81,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("desk S{s}: {desk_feed:?}");
         assert_eq!(desk_feed.len(), 4);
         assert_eq!(
-            desk_feed[3], "HALT ACME",
+            desk_feed.last().copied(),
+            Some("HALT ACME"),
             "halt must arrive after its quotes"
         );
     }

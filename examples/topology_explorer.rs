@@ -25,20 +25,22 @@ fn explore(name: &str, topo: &Topology) -> Result<(), Box<dyn std::error::Error>
     println!("causal router-servers: {{{}}}", routers.join(", "));
 
     let tables = RoutingTable::build_all(topo)?;
-    let far = (0..topo.server_count() as u16)
+    let servers = u16::try_from(topo.server_count()).unwrap_or(u16::MAX);
+    let origin = tables.first().ok_or("empty topology")?;
+    let far = (0..servers)
         .map(ServerId::new)
-        .max_by_key(|s| tables[0].hops(*s).unwrap_or(0))
-        .expect("non-empty topology");
+        .max_by_key(|s| origin.hops(*s).unwrap_or(0))
+        .unwrap_or_else(|| ServerId::new(0));
     let route = trace_route(&tables, ServerId::new(0), far)?;
     let hops: Vec<String> = route.iter().map(|s| s.to_string()).collect();
     println!("longest route from S0: {}", hops.join(" -> "));
 
-    let max_cells = (0..topo.server_count() as u16)
+    let max_cells = (0..servers)
         .map(|s| {
             let sizes: Vec<usize> = topo
                 .memberships(ServerId::new(s))
                 .iter()
-                .map(|&d| topo.domain(d).expect("domain exists").size())
+                .map(|&d| topo.domain(d).map_or(0, |dom| dom.size()))
                 .collect();
             cost::server_state_cells(&sizes)
         })
@@ -76,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cyclic = TopologySpec::from_domains(vec![vec![0, 1], vec![1, 2], vec![2, 0]]);
     match cyclic.validate() {
         Err(e) => println!("\ncyclic decomposition rejected as expected: {e}"),
-        Ok(_) => unreachable!("the cycle must be detected"),
+        Ok(_) => return Err("the cycle must be detected".into()),
     }
 
     println!("\n§6.2 analytic per-message cost (cell ops):");

@@ -31,7 +31,7 @@ fn spec_for(kind: &str, n: u16) -> TopologySpec {
     match kind {
         "flat" => TopologySpec::single_domain(n),
         "bus" => {
-            let k = (f64::from(n).sqrt().round() as u16).max(1);
+            let k = f64::from(n).sqrt().round().clamp(1.0, f64::from(u16::MAX)) as u16;
             let s = n.div_ceil(k);
             TopologySpec::bus(k, s)
         }
@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mom = MomBuilder::new(spec).build()?;
     let topo = mom.topology();
-    let count = topo.server_count() as u16;
+    let count = u16::try_from(topo.server_count()).unwrap_or(u16::MAX);
 
     println!(
         "topology: {kind} with {count} servers, {} domains",
@@ -80,10 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("routers: {{{}}}", routers.join(", "));
 
     let tables = RoutingTable::build_all(topo)?;
+    let origin = tables.first().ok_or("empty topology")?;
     let far = (0..count)
         .map(ServerId::new)
-        .max_by_key(|s| tables[0].hops(*s).unwrap_or(0))
-        .expect("at least one server");
+        .max_by_key(|s| origin.hops(*s).unwrap_or(0))
+        .unwrap_or_else(|| ServerId::new(0));
     let path: Vec<String> = trace_route(&tables, ServerId::new(0), far)?
         .iter()
         .map(ToString::to_string)
@@ -97,8 +98,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut x: u64 = 0x9E3779B97F4A7C15;
     for _ in 0..messages {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let from = ((x >> 33) % u64::from(count)) as u16;
-        let mut to = ((x >> 17) % u64::from(count)) as u16;
+        let from = u16::try_from((x >> 33) % u64::from(count)).unwrap_or(0);
+        let mut to = u16::try_from((x >> 17) % u64::from(count)).unwrap_or(0);
         if to == from {
             to = (to + 1) % count;
         }

@@ -183,8 +183,10 @@ fn main() -> Result<()> {
         json_run(&batched),
         json_run(&unbatched),
     );
-    std::fs::write("BENCH_batching.json", &json).expect("write BENCH_batching.json");
-    eprintln!("  wrote BENCH_batching.json");
+    match std::fs::write("BENCH_batching.json", &json) {
+        Ok(()) => eprintln!("  wrote BENCH_batching.json"),
+        Err(e) => eprintln!("  failed to write BENCH_batching.json: {e}"),
+    }
 
     if !short {
         assert!(

@@ -240,8 +240,10 @@ fn main() -> Result<()> {
          {},\n  \"speedup_bus4x4\": {speedup_small:.3},\n  \"speedup_bus8x8\": {speedup:.3}\n}}\n",
         body.join(",\n"),
     );
-    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
-    eprintln!("  wrote BENCH_runtime.json");
+    match std::fs::write("BENCH_runtime.json", &json) {
+        Ok(()) => eprintln!("  wrote BENCH_runtime.json"),
+        Err(e) => eprintln!("  failed to write BENCH_runtime.json: {e}"),
+    }
 
     if !short {
         assert!(

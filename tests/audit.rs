@@ -324,3 +324,74 @@ fn sabotage_unregistered_metric_is_caught() {
     assert_eq!(hit.file, "crates/net/src/metrics.rs");
     assert!(hit.line > 0, "diagnostic must carry a line number");
 }
+
+#[test]
+fn sabotage_lock_inversion_is_caught() {
+    // Two helpers taking the same pair of locks in opposite orders — the
+    // textbook deadlock the interprocedural lock-order graph exists for.
+    let f = findings_after(&[("crates/net/src/health.rs", &|t| {
+        format!(
+            "{t}\nfn sneaky_fwd(alpha: &Mutex<u8>, zeta: &Mutex<u8>) -> u8 {{\n    \
+             let ga = alpha.lock();\n    let gz = zeta.lock();\n    *ga + *gz\n}}\n\
+             fn sneaky_rev(alpha: &Mutex<u8>, zeta: &Mutex<u8>) -> u8 {{\n    \
+             let gz = zeta.lock();\n    let ga = alpha.lock();\n    *ga + *gz\n}}\n"
+        )
+    })]);
+    let hit = f
+        .iter()
+        .find(|f| f.rule == "lock-order" && f.file == "crates/net/src/health.rs")
+        .unwrap_or_else(|| panic!("lock inversion not flagged; findings: {f:#?}"));
+    assert!(hit.line > 0, "diagnostic must carry a line number");
+    // The diagnostic names the full cycle, not just one edge.
+    assert!(
+        hit.message.contains("alpha") && hit.message.contains("zeta"),
+        "cycle message should name both resources: {}",
+        hit.message
+    );
+}
+
+#[test]
+fn sabotage_relaxed_schedule_gate_is_caught() {
+    // Downgrade the evented runtime's `scheduled` wakeup gate to Relaxed:
+    // the swap would no longer order the queue deposit before the wakeup,
+    // exactly the lost-update family `atomic-protocol` polices.
+    let f = findings_after(&[("crates/mom/src/runtime/evented.rs", &|t| {
+        t.replacen(
+            "scheduled.swap(true, Ordering::AcqRel)",
+            "scheduled.swap(true, Ordering::Relaxed)",
+            1,
+        )
+    })]);
+    let hit = f
+        .iter()
+        .find(|f| f.rule == "atomic-protocol" && f.file == "crates/mom/src/runtime/evented.rs")
+        .unwrap_or_else(|| panic!("Relaxed gate swap not flagged; findings: {f:#?}"));
+    assert!(hit.line > 0, "diagnostic must carry a line number");
+    assert!(
+        hit.message.contains("swap"),
+        "diagnostic should name the gate-shaped operation: {}",
+        hit.message
+    );
+}
+
+#[test]
+fn sabotage_guard_across_send_batch_is_caught() {
+    // A mutex guard held across a batched transport send: the blocking
+    // I/O stalls every other thread contending on that lock.
+    let f = findings_after(&[("crates/net/src/health.rs", &|t| {
+        format!(
+            "{t}\nfn sneaky_hold(m: &Mutex<Vec<u8>>) {{\n    \
+             let sneaky_guard = m.lock();\n    send_batch(&sneaky_guard);\n}}\n"
+        )
+    })]);
+    let hit = f
+        .iter()
+        .find(|f| f.rule == "guard-across-blocking" && f.file == "crates/net/src/health.rs")
+        .unwrap_or_else(|| panic!("guard across send_batch not flagged; findings: {f:#?}"));
+    assert!(hit.line > 0, "diagnostic must carry a line number");
+    assert!(
+        hit.message.contains("send_batch") && hit.message.contains("sneaky_guard"),
+        "diagnostic should name the blocking call and the guard: {}",
+        hit.message
+    );
+}

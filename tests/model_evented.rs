@@ -1,0 +1,84 @@
+//! Tier-1 gate: exhaustive model check of the evented runtime's slot
+//! wakeup protocol.
+//!
+//! `aaa_audit::interleave` enumerates **every** interleaving of notifier,
+//! command, shutdown, timer and worker actions over the `Slot`
+//! notify/step/requeue protocol (DESIGN.md §15 has the proof sketch) and
+//! asserts, on each reachable state:
+//!
+//! - **no lost wakeup** — a quiescent state never strands deposited work;
+//! - **no double step** — at most one worker ever holds a slot's step lock;
+//! - **no step-after-dead** — a shut-down slot is never driven again.
+//!
+//! `AAA_MODEL_DEPTH` scales the workload: unset/0/1 is the PR-CI shape
+//! (exhaustive in well under a second), 2 is the deep main-branch shape,
+//! 3+ deeper still. The `sabotage_*` tests are the model's own acceptance
+//! criteria: re-introducing either of the two races the protocol guards
+//! against (dropping the `scheduled` reset; skipping the dead re-check
+//! under the lock) must make the check fail with a concrete trace.
+
+use aaa_audit::interleave::{explore, Options, SlotConfig, SlotModel};
+
+fn depth_level() -> u8 {
+    std::env::var("AAA_MODEL_DEPTH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+#[test]
+fn slot_protocol_has_no_lost_wakeups_at_configured_depth() {
+    let level = depth_level();
+    let m = SlotModel {
+        cfg: SlotConfig::at_depth(level),
+    };
+    match explore(&m, Options::default()) {
+        Ok(e) => {
+            assert!(
+                !e.truncated,
+                "exploration truncated at depth level {level} — raise max_depth; \
+                 an exhaustiveness claim needs the full reachable set"
+            );
+            assert!(
+                e.states > 1_000,
+                "implausibly small state space ({}) — did the model lose actions?",
+                e.states
+            );
+        }
+        Err(v) => panic!("slot protocol violation at depth level {level}:\n{v}"),
+    }
+}
+
+#[test]
+fn sabotage_dropping_scheduled_reset_fails_the_check() {
+    // `run_ready_server` clears `scheduled` *before* draining so a
+    // notify racing the drain re-queues the slot. Drop that reset and a
+    // datagram deposited mid-step is stranded forever.
+    let mut cfg = SlotConfig::ci();
+    cfg.clear_scheduled_on_step = false;
+    cfg.shutdown = false; // shutdown would mask the strand by killing the slot
+    cfg.commands = 0;
+    let v = explore(&SlotModel { cfg }, Options::default())
+        .expect_err("model check must catch the dropped scheduled reset");
+    assert!(
+        v.message.contains("lost wakeup"),
+        "expected a lost-wakeup verdict, got: {v}"
+    );
+    assert!(!v.trace.is_empty(), "violation must carry a witness trace");
+}
+
+#[test]
+fn sabotage_skipping_dead_recheck_fails_the_check() {
+    // The race fixed in `run_ready_server`: a worker passes the pre-lock
+    // dead check, loses the lock to a shutdown, then wins `try_lock` and
+    // drives the dead slot. The re-check under the guard closes it.
+    let mut cfg = SlotConfig::ci();
+    cfg.recheck_dead_under_lock = false;
+    let v = explore(&SlotModel { cfg }, Options::default())
+        .expect_err("model check must catch the missing dead re-check");
+    assert!(
+        v.message.contains("dead"),
+        "expected a step-after-dead verdict, got: {v}"
+    );
+    assert!(!v.trace.is_empty(), "violation must carry a witness trace");
+}
