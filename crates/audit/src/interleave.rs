@@ -32,6 +32,52 @@
 
 use std::collections::BTreeSet;
 
+pub mod engine_model;
+
+pub use engine_model::{EngineConfig, EngineModel, EngineNet};
+
+/// Every shared-memory access (as `field.method`) in
+/// `crates/mom/src/runtime/evented.rs` that [`SlotModel`] models with a
+/// protocol action. The `model-drift` audit rule statically extracts the
+/// access set reachable from the evented entry points and fails if this
+/// list no longer covers it — so the PR 8 proof cannot silently rot when
+/// the runtime grows a new atomic, lock or queue operation.
+///
+/// Keep sorted; each entry names the model action that covers it:
+///
+/// | access | covering model action |
+/// |---|---|
+/// | `cmd_rx.is_empty` | `Requeue` backlog condition |
+/// | `cmd_rx.try_recv` | `Cmds` drain |
+/// | `cmd_tx.send` | `client: command deposited` |
+/// | `dead.load` | `CheckDead` / `schedule()` dead gate / `send_cmd` |
+/// | `dead.store` | `process shutdown command` latch |
+/// | `deadline_us.compare_exchange` | `timer: deadline CAS claimed` |
+/// | `deadline_us.load` | `timer: deadline CAS claimed` |
+/// | `deadline_us.store` | `Tick` deadline store / shutdown disarm |
+/// | `runq_rx.recv_timeout` | `worker: pop run queue` |
+/// | `runq_tx.send` | `schedule()` enqueue |
+/// | `scheduled.store` | `Clear` (clear-before-drain) |
+/// | `scheduled.swap` | `schedule()` swap gate |
+/// | `state.try_lock` | `TryLock` won/lost |
+/// | `stop.load` | worker/timer loop condition (exit modeled as quiescence) |
+pub const COVERED_ACCESSES: &[&str] = &[
+    "cmd_rx.is_empty",
+    "cmd_rx.try_recv",
+    "cmd_tx.send",
+    "dead.load",
+    "dead.store",
+    "deadline_us.compare_exchange",
+    "deadline_us.load",
+    "deadline_us.store",
+    "runq_rx.recv_timeout",
+    "runq_tx.send",
+    "scheduled.store",
+    "scheduled.swap",
+    "state.try_lock",
+    "stop.load",
+];
+
 /// A finite-state protocol the explorer can check.
 pub trait Model {
     /// One global protocol state. `Ord` gives memoization and a

@@ -41,10 +41,12 @@ pub mod sarif;
 pub mod source;
 pub mod tree;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use aaa_obs::Meter;
 
@@ -141,6 +143,18 @@ pub struct Config {
     pub api_scope: &'static str,
     /// Workspace-relative path of the public-API baseline file.
     pub api_golden: &'static str,
+    /// Workspace-relative path of the evented runtime file whose
+    /// shared-memory access set the `model-drift` rule checks against
+    /// [`interleave::COVERED_ACCESSES`].
+    pub model_file: &'static str,
+    /// Entry-point function names from which `model-drift` computes the
+    /// modeled window (forward reachability, stopping at `drop`).
+    pub model_entries: Vec<&'static str>,
+    /// Path prefixes subject to `persist-before-deliver`.
+    pub persist_scopes: Vec<&'static str>,
+    /// Function names that constitute a stable-store write
+    /// (`persist-before-deliver` seeds).
+    pub persist_seeds: Vec<&'static str>,
 }
 
 impl Config {
@@ -281,6 +295,16 @@ impl Config {
             ],
             api_scope: "crates/mom/src/",
             api_golden: "crates/mom/PUBLIC_API.txt",
+            model_file: "crates/mom/src/runtime/evented.rs",
+            model_entries: vec![
+                "run_ready_server",
+                "schedule",
+                "worker",
+                "timer",
+                "send_cmd",
+            ],
+            persist_scopes: vec!["crates/mom/src/"],
+            persist_seeds: vec!["put"],
         }
     }
 }
@@ -392,6 +416,10 @@ pub struct AuditReport {
     pub stale_allowlist: Vec<allowlist::AllowEntry>,
     /// Number of source files scanned.
     pub files_scanned: usize,
+    /// Wall time per audit phase in milliseconds (`load`, `per-file`,
+    /// `global`, `suppress`). Empty when the report was assembled without
+    /// the timed driver ([`apply_suppressions`] directly).
+    pub timings: Vec<(&'static str, u64)>,
 }
 
 impl AuditReport {
@@ -428,6 +456,65 @@ impl AuditReport {
     /// allowlist entries.
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty() && self.stale_allowlist.is_empty()
+    }
+
+    /// Records phase wall times as `aaa_audit_elapsed_ms{phase=...}`.
+    ///
+    /// Deliberately separate from [`record_metrics`](Self::record_metrics):
+    /// finding counts are deterministic and byte-stable across runs (the
+    /// test suite pins that), wall times are not — mixing them would make
+    /// every `--metrics` rendering unique.
+    pub fn record_timings(&self, meter: &Meter) {
+        for (phase, ms) in &self.timings {
+            let g = meter.gauge_with(
+                "aaa_audit_elapsed_ms",
+                "Audit pass wall time by phase (milliseconds)",
+                &[("phase", (*phase).to_owned())],
+            );
+            g.set(i64::try_from(*ms).unwrap_or(i64::MAX));
+        }
+    }
+}
+
+/// Runs the bounded model checks at CI shape and exports the explored
+/// state-set sizes as `aaa_audit_model_states_explored{model=...}` — the
+/// coverage denominator of the PR 8/9 interleaving proofs, visible to
+/// the same dashboards that watch the finding counts.
+pub fn record_model_states(meter: &Meter) {
+    use aaa_clocks::StampMode;
+    let mut runs: Vec<(&str, usize)> = Vec::new();
+    let slot = interleave::SlotModel {
+        cfg: interleave::SlotConfig::ci(),
+    };
+    runs.push((
+        "slot",
+        interleave::explore(&slot, interleave::Options::default())
+            .map(|e| e.states)
+            .unwrap_or(0),
+    ));
+    for (label, mode) in [
+        ("engine-full", StampMode::Full),
+        ("engine-updates", StampMode::Updates),
+        ("engine-reduced", StampMode::Reduced),
+        ("engine-hybrid", StampMode::Hybrid),
+    ] {
+        let m = interleave::EngineModel {
+            cfg: interleave::EngineConfig::ci(mode),
+        };
+        runs.push((
+            label,
+            interleave::explore(&m, interleave::Options::default())
+                .map(|e| e.states)
+                .unwrap_or(0),
+        ));
+    }
+    for (model, states) in runs {
+        let g = meter.gauge_with(
+            "aaa_audit_model_states_explored",
+            "Distinct states explored by the bounded model checks at CI shape",
+            &[("model", model.to_owned())],
+        );
+        g.set(i64::try_from(states).unwrap_or(i64::MAX));
     }
 }
 
@@ -480,6 +567,8 @@ pub fn global_rules(ws: &Workspace, config: &Config) -> Vec<Finding> {
     findings.extend(rules::block_in_step::check(ws, config));
     findings.extend(rules::lock_order::check(ws, config));
     findings.extend(rules::guard_across_blocking::check(ws, config));
+    findings.extend(rules::model_drift::check(ws, config));
+    findings.extend(rules::persist_before_deliver::check(ws, config));
     let api_text = fs::read_to_string(ws.root.join(config.api_golden)).unwrap_or_default();
     findings.extend(rules::pub_api::check(
         ws,
@@ -506,38 +595,165 @@ pub fn sort_findings(findings: &mut [Finding]) {
     });
 }
 
-/// Runs every rule over `ws`, returning *raw* findings (before any
-/// allowlist or inline-escape filtering).
-pub fn run_rules(ws: &Workspace, config: &Config) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for file in &ws.files {
-        findings.extend(per_file_rules(file, config));
+/// How to run the audit pass (cache, parallelism, incremental scope).
+#[derive(Debug, Clone)]
+pub struct AuditOptions {
+    /// Consult and refresh the per-file result cache under `target/`.
+    pub use_cache: bool,
+    /// Fan the per-file rules out over a thread pool. Findings are
+    /// gathered back in file order and pass through the same
+    /// [`sort_findings`] full-key sort, so every rendered artifact is
+    /// byte-identical to a sequential run.
+    pub parallel: bool,
+    /// When set (`--diff <ref>`), per-file rules run only over these
+    /// workspace-relative paths; global rules still see the whole tree.
+    /// Stale-allowlist detection is suppressed — entries for unscanned
+    /// files would all look stale.
+    pub diff_files: Option<BTreeSet<String>>,
+}
+
+impl Default for AuditOptions {
+    fn default() -> AuditOptions {
+        AuditOptions {
+            use_cache: true,
+            parallel: true,
+            diff_files: None,
+        }
     }
+}
+
+/// Indices of the files whose per-file rules should run under `opts`.
+fn selected_indices(ws: &Workspace, opts: &AuditOptions) -> Vec<usize> {
+    ws.files
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            opts.diff_files
+                .as_ref()
+                .is_none_or(|diff| diff.contains(&f.rel))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Runs [`per_file_rules`] over `indices` of `ws.files`, returning one
+/// finding vector per index *in index order* regardless of execution
+/// order. The parallel path is a work-stealing index counter over a
+/// scoped thread pool — no extra dependencies, no locks on the hot path,
+/// and a deterministic scatter at the end.
+fn per_file_pass(
+    ws: &Workspace,
+    config: &Config,
+    indices: &[usize],
+    parallel: bool,
+) -> Vec<Vec<Finding>> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(indices.len());
+    if !parallel || workers < 2 {
+        return indices
+            .iter()
+            .map(|&i| per_file_rules(&ws.files[i], config))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Vec<Finding>> = vec![Vec::new(); indices.len()];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut got: Vec<(usize, Vec<Finding>)> = Vec::new();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&file_idx) = indices.get(slot) else {
+                            break;
+                        };
+                        got.push((slot, per_file_rules(&ws.files[file_idx], config)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(got) => {
+                    for (slot, findings) in got {
+                        slots[slot] = findings;
+                    }
+                }
+                // A rule panicked on a worker: surface it on the driver
+                // thread instead of silently dropping that file's findings.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+}
+
+/// Raw per-file findings under `opts` (cache consulted sequentially —
+/// the store is plain in-memory state — with misses computed on the
+/// pool), in file order.
+fn per_file_findings(ws: &Workspace, config: &Config, opts: &AuditOptions) -> Vec<Finding> {
+    let indices = selected_indices(ws, opts);
+    if !opts.use_cache {
+        return per_file_pass(ws, config, &indices, opts.parallel)
+            .into_iter()
+            .flatten()
+            .collect();
+    }
+    let mut store = cache::Store::open(&ws.root, config);
+    let mut slots: Vec<Option<Vec<Finding>>> = indices
+        .iter()
+        .map(|&i| store.lookup(&ws.files[i]))
+        .collect();
+    let miss: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_none())
+        .map(|(pos, _)| indices[pos])
+        .collect();
+    let fresh = per_file_pass(ws, config, &miss, opts.parallel);
+    let mut fresh_iter = fresh.into_iter();
+    for (pos, slot) in slots.iter_mut().enumerate() {
+        if slot.is_none() {
+            let computed = fresh_iter.next().unwrap_or_default();
+            store.insert(&ws.files[indices[pos]], &computed);
+            *slot = Some(computed);
+        }
+    }
+    store.persist();
+    slots.into_iter().flatten().flatten().collect()
+}
+
+/// Runs every rule over `ws` under `opts`, returning *raw* findings
+/// (before any allowlist or inline-escape filtering).
+pub fn run_rules_opts(ws: &Workspace, config: &Config, opts: &AuditOptions) -> Vec<Finding> {
+    let mut findings = per_file_findings(ws, config, opts);
     findings.extend(global_rules(ws, config));
     sort_findings(&mut findings);
     findings
+}
+
+/// Runs every rule over `ws`, returning *raw* findings (before any
+/// allowlist or inline-escape filtering). Uncached; per-file rules run
+/// on the thread pool.
+pub fn run_rules(ws: &Workspace, config: &Config) -> Vec<Finding> {
+    run_rules_opts(
+        ws,
+        config,
+        &AuditOptions {
+            use_cache: false,
+            ..AuditOptions::default()
+        },
+    )
 }
 
 /// Like [`run_rules`], but consults and refreshes the per-file result
 /// cache under `target/` (the global rules always run). Cache failures
 /// of any kind silently fall back to computing.
 pub fn run_rules_cached(ws: &Workspace, config: &Config) -> Vec<Finding> {
-    let mut store = cache::Store::open(&ws.root, config);
-    let mut findings = Vec::new();
-    for file in &ws.files {
-        match store.lookup(file) {
-            Some(cached) => findings.extend(cached),
-            None => {
-                let fresh = per_file_rules(file, config);
-                store.insert(file, &fresh);
-                findings.extend(fresh);
-            }
-        }
-    }
-    store.persist();
-    findings.extend(global_rules(ws, config));
-    sort_findings(&mut findings);
-    findings
+    run_rules_opts(ws, config, &AuditOptions::default())
 }
 
 fn in_scope(rel: &str, scopes: &[&'static str]) -> bool {
@@ -552,7 +768,7 @@ fn in_scope(rel: &str, scopes: &[&'static str]) -> bool {
 ///
 /// Propagates filesystem errors from loading the tree or the allowlist.
 pub fn audit_workspace(root: &Path, config: &Config) -> io::Result<AuditReport> {
-    audit_workspace_with(root, config, true)
+    audit_workspace_opts(root, config, &AuditOptions::default())
 }
 
 /// [`audit_workspace`] with explicit cache control (`--no-cache`).
@@ -565,14 +781,56 @@ pub fn audit_workspace_with(
     config: &Config,
     use_cache: bool,
 ) -> io::Result<AuditReport> {
+    audit_workspace_opts(
+        root,
+        config,
+        &AuditOptions {
+            use_cache,
+            ..AuditOptions::default()
+        },
+    )
+}
+
+/// [`audit_workspace`] under explicit [`AuditOptions`] (cache control,
+/// `--no-parallel`, `--diff` incremental scope), with per-phase wall
+/// times recorded on the report.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from loading the tree or the allowlist.
+pub fn audit_workspace_opts(
+    root: &Path,
+    config: &Config,
+    opts: &AuditOptions,
+) -> io::Result<AuditReport> {
+    let ms = |t: Instant| u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let mut timings: Vec<(&'static str, u64)> = Vec::new();
+
+    let t = Instant::now();
     let ws = Workspace::load(root)?;
-    let raw = if use_cache {
-        run_rules_cached(&ws, config)
-    } else {
-        run_rules(&ws, config)
-    };
+    timings.push(("load", ms(t)));
+
+    let t = Instant::now();
+    let mut raw = per_file_findings(&ws, config, opts);
+    timings.push(("per-file", ms(t)));
+
+    let t = Instant::now();
+    raw.extend(global_rules(&ws, config));
+    sort_findings(&mut raw);
+    timings.push(("global", ms(t)));
+
     let allow = Allowlist::load(&root.join(config.allow_dir))?;
-    Ok(apply_suppressions(&ws, raw, &allow))
+    let t = Instant::now();
+    let mut report = apply_suppressions(&ws, raw, &allow);
+    timings.push(("suppress", ms(t)));
+    if opts.diff_files.is_some() {
+        // Entries covering files outside the diff scope have no findings
+        // to match; calling them stale would make every incremental run
+        // fail spuriously.
+        report.stale_allowlist.clear();
+    }
+    report.timings = timings;
+    Ok(report)
 }
 
 /// Splits raw findings into active / inline-suppressed /
@@ -613,6 +871,7 @@ pub fn apply_suppressions(ws: &Workspace, raw: Vec<Finding>, allow: &Allowlist) 
         suppressed_allowlist,
         stale_allowlist,
         files_scanned,
+        timings: Vec::new(),
     }
 }
 

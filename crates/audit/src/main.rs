@@ -15,23 +15,55 @@
 //!                                             # diff annotation
 //! cargo run -p aaa-audit -- --no-cache       # bypass the per-file result
 //!                                            # cache under target/
+//! cargo run -p aaa-audit -- --no-parallel    # single-threaded per-file
+//!                                            # pass (byte-identical output)
+//! cargo run -p aaa-audit -- --diff REF       # incremental: per-file rules
+//!                                            # only on files changed vs REF
 //! cargo run -p aaa-audit -- --explain RULE   # print the long-form doc
 //!                                            # for one rule (or `all`)
 //! ```
 
-use std::path::PathBuf;
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use aaa_audit::{audit_workspace_with, fix_allowlist, fix_pub_api, rules, sarif, Config};
+use aaa_audit::{
+    audit_workspace_opts, fix_allowlist, fix_pub_api, record_model_states, rules, sarif,
+    AuditOptions, Config,
+};
 use aaa_obs::{Meter, Registry};
 
 fn usage() -> ! {
     eprintln!(
         "usage: aaa-audit [--root DIR] [--fix-allowlist] [--fix-pub-api] [--metrics] \
-         [--sarif FILE] [--no-cache] [--quiet] [--explain RULE|all]\n\
+         [--sarif FILE] [--no-cache] [--no-parallel] [--diff REF] [--quiet] \
+         [--explain RULE|all]\n\
          exit codes: 0 clean, 1 findings, 2 stale allowlist, 3 usage/io error"
     );
     std::process::exit(3)
+}
+
+/// Workspace-relative `.rs` paths changed against `git_ref` (the `--diff`
+/// scope), straight from `git diff --name-only`.
+fn changed_files(root: &Path, git_ref: &str) -> io::Result<BTreeSet<String>> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", git_ref])
+        .output()?;
+    if !out.status.success() {
+        return Err(io::Error::other(format!(
+            "git diff --name-only {git_ref}: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        )));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.ends_with(".rs"))
+        .map(str::to_owned)
+        .collect())
 }
 
 /// `--explain RULE`: print the long-form doc for one rule, or every rule
@@ -80,6 +112,8 @@ fn main() -> ExitCode {
     let mut metrics = false;
     let mut quiet = false;
     let mut use_cache = true;
+    let mut parallel = true;
+    let mut diff_ref: Option<String> = None;
     let mut sarif_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -96,6 +130,11 @@ fn main() -> ExitCode {
                 None => usage(),
             },
             "--no-cache" => use_cache = false,
+            "--no-parallel" => parallel = false,
+            "--diff" => match args.next() {
+                Some(r) => diff_ref = Some(r),
+                None => usage(),
+            },
             "--quiet" | "-q" => quiet = true,
             "--explain" => match args.next() {
                 Some(rule) => return explain(&rule),
@@ -143,7 +182,27 @@ fn main() -> ExitCode {
         };
     }
 
-    let report = match audit_workspace_with(&root, &config, use_cache) {
+    let mut opts = AuditOptions {
+        use_cache,
+        parallel,
+        diff_files: None,
+    };
+    if let Some(r) = &diff_ref {
+        match changed_files(&root, r) {
+            Ok(set) => {
+                if !quiet {
+                    eprintln!("aaa-audit: --diff {r}: {} changed .rs file(s)", set.len());
+                }
+                opts.diff_files = Some(set);
+            }
+            Err(e) => {
+                eprintln!("aaa-audit: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+
+    let report = match audit_workspace_opts(&root, &config, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("aaa-audit: {e}");
@@ -151,9 +210,17 @@ fn main() -> ExitCode {
         }
     };
 
-    // Export findings through the observability layer.
+    // Export findings through the observability layer. The wall-time and
+    // model-coverage gauges only render under `--metrics` — the model
+    // runs cost a few seconds and the timings are inherently unstable, so
+    // the default (quiet, deterministic) path skips both.
     let registry = Registry::new();
-    report.record_metrics(&Meter::new(&registry));
+    let meter = Meter::new(&registry);
+    report.record_metrics(&meter);
+    if metrics {
+        report.record_timings(&meter);
+        record_model_states(&meter);
+    }
 
     // SARIF export happens before the exit-code decision so CI can upload
     // the artifact even when the job fails on findings.

@@ -10,6 +10,11 @@
 //! retired the proximity-based `lock-across-send`) and
 //! `atomic-protocol` — plus the [interleave](crate::interleave) model
 //! checker, which is not a rule but a test-time exhaustive explorer.
+//! PR 9's verification pass ties the model checker back into the rule
+//! set: `model-drift` fails when the evented runtime's shared-memory
+//! access set outgrows the `SlotModel`'s declared coverage, and
+//! `persist-before-deliver` requires recovery-critical delivery effects
+//! to be dominated by a stable-store write.
 
 pub mod atomic_protocol;
 pub mod block_in_step;
@@ -20,7 +25,9 @@ pub mod guard_across_blocking;
 pub mod lock_order;
 pub mod match_drift;
 pub mod metric_drift;
+pub mod model_drift;
 pub mod panic_freedom;
+pub mod persist_before_deliver;
 pub mod pub_api;
 pub mod stamp_flow;
 pub mod wire_cast;
@@ -51,6 +58,12 @@ pub const LOCK_ORDER: &str = "lock-order";
 pub const GUARD_ACROSS_BLOCKING: &str = "guard-across-blocking";
 /// Rule id: atomic memory orderings match the shape of the use.
 pub const ATOMIC_PROTOCOL: &str = "atomic-protocol";
+/// Rule id: the evented runtime's shared-memory access set is covered by
+/// the interleaving model's declared actions.
+pub const MODEL_DRIFT: &str = "model-drift";
+/// Rule id: delivery/ack effects on recovery-critical paths are
+/// dominated by a stable-store write.
+pub const PERSIST_BEFORE_DELIVER: &str = "persist-before-deliver";
 
 /// Every rule id, in reporting order.
 pub const ALL_RULES: &[&str] = &[
@@ -67,6 +80,8 @@ pub const ALL_RULES: &[&str] = &[
     LOCK_ORDER,
     GUARD_ACROSS_BLOCKING,
     ATOMIC_PROTOCOL,
+    MODEL_DRIFT,
+    PERSIST_BEFORE_DELIVER,
 ];
 
 /// One-line description per rule id (SARIF `shortDescription`, docs).
@@ -108,6 +123,12 @@ pub fn describe(rule: &str) -> &'static str {
         }
         r if r == ATOMIC_PROTOCOL => {
             "Gate-shaped atomics use Acquire/Release+; Relaxed only on counters; SeqCst justified."
+        }
+        r if r == MODEL_DRIFT => {
+            "The evented runtime's shared-memory accesses stay covered by the SlotModel's actions."
+        }
+        r if r == PERSIST_BEFORE_DELIVER => {
+            "Every deliver/on_ack effect on recovery paths is dominated by a stable-store put."
         }
         _ => "Workspace protocol-invariant audit rule.",
     }
@@ -212,6 +233,33 @@ pub fn explain(rule: &str) -> &'static str {
              machines document themselves with inline `// audit:allow(atomic-protocol)` \
              comments stating the single-writer argument (DESIGN.md §15 has the policy \
              table)."
+        }
+        r if r == MODEL_DRIFT => {
+            "The interleaving model check (crates/audit/src/interleave.rs) proves the evented \
+             shard runtime free of lost wakeups and step-after-dead races — but only for the \
+             protocol as modeled. The proof rots silently the day an atomic, lock or channel \
+             operation is added to the shard loop without a matching model action: the \
+             explorer keeps passing, now about the wrong protocol. This rule statically \
+             extracts every `field.method(..)` shared-memory access reachable from the \
+             runtime's entry points (run_ready_server, schedule, the worker/timer loops, \
+             send_cmd; reachability stops at `drop` so shutdown-only teardown stays out of \
+             the modeled window) and fails unless `interleave::COVERED_ACCESSES` covers it. \
+             Fix by adding a transition to the SlotModel and listing the access in \
+             COVERED_ACCESSES — or justify a genuinely model-irrelevant access inline with \
+             `// audit:allow(model-drift)`. The reverse drift (a declared access the code no \
+             longer performs) is reported as a stale-coverage finding."
+        }
+        r if r == PERSIST_BEFORE_DELIVER => {
+            "Delivery is an irreversible protocol effect: once a clock engine's DELIV row \
+             advances (CausalState::deliver) or a hybrid-mode buffer entry is released \
+             (on_ack), peers' matrix clocks may already encode that the message is consumed. \
+             If the transition lives only in memory, a crash forks history — the reloaded \
+             server re-admits the message and exactly-once dies on the recovery path. The \
+             rule requires every `.deliver(from, pending)` / `.on_ack(from)` site in mom to \
+             be dominated by a `put`/group-commit: in the enclosing function, a transitive \
+             callee, or a transitive caller (batched group-commit in the drain loop counts). \
+             Route the effect through the persistence path, or mark a deliberately volatile \
+             path (pure-simulation harness) with `// audit:allow(persist-before-deliver)`."
         }
         _ => "Workspace protocol-invariant audit rule; see crates/audit/src/rules/.",
     }

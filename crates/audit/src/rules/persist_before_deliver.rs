@@ -1,0 +1,198 @@
+//! `persist-before-deliver`: recovery-critical delivery effects must be
+//! dominated by a stable-store write.
+//!
+//! The paper's recovery story (§5) assumes the causal state a server
+//! reloads after a crash agrees with what its peers observed: once a
+//! message is *delivered* (the clock engine's `DELIV` row advances) or an
+//! ack is *consumed* (a hybrid-mode buffer entry is released), that
+//! transition must be reconstructible from disk. A delivery that mutates
+//! only in-memory clock state before anything reaches the
+//! [`StableStore`](../../../storage) is exactly-once on the happy path
+//! and at-least-twice after recovery — the peer's matrix says the message
+//! is consumed, the reloaded server's says it is not, and the redelivery
+//! is a causal-order violation the EngineModel (crate::interleave) would
+//! flag if it could see the crash.
+//!
+//! The rule reuses the `stamp-flow` dominance machinery: every
+//! `.deliver(from, pending)` / `.on_ack(from)` call site on the
+//! configured mom/storage paths must have a dominating persistence call —
+//! the enclosing function, one of its transitive callees, or one of its
+//! transitive callers must reach a `put`/group-commit seed. Batched
+//! group-commit is fine (the commit happens in the caller that drains the
+//! batch); a delivery path with *no* persistence anywhere in its cone is
+//! not. Deliberate volatile paths (pure-simulation harnesses) justify
+//! themselves with `// audit:allow(persist-before-deliver)`.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::tree::{arg_count, enclosing_fn, fn_spans, CallGraph};
+use crate::{Config, Finding, Workspace};
+
+/// Delivery-effect method names with the argument count that makes them
+/// the causal-protocol call (distinguishing `CausalState::deliver(from,
+/// pending)` from e.g. a one-argument queue `deliver`).
+const DELIVER_METHODS: &[(&str, usize)] = &[("deliver", 2), ("on_ack", 1)];
+
+/// Runs the rule over the workspace.
+pub fn check(ws: &Workspace, config: &Config) -> Vec<Finding> {
+    let in_scope: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| config.persist_scopes.iter().any(|s| f.rel.starts_with(s)))
+        .collect();
+    let graph = CallGraph::build(in_scope.iter().copied());
+    // Functions that (transitively) reach a persistence seed. The
+    // delivery-method names are barriers for the same reason as in
+    // `stamp-flow`: a workspace `fn deliver` that itself persists must
+    // not make every raw `.deliver(..)` site look covered through the
+    // simple-name merge.
+    let deliver_names: Vec<&str> = DELIVER_METHODS.iter().map(|(m, _)| *m).collect();
+    let persisting: BTreeSet<String> =
+        graph.reaching_excluding(&config.persist_seeds, &deliver_names);
+
+    let mut out = Vec::new();
+    for file in &in_scope {
+        let toks = &file.toks;
+        let spans = fn_spans(file);
+        for i in file.non_test_indices().collect::<Vec<_>>() {
+            if !toks[i].is_punct('.') {
+                continue;
+            }
+            let Some(name_tok) = toks.get(i + 1) else {
+                continue;
+            };
+            if name_tok.kind != TokKind::Ident {
+                continue;
+            }
+            let Some(&(_, want_args)) = DELIVER_METHODS.iter().find(|(m, _)| name_tok.is_ident(m))
+            else {
+                continue;
+            };
+            if !toks.get(i + 2).map(|t| t.is_punct('(')).unwrap_or(false) {
+                continue;
+            }
+            if arg_count(toks, i + 2) != Some(want_args) {
+                continue;
+            }
+            let covered = match enclosing_fn(&spans, i + 1) {
+                Some(f) => {
+                    persisting.contains(&f.name)
+                        || graph
+                            .transitive_callers(&f.name)
+                            .iter()
+                            .any(|c| persisting.contains(c))
+                }
+                None => false,
+            };
+            if covered {
+                continue;
+            }
+            let enclosing = enclosing_fn(&spans, i + 1)
+                .map(|f| format!("`{}`", f.name))
+                .unwrap_or_else(|| "<no enclosing fn>".to_owned());
+            out.push(Finding {
+                rule: super::PERSIST_BEFORE_DELIVER,
+                file: file.rel.clone(),
+                line: name_tok.line,
+                message: format!(
+                    "`.{}(..)` advances recovery-critical delivery state from {enclosing} with \
+                     no dominating `put`/group-commit in this function, its callees or its \
+                     callers — after a crash the reloaded clock state disagrees with the peers' \
+                     and redelivery breaks exactly-once; route the effect through the \
+                     persistence path or justify a volatile path inline",
+                    name_tok.text
+                ),
+                line_text: file.trimmed_line(name_tok.line).to_owned(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> Config {
+        Config::for_aaa_workspace()
+    }
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::from_files(
+            files
+                .iter()
+                .map(|(r, t)| ((*r).to_owned(), (*t).to_owned()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn undominated_deliver_is_flagged() {
+        let w = ws(&[(
+            "crates/mom/src/x.rs",
+            "fn volatile(&mut self) { self.clock.deliver(from, &pending); }",
+        )]);
+        let f = check(&w, &config());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "persist-before-deliver");
+        assert!(f[0].message.contains("volatile"));
+    }
+
+    #[test]
+    fn persistence_in_same_fn_covers() {
+        let w = ws(&[(
+            "crates/mom/src/x.rs",
+            "fn commit(&mut self) { self.store.put(key, bytes); self.clock.deliver(from, &pending); }",
+        )]);
+        assert!(check(&w, &config()).is_empty());
+    }
+
+    #[test]
+    fn persistence_in_caller_covers_group_commit() {
+        let w = ws(&[(
+            "crates/mom/src/x.rs",
+            "fn pump(&mut self) { self.clock.deliver(from, &pending); }\n\
+             fn step(&mut self) { self.store.put(key, bytes); self.pump(); }",
+        )]);
+        assert!(check(&w, &config()).is_empty());
+    }
+
+    #[test]
+    fn on_ack_needs_dominance_too() {
+        let w = ws(&[(
+            "crates/mom/src/x.rs",
+            "fn volatile(&mut self) { self.clock.on_ack(from); }",
+        )]);
+        let f = check(&w, &config());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("on_ack"));
+    }
+
+    #[test]
+    fn arity_distinguishes_other_delivers() {
+        // A one-argument queue `deliver` and a three-argument helper are
+        // not the causal-protocol call.
+        let w = ws(&[(
+            "crates/mom/src/x.rs",
+            "fn f(&mut self) { self.queue.deliver(msg); self.helper.deliver(a, b, c); }",
+        )]);
+        assert!(check(&w, &config()).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_and_test_code_are_exempt() {
+        let w = ws(&[
+            (
+                "crates/sim/src/x.rs",
+                "fn volatile(&mut self) { self.clock.deliver(from, &pending); }",
+            ),
+            (
+                "crates/mom/src/y.rs",
+                "#[cfg(test)]\nmod t { fn f(c: &mut C) { c.deliver(from, &pending); } }",
+            ),
+        ]);
+        assert!(check(&w, &config()).is_empty());
+    }
+}

@@ -54,6 +54,6 @@ pub use engine::{Batching, ClockEngine};
 pub use engines::{FullEngine, HybridEngine, ReducedEngine, UpdatesEngine};
 pub use lamport::LamportClock;
 pub use matrix::MatrixClock;
-pub use protocol::{CausalState, PendingStamp};
+pub use protocol::{CausalState, EngineTranscript, PendingStamp};
 pub use stamp::{Stamp, StampMode, UpdateEntry};
 pub use vector::VectorClock;

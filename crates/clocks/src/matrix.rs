@@ -26,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// m.increment(0, 1);
 /// assert_eq!(m.get(0, 1), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MatrixClock {
     n: usize,
     cells: Vec<u64>,

@@ -39,7 +39,7 @@ use crate::stamp::{Stamp, StampMode};
 /// every other mode it is the receiver's image of the sender's matrix at
 /// the instant the frame arrived. Either way it is exactly the sender's
 /// `SENT` matrix when the message was sent.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PendingStamp {
     matrix: MatrixClock,
 }
@@ -88,6 +88,22 @@ macro_rules! dispatch_mut {
             EngineKind::Hybrid($e) => $body,
         }
     };
+}
+
+/// An observable snapshot of the protocol-relevant engine state: the
+/// local `SENT` matrix and the per-sender delivery counters.
+///
+/// Every [`ClockEngine`] must agree on this projection after every
+/// protocol step — it is what "observationally equivalent" means. The
+/// `aaa-audit` model checker captures transcripts from each bounded
+/// engine and from a lock-stepped [`FullEngine`] reference and asserts
+/// equality in every reachable interleaving.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EngineTranscript {
+    /// The local `SENT` matrix.
+    pub sent: MatrixClock,
+    /// Messages delivered here so far, indexed by sender.
+    pub deliv: Vec<u64>,
 }
 
 /// Per-domain causal delivery state of one server.
@@ -186,6 +202,47 @@ impl CausalState {
     /// Panics if `from` is out of range.
     pub fn can_deliver(&self, from: DomainServerId, pending: &PendingStamp) -> bool {
         dispatch!(self, e => e.can_deliver(from, pending))
+    }
+
+    /// A deliberately *wrong* §4.2 delivery predicate, for verification
+    /// sabotage legs only: the FIFO clause is weakened off-by-one
+    /// (`== DELIV + 1` becomes `>= DELIV + 1`), admitting a message from
+    /// `from` before its predecessor on the same link. The model checker
+    /// in `aaa-audit` substitutes this predicate to prove that its
+    /// causal-order oracle actually catches a broken delivery condition;
+    /// production code must never call it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range.
+    pub fn can_deliver_weakened(&self, from: DomainServerId, pending: &PendingStamp) -> bool {
+        let me = self.me().as_usize();
+        let f = from.as_usize();
+        let m = pending.matrix();
+        if m.get(f, me) < self.delivered_from(from).saturating_add(1) {
+            return false;
+        }
+        (0..self.n()).all(|k| {
+            let kid = DomainServerId::new(u16::try_from(k).unwrap_or(u16::MAX));
+            k == f || m.get(k, me) <= self.delivered_from(kid)
+        })
+    }
+
+    /// Captures the protocol-relevant state projection every engine must
+    /// agree on: the `SENT` matrix plus the per-sender delivery counters.
+    /// Used by the `aaa-audit` model checker for lock-step equivalence
+    /// against the [`FullEngine`] reference.
+    pub fn transcript(&self) -> EngineTranscript {
+        let deliv = (0..self.n())
+            .map(|k| {
+                let kid = DomainServerId::new(u16::try_from(k).unwrap_or(u16::MAX));
+                self.delivered_from(kid)
+            })
+            .collect();
+        EngineTranscript {
+            sent: self.sent().clone(),
+            deliv,
+        }
     }
 
     /// Records delivery of a message from `from` with stamp `pending`,

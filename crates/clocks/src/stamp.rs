@@ -33,7 +33,9 @@ use crate::matrix::MatrixClock;
 /// (exactly how [`StampMode::Reduced`] and [`StampMode::Hybrid`] arrived),
 /// so downstream matches must keep a wildcard arm.
 #[non_exhaustive]
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum StampMode {
     /// Ship the sender's entire matrix with every message.
     Full,
@@ -108,7 +110,7 @@ impl FromStr for StampMode {
 
 /// One modified matrix entry `(row, col) = value`, as shipped by the
 /// Updates algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UpdateEntry {
     /// Sender index of the counted messages.
     pub row: u16,
@@ -125,7 +127,11 @@ impl UpdateEntry {
 }
 
 /// The causal timestamp piggybacked on a message.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Ord` is derived so model-checker states that embed in-flight stamps
+/// (`aaa-audit`'s `EngineModel`) can be memoized in ordered sets; the
+/// ordering itself has no protocol meaning.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Stamp {
     /// The sender's full matrix.
     Full(MatrixClock),

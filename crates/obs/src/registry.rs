@@ -232,6 +232,16 @@ impl Meter {
         self.registry.gauge(name, help, &self.base)
     }
 
+    /// Mints the gauge `name` with base labels plus `extra`.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        extra: &[(&'static str, String)],
+    ) -> Gauge {
+        self.registry.gauge(name, help, &self.merged(extra))
+    }
+
     /// Mints the histogram `name` with the meter's base labels.
     pub fn histogram(&self, name: &'static str, help: &'static str, bounds: &[u64]) -> Histogram {
         self.registry.histogram(name, help, &self.base, bounds)

@@ -165,6 +165,27 @@ fn prometheus_rendering_matches_golden_file() {
         &[100, 1_000, 10_000],
     )
     .observe(250);
+    // Audit-pass instruments (unlabeled meter: these are per-workspace,
+    // not per-server). Fixed values keep the golden deterministic.
+    let ma = Meter::new(&registry);
+    ma.gauge_with(
+        "aaa_audit_model_states_explored",
+        "Distinct states explored by the bounded model checks at CI shape",
+        &[("model", "engine-full".to_string())],
+    )
+    .set(6_370);
+    ma.gauge_with(
+        "aaa_audit_model_states_explored",
+        "Distinct states explored by the bounded model checks at CI shape",
+        &[("model", "slot".to_string())],
+    )
+    .set(33_151);
+    ma.gauge_with(
+        "aaa_audit_elapsed_ms",
+        "Audit pass wall time by phase (milliseconds)",
+        &[("phase", "per-file".to_string())],
+    )
+    .set(41);
 
     let rendered = registry.snapshot().render_prometheus();
     let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
