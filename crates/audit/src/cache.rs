@@ -23,7 +23,7 @@ use crate::{rules, Config, Finding};
 
 /// Bump when a per-file rule's behaviour changes without a crate version
 /// bump, to invalidate stale caches.
-const RULES_REV: &str = "pr9-verification-1";
+const RULES_REV: &str = "pr10-relay-1";
 
 /// FNV-1a 64-bit — tiny, dependency-free, good enough for content keys.
 fn fnv1a(bytes: &[u8]) -> u64 {

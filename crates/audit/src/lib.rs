@@ -303,8 +303,12 @@ impl Config {
                 "timer",
                 "send_cmd",
             ],
-            persist_scopes: vec!["crates/mom/src/"],
-            persist_seeds: vec!["put"],
+            // The relay's durable queues put `crates/storage/src/` on the
+            // redelivery path: queue mutations there must persist through
+            // the segment writer (`append_record`) just as mom-side
+            // deliveries must reach `put`/group-commit.
+            persist_scopes: vec!["crates/mom/src/", "crates/storage/src/"],
+            persist_seeds: vec!["put", "append_record"],
         }
     }
 }

@@ -33,7 +33,15 @@ use crate::{Config, Finding, Workspace};
 /// Delivery-effect method names with the argument count that makes them
 /// the causal-protocol call (distinguishing `CausalState::deliver(from,
 /// pending)` from e.g. a one-argument queue `deliver`).
-const DELIVER_METHODS: &[(&str, usize)] = &[("deliver", 2), ("on_ack", 1)];
+const DELIVER_METHODS: &[(&str, usize)] = &[
+    ("deliver", 2),
+    ("on_ack", 1),
+    // The relay's ack commit: releasing a subscriber's queue prefix is
+    // recovery-critical exactly like a clock-engine delivery — an ack
+    // consumed only in memory is re-offered after recovery and the
+    // subscriber sees the window twice.
+    ("ack_up_to", 1),
+];
 
 /// Runs the rule over the workspace.
 pub fn check(ws: &Workspace, config: &Config) -> Vec<Finding> {
@@ -168,6 +176,30 @@ mod tests {
         let f = check(&w, &config());
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].message.contains("on_ack"));
+    }
+
+    #[test]
+    fn undominated_ack_up_to_is_flagged_in_relay_and_storage_scope() {
+        // Sabotage: an ack commit with no persistence anywhere in its
+        // cone, once on the mom path and once on the storage path.
+        for rel in ["crates/mom/src/x.rs", "crates/storage/src/x.rs"] {
+            let w = ws(&[(
+                rel,
+                "fn volatile(&mut self) { self.queue.ack_up_to(upto); }",
+            )]);
+            let f = check(&w, &config());
+            assert_eq!(f.len(), 1, "{rel}: {f:?}");
+            assert!(f[0].message.contains("ack_up_to"));
+        }
+    }
+
+    #[test]
+    fn append_record_seed_covers_storage_deliveries() {
+        let w = ws(&[(
+            "crates/storage/src/x.rs",
+            "fn commit(&mut self) { self.append_record(&rec); self.queue.ack_up_to(upto); }",
+        )]);
+        assert!(check(&w, &config()).is_empty());
     }
 
     #[test]

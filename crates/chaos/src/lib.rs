@@ -33,7 +33,7 @@ pub mod plan;
 pub mod transport;
 
 pub use plan::{
-    CrashEvent, FaultAction, FaultInjector, FaultPlan, FaultStats, LinkFaults, Partition,
-    DEFAULT_DELAY_TICKS,
+    ChurnEvent, CrashEvent, FaultAction, FaultInjector, FaultPlan, FaultStats, LinkFaults,
+    Partition, DEFAULT_DELAY_TICKS,
 };
 pub use transport::{ChaosHandle, FaultTransport};

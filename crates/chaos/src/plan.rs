@@ -7,9 +7,14 @@
 //! so a run is reproducible from `(plan, workload)` alone and two plans that
 //! differ only in probabilities still walk the same decision stream.
 
-use aaa_base::{Error, Result, ServerId};
+use aaa_base::{AgentId, Error, Result, ServerId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Seed perturbation for the churn schedule generator, so drawing a churn
+/// schedule never disturbs the injector's per-datagram decision stream
+/// (which is seeded with the unmodified plan seed).
+const CHURN_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Extra latency (in plan ticks — virtual milliseconds in the simulator)
 /// added to a datagram selected for delay/reorder, when the plan does not
@@ -110,6 +115,21 @@ pub struct CrashEvent {
     pub recover_at: Option<u64>,
 }
 
+/// One entry of a subscriber-churn schedule: the subscriber drops off the
+/// relay at `at_tick` and, if `reconnect_at` is set, comes back later.
+/// Like [`CrashEvent`], churn is *consumed by the harness* driving the run
+/// (`Mom::relay_disconnect` / `relay_connect`): the plan stays the single
+/// seeded source of truth for when subscribers flap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// The subscriber that disconnects.
+    pub subscriber: AgentId,
+    /// Tick at which the subscriber disconnects.
+    pub at_tick: u64,
+    /// Tick at which it reconnects, if it does.
+    pub reconnect_at: Option<u64>,
+}
+
 /// A seeded, fully deterministic description of network misbehaviour.
 ///
 /// # Examples
@@ -136,6 +156,8 @@ pub struct FaultPlan {
     pub partitions: Vec<Partition>,
     /// Crash schedule, consumed by the harness driving the run.
     pub crashes: Vec<CrashEvent>,
+    /// Subscriber-churn schedule, consumed by the harness driving the run.
+    pub churn: Vec<ChurnEvent>,
     /// Extra latency, in ticks, for a delayed datagram.
     pub delay_ticks: u64,
 }
@@ -149,6 +171,7 @@ impl FaultPlan {
             overrides: Vec::new(),
             partitions: Vec::new(),
             crashes: Vec::new(),
+            churn: Vec::new(),
             delay_ticks: DEFAULT_DELAY_TICKS,
         }
     }
@@ -201,6 +224,66 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a subscriber-churn event to the schedule.
+    #[must_use]
+    pub fn churn(
+        mut self,
+        subscriber: AgentId,
+        at_tick: u64,
+        reconnect_at: Option<u64>,
+    ) -> FaultPlan {
+        self.churn.push(ChurnEvent {
+            subscriber,
+            at_tick,
+            reconnect_at,
+        });
+        self
+    }
+
+    /// Generates `events` disconnect/reconnect pairs over `subscribers`
+    /// with a zipfian rank distribution (exponent `s`): the first
+    /// subscriber in the slice flaps the most, the tail barely at all —
+    /// the skew real pub/sub churn exhibits. Disconnect ticks are drawn
+    /// uniformly over `[0, horizon)`; each outage lasts between one tick
+    /// and a tenth of the horizon. The schedule derives from the plan
+    /// seed through a salt, so it never perturbs the injector's
+    /// per-datagram decision stream, and is sorted by disconnect tick.
+    #[must_use]
+    pub fn zipf_churn(mut self, subscribers: &[AgentId], events: usize, horizon: u64) -> FaultPlan {
+        const S: f64 = 1.1; // classic zipf exponent, mildly super-harmonic
+        if subscribers.is_empty() || events == 0 || horizon == 0 {
+            return self;
+        }
+        let weights: Vec<f64> = (0..subscribers.len())
+            .map(|rank| 1.0 / ((rank + 1) as f64).powf(S))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ CHURN_SEED_SALT);
+        let max_outage = (horizon / 10).max(1);
+        let mut drawn = Vec::with_capacity(events);
+        for _ in 0..events {
+            let mut x: f64 = rng.gen::<f64>() * total;
+            let mut pick = subscribers.len() - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    pick = i;
+                    break;
+                }
+                x -= w;
+            }
+            let at_tick = rng.gen_range(0..horizon);
+            let outage = rng.gen_range(1..=max_outage);
+            drawn.push(ChurnEvent {
+                subscriber: subscribers[pick],
+                at_tick,
+                reconnect_at: Some(at_tick.saturating_add(outage)),
+            });
+        }
+        drawn.sort_by_key(|e| e.at_tick);
+        self.churn.extend(drawn);
+        self
+    }
+
     /// Sets the extra latency, in ticks, of a delayed datagram.
     #[must_use]
     pub fn delay_ticks(mut self, ticks: u64) -> FaultPlan {
@@ -233,6 +316,14 @@ impl FaultPlan {
                 return Err(Error::Config(format!(
                     "partition window [{}, {}) is empty",
                     p.from_tick, p.until_tick
+                )));
+            }
+        }
+        for c in &self.churn {
+            if c.reconnect_at.is_some_and(|r| r <= c.at_tick) {
+                return Err(Error::Config(format!(
+                    "churn event for {:?} reconnects at {:?}, not after tick {}",
+                    c.subscriber, c.reconnect_at, c.at_tick
                 )));
             }
         }
@@ -462,6 +553,56 @@ mod tests {
             .validate()
             .is_err());
         assert!(FaultInjector::new(FaultPlan::drop_only(-0.1, 0)).is_err());
+    }
+
+    fn a(srv: u16, local: u32) -> AgentId {
+        AgentId::new(s(srv), local)
+    }
+
+    #[test]
+    fn zipf_churn_is_deterministic_and_skewed() {
+        let subs: Vec<AgentId> = (0..100).map(|i| a(0, i)).collect();
+        let gen = || FaultPlan::new(42).zipf_churn(&subs, 500, 10_000).churn;
+        let once = gen();
+        assert_eq!(once, gen(), "same seed must yield the same schedule");
+        assert_eq!(once.len(), 500);
+        assert!(once.windows(2).all(|w| w[0].at_tick <= w[1].at_tick));
+        // Zipf skew: the head rank flaps far more often than a tail rank.
+        let hits = |sub: AgentId| once.iter().filter(|e| e.subscriber == sub).count();
+        assert!(
+            hits(subs[0]) > 10 * hits(subs[99]).max(1) / 2,
+            "head {} vs tail {}",
+            hits(subs[0]),
+            hits(subs[99])
+        );
+        for e in &once {
+            let r = e.reconnect_at.expect("generated outages always heal");
+            assert!(r > e.at_tick && r <= e.at_tick + 1_000);
+        }
+    }
+
+    #[test]
+    fn churn_schedule_does_not_perturb_the_decision_stream() {
+        let subs: Vec<AgentId> = (0..10).map(|i| a(0, i)).collect();
+        let bare = FaultPlan::new(7).faults(LinkFaults::drop_only(0.3));
+        let churned = bare.clone().zipf_churn(&subs, 100, 1_000);
+        let stream = |plan: FaultPlan| {
+            let mut inj = FaultInjector::new(plan).unwrap();
+            (0..200)
+                .map(|t| inj.decide(s(0), s(1), t))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(stream(bare), stream(churned));
+    }
+
+    #[test]
+    fn churn_validation_rejects_instant_reconnect() {
+        let plan = FaultPlan::new(0).churn(a(0, 1), 50, Some(50));
+        assert!(plan.validate().is_err());
+        let ok = FaultPlan::new(0)
+            .churn(a(0, 1), 50, Some(51))
+            .churn(a(0, 2), 10, None);
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

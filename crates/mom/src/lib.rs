@@ -60,6 +60,7 @@ pub mod message;
 mod metrics;
 mod persist;
 pub mod pubsub;
+pub mod relay;
 pub mod runtime;
 pub mod server;
 
@@ -69,6 +70,7 @@ pub use agent::{Agent, EchoAgent, FnAgent, ReactionContext};
 pub use domain_item::DomainItem;
 pub use engine::EngineCore;
 pub use message::{AgentMessage, DeliveryPolicy, Notification, SendOptions};
+pub use relay::{relay_agent, RelayConfig};
 pub use runtime::{
     ClockConfig, Mom, MomBuilder, NetConfig, RuntimeConfig, RuntimeKind, TransportKind,
 };

@@ -30,6 +30,17 @@
 //! | `aaa_link_flushes_total` | counter | batch flushes |
 //! | `aaa_persist_group_commit_total` | counter | group commits |
 //! | `aaa_persist_group_commit_us` | histogram | µs per group commit |
+//! | `aaa_relay_queue_depth` | gauge | unacked journaled entries |
+//! | `aaa_relay_enqueued_total` | counter | publications journaled |
+//! | `aaa_relay_acked_total` | counter | entries committed by ACK |
+//! | `aaa_relay_redeliveries_total` | counter | entries redelivered |
+//! | `aaa_relay_expired_total` | counter | entries dropped by TTL |
+//! | `aaa_relay_handoff_total` | counter | handoffs accepted |
+//! | `aaa_relay_handoff_dup_total` | counter | duplicate handoffs |
+//! | `aaa_relay_handoff_dropped_total` | counter | misrouted handoffs |
+//! | `aaa_relay_compactions_total` | counter | compaction passes |
+//! | `aaa_relay_compaction_reclaimed_bytes_total` | counter | bytes |
+//! | `aaa_pubsub_dropped_total` | counter | publications dropped |
 
 use std::collections::HashMap;
 
@@ -211,5 +222,85 @@ impl ServerMetrics {
                 &[("peer", peer.as_u16().to_string())],
             )
         })
+    }
+}
+
+/// Instruments of one [`crate::relay::RelayCore`] plus the pubsub drop
+/// counter it accounts on the topics' behalf.
+#[derive(Debug, Clone)]
+pub(crate) struct RelayMetrics {
+    /// Unacknowledged journaled entries across all subscriber queues.
+    pub queue_depth: Gauge,
+    /// Publications journaled into a subscriber queue.
+    pub enqueued: Counter,
+    /// Entries committed (released) by a cumulative recipient ACK.
+    pub acked: Counter,
+    /// Entries redelivered after a retry timeout expired unacked.
+    pub redeliveries: Counter,
+    /// Entries dropped because they outlived the retention TTL.
+    pub expired: Counter,
+    /// Relay-to-relay handoffs accepted for a local subscriber.
+    pub handoff_accepted: Counter,
+    /// Handoffs suppressed by the `(origin, seq)` idempotency key.
+    pub handoff_duplicates: Counter,
+    /// Handoffs dropped because the subscriber is not hosted here.
+    pub handoff_dropped: Counter,
+    /// Queue compaction passes completed.
+    pub compactions: Counter,
+    /// Disk bytes reclaimed by compaction.
+    pub compaction_reclaimed: Counter,
+    /// Publications dropped at the depth bound (cold subscriber full).
+    pub pubsub_dropped: Counter,
+}
+
+impl RelayMetrics {
+    pub fn new(meter: &Meter) -> Self {
+        RelayMetrics {
+            queue_depth: meter.gauge(
+                "aaa_relay_queue_depth",
+                "Unacknowledged journaled entries across subscriber queues",
+            ),
+            enqueued: meter.counter(
+                "aaa_relay_enqueued_total",
+                "Publications journaled into a durable subscriber queue",
+            ),
+            acked: meter.counter(
+                "aaa_relay_acked_total",
+                "Journaled entries committed by a cumulative recipient ACK",
+            ),
+            redeliveries: meter.counter(
+                "aaa_relay_redeliveries_total",
+                "Journaled entries redelivered after an unacked retry timeout",
+            ),
+            expired: meter.counter(
+                "aaa_relay_expired_total",
+                "Journaled entries dropped because they outlived the TTL",
+            ),
+            handoff_accepted: meter.counter(
+                "aaa_relay_handoff_total",
+                "Relay-to-relay handoffs accepted for a local subscriber",
+            ),
+            handoff_duplicates: meter.counter(
+                "aaa_relay_handoff_dup_total",
+                "Handoffs suppressed as duplicates by the (origin, seq) key",
+            ),
+            handoff_dropped: meter.counter(
+                "aaa_relay_handoff_dropped_total",
+                "Handoffs dropped because the subscriber is not hosted here",
+            ),
+            compactions: meter.counter(
+                "aaa_relay_compactions_total",
+                "Subscriber-queue compaction passes completed",
+            ),
+            compaction_reclaimed: meter.counter(
+                "aaa_relay_compaction_reclaimed_bytes_total",
+                "Disk bytes reclaimed by subscriber-queue compaction",
+            ),
+            pubsub_dropped: meter.counter(
+                "aaa_pubsub_dropped_total",
+                "Publications dropped because a subscriber queue hit its \
+                 depth bound",
+            ),
+        }
     }
 }

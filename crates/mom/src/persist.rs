@@ -55,6 +55,11 @@ pub(crate) struct ServerImage {
     /// Agent state snapshots `(local id, image)` — stored inside the same
     /// blob so one `put` commits the whole transaction atomically.
     pub agents: Vec<(u32, Vec<u8>)>,
+    /// Store-and-forward relay registry (subscriptions, connectivity,
+    /// handoff watermarks, receive-side dedup) — empty when no relay runs
+    /// here. Queue *contents* live in their own segment files; this blob
+    /// only names them (DESIGN.md §17). Absent in pre-relay images.
+    pub relay: Vec<u8>,
 }
 
 fn encode_envelope(e: &mut Encoder, env: &Envelope) {
@@ -177,6 +182,8 @@ impl ServerImage {
             e.bytes(image);
         }
 
+        e.bytes(&self.relay);
+
         e.finish()
     }
 
@@ -277,6 +284,13 @@ impl ServerImage {
             agents.push((local, image.to_vec()));
         }
 
+        // Pre-relay images end here; treat the missing field as empty.
+        let relay = if d.remaining() > 0 {
+            d.bytes()?.to_vec()
+        } else {
+            Vec::new()
+        };
+
         Ok(ServerImage {
             next_msg_seq,
             items,
@@ -286,6 +300,7 @@ impl ServerImage {
             links_tx,
             links_rx,
             agents,
+            relay,
         })
     }
 }
@@ -345,6 +360,7 @@ mod tests {
                 cum_seq: 7,
             }],
             agents: vec![(1, b"agent-state".to_vec())],
+            relay: b"relay-registry".to_vec(),
         }
     }
 
@@ -364,6 +380,20 @@ mod tests {
         assert_eq!(decoded.engine_queue.len(), 1);
         assert_eq!(decoded.links_tx[0].unacked[0].seq, 4);
         assert_eq!(decoded.links_rx[0].cum_seq, 7);
+        assert_eq!(decoded.agents, vec![(1, b"agent-state".to_vec())]);
+        assert_eq!(decoded.relay, b"relay-registry".to_vec());
+    }
+
+    #[test]
+    fn pre_relay_image_decodes_with_empty_registry() {
+        // An image written before the relay field existed ends right after
+        // the agents section; decoding must default the registry to empty
+        // rather than erroring.
+        let img = sample_image();
+        let full = img.encode();
+        let legacy = full.slice(0..full.len() - 4 - b"relay-registry".len());
+        let decoded = ServerImage::decode(legacy).unwrap();
+        assert!(decoded.relay.is_empty());
         assert_eq!(decoded.agents, vec![(1, b"agent-state".to_vec())]);
     }
 

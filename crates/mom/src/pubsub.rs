@@ -78,12 +78,33 @@ pub fn unsubscription() -> Notification {
 pub struct TopicAgent {
     subscribers: Vec<AgentId>,
     published: u64,
+    /// The store-and-forward relay pseudo-agent backing this topic, if
+    /// any. With a relay, publications are journaled per subscriber and
+    /// redelivered across disconnects instead of fanned out fire-and-
+    /// forget (the live-subscriber assumption this field removes).
+    relay: Option<AgentId>,
 }
 
 impl TopicAgent {
-    /// Creates a topic with no subscribers.
+    /// Creates a topic with no subscribers and direct (non-durable)
+    /// fan-out.
+    ///
+    /// Direct fan-out assumes every subscriber is live: a publication to
+    /// a disconnected subscriber is lost. Use [`TopicAgent::with_relay`]
+    /// for durable store-and-forward delivery.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a topic whose fan-out is journaled by the store-and-forward
+    /// relay at `relay` (see [`crate::relay::relay_agent`]): publications
+    /// are persisted per subscriber and redelivered until acknowledged,
+    /// surviving subscriber disconnects and relay crashes (DESIGN.md §17).
+    pub fn with_relay(relay: AgentId) -> Self {
+        TopicAgent {
+            relay: Some(relay),
+            ..Self::default()
+        }
     }
 
     /// Current subscribers, in subscription order.
@@ -95,6 +116,11 @@ impl TopicAgent {
     pub fn published(&self) -> u64 {
         self.published
     }
+
+    /// The relay backing this topic, if durable fan-out is enabled.
+    pub fn relay(&self) -> Option<AgentId> {
+        self.relay
+    }
 }
 
 impl Agent for TopicAgent {
@@ -102,18 +128,50 @@ impl Agent for TopicAgent {
         match note.kind() {
             SUBSCRIBE if !self.subscribers.contains(&from) => {
                 self.subscribers.push(from);
+                if let Some(relay) = self.relay {
+                    let mut e = Encoder::new();
+                    e.agent_id(ctx.me());
+                    e.agent_id(from);
+                    ctx.send(
+                        relay,
+                        Notification::new(crate::relay::RELAY_SUBSCRIBE, e.finish()),
+                    );
+                }
             }
             SUBSCRIBE => {} // duplicate subscription: idempotent
             UNSUBSCRIBE => {
                 self.subscribers.retain(|s| *s != from);
+                if let Some(relay) = self.relay {
+                    let mut e = Encoder::new();
+                    e.agent_id(ctx.me());
+                    e.agent_id(from);
+                    ctx.send(
+                        relay,
+                        Notification::new(crate::relay::RELAY_UNSUBSCRIBE, e.finish()),
+                    );
+                }
             }
             PUBLISH => {
                 let mut d = Decoder::new(note.body().clone());
                 let Ok(kind) = d.string() else { return };
                 let Ok(body) = d.bytes() else { return };
                 self.published += 1;
-                for sub in &self.subscribers {
-                    ctx.send(*sub, Notification::new(kind.clone(), body.clone()));
+                if let Some(relay) = self.relay {
+                    // Durable path: one journaled hand-over to the relay,
+                    // which fans out per subscriber queue and redelivers
+                    // until each subscriber acknowledges.
+                    let mut e = Encoder::new();
+                    e.agent_id(ctx.me());
+                    e.string(&kind);
+                    e.bytes(&body);
+                    ctx.send(
+                        relay,
+                        Notification::new(crate::relay::RELAY_PUBLISH, e.finish()),
+                    );
+                } else {
+                    for sub in &self.subscribers {
+                        ctx.send(*sub, Notification::new(kind.clone(), body.clone()));
+                    }
                 }
             }
             _ => {
@@ -130,6 +188,15 @@ impl Agent for TopicAgent {
         for s in &self.subscribers {
             e.agent_id(*s);
         }
+        match self.relay {
+            Some(relay) => {
+                e.u8(1);
+                e.agent_id(relay);
+            }
+            None => {
+                e.u8(0);
+            }
+        }
         e.finish().to_vec()
     }
 
@@ -142,8 +209,22 @@ impl Agent for TopicAgent {
             let Ok(id) = d.agent_id() else { return };
             subscribers.push(id);
         }
+        // Pre-relay snapshots end after the subscriber list.
+        let relay = if d.remaining() > 0 {
+            match d.u8() {
+                Ok(1) => match d.agent_id() {
+                    Ok(id) => Some(id),
+                    Err(_) => return,
+                },
+                Ok(_) => None,
+                Err(_) => return,
+            }
+        } else {
+            None
+        };
         self.published = published;
         self.subscribers = subscribers;
+        self.relay = relay;
     }
 }
 
@@ -397,5 +478,58 @@ mod tests {
         let mut untouched = TopicAgent::new();
         untouched.restore(&[1, 2]);
         assert!(untouched.subscribers().is_empty());
+    }
+
+    #[test]
+    fn relayed_topic_routes_through_the_relay() {
+        let relay = crate::relay::relay_agent(ServerId::new(0));
+        let mut topic = TopicAgent::with_relay(relay);
+
+        // Subscription is recorded locally *and* forwarded to the relay.
+        let out = react(&mut topic, aid(1, 1), subscription());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, relay);
+        assert_eq!(out[0].1.kind(), crate::relay::RELAY_SUBSCRIBE);
+        assert_eq!(topic.subscribers().len(), 1);
+
+        // A publication becomes one relay hand-over, not a direct fan-out.
+        let out = react(&mut topic, aid(9, 9), publication("news", b"x".to_vec()));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, relay);
+        assert_eq!(out[0].1.kind(), crate::relay::RELAY_PUBLISH);
+        let mut d = Decoder::new(out[0].1.body().clone());
+        assert_eq!(d.agent_id().unwrap(), aid(0, 1)); // ctx.me() = topic id
+        assert_eq!(d.string().unwrap(), "news");
+        assert_eq!(d.bytes().unwrap().as_ref(), b"x");
+
+        // Unsubscription forwards too.
+        let out = react(&mut topic, aid(1, 1), unsubscription());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.kind(), crate::relay::RELAY_UNSUBSCRIBE);
+        assert!(topic.subscribers().is_empty());
+    }
+
+    #[test]
+    fn relay_field_survives_snapshot_and_old_images_restore() {
+        let relay = crate::relay::relay_agent(ServerId::new(3));
+        let mut topic = TopicAgent::with_relay(relay);
+        react(&mut topic, aid(1, 1), subscription());
+        let image = topic.snapshot();
+
+        let mut restored = TopicAgent::new();
+        restored.restore(&image);
+        assert_eq!(restored.relay(), Some(relay));
+        assert_eq!(restored.subscribers(), topic.subscribers());
+
+        // A pre-relay image (no trailing tag) restores with no relay.
+        let mut legacy = Encoder::new();
+        legacy.u64(2);
+        legacy.count(1);
+        legacy.agent_id(aid(1, 1));
+        let mut old = TopicAgent::new();
+        old.restore(&legacy.finish());
+        assert_eq!(old.relay(), None);
+        assert_eq!(old.published(), 2);
+        assert_eq!(old.subscribers(), &[aid(1, 1)]);
     }
 }

@@ -1,0 +1,1008 @@
+//! The durable store-and-forward relay (DESIGN.md §17).
+//!
+//! The plain [`TopicAgent`](crate::pubsub::TopicAgent) assumes every
+//! subscriber is live: a publication fans out as ordinary sends, and a
+//! subscriber that is disconnected when they arrive simply never sees
+//! them. The relay closes that dynamicity gap. A topic built with
+//! [`TopicAgent::with_relay`](crate::pubsub::TopicAgent::with_relay)
+//! forwards its traffic to the server-local relay instead, which:
+//!
+//! - **journals before delivering** — every publication is appended to the
+//!   subscriber's durable [`SegmentQueue`] *together with the wire causal
+//!   stamp* that ordered it, then dispatched; a crash between journal and
+//!   delivery redelivers on recovery (at-least-once below, exactly-once
+//!   after the receiver's dedup);
+//! - **commits on recipient ACK** — delivery completes only when the
+//!   subscriber's server acks the relay sequence number (cumulative
+//!   [`RelayAck`]); unacked entries are redelivered after a capped backoff
+//!   ([`retry_backoff_ms`], the `aaa-net::health` schedule);
+//! - **bounds cold subscribers** — a disconnected subscriber's queue
+//!   accepts at most `max_depth` entries and then drops (counted in
+//!   `aaa_pubsub_dropped_total`) instead of growing without bound, and a
+//!   TTL expires entries that outlive their usefulness;
+//! - **hands off across servers** — a subscriber hosted elsewhere is
+//!   served by *its* home relay: the publishing relay journals locally and
+//!   forwards `__relay_handoff` records, deduplicated at the home relay by
+//!   the `(origin server, origin sequence)` key, and the handoff is
+//!   terminal (a relay never re-forwards a handoff), so no relay loop can
+//!   form.
+//!
+//! The relay is not an [`Agent`](crate::agent::Agent): agents snapshot
+//! into the transactional image, but the relay's state *is* its durable
+//! queues, which have their own crash story. It is instead addressed as a
+//! pseudo-agent at local id [`RELAY_LOCAL`] and wired directly into
+//! [`ServerCore`](crate::ServerCore)'s delivery path, so relay control
+//! traffic rides the normal causal bus in both runtimes.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::path::PathBuf;
+
+use aaa_base::{AgentId, Error, Result, ServerId, VDuration, VTime};
+use aaa_net::health::retry_backoff_ms;
+use aaa_net::wire::{Decoder, Encoder};
+use aaa_net::RelayAck;
+use aaa_storage::{QueueConfig, SegmentQueue};
+use bytes::Bytes;
+
+use crate::message::{DeliveryPolicy, Notification};
+use crate::metrics::RelayMetrics;
+
+/// The server-local index reserved for the relay pseudo-agent. No real
+/// agent may register at this index.
+pub const RELAY_LOCAL: u32 = u32::MAX;
+
+/// Control kind: a topic forwards a publication to its relay.
+pub const RELAY_PUBLISH: &str = "__relay_publish";
+/// Control kind: a topic registers a subscriber with its relay.
+pub const RELAY_SUBSCRIBE: &str = "__relay_subscribe";
+/// Control kind: a topic removes a subscriber from its relay.
+pub const RELAY_UNSUBSCRIBE: &str = "__relay_unsubscribe";
+/// Control kind: the relay delivers one journaled publication.
+pub const RELAY_DELIVER: &str = "__relay_deliver";
+/// Control kind: cumulative delivery acknowledgement ([`RelayAck`] body).
+pub const RELAY_ACK: &str = "__relay_ack";
+/// Control kind: relay-to-relay transfer of one journaled publication.
+pub const RELAY_HANDOFF: &str = "__relay_handoff";
+
+/// The relay pseudo-agent of `server`.
+#[must_use]
+pub fn relay_agent(server: ServerId) -> AgentId {
+    AgentId::new(server, RELAY_LOCAL)
+}
+
+/// Retention, redelivery and handoff policy of a server's relay.
+#[derive(Debug, Clone)]
+pub struct RelayConfig {
+    /// Per-subscriber unacknowledged-entry cap; beyond it publications to
+    /// that subscriber are dropped and counted, never buffered unbounded.
+    pub max_depth: usize,
+    /// Entries older than this are expired (skipped, then reclaimed at
+    /// compaction). `None` retains forever.
+    pub ttl: Option<VDuration>,
+    /// Records per on-disk segment before the active segment rolls.
+    pub segment_max_records: usize,
+    /// Redelivery window: at most this many unacked entries in flight to
+    /// one subscriber at a time.
+    pub window: u64,
+    /// Base retry timeout before an unacked dispatch is redelivered; the
+    /// capped `aaa-net::health` backoff is added per attempt.
+    pub retry_rto: VDuration,
+    /// Forward publications for remote subscribers to their home relay
+    /// (`false` delivers directly to the remote agent instead).
+    pub handoff: bool,
+    /// Root directory for durable queues; `None` keeps queues in memory
+    /// (redelivery still works, but a crash loses the backlog).
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for RelayConfig {
+    fn default() -> RelayConfig {
+        RelayConfig {
+            max_depth: 4096,
+            ttl: None,
+            segment_max_records: 1024,
+            window: 64,
+            retry_rto: VDuration::from_millis(200),
+            handoff: true,
+            dir: None,
+        }
+    }
+}
+
+impl RelayConfig {
+    /// Replaces the per-subscriber depth cap.
+    #[must_use]
+    pub fn max_depth(mut self, depth: usize) -> RelayConfig {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Replaces the entry TTL.
+    #[must_use]
+    pub fn ttl(mut self, ttl: Option<VDuration>) -> RelayConfig {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Replaces the segment roll threshold.
+    #[must_use]
+    pub fn segment_max_records(mut self, records: usize) -> RelayConfig {
+        self.segment_max_records = records;
+        self
+    }
+
+    /// Replaces the redelivery window.
+    #[must_use]
+    pub fn window(mut self, window: u64) -> RelayConfig {
+        self.window = window;
+        self
+    }
+
+    /// Replaces the base retry timeout.
+    #[must_use]
+    pub fn retry_rto(mut self, rto: VDuration) -> RelayConfig {
+        self.retry_rto = rto;
+        self
+    }
+
+    /// Enables or disables relay-to-relay handoff.
+    #[must_use]
+    pub fn handoff(mut self, on: bool) -> RelayConfig {
+        self.handoff = on;
+        self
+    }
+
+    /// Backs the queues by durable segments rooted at `dir`.
+    #[must_use]
+    pub fn dir(mut self, dir: impl Into<PathBuf>) -> RelayConfig {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    fn queue_config(&self) -> QueueConfig {
+        QueueConfig {
+            // The relay enforces `max_depth` on the undispatched backlog;
+            // the queue's own cap is a hard stop that additionally admits
+            // the bounded in-flight window.
+            max_depth: self
+                .max_depth
+                .saturating_add(usize::try_from(self.window).unwrap_or(usize::MAX)),
+            ttl_ticks: self.ttl.map(VDuration::as_micros),
+            segment_max_records: self.segment_max_records,
+        }
+    }
+}
+
+/// Redelivery state of one subscriber.
+#[derive(Debug)]
+struct SubState {
+    queue: SegmentQueue,
+    /// Whether the subscriber is reachable; cold subscribers accumulate
+    /// backlog instead of being dispatched to.
+    connected: bool,
+    /// `true` when this subscriber is served through its home relay (it
+    /// lives on another server and handoff is enabled).
+    remote_handoff: bool,
+    /// Highest sequence number dispatched since the last (re)connect or
+    /// retry reset; entries in `acked+1 ..= dispatched_upto` are in
+    /// flight.
+    dispatched_upto: u64,
+    /// Retry attempt counter (resets when the window fully acks).
+    attempt: u32,
+    /// When the unacked in-flight window is redelivered.
+    next_retry: Option<VTime>,
+    /// Ack watermark at the last compaction pass.
+    compacted_at: u64,
+}
+
+/// The sans-IO relay state machine of one server.
+///
+/// Driven by [`ServerCore`](crate::ServerCore): control notifications
+/// addressed to [`relay_agent`]`(me)` are routed here, and everything the
+/// relay wants to send is drained from `outbox` through the normal
+/// submit path (so handoffs and deliveries are stamped, journaled and
+/// retransmitted exactly like application traffic).
+#[derive(Debug)]
+pub(crate) struct RelayCore {
+    me: ServerId,
+    cfg: RelayConfig,
+    /// Topic agent → its subscribers (mirrors the relayed `TopicAgent`s).
+    topics: BTreeMap<AgentId, BTreeSet<AgentId>>,
+    subs: BTreeMap<AgentId, SubState>,
+    /// What the relay wants sent: `(to, note, policy)` triples.
+    outbox: VecDeque<(AgentId, Notification, DeliveryPolicy)>,
+    /// Handoff dedup: highest origin sequence accepted per
+    /// `(origin server, subscriber)` — the `(origin, seq)` idempotency
+    /// key with bounded memory (acceptance is monotone).
+    handoff_rx: HashMap<(ServerId, AgentId), u64>,
+    /// Incrementally maintained total of [`RelayCore::backlog`], so the
+    /// per-ack gauge update stays O(1) instead of scanning every
+    /// subscriber queue (10k subscribers × one ack each is the common
+    /// fan-out shape).
+    depth_cache: u64,
+    metrics: Option<RelayMetrics>,
+}
+
+impl RelayCore {
+    pub fn new(me: ServerId, cfg: RelayConfig) -> RelayCore {
+        RelayCore {
+            me,
+            cfg,
+            topics: BTreeMap::new(),
+            subs: BTreeMap::new(),
+            outbox: VecDeque::new(),
+            handoff_rx: HashMap::new(),
+            depth_cache: 0,
+            metrics: None,
+        }
+    }
+
+    pub fn attach_metrics(&mut self, metrics: RelayMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Total unacknowledged backlog across subscribers, recomputed from
+    /// the queues (the oracle `depth_cache` mirrors incrementally; tests
+    /// cross-check the two).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn backlog(&self) -> usize {
+        self.subs.values().map(|s| s.queue.depth()).sum()
+    }
+
+    fn update_depth_gauge(&self) {
+        if let Some(m) = &self.metrics {
+            m.queue_depth
+                .set(i64::try_from(self.depth_cache).unwrap_or(i64::MAX));
+        }
+    }
+
+    /// The queue directory of `sub` under this relay, when durable.
+    fn queue_dir(&self, sub: AgentId) -> Option<PathBuf> {
+        self.cfg.dir.as_ref().map(|root| {
+            root.join(format!("relay-{}", self.me.as_u16()))
+                .join(format!("sub-{}-{}", sub.server().as_u16(), sub.local()))
+        })
+    }
+
+    fn ensure_sub(&mut self, sub: AgentId) -> Result<&mut SubState> {
+        if !self.subs.contains_key(&sub) {
+            let queue = match self.queue_dir(sub) {
+                Some(dir) => SegmentQueue::open(dir, self.cfg.queue_config())?,
+                None => SegmentQueue::in_memory(self.cfg.queue_config()),
+            };
+            let dispatched_upto = queue.acked();
+            // A reopened durable queue carries its recovered backlog.
+            self.depth_cache = self.depth_cache.saturating_add(queue.depth() as u64);
+            self.subs.insert(
+                sub,
+                SubState {
+                    queue,
+                    connected: true,
+                    remote_handoff: self.cfg.handoff && sub.server() != self.me,
+                    dispatched_upto,
+                    attempt: 0,
+                    next_retry: None,
+                    compacted_at: 0,
+                },
+            );
+        }
+        self.subs
+            .get_mut(&sub)
+            .ok_or_else(|| Error::Storage("relay subscriber state vanished".into()))
+    }
+
+    /// Registers `sub` on `topic`, opening its durable queue.
+    pub fn on_subscribe(&mut self, topic: AgentId, sub: AgentId, now: VTime) -> Result<()> {
+        self.topics.entry(topic).or_default().insert(sub);
+        self.ensure_sub(sub)?;
+        self.pump(sub, now);
+        Ok(())
+    }
+
+    /// Removes `sub` from `topic`; the queue (and any backlog) is dropped
+    /// once no topic references the subscriber and nothing is pending.
+    pub fn on_unsubscribe(&mut self, topic: AgentId, sub: AgentId) {
+        if let Some(members) = self.topics.get_mut(&topic) {
+            members.remove(&sub);
+            if members.is_empty() {
+                self.topics.remove(&topic);
+            }
+        }
+        let orphan = !self.topics.values().any(|m| m.contains(&sub));
+        if orphan {
+            if let Some(st) = self.subs.get(&sub) {
+                if st.queue.depth() == 0 {
+                    self.subs.remove(&sub);
+                }
+            }
+        }
+    }
+
+    /// Journals one publication from `topic` for every subscriber, then
+    /// dispatches to the warm ones. `stamp` is the wire causal stamp of
+    /// the publication (empty when it was a purely local submit).
+    pub fn on_publish(
+        &mut self,
+        topic: AgentId,
+        kind: &str,
+        body: &Bytes,
+        stamp: Vec<u8>,
+        now: VTime,
+    ) -> Result<()> {
+        let members: Vec<AgentId> = self
+            .topics
+            .get(&topic)
+            .map(|m| m.iter().copied().collect())
+            .unwrap_or_default();
+        let mut payload_enc = Encoder::new();
+        payload_enc.agent_id(topic);
+        payload_enc.string(kind);
+        payload_enc.bytes(body);
+        let payload = payload_enc.finish().to_vec();
+        for sub in members {
+            self.ensure_sub(sub)?;
+            let Some(st) = self.subs.get_mut(&sub) else {
+                continue;
+            };
+            // The depth cap bounds the *undispatched* backlog; entries
+            // already dispatched and awaiting an ack are governed by
+            // `window`, so a warm subscriber with lagging acks is never
+            // throttled by its own in-flight traffic.
+            let horizon = st.dispatched_upto;
+            let undispatched = st
+                .queue
+                .pending(now.as_micros())
+                .filter(|e| e.seq > horizon)
+                .count();
+            if undispatched >= self.cfg.max_depth {
+                // The bound working as designed: a cold subscriber's
+                // queue is full, so the publication is dropped for
+                // them (and only them) and counted.
+                if let Some(m) = &self.metrics {
+                    m.pubsub_dropped.add(1);
+                }
+                continue;
+            }
+            match st
+                .queue
+                .enqueue(now.as_micros(), stamp.clone(), payload.clone())
+            {
+                Ok(_) => {
+                    self.depth_cache = self.depth_cache.saturating_add(1);
+                    if let Some(m) = &self.metrics {
+                        m.enqueued.add(1);
+                    }
+                }
+                Err(Error::Backpressure) => {
+                    // The queue's own hard cap (`max_depth + window`).
+                    if let Some(m) = &self.metrics {
+                        m.pubsub_dropped.add(1);
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            self.pump(sub, now);
+        }
+        self.update_depth_gauge();
+        Ok(())
+    }
+
+    /// Commits cumulative delivery for `sub` up to `upto` and refills the
+    /// dispatch window.
+    pub fn on_ack(&mut self, sub: AgentId, upto: u64, now: VTime) -> Result<()> {
+        let Some(st) = self.subs.get_mut(&sub) else {
+            return Ok(()); // unsubscribed meanwhile: stale ack, ignore
+        };
+        let released = st.queue.ack_up_to(upto)?;
+        if released > 0 {
+            self.depth_cache = self.depth_cache.saturating_sub(released);
+            if let Some(m) = &self.metrics {
+                m.acked.add(released);
+            }
+        }
+        if st.queue.acked() >= st.dispatched_upto {
+            // The whole in-flight window is committed.
+            st.attempt = 0;
+            st.next_retry = None;
+        }
+        self.pump(sub, now);
+        self.maybe_compact(sub, now)?;
+        self.update_depth_gauge();
+        Ok(())
+    }
+
+    /// Accepts one relay-to-relay handoff for a *local* subscriber.
+    ///
+    /// Handoff is terminal: a record for a subscriber not hosted here is
+    /// dropped (loop prevention), and duplicates — the origin redelivering
+    /// past a lost ack — are suppressed by the `(origin, seq)` watermark.
+    /// Either way a cumulative ack is returned to the origin relay.
+    pub fn on_handoff(&mut self, origin: ServerId, body: &Bytes, now: VTime) -> Result<()> {
+        let mut d = Decoder::new(body.clone());
+        let sub = d.agent_id()?;
+        let seq = d.u64()?;
+        let stamp = d.bytes()?.to_vec();
+        let payload = d.bytes()?.to_vec();
+        if sub.server() != self.me {
+            // Not ours: a misrouted or looping handoff ends here.
+            if let Some(m) = &self.metrics {
+                m.handoff_dropped.add(1);
+            }
+            return Ok(());
+        }
+        let last = self.handoff_rx.get(&(origin, sub)).copied().unwrap_or(0);
+        if seq > last {
+            self.handoff_rx.insert((origin, sub), seq);
+            if let Some(m) = &self.metrics {
+                m.handoff_accepted.add(1);
+            }
+            let st = self.ensure_sub(sub)?;
+            match st.queue.enqueue(now.as_micros(), stamp, payload) {
+                Ok(_) => {
+                    self.depth_cache = self.depth_cache.saturating_add(1);
+                }
+                Err(Error::Backpressure) => {
+                    if let Some(m) = &self.metrics {
+                        m.pubsub_dropped.add(1);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+            self.pump(sub, now);
+        } else if let Some(m) = &self.metrics {
+            m.handoff_duplicates.add(1);
+        }
+        // Always re-ack: a duplicate means the origin missed our last ack.
+        let upto = self.handoff_rx.get(&(origin, sub)).copied().unwrap_or(0);
+        self.outbox.push_back((
+            relay_agent(origin),
+            Notification::new(
+                RELAY_ACK,
+                RelayAck {
+                    subscriber: sub,
+                    upto,
+                }
+                .encode(),
+            ),
+            DeliveryPolicy::Unordered,
+        ));
+        self.update_depth_gauge();
+        Ok(())
+    }
+
+    /// Marks `sub` connected (re-dispatching its backlog; the receiver's
+    /// dedup map absorbs any overlap) or disconnected (halting dispatch;
+    /// the backlog accumulates under the depth/TTL bounds).
+    pub fn set_connected(&mut self, sub: AgentId, connected: bool, now: VTime) -> Result<()> {
+        let st = self.ensure_sub(sub)?;
+        st.connected = connected;
+        if connected {
+            st.attempt = 0;
+            st.next_retry = None;
+            // Anything dispatched before the disconnect may have been
+            // lost; rewind to the committed watermark and redeliver.
+            st.dispatched_upto = st.queue.acked();
+            self.pump(sub, now);
+        } else {
+            st.next_retry = None;
+        }
+        Ok(())
+    }
+
+    /// Advances TTL expiry, redelivery timers and compaction; call once
+    /// per server tick.
+    pub fn on_tick(&mut self, now: VTime) -> Result<()> {
+        // Fast path: without a TTL nothing expires, and when no retry is
+        // due there is nothing to redeliver or compact — skip the
+        // per-subscriber walk (the tick fires continuously and the walk
+        // touches every queue, which hurts at 10k subscribers).
+        if self.cfg.ttl.is_none() && self.next_retry_deadline().is_none_or(|t| t > now) {
+            return Ok(());
+        }
+        let subs: Vec<AgentId> = self.subs.keys().copied().collect();
+        let tick = now.as_micros();
+        for sub in subs {
+            // TTL-expired head-of-queue entries are acked away so they can
+            // never wedge the dispatch window of a reconnecting
+            // subscriber.
+            let (expired_upto, retry_due) = {
+                let Some(st) = self.subs.get_mut(&sub) else {
+                    continue;
+                };
+                (
+                    st.queue.expired_prefix(tick),
+                    st.next_retry.is_some_and(|t| t <= now),
+                )
+            };
+            if expired_upto > 0 {
+                let Some(st) = self.subs.get_mut(&sub) else {
+                    continue;
+                };
+                let dropped = st.queue.ack_up_to(expired_upto)?;
+                self.depth_cache = self.depth_cache.saturating_sub(dropped);
+                st.dispatched_upto = st.dispatched_upto.max(st.queue.acked());
+                if let Some(m) = &self.metrics {
+                    m.expired.add(dropped);
+                }
+            }
+            if retry_due {
+                let Some(st) = self.subs.get_mut(&sub) else {
+                    continue;
+                };
+                st.attempt = st.attempt.saturating_add(1);
+                let redelivered = st.dispatched_upto.saturating_sub(st.queue.acked());
+                if let Some(m) = &self.metrics {
+                    m.redeliveries.add(redelivered);
+                }
+                st.dispatched_upto = st.queue.acked();
+                st.next_retry = None;
+                self.pump(sub, now);
+            }
+            self.maybe_compact(sub, now)?;
+        }
+        self.update_depth_gauge();
+        Ok(())
+    }
+
+    /// Compacts `sub`'s queue once enough acked records have accumulated
+    /// since the last pass.
+    fn maybe_compact(&mut self, sub: AgentId, now: VTime) -> Result<()> {
+        let threshold = self.cfg.segment_max_records as u64;
+        let Some(st) = self.subs.get_mut(&sub) else {
+            return Ok(());
+        };
+        if st.queue.acked().saturating_sub(st.compacted_at) < threshold {
+            return Ok(());
+        }
+        let report = st.queue.compact(now.as_micros())?;
+        st.compacted_at = st.queue.acked();
+        if let Some(m) = &self.metrics {
+            m.compactions.add(1);
+            m.compaction_reclaimed.add(report.bytes_reclaimed);
+        }
+        Ok(())
+    }
+
+    /// Dispatches pending entries of `sub` into the outbox, up to the
+    /// redelivery window, and arms the retry timer.
+    fn pump(&mut self, sub: AgentId, now: VTime) {
+        let RelayCore {
+            me,
+            cfg,
+            subs,
+            outbox,
+            ..
+        } = self;
+        let Some(st) = subs.get_mut(&sub) else { return };
+        if !st.connected && !st.remote_handoff {
+            st.next_retry = None;
+            return;
+        }
+        let tick = now.as_micros();
+        let acked = st.queue.acked();
+        st.dispatched_upto = st.dispatched_upto.max(acked);
+        let mut batch: Vec<(u64, Vec<u8>, Vec<u8>)> = Vec::new();
+        for e in st.queue.pending(tick) {
+            if e.seq <= st.dispatched_upto {
+                continue;
+            }
+            if e.seq.saturating_sub(acked) > cfg.window {
+                break;
+            }
+            batch.push((e.seq, e.stamp.clone(), e.payload.clone()));
+        }
+        for (seq, stamp, payload) in batch {
+            st.dispatched_upto = seq;
+            if st.remote_handoff {
+                let mut e = Encoder::new();
+                e.agent_id(sub);
+                e.u64(seq);
+                e.bytes(&stamp);
+                e.bytes(&payload);
+                outbox.push_back((
+                    relay_agent(sub.server()),
+                    Notification::new(RELAY_HANDOFF, e.finish()),
+                    DeliveryPolicy::Causal,
+                ));
+            } else {
+                let mut e = Encoder::new();
+                e.u64(seq);
+                e.bytes(&stamp);
+                e.bytes(&payload);
+                outbox.push_back((
+                    sub,
+                    Notification::new(RELAY_DELIVER, e.finish()),
+                    DeliveryPolicy::Causal,
+                ));
+            }
+        }
+        if st.dispatched_upto > st.queue.acked() {
+            if st.next_retry.is_none() {
+                let peer = if st.remote_handoff { sub.server() } else { *me };
+                let backoff =
+                    VDuration::from_millis(retry_backoff_ms(*me, peer, st.attempt.max(1)));
+                st.next_retry = Some(now + cfg.retry_rto + backoff);
+            }
+        } else {
+            st.next_retry = None;
+        }
+    }
+
+    /// Pops the next outgoing relay notification, if any.
+    pub fn pop_outbox(&mut self) -> Option<(AgentId, Notification, DeliveryPolicy)> {
+        self.outbox.pop_front()
+    }
+
+    /// `true` when no outgoing relay notification is queued.
+    pub fn outbox_is_empty(&self) -> bool {
+        self.outbox.is_empty()
+    }
+
+    /// `true` when nothing is queued for a reachable subscriber and the
+    /// outbox is drained (cold backlogs do not block idleness).
+    pub fn is_idle(&self) -> bool {
+        self.outbox.is_empty()
+            && self
+                .subs
+                .values()
+                .all(|st| (!st.connected && !st.remote_handoff) || st.queue.depth() == 0)
+    }
+
+    /// The earliest pending retry deadline, if any.
+    pub fn next_retry_deadline(&self) -> Option<VTime> {
+        self.subs.values().filter_map(|st| st.next_retry).min()
+    }
+
+    /// Serializes the registry (topics, subscriber flags, handoff
+    /// watermarks). Queue *contents* are not here — they live in the
+    /// durable segments (or are accepted as lost for in-memory queues).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.count(self.topics.len());
+        for (topic, members) in &self.topics {
+            e.agent_id(*topic);
+            e.count(members.len());
+            for m in members {
+                e.agent_id(*m);
+            }
+        }
+        e.count(self.subs.len());
+        for (sub, st) in &self.subs {
+            e.agent_id(*sub);
+            e.u8(u8::from(st.connected));
+        }
+        e.count(self.handoff_rx.len());
+        let mut watermarks: Vec<(&(ServerId, AgentId), &u64)> = self.handoff_rx.iter().collect();
+        watermarks.sort();
+        for ((origin, sub), upto) in watermarks {
+            e.server_id(*origin);
+            e.agent_id(*sub);
+            e.u64(*upto);
+        }
+        e.finish().to_vec()
+    }
+
+    /// Rebuilds the registry from [`RelayCore::snapshot`], reopening each
+    /// subscriber's durable queue. Dispatch watermarks reset to the acked
+    /// position: recovery redelivers the uncommitted window and the
+    /// receiver's dedup restores exactly-once.
+    pub fn restore(&mut self, image: &[u8], now: VTime) -> Result<()> {
+        if image.is_empty() {
+            return Ok(());
+        }
+        let mut d = Decoder::new(Bytes::from(image.to_vec()));
+        let topics = d.u32()?;
+        for _ in 0..topics {
+            let topic = d.agent_id()?;
+            let members = d.u32()?;
+            for _ in 0..members {
+                let sub = d.agent_id()?;
+                self.topics.entry(topic).or_default().insert(sub);
+            }
+        }
+        let subs = d.u32()?;
+        for _ in 0..subs {
+            let sub = d.agent_id()?;
+            let connected = d.u8()? != 0;
+            self.ensure_sub(sub)?;
+            // `ensure_sub` opened the durable queue; recovery redispatches
+            // from the committed watermark for everyone reachable.
+            self.set_connected(sub, connected, now)?;
+        }
+        let watermarks = d.u32()?;
+        for _ in 0..watermarks {
+            let origin = d.server_id()?;
+            let sub = d.agent_id()?;
+            let upto = d.u64()?;
+            self.handoff_rx.insert((origin, sub), upto);
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a journaled relay payload back into `(topic, kind, body)`.
+pub(crate) fn decode_payload(payload: &Bytes) -> Result<(AgentId, String, Bytes)> {
+    let mut d = Decoder::new(payload.clone());
+    let topic = d.agent_id()?;
+    let kind = d.string()?;
+    let body = d.bytes()?;
+    Ok((topic, kind, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(s: u16, l: u32) -> AgentId {
+        AgentId::new(ServerId::new(s), l)
+    }
+
+    fn local_cfg() -> RelayConfig {
+        RelayConfig::default()
+            .window(4)
+            .retry_rto(VDuration::from_millis(10))
+    }
+
+    fn drain(r: &mut RelayCore) -> Vec<(AgentId, String)> {
+        let mut out = Vec::new();
+        while let Some((to, note, _)) = r.pop_outbox() {
+            out.push((to, note.kind().to_owned()));
+        }
+        out
+    }
+
+    #[test]
+    fn publish_journals_then_dispatches_in_order() {
+        let mut r = RelayCore::new(ServerId::new(0), local_cfg());
+        let topic = aid(0, 1);
+        let sub = aid(0, 2);
+        r.on_subscribe(topic, sub, VTime::ZERO).unwrap();
+        for i in 0..3u8 {
+            r.on_publish(topic, "ev", &Bytes::from(vec![i]), vec![], VTime::ZERO)
+                .unwrap();
+        }
+        let out = drain(&mut r);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|(to, k)| *to == sub && k == RELAY_DELIVER));
+        assert_eq!(r.backlog(), 3, "journaled until acked");
+        r.on_ack(sub, 3, VTime::ZERO).unwrap();
+        assert_eq!(r.backlog(), 0);
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn window_bounds_inflight_and_acks_refill() {
+        let mut r = RelayCore::new(ServerId::new(0), local_cfg());
+        let topic = aid(0, 1);
+        let sub = aid(0, 2);
+        r.on_subscribe(topic, sub, VTime::ZERO).unwrap();
+        for i in 0..10u8 {
+            r.on_publish(topic, "ev", &Bytes::from(vec![i]), vec![], VTime::ZERO)
+                .unwrap();
+        }
+        assert_eq!(drain(&mut r).len(), 4, "window caps in-flight");
+        r.on_ack(sub, 4, VTime::ZERO).unwrap();
+        assert_eq!(drain(&mut r).len(), 4, "acks open the window");
+    }
+
+    #[test]
+    fn cold_subscriber_accumulates_then_drains_on_connect() {
+        let mut r = RelayCore::new(ServerId::new(0), local_cfg());
+        let topic = aid(0, 1);
+        let sub = aid(0, 2);
+        r.on_subscribe(topic, sub, VTime::ZERO).unwrap();
+        r.set_connected(sub, false, VTime::ZERO).unwrap();
+        r.on_publish(topic, "ev", &Bytes::from_static(b"x"), vec![], VTime::ZERO)
+            .unwrap();
+        assert!(drain(&mut r).is_empty(), "cold: journal only");
+        assert!(r.is_idle(), "cold backlog does not block idleness");
+        r.set_connected(sub, true, VTime::ZERO).unwrap();
+        assert_eq!(drain(&mut r).len(), 1);
+    }
+
+    #[test]
+    fn depth_cache_tracks_backlog_through_every_mutation() {
+        let mut r = RelayCore::new(
+            ServerId::new(0),
+            local_cfg().ttl(Some(VDuration::from_millis(1))),
+        );
+        let topic = aid(0, 1);
+        let sub = aid(0, 2);
+        r.on_subscribe(topic, sub, VTime::ZERO).unwrap();
+        for i in 0..5u8 {
+            r.on_publish(topic, "ev", &Bytes::from(vec![i]), vec![], VTime::ZERO)
+                .unwrap();
+            assert_eq!(r.depth_cache as usize, r.backlog());
+        }
+        r.on_ack(sub, 2, VTime::ZERO).unwrap();
+        assert_eq!(r.depth_cache as usize, r.backlog());
+        // TTL-expire the rest on a late tick.
+        r.on_tick(VTime::ZERO + VDuration::from_millis(10)).unwrap();
+        assert_eq!(r.depth_cache as usize, r.backlog());
+        assert_eq!(r.backlog(), 0);
+    }
+
+    #[test]
+    fn backpressure_drops_for_the_full_subscriber_only() {
+        let mut r = RelayCore::new(ServerId::new(0), local_cfg().max_depth(2));
+        let topic = aid(0, 1);
+        let (cold, warm) = (aid(0, 2), aid(0, 3));
+        r.on_subscribe(topic, cold, VTime::ZERO).unwrap();
+        r.on_subscribe(topic, warm, VTime::ZERO).unwrap();
+        r.set_connected(cold, false, VTime::ZERO).unwrap();
+        for i in 0..3u8 {
+            r.on_publish(topic, "ev", &Bytes::from(vec![i]), vec![], VTime::ZERO)
+                .unwrap();
+        }
+        // cold is capped at 2; warm got all 3.
+        let warm_out = drain(&mut r).iter().filter(|(to, _)| *to == warm).count();
+        assert_eq!(warm_out, 3);
+        assert_eq!(r.backlog(), 2 + 3);
+    }
+
+    #[test]
+    fn retry_redelivers_the_unacked_window() {
+        let mut r = RelayCore::new(ServerId::new(0), local_cfg());
+        let topic = aid(0, 1);
+        let sub = aid(0, 2);
+        r.on_subscribe(topic, sub, VTime::ZERO).unwrap();
+        r.on_publish(topic, "ev", &Bytes::from_static(b"x"), vec![], VTime::ZERO)
+            .unwrap();
+        assert_eq!(drain(&mut r).len(), 1);
+        let deadline = r.next_retry_deadline().expect("retry armed");
+        r.on_tick(deadline).unwrap();
+        assert_eq!(drain(&mut r).len(), 1, "redelivered after the rto");
+        assert!(r.next_retry_deadline().unwrap() > deadline, "backoff grows");
+        r.on_ack(sub, 1, deadline).unwrap();
+        assert!(r.next_retry_deadline().is_none(), "ack disarms the timer");
+    }
+
+    #[test]
+    fn ttl_expired_head_is_acked_away() {
+        let mut r = RelayCore::new(
+            ServerId::new(0),
+            local_cfg().ttl(Some(VDuration::from_micros(5))),
+        );
+        let topic = aid(0, 1);
+        let sub = aid(0, 2);
+        r.on_subscribe(topic, sub, VTime::ZERO).unwrap();
+        r.set_connected(sub, false, VTime::ZERO).unwrap();
+        r.on_publish(topic, "ev", &Bytes::from_static(b"x"), vec![], VTime::ZERO)
+            .unwrap();
+        r.on_tick(VTime::from_micros(10)).unwrap();
+        assert_eq!(r.backlog(), 0, "expired prefix reclaimed");
+        r.set_connected(sub, true, VTime::from_micros(10)).unwrap();
+        assert!(drain(&mut r).is_empty(), "nothing stale redelivered");
+    }
+
+    #[test]
+    fn remote_subscriber_rides_handoff_to_home_relay() {
+        let mut origin = RelayCore::new(ServerId::new(0), local_cfg());
+        let mut home = RelayCore::new(ServerId::new(1), local_cfg());
+        let topic = aid(0, 1);
+        let sub = aid(1, 2);
+        origin.on_subscribe(topic, sub, VTime::ZERO).unwrap();
+        origin
+            .on_publish(topic, "ev", &Bytes::from_static(b"x"), vec![7], VTime::ZERO)
+            .unwrap();
+        let (to, note, policy) = origin.pop_outbox().expect("handoff dispatched");
+        assert_eq!(to, relay_agent(ServerId::new(1)));
+        assert_eq!(note.kind(), RELAY_HANDOFF);
+        assert_eq!(policy, DeliveryPolicy::Causal);
+        home.on_handoff(ServerId::new(0), note.body(), VTime::ZERO)
+            .unwrap();
+        // Home relay delivers locally and acks the origin.
+        let out: Vec<_> = std::iter::from_fn(|| home.pop_outbox()).collect();
+        assert_eq!(out.len(), 2);
+        let ack = out.iter().find(|(_, n, _)| n.kind() == RELAY_ACK).unwrap();
+        assert_eq!(ack.0, relay_agent(ServerId::new(0)));
+        let deliver = out
+            .iter()
+            .find(|(_, n, _)| n.kind() == RELAY_DELIVER)
+            .unwrap();
+        assert_eq!(deliver.0, sub);
+        // The journaled stamp survived the hop.
+        let mut d = Decoder::new(deliver.1.body().clone());
+        let _seq = d.u64().unwrap();
+        assert_eq!(d.bytes().unwrap().as_ref(), &[7]);
+        // Origin commits on the ack.
+        let ack_body = RelayAck::decode(ack.1.body().clone()).unwrap();
+        assert_eq!(
+            ack_body,
+            RelayAck {
+                subscriber: sub,
+                upto: 1
+            }
+        );
+        origin.on_ack(sub, ack_body.upto, VTime::ZERO).unwrap();
+        assert_eq!(origin.backlog(), 0);
+    }
+
+    #[test]
+    fn duplicate_handoff_is_suppressed_but_reacked() {
+        let mut home = RelayCore::new(ServerId::new(1), local_cfg());
+        let sub = aid(1, 2);
+        let mut e = Encoder::new();
+        e.agent_id(sub);
+        e.u64(1);
+        e.bytes(&[]);
+        let mut p = Encoder::new();
+        p.agent_id(aid(0, 1));
+        p.string("ev");
+        p.bytes(b"x");
+        e.bytes(&p.finish());
+        let body = e.finish();
+        home.on_handoff(ServerId::new(0), &body, VTime::ZERO)
+            .unwrap();
+        home.on_handoff(ServerId::new(0), &body, VTime::ZERO)
+            .unwrap();
+        let out: Vec<_> = std::iter::from_fn(|| home.pop_outbox()).collect();
+        let delivers = out
+            .iter()
+            .filter(|(_, n, _)| n.kind() == RELAY_DELIVER)
+            .count();
+        let acks = out.iter().filter(|(_, n, _)| n.kind() == RELAY_ACK).count();
+        assert_eq!(delivers, 1, "(origin, seq) dedup");
+        assert_eq!(acks, 2, "every handoff is acked, duplicates included");
+    }
+
+    #[test]
+    fn foreign_handoff_is_dropped_not_forwarded() {
+        let mut relay = RelayCore::new(ServerId::new(1), local_cfg());
+        let mut e = Encoder::new();
+        e.agent_id(aid(5, 2)); // not hosted on server 1
+        e.u64(1);
+        e.bytes(&[]);
+        e.bytes(&[]);
+        relay
+            .on_handoff(ServerId::new(0), &e.finish(), VTime::ZERO)
+            .unwrap();
+        assert!(
+            relay.pop_outbox().is_none(),
+            "loop prevention: terminal drop"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_reopens_durable_queues() {
+        let dir = std::env::temp_dir().join(format!(
+            "aaa-relay-restore-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = local_cfg().dir(&dir);
+        let topic = aid(0, 1);
+        let sub = aid(0, 2);
+        let image = {
+            let mut r = RelayCore::new(ServerId::new(0), cfg.clone());
+            r.on_subscribe(topic, sub, VTime::ZERO).unwrap();
+            for i in 0..3u8 {
+                r.on_publish(topic, "ev", &Bytes::from(vec![i]), vec![], VTime::ZERO)
+                    .unwrap();
+            }
+            drain(&mut r);
+            r.on_ack(sub, 1, VTime::ZERO).unwrap();
+            r.snapshot()
+        }; // crash: in-flight 2 and 3 never acked
+        let mut r = RelayCore::new(ServerId::new(0), cfg);
+        r.restore(&image, VTime::ZERO).unwrap();
+        let out = drain(&mut r);
+        assert_eq!(out.len(), 2, "uncommitted window redelivered");
+        assert_eq!(r.backlog(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let mut e = Encoder::new();
+        e.agent_id(aid(3, 9));
+        e.string("price");
+        e.bytes(b"42");
+        let (topic, kind, body) = decode_payload(&e.finish()).unwrap();
+        assert_eq!(topic, aid(3, 9));
+        assert_eq!(kind, "price");
+        assert_eq!(body.as_ref(), b"42");
+    }
+}

@@ -24,6 +24,7 @@ use aaa_trace::TraceRecorder;
 
 use super::{respond, Command, Transport};
 use crate::agent::Agent;
+use crate::relay::RelayConfig;
 use crate::server::{ServerConfig, ServerCore, StepStats, Transmission};
 
 /// While a peer is [`PeerState::Down`], at most one transmission run per
@@ -41,6 +42,9 @@ pub(crate) struct ServerDriver {
     recorder: Option<TraceRecorder>,
     in_flight: Arc<AtomicI64>,
     obs: Option<(Meter, LatencyTracker)>,
+    /// Store-and-forward relay configuration; enabled on every fresh or
+    /// recovered core when present.
+    relay: Option<RelayConfig>,
     core: Option<ServerCore>,
     cumulative: StepStats,
     last_probe: HashMap<ServerId, Instant>,
@@ -61,6 +65,7 @@ impl ServerDriver {
         recorder: Option<TraceRecorder>,
         in_flight: Arc<AtomicI64>,
         obs: Option<(Meter, LatencyTracker)>,
+        relay: Option<RelayConfig>,
     ) -> Result<ServerDriver> {
         let mut driver = ServerDriver {
             topology,
@@ -70,6 +75,7 @@ impl ServerDriver {
             recorder,
             in_flight,
             obs,
+            relay,
             core: None,
             cumulative: StepStats::default(),
             last_probe: HashMap::new(),
@@ -95,6 +101,11 @@ impl ServerDriver {
         }
         core.set_in_flight(self.in_flight.clone());
         self.attach_obs(&mut core);
+        if let Some(cfg) = &self.relay {
+            // A fresh core has no recovered registry, so enabling the
+            // relay produces no transmissions to forward.
+            core.enable_relay(cfg.clone(), VTime::ZERO)?;
+        }
         Ok(core)
     }
 
@@ -212,14 +223,36 @@ impl ServerDriver {
                     agents,
                     now,
                 )
-                .map(|mut c| {
+                .and_then(|mut c| {
                     if let Some(rec) = &self.recorder {
                         c.set_recorder(rec.clone());
                     }
                     c.set_in_flight(self.in_flight.clone());
                     self.attach_obs(&mut c);
+                    // Re-enabling the relay reopens the durable queues
+                    // named by the recovered registry and redelivers the
+                    // uncommitted window.
+                    let ts = match &self.relay {
+                        Some(cfg) => c.enable_relay(cfg.clone(), now)?,
+                        None => Vec::new(),
+                    };
                     self.core = Some(c);
-                });
+                    Ok(ts)
+                })
+                .map(|ts| self.transmit(endpoint, ts));
+                respond(&reply, result);
+            }
+            Command::RelayConnect {
+                subscriber,
+                connected,
+                reply,
+            } => {
+                let result = match self.core.as_mut() {
+                    Some(core) => core.relay_set_connected(subscriber, connected, now),
+                    None => Err(Error::Closed("crashed server")),
+                };
+                let result = result.map(|ts| self.transmit(endpoint, ts));
+                self.take_stats();
                 respond(&reply, result);
             }
             Command::Probe { reply } => {

@@ -104,6 +104,11 @@ pub(crate) enum Command {
     Probe {
         reply: Sender<bool>,
     },
+    RelayConnect {
+        subscriber: AgentId,
+        connected: bool,
+        reply: Sender<Result<()>>,
+    },
     Stats {
         reply: Sender<StepStats>,
     },
@@ -133,6 +138,7 @@ pub(crate) struct Boot {
     in_flight: Arc<AtomicI64>,
     registry: Option<Registry>,
     latency: Option<LatencyTracker>,
+    relay: Option<crate::relay::RelayConfig>,
     pub(crate) start: Instant,
 }
 
@@ -162,6 +168,7 @@ impl Boot {
             self.record_trace.then(|| self.recorder.clone()),
             self.in_flight.clone(),
             obs,
+            self.relay.clone(),
         )
     }
 }
@@ -196,6 +203,7 @@ pub struct MomBuilder {
     transports: Option<Vec<Box<dyn Transport>>>,
     stores: Option<Vec<Arc<dyn StableStore>>>,
     registry: Option<Registry>,
+    relay: Option<crate::relay::RelayConfig>,
 }
 
 impl MomBuilder {
@@ -211,6 +219,7 @@ impl MomBuilder {
             transports: None,
             stores: None,
             registry: None,
+            relay: None,
         }
     }
 
@@ -266,6 +275,18 @@ impl MomBuilder {
         self
     }
 
+    /// Enables the store-and-forward relay on **every** server with the
+    /// given configuration (DESIGN.md §17): topics built with
+    /// [`crate::pubsub::TopicAgent::with_relay`] get durable
+    /// per-subscriber queues, at-least-once redelivery and cross-server
+    /// handoff; [`Mom::relay_connect`] / [`Mom::relay_disconnect`] drive
+    /// subscriber reachability.
+    #[must_use]
+    pub fn relay(mut self, relay: crate::relay::RelayConfig) -> Self {
+        self.relay = Some(relay);
+        self
+    }
+
     /// Validates the topology, boots the runtime and returns the bus
     /// handle.
     ///
@@ -309,6 +330,7 @@ impl MomBuilder {
             in_flight: Arc::new(AtomicI64::new(0)),
             latency: registry.as_ref().map(|_| LatencyTracker::new()),
             registry,
+            relay: self.relay,
             start: Instant::now(),
         };
 
@@ -617,6 +639,42 @@ impl Mom {
     pub fn recover(&self, server: ServerId, agents: Vec<(u32, Box<dyn Agent>)>) -> Result<()> {
         let (reply, rx) = bounded(1);
         self.cmd(server, Command::Recover { agents, reply })?;
+        rx.recv().map_err(|_| Error::Closed("server"))?
+    }
+
+    /// Marks `subscriber` reachable on its home server's relay: the
+    /// accumulated backlog redelivers in causal order until acknowledged.
+    /// Requires the bus to have been built with [`MomBuilder::relay`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownServer`] / [`Error::Closed`] (including
+    /// when no relay is enabled on the bus).
+    pub fn relay_connect(&self, subscriber: AgentId) -> Result<()> {
+        self.relay_set_connected(subscriber, true)
+    }
+
+    /// Marks `subscriber` unreachable on its home server's relay:
+    /// publications accumulate in its durable queue (bounded by
+    /// `max_depth` and the TTL) instead of being dispatched.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mom::relay_connect`].
+    pub fn relay_disconnect(&self, subscriber: AgentId) -> Result<()> {
+        self.relay_set_connected(subscriber, false)
+    }
+
+    fn relay_set_connected(&self, subscriber: AgentId, connected: bool) -> Result<()> {
+        let (reply, rx) = bounded(1);
+        self.cmd(
+            subscriber.server(),
+            Command::RelayConnect {
+                subscriber,
+                connected,
+                reply,
+            },
+        )?;
         rx.recv().map_err(|_| Error::Closed("server"))?
     }
 

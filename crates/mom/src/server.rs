@@ -18,7 +18,8 @@ use std::sync::Arc;
 use aaa_base::{Absorb, AgentId, Error, MessageId, Result, ServerId, VDuration, VTime};
 use aaa_clocks::StampMode;
 use aaa_net::link::{Datagram, LinkFrame};
-use aaa_net::{BatchPolicy, LinkReceiver, LinkSender, WireMessage};
+use aaa_net::wire::{Decoder, Encoder};
+use aaa_net::{BatchPolicy, LinkReceiver, LinkSender, RelayAck, WireMessage};
 use aaa_obs::{LatencyTracker, Meter};
 use aaa_storage::StableStore;
 use aaa_topology::Topology;
@@ -28,9 +29,10 @@ use bytes::Bytes;
 use crate::agent::Agent;
 use crate::channel::{ChannelCore, Submit};
 use crate::engine::EngineCore;
-use crate::message::{DeliveryPolicy, Notification, SendOptions};
-use crate::metrics::ServerMetrics;
+use crate::message::{AgentMessage, DeliveryPolicy, Notification, SendOptions};
+use crate::metrics::{RelayMetrics, ServerMetrics};
 use crate::persist::{LinkRxImage, LinkTxImage, ServerImage};
+use crate::relay::{self, relay_agent, RelayConfig, RelayCore, RELAY_LOCAL};
 
 /// Storage key of the transactional server image.
 const IMAGE_KEY: &str = "server-image";
@@ -126,6 +128,25 @@ pub struct ServerCore {
     reactions_snapshot: u64,
     metrics: Option<ServerMetrics>,
     latency: Option<LatencyTracker>,
+    /// The store-and-forward relay, when enabled (DESIGN.md §17).
+    relay: Option<RelayCore>,
+    /// Receiver-side exactly-once dedup: highest relay sequence accepted
+    /// per `(subscriber, relay server)`. Lives on every server (a
+    /// subscriber's server need not run a relay of its own).
+    deliver_rx: HashMap<(AgentId, ServerId), u64>,
+    /// Wire causal stamps of in-flight publications, keyed by message id:
+    /// captured at ingestion (before the channel consumes the stamp) and
+    /// handed to the relay so the stamp is journaled with the payload.
+    publish_stamps: HashMap<MessageId, Vec<u8>>,
+    /// Acks and other sends queued by the local delivery path, drained by
+    /// [`ServerCore::run_reactions`]: `(from, to, note, policy)`.
+    pending_sends: std::collections::VecDeque<(AgentId, AgentId, Notification, DeliveryPolicy)>,
+    /// Meter stash so a relay enabled after [`ServerCore::attach_meter`]
+    /// still gets instruments.
+    meter: Option<Meter>,
+    /// Relay registry blob recovered from the image, consumed by
+    /// [`ServerCore::enable_relay`].
+    relay_image: Vec<u8>,
 }
 
 impl std::fmt::Debug for ServerCore {
@@ -164,6 +185,12 @@ impl ServerCore {
             reactions_snapshot: 0,
             metrics: None,
             latency: None,
+            relay: None,
+            deliver_rx: HashMap::new(),
+            publish_stamps: HashMap::new(),
+            pending_sends: std::collections::VecDeque::new(),
+            meter: None,
+            relay_image: Vec::new(),
         })
     }
 
@@ -175,6 +202,62 @@ impl ServerCore {
         self.channel.attach_meter(meter);
         self.engine.attach_meter(meter);
         self.metrics = Some(ServerMetrics::new(meter));
+        if let Some(relay) = &mut self.relay {
+            relay.attach_metrics(RelayMetrics::new(meter));
+        }
+        self.meter = Some(meter.clone());
+    }
+
+    /// Enables the store-and-forward relay on this server, restoring any
+    /// registry recovered with the transactional image (reopening durable
+    /// subscriber queues) and redelivering the uncommitted window. Returns
+    /// the datagrams that redelivery produced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::Storage`] from queue recovery.
+    pub fn enable_relay(&mut self, cfg: RelayConfig, now: VTime) -> Result<Vec<Transmission>> {
+        let mut relay = RelayCore::new(self.me, cfg);
+        if let Some(meter) = &self.meter {
+            relay.attach_metrics(RelayMetrics::new(meter));
+        }
+        let image = std::mem::take(&mut self.relay_image);
+        relay.restore(&image, now)?;
+        self.relay = Some(relay);
+        self.relay_step(now)
+    }
+
+    /// Marks a relayed subscriber connected (its backlog redelivers) or
+    /// disconnected (its backlog accumulates, bounded by depth and TTL).
+    /// Returns the datagrams produced by the resulting redelivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Closed`] when no relay is enabled here and
+    /// propagates storage errors from the subscriber's queue.
+    pub fn relay_set_connected(
+        &mut self,
+        sub: AgentId,
+        connected: bool,
+        now: VTime,
+    ) -> Result<Vec<Transmission>> {
+        let Some(relay) = &mut self.relay else {
+            return Err(Error::Closed("no relay enabled on this server"));
+        };
+        relay.set_connected(sub, connected, now)?;
+        self.relay_step(now)
+    }
+
+    /// Runs a full step (reactions, flush, commit) when the relay has
+    /// outbox work; a cheap no-op otherwise.
+    fn relay_step(&mut self, now: VTime) -> Result<Vec<Transmission>> {
+        if self.relay.as_ref().is_none_or(RelayCore::outbox_is_empty) {
+            return Ok(Vec::new());
+        }
+        self.run_reactions(now)?;
+        let out = self.flush(now, false)?;
+        self.commit()?;
+        Ok(out)
     }
 
     /// Attaches a shared send→deliver latency tracker feeding the
@@ -324,7 +407,7 @@ impl ServerCore {
                     self.record_send(self.me, id, now);
                     self.record_delivery(id, false, now);
                 }
-                self.engine.enqueue(msg);
+                self.deliver_local(msg, now)?;
                 id
             }
             Submit::Queued(id) => {
@@ -373,7 +456,7 @@ impl ServerCore {
                         self.record_send(self.me, id, now);
                         self.record_delivery(id, false, now);
                     }
-                    self.engine.enqueue(msg);
+                    self.deliver_local(msg, now)?;
                     ids.push(id);
                 }
                 Submit::Queued(id) => {
@@ -460,6 +543,19 @@ impl ServerCore {
             for payload in delivered {
                 let msg = WireMessage::decode(payload)?;
                 let unordered = msg.stamp.is_none() && msg.dest_server == self.me;
+                // Publications bound for a relay journal their causal
+                // stamp with the payload; the channel consumes the wire
+                // stamp below, so capture it here, keyed by message id.
+                if self.relay.is_some()
+                    && msg.dest_server == self.me
+                    && (msg.kind == crate::pubsub::PUBLISH || msg.kind == relay::RELAY_PUBLISH)
+                {
+                    if let Some(stamp) = &msg.stamp {
+                        let mut e = Encoder::new();
+                        e.stamp(stamp);
+                        self.publish_stamps.insert(msg.id, e.finish().to_vec());
+                    }
+                }
                 let local = self.channel.on_message_at(from, msg, now)?;
                 for m in local {
                     if unordered {
@@ -471,7 +567,7 @@ impl ServerCore {
                     } else {
                         self.record_delivery(m.id, m.from.server() != self.me, now);
                     }
-                    self.engine.enqueue(m);
+                    self.deliver_local(m, now)?;
                 }
             }
             if let Some(cum_seq) = ack {
@@ -524,6 +620,25 @@ impl ServerCore {
         for (peer, frames) in flushed {
             self.push_batch(&mut out, peer, frames);
         }
+        if let Some(relay) = &mut self.relay {
+            let ticked = relay.on_tick(now);
+            debug_assert!(ticked.is_ok(), "relay tick failed: {ticked:?}");
+            // A storage error here (release builds) leaves the affected
+            // queue to the next retry timer rather than poisoning the
+            // whole tick. audit:allow(error-swallow)
+            let _ = ticked;
+            if !relay.outbox_is_empty() {
+                let stepped = self
+                    .run_reactions(now)
+                    .and_then(|()| self.flush(now, false))
+                    .and_then(|tx| self.commit().map(|()| tx));
+                debug_assert!(stepped.is_ok(), "relay retry step failed: {stepped:?}");
+                // Same containment as above. audit:allow(error-swallow)
+                if let Ok(tx) = stepped {
+                    out.extend(tx);
+                }
+            }
+        }
         out
     }
 
@@ -560,12 +675,12 @@ impl ServerCore {
         self.commit()
     }
 
-    /// The earliest retransmission deadline across all links, if any.
+    /// The earliest retransmission deadline across links and relay retry
+    /// timers, if any.
     pub fn next_deadline(&self) -> Option<VTime> {
-        self.links_tx
-            .values()
-            .filter_map(|tx| tx.next_deadline())
-            .min()
+        let links = self.links_tx.values().filter_map(|tx| tx.next_deadline());
+        let relay = self.relay.as_ref().and_then(RelayCore::next_retry_deadline);
+        links.chain(relay).min()
     }
 
     /// Returns `true` if the server holds no queued, postponed or unacked
@@ -575,6 +690,8 @@ impl ServerCore {
             && self.channel.postponed_count() == 0
             && self.engine.pending() == 0
             && self.links_tx.values().all(|tx| tx.in_flight() == 0)
+            && self.pending_sends.is_empty()
+            && self.relay.as_ref().is_none_or(RelayCore::is_idle)
     }
 
     /// Messages currently queued, postponed, or unacknowledged on a link —
@@ -600,35 +717,162 @@ impl ServerCore {
         Ok(())
     }
 
-    /// Runs engine reactions until `QueueIN` is empty, submitting every
-    /// emitted notification.
+    /// Runs engine reactions, pending relay-path sends and relay outbox
+    /// dispatches until all three sources are drained.
     fn run_reactions(&mut self, now: VTime) -> Result<()> {
-        while let Some(reaction) = self.engine.step() {
-            for (to, note, policy) in reaction.outgoing {
-                let causal = policy == DeliveryPolicy::Causal;
-                match self
-                    .channel
-                    .submit_with(reaction.msg.to, to, note, policy)?
-                {
-                    Submit::Local(msg) => {
-                        let id = msg.id;
-                        if causal {
-                            self.record_send(self.me, id, now);
-                            self.record_delivery(id, false, now);
-                        }
-                        self.engine.enqueue(msg);
-                    }
-                    Submit::Queued(id) => {
-                        if causal {
-                            self.record_send(to.server(), id, now);
-                        } else if let Some(c) = &self.in_flight {
-                            c.fetch_add(1, Ordering::Relaxed);
-                        }
-                        let _ = id;
-                    }
+        loop {
+            if let Some(reaction) = self.engine.step() {
+                // A topic agent reacting to a relayed publication forwards
+                // the journaled wire stamp to the relay alongside the
+                // payload (consumed here either way, so nothing leaks).
+                let stamp = self.publish_stamps.remove(&reaction.msg.id);
+                for (to, note, policy) in reaction.outgoing {
+                    let hint = if note.kind() == relay::RELAY_PUBLISH {
+                        stamp.clone()
+                    } else {
+                        None
+                    };
+                    self.submit_local_or_queue(reaction.msg.to, to, note, policy, hint, now)?;
+                }
+            } else if let Some((from, to, note, policy)) = self.pending_sends.pop_front() {
+                self.submit_local_or_queue(from, to, note, policy, None, now)?;
+            } else if let Some((to, note, policy)) =
+                self.relay.as_mut().and_then(RelayCore::pop_outbox)
+            {
+                self.submit_local_or_queue(relay_agent(self.me), to, note, policy, None, now)?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Submits one notification into the channel and routes a `Local`
+    /// result back through [`ServerCore::deliver_local`]. `stamp_hint`
+    /// re-keys a journaled publication stamp under the new message id.
+    fn submit_local_or_queue(
+        &mut self,
+        from: AgentId,
+        to: AgentId,
+        note: Notification,
+        policy: DeliveryPolicy,
+        stamp_hint: Option<Vec<u8>>,
+        now: VTime,
+    ) -> Result<()> {
+        let causal = policy == DeliveryPolicy::Causal;
+        match self.channel.submit_with(from, to, note, policy)? {
+            Submit::Local(msg) => {
+                if causal {
+                    self.record_send(self.me, msg.id, now);
+                    self.record_delivery(msg.id, false, now);
+                }
+                if let Some(stamp) = stamp_hint {
+                    self.publish_stamps.insert(msg.id, stamp);
+                }
+                self.deliver_local(msg, now)?;
+            }
+            Submit::Queued(id) => {
+                if causal {
+                    self.record_send(to.server(), id, now);
+                } else if let Some(c) = &self.in_flight {
+                    c.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Routes a locally deliverable message: to the relay pseudo-agent, to
+    /// the relay-delivery receive path, or onto the engine's `QueueIN`.
+    fn deliver_local(&mut self, msg: AgentMessage, now: VTime) -> Result<()> {
+        if msg.to.local() == RELAY_LOCAL {
+            self.deliver_to_relay(msg, now)
+        } else if msg.note.kind() == relay::RELAY_DELIVER {
+            self.deliver_from_relay(msg, now)
+        } else {
+            self.engine.enqueue(msg);
+            Ok(())
+        }
+    }
+
+    /// Handles a message addressed to this server's relay pseudo-agent.
+    fn deliver_to_relay(&mut self, msg: AgentMessage, now: VTime) -> Result<()> {
+        // Pop the journaled stamp first so a relay-less server (dead
+        // letter) does not leak the entry.
+        let stamp = self.publish_stamps.remove(&msg.id);
+        let Some(relay) = &mut self.relay else {
+            return Ok(());
+        };
+        let body = Bytes::from(msg.note.body().to_vec());
+        match msg.note.kind() {
+            relay::RELAY_PUBLISH => {
+                let mut d = Decoder::new(body);
+                let topic = d.agent_id()?;
+                let kind = d.string()?;
+                let inner = d.bytes()?;
+                relay.on_publish(topic, &kind, &inner, stamp.unwrap_or_default(), now)
+            }
+            relay::RELAY_SUBSCRIBE => {
+                let mut d = Decoder::new(body);
+                let topic = d.agent_id()?;
+                let sub = d.agent_id()?;
+                relay.on_subscribe(topic, sub, now)
+            }
+            relay::RELAY_UNSUBSCRIBE => {
+                let mut d = Decoder::new(body);
+                let topic = d.agent_id()?;
+                let sub = d.agent_id()?;
+                relay.on_unsubscribe(topic, sub);
+                Ok(())
+            }
+            relay::RELAY_ACK => {
+                let ack = RelayAck::decode(body)?;
+                relay.on_ack(ack.subscriber, ack.upto, now)
+            }
+            relay::RELAY_HANDOFF => relay.on_handoff(msg.from.server(), &body, now),
+            _ => Ok(()),
+        }
+    }
+
+    /// Handles a relay delivery addressed to a local subscriber: dedups by
+    /// `(subscriber, relay)` watermark, re-validates the journaled causal
+    /// stamp, unwraps the original publication for the engine, and queues
+    /// the cumulative ack back to the relay.
+    fn deliver_from_relay(&mut self, msg: AgentMessage, _now: VTime) -> Result<()> {
+        let mut d = Decoder::new(Bytes::from(msg.note.body().to_vec()));
+        let seq = d.u64()?;
+        let stamp = d.bytes()?;
+        let payload = d.bytes()?;
+        let key = (msg.to, msg.from.server());
+        let last = self.deliver_rx.get(&key).copied().unwrap_or(0);
+        if seq > last {
+            self.deliver_rx.insert(key, seq);
+            // The journaled stamp must still parse (empty = a local
+            // publication that never had a wire stamp). A poisoned entry
+            // is skipped but still acked so the window keeps moving.
+            let stamp_ok = stamp.is_empty() || Decoder::new(stamp.clone()).stamp().is_ok();
+            match relay::decode_payload(&payload) {
+                Ok((topic, kind, inner)) if stamp_ok => {
+                    self.engine.enqueue(AgentMessage {
+                        id: msg.id,
+                        from: topic,
+                        to: msg.to,
+                        note: Notification::new(kind, inner.to_vec()),
+                    });
+                }
+                _ => {}
+            }
+        }
+        let upto = self.deliver_rx.get(&key).copied().unwrap_or(seq.max(last));
+        let ack = RelayAck {
+            subscriber: msg.to,
+            upto,
+        };
+        self.pending_sends.push_back((
+            msg.to,
+            msg.from,
+            Notification::new(relay::RELAY_ACK, ack.encode().to_vec()),
+            DeliveryPolicy::Unordered,
+        ));
         Ok(())
     }
 
@@ -740,7 +984,33 @@ impl ServerCore {
                 })
                 .collect(),
             agents,
+            relay: self.relay_blob(),
         }
+    }
+
+    /// Encodes the relay registry plus the receive-side dedup watermarks
+    /// for the image; empty when neither exists.
+    fn relay_blob(&self) -> Vec<u8> {
+        if self.relay.is_none() && self.deliver_rx.is_empty() {
+            return Vec::new();
+        }
+        let mut rx: Vec<(&(AgentId, ServerId), &u64)> = self.deliver_rx.iter().collect();
+        rx.sort_unstable_by_key(|(k, _)| *k);
+        let mut e = Encoder::new();
+        e.count(rx.len());
+        for (&(sub, srv), &upto) in rx {
+            e.agent_id(sub);
+            e.server_id(srv);
+            e.u64(upto);
+        }
+        e.bytes(
+            &self
+                .relay
+                .as_ref()
+                .map(RelayCore::snapshot)
+                .unwrap_or_default(),
+        );
+        e.finish().to_vec()
     }
 
     /// Rebuilds a server from its persisted image after a crash.
@@ -797,6 +1067,19 @@ impl ServerCore {
         for (local, snapshot) in image.agents {
             core.engine
                 .restore_agent(AgentId::new(me, local), &snapshot);
+        }
+        if !image.relay.is_empty() {
+            let mut d = Decoder::new(Bytes::from(image.relay));
+            let n = d.u32()? as usize;
+            for _ in 0..n {
+                let sub = d.agent_id()?;
+                let srv = d.server_id()?;
+                let upto = d.u64()?;
+                core.deliver_rx.insert((sub, srv), upto);
+            }
+            // The registry itself is replayed by `enable_relay`, which the
+            // runtime calls once it knows the relay configuration.
+            core.relay_image = d.bytes()?.to_vec();
         }
         Ok(core)
     }

@@ -88,6 +88,45 @@ impl WireMessage {
     }
 }
 
+/// A relay acknowledgement: the subscriber-side commit of the
+/// store-and-forward redelivery protocol (DESIGN.md §17).
+///
+/// Travels as the body of an unordered `__relay_ack` notification from the
+/// subscriber's server back to the relay that holds the durable queue. The
+/// ack is *cumulative*: `upto` commits every queued sequence number `<=
+/// upto`, so a lost ack is healed by the next one rather than retransmitted
+/// individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelayAck {
+    /// The subscriber whose durable queue is being committed.
+    pub subscriber: AgentId,
+    /// Highest contiguous relay sequence number received by the subscriber.
+    pub upto: u64,
+}
+
+impl RelayAck {
+    /// Encodes the ack to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = Encoder::new();
+        e.agent_id(self.subscriber);
+        e.u64(self.upto);
+        e.finish()
+    }
+
+    /// Decodes an ack produced by [`RelayAck::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aaa_base::Error::Codec`] on truncation.
+    pub fn decode(buf: Bytes) -> Result<RelayAck> {
+        let mut d = Decoder::new(buf);
+        Ok(RelayAck {
+            subscriber: d.agent_id()?,
+            upto: d.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +191,30 @@ mod tests {
     fn garbage_rejected() {
         assert!(WireMessage::decode(Bytes::from_static(&[42])).is_err());
         assert!(WireMessage::decode(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn relay_ack_roundtrip() {
+        let ack = RelayAck {
+            subscriber: AgentId::new(ServerId::new(7), 123),
+            upto: u64::MAX - 1,
+        };
+        let decoded = RelayAck::decode(ack.encode()).unwrap();
+        assert_eq!(decoded, ack);
+    }
+
+    #[test]
+    fn relay_ack_truncation_rejected() {
+        let full = RelayAck {
+            subscriber: AgentId::new(ServerId::new(1), 2),
+            upto: 3,
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(
+                RelayAck::decode(full.slice(0..cut)).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
     }
 }

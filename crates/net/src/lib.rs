@@ -68,7 +68,7 @@ pub mod transport;
 pub mod wire;
 
 pub use decode::{FrameBuf, RawFrame};
-pub use frame::WireMessage;
+pub use frame::{RelayAck, WireMessage};
 pub use health::{PeerHealth, PeerState};
 pub use link::{BatchPolicy, Datagram, LinkFrame, LinkReceiver, LinkSender};
 pub use memory::{Incoming, MemoryEndpoint, MemoryNetwork};

@@ -16,6 +16,9 @@
 //!   key, atomic replace) implementations;
 //! - [`Log`] — an append-only record log for write-ahead journaling, with
 //!   [`MemoryLog`] and [`FileLog`] implementations;
+//! - [`SegmentQueue`] — a durable, bounded, TTL-retained delivery queue
+//!   (append-only segments plus a crash-safe compaction pass) backing the
+//!   relay's store-and-forward redelivery in `aaa-mom`;
 //! - [`StorageStats`] — byte-exact write/read accounting shared by all
 //!   backends, so experiments can report persistence traffic per message
 //!   (experiment X2 of DESIGN.md).
@@ -35,11 +38,13 @@
 mod file;
 mod log;
 mod memory;
+mod queue;
 mod stats;
 
 pub use file::{DirStore, FileLog};
 pub use log::{Log, MemoryLog};
 pub use memory::MemoryStore;
+pub use queue::{CompactionReport, QueueConfig, QueueEntry, SegmentQueue};
 pub use stats::StorageStats;
 
 use aaa_base::Result;

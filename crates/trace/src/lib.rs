@@ -45,7 +45,9 @@
 
 pub mod chains;
 mod recorder;
+mod subscriber;
 mod trace;
 
 pub use recorder::TraceRecorder;
+pub use subscriber::{SubscriberCheck, SubscriberReport};
 pub use trace::{MessageInfo, Trace, TraceBuilder, Violation};

@@ -1,0 +1,222 @@
+//! Per-subscriber delivery-order checking for the store-and-forward relay.
+//!
+//! The relay promises each subscriber an *exactly-once, in-order* view of
+//! every publication its home relay queued for it, keyed by the relay's
+//! dense 1-based per-subscriber sequence numbers — even across
+//! disconnects, reconnects and relay crashes. [`SubscriberCheck`] is the
+//! test-side oracle for that promise: agents record `(subscriber, origin,
+//! seq)` for every delivery they observe, and the final
+//! [`SubscriberReport`] counts duplicates, reorderings and gaps per
+//! `(subscriber, origin)` stream.
+//!
+//! Because the relay assigns sequence numbers in its (causally ordered)
+//! delivery order, a clean report — zero duplicates, zero reorderings,
+//! zero gaps — certifies per-subscriber causal order: no subscriber ever
+//! observed a publication *m'* before a publication *m* that causally
+//! precedes it on the same stream.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+use aaa_base::{AgentId, ServerId};
+
+/// Aggregate verdict over every `(subscriber, origin)` stream.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberReport {
+    /// Deliveries recorded (every [`SubscriberCheck::record`] call).
+    pub delivered: u64,
+    /// Deliveries of a sequence number already seen on its stream
+    /// (exactly-once violations).
+    pub duplicates: u64,
+    /// First-time deliveries that arrived *after* a higher sequence
+    /// number on the same stream (ordering violations).
+    pub reordered: u64,
+    /// Sequence numbers below a stream's highest that never arrived
+    /// (lost-message symptoms).
+    pub gaps: u64,
+    /// Distinct `(subscriber, origin)` streams observed.
+    pub streams: u64,
+}
+
+impl SubscriberReport {
+    /// `true` when every stream was exactly-once, gap-free and in order.
+    pub fn is_clean(&self) -> bool {
+        self.duplicates == 0 && self.reordered == 0 && self.gaps == 0
+    }
+}
+
+/// One stream's acceptance state: the contiguous prefix `[1, next)` has
+/// been seen exactly once; `ahead` holds early arrivals past a hole. For
+/// a clean run `ahead` stays empty and the state is two integers.
+#[derive(Debug, Default)]
+struct StreamState {
+    /// Lowest sequence number not yet seen (with everything below it
+    /// seen exactly once). Starts at 1.
+    next: u64,
+    /// Highest sequence number seen.
+    max_seen: u64,
+    /// Early arrivals: seqs in `(next, max_seen]` seen before the hole
+    /// below them filled.
+    ahead: HashSet<u64>,
+    delivered: u64,
+    duplicates: u64,
+    reordered: u64,
+}
+
+impl StreamState {
+    fn record(&mut self, seq: u64) {
+        self.delivered += 1;
+        if self.next == 0 {
+            self.next = 1;
+        }
+        if seq < self.next || self.ahead.contains(&seq) {
+            self.duplicates += 1;
+            return;
+        }
+        if seq < self.max_seen {
+            // First sighting, but something newer already arrived.
+            self.reordered += 1;
+        }
+        self.max_seen = self.max_seen.max(seq);
+        if seq == self.next {
+            self.next += 1;
+            while self.ahead.remove(&self.next) {
+                self.next += 1;
+            }
+        } else {
+            self.ahead.insert(seq);
+        }
+    }
+
+    /// Sequence numbers below `max_seen` still missing.
+    fn gaps(&self) -> u64 {
+        if self.max_seen < self.next {
+            return 0;
+        }
+        (self.max_seen - self.next + 1).saturating_sub(self.ahead.len() as u64)
+    }
+}
+
+/// A shared, thread-safe per-subscriber delivery-order oracle.
+///
+/// Clone one into every subscribing agent; each clone shares the same
+/// state. Call [`record`](SubscriberCheck::record) on every delivery and
+/// [`report`](SubscriberCheck::report) once the run has quiesced.
+#[derive(Debug, Clone, Default)]
+pub struct SubscriberCheck {
+    inner: Arc<Mutex<HashMap<(AgentId, ServerId), StreamState>>>,
+}
+
+impl SubscriberCheck {
+    /// Creates an empty check.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `subscriber` observed sequence number `seq` of the
+    /// stream fed by the relay on `origin`. Sequence numbers are the
+    /// relay's dense 1-based per-subscriber counters.
+    pub fn record(&self, subscriber: AgentId, origin: ServerId, seq: u64) {
+        self.inner
+            .lock()
+            .expect("subscriber check poisoned")
+            .entry((subscriber, origin))
+            .or_default()
+            .record(seq);
+    }
+
+    /// Aggregates the verdict. Pure read: recording may continue after.
+    pub fn report(&self) -> SubscriberReport {
+        let map = self.inner.lock().expect("subscriber check poisoned");
+        let mut report = SubscriberReport {
+            streams: map.len() as u64,
+            ..SubscriberReport::default()
+        };
+        for st in map.values() {
+            report.delivered += st.delivered;
+            report.duplicates += st.duplicates;
+            report.reordered += st.reordered;
+            report.gaps += st.gaps();
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub(i: u32) -> AgentId {
+        AgentId::new(ServerId::new(1), i)
+    }
+
+    fn origin() -> ServerId {
+        ServerId::new(0)
+    }
+
+    #[test]
+    fn in_order_streams_are_clean() {
+        let check = SubscriberCheck::new();
+        for s in 0..3 {
+            for seq in 1..=100 {
+                check.record(sub(s), origin(), seq);
+            }
+        }
+        let r = check.report();
+        assert!(r.is_clean(), "{r:?}");
+        assert_eq!(r.delivered, 300);
+        assert_eq!(r.streams, 3);
+    }
+
+    #[test]
+    fn late_arrival_counts_as_reorder_not_gap() {
+        let check = SubscriberCheck::new();
+        check.record(sub(0), origin(), 1);
+        check.record(sub(0), origin(), 3);
+        check.record(sub(0), origin(), 2); // fills the hole, out of order
+        let r = check.report();
+        assert_eq!(r.delivered, 3);
+        assert_eq!(r.reordered, 1);
+        assert_eq!(r.gaps, 0);
+        assert_eq!(r.duplicates, 0);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn unfilled_hole_counts_as_gap() {
+        let check = SubscriberCheck::new();
+        check.record(sub(0), origin(), 1);
+        check.record(sub(0), origin(), 4);
+        let r = check.report();
+        assert_eq!(r.gaps, 2);
+        assert_eq!(r.delivered, 2);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn repeats_count_as_duplicates_wherever_they_land() {
+        let check = SubscriberCheck::new();
+        check.record(sub(0), origin(), 1);
+        check.record(sub(0), origin(), 2);
+        check.record(sub(0), origin(), 2); // dup of the contiguous prefix
+        check.record(sub(0), origin(), 4);
+        check.record(sub(0), origin(), 4); // dup of an early arrival
+        let r = check.report();
+        assert_eq!(r.duplicates, 2);
+        assert_eq!(r.gaps, 1); // seq 3 never arrived
+        assert_eq!(r.reordered, 0);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn streams_are_independent_and_clones_share_state() {
+        let check = SubscriberCheck::new();
+        let clone = check.clone();
+        check.record(sub(0), origin(), 1);
+        clone.record(sub(1), ServerId::new(2), 1);
+        let r = check.report();
+        assert_eq!(r.streams, 2);
+        assert!(r.is_clean());
+        assert_eq!(r.delivered, 2);
+    }
+}

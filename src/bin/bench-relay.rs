@@ -1,0 +1,316 @@
+//! `bench-relay` — store-and-forward relay fan-out: warm versus cold.
+//!
+//! ```text
+//! bench-relay [--short] [publications]
+//! ```
+//!
+//! One relayed topic on server 0 of `single_domain(2)` fans each
+//! publication out to N subscribers on server 1, so every delivery
+//! crosses the wire as a relay-to-relay handoff before the subscriber's
+//! home relay journals it in a per-subscriber queue (DESIGN.md §17).
+//! Three runs:
+//!
+//! | run | queues | subscribers during publish | measured phase |
+//! |---|---|---|---|
+//! | `warm` | memory | connected | publish → drain |
+//! | `cold_memory` | memory | disconnected | reconnect → drain |
+//! | `cold_durable` | on disk | disconnected | reconnect → drain |
+//!
+//! `warm` is the live fan-out path (publish, journal, deliver, ACK, all
+//! interleaved); the cold runs journal the whole backlog first and then
+//! time the redelivery drain after every subscriber reconnects — the
+//! store-and-forward half of the contract, in memory and against the
+//! durable segment queues. Every run asserts exactly-once fan-out
+//! (deliveries == subscribers × publications). Results go to stderr and
+//! `BENCH_relay.json`: fan-out msg/s per run, the warm p99 of the
+//! cross-server (handoff) leg, mean redelivery cost per message, and
+//! the warm/cold ratios.
+//!
+//! `--short` (or `BENCH_SHORT=1`) shrinks the fleet for a CI smoke test:
+//! full pipeline, all three runs, no performance assertions. The full
+//! run asserts each phase clears 1 000 msg/s — a deliberately loose
+//! floor that catches pathological regressions (an accidental O(subs)
+//! walk per ACK, retry storms) without tracking hardware.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aaa_middleware::mom::pubsub::{publication, subscription, TopicAgent};
+use aaa_middleware::mom::{relay_agent, RelayConfig};
+use aaa_middleware::obs::{HistogramSnapshot, SampleValue};
+use aaa_middleware::prelude::*;
+
+/// Outcome of one benchmark run.
+struct RunResult {
+    label: &'static str,
+    subscribers: u32,
+    publications: u64,
+    deliveries: u64,
+    elapsed: Duration,
+    /// p99 send→deliver latency of the cross-server handoff leg; only
+    /// meaningful for the warm run (the cold runs journal the backlog
+    /// before the measured phase, so their histogram reflects the
+    /// scripted outage, not the drain).
+    p99_us: Option<u64>,
+}
+
+impl RunResult {
+    fn msgs_per_sec(&self) -> f64 {
+        self.deliveries as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn us_per_msg(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e6 / self.deliveries as f64
+    }
+}
+
+fn aid(s: u16, l: u32) -> AgentId {
+    AgentId::new(ServerId::new(s), l)
+}
+
+/// Merges every per-server sample of a histogram family and returns the
+/// p99 bucket bound.
+fn merged_p99(snap: &MetricsSnapshot, name: &str) -> u64 {
+    let mut merged: Option<HistogramSnapshot> = None;
+    for family in snap.families.iter().filter(|f| f.name == name) {
+        for sample in &family.samples {
+            let SampleValue::Histogram(h) = &sample.value else {
+                continue;
+            };
+            match &mut merged {
+                None => merged = Some(h.clone()),
+                Some(m) => {
+                    for (into, c) in m.counts.iter_mut().zip(&h.counts) {
+                        *into += c;
+                    }
+                    m.sum += h.sum;
+                    m.count += h.count;
+                }
+            }
+        }
+    }
+    merged.and_then(|m| m.quantile(0.99)).unwrap_or(0)
+}
+
+/// Builds the topology, registers the relayed topic on server 0 plus
+/// `subs` counting subscribers on server 1, and settles the
+/// subscriptions.
+fn setup(subs: u32, relay: RelayConfig) -> Result<(Mom, AgentId, Vec<AgentId>, Arc<AtomicU64>)> {
+    let topic_server = ServerId::new(0);
+    let sub_server = ServerId::new(1);
+    let mom = MomBuilder::new(TopologySpec::single_domain(2))
+        .runtime(RuntimeConfig::threaded().record_trace(false).metrics(true))
+        .relay(relay)
+        .build()?;
+    let topic = mom.register_agent(
+        topic_server,
+        500_000,
+        Box::new(TopicAgent::with_relay(relay_agent(topic_server))),
+    )?;
+    let delivered = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::with_capacity(subs as usize);
+    for i in 1..=subs {
+        let delivered = delivered.clone();
+        handles.push(mom.register_agent(
+            sub_server,
+            i,
+            Box::new(FnAgent::new(move |_ctx, _from, _note| {
+                delivered.fetch_add(1, Ordering::Relaxed);
+            })),
+        )?);
+    }
+    for sub in &handles {
+        mom.send(*sub, topic, subscription())?;
+    }
+    assert!(
+        mom.quiesce(Duration::from_secs(120)),
+        "subscriptions must settle before the measured phase"
+    );
+    Ok((mom, topic, handles, delivered))
+}
+
+/// Publishes `pubs` sequenced publications into the topic.
+fn publish(mom: &Mom, topic: AgentId, pubs: u64) -> Result<()> {
+    for seq in 1..=pubs {
+        mom.send(
+            aid(0, 42),
+            topic,
+            publication("price", seq.to_string().into_bytes()),
+        )?;
+    }
+    Ok(())
+}
+
+/// Warm fan-out: every subscriber connected, time publish → drain.
+fn run_warm(subs: u32, pubs: u64) -> Result<RunResult> {
+    let (mom, topic, _handles, delivered) = setup(subs, RelayConfig::default())?;
+    let start = Instant::now();
+    publish(&mom, topic, pubs)?;
+    assert!(
+        mom.quiesce(Duration::from_secs(300)),
+        "warm: fan-out failed to drain"
+    );
+    let elapsed = start.elapsed();
+    let deliveries = delivered.load(Ordering::Relaxed);
+    assert_eq!(
+        deliveries,
+        u64::from(subs) * pubs,
+        "warm: exactly-once fan-out violated"
+    );
+    let p99 = merged_p99(&mom.metrics(), "aaa_server_delivery_latency_us");
+    mom.shutdown();
+    Ok(RunResult {
+        label: "warm",
+        subscribers: subs,
+        publications: pubs,
+        deliveries,
+        elapsed,
+        p99_us: Some(p99),
+    })
+}
+
+/// Cold redelivery: disconnect everyone, journal the whole backlog, then
+/// time reconnect → drain.
+fn run_cold(label: &'static str, subs: u32, pubs: u64, relay: RelayConfig) -> Result<RunResult> {
+    let (mom, topic, handles, delivered) = setup(subs, relay)?;
+    for sub in &handles {
+        mom.relay_disconnect(*sub)?;
+    }
+    publish(&mom, topic, pubs)?;
+    assert!(
+        mom.quiesce(Duration::from_secs(300)),
+        "{label}: backlog failed to journal"
+    );
+    assert_eq!(
+        delivered.load(Ordering::Relaxed),
+        0,
+        "{label}: cold subscribers must not receive live deliveries"
+    );
+    let enqueued = mom.metrics().sum_counter("aaa_relay_enqueued_total");
+    assert_eq!(
+        enqueued,
+        u64::from(subs) * pubs,
+        "{label}: every publication journals once per subscriber"
+    );
+
+    let start = Instant::now();
+    for sub in &handles {
+        mom.relay_connect(*sub)?;
+    }
+    assert!(
+        mom.quiesce(Duration::from_secs(300)),
+        "{label}: redelivery failed to drain"
+    );
+    let elapsed = start.elapsed();
+    let deliveries = delivered.load(Ordering::Relaxed);
+    assert_eq!(
+        deliveries,
+        u64::from(subs) * pubs,
+        "{label}: exactly-once redelivery violated"
+    );
+    mom.shutdown();
+    Ok(RunResult {
+        label,
+        subscribers: subs,
+        publications: pubs,
+        deliveries,
+        elapsed,
+        p99_us: None,
+    })
+}
+
+fn json_run(r: &RunResult) -> String {
+    let p99 = r
+        .p99_us
+        .map_or_else(|| "null".to_owned(), |v| v.to_string());
+    format!(
+        "  \"{}\": {{\n    \"subscribers\": {},\n    \"publications\": {},\n    \
+         \"deliveries\": {},\n    \"elapsed_ms\": {:.1},\n    \
+         \"messages_per_sec\": {:.1},\n    \"us_per_msg\": {:.2},\n    \
+         \"p99_latency_us\": {p99}\n  }}",
+        r.label,
+        r.subscribers,
+        r.publications,
+        r.deliveries,
+        r.elapsed.as_secs_f64() * 1e3,
+        r.msgs_per_sec(),
+        r.us_per_msg(),
+    )
+}
+
+fn main() -> Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    let short = args.iter().any(|a| a == "--short") || std::env::var_os("BENCH_SHORT").is_some();
+    let pubs: u64 = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if short { 8 } else { 64 });
+    let subs: u32 = if short { 32 } else { 512 };
+
+    eprintln!(
+        "bench-relay: {subs} subscribers, {pubs} publications \
+         ({} deliveries/run){}",
+        u64::from(subs) * pubs,
+        if short { " [short]" } else { "" }
+    );
+
+    let dir = std::env::temp_dir().join(format!("aaa-bench-relay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let runs = vec![
+        run_warm(subs, pubs)?,
+        run_cold("cold_memory", subs, pubs, RelayConfig::default())?,
+        run_cold("cold_durable", subs, pubs, RelayConfig::default().dir(&dir))?,
+    ];
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for r in &runs {
+        eprintln!(
+            "  {:>12}: {:>9.0} msg/s  {:>8.2} µs/msg{}  ({} deliveries)",
+            r.label,
+            r.msgs_per_sec(),
+            r.us_per_msg(),
+            r.p99_us
+                .map_or_else(String::new, |p| format!("  p99 {p:>6} µs")),
+            r.deliveries,
+        );
+    }
+    let rate = |label: &str| {
+        runs.iter()
+            .find(|r| r.label == label)
+            .map(RunResult::msgs_per_sec)
+            .unwrap_or(0.0)
+    };
+    let warm_vs_cold = rate("warm") / rate("cold_memory");
+    let durable_cost = rate("cold_memory") / rate("cold_durable");
+    eprintln!(
+        "  warm/cold_memory ratio: {warm_vs_cold:.2}x, \
+         memory/durable redelivery ratio: {durable_cost:.2}x"
+    );
+
+    let body: Vec<String> = runs.iter().map(json_run).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"relay\",\n  \"short\": {short},\n{},\n  \
+         \"warm_over_cold_memory\": {warm_vs_cold:.3},\n  \
+         \"cold_memory_over_durable\": {durable_cost:.3}\n}}\n",
+        body.join(",\n"),
+    );
+    match std::fs::write("BENCH_relay.json", &json) {
+        Ok(()) => eprintln!("  wrote BENCH_relay.json"),
+        Err(e) => eprintln!("  failed to write BENCH_relay.json: {e}"),
+    }
+
+    if !short {
+        for r in &runs {
+            assert!(
+                r.msgs_per_sec() >= 1_000.0,
+                "{}: fan-out rate collapsed: {:.0} msg/s < 1000",
+                r.label,
+                r.msgs_per_sec()
+            );
+        }
+    }
+    Ok(())
+}
