@@ -251,6 +251,10 @@ pub(crate) struct RelayMetrics {
     pub compaction_reclaimed: Counter,
     /// Publications dropped at the depth bound (cold subscriber full).
     pub pubsub_dropped: Counter,
+    /// Torn mid-generation segments found when recovering a queue — a
+    /// sign that records were truncated outside the normal
+    /// crash-mid-append window.
+    pub recovery_anomalies: Counter,
 }
 
 impl RelayMetrics {
@@ -300,6 +304,11 @@ impl RelayMetrics {
                 "aaa_pubsub_dropped_total",
                 "Publications dropped because a subscriber queue hit its \
                  depth bound",
+            ),
+            recovery_anomalies: meter.counter(
+                "aaa_relay_recovery_anomalies_total",
+                "Torn mid-generation segments detected while recovering \
+                 a subscriber queue",
             ),
         }
     }

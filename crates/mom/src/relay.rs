@@ -169,6 +169,9 @@ impl RelayConfig {
                 .saturating_add(usize::try_from(self.window).unwrap_or(usize::MAX)),
             ttl_ticks: self.ttl.map(VDuration::as_micros),
             segment_max_records: self.segment_max_records,
+            // The relay's journal-before-deliver guarantee is against
+            // power loss, not just a process crash: default sync policy.
+            ..QueueConfig::default()
         }
     }
 }
@@ -273,6 +276,14 @@ impl RelayCore {
             let dispatched_upto = queue.acked();
             // A reopened durable queue carries its recovered backlog.
             self.depth_cache = self.depth_cache.saturating_add(queue.depth() as u64);
+            if queue.recovery_anomalies() > 0 {
+                // A torn *middle* segment truncated records that a
+                // crash-mid-append cannot explain; surface it instead of
+                // serving the queue as if recovery were clean.
+                if let Some(m) = &self.metrics {
+                    m.recovery_anomalies.add(queue.recovery_anomalies());
+                }
+            }
             self.subs.insert(
                 sub,
                 SubState {

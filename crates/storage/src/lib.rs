@@ -44,7 +44,7 @@ mod stats;
 pub use file::{DirStore, FileLog};
 pub use log::{Log, MemoryLog};
 pub use memory::MemoryStore;
-pub use queue::{CompactionReport, QueueConfig, QueueEntry, SegmentQueue};
+pub use queue::{CompactionReport, QueueConfig, QueueEntry, SegmentQueue, SyncPolicy};
 pub use stats::StorageStats;
 
 use aaa_base::Result;

@@ -21,10 +21,16 @@
 //!   the bound that keeps a forever-cold subscriber from pinning disk.
 //! - **Crash-safe compaction.** [`SegmentQueue::compact`] rewrites the
 //!   live suffix into a fresh highest-generation segment via
-//!   tmp-write → rename, then deletes the old segments. A crash in any
-//!   window leaves either the `.tmp` (ignored on open) or duplicate
-//!   records across generations (deduplicated by sequence number on
-//!   open), so recovery always reconstructs the same queue.
+//!   tmp-write → fsync → rename → directory fsync, then deletes the old
+//!   segments. A crash in any window leaves either the `.tmp` (ignored
+//!   on open) or duplicate records across generations (deduplicated by
+//!   sequence number on open), so recovery always reconstructs the same
+//!   queue.
+//! - **Sync policy.** Under the default [`SyncPolicy::Always`] every
+//!   append is `fdatasync`ed and segment creation/rename is made
+//!   durable with a directory fsync, so the journal survives OS crash
+//!   and power loss — not just a process crash. [`SyncPolicy::OsBuffered`]
+//!   trades that down to process-crash durability for throughput.
 //!
 //! The queue is sans-IO-adjacent: it is single-owner (`&mut self`
 //! throughout, no locks) and all durability flows through one internal
@@ -53,6 +59,23 @@ const TAG_ACK_UP_TO: u8 = 2;
 const SEG_PREFIX: &str = "seg-";
 const SEG_SUFFIX: &str = ".q";
 
+/// How aggressively queue writes are pushed to stable storage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fdatasync` every appended record and fsync the queue directory
+    /// around segment creation and the compaction rename: journaled
+    /// entries survive an OS crash or power loss, not just a process
+    /// crash. The default — the relay's journal-before-deliver guarantee
+    /// is only as strong as the journal.
+    #[default]
+    Always,
+    /// Leave writes in the OS page cache (no `fsync`). Entries survive a
+    /// process crash but **not** an OS crash or power loss. For tests,
+    /// simulators and deployments that accept replay loss in exchange
+    /// for throughput.
+    OsBuffered,
+}
+
 /// Retention and sizing policy of a [`SegmentQueue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueConfig {
@@ -65,6 +88,8 @@ pub struct QueueConfig {
     pub ttl_ticks: Option<u64>,
     /// Records per segment before the active segment rolls.
     pub segment_max_records: usize,
+    /// Durability of the journal against OS crash / power loss.
+    pub sync: SyncPolicy,
 }
 
 impl Default for QueueConfig {
@@ -73,6 +98,7 @@ impl Default for QueueConfig {
             max_depth: 4096,
             ttl_ticks: None,
             segment_max_records: 1024,
+            sync: SyncPolicy::Always,
         }
     }
 }
@@ -143,6 +169,14 @@ impl DirBackend {
             .map_err(|e| storage_err("open active segment", e))
     }
 
+    /// Makes directory metadata (a created segment or a compaction
+    /// rename) durable. Only called under [`SyncPolicy::Always`].
+    fn sync_dir(dir: &Path) -> Result<()> {
+        fs::File::open(dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| storage_err("sync queue dir", e))
+    }
+
     /// Lists committed segment generations in ascending order. `.tmp`
     /// files (a compaction that crashed before its rename) are ignored.
     fn list_gens(dir: &Path) -> Result<Vec<u64>> {
@@ -179,6 +213,12 @@ pub struct SegmentQueue {
     entries: BTreeMap<u64, QueueEntry>,
     next_seq: u64,
     acked: u64,
+    /// Torn or malformed records found in a *non-final* generation at
+    /// recovery. A tear in the final segment is the expected signature
+    /// of a crash mid-append; one anywhere else truncated records that
+    /// later generations may not re-cover, so it is surfaced instead of
+    /// silently swallowed.
+    recovery_anomalies: u64,
     stats: StorageStats,
 }
 
@@ -192,6 +232,7 @@ impl SegmentQueue {
             entries: BTreeMap::new(),
             next_seq: 1,
             acked: 0,
+            recovery_anomalies: 0,
             stats: StorageStats::new(),
         }
     }
@@ -216,13 +257,25 @@ impl SegmentQueue {
         let mut bytes_read = 0u64;
         let mut active_records = 0usize;
         let mut tail_torn = false;
-        for &gen in &gens {
+        let mut recovery_anomalies = 0u64;
+        for (idx, &gen) in gens.iter().enumerate() {
             let buf = fs::read(DirBackend::seg_path(&dir, gen))
                 .map_err(|e| storage_err("read segment", e))?;
             bytes_read += buf.len() as u64;
             let (records, consumed) = parse_records(&buf);
-            active_records = records.len();
-            tail_torn = consumed < buf.len();
+            let torn = consumed < buf.len();
+            if idx + 1 == gens.len() {
+                // A tear in the highest generation is the expected
+                // crash-mid-append signature; the tail rolls past it.
+                active_records = records.len();
+                tail_torn = torn;
+            } else if torn {
+                // A tear in the *middle* of the generation chain
+                // truncated that segment's remaining records even though
+                // later generations still parse — an anomaly the caller
+                // must be able to see, not a normal crash signature.
+                recovery_anomalies += 1;
+            }
             for rec in records {
                 match rec {
                     ParsedRecord::Enqueue(entry) => {
@@ -237,6 +290,13 @@ impl SegmentQueue {
             }
         }
         entries.retain(|&seq, _| seq > acked);
+        // A fully-acked, fully-compacted queue leaves only an `AckUpTo`
+        // record behind: without this clamp `next_seq` would reset to 1
+        // while `acked` stays high, and every new enqueue would land at
+        // a sequence the ack watermark already covers — skipped by the
+        // relay's dispatch and dropped by the retain above on the next
+        // reopen, i.e. silent message loss.
+        next_seq = next_seq.max(acked.saturating_add(1));
         // Clear crashed-compaction leftovers so they cannot shadow a
         // future generation of the same number.
         if let Ok(listing) = fs::read_dir(&dir) {
@@ -257,6 +317,12 @@ impl SegmentQueue {
             active_records = 0;
         }
         let active = DirBackend::open_active(&dir, active_gen)?;
+        if cfg.sync == SyncPolicy::Always {
+            // The active segment's directory entry (freshly created on a
+            // first open or a roll past a torn tail) must survive power
+            // loss, or the records synced into it are lost with it.
+            DirBackend::sync_dir(&dir)?;
+        }
         let stats = StorageStats::new();
         stats.record_read(bytes_read);
         Ok(SegmentQueue {
@@ -270,6 +336,7 @@ impl SegmentQueue {
             entries,
             next_seq,
             acked,
+            recovery_anomalies,
             stats,
         })
     }
@@ -304,6 +371,15 @@ impl SegmentQueue {
         }
     }
 
+    /// Torn or malformed records detected in a non-final generation at
+    /// the last [`SegmentQueue::open`] (0 for clean recoveries and
+    /// in-memory queues). A non-zero value means a middle segment lost
+    /// its suffix — acknowledged state or entries may have been dropped,
+    /// so callers should surface it rather than trust the queue blindly.
+    pub fn recovery_anomalies(&self) -> u64 {
+        self.recovery_anomalies
+    }
+
     /// Storage traffic accounting.
     pub fn stats(&self) -> &StorageStats {
         &self.stats
@@ -318,16 +394,23 @@ impl SegmentQueue {
     }
 
     /// The durability seed: every state change that must survive a crash
-    /// flows through this single append (length-prefixed, flushed). The
-    /// in-memory backend accounts the bytes and returns.
+    /// flows through this single append (length-prefixed, then
+    /// `fdatasync`ed under [`SyncPolicy::Always`]). The in-memory backend
+    /// accounts the bytes and returns.
     fn append_record(&mut self, record: &[u8]) -> Result<()> {
         self.stats.record_write(record.len() as u64 + 4);
+        let sync = self.cfg.sync;
         let Some(backend) = &mut self.backend else {
             return Ok(());
         };
         if backend.active_records >= self.cfg.segment_max_records {
             let next_gen = backend.active_gen.saturating_add(1);
             backend.active = DirBackend::open_active(&backend.dir, next_gen)?;
+            if sync == SyncPolicy::Always {
+                // The rolled segment's directory entry must be durable
+                // before records synced into it can count as durable.
+                DirBackend::sync_dir(&backend.dir)?;
+            }
             backend.active_gen = next_gen;
             backend.active_records = 0;
         }
@@ -338,14 +421,19 @@ impl SegmentQueue {
             .active
             .write_all(&len)
             .and_then(|()| backend.active.write_all(record))
-            .and_then(|()| backend.active.flush())
+            .and_then(|()| match sync {
+                SyncPolicy::Always => backend.active.sync_data(),
+                SyncPolicy::OsBuffered => backend.active.flush(),
+            })
             .map_err(|e| storage_err("append queue record", e))?;
         backend.active_records += 1;
         Ok(())
     }
 
     /// Journals one publication, assigning and returning its sequence
-    /// number. The entry is durable before this returns.
+    /// number. Under [`SyncPolicy::Always`] (the default) the entry is
+    /// durable against power loss before this returns; under
+    /// [`SyncPolicy::OsBuffered`] it survives a process crash only.
     ///
     /// # Errors
     ///
@@ -373,10 +461,17 @@ impl SegmentQueue {
     /// the ack, then releases the covered entries. Idempotent — a stale or
     /// duplicate ack is a no-op that touches no disk.
     ///
+    /// `upto` is clamped to the highest sequence number this queue has
+    /// assigned: acks arrive from remote receivers, and a corrupt or
+    /// malicious ack beyond the assigned range must not journal a bogus
+    /// watermark that would swallow entries enqueued later (and, via the
+    /// recovery path, wedge the queue permanently).
+    ///
     /// # Errors
     ///
     /// Returns [`Error::Storage`] if the journal write fails.
     pub fn ack_up_to(&mut self, upto: u64) -> Result<u64> {
+        let upto = upto.min(self.next_seq.saturating_sub(1));
         if upto <= self.acked {
             return Ok(0);
         }
@@ -430,11 +525,13 @@ impl SegmentQueue {
     /// highest-generation segment and deletes the old ones, reclaiming
     /// acknowledged and TTL-expired records.
     ///
-    /// Crash-safety: the new segment is written to a `.tmp` and renamed
-    /// into place before any old segment is deleted. A crash before the
-    /// rename leaves only the ignored `.tmp`; a crash after it leaves
-    /// duplicate records that [`SegmentQueue::open`] deduplicates by
-    /// sequence number — every window recovers to the same state.
+    /// Crash-safety: the new segment is written to a `.tmp`, fsynced
+    /// (under [`SyncPolicy::Always`]), renamed into place and the rename
+    /// made durable with a directory fsync before any old segment is
+    /// deleted. A crash before the rename leaves only the ignored
+    /// `.tmp`; a crash after it leaves duplicate records that
+    /// [`SegmentQueue::open`] deduplicates by sequence number — every
+    /// window recovers to the same state.
     ///
     /// # Errors
     ///
@@ -495,11 +592,22 @@ impl SegmentQueue {
                 write_rec(&rec)?;
                 live_records += 1;
             }
-            tmp.flush()
-                .map_err(|e| storage_err("flush compaction", e))?;
+            match self.cfg.sync {
+                // The tmp's contents must hit stable storage before the
+                // rename publishes it, or power loss could leave a
+                // committed-looking segment full of garbage.
+                SyncPolicy::Always => tmp.sync_all(),
+                SyncPolicy::OsBuffered => tmp.flush(),
+            }
+            .map_err(|e| storage_err("flush compaction", e))?;
         }
         self.stats.record_write(written);
         fs::rename(&tmp_path, &final_path).map_err(|e| storage_err("commit compaction", e))?;
+        if self.cfg.sync == SyncPolicy::Always {
+            // Make the rename itself durable before deleting the old
+            // segments it supersedes.
+            DirBackend::sync_dir(&backend.dir)?;
+        }
         // The compacted generation is durable; everything older is now
         // redundant (recovery dedups by seq if this loop is interrupted).
         let mut segments_removed = 0usize;
@@ -608,6 +716,7 @@ mod tests {
             max_depth,
             ttl_ticks: ttl,
             segment_max_records: seg,
+            sync: SyncPolicy::Always,
         }
     }
 
@@ -723,6 +832,97 @@ mod tests {
     }
 
     #[test]
+    fn fully_acked_compacted_queue_stays_usable_after_reopen() {
+        let dir = tmp_dir("queue-full-ack");
+        {
+            let mut q = SegmentQueue::open(&dir, cfg(16, None, 4)).unwrap();
+            for i in 0..3u8 {
+                q.enqueue(0, vec![], vec![i]).unwrap();
+            }
+            // Ack everything and compact: only an AckUpTo record remains
+            // on disk.
+            q.ack_up_to(3).unwrap();
+            q.compact(0).unwrap();
+        }
+        let mut q = SegmentQueue::open(&dir, cfg(16, None, 4)).unwrap();
+        assert_eq!(q.acked(), 3);
+        assert_eq!(q.depth(), 0);
+        // next_seq must resume past the ack watermark, or the new entry
+        // would be assigned an already-acked sequence: skipped by the
+        // dispatcher and silently dropped on the next reopen.
+        assert_eq!(q.next_seq(), 4);
+        let seq = q.enqueue(1, vec![], b"after".to_vec()).unwrap();
+        assert!(seq > q.acked(), "new entries land beyond the watermark");
+        assert_eq!(q.pending(1).count(), 1);
+        drop(q);
+        let q = SegmentQueue::open(&dir, cfg(16, None, 4)).unwrap();
+        assert_eq!(q.depth(), 1, "the post-compaction entry survives");
+        let payloads: Vec<&[u8]> = q.pending(1).map(|e| e.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![b"after".as_slice()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ack_beyond_assigned_range_is_clamped() {
+        let dir = tmp_dir("queue-ack-clamp");
+        {
+            let mut q = SegmentQueue::open(&dir, cfg(16, None, 8)).unwrap();
+            q.enqueue(0, vec![], b"a".to_vec()).unwrap();
+            q.enqueue(0, vec![], b"b".to_vec()).unwrap();
+            // A corrupt or malicious remote ack far past the assigned
+            // range commits only what was actually assigned.
+            assert_eq!(q.ack_up_to(u64::MAX).unwrap(), 2);
+            assert_eq!(q.acked(), 2);
+        }
+        // The journaled watermark is the clamped one, so entries
+        // enqueued after recovery are not swallowed by a bogus ack.
+        let mut q = SegmentQueue::open(&dir, cfg(16, None, 8)).unwrap();
+        assert_eq!(q.acked(), 2);
+        assert_eq!(q.next_seq(), 3);
+        q.enqueue(1, vec![], b"c".to_vec()).unwrap();
+        drop(q);
+        let q = SegmentQueue::open(&dir, cfg(16, None, 8)).unwrap();
+        assert_eq!(q.depth(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+
+        // An empty queue rejects any positive ack outright.
+        let mut q = SegmentQueue::in_memory(cfg(4, None, 4));
+        assert_eq!(q.ack_up_to(10).unwrap(), 0);
+        assert_eq!(q.acked(), 0);
+    }
+
+    #[test]
+    fn torn_middle_generation_is_surfaced_as_anomaly() {
+        let dir = tmp_dir("queue-torn-middle");
+        {
+            // Three entries across two generations (2 + 1).
+            let mut q = SegmentQueue::open(&dir, cfg(16, None, 2)).unwrap();
+            for i in 0..3u8 {
+                q.enqueue(0, vec![], vec![i]).unwrap();
+            }
+        }
+        // Tear the *first* generation's tail while the later generation
+        // stays intact: entry 2 is gone even though parsing continues.
+        let gen0 = DirBackend::seg_path(&dir, 0);
+        let bytes = fs::read(&gen0).unwrap();
+        fs::write(&gen0, &bytes[..bytes.len() - 3]).unwrap();
+        let q = SegmentQueue::open(&dir, cfg(16, None, 2)).unwrap();
+        assert_eq!(
+            q.recovery_anomalies(),
+            1,
+            "a torn non-final generation must be surfaced, not swallowed"
+        );
+        let seqs: Vec<u64> = q.pending(0).map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 3], "the tear dropped entry 2");
+        // A clean reopen reports no anomaly, and a tear in the *final*
+        // generation stays the ordinary crash signature (no anomaly).
+        drop(q);
+        let q = SegmentQueue::open(&dir, cfg(16, None, 2)).unwrap();
+        assert_eq!(q.recovery_anomalies(), 1, "tear persists until compaction");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn crash_between_rename_and_delete_recovers_by_dedup() {
         let dir = tmp_dir("queue-crash-dup");
         let mut q = SegmentQueue::open(&dir, cfg(64, None, 2)).unwrap();
@@ -784,6 +984,11 @@ mod tests {
         drop(f);
         let mut q = SegmentQueue::open(&dir, cfg(64, None, 8)).unwrap();
         assert_eq!(q.depth(), 1);
+        assert_eq!(
+            q.recovery_anomalies(),
+            0,
+            "a torn final record is the normal crash signature"
+        );
         let payloads: Vec<&[u8]> = q.pending(0).map(|e| e.payload.as_slice()).collect();
         assert_eq!(payloads, vec![b"intact".as_slice()]);
         // The queue stays appendable after recovering past a tear: the

@@ -83,7 +83,7 @@ proptest! {
         ack_first in any::<bool>(),
     ) {
         let dir = tmp_dir("queue-prefix");
-        let cfg = QueueConfig { max_depth: 64, ttl_ticks: None, segment_max_records: 64 };
+        let cfg = QueueConfig { max_depth: 64, ttl_ticks: None, segment_max_records: 64, ..QueueConfig::default() };
         {
             let mut q = SegmentQueue::open(&dir, cfg).unwrap();
             for (i, p) in payloads.iter().enumerate() {
